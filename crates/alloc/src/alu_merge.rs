@@ -1,0 +1,201 @@
+//! Greedy merging of operations into (multi-function) ALUs — §4.2 step 3.
+//!
+//! Operations in the same clock partition may share an ALU if they execute
+//! in different control steps. Merging is cost-driven: an operation joins
+//! the existing ALU whose area grows least, unless a fresh single-function
+//! ALU would be cheaper (which is how multipliers end up separate from
+//! add/sub units, as in the paper's tables).
+
+use mc_clocks::PhaseId;
+use mc_dfg::FunctionSet;
+use mc_tech::TechLibrary;
+
+use crate::problem::Problem;
+
+/// A group of operations bound to one ALU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AluGroup {
+    /// Indices into [`Problem::ops`], in step order.
+    pub ops: Vec<usize>,
+    /// The union of the operations' functions.
+    pub fs: FunctionSet,
+    /// The partition the ALU serves.
+    pub phase: PhaseId,
+}
+
+/// Merges the problem's operations into ALUs, partition by partition.
+///
+/// Within each partition, operations are visited in step order; each joins
+/// the compatible group (no step collision) with the smallest area
+/// increase, or founds a new group when that is cheaper.
+#[must_use]
+pub fn merge_alus(problem: &Problem, lib: &TechLibrary, width: u8) -> Vec<AluGroup> {
+    let mut groups: Vec<AluGroup> = Vec::new();
+    for phase in problem.scheme.phases() {
+        for oi in problem.ops_in_phase(phase) {
+            let op = &problem.ops[oi];
+            let single = lib.alu_area(FunctionSet::single(op.op), width);
+            let mut best: Option<(f64, usize)> = None;
+            for (gi, g) in groups.iter().enumerate() {
+                if g.phase != phase {
+                    continue;
+                }
+                // Execution-window collision: a multi-cycle operation
+                // occupies its ALU for [step, completion].
+                let collides = g.ops.iter().any(|&o| {
+                    let other = &problem.ops[o];
+                    !(other.completion() < op.step || op.completion() < other.step)
+                });
+                if collides {
+                    continue;
+                }
+                let grown = {
+                    let mut fs = g.fs;
+                    fs.insert(op.op);
+                    fs
+                };
+                let delta = lib.alu_area(grown, width) - lib.alu_area(g.fs, width);
+                if best.is_none_or(|(b, _)| delta < b) {
+                    best = Some((delta, gi));
+                }
+            }
+            match best {
+                Some((delta, gi)) if delta <= single => {
+                    groups[gi].fs.insert(op.op);
+                    groups[gi].ops.push(oi);
+                }
+                _ => groups.push(AluGroup {
+                    ops: vec![oi],
+                    fs: FunctionSet::single(op.op),
+                    phase,
+                }),
+            }
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_clocks::ClockScheme;
+    use mc_dfg::{benchmarks, DfgBuilder, Op, Schedule};
+
+    fn merge(dfg: &mc_dfg::Dfg, sched: &Schedule, n: u32) -> Vec<AluGroup> {
+        let scheme = ClockScheme::new(n).unwrap();
+        let p = Problem::build(dfg, sched, scheme, false);
+        merge_alus(&p, &TechLibrary::vsc450(), dfg.width())
+    }
+
+    #[test]
+    fn sequential_adds_share_one_alu() {
+        let mut b = DfgBuilder::new("seq", 4);
+        let a = b.input("a");
+        let s1 = b.op(Op::Add, a, a);
+        let s2 = b.op(Op::Add, s1, a);
+        let s3 = b.op(Op::Add, s2, a);
+        b.mark_output(s3);
+        let g = b.finish().unwrap();
+        let s = Schedule::new(&g, vec![1, 2, 3], 3).unwrap();
+        let groups = merge(&g, &s, 1);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].fs.to_string(), "(+)");
+        assert_eq!(groups[0].ops.len(), 3);
+    }
+
+    #[test]
+    fn concurrent_ops_cannot_share() {
+        let mut b = DfgBuilder::new("par", 4);
+        let a = b.input("a");
+        let s1 = b.op(Op::Add, a, a);
+        let s2 = b.op(Op::Add, a, a);
+        let s3 = b.op(Op::Add, s1, s2);
+        b.mark_output(s3);
+        let g = b.finish().unwrap();
+        let s = Schedule::new(&g, vec![1, 1, 2], 2).unwrap();
+        let groups = merge(&g, &s, 1);
+        assert_eq!(groups.len(), 2, "two adds at step 1 need two ALUs");
+    }
+
+    #[test]
+    fn multiplier_stays_separate_from_adder() {
+        let mut b = DfgBuilder::new("mix", 4);
+        let a = b.input("a");
+        let s1 = b.op(Op::Add, a, a);
+        let m1 = b.op(Op::Mul, s1, a);
+        b.mark_output(m1);
+        let g = b.finish().unwrap();
+        let s = Schedule::new(&g, vec![1, 2], 2).unwrap();
+        let groups = merge(&g, &s, 1);
+        // Merging + into the multiplier costs more than a fresh adder
+        // (multi-function penalty on a large unit), so they stay apart.
+        assert_eq!(groups.len(), 2);
+        let fss: Vec<String> = groups.iter().map(|g| g.fs.to_string()).collect();
+        assert!(fss.contains(&"(+)".to_string()));
+        assert!(fss.contains(&"(*)".to_string()));
+    }
+
+    #[test]
+    fn add_sub_merge_into_one_unit() {
+        let mut b = DfgBuilder::new("as", 4);
+        let a = b.input("a");
+        let s1 = b.op(Op::Add, a, a);
+        let s2 = b.op(Op::Sub, s1, a);
+        b.mark_output(s2);
+        let g = b.finish().unwrap();
+        let s = Schedule::new(&g, vec![1, 2], 2).unwrap();
+        let groups = merge(&g, &s, 1);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].fs.to_string(), "(+-)");
+    }
+
+    #[test]
+    fn partitions_never_share_alus() {
+        let bm = benchmarks::hal();
+        let groups = merge(&bm.dfg, &bm.schedule, 2);
+        for g in &groups {
+            for &oi in &g.ops {
+                let scheme = ClockScheme::new(2).unwrap();
+                assert_eq!(scheme.phase_of_step({
+                    let p = Problem::build(&bm.dfg, &bm.schedule, scheme, false);
+                    p.ops[oi].step
+                }), g.phase);
+            }
+        }
+        // Both phases are populated for HAL's 4-step schedule.
+        let phases: std::collections::BTreeSet<_> = groups.iter().map(|g| g.phase).collect();
+        assert_eq!(phases.len(), 2);
+    }
+
+    #[test]
+    fn every_op_lands_in_exactly_one_group() {
+        for bm in benchmarks::all_benchmarks() {
+            for n in [1, 2, 3] {
+                let groups = merge(&bm.dfg, &bm.schedule, n);
+                let mut seen: Vec<usize> = groups.iter().flat_map(|g| g.ops.clone()).collect();
+                seen.sort_unstable();
+                assert_eq!(seen, (0..bm.dfg.num_nodes()).collect::<Vec<_>>());
+                // No step collisions inside any group.
+                let scheme = ClockScheme::new(n).unwrap();
+                let p = Problem::build(&bm.dfg, &bm.schedule, scheme, false);
+                for g in &groups {
+                    let mut steps: Vec<u32> = g.ops.iter().map(|&o| p.ops[o].step).collect();
+                    steps.sort_unstable();
+                    steps.dedup();
+                    assert_eq!(steps.len(), g.ops.len(), "{} n={n}", bm.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_clocks_never_reduce_alu_concurrency_legality() {
+        // With n clocks the same-step rule still holds; merging across
+        // phases is impossible, so group count >= single-clock count is
+        // typical (the paper's area growth with clock count).
+        let bm = benchmarks::facet();
+        let g1 = merge(&bm.dfg, &bm.schedule, 1).len();
+        let g3 = merge(&bm.dfg, &bm.schedule, 3).len();
+        assert!(g3 >= g1);
+    }
+}

@@ -1,0 +1,305 @@
+//! Datapath composition — §4.2 step 4 (and the interconnection half of
+//! §4.1's clean-up): materialises a bound allocation problem as a
+//! structural netlist with its controller.
+//!
+//! Every allocation variable lives in a memory element; every operation
+//! executes on its bound ALU, with operand muxes created wherever an ALU
+//! port has several sources and input muxes wherever a memory element has
+//! several writers. The controller asserts, per control step, the ALU
+//! function, the mux selects, and the load enables.
+
+use std::collections::BTreeMap;
+
+use mc_rtl::{NetId, Netlist, NetlistBuilder, NetlistError};
+
+use crate::alu_merge::AluGroup;
+use crate::problem::{POperand, PVarSource, Problem};
+use crate::registers::RegGroup;
+
+/// Composes the netlist for `problem` with registers bound by `regs` and
+/// operations bound by `alus`.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from validation; a failure indicates a bug
+/// in the allocator rather than bad user input.
+pub fn compose(
+    name: &str,
+    problem: &Problem,
+    regs: &[RegGroup],
+    alus: &[AluGroup],
+    width: u8,
+) -> Result<Netlist, NetlistError> {
+    let mut nb = NetlistBuilder::new(name, width, problem.scheme, problem.period);
+
+    // Primary-input ports.
+    let mut port_net: BTreeMap<usize, NetId> = BTreeMap::new();
+    for i in problem.input_vars() {
+        let (_, net) = nb.add_input(&problem.vars[i].name);
+        port_net.insert(i, net);
+    }
+
+    // Constant drivers (deduplicated by value).
+    let mut const_net: BTreeMap<u64, NetId> = BTreeMap::new();
+    for op in &problem.ops {
+        for o in [op.lhs, op.rhs] {
+            if let POperand::Const(c) = o {
+                const_net
+                    .entry(c)
+                    .or_insert_with(|| nb.add_const(c).1);
+            }
+        }
+    }
+
+    // Memory elements: one per register group.
+    let mut group_of_pvar = vec![usize::MAX; problem.vars.len()];
+    let mut mem_comp = Vec::with_capacity(regs.len());
+    let mut mem_net = Vec::with_capacity(regs.len());
+    for (gi, g) in regs.iter().enumerate() {
+        let label = g
+            .pvars
+            .iter()
+            .map(|&i| problem.vars[i].name.as_str())
+            .collect::<Vec<_>>()
+            .join("/");
+        let (c, net) = nb.add_mem(g.kind, g.phase, &label);
+        mem_comp.push(c);
+        mem_net.push(net);
+        for &i in &g.pvars {
+            group_of_pvar[i] = gi;
+        }
+    }
+    debug_assert!(
+        group_of_pvar.iter().all(|&g| g != usize::MAX),
+        "every variable must be bound to a register group"
+    );
+
+    // The net carrying an operand's value when read.
+    let operand_net = |o: POperand| -> NetId {
+        match o {
+            POperand::Var(v) => mem_net[group_of_pvar[v]],
+            POperand::Const(c) => const_net[&c],
+        }
+    };
+
+    // ALUs with their operand muxes.
+    let mut alu_of_op = vec![usize::MAX; problem.ops.len()];
+    let mut alu_out = Vec::with_capacity(alus.len());
+    for (ai, g) in alus.iter().enumerate() {
+        for &oi in &g.ops {
+            alu_of_op[oi] = ai;
+        }
+        let mut ops_sorted = g.ops.clone();
+        ops_sorted.sort_by_key(|&oi| problem.ops[oi].step);
+        // Assign operands to ports, exploiting commutativity to minimise
+        // the number of distinct sources per port (fewer mux inputs ⇒ less
+        // interconnect capacitance). Greedy in step order: a commutative
+        // operation is flipped when that adds fewer new sources.
+        let mut srcs_a: Vec<NetId> = Vec::new();
+        let mut srcs_b: Vec<NetId> = Vec::new();
+        let mut port_nets: Vec<(usize, NetId, NetId)> = Vec::new(); // (op, a, b)
+        for &oi in &ops_sorted {
+            let op = &problem.ops[oi];
+            let l = operand_net(op.lhs);
+            let r = operand_net(op.rhs);
+            let cost = |a: &[NetId], b: &[NetId], x: NetId, y: NetId| {
+                usize::from(!a.contains(&x)) + usize::from(!b.contains(&y))
+            };
+            let (a_net, b_net) = if op.op.is_commutative()
+                && cost(&srcs_a, &srcs_b, r, l) < cost(&srcs_a, &srcs_b, l, r)
+            {
+                (r, l)
+            } else {
+                (l, r)
+            };
+            if !srcs_a.contains(&a_net) {
+                srcs_a.push(a_net);
+            }
+            if !srcs_b.contains(&b_net) {
+                srcs_b.push(b_net);
+            }
+            port_nets.push((oi, a_net, b_net));
+        }
+        let make_port = |nb: &mut NetlistBuilder, sources: &[NetId], suffix: &str| {
+            if sources.len() == 1 {
+                (None, sources[0])
+            } else {
+                let (m, net) = nb.add_mux(sources.to_vec(), &format!("alu{ai}_{suffix}"));
+                (Some(m), net)
+            }
+        };
+        let (mux_a, a_net) = make_port(&mut nb, &srcs_a, "a");
+        let (mux_b, b_net) = make_port(&mut nb, &srcs_b, "b");
+        let (alu, out) = nb.add_alu(g.fs, a_net, b_net, &format!("alu{ai}"));
+        alu_out.push(out);
+        // Controller entries for every op on this ALU, asserted over the
+        // whole execution window so multi-cycle units keep stable function
+        // and operand selects until the capturing edge.
+        for (oi, a, b) in port_nets {
+            let op = &problem.ops[oi];
+            for t in op.step..=op.completion() {
+                let word = nb.controller_mut().word_mut(t);
+                word.alu_fn.insert(alu, op.op);
+                if let Some(m) = mux_a {
+                    let sel = srcs_a.iter().position(|&n| n == a).expect("source present");
+                    nb.controller_mut().word_mut(t).mux_sel.insert(m, sel);
+                }
+                if let Some(m) = mux_b {
+                    let sel = srcs_b.iter().position(|&n| n == b).expect("source present");
+                    nb.controller_mut().word_mut(t).mux_sel.insert(m, sel);
+                }
+            }
+        }
+    }
+
+    // Writer of each variable: the net whose value the variable's memory
+    // captures at the variable's write step.
+    let writer_net = |problem: &Problem, i: usize| -> NetId {
+        match problem.vars[i].source {
+            PVarSource::PrimaryInput(_) => port_net[&i],
+            PVarSource::Node(_) => {
+                let oi = problem
+                    .ops
+                    .iter()
+                    .position(|op| op.dest == i)
+                    .expect("node-sourced variable has a defining op");
+                alu_out[alu_of_op[oi]]
+            }
+            PVarSource::Transfer(src) => mem_net[group_of_pvar[src]],
+        }
+    };
+
+    // Memory input networks and load schedule.
+    for (gi, g) in regs.iter().enumerate() {
+        let mut sources: Vec<NetId> = Vec::new();
+        for &i in &g.pvars {
+            let net = writer_net(problem, i);
+            if !sources.contains(&net) {
+                sources.push(net);
+            }
+        }
+        let (mux, input_net) = if sources.len() == 1 {
+            (None, sources[0])
+        } else {
+            let (m, net) = nb.add_mux(sources.clone(), &format!("mem{gi}_in"));
+            (Some(m), net)
+        };
+        nb.set_mem_input(mem_comp[gi], input_net);
+        for &i in &g.pvars {
+            let load_step = if problem.vars[i].write_step == 0 {
+                problem.period // boundary load for primary inputs
+            } else {
+                problem.vars[i].write_step
+            };
+            let word = nb.controller_mut().word_mut(load_step);
+            word.mem_load.insert(mem_comp[gi]);
+            if let Some(m) = mux {
+                let net = writer_net(problem, i);
+                let sel = sources.iter().position(|&n| n == net).expect("source present");
+                nb.controller_mut()
+                    .word_mut(load_step)
+                    .mux_sel
+                    .insert(m, sel);
+            }
+        }
+    }
+
+    // Primary outputs.
+    for (i, v) in problem.vars.iter().enumerate() {
+        if v.is_output {
+            nb.mark_output(&v.name, mem_net[group_of_pvar[i]]);
+        }
+    }
+
+    nb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alu_merge::merge_alus;
+    use crate::registers::{allocate_registers, LifetimeView};
+    use mc_clocks::ClockScheme;
+    use mc_dfg::benchmarks;
+    use mc_tech::{MemKind, TechLibrary};
+
+    fn build(n: u32, kind: MemKind) -> Netlist {
+        let bm = benchmarks::hal();
+        let scheme = ClockScheme::new(n).unwrap();
+        let p = Problem::build(&bm.dfg, &bm.schedule, scheme, n > 1);
+        let regs = allocate_registers(&p, kind, LifetimeView::Global);
+        let alus = merge_alus(&p, &TechLibrary::vsc450(), bm.dfg.width());
+        compose("hal", &p, &regs, &alus, bm.dfg.width()).expect("valid netlist")
+    }
+
+    #[test]
+    fn composed_netlist_validates_for_all_clock_counts() {
+        for n in [1u32, 2, 3] {
+            let nl = build(n, MemKind::Latch);
+            assert!(nl.stats().mem_cells > 0, "n={n}");
+            assert!(!nl.stats().alus.is_empty(), "n={n}");
+            assert_eq!(nl.outputs().len(), 4, "HAL has 4 outputs");
+        }
+    }
+
+    #[test]
+    fn controller_spans_the_padded_period() {
+        let nl = build(2, MemKind::Latch);
+        assert_eq!(nl.controller().len(), 4, "HAL: 4 steps, already even");
+        let bm = benchmarks::biquad(); // 5 steps, pads to 6 under n=2
+        let scheme = ClockScheme::new(2).unwrap();
+        let p = Problem::build(&bm.dfg, &bm.schedule, scheme, true);
+        let regs = allocate_registers(&p, MemKind::Latch, LifetimeView::Global);
+        let alus = merge_alus(&p, &TechLibrary::vsc450(), 4);
+        let nl = compose("biquad", &p, &regs, &alus, 4).unwrap();
+        assert_eq!(nl.controller().len(), 6);
+    }
+
+    #[test]
+    fn every_step_with_ops_has_loads() {
+        let nl = build(1, MemKind::Dff);
+        let bm = benchmarks::hal();
+        for t in 1..=bm.schedule.length() {
+            let expected = bm.schedule.nodes_at_step(t).len();
+            let loads = nl.controller().word(t).mem_load.len();
+            assert!(
+                loads >= expected.min(1),
+                "step {t}: {loads} loads for {expected} ops"
+            );
+        }
+    }
+
+    #[test]
+    fn inputs_load_at_boundary() {
+        let nl = build(2, MemKind::Latch);
+        let boundary = nl.controller().len();
+        let word = nl.controller().word(boundary);
+        // All five HAL inputs load at the boundary step.
+        assert!(word.mem_load.len() >= 5);
+    }
+
+    #[test]
+    fn dff_variant_also_composes() {
+        let nl = build(1, MemKind::Dff);
+        let s = nl.stats();
+        assert!(s.mem_cells >= 5, "at least the 5 inputs: {}", s.mem_cells);
+    }
+
+    #[test]
+    fn composed_benchmarks_are_lint_clean() {
+        // The allocator must never emit dead logic, off-phase loads,
+        // never-loaded memories, idle ALUs or undriven selects for the
+        // bundled benchmarks (which have no dead code).
+        for bm in benchmarks::paper_benchmarks() {
+            for n in [1u32, 2, 3] {
+                let scheme = ClockScheme::new(n).unwrap();
+                let p = Problem::build(&bm.dfg, &bm.schedule, scheme, n > 1);
+                let regs = allocate_registers(&p, MemKind::Latch, LifetimeView::Global);
+                let alus = merge_alus(&p, &TechLibrary::vsc450(), bm.dfg.width());
+                let nl = compose(bm.name(), &p, &regs, &alus, bm.dfg.width()).unwrap();
+                let findings = mc_rtl::lint::warnings(&nl);
+                assert!(findings.is_empty(), "{} n={n}: {findings:?}", bm.name());
+            }
+        }
+    }
+}

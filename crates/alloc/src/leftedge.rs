@@ -1,0 +1,184 @@
+//! The left-edge algorithm for register/latch allocation (§4.2 step 2).
+//!
+//! Variables are intervals `[write_step, death]`; the left-edge algorithm
+//! sorts them by left edge and packs each into the first register whose
+//! last interval it does not conflict with. For interval graphs this
+//! yields the minimum number of registers. The *conflict* relation depends
+//! on the memory element: edge-triggered registers allow intervals to
+//! touch (`death == write_step`), transparent latches require strictly
+//! disjoint READ/WRITE spans (the paper's rule that "only variables with
+//! completely disjoint life spans may be merged" when using latches).
+
+use mc_tech::MemKind;
+
+/// One allocation interval: an opaque item id plus its live span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Caller-defined identifier (e.g. an index into a variable table).
+    pub id: usize,
+    /// Step whose end produces the value.
+    pub write_step: u32,
+    /// Last step during which the value must persist.
+    pub death: u32,
+}
+
+impl Interval {
+    /// Whether `self` and `other` may share a memory element of `kind`.
+    ///
+    /// Two values written in the same step always conflict (two writes to
+    /// one register), which matters for zero-length intervals of unread
+    /// transients.
+    #[must_use]
+    pub fn compatible(&self, other: &Interval, kind: MemKind) -> bool {
+        if self.write_step == other.write_step {
+            return false;
+        }
+        match kind {
+            MemKind::Dff => self.death <= other.write_step || other.death <= self.write_step,
+            MemKind::Latch => self.death < other.write_step || other.death < self.write_step,
+        }
+    }
+}
+
+/// Packs intervals into the minimum number of memory elements of `kind`
+/// using the left-edge algorithm. Returns groups of item ids; each group
+/// shares one register/latch. Input order does not matter; ties are broken
+/// deterministically by `(write_step, death, id)`.
+#[must_use]
+pub fn left_edge(intervals: &[Interval], kind: MemKind) -> Vec<Vec<usize>> {
+    let mut sorted: Vec<Interval> = intervals.to_vec();
+    sorted.sort_by_key(|iv| (iv.write_step, iv.death, iv.id));
+    // rows[r] = (last interval placed in row r, ids)
+    let mut rows: Vec<(Interval, Vec<usize>)> = Vec::new();
+    for iv in sorted {
+        match rows
+            .iter_mut()
+            .find(|(last, _)| last.compatible(&iv, kind) && last.write_step <= iv.write_step)
+        {
+            Some((last, ids)) => {
+                *last = iv;
+                ids.push(iv.id);
+            }
+            None => rows.push((iv, vec![iv.id])),
+        }
+    }
+    rows.into_iter().map(|(_, ids)| ids).collect()
+}
+
+/// The maximum number of simultaneously occupied registers — the lower
+/// bound the left-edge algorithm achieves for edge-triggered registers.
+///
+/// An interval occupies its register over `(write_step, death]`; a
+/// zero-length interval (unread transient) still occupies it for one
+/// instant, modelled as `(write_step, write_step + 1]`. Under this
+/// padding, DFF conflicts coincide exactly with interval overlaps, so the
+/// returned clique number equals the optimal register count.
+#[must_use]
+pub fn max_overlap(intervals: &[Interval]) -> usize {
+    let eff = |iv: &Interval| (iv.write_step, iv.death.max(iv.write_step + 1));
+    let mut best = 0;
+    for iv in intervals {
+        // Peak overlap is attained at some interval's first occupied
+        // instant t = write_step + 1.
+        let t = eff(iv).0 + 1;
+        let live = intervals
+            .iter()
+            .filter(|o| {
+                let (w, d) = eff(o);
+                w < t && d >= t
+            })
+            .count();
+        best = best.max(live);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(id: usize, w: u32, d: u32) -> Interval {
+        Interval {
+            id,
+            write_step: w,
+            death: d,
+        }
+    }
+
+    #[test]
+    fn disjoint_intervals_share_one_register() {
+        let ivs = [iv(0, 0, 1), iv(1, 2, 3), iv(2, 4, 5)];
+        let groups = left_edge(&ivs, MemKind::Latch);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn touching_intervals_split_for_latches_not_dffs() {
+        let ivs = [iv(0, 0, 2), iv(1, 2, 4)];
+        assert_eq!(left_edge(&ivs, MemKind::Dff).len(), 1);
+        assert_eq!(left_edge(&ivs, MemKind::Latch).len(), 2);
+    }
+
+    #[test]
+    fn overlapping_intervals_need_separate_registers() {
+        // (0,3) overlaps both others; (1,2) and (2,4) touch and may share
+        // a DFF but not a latch.
+        let ivs = [iv(0, 0, 3), iv(1, 1, 2), iv(2, 2, 4)];
+        assert_eq!(left_edge(&ivs, MemKind::Dff).len(), 2);
+        assert_eq!(left_edge(&ivs, MemKind::Latch).len(), 3);
+    }
+
+    #[test]
+    fn left_edge_is_optimal_for_dffs() {
+        // Classic staircase: max overlap 2, so 2 registers suffice.
+        let ivs = [iv(0, 0, 2), iv(1, 1, 3), iv(2, 2, 4), iv(3, 3, 5)];
+        let groups = left_edge(&ivs, MemKind::Dff);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(max_overlap(&ivs), 2);
+    }
+
+    #[test]
+    fn order_independence() {
+        let a = [iv(0, 0, 2), iv(1, 3, 5), iv(2, 1, 4)];
+        let mut b = a;
+        b.reverse();
+        assert_eq!(left_edge(&a, MemKind::Dff), left_edge(&b, MemKind::Dff));
+    }
+
+    #[test]
+    fn empty_input_yields_no_registers() {
+        assert!(left_edge(&[], MemKind::Latch).is_empty());
+        assert_eq!(max_overlap(&[]), 0);
+    }
+
+    #[test]
+    fn zero_length_intervals_pack_densely_with_dffs() {
+        // Transients written and read in adjacent steps.
+        let ivs = [iv(0, 1, 2), iv(1, 2, 3), iv(2, 3, 4)];
+        assert_eq!(left_edge(&ivs, MemKind::Dff).len(), 1);
+    }
+
+    #[test]
+    fn groups_preserve_all_items_exactly_once() {
+        let ivs: Vec<Interval> = (0..20)
+            .map(|i| iv(i, (i as u32 * 7) % 13, (i as u32 * 7) % 13 + 1 + (i as u32 % 5)))
+            .collect();
+        for kind in [MemKind::Latch, MemKind::Dff] {
+            let groups = left_edge(&ivs, kind);
+            let mut seen: Vec<usize> = groups.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..20).collect::<Vec<_>>());
+            // No conflicting pair within a group.
+            for g in &groups {
+                for (i, &x) in g.iter().enumerate() {
+                    for &y in &g[i + 1..] {
+                        let a = ivs.iter().find(|v| v.id == x).unwrap();
+                        let b = ivs.iter().find(|v| v.id == y).unwrap();
+                        assert!(a.compatible(b, kind), "{a:?} vs {b:?} under {kind:?}");
+                    }
+                }
+            }
+        }
+    }
+}

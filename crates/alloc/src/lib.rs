@@ -1,0 +1,338 @@
+//! Datapath allocation for the multi-clock low-power synthesis system:
+//! the paper's conventional baseline, split allocation (§4.1) and
+//! integrated allocation (§4.2).
+//!
+//! All three strategies share the same machinery — an allocation
+//! [`Problem`] derived from a scheduled DFG, the left-edge register
+//! allocator, greedy ALU merging, and a datapath composer — and differ in:
+//!
+//! | strategy | clocks | transfers (§4.2 step 1) | lifetime view |
+//! |---|---|---|---|
+//! | [`Strategy::Conventional`] | 1 | – | global |
+//! | [`Strategy::Split`] | n | no | partition-local (conservative) |
+//! | [`Strategy::Integrated`] | n | yes (optional) | global |
+//!
+//! # Example: integrated allocation of HAL under two clocks
+//!
+//! ```
+//! use mc_alloc::{allocate, AllocOptions, Strategy};
+//! use mc_clocks::ClockScheme;
+//! use mc_dfg::benchmarks;
+//! use mc_tech::MemKind;
+//!
+//! # fn main() -> Result<(), mc_alloc::AllocError> {
+//! let bm = benchmarks::hal();
+//! let opts = AllocOptions::new(Strategy::Integrated, ClockScheme::new(2).expect("ok"))
+//!     .with_mem_kind(MemKind::Latch);
+//! let dp = allocate(&bm.dfg, &bm.schedule, &opts)?;
+//! assert!(dp.netlist.stats().mem_cells > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod alu_merge;
+mod compose;
+pub mod leftedge;
+mod problem;
+mod registers;
+
+pub use alu_merge::{merge_alus, AluGroup};
+pub use compose::compose;
+pub use problem::{POp, POperand, PVar, PVarSource, Problem};
+pub use registers::{allocate_registers, LifetimeView, RegGroup};
+
+use std::fmt;
+
+use mc_clocks::ClockScheme;
+use mc_dfg::{Dfg, Schedule};
+use mc_rtl::{Netlist, NetlistError};
+use mc_tech::{MemKind, TechLibrary};
+
+/// The allocation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Conventional single-clock allocation (the SYNTEST-style baseline of
+    /// the paper's first two table rows). Requires a single-clock scheme.
+    Conventional,
+    /// Split allocation (§4.1): partition the schedule, allocate each
+    /// partition independently with partition-local lifetimes, then the
+    /// clean-up interconnects partitions (performed by the shared
+    /// composer).
+    Split,
+    /// Integrated allocation (§4.2): partition-aware allocation with
+    /// global lifetimes and optional transfer variables.
+    Integrated,
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Strategy::Conventional => write!(f, "conventional"),
+            Strategy::Split => write!(f, "split"),
+            Strategy::Integrated => write!(f, "integrated"),
+        }
+    }
+}
+
+/// Errors from [`allocate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AllocError {
+    /// [`Strategy::Conventional`] was requested with a multi-clock scheme.
+    ConventionalNeedsSingleClock(u32),
+    /// The composed netlist failed validation — an allocator bug.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::ConventionalNeedsSingleClock(n) => {
+                write!(f, "conventional allocation requires 1 clock, got {n}")
+            }
+            AllocError::Netlist(e) => write!(f, "composed netlist invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AllocError::Netlist(e) => Some(e),
+            AllocError::ConventionalNeedsSingleClock(_) => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<NetlistError> for AllocError {
+    fn from(e: NetlistError) -> Self {
+        AllocError::Netlist(e)
+    }
+}
+
+/// Options controlling [`allocate`].
+#[derive(Debug, Clone)]
+pub struct AllocOptions {
+    strategy: Strategy,
+    scheme: ClockScheme,
+    mem_kind: MemKind,
+    insert_transfers: bool,
+    tech: TechLibrary,
+}
+
+impl AllocOptions {
+    /// Options for `strategy` under `scheme`, with the strategy's natural
+    /// defaults: DFF memories for conventional allocation, latches for the
+    /// multi-clock strategies; transfers on for integrated allocation.
+    #[must_use]
+    pub fn new(strategy: Strategy, scheme: ClockScheme) -> Self {
+        let mem_kind = match strategy {
+            Strategy::Conventional => MemKind::Dff,
+            Strategy::Split | Strategy::Integrated => MemKind::Latch,
+        };
+        AllocOptions {
+            strategy,
+            scheme,
+            mem_kind,
+            insert_transfers: strategy == Strategy::Integrated,
+            tech: TechLibrary::vsc450(),
+        }
+    }
+
+    /// Overrides the memory-element kind (e.g. DFFs for a latch-vs-DFF
+    /// ablation).
+    #[must_use]
+    pub fn with_mem_kind(mut self, kind: MemKind) -> Self {
+        self.mem_kind = kind;
+        self
+    }
+
+    /// Enables or disables transfer-variable insertion (integrated
+    /// allocation only; ignored otherwise).
+    #[must_use]
+    pub fn with_transfers(mut self, on: bool) -> Self {
+        self.insert_transfers = on;
+        self
+    }
+
+    /// Uses a specific technology library for merge cost decisions.
+    #[must_use]
+    pub fn with_tech(mut self, tech: TechLibrary) -> Self {
+        self.tech = tech;
+        self
+    }
+
+    /// The configured strategy.
+    #[must_use]
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The configured clock scheme.
+    #[must_use]
+    pub fn scheme(&self) -> ClockScheme {
+        self.scheme
+    }
+
+    /// The configured memory kind.
+    #[must_use]
+    pub fn mem_kind(&self) -> MemKind {
+        self.mem_kind
+    }
+}
+
+/// A synthesised datapath: the netlist plus the allocation artifacts it
+/// was composed from (useful for reports and the paper's figures).
+#[derive(Debug, Clone)]
+pub struct Datapath {
+    /// The validated structural netlist.
+    pub netlist: Netlist,
+    /// The allocation problem (variables, partitions, transfers).
+    pub problem: Problem,
+    /// The register binding.
+    pub regs: Vec<RegGroup>,
+    /// The ALU binding.
+    pub alus: Vec<AluGroup>,
+    /// The memory-element kind used.
+    pub mem_kind: MemKind,
+    /// The strategy that produced this datapath.
+    pub strategy: Strategy,
+}
+
+impl Datapath {
+    /// Operand reads that cross partitions in the final binding (each one
+    /// costs combinational power in the reading partition).
+    #[must_use]
+    pub fn cross_partition_reads(&self) -> usize {
+        self.problem.cross_partition_reads()
+    }
+}
+
+/// Allocates a datapath for `dfg` under `schedule` with the given options.
+///
+/// # Errors
+///
+/// Returns [`AllocError::ConventionalNeedsSingleClock`] when the
+/// conventional strategy is paired with a multi-clock scheme, or
+/// [`AllocError::Netlist`] if composition produces an invalid netlist
+/// (which indicates an internal bug).
+pub fn allocate(
+    dfg: &Dfg,
+    schedule: &Schedule,
+    options: &AllocOptions,
+) -> Result<Datapath, AllocError> {
+    let n = options.scheme.num_clocks();
+    if options.strategy == Strategy::Conventional && n != 1 {
+        return Err(AllocError::ConventionalNeedsSingleClock(n));
+    }
+    let transfers = options.strategy == Strategy::Integrated && options.insert_transfers;
+    let problem = Problem::build(dfg, schedule, options.scheme, transfers);
+    let view = match options.strategy {
+        Strategy::Split => LifetimeView::SplitLocal,
+        Strategy::Conventional | Strategy::Integrated => LifetimeView::Global,
+    };
+    let regs = allocate_registers(&problem, options.mem_kind, view);
+    let alus = merge_alus(&problem, &options.tech, dfg.width());
+    let name = format!("{}_{}_{}clk", dfg.name(), options.strategy, n);
+    let netlist = compose(&name, &problem, &regs, &alus, dfg.width())?;
+    Ok(Datapath {
+        netlist,
+        problem,
+        regs,
+        alus,
+        mem_kind: options.mem_kind,
+        strategy: options.strategy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_dfg::benchmarks;
+
+    #[test]
+    fn conventional_rejects_multiclock() {
+        let bm = benchmarks::facet();
+        let opts = AllocOptions::new(Strategy::Conventional, ClockScheme::new(2).unwrap());
+        assert!(matches!(
+            allocate(&bm.dfg, &bm.schedule, &opts).unwrap_err(),
+            AllocError::ConventionalNeedsSingleClock(2)
+        ));
+    }
+
+    #[test]
+    fn all_strategies_allocate_all_benchmarks() {
+        for bm in benchmarks::all_benchmarks() {
+            let conv = AllocOptions::new(Strategy::Conventional, ClockScheme::single());
+            assert!(allocate(&bm.dfg, &bm.schedule, &conv).is_ok(), "{}", bm.name());
+            for n in [1u32, 2, 3] {
+                for strategy in [Strategy::Split, Strategy::Integrated] {
+                    let opts = AllocOptions::new(strategy, ClockScheme::new(n).unwrap());
+                    let dp = allocate(&bm.dfg, &bm.schedule, &opts)
+                        .unwrap_or_else(|e| panic!("{} {strategy} n={n}: {e}", bm.name()));
+                    assert!(dp.netlist.stats().mem_cells > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn defaults_follow_strategy() {
+        let conv = AllocOptions::new(Strategy::Conventional, ClockScheme::single());
+        assert_eq!(conv.mem_kind(), MemKind::Dff);
+        let integ = AllocOptions::new(Strategy::Integrated, ClockScheme::new(2).unwrap());
+        assert_eq!(integ.mem_kind(), MemKind::Latch);
+    }
+
+    #[test]
+    fn integrated_transfers_reduce_cross_partition_reads() {
+        let bm = benchmarks::bandpass();
+        let scheme = ClockScheme::new(2).unwrap();
+        let with = allocate(
+            &bm.dfg,
+            &bm.schedule,
+            &AllocOptions::new(Strategy::Integrated, scheme),
+        )
+        .unwrap();
+        let without = allocate(
+            &bm.dfg,
+            &bm.schedule,
+            &AllocOptions::new(Strategy::Integrated, scheme).with_transfers(false),
+        )
+        .unwrap();
+        assert!(
+            with.cross_partition_reads() <= without.cross_partition_reads(),
+            "transfers must not increase cross-partition reads"
+        );
+    }
+
+    #[test]
+    fn split_uses_at_least_as_many_mems_as_integrated() {
+        let bm = benchmarks::hal();
+        let scheme = ClockScheme::new(2).unwrap();
+        let split = allocate(
+            &bm.dfg,
+            &bm.schedule,
+            &AllocOptions::new(Strategy::Split, scheme),
+        )
+        .unwrap();
+        let integ = allocate(
+            &bm.dfg,
+            &bm.schedule,
+            &AllocOptions::new(Strategy::Integrated, scheme).with_transfers(false),
+        )
+        .unwrap();
+        assert!(split.netlist.stats().mem_cells >= integ.netlist.stats().mem_cells);
+    }
+
+    #[test]
+    fn netlist_names_encode_configuration() {
+        let bm = benchmarks::facet();
+        let opts = AllocOptions::new(Strategy::Integrated, ClockScheme::new(3).unwrap());
+        let dp = allocate(&bm.dfg, &bm.schedule, &opts).unwrap();
+        assert_eq!(dp.netlist.name(), "facet_integrated_3clk");
+    }
+}

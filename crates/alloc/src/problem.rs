@@ -1,0 +1,481 @@
+//! The allocation problem: a partition-annotated view of a scheduled DFG.
+//!
+//! Construction turns each DFG variable into an *allocation variable*
+//! ([`PVar`]) carrying its write step, death step and clock partition, and
+//! each DFG node into a [`POp`]. For multi-clock schemes the integrated
+//! allocator's step 1 (§4.2) may insert *transfer variables*: when an
+//! operation's operand was written in a different partition, a copy of the
+//! operand is captured into the operation's own partition at an
+//! intermediate step, so the consuming partition's combinational logic
+//! only sees transitions on its own clock.
+
+use std::fmt;
+
+use mc_clocks::{ClockScheme, PhaseId};
+use mc_dfg::{Dfg, NodeId, Op, Operand, Schedule, VarId};
+
+/// Where an allocation variable's value comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PVarSource {
+    /// A primary input, loaded at the computation boundary.
+    PrimaryInput(VarId),
+    /// Written by the operation node at the variable's write step.
+    Node(NodeId),
+    /// A transfer copy of another allocation variable (by index), captured
+    /// at the variable's write step.
+    Transfer(usize),
+}
+
+/// One allocation variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PVar {
+    /// Report name.
+    pub name: String,
+    /// Step whose ending clock edge writes the value (0 = computation
+    /// boundary, used by primary inputs).
+    pub write_step: u32,
+    /// Last step during which the value must persist.
+    pub death: u32,
+    /// The clock partition owning the value.
+    pub phase: PhaseId,
+    /// Provenance.
+    pub source: PVarSource,
+    /// The original DFG variable, if any (transfers carry the source's).
+    pub dfg_var: Option<VarId>,
+    /// Whether this is a primary output (must survive to the period end).
+    pub is_output: bool,
+}
+
+/// An operand of a [`POp`]: an allocation variable or a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum POperand {
+    /// Index into [`Problem::vars`].
+    Var(usize),
+    /// Literal constant.
+    Const(u64),
+}
+
+/// One scheduled operation over allocation variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct POp {
+    /// The originating DFG node.
+    pub node: NodeId,
+    /// The operation.
+    pub op: Op,
+    /// Control step at which execution starts (1-based).
+    pub step: u32,
+    /// Execution latency in steps (1 = single cycle).
+    pub latency: u32,
+    /// The partition owning the operation — the phase of its *completion*
+    /// step, where the result is captured.
+    pub phase: PhaseId,
+    /// Left operand.
+    pub lhs: POperand,
+    /// Right operand.
+    pub rhs: POperand,
+    /// Destination allocation variable (index into [`Problem::vars`]).
+    pub dest: usize,
+}
+
+impl POp {
+    /// The step at whose end the result is stored.
+    #[must_use]
+    pub fn completion(&self) -> u32 {
+        self.step + self.latency - 1
+    }
+}
+
+/// The assembled allocation problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Problem {
+    /// All allocation variables (originals first, transfers appended).
+    pub vars: Vec<PVar>,
+    /// All operations, in DFG node order.
+    pub ops: Vec<POp>,
+    /// The clock scheme.
+    pub scheme: ClockScheme,
+    /// The controller period: the schedule length padded up to a multiple
+    /// of `n` so the computation boundary falls on phase `n`'s edge.
+    pub period: u32,
+    /// Number of transfer variables inserted.
+    pub transfers: usize,
+}
+
+impl Problem {
+    /// Builds the allocation problem for `dfg` under `schedule` and
+    /// `scheme`. When `insert_transfers` is set (integrated allocation
+    /// step 1), cross-partition operands are rerouted through transfer
+    /// variables wherever an intermediate step of the consuming partition
+    /// exists; otherwise (and where no such step exists) the operand is
+    /// read directly across partitions through a latched-control mux, as
+    /// §4.2 step 3 allows.
+    #[must_use]
+    pub fn build(
+        dfg: &Dfg,
+        schedule: &Schedule,
+        scheme: ClockScheme,
+        insert_transfers: bool,
+    ) -> Self {
+        let n = scheme.num_clocks();
+        let period = schedule.length().div_ceil(n) * n;
+        // Phase of a write step; step 0 (inputs, the boundary edge) belongs
+        // to phase n, the phase owning the period's final edge.
+        let phase_of_write = |w: u32| -> PhaseId {
+            if w == 0 {
+                PhaseId::new(n)
+            } else {
+                scheme.phase_of_step(w)
+            }
+        };
+        let lifetimes = schedule.lifetimes(dfg);
+        let mut vars: Vec<PVar> = dfg
+            .var_ids()
+            .map(|v| {
+                let lt = &lifetimes[v.index()];
+                let is_output = dfg.var(v).is_output();
+                PVar {
+                    name: dfg.var(v).name().to_owned(),
+                    write_step: lt.write_step,
+                    // Outputs are read externally *after* the boundary
+                    // edge, so they must survive one step past the period:
+                    // a final-step write into a shared register would
+                    // otherwise clobber them before the environment reads.
+                    death: if is_output { period + 1 } else { lt.death },
+                    phase: phase_of_write(lt.write_step),
+                    source: match dfg.writer_of(v) {
+                        Some(nid) => PVarSource::Node(nid),
+                        None => PVarSource::PrimaryInput(v),
+                    },
+                    dfg_var: Some(v),
+                    is_output,
+                }
+            })
+            .collect();
+        let mut ops: Vec<POp> = dfg
+            .node_ids()
+            .map(|nid| {
+                let node = dfg.node(nid);
+                let step = schedule.step_of(nid);
+                let latency = schedule.latency_of(nid);
+                let conv = |o: Operand| match o {
+                    Operand::Var(v) => POperand::Var(v.index()),
+                    Operand::Const(c) => POperand::Const(c),
+                };
+                POp {
+                    node: nid,
+                    op: node.op(),
+                    step,
+                    latency,
+                    phase: scheme.phase_of_step(schedule.completion_of(nid)),
+                    lhs: conv(node.lhs()),
+                    rhs: conv(node.rhs()),
+                    dest: node.dest().index(),
+                }
+            })
+            .collect();
+        let mut transfers = 0;
+        if insert_transfers && n > 1 {
+            transfers = reroute_through_transfers(&mut vars, &mut ops, scheme);
+            recompute_deaths(&mut vars, &ops, period);
+        }
+        Problem {
+            vars,
+            ops,
+            scheme,
+            period,
+            transfers,
+        }
+    }
+
+    /// Indices of the primary-input variables.
+    pub fn input_vars(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.vars.len())
+            .filter(|&i| matches!(self.vars[i].source, PVarSource::PrimaryInput(_)))
+    }
+
+    /// The operations executed in partition `k`, in step order.
+    #[must_use]
+    pub fn ops_in_phase(&self, k: PhaseId) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.ops.len())
+            .filter(|&i| self.ops[i].phase == k)
+            .collect();
+        idx.sort_by_key(|&i| (self.ops[i].step, self.ops[i].node));
+        idx
+    }
+
+    /// Whether any operation reads operand variable `v` across partitions
+    /// (i.e. `v` lives in a different partition than the reader). Such
+    /// reads are legal but cost combinational power in the reader's
+    /// partition.
+    #[must_use]
+    pub fn cross_partition_reads(&self) -> usize {
+        self.ops
+            .iter()
+            .flat_map(|op| [op.lhs, op.rhs].into_iter().map(move |o| (op.phase, o)))
+            .filter(|&(phase, o)| match o {
+                POperand::Var(v) => self.vars[v].phase != phase,
+                POperand::Const(_) => false,
+            })
+            .count()
+    }
+}
+
+impl fmt::Display for Problem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "problem: {} vars ({} transfers), {} ops, period {}",
+            self.vars.len(),
+            self.transfers,
+            self.ops.len(),
+            self.period
+        )?;
+        for (i, v) in self.vars.iter().enumerate() {
+            writeln!(
+                f,
+                "  v{i} {}: w@{} d@{} {} {:?}",
+                v.name, v.write_step, v.death, v.phase, v.source
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// §4.2 step 1: for every operand read in a different partition than it
+/// was written, capture a copy into the reader's partition at the earliest
+/// reader-partition step strictly between write and read, and reroute the
+/// read. Capturing at the earliest such step makes the copy shareable by
+/// every later reader in that partition. Returns the number of transfer
+/// variables created.
+fn reroute_through_transfers(
+    vars: &mut Vec<PVar>,
+    ops: &mut [POp],
+    scheme: ClockScheme,
+) -> usize {
+    use std::collections::BTreeMap;
+    // (source var, reader phase) -> transfer var index
+    let mut cache: BTreeMap<(usize, u32), usize> = BTreeMap::new();
+    let mut created = 0;
+    for oi in 0..ops.len() {
+        // §4.2 step 3 offers a choice for cross-partition operands: add a
+        // transfer register, or rely on latched mux controls. A transfer
+        // costs a latch (area, clock pulses, store toggles); it pays only
+        // when it keeps the inputs of an *expensive* unit (multiplier /
+        // divider) stable, so we insert selectively.
+        if !ops[oi].op.is_expensive() {
+            continue;
+        }
+        for side in 0..2 {
+            let operand = if side == 0 { ops[oi].lhs } else { ops[oi].rhs };
+            let POperand::Var(v) = operand else { continue };
+            let reader_phase = ops[oi].phase;
+            if vars[v].phase == reader_phase {
+                continue;
+            }
+            // Primary inputs settle at the computation boundary and stay
+            // stable all period; copying them buys nothing.
+            if matches!(vars[v].source, PVarSource::PrimaryInput(_)) {
+                continue;
+            }
+            let read_step = ops[oi].step;
+            let write_step = vars[v].write_step;
+            // Earliest reader-phase step strictly after the write and
+            // strictly before the read: capture as soon as the value
+            // exists so every reader in this partition can share it.
+            let capture = (write_step + 1..read_step)
+                .find(|&s| scheme.phase_of_step(s) == reader_phase);
+            let Some(capture) = capture else { continue };
+            let key = (v, reader_phase.get());
+            let ti = *cache.entry(key).or_insert_with(|| {
+                let idx = vars.len();
+                let t = PVar {
+                    name: format!("x_{}_{}", vars[v].name, reader_phase.get()),
+                    write_step: capture,
+                    death: read_step,
+                    phase: reader_phase,
+                    source: PVarSource::Transfer(v),
+                    dfg_var: vars[v].dfg_var,
+                    is_output: false,
+                };
+                vars.push(t);
+                created += 1;
+                idx
+            });
+            if side == 0 {
+                ops[oi].lhs = POperand::Var(ti);
+            } else {
+                ops[oi].rhs = POperand::Var(ti);
+            }
+        }
+    }
+    created
+}
+
+/// Recomputes every variable's death step from actual readers (operation
+/// operands plus transfer captures), preserving the output-persistence
+/// extension. Rerouting reads through transfers shortens source lifetimes
+/// — the effect the paper exploits in Fig. 6 to merge `U` and `X`.
+fn recompute_deaths(vars: &mut [PVar], ops: &[POp], period: u32) {
+    let mut death: Vec<u32> = vars.iter().map(|v| v.write_step).collect();
+    for op in ops {
+        for o in [op.lhs, op.rhs] {
+            if let POperand::Var(v) = o {
+                // Operands stay stable through the whole execution.
+                death[v] = death[v].max(op.completion());
+            }
+        }
+    }
+    for i in 0..vars.len() {
+        if let PVarSource::Transfer(src) = vars[i].source {
+            death[src] = death[src].max(vars[i].write_step);
+        }
+    }
+    for (v, d) in vars.iter_mut().zip(death) {
+        v.death = if v.is_output { period + 1 } else { d };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_dfg::{benchmarks, DfgBuilder};
+
+    /// in a, b; s = a+b @1 (phase 1); d = s-a @2 (phase 2); e = d*s @3 (p1).
+    /// The final op is a multiply so the selective transfer heuristic
+    /// considers its operands.
+    fn chain() -> (Dfg, Schedule) {
+        let mut b = DfgBuilder::new("chain", 4);
+        let a = b.input("a");
+        let bb = b.input("b");
+        let s = b.op_named("s", Op::Add, a, bb);
+        let d = b.op_named("d", Op::Sub, s, a);
+        let e = b.op_named("e", Op::Mul, d, s);
+        b.mark_output(e);
+        let g = b.finish().unwrap();
+        let sched = Schedule::new(&g, vec![1, 2, 3], 3).unwrap();
+        (g, sched)
+    }
+
+    #[test]
+    fn single_clock_problem_has_no_transfers() {
+        let (g, s) = chain();
+        let p = Problem::build(&g, &s, ClockScheme::single(), true);
+        assert_eq!(p.transfers, 0);
+        assert_eq!(p.vars.len(), g.num_vars());
+        assert_eq!(p.period, 3);
+        assert_eq!(p.cross_partition_reads(), 0);
+    }
+
+    #[test]
+    fn period_pads_to_multiple_of_n() {
+        let (g, s) = chain();
+        let p = Problem::build(&g, &s, ClockScheme::new(2).unwrap(), false);
+        assert_eq!(p.period, 4);
+        let p3 = Problem::build(&g, &s, ClockScheme::new(3).unwrap(), false);
+        assert_eq!(p3.period, 3);
+    }
+
+    #[test]
+    fn inputs_belong_to_phase_n() {
+        let (g, s) = chain();
+        let p = Problem::build(&g, &s, ClockScheme::new(2).unwrap(), false);
+        for i in p.input_vars() {
+            assert_eq!(p.vars[i].phase, PhaseId::new(2));
+            assert_eq!(p.vars[i].write_step, 0);
+        }
+    }
+
+    #[test]
+    fn transfer_inserted_for_cross_partition_read_with_gap() {
+        let (g, s) = chain();
+        // e = d + s at step 3 (phase 1); s written at step 1 (phase 1): same
+        // phase, no transfer. d written step 2 (phase 2), read step 3: gap
+        // (2,3) has no phase-1 step, no transfer possible.
+        // s read by d at step 2 (phase 2), written step 1: gap (1,2) empty.
+        // a (input, phase 2) read at steps 1 and 2: step-1 read is phase 1,
+        // gap (0,1) empty -> direct.
+        let p = Problem::build(&g, &s, ClockScheme::new(2).unwrap(), true);
+        assert_eq!(p.transfers, 0, "no intermediate step exists in 3-chain");
+        // Now with a longer gap: e moved to step 5.
+        let (g2, _) = chain();
+        let s2 = Schedule::new(&g2, vec![1, 2, 5], 5).unwrap();
+        let p2 = Problem::build(&g2, &s2, ClockScheme::new(2).unwrap(), true);
+        // d (phase 2, written @2) read @5 (phase 1): capture at step 3.
+        assert_eq!(p2.transfers, 1);
+        let t = &p2.vars[g2.num_vars()];
+        assert_eq!(t.write_step, 3);
+        assert_eq!(t.phase, PhaseId::new(1));
+        assert!(matches!(t.source, PVarSource::Transfer(_)));
+    }
+
+    #[test]
+    fn transfers_shorten_source_deaths() {
+        let (g, _) = chain();
+        let s = Schedule::new(&g, vec![1, 2, 5], 5).unwrap();
+        let scheme = ClockScheme::new(2).unwrap();
+        let without = Problem::build(&g, &s, scheme, false);
+        let with = Problem::build(&g, &s, scheme, true);
+        let d = g.var_by_name("d").unwrap().index();
+        // Without transfers, d lives to its read at 5; with a transfer
+        // captured at 3, d dies at 3.
+        assert_eq!(without.vars[d].death, 5);
+        assert_eq!(with.vars[d].death, 3);
+    }
+
+    #[test]
+    fn transfers_are_shared_between_readers() {
+        let mut b = DfgBuilder::new("share", 4);
+        let a = b.input("a");
+        let x = b.op_named("x", Op::Add, a, a); // @1 phase 1
+        let r1 = b.op_named("r1", Op::Mul, x, a); // @4 phase 2
+        let r2 = b.op_named("r2", Op::Mul, x, a); // @6 phase 2
+        b.mark_output(r1);
+        b.mark_output(r2);
+        let g = b.finish().unwrap();
+        let s = Schedule::new(&g, vec![1, 4, 6], 6).unwrap();
+        let p = Problem::build(&g, &s, ClockScheme::new(2).unwrap(), true);
+        // x (phase 1) read at steps 4 and 6 (phase 2): one shared transfer
+        // captured at step 2.
+        let x_transfers = p
+            .vars
+            .iter()
+            .filter(|v| matches!(v.source, PVarSource::Transfer(src) if p.vars[src].name == "x"))
+            .count();
+        assert_eq!(x_transfers, 1);
+    }
+
+    #[test]
+    fn cross_partition_reads_counted() {
+        let (g, s) = chain();
+        let p = Problem::build(&g, &s, ClockScheme::new(2).unwrap(), false);
+        assert!(p.cross_partition_reads() > 0);
+    }
+
+    #[test]
+    fn benchmark_problems_build() {
+        for bm in benchmarks::all_benchmarks() {
+            for n in [1u32, 2, 3] {
+                let scheme = ClockScheme::new(n).unwrap();
+                for transfers in [false, true] {
+                    let p = Problem::build(&bm.dfg, &bm.schedule, scheme, transfers);
+                    assert_eq!(p.ops.len(), bm.dfg.num_nodes(), "{} n={n}", bm.name());
+                    assert!(p.period >= bm.schedule.length());
+                    assert_eq!(p.period % n, 0);
+                    // Every op's dest var is written at the op's completion.
+                    for op in &p.ops {
+                        assert_eq!(p.vars[op.dest].write_step, op.completion());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ops_in_phase_partitions_all_ops() {
+        let bm = benchmarks::hal();
+        let scheme = ClockScheme::new(3).unwrap();
+        let p = Problem::build(&bm.dfg, &bm.schedule, scheme, false);
+        let total: usize = scheme.phases().map(|k| p.ops_in_phase(k).len()).sum();
+        assert_eq!(total, p.ops.len());
+    }
+}

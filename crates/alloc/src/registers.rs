@@ -1,0 +1,206 @@
+//! Register/latch allocation over an allocation problem — §4.2 step 2.
+//!
+//! Variables are merged into memory elements with the left-edge algorithm,
+//! one run per clock partition ("only variables which are placed in the
+//! same partition may be merged"). Primary inputs always receive dedicated
+//! elements: all inputs are (re)loaded simultaneously at the computation
+//! boundary, so no two can share, and sharing with internal variables
+//! would race the boundary load.
+
+use mc_clocks::PhaseId;
+use mc_tech::MemKind;
+
+use crate::leftedge::{left_edge, Interval};
+use crate::problem::{PVarSource, Problem};
+
+/// A group of allocation variables bound to one memory element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegGroup {
+    /// Indices into [`Problem::vars`], in write-step order.
+    pub pvars: Vec<usize>,
+    /// The clock partition of the element.
+    pub phase: PhaseId,
+    /// Latch or DFF.
+    pub kind: MemKind,
+}
+
+/// How lifetimes are viewed during register allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifetimeView {
+    /// Global lifetimes (the integrated allocator, §4.2).
+    Global,
+    /// Partition-local lifetimes (the split allocator, §4.1): a variable
+    /// read outside its own partition is treated as a partition output and
+    /// conservatively persists to the period end, exactly as a partition
+    /// primary output would before the clean-up phase.
+    SplitLocal,
+}
+
+/// Allocates memory elements of `kind` for every allocation variable.
+///
+/// Returns one [`RegGroup`] per element. Dead variables (never read,
+/// non-output) still get storage — the datapath writes them — but they
+/// merge aggressively since their span is zero.
+#[must_use]
+pub fn allocate_registers(problem: &Problem, kind: MemKind, view: LifetimeView) -> Vec<RegGroup> {
+    let mut groups = Vec::new();
+    // Dedicated elements for primary inputs, in variable order. An input
+    // that is still being read during the boundary step would race its
+    // own reload edge if stored in a transparent latch (the environment
+    // rewrites it at that very edge), so such inputs are hardened to
+    // edge-triggered registers regardless of the requested kind.
+    for i in problem.input_vars() {
+        let boundary_read = problem.vars[i].death >= problem.period;
+        let input_kind = if boundary_read { MemKind::Dff } else { kind };
+        groups.push(RegGroup {
+            pvars: vec![i],
+            phase: problem.vars[i].phase,
+            kind: input_kind,
+        });
+    }
+    for phase in problem.scheme.phases() {
+        let members: Vec<usize> = (0..problem.vars.len())
+            .filter(|&i| {
+                problem.vars[i].phase == phase
+                    && !matches!(problem.vars[i].source, PVarSource::PrimaryInput(_))
+            })
+            .collect();
+        let intervals: Vec<Interval> = members
+            .iter()
+            .map(|&i| {
+                let v = &problem.vars[i];
+                let death = match view {
+                    LifetimeView::Global => v.death,
+                    LifetimeView::SplitLocal => {
+                        if read_outside_phase(problem, i) || v.is_output {
+                            // Conservative partition-output persistence;
+                            // one past the period so outputs are never
+                            // clobbered by a boundary-step write.
+                            problem.period + 1
+                        } else {
+                            v.death
+                        }
+                    }
+                };
+                Interval {
+                    id: i,
+                    write_step: v.write_step,
+                    death,
+                }
+            })
+            .collect();
+        for group in left_edge(&intervals, kind) {
+            let mut pvars = group;
+            pvars.sort_by_key(|&i| problem.vars[i].write_step);
+            groups.push(RegGroup { pvars, phase, kind });
+        }
+    }
+    groups
+}
+
+/// Whether variable `v` is read by an operation outside its own partition
+/// (transfer captures count as reads in the capturing partition).
+fn read_outside_phase(problem: &Problem, v: usize) -> bool {
+    let phase = problem.vars[v].phase;
+    let op_read = problem.ops.iter().any(|op| {
+        op.phase != phase
+            && [op.lhs, op.rhs]
+                .iter()
+                .any(|o| matches!(o, crate::problem::POperand::Var(x) if *x == v))
+    });
+    let transfer_read = problem
+        .vars
+        .iter()
+        .any(|t| matches!(t.source, PVarSource::Transfer(src) if src == v) && t.phase != phase);
+    op_read || transfer_read
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_clocks::ClockScheme;
+    use mc_dfg::{benchmarks, DfgBuilder, Op, Schedule};
+
+    fn problem(n: u32) -> Problem {
+        let bm = benchmarks::hal();
+        Problem::build(&bm.dfg, &bm.schedule, ClockScheme::new(n).unwrap(), false)
+    }
+
+    #[test]
+    fn every_var_is_stored_exactly_once() {
+        for n in [1u32, 2, 3] {
+            let p = problem(n);
+            let groups = allocate_registers(&p, MemKind::Latch, LifetimeView::Global);
+            let mut seen: Vec<usize> = groups.iter().flat_map(|g| g.pvars.clone()).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..p.vars.len()).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn inputs_get_dedicated_elements() {
+        let p = problem(2);
+        let groups = allocate_registers(&p, MemKind::Latch, LifetimeView::Global);
+        for i in p.input_vars() {
+            let g = groups.iter().find(|g| g.pvars.contains(&i)).unwrap();
+            assert_eq!(g.pvars.len(), 1, "input {i} must not share");
+        }
+    }
+
+    #[test]
+    fn groups_respect_partitions() {
+        let p = problem(3);
+        let groups = allocate_registers(&p, MemKind::Latch, LifetimeView::Global);
+        for g in &groups {
+            for &i in &g.pvars {
+                assert_eq!(p.vars[i].phase, g.phase);
+            }
+        }
+    }
+
+    #[test]
+    fn dff_view_merges_at_least_as_well_as_latch() {
+        let p = problem(1);
+        let latches = allocate_registers(&p, MemKind::Latch, LifetimeView::Global).len();
+        let dffs = allocate_registers(&p, MemKind::Dff, LifetimeView::Global).len();
+        assert!(dffs <= latches);
+    }
+
+    #[test]
+    fn split_view_is_no_better_than_global() {
+        for n in [2u32, 3] {
+            let p = problem(n);
+            let global = allocate_registers(&p, MemKind::Latch, LifetimeView::Global).len();
+            let split = allocate_registers(&p, MemKind::Latch, LifetimeView::SplitLocal).len();
+            assert!(split >= global, "n={n}: split {split} < global {global}");
+        }
+    }
+
+    #[test]
+    fn cross_partition_reader_detection() {
+        let mut b = DfgBuilder::new("x", 4);
+        let a = b.input("a");
+        let s = b.op_named("s", Op::Add, a, a); // @1, phase 1
+        let d = b.op_named("d", Op::Sub, s, a); // @2, phase 2 reads s
+        b.mark_output(d);
+        let g = b.finish().unwrap();
+        let sched = Schedule::new(&g, vec![1, 2], 2).unwrap();
+        let p = Problem::build(&g, &sched, ClockScheme::new(2).unwrap(), false);
+        let s_idx = g.var_by_name("s").unwrap().index();
+        assert!(read_outside_phase(&p, s_idx));
+        let d_idx = g.var_by_name("d").unwrap().index();
+        assert!(!read_outside_phase(&p, d_idx));
+    }
+
+    #[test]
+    fn single_clock_latch_count_matches_left_edge_bound() {
+        // With one clock all non-input vars go through a single left-edge
+        // pass; group count must not exceed variable count and must cover
+        // all of them.
+        let p = problem(1);
+        let groups = allocate_registers(&p, MemKind::Dff, LifetimeView::Global);
+        let inputs = p.input_vars().count();
+        assert!(groups.len() >= inputs);
+        assert!(groups.len() <= p.vars.len());
+    }
+}

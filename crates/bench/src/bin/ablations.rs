@@ -1,0 +1,157 @@
+//! Runs the ablation studies discussed in the paper's §3.2 and §5.2:
+//! clock-count sweep (diminishing returns), latch vs. DFF memories,
+//! latched vs. unlatched control lines, split vs. integrated allocation,
+//! and transfer-variable insertion.
+//!
+//! Usage: `cargo run -p mc-bench --bin ablations [--computations N]`
+
+use mc_bench::RunConfig;
+use mc_core::experiment;
+use mc_dfg::benchmarks;
+
+fn main() {
+    let cfg = RunConfig::from_args();
+    let (n, seed) = (cfg.computations, cfg.seed);
+
+    println!("== Ablation 1: clock-count sweep (diminishing returns, §5.2) ==");
+    for bm in benchmarks::paper_benchmarks() {
+        let sweep = experiment::clock_sweep(&bm, 6, n, seed).expect("sweep succeeds");
+        print!("{:<9}:", bm.name());
+        for (k, rep) in &sweep {
+            print!("  n={k}: {:5.2} mW / {:4.2} Mλ²", rep.power.total_mw,
+                rep.area.total_lambda2 / 1e6);
+        }
+        println!();
+    }
+
+    println!("\n== Ablation 2: latch vs DFF memory elements (§2.2) ==");
+    for bm in benchmarks::paper_benchmarks() {
+        let (latch, dff) = experiment::latch_vs_dff(&bm, 2, n, seed).expect("runs");
+        println!(
+            "{:<9}: latch {:5.2} mW / {:4.2} Mλ²   dff {:5.2} mW / {:4.2} Mλ²   latch saves {:4.1} %",
+            bm.name(),
+            latch.power.total_mw,
+            latch.area.total_lambda2 / 1e6,
+            dff.power.total_mw,
+            dff.area.total_lambda2 / 1e6,
+            100.0 * (1.0 - latch.power.total_mw / dff.power.total_mw)
+        );
+    }
+
+    println!("\n== Ablation 3: latched vs unlatched control lines (§3.2) ==");
+    for bm in benchmarks::paper_benchmarks() {
+        let (hold, zero) = experiment::control_latching(&bm, 2, n, seed).expect("runs");
+        println!(
+            "{:<9}: latched {:5.2} mW   unlatched {:5.2} mW   latching saves {:4.1} %",
+            bm.name(),
+            hold.power.total_mw,
+            zero.power.total_mw,
+            100.0 * (1.0 - hold.power.total_mw / zero.power.total_mw)
+        );
+    }
+
+    println!("\n== Ablation 4: split vs integrated allocation (§4.1 vs §4.2) ==");
+    for bm in benchmarks::paper_benchmarks() {
+        let (split, integ) = experiment::split_vs_integrated(&bm, 2, n, seed).expect("runs");
+        println!(
+            "{:<9}: split {:5.2} mW / mem {:2}   integrated {:5.2} mW / mem {:2}",
+            bm.name(),
+            split.power.total_mw,
+            split.stats.mem_cells,
+            integ.power.total_mw,
+            integ.stats.mem_cells
+        );
+    }
+
+    println!("\n== Ablation 5: transfer variables on/off (§4.2 step 1) ==");
+    for bm in benchmarks::all_benchmarks() {
+        let (on, off) = experiment::transfers_on_off(&bm, 2, n, seed).expect("runs");
+        println!(
+            "{:<10}: with {:5.2} mW / mem {:2}   without {:5.2} mW / mem {:2}",
+            bm.name(),
+            on.power.total_mw,
+            on.stats.mem_cells,
+            off.power.total_mw,
+            off.stats.mem_cells
+        );
+    }
+
+    println!("\n== Ablation 6 (extension): on-chip phase-generator overhead ==");
+    println!("(the paper, like our tables, treats the phase clocks as chip inputs)");
+    {
+        use mc_alloc::{allocate, AllocOptions, Strategy};
+        use mc_clocks::ClockScheme;
+        use mc_power::clock_generator_overhead;
+        use mc_tech::TechLibrary;
+        let bm = benchmarks::hal();
+        let lib = TechLibrary::vsc450();
+        for k in 2..=4u32 {
+            let dp = allocate(
+                &bm.dfg,
+                &bm.schedule,
+                &AllocOptions::new(Strategy::Integrated, ClockScheme::new(k).expect("valid")),
+            )
+            .expect("allocates");
+            let (area, power) = clock_generator_overhead(&dp.netlist, &lib);
+            println!(
+                "hal, n={k}: generator {power:.2} mW, {area:.0} λ² \
+                 (visible on a 4-bit datapath; amortises at real widths)"
+            );
+        }
+    }
+
+    println!("\n== Ablation 7 (extension): phase-affine scheduling, 2 clocks, stretch 4 ==");
+    for bm in benchmarks::paper_benchmarks() {
+        let (reference, affine) =
+            experiment::phase_affine_vs_reference(&bm, 2, 4, n, seed).expect("runs");
+        println!(
+            "{:<9}: reference {:5.2} mW   affine {:5.2} mW   saves {:4.1} % (at added latency)",
+            bm.name(),
+            reference.power.total_mw,
+            affine.power.total_mw,
+            100.0 * (1.0 - affine.power.total_mw / reference.power.total_mw)
+        );
+    }
+
+    println!("\n== Ablation 8 (extension): input-stimulus sensitivity, 2 clocks ==");
+    println!("(the paper uses uniform random inputs; correlated streams switch less)");
+    for bm in benchmarks::paper_benchmarks() {
+        let (random, walk, constant) = experiment::stimulus_sensitivity(
+            &bm,
+            mc_core::DesignStyle::MultiClock(2),
+            n,
+            seed,
+        )
+        .expect("runs");
+        println!(
+            "{:<9}: uniform {:5.2} mW   walk±1 {:5.2} mW ({:4.1} % less)   constant {:5.2} mW",
+            bm.name(),
+            random,
+            walk,
+            100.0 * (1.0 - walk / random),
+            constant
+        );
+    }
+
+    println!("\n== Ablation 9 (extension): supply-voltage scaling vs multi-clocking ==");
+    println!("(the paper's §1: lowering V_DD saves V² power but costs delay; phases don't)");
+    let bm = benchmarks::hal();
+    for style in [
+        mc_core::DesignStyle::ConventionalGated,
+        mc_core::DesignStyle::MultiClock(3),
+    ] {
+        let points =
+            experiment::voltage_scaling(&bm, style, &[5.0, 4.65, 3.3], n, seed).expect("runs");
+        print!("{:<34}", style.label());
+        for p in points {
+            print!(
+                "  {:.2}V: {:5.2} mW, fmax {:3.0} MHz{}",
+                p.volts,
+                p.power_mw,
+                p.fmax_mhz,
+                if p.meets_target { "" } else { " (!)" }
+            );
+        }
+        println!();
+    }
+}

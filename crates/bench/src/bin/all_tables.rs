@@ -1,0 +1,12 @@
+//! Regenerates all four paper tables in one run (the data source for
+//! EXPERIMENTS.md).
+//!
+//! Usage: `cargo run -p mc-bench --bin all_tables [--computations N]`
+
+fn main() {
+    let cfg = mc_bench::RunConfig::from_args();
+    for i in 1..=4 {
+        let _ = mc_bench::run_paper_table(i, cfg);
+        println!();
+    }
+}

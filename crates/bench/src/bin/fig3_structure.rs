@@ -1,0 +1,29 @@
+//! Reproduces Fig. 3 of the paper: the functional-block / datapath-module
+//! structural model, shown on a synthesised two-clock design with its
+//! structural VHDL export.
+//!
+//! Usage: `cargo run -p mc-bench --bin fig3_structure`
+
+use mc_core::{DesignStyle, Synthesizer};
+use mc_dfg::benchmarks;
+use mc_rtl::export::to_vhdl;
+
+fn main() {
+    let bm = benchmarks::hal();
+    let synth = Synthesizer::for_benchmark(&bm);
+    let design = synth
+        .synthesize(DesignStyle::MultiClock(2))
+        .expect("HAL synthesises under two clocks");
+    let nl = &design.datapath.netlist;
+    println!("Fig. 3 — FB/DPM structure of `{}`", nl.name());
+    println!("{nl}");
+    println!("datapath modules (Fig. 3b): one per phase clock");
+    for (phase, comps) in nl.dpm_groups() {
+        println!("  DPM({phase}):");
+        for c in comps {
+            println!("    {}", nl.component(c));
+        }
+    }
+    println!("\nstructural export (the VHDL the paper fed to COMPASS):\n");
+    println!("{}", to_vhdl(nl));
+}

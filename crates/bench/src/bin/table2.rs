@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table 2.
+//!
+//! Usage: `cargo run -p mc-bench --bin table2 [--computations N] [--seed S]`
+
+fn main() {
+    let _ = mc_bench::run_paper_table(2, mc_bench::RunConfig::from_args());
+}

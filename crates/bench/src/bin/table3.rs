@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table 3.
+//!
+//! Usage: `cargo run -p mc-bench --bin table3 [--computations N] [--seed S]`
+
+fn main() {
+    let _ = mc_bench::run_paper_table(3, mc_bench::RunConfig::from_args());
+}

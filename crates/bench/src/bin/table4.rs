@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table 4.
+//!
+//! Usage: `cargo run -p mc-bench --bin table4 [--computations N] [--seed S]`
+
+fn main() {
+    let _ = mc_bench::run_paper_table(4, mc_bench::RunConfig::from_args());
+}

@@ -1,0 +1,363 @@
+//! Non-overlapping multi-phase clock schemes (DAC'96 §2–§3).
+//!
+//! A [`ClockScheme`] divides a system clock of frequency `f` into `n`
+//! non-overlapping phase clocks of frequency `f/n`. Control step `t`
+//! (1-based) belongs to phase `((t-1) mod n) + 1`; the partition owning
+//! that phase is the only one whose memory elements are clocked during
+//! step `t`. The *effective* frequency of the whole datapath remains `f`
+//! (one control step completes per original clock period), which is the
+//! paper's no-performance-loss argument.
+//!
+//! The paper's §4.1 also maps global steps to *local* steps within each
+//! partition ("time steps 1', 2', 3' and 1'', 2''"); [`ClockScheme`]
+//! implements that bijection with [`ClockScheme::local_step`] and
+//! [`ClockScheme::global_step`].
+//!
+//! # Examples
+//!
+//! ```
+//! use mc_clocks::{ClockScheme, PhaseId};
+//!
+//! # fn main() -> Result<(), mc_clocks::ClockError> {
+//! let two = ClockScheme::new(2)?;
+//! assert_eq!(two.phase_of_step(1), PhaseId::new(1));
+//! assert_eq!(two.phase_of_step(2), PhaseId::new(2));
+//! assert_eq!(two.phase_of_step(3), PhaseId::new(1));
+//! assert_eq!(two.local_step(3), 2); // step 3 is the 2nd odd step
+//! assert_eq!(two.global_step(2, PhaseId::new(1)), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+
+/// Identifier of one phase clock (1-based, `1..=n`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhaseId(u32);
+
+impl PhaseId {
+    /// Creates a phase id. Phases are 1-based.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is zero.
+    #[must_use]
+    pub fn new(id: u32) -> Self {
+        assert!(id >= 1, "phase ids are 1-based");
+        PhaseId(id)
+    }
+
+    /// The numeric id (`1..=n`).
+    #[must_use]
+    pub fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Zero-based index (`0..n`), for dense table indexing.
+    #[must_use]
+    pub fn index(self) -> usize {
+        (self.0 - 1) as usize
+    }
+}
+
+impl fmt::Display for PhaseId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CLK{}", self.0)
+    }
+}
+
+/// Errors constructing a [`ClockScheme`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockError {
+    /// Zero clocks requested.
+    ZeroClocks,
+    /// More clocks than is meaningful (we cap at 16; the paper observes
+    /// diminishing returns well before that).
+    TooManyClocks(u32),
+}
+
+impl fmt::Display for ClockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClockError::ZeroClocks => write!(f, "a clock scheme needs at least one clock"),
+            ClockError::TooManyClocks(n) => write!(f, "{n} clocks exceeds the supported 16"),
+        }
+    }
+}
+
+impl std::error::Error for ClockError {}
+
+/// A scheme of `n` non-overlapping phase clocks derived from one system
+/// clock. `n = 1` degenerates to conventional single-clock operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClockScheme {
+    n: u32,
+}
+
+impl ClockScheme {
+    /// Creates a scheme with `n` phases.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClockError::ZeroClocks`] for `n == 0` and
+    /// [`ClockError::TooManyClocks`] for `n > 16`.
+    pub fn new(n: u32) -> Result<Self, ClockError> {
+        if n == 0 {
+            return Err(ClockError::ZeroClocks);
+        }
+        if n > 16 {
+            return Err(ClockError::TooManyClocks(n));
+        }
+        Ok(ClockScheme { n })
+    }
+
+    /// Single-clock scheme (the conventional baseline).
+    #[must_use]
+    pub fn single() -> Self {
+        ClockScheme { n: 1 }
+    }
+
+    /// Number of phase clocks `n`.
+    #[must_use]
+    pub fn num_clocks(&self) -> u32 {
+        self.n
+    }
+
+    /// Iterates over all phase ids `1..=n`.
+    pub fn phases(&self) -> impl Iterator<Item = PhaseId> {
+        (1..=self.n).map(PhaseId)
+    }
+
+    /// The phase owning global control step `t` (1-based):
+    /// `((t-1) mod n) + 1`. This matches the paper's rule that nodes with
+    /// `t mod n = k` (and `t mod n = 0 → partition n`) share a partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t == 0` (steps are 1-based).
+    #[must_use]
+    pub fn phase_of_step(&self, t: u32) -> PhaseId {
+        assert!(t >= 1, "control steps are 1-based");
+        PhaseId((t - 1) % self.n + 1)
+    }
+
+    /// The local step of global step `t` within its partition
+    /// (`((t-1) div n) + 1`), the 1', 2', … numbering of the paper's
+    /// Fig. 5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t == 0`.
+    #[must_use]
+    pub fn local_step(&self, t: u32) -> u32 {
+        assert!(t >= 1, "control steps are 1-based");
+        (t - 1) / self.n + 1
+    }
+
+    /// Inverse of ([`phase_of_step`](Self::phase_of_step),
+    /// [`local_step`](Self::local_step)): the global step of local step
+    /// `local` in phase `k`, i.e. `(local-1)·n + k` (the paper's
+    /// `t_glb = (t_loc - 1)n + k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local == 0` or `k > n`.
+    #[must_use]
+    pub fn global_step(&self, local: u32, k: PhaseId) -> u32 {
+        assert!(local >= 1, "local steps are 1-based");
+        assert!(k.get() <= self.n, "phase {k} outside scheme of {} clocks", self.n);
+        (local - 1) * self.n + k.get()
+    }
+
+    /// Whether phase `k` is the active phase during global step `t`.
+    #[must_use]
+    pub fn is_active(&self, k: PhaseId, t: u32) -> bool {
+        self.phase_of_step(t) == k
+    }
+
+    /// How many of the global steps `1..=total` belong to phase `k` —
+    /// i.e. how many clock edges a memory element in partition `k` sees
+    /// over `total` system-clock periods. This is the factor-`n` clock
+    /// power reduction of the scheme.
+    #[must_use]
+    pub fn edges_seen(&self, k: PhaseId, total: u32) -> u32 {
+        (1..=total).filter(|&t| self.is_active(k, t)).count() as u32
+    }
+
+    /// The number of *local* steps partition `k` needs to cover a global
+    /// schedule of `length` steps (the length of the partition's local
+    /// schedule in the split allocator).
+    #[must_use]
+    pub fn local_length(&self, k: PhaseId, length: u32) -> u32 {
+        (1..=length).filter(|&t| self.is_active(k, t)).count() as u32
+    }
+
+    /// Renders an ASCII waveform of the system clock and all phase clocks
+    /// over `steps` control steps — the reproduction of the paper's Fig. 2.
+    ///
+    /// Each control step is drawn as four characters; a phase clock is high
+    /// for the second half of the steps it owns (a non-overlapping pulse
+    /// per owned step).
+    #[must_use]
+    pub fn waveform(&self, steps: u32) -> String {
+        let mut out = String::new();
+        let cell = |high: bool| if high { "__##" } else { "____" };
+        out.push_str("Clock  ");
+        for _ in 1..=steps {
+            out.push_str(cell(true));
+        }
+        out.push('\n');
+        for k in self.phases() {
+            // Note: width specifiers only pad via `Formatter::pad`, which
+            // our Display does not call — pad the rendered string instead.
+            out.push_str(&format!("{:<6} ", k.to_string()));
+            for t in 1..=steps {
+                out.push_str(cell(self.is_active(k, t)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Verifies the non-overlap invariant over `1..=total` steps: every
+    /// step is owned by exactly one phase. Always true by construction;
+    /// exposed for defence-in-depth testing of downstream schemes.
+    #[must_use]
+    pub fn verify_non_overlapping(&self, total: u32) -> bool {
+        (1..=total).all(|t| {
+            self.phases()
+                .filter(|&k| self.is_active(k, t))
+                .count()
+                == 1
+        })
+    }
+}
+
+impl fmt::Display for ClockScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-clock scheme (f/{} per phase)", self.n, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_excess_clocks_rejected() {
+        assert_eq!(ClockScheme::new(0).unwrap_err(), ClockError::ZeroClocks);
+        assert_eq!(
+            ClockScheme::new(17).unwrap_err(),
+            ClockError::TooManyClocks(17)
+        );
+        assert!(ClockScheme::new(16).is_ok());
+    }
+
+    #[test]
+    fn single_clock_owns_everything() {
+        let s = ClockScheme::single();
+        for t in 1..=10 {
+            assert_eq!(s.phase_of_step(t), PhaseId::new(1));
+            assert_eq!(s.local_step(t), t);
+        }
+    }
+
+    #[test]
+    fn two_clock_scheme_alternates_odd_even() {
+        let s = ClockScheme::new(2).unwrap();
+        assert_eq!(s.phase_of_step(1).get(), 1);
+        assert_eq!(s.phase_of_step(2).get(), 2);
+        assert_eq!(s.phase_of_step(5).get(), 1);
+        assert_eq!(s.local_step(1), 1);
+        assert_eq!(s.local_step(3), 2);
+        assert_eq!(s.local_step(5), 3);
+        assert_eq!(s.local_step(2), 1);
+        assert_eq!(s.local_step(4), 2);
+    }
+
+    #[test]
+    fn three_clock_scheme_matches_paper_formula() {
+        // Paper: nodes at steps t with t mod n = k go to partition k
+        // (1 ≤ k ≤ n-1), t mod n = 0 goes to partition n.
+        let s = ClockScheme::new(3).unwrap();
+        for t in 1..=30u32 {
+            let paper_k = if t % 3 == 0 { 3 } else { t % 3 };
+            assert_eq!(s.phase_of_step(t).get(), paper_k, "step {t}");
+        }
+    }
+
+    #[test]
+    fn global_local_round_trip() {
+        for n in 1..=6u32 {
+            let s = ClockScheme::new(n).unwrap();
+            for t in 1..=48u32 {
+                let k = s.phase_of_step(t);
+                let l = s.local_step(t);
+                assert_eq!(s.global_step(l, k), t, "n={n} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn edges_seen_divides_by_n() {
+        let s = ClockScheme::new(3).unwrap();
+        assert_eq!(s.edges_seen(PhaseId::new(1), 9), 3);
+        assert_eq!(s.edges_seen(PhaseId::new(2), 9), 3);
+        assert_eq!(s.edges_seen(PhaseId::new(3), 9), 3);
+        // Uneven totals favour early phases.
+        assert_eq!(s.edges_seen(PhaseId::new(1), 10), 4);
+        assert_eq!(s.edges_seen(PhaseId::new(3), 10), 3);
+    }
+
+    #[test]
+    fn local_length_partitions_schedule() {
+        let s = ClockScheme::new(2).unwrap();
+        // 5-step schedule: odd partition gets steps 1,3,5; even gets 2,4.
+        assert_eq!(s.local_length(PhaseId::new(1), 5), 3);
+        assert_eq!(s.local_length(PhaseId::new(2), 5), 2);
+    }
+
+    #[test]
+    fn non_overlap_holds() {
+        for n in 1..=8 {
+            let s = ClockScheme::new(n).unwrap();
+            assert!(s.verify_non_overlapping(64));
+        }
+    }
+
+    #[test]
+    fn waveform_has_one_line_per_clock() {
+        let s = ClockScheme::new(3).unwrap();
+        let w = s.waveform(6);
+        assert_eq!(w.lines().count(), 4);
+        assert!(w.contains("CLK1"));
+        assert!(w.contains("CLK3"));
+        // Phase 1 pulses in step 1: the first cell after the label is high.
+        let line1 = w.lines().nth(1).unwrap();
+        assert!(line1.contains("__##________"));
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(PhaseId::new(2).to_string(), "CLK2");
+        assert_eq!(
+            ClockScheme::new(2).unwrap().to_string(),
+            "2-clock scheme (f/2 per phase)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn step_zero_panics() {
+        let _ = ClockScheme::single().phase_of_step(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside scheme")]
+    fn phase_out_of_range_panics() {
+        let _ = ClockScheme::new(2).unwrap().global_step(1, PhaseId::new(3));
+    }
+}

@@ -1,0 +1,190 @@
+//! Design styles: the five rows of the paper's evaluation tables, plus a
+//! fully custom configuration for ablations.
+
+use std::fmt;
+
+use mc_alloc::Strategy;
+use mc_rtl::{ControlPolicy, PowerMode};
+use mc_tech::MemKind;
+
+/// How a behaviour is synthesised and operated — one row of a paper table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesignStyle {
+    /// Conventional allocation, DFF registers, free-running clock, no
+    /// power management ("Conven. Alloc. (Non-Gated Clock)").
+    ConventionalNonGated,
+    /// Conventional allocation, DFF registers, gated clocks plus ALU
+    /// operand isolation ("Conven. Alloc. (Gated Clock)", the industrial
+    /// baseline of the paper's reference \[10\]).
+    ConventionalGated,
+    /// The paper's scheme with `n` non-overlapping clocks: integrated
+    /// allocation, latches, latched control lines. `MultiClock(1)` is the
+    /// "1 Clock" row — same allocation discipline without partitioning.
+    MultiClock(u32),
+    /// Fully explicit configuration, for ablations.
+    Custom {
+        /// Allocation strategy.
+        strategy: Strategy,
+        /// Number of phase clocks.
+        clocks: u32,
+        /// Memory-element kind.
+        mem_kind: MemKind,
+        /// Transfer-variable insertion (integrated strategy only).
+        transfers: bool,
+        /// Operating power mode.
+        mode: PowerMode,
+    },
+}
+
+impl DesignStyle {
+    /// The five styles of every paper table, in row order.
+    #[must_use]
+    pub fn paper_rows() -> [DesignStyle; 5] {
+        [
+            DesignStyle::ConventionalNonGated,
+            DesignStyle::ConventionalGated,
+            DesignStyle::MultiClock(1),
+            DesignStyle::MultiClock(2),
+            DesignStyle::MultiClock(3),
+        ]
+    }
+
+    /// The number of phase clocks this style uses.
+    #[must_use]
+    pub fn clocks(&self) -> u32 {
+        match self {
+            DesignStyle::ConventionalNonGated | DesignStyle::ConventionalGated => 1,
+            DesignStyle::MultiClock(n) => *n,
+            DesignStyle::Custom { clocks, .. } => *clocks,
+        }
+    }
+
+    /// The allocation strategy this style implies.
+    #[must_use]
+    pub fn strategy(&self) -> Strategy {
+        match self {
+            DesignStyle::ConventionalNonGated | DesignStyle::ConventionalGated => {
+                Strategy::Conventional
+            }
+            DesignStyle::MultiClock(_) => Strategy::Integrated,
+            DesignStyle::Custom { strategy, .. } => *strategy,
+        }
+    }
+
+    /// The memory-element kind this style implies.
+    #[must_use]
+    pub fn mem_kind(&self) -> MemKind {
+        match self {
+            DesignStyle::ConventionalNonGated | DesignStyle::ConventionalGated => MemKind::Dff,
+            DesignStyle::MultiClock(_) => MemKind::Latch,
+            DesignStyle::Custom { mem_kind, .. } => *mem_kind,
+        }
+    }
+
+    /// Whether integrated allocation inserts transfer variables.
+    #[must_use]
+    pub fn transfers(&self) -> bool {
+        match self {
+            DesignStyle::MultiClock(_) => true,
+            DesignStyle::ConventionalNonGated | DesignStyle::ConventionalGated => false,
+            DesignStyle::Custom { transfers, .. } => *transfers,
+        }
+    }
+
+    /// The operating power mode this style implies.
+    #[must_use]
+    pub fn power_mode(&self) -> PowerMode {
+        match self {
+            DesignStyle::ConventionalNonGated => PowerMode::non_gated(),
+            DesignStyle::ConventionalGated => PowerMode::gated(),
+            DesignStyle::MultiClock(_) => PowerMode::multiclock(),
+            DesignStyle::Custom { mode, .. } => *mode,
+        }
+    }
+
+    /// The row label used in table output.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            DesignStyle::ConventionalNonGated => "Conven. Alloc. (Non-Gated Clock)".to_owned(),
+            DesignStyle::ConventionalGated => "Conven. Alloc. (Gated Clock)".to_owned(),
+            DesignStyle::MultiClock(n) => {
+                if *n == 1 {
+                    "1 Clock".to_owned()
+                } else {
+                    format!("{n} Clocks")
+                }
+            }
+            DesignStyle::Custom {
+                strategy,
+                clocks,
+                mem_kind,
+                transfers,
+                mode,
+            } => {
+                let mk = match mem_kind {
+                    MemKind::Latch => "latch",
+                    MemKind::Dff => "dff",
+                };
+                let pol = match mode.control_policy {
+                    ControlPolicy::Hold => "hold",
+                    ControlPolicy::Zero => "zero",
+                };
+                format!(
+                    "custom({strategy}, {clocks} clk, {mk}, tr={transfers}, \
+                     gated={}, iso={}, ctl={pol})",
+                    mode.gated_mem_clocks, mode.operand_isolation
+                )
+            }
+        }
+    }
+}
+
+impl fmt::Display for DesignStyle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rows_are_the_five_table_rows() {
+        let rows = DesignStyle::paper_rows();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].clocks(), 1);
+        assert_eq!(rows[4].clocks(), 3);
+        assert_eq!(rows[1].power_mode(), PowerMode::gated());
+    }
+
+    #[test]
+    fn conventional_styles_use_dffs() {
+        assert_eq!(DesignStyle::ConventionalNonGated.mem_kind(), MemKind::Dff);
+        assert_eq!(DesignStyle::ConventionalGated.mem_kind(), MemKind::Dff);
+        assert_eq!(DesignStyle::MultiClock(2).mem_kind(), MemKind::Latch);
+    }
+
+    #[test]
+    fn labels_match_paper_table_rows() {
+        assert!(DesignStyle::ConventionalGated.label().contains("Gated Clock"));
+        assert_eq!(DesignStyle::MultiClock(1).label(), "1 Clock");
+        assert_eq!(DesignStyle::MultiClock(3).label(), "3 Clocks");
+    }
+
+    #[test]
+    fn custom_label_is_descriptive() {
+        let s = DesignStyle::Custom {
+            strategy: Strategy::Split,
+            clocks: 2,
+            mem_kind: MemKind::Dff,
+            transfers: false,
+            mode: PowerMode::multiclock(),
+        };
+        let l = s.label();
+        assert!(l.contains("split"));
+        assert!(l.contains("2 clk"));
+        assert!(l.contains("dff"));
+    }
+}

@@ -1,0 +1,295 @@
+//! The top-level synthesis facade: behaviour + schedule → synthesised
+//! design → verified, evaluated report.
+
+use std::fmt;
+
+use mc_alloc::{allocate, AllocError, AllocOptions, Datapath, Strategy};
+use mc_clocks::{ClockError, ClockScheme};
+use mc_dfg::benchmarks::Benchmark;
+use mc_dfg::{Dfg, Schedule};
+use mc_power::{evaluate_design, DesignReport};
+use mc_rtl::PowerMode;
+use mc_sim::Mismatch;
+use mc_tech::TechLibrary;
+
+use crate::style::DesignStyle;
+
+/// Errors from the synthesis facade.
+#[derive(Debug)]
+pub enum SynthesisError {
+    /// The clock count was invalid.
+    Clock(ClockError),
+    /// Allocation failed.
+    Alloc(AllocError),
+    /// The synthesised design diverged from the behaviour (an internal
+    /// bug; surfaced rather than silently reported).
+    Equivalence(Box<Mismatch>),
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::Clock(e) => write!(f, "clock scheme: {e}"),
+            SynthesisError::Alloc(e) => write!(f, "allocation: {e}"),
+            SynthesisError::Equivalence(m) => write!(f, "equivalence check failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SynthesisError::Clock(e) => Some(e),
+            SynthesisError::Alloc(e) => Some(e),
+            SynthesisError::Equivalence(m) => Some(m),
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<ClockError> for SynthesisError {
+    fn from(e: ClockError) -> Self {
+        SynthesisError::Clock(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<AllocError> for SynthesisError {
+    fn from(e: AllocError) -> Self {
+        SynthesisError::Alloc(e)
+    }
+}
+
+/// A synthesised design: the datapath plus the power mode it runs under.
+#[derive(Debug, Clone)]
+pub struct Design {
+    /// The synthesised datapath (netlist + allocation artifacts).
+    pub datapath: Datapath,
+    /// The operating power mode.
+    pub mode: PowerMode,
+    /// The style that produced this design.
+    pub style: DesignStyle,
+}
+
+/// The synthesis facade: holds a behaviour, its schedule and the
+/// evaluation configuration, and synthesises/evaluates any
+/// [`DesignStyle`].
+///
+/// # Examples
+///
+/// ```
+/// use mc_core::{DesignStyle, Synthesizer};
+/// use mc_dfg::benchmarks;
+///
+/// # fn main() -> Result<(), mc_core::SynthesisError> {
+/// let synth = Synthesizer::for_benchmark(&benchmarks::hal()).with_computations(100);
+/// let report = synth.evaluate(DesignStyle::MultiClock(2))?;
+/// assert!(report.power.total_mw > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Synthesizer {
+    dfg: Dfg,
+    schedule: Schedule,
+    tech: TechLibrary,
+    computations: usize,
+    seed: u64,
+}
+
+impl Synthesizer {
+    /// A synthesizer for an explicit behaviour and schedule.
+    #[must_use]
+    pub fn new(dfg: Dfg, schedule: Schedule) -> Self {
+        Synthesizer {
+            dfg,
+            schedule,
+            tech: TechLibrary::vsc450(),
+            computations: 400,
+            seed: 42,
+        }
+    }
+
+    /// A synthesizer for a bundled benchmark (clones its DFG and reference
+    /// schedule).
+    #[must_use]
+    pub fn for_benchmark(bm: &Benchmark) -> Self {
+        Self::new(bm.dfg.clone(), bm.schedule.clone())
+    }
+
+    /// Overrides the technology library.
+    #[must_use]
+    pub fn with_tech(mut self, tech: TechLibrary) -> Self {
+        self.tech = tech;
+        self
+    }
+
+    /// Sets the number of random computations per evaluation (default
+    /// 400).
+    #[must_use]
+    pub fn with_computations(mut self, computations: usize) -> Self {
+        self.computations = computations.max(1);
+        self
+    }
+
+    /// Sets the stimulus seed (default 42).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The behaviour being synthesised.
+    #[must_use]
+    pub fn dfg(&self) -> &Dfg {
+        &self.dfg
+    }
+
+    /// The schedule in use.
+    #[must_use]
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// The technology library in use.
+    #[must_use]
+    pub fn tech(&self) -> &TechLibrary {
+        &self.tech
+    }
+
+    /// Synthesises a design in the given style.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::Clock`] for invalid clock counts and
+    /// [`SynthesisError::Alloc`] if allocation fails.
+    pub fn synthesize(&self, style: DesignStyle) -> Result<Design, SynthesisError> {
+        let scheme = ClockScheme::new(style.clocks())?;
+        let strategy = style.strategy();
+        // The conventional allocator path requires a single clock; the
+        // style accessors guarantee that for the built-in styles.
+        debug_assert!(
+            strategy != Strategy::Conventional || scheme.num_clocks() == 1,
+            "built-in styles keep conventional single-clock"
+        );
+        let opts = AllocOptions::new(strategy, scheme)
+            .with_mem_kind(style.mem_kind())
+            .with_transfers(style.transfers())
+            .with_tech(self.tech.clone());
+        let datapath = allocate(&self.dfg, &self.schedule, &opts)?;
+        Ok(Design {
+            datapath,
+            mode: style.power_mode(),
+            style,
+        })
+    }
+
+    /// Synthesises and verifies functional equivalence against the
+    /// behaviour over random vectors.
+    ///
+    /// # Errors
+    ///
+    /// In addition to [`Synthesizer::synthesize`]'s errors, returns
+    /// [`SynthesisError::Equivalence`] if the netlist diverges from the
+    /// DFG.
+    pub fn synthesize_verified(&self, style: DesignStyle) -> Result<Design, SynthesisError> {
+        let design = self.synthesize(style)?;
+        mc_sim::verify_equivalence(
+            &self.dfg,
+            &design.datapath.netlist,
+            design.mode,
+            self.computations.min(64),
+            self.seed,
+        )
+        .map_err(SynthesisError::Equivalence)?;
+        Ok(design)
+    }
+
+    /// Synthesises and fully evaluates a style: random simulation, power
+    /// and area estimation, resource statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Synthesizer::synthesize`]'s errors.
+    pub fn evaluate(&self, style: DesignStyle) -> Result<DesignReport, SynthesisError> {
+        let design = self.synthesize(style)?;
+        Ok(evaluate_design(
+            &design.datapath.netlist,
+            design.mode,
+            &self.tech,
+            self.computations,
+            self.seed,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_dfg::benchmarks;
+
+    #[test]
+    fn synthesize_all_paper_styles() {
+        let synth = Synthesizer::for_benchmark(&benchmarks::facet());
+        for style in DesignStyle::paper_rows() {
+            let d = synth.synthesize(style).unwrap();
+            assert_eq!(d.datapath.netlist.scheme().num_clocks(), style.clocks());
+            assert_eq!(d.mode, style.power_mode());
+        }
+    }
+
+    #[test]
+    fn verified_synthesis_passes_for_paper_styles() {
+        let synth = Synthesizer::for_benchmark(&benchmarks::biquad()).with_computations(20);
+        for style in DesignStyle::paper_rows() {
+            synth
+                .synthesize_verified(style)
+                .unwrap_or_else(|e| panic!("{style}: {e}"));
+        }
+    }
+
+    #[test]
+    fn evaluate_produces_positive_power_and_area() {
+        let synth = Synthesizer::for_benchmark(&benchmarks::hal()).with_computations(50);
+        let r = synth.evaluate(DesignStyle::MultiClock(2)).unwrap();
+        assert!(r.power.total_mw > 0.0);
+        assert!(r.area.total_lambda2 > 0.0);
+        assert!(r.stats.mem_cells > 0);
+    }
+
+    #[test]
+    fn invalid_clock_count_errors() {
+        let synth = Synthesizer::for_benchmark(&benchmarks::hal());
+        assert!(matches!(
+            synth.synthesize(DesignStyle::MultiClock(0)),
+            Err(SynthesisError::Clock(_))
+        ));
+        assert!(matches!(
+            synth.synthesize(DesignStyle::MultiClock(99)),
+            Err(SynthesisError::Clock(_))
+        ));
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let synth = Synthesizer::for_benchmark(&benchmarks::facet()).with_computations(60);
+        let a = synth.evaluate(DesignStyle::ConventionalGated).unwrap();
+        let b = synth.evaluate(DesignStyle::ConventionalGated).unwrap();
+        assert_eq!(a.power.total_mw, b.power.total_mw);
+        assert_eq!(a.area.total_lambda2, b.area.total_lambda2);
+    }
+
+    #[test]
+    fn custom_style_round_trips() {
+        let synth = Synthesizer::for_benchmark(&benchmarks::hal()).with_computations(20);
+        let style = DesignStyle::Custom {
+            strategy: mc_alloc::Strategy::Split,
+            clocks: 2,
+            mem_kind: mc_tech::MemKind::Latch,
+            transfers: false,
+            mode: mc_rtl::PowerMode::multiclock(),
+        };
+        let d = synth.synthesize_verified(style).unwrap();
+        assert_eq!(d.datapath.strategy, mc_alloc::Strategy::Split);
+    }
+}

@@ -1,0 +1,656 @@
+//! The high-level-synthesis benchmark behaviours evaluated in the paper,
+//! plus the §2 motivating example and two extra stress behaviours.
+//!
+//! The original benchmark sources are cited in the paper: FACET is the
+//! Tseng–Siewiorek example \[14\], HAL is the Paulin–Knight differential
+//! equation \[13\], the biquad is a standard second-order IIR section \[16\],
+//! and the band-pass filter is a fourth-order section after Kung et al.
+//! \[17\]. The DFGs below are reconstructions from those sources (see
+//! DESIGN.md §2): the operation mixes and dependence shapes match; exact
+//! variable naming is ours. Each benchmark carries the *reference schedule*
+//! used for the paper-table experiments, since the paper treats the
+//! schedule as an input to allocation.
+
+use crate::graph::{Dfg, DfgBuilder};
+use crate::op::Op;
+use crate::schedule::Schedule;
+
+/// A benchmark behaviour: a validated DFG plus its reference schedule.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// The behaviour.
+    pub dfg: Dfg,
+    /// The reference schedule used in the paper-table experiments.
+    pub schedule: Schedule,
+    /// One-line provenance note.
+    pub description: &'static str,
+}
+
+impl Benchmark {
+    fn assemble(dfg: Dfg, steps: Vec<u32>, length: u32, description: &'static str) -> Self {
+        let schedule = Schedule::new(&dfg, steps, length)
+            .expect("benchmark reference schedule is valid by construction");
+        Benchmark {
+            dfg,
+            schedule,
+            description,
+        }
+    }
+
+    /// The behaviour's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        self.dfg.name()
+    }
+}
+
+/// The §2 motivating example: six (+,-) operations scheduled in five steps
+/// so that a two-partition (odd/even step) datapath splits into disjoint
+/// subcircuits (the paper's Circuit 2, Fig. 1c).
+///
+/// ```text
+/// T1: N1 t1 = a + b
+/// T2: N2 t2 = t1 - c
+/// T3: N3 t3 = t2 + d     N4 t4 = e - f2
+/// T4: N5 t5 = t4 + g
+/// T5: N6 t6 = t5 - t3
+/// ```
+#[must_use]
+pub fn motivating() -> Benchmark {
+    motivating_w(4)
+}
+
+/// [`motivating`] with an explicit datapath width.
+#[must_use]
+pub fn motivating_w(width: u8) -> Benchmark {
+    let mut b = DfgBuilder::new("motivating", width);
+    let a = b.input("a");
+    let bb = b.input("b");
+    let c = b.input("c");
+    let d = b.input("d");
+    let e = b.input("e");
+    let f2 = b.input("f2");
+    let g = b.input("g");
+    let t1 = b.op_named("t1", Op::Add, a, bb); // N1 @ T1
+    let t2 = b.op_named("t2", Op::Sub, t1, c); // N2 @ T2
+    let t3 = b.op_named("t3", Op::Add, t2, d); // N3 @ T3
+    let t4 = b.op_named("t4", Op::Sub, e, f2); // N4 @ T3
+    let t5 = b.op_named("t5", Op::Add, t4, g); // N5 @ T4
+    let t6 = b.op_named("t6", Op::Sub, t5, t3); // N6 @ T5
+    b.mark_output(t6);
+    let dfg = b.finish().expect("motivating example is well-formed");
+    Benchmark::assemble(
+        dfg,
+        vec![1, 2, 3, 3, 4, 5],
+        5,
+        "DAC'96 §2 motivating example (Fig. 1), 6 ops in 5 steps",
+    )
+}
+
+/// The FACET example of Tseng & Siewiorek \[14\]: a small behaviour mixing
+/// arithmetic (`+ - * /`) and logic (`& |`) over four control steps, the
+/// workload of the paper's Table 1.
+#[must_use]
+pub fn facet() -> Benchmark {
+    facet_w(4)
+}
+
+/// [`facet`] with an explicit datapath width.
+#[must_use]
+pub fn facet_w(width: u8) -> Benchmark {
+    let mut b = DfgBuilder::new("facet", width);
+    let a = b.input("a");
+    let bb = b.input("b");
+    let c = b.input("c");
+    let d = b.input("d");
+    let e = b.input("e");
+    let f2 = b.input("f2");
+    let g = b.input("g");
+    let h = b.input("h");
+    // T1
+    let s1 = b.op_named("s1", Op::Add, a, bb);
+    let l1 = b.op_named("l1", Op::And, c, d);
+    // T2
+    let p1 = b.op_named("p1", Op::Mul, s1, e);
+    let l2 = b.op_named("l2", Op::Or, l1, f2);
+    // T3
+    let q1 = b.op_named("q1", Op::Div, p1, g);
+    let s2 = b.op_named("s2", Op::Add, l2, h);
+    // T4
+    let r1 = b.op_named("r1", Op::Sub, q1, s2);
+    b.mark_output(r1);
+    b.mark_output(q1);
+    let dfg = b.finish().expect("FACET reconstruction is well-formed");
+    Benchmark::assemble(
+        dfg,
+        vec![1, 1, 2, 2, 3, 3, 4],
+        4,
+        "FACET example after Tseng & Siewiorek [14]; Table 1 workload",
+    )
+}
+
+/// The HAL differential-equation example of Paulin & Knight \[13\]: the body
+/// of the Euler iteration solving `y'' + 3xy' + 3y = 0`, the workload of
+/// the paper's Table 2.
+///
+/// ```text
+/// x1 = x + dx
+/// u1 = u - (3*x*u*dx) - (3*y*dx)
+/// y1 = y + u*dx
+/// c  = x1 < a
+/// ```
+#[must_use]
+pub fn hal() -> Benchmark {
+    hal_w(4)
+}
+
+/// [`hal`] with an explicit datapath width.
+#[must_use]
+pub fn hal_w(width: u8) -> Benchmark {
+    let mut b = DfgBuilder::new("hal", width);
+    let x = b.input("x");
+    let y = b.input("y");
+    let u = b.input("u");
+    let dx = b.input("dx");
+    let a = b.input("a");
+    // T1
+    let m1 = b.op_named("m1", Op::Mul, 3u64, x); // 3x
+    let m2 = b.op_named("m2", Op::Mul, u, dx); // u·dx
+    // T2
+    let m3 = b.op_named("m3", Op::Mul, m1, m2); // 3x·u·dx
+    let m4 = b.op_named("m4", Op::Mul, 3u64, y); // 3y
+    // T3
+    let m5 = b.op_named("m5", Op::Mul, m4, dx); // 3y·dx
+    let m6 = b.op_named("m6", Op::Mul, u, dx); // u·dx (the canonical DFG has
+                                               // a second u·dx node for y1)
+    let s1 = b.op_named("s1", Op::Sub, u, m3); // u - 3x·u·dx
+    let x1 = b.op_named("x1", Op::Add, x, dx);
+    // T4
+    let u1 = b.op_named("u1", Op::Sub, s1, m5);
+    let y1 = b.op_named("y1", Op::Add, y, m6);
+    let c = b.op_named("c", Op::Lt, x1, a);
+    let _ = m2; // m2 feeds m3; kept distinct from m6 as in the original DFG
+    b.mark_output(u1);
+    b.mark_output(y1);
+    b.mark_output(x1);
+    b.mark_output(c);
+    let dfg = b.finish().expect("HAL reconstruction is well-formed");
+    Benchmark::assemble(
+        dfg,
+        vec![1, 1, 2, 2, 3, 3, 3, 3, 4, 4, 4],
+        4,
+        "HAL differential-equation example after Paulin & Knight [13]; Table 2 workload",
+    )
+}
+
+/// A second-order IIR (biquad) filter section in direct form II transposed,
+/// coefficients as primary inputs; the workload of the paper's Table 3.
+///
+/// ```text
+/// w0 = x - a1*w1 - a2*w2
+/// y  = b0*w0 + b1*w1 + b2*w2
+/// ```
+#[must_use]
+pub fn biquad() -> Benchmark {
+    biquad_w(4)
+}
+
+/// [`biquad`] with an explicit datapath width.
+#[must_use]
+pub fn biquad_w(width: u8) -> Benchmark {
+    let mut b = DfgBuilder::new("biquad", width);
+    let x = b.input("x");
+    let w1 = b.input("w1");
+    let w2 = b.input("w2");
+    let a1 = b.input("a1");
+    let a2 = b.input("a2");
+    let b0 = b.input("b0");
+    let b1 = b.input("b1");
+    let b2 = b.input("b2");
+    // T1
+    let p1 = b.op_named("p1", Op::Mul, a1, w1);
+    let p2 = b.op_named("p2", Op::Mul, a2, w2);
+    // T2
+    let s1 = b.op_named("s1", Op::Sub, x, p1);
+    let q1 = b.op_named("q1", Op::Mul, b1, w1);
+    // T3
+    let w0 = b.op_named("w0", Op::Sub, s1, p2);
+    let q2 = b.op_named("q2", Op::Mul, b2, w2);
+    // T4
+    let q0 = b.op_named("q0", Op::Mul, b0, w0);
+    let s2 = b.op_named("s2", Op::Add, q1, q2);
+    // T5
+    let y = b.op_named("y", Op::Add, q0, s2);
+    b.mark_output(y);
+    b.mark_output(w0);
+    let dfg = b.finish().expect("biquad is well-formed");
+    Benchmark::assemble(
+        dfg,
+        vec![1, 1, 2, 2, 3, 3, 4, 4, 5],
+        5,
+        "second-order IIR (biquad) section after Green & Turner [16]; Table 3 workload",
+    )
+}
+
+/// A fourth-order band-pass filter built as a cascade of two biquad
+/// sections (after Kung, Whitehouse & Kailath \[17\]); the workload of the
+/// paper's Table 4. Ten multiplies and eight additions/subtractions in
+/// nine control steps, with many simultaneously live state variables —
+/// the register-dominated profile the paper's Table 4 shows.
+#[must_use]
+pub fn bandpass() -> Benchmark {
+    bandpass_w(4)
+}
+
+/// [`bandpass`] with an explicit datapath width.
+#[must_use]
+pub fn bandpass_w(width: u8) -> Benchmark {
+    let mut b = DfgBuilder::new("bandpass", width);
+    let x = b.input("x");
+    // Section 1 state and coefficients.
+    let u1 = b.input("u1");
+    let u2 = b.input("u2");
+    let a11 = b.input("a11");
+    let a12 = b.input("a12");
+    let b10 = b.input("b10");
+    let b11 = b.input("b11");
+    let b12 = b.input("b12");
+    // Section 2 state and coefficients.
+    let v1 = b.input("v1");
+    let v2 = b.input("v2");
+    let a21 = b.input("a21");
+    let a22 = b.input("a22");
+    let b20 = b.input("b20");
+    let b21 = b.input("b21");
+    let b22 = b.input("b22");
+    // Section 1.
+    let p1 = b.op_named("p1", Op::Mul, a11, u1); // T1
+    let p2 = b.op_named("p2", Op::Mul, a12, u2); // T1
+    let s1 = b.op_named("s1", Op::Sub, x, p1); // T2
+    let q1 = b.op_named("q1", Op::Mul, b11, u1); // T2
+    let u0 = b.op_named("u0", Op::Sub, s1, p2); // T3
+    let q2 = b.op_named("q2", Op::Mul, b12, u2); // T3
+    let q0 = b.op_named("q0", Op::Mul, b10, u0); // T4
+    let s2 = b.op_named("s2", Op::Add, q1, q2); // T4
+    let m = b.op_named("m", Op::Add, q0, s2); // T5  (section-1 output)
+    // Section 2, fed by m.
+    let r1 = b.op_named("r1", Op::Mul, a21, v1); // T4
+    let r2 = b.op_named("r2", Op::Mul, a22, v2); // T5
+    let s3 = b.op_named("s3", Op::Sub, m, r1); // T6
+    let g1 = b.op_named("g1", Op::Mul, b21, v1); // T6
+    let v0 = b.op_named("v0", Op::Sub, s3, r2); // T7
+    let g2 = b.op_named("g2", Op::Mul, b22, v2); // T7
+    let g0 = b.op_named("g0", Op::Mul, b20, v0); // T8
+    let s4 = b.op_named("s4", Op::Add, g1, g2); // T8
+    let y = b.op_named("y", Op::Add, g0, s4); // T9... folded to 8 below
+    b.mark_output(y);
+    b.mark_output(u0);
+    b.mark_output(v0);
+    let dfg = b.finish().expect("band-pass cascade is well-formed");
+    Benchmark::assemble(
+        dfg,
+        vec![1, 1, 2, 2, 3, 3, 4, 4, 5, 4, 5, 6, 6, 7, 7, 8, 8, 9],
+        9,
+        "fourth-order band-pass (two cascaded biquads) after Kung et al. [17]; Table 4 workload",
+    )
+}
+
+/// An eight-tap FIR filter: eight multiplies feeding a balanced adder tree.
+/// Not in the paper; used for ablations and stress tests (a multiply-heavy,
+/// shallow behaviour).
+#[must_use]
+pub fn fir8() -> Benchmark {
+    fir8_w(4)
+}
+
+/// [`fir8`] with an explicit datapath width.
+#[must_use]
+pub fn fir8_w(width: u8) -> Benchmark {
+    let mut b = DfgBuilder::new("fir8", width);
+    let xs: Vec<_> = (0..8).map(|i| b.input(&format!("x{i}"))).collect();
+    let cs: Vec<_> = (0..8).map(|i| b.input(&format!("c{i}"))).collect();
+    let ps: Vec<_> = (0..8)
+        .map(|i| b.op_named(&format!("p{i}"), Op::Mul, xs[i], cs[i]))
+        .collect();
+    let a0 = b.op_named("a0", Op::Add, ps[0], ps[1]);
+    let a1 = b.op_named("a1", Op::Add, ps[2], ps[3]);
+    let a2 = b.op_named("a2", Op::Add, ps[4], ps[5]);
+    let a3 = b.op_named("a3", Op::Add, ps[6], ps[7]);
+    let s0 = b.op_named("s0", Op::Add, a0, a1);
+    let s1 = b.op_named("s1", Op::Add, a2, a3);
+    let y = b.op_named("y", Op::Add, s0, s1);
+    b.mark_output(y);
+    let dfg = b.finish().expect("FIR8 is well-formed");
+    // Two multiplies per step (4 steps), adder tree interleaved behind them.
+    let steps = vec![1, 1, 2, 2, 3, 3, 4, 4, 2, 3, 4, 5, 4, 6, 7];
+    Benchmark::assemble(dfg, steps, 7, "8-tap FIR filter; ablation workload (not in paper)")
+}
+
+/// A two-stage autoregressive lattice filter: alternating multiply/add
+/// stages with long state lifetimes. Not in the paper; used for ablations.
+#[must_use]
+pub fn ar_lattice() -> Benchmark {
+    ar_lattice_w(4)
+}
+
+/// [`ar_lattice`] with an explicit datapath width.
+#[must_use]
+pub fn ar_lattice_w(width: u8) -> Benchmark {
+    let mut b = DfgBuilder::new("ar_lattice", width);
+    let x = b.input("x");
+    let s1 = b.input("s1");
+    let s2 = b.input("s2");
+    let k1 = b.input("k1");
+    let k2 = b.input("k2");
+    // Stage 2 (outermost first in AR synthesis form).
+    let m1 = b.op_named("m1", Op::Mul, k2, s2); // T1
+    let f1 = b.op_named("f1", Op::Sub, x, m1); // T2
+    let m2 = b.op_named("m2", Op::Mul, k2, f1); // T3
+    let g2 = b.op_named("g2", Op::Add, s2, m2); // T4
+    // Stage 1.
+    let m3 = b.op_named("m3", Op::Mul, k1, s1); // T3
+    let f0 = b.op_named("f0", Op::Sub, f1, m3); // T4
+    let m4 = b.op_named("m4", Op::Mul, k1, f0); // T5
+    let g1 = b.op_named("g1", Op::Add, s1, m4); // T6
+    b.mark_output(f0);
+    b.mark_output(g1);
+    b.mark_output(g2);
+    let dfg = b.finish().expect("AR lattice is well-formed");
+    Benchmark::assemble(
+        dfg,
+        vec![1, 2, 3, 4, 3, 4, 5, 6],
+        6,
+        "two-stage AR lattice filter; ablation workload (not in paper)",
+    )
+}
+
+/// A fifth-order elliptic wave digital filter built from eight two-port
+/// adaptor sections (1 multiply + 3 additions each, plus two output
+/// adders): 8 multiplies and 26 additions/subtractions — the op mix of
+/// the classic EWF stress benchmark. Not in the paper; used for scaling
+/// studies. The reference schedule is resource-constrained list
+/// scheduling with two multipliers.
+#[must_use]
+pub fn ewf() -> Benchmark {
+    ewf_w(4)
+}
+
+/// [`ewf`] with an explicit datapath width.
+#[must_use]
+pub fn ewf_w(width: u8) -> Benchmark {
+    let mut b = DfgBuilder::new("ewf", width);
+    let x = b.input("x");
+    let states: Vec<_> = (1..=8).map(|i| b.input(&format!("s{i}"))).collect();
+    let coeffs: Vec<_> = (1..=8).map(|i| b.input(&format!("k{i}"))).collect();
+    let mut a = x;
+    let mut state_outs = Vec::new();
+    for i in 0..8 {
+        let d = b.op_named(&format!("d{}", i + 1), Op::Sub, a, states[i]);
+        let m = b.op_named(&format!("m{}", i + 1), Op::Mul, coeffs[i], d);
+        let bo = b.op_named(&format!("b{}", i + 1), Op::Add, states[i], m);
+        a = b.op_named(&format!("a{}", i + 1), Op::Add, a, m);
+        state_outs.push(bo);
+    }
+    let y1 = b.op_named("y1", Op::Add, a, state_outs[7]);
+    let y2 = b.op_named("y2", Op::Add, state_outs[0], state_outs[1]);
+    for &s in &state_outs {
+        b.mark_output(s);
+    }
+    b.mark_output(y1);
+    b.mark_output(y2);
+    let dfg = b.finish().expect("EWF-style filter is well-formed");
+    let schedule = crate::scheduler::list_schedule(
+        &dfg,
+        &crate::scheduler::ResourceConstraints::new().with_limit(Op::Mul, 2),
+    )
+    .expect("two multipliers suffice");
+    Benchmark {
+        dfg,
+        schedule,
+        description: "fifth-order elliptic wave filter (8 adaptor sections); scaling workload (not in paper)",
+    }
+}
+
+/// A 4-point DCT-II butterfly with coefficient inputs: the classic
+/// even/odd decomposition (4 ± butterflies, 4 multiplies, 4 combining
+/// additions). Not in the paper; a balanced transform workload.
+#[must_use]
+pub fn dct4() -> Benchmark {
+    dct4_w(4)
+}
+
+/// [`dct4`] with an explicit datapath width.
+#[must_use]
+pub fn dct4_w(width: u8) -> Benchmark {
+    let mut b = DfgBuilder::new("dct4", width);
+    let x0 = b.input("x0");
+    let x1 = b.input("x1");
+    let x2 = b.input("x2");
+    let x3 = b.input("x3");
+    let c1 = b.input("c1");
+    let c3 = b.input("c3");
+    let s0 = b.op_named("s0", Op::Add, x0, x3);
+    let s1 = b.op_named("s1", Op::Add, x1, x2);
+    let d0 = b.op_named("d0", Op::Sub, x0, x3);
+    let d1 = b.op_named("d1", Op::Sub, x1, x2);
+    let y0 = b.op_named("y0", Op::Add, s0, s1);
+    let y2 = b.op_named("y2", Op::Sub, s0, s1);
+    let m1 = b.op_named("m1", Op::Mul, c1, d0);
+    let m2 = b.op_named("m2", Op::Mul, c3, d1);
+    let m3 = b.op_named("m3", Op::Mul, c3, d0);
+    let m4 = b.op_named("m4", Op::Mul, c1, d1);
+    let y1 = b.op_named("y1", Op::Add, m1, m2);
+    let y3 = b.op_named("y3", Op::Sub, m3, m4);
+    for y in [y0, y1, y2, y3] {
+        b.mark_output(y);
+    }
+    let dfg = b.finish().expect("DCT4 is well-formed");
+    let schedule = crate::scheduler::list_schedule(
+        &dfg,
+        &crate::scheduler::ResourceConstraints::new()
+            .with_limit(Op::Mul, 2)
+            .with_limit(Op::Add, 2)
+            .with_limit(Op::Sub, 2),
+    )
+    .expect("limits are non-zero");
+    Benchmark {
+        dfg,
+        schedule,
+        description: "4-point DCT-II butterfly; transform workload (not in paper)",
+    }
+}
+
+/// The four benchmarks of the paper's evaluation section (Tables 1–4), in
+/// table order.
+#[must_use]
+pub fn paper_benchmarks() -> Vec<Benchmark> {
+    vec![facet(), hal(), biquad(), bandpass()]
+}
+
+/// Every bundled benchmark, paper ones first.
+#[must_use]
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    vec![
+        facet(),
+        hal(),
+        biquad(),
+        bandpass(),
+        motivating(),
+        fir8(),
+        ar_lattice(),
+        ewf(),
+        dct4(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::critical_path;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn all_benchmarks_build_and_validate() {
+        for bm in all_benchmarks() {
+            assert!(bm.dfg.num_nodes() > 0, "{}", bm.name());
+            assert!(bm.schedule.length() >= critical_path(&bm.dfg), "{}", bm.name());
+            assert!(!bm.description.is_empty());
+        }
+    }
+
+    #[test]
+    fn motivating_matches_paper_shape() {
+        let bm = motivating();
+        assert_eq!(bm.dfg.num_nodes(), 6);
+        assert_eq!(bm.schedule.length(), 5);
+        // Two ops at T3, one elsewhere — the 2-ALU minimal allocation shape.
+        assert_eq!(bm.schedule.nodes_at_step(3).len(), 2);
+        assert_eq!(bm.schedule.max_parallelism(), 2);
+    }
+
+    #[test]
+    fn hal_has_canonical_op_mix() {
+        let bm = hal();
+        let h = bm.dfg.op_histogram();
+        assert_eq!(h[&Op::Mul], 6);
+        assert_eq!(h[&Op::Sub], 2);
+        assert_eq!(h[&Op::Add], 2);
+        assert_eq!(h[&Op::Lt], 1);
+        assert_eq!(bm.schedule.length(), 4);
+    }
+
+    #[test]
+    fn facet_has_mixed_arith_logic() {
+        let bm = facet();
+        let h = bm.dfg.op_histogram();
+        assert!(h.contains_key(&Op::Div));
+        assert!(h.contains_key(&Op::And));
+        assert!(h.contains_key(&Op::Or));
+        assert_eq!(bm.schedule.length(), 4);
+    }
+
+    #[test]
+    fn biquad_evaluates_filter_equation() {
+        let bm = biquad_w(16);
+        let mut inputs = BTreeMap::new();
+        for (n, v) in [
+            ("x", 100u64),
+            ("w1", 7),
+            ("w2", 3),
+            ("a1", 2),
+            ("a2", 4),
+            ("b0", 1),
+            ("b1", 5),
+            ("b2", 6),
+        ] {
+            inputs.insert(n, v);
+        }
+        let vals = bm.dfg.evaluate_named(&inputs).unwrap();
+        let w0 = 100 - 2 * 7 - 4 * 3; // 74
+        assert_eq!(vals["w0"], w0);
+        assert_eq!(vals["y"], w0 + 5 * 7 + 6 * 3);
+    }
+
+    #[test]
+    fn hal_evaluates_euler_step() {
+        let bm = hal_w(16);
+        let mut inputs = BTreeMap::new();
+        for (n, v) in [("x", 2u64), ("y", 3), ("u", 50), ("dx", 1), ("a", 10)] {
+            inputs.insert(n, v);
+        }
+        let vals = bm.dfg.evaluate_named(&inputs).unwrap();
+        assert_eq!(vals["x1"], 3);
+        assert_eq!(vals["y1"], 3 + 50);
+        // u1 = u - 3x·u·dx - 3y·dx underflows: modular in 16 bits.
+        let expect = 50u64.wrapping_sub(3 * 2 * 50).wrapping_sub(3 * 3) & 0xFFFF;
+        assert_eq!(vals["u1"], expect);
+        assert_eq!(vals["c"], 1);
+    }
+
+    #[test]
+    fn bandpass_is_cascade_of_biquads() {
+        let bm = bandpass();
+        let h = bm.dfg.op_histogram();
+        assert_eq!(h[&Op::Mul], 10);
+        assert_eq!(h[&Op::Add] + h[&Op::Sub], 8);
+        assert_eq!(bm.dfg.inputs().count(), 15);
+    }
+
+    #[test]
+    fn paper_benchmarks_are_the_four_tables() {
+        let names: Vec<_> = paper_benchmarks().iter().map(|b| b.name().to_owned()).collect();
+        assert_eq!(names, ["facet", "hal", "biquad", "bandpass"]);
+    }
+
+    #[test]
+    fn width_variants_propagate() {
+        assert_eq!(facet_w(8).dfg.width(), 8);
+        assert_eq!(hal_w(16).dfg.width(), 16);
+        assert_eq!(ewf_w(8).dfg.width(), 8);
+    }
+
+    #[test]
+    fn ewf_has_classic_op_mix() {
+        let bm = ewf();
+        let h = bm.dfg.op_histogram();
+        assert_eq!(h[&Op::Mul], 8);
+        assert_eq!(h[&Op::Add] + h[&Op::Sub], 26);
+        assert_eq!(bm.dfg.num_nodes(), 34);
+        assert_eq!(bm.dfg.outputs().count(), 10);
+        // Two-multiplier limit holds at every step of the reference
+        // schedule.
+        for t in 1..=bm.schedule.length() {
+            let muls = bm
+                .schedule
+                .nodes_at_step(t)
+                .into_iter()
+                .filter(|&n| bm.dfg.node(n).op() == Op::Mul)
+                .count();
+            assert!(muls <= 2);
+        }
+    }
+
+    #[test]
+    fn dct4_evaluates_butterfly() {
+        let bm = dct4_w(16);
+        let mut inputs = BTreeMap::new();
+        for (n, v) in [("x0", 10u64), ("x1", 20), ("x2", 30), ("x3", 40), ("c1", 3), ("c3", 1)] {
+            inputs.insert(n, v);
+        }
+        let vals = bm.dfg.evaluate_named(&inputs).unwrap();
+        assert_eq!(vals["y0"], 100); // (10+40)+(20+30)
+        assert_eq!(vals["y2"], 0); // 50-50
+        // d0 = 10-40 (wraps), d1 = 20-30 (wraps); checked modularly.
+        let mask = 0xFFFFu64;
+        let d0 = 10u64.wrapping_sub(40) & mask;
+        let d1 = 20u64.wrapping_sub(30) & mask;
+        assert_eq!(vals["y1"], (3 * d0 + d1) & mask);
+        assert_eq!(vals["y3"], (d0).wrapping_sub(3 * d1) & mask);
+        // Two-multiplier limit holds in the reference schedule.
+        for t in 1..=bm.schedule.length() {
+            let muls = bm
+                .schedule
+                .nodes_at_step(t)
+                .into_iter()
+                .filter(|&n| bm.dfg.node(n).op() == Op::Mul)
+                .count();
+            assert!(muls <= 2);
+        }
+    }
+
+    #[test]
+    fn ewf_evaluates_adaptor_chain() {
+        let bm = ewf_w(16);
+        let mut inputs = BTreeMap::new();
+        inputs.insert("x", 100u64);
+        for i in 1..=8 {
+            inputs.insert(Box::leak(format!("s{i}").into_boxed_str()) as &str, 10);
+            inputs.insert(Box::leak(format!("k{i}").into_boxed_str()) as &str, 1);
+        }
+        let vals = bm.dfg.evaluate_named(&inputs).unwrap();
+        // First section with k=1: d1 = 90, m1 = 90, b1 = 100, a1 = 190.
+        assert_eq!(vals["d1"], 90);
+        assert_eq!(vals["b1"], 100);
+        assert_eq!(vals["a1"], 190);
+    }
+}

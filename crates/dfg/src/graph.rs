@@ -1,0 +1,782 @@
+//! Data-flow graph (DFG) representation of a scheduled behaviour.
+//!
+//! A behaviour is a set of single-assignment *variables* connected by binary
+//! *operation nodes*. Primary inputs are variables written by the
+//! environment; every other variable is written by exactly one node.
+//! Dependence edges are implied: node `B` depends on node `A` when `B` reads
+//! the variable `A` writes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::op::Op;
+
+/// Identifier of a variable within one [`Dfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// The dense index of this variable (`0..dfg.num_vars()`).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Identifier of an operation node within one [`Dfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The dense index of this node (`0..dfg.num_nodes()`).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A source operand of an operation node: a variable or a literal constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Reads the named variable.
+    Var(VarId),
+    /// A hard-wired constant (masked to the datapath width on evaluation).
+    Const(u64),
+}
+
+impl Operand {
+    /// The variable read by this operand, if any.
+    #[must_use]
+    pub fn as_var(self) -> Option<VarId> {
+        match self {
+            Operand::Var(v) => Some(v),
+            Operand::Const(_) => None,
+        }
+    }
+}
+
+impl From<VarId> for Operand {
+    fn from(v: VarId) -> Self {
+        Operand::Var(v)
+    }
+}
+
+impl From<u64> for Operand {
+    fn from(c: u64) -> Self {
+        Operand::Const(c)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Var(v) => write!(f, "{v}"),
+            Operand::Const(c) => write!(f, "#{c}"),
+        }
+    }
+}
+
+/// How a variable comes into existence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// Written by the environment before the computation starts.
+    Input,
+    /// Written by exactly one operation node.
+    Internal,
+}
+
+/// Metadata of one variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Variable {
+    name: String,
+    kind: VarKind,
+    output: bool,
+}
+
+impl Variable {
+    /// The human-readable name given at construction.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the variable is a primary input or internally computed.
+    #[must_use]
+    pub fn kind(&self) -> VarKind {
+        self.kind
+    }
+
+    /// Whether the variable is a primary output of the behaviour.
+    #[must_use]
+    pub fn is_output(&self) -> bool {
+        self.output
+    }
+
+    /// Whether the variable is a primary input.
+    #[must_use]
+    pub fn is_input(&self) -> bool {
+        self.kind == VarKind::Input
+    }
+}
+
+/// One binary operation node: `dest = lhs op rhs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Node {
+    op: Op,
+    lhs: Operand,
+    rhs: Operand,
+    dest: VarId,
+}
+
+impl Node {
+    /// The operation performed.
+    #[must_use]
+    pub fn op(&self) -> Op {
+        self.op
+    }
+
+    /// The left operand.
+    #[must_use]
+    pub fn lhs(&self) -> Operand {
+        self.lhs
+    }
+
+    /// The right operand.
+    #[must_use]
+    pub fn rhs(&self) -> Operand {
+        self.rhs
+    }
+
+    /// The variable written by this node.
+    #[must_use]
+    pub fn dest(&self) -> VarId {
+        self.dest
+    }
+
+    /// Both operands, left first.
+    #[must_use]
+    pub fn operands(&self) -> [Operand; 2] {
+        [self.lhs, self.rhs]
+    }
+
+    /// The variables read by this node (0, 1 or 2 entries; duplicates kept).
+    pub fn read_vars(&self) -> impl Iterator<Item = VarId> {
+        self.operands().into_iter().filter_map(Operand::as_var)
+    }
+}
+
+/// Errors arising while building or validating a [`Dfg`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfgError {
+    /// A variable name was declared twice.
+    DuplicateName(String),
+    /// The requested datapath width is outside `1..=63`.
+    BadWidth(u8),
+    /// An operand references a variable that is never written.
+    UndefinedVar(VarId),
+    /// The dependence relation contains a cycle through the named variable.
+    Cycle(VarId),
+    /// The graph has no nodes.
+    Empty,
+    /// Evaluation was invoked without a value for the named input.
+    MissingInput(String),
+    /// A primary input was marked as a primary output. Inputs are reloaded
+    /// at every computation boundary, so they cannot double as outputs;
+    /// pass the value through an identity operation if needed.
+    InputAsOutput(String),
+}
+
+impl fmt::Display for DfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfgError::DuplicateName(n) => write!(f, "duplicate variable name `{n}`"),
+            DfgError::BadWidth(w) => write!(f, "datapath width {w} outside 1..=63"),
+            DfgError::UndefinedVar(v) => write!(f, "operand reads undefined variable {v}"),
+            DfgError::Cycle(v) => write!(f, "dependence cycle through variable {v}"),
+            DfgError::Empty => write!(f, "data-flow graph has no operation nodes"),
+            DfgError::MissingInput(n) => write!(f, "no value supplied for input `{n}`"),
+            DfgError::InputAsOutput(n) => {
+                write!(f, "primary input `{n}` cannot be a primary output")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DfgError {}
+
+/// An immutable, validated data-flow graph.
+///
+/// Construct with [`DfgBuilder`]. All well-formedness invariants (single
+/// assignment, acyclicity, defined operands) hold by construction.
+///
+/// # Examples
+///
+/// ```
+/// use mc_dfg::{DfgBuilder, Op};
+///
+/// # fn main() -> Result<(), mc_dfg::DfgError> {
+/// let mut b = DfgBuilder::new("demo", 4);
+/// let a = b.input("a");
+/// let bb = b.input("b");
+/// let s = b.op(Op::Add, a, bb);
+/// b.mark_output(s);
+/// let dfg = b.finish()?;
+/// assert_eq!(dfg.num_nodes(), 1);
+/// assert_eq!(dfg.inputs().count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dfg {
+    name: String,
+    width: u8,
+    vars: Vec<Variable>,
+    nodes: Vec<Node>,
+    /// `writer[v]` is the node writing variable `v`, if internal.
+    writer: Vec<Option<NodeId>>,
+    /// `readers[v]` are the nodes reading variable `v`, in node order.
+    readers: Vec<Vec<NodeId>>,
+    /// Nodes in one fixed topological order of the dependence relation.
+    topo: Vec<NodeId>,
+}
+
+impl Dfg {
+    /// The behaviour's name (used in reports).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The datapath bit width.
+    #[must_use]
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of operation nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The metadata of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this graph.
+    #[must_use]
+    pub fn var(&self, v: VarId) -> &Variable {
+        &self.vars[v.index()]
+    }
+
+    /// The node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` does not belong to this graph.
+    #[must_use]
+    pub fn node(&self, n: NodeId) -> &Node {
+        &self.nodes[n.index()]
+    }
+
+    /// Iterates over all variable ids.
+    pub fn var_ids(&self) -> impl Iterator<Item = VarId> {
+        (0..self.vars.len() as u32).map(VarId)
+    }
+
+    /// Iterates over all node ids in insertion order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterates over the primary-input variable ids.
+    pub fn inputs(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.var_ids().filter(|v| self.var(*v).is_input())
+    }
+
+    /// Iterates over the primary-output variable ids.
+    pub fn outputs(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.var_ids().filter(|v| self.var(*v).is_output())
+    }
+
+    /// The node writing `v`, or `None` for primary inputs.
+    #[must_use]
+    pub fn writer_of(&self, v: VarId) -> Option<NodeId> {
+        self.writer[v.index()]
+    }
+
+    /// The nodes reading `v`, in node order (a node reading `v` twice
+    /// appears once).
+    #[must_use]
+    pub fn readers_of(&self, v: VarId) -> &[NodeId] {
+        &self.readers[v.index()]
+    }
+
+    /// The nodes `n` depends on (nodes writing variables `n` reads).
+    pub fn preds(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.node(n).read_vars().filter_map(|v| self.writer_of(v))
+    }
+
+    /// The nodes depending on `n` (nodes reading the variable `n` writes).
+    #[must_use]
+    pub fn succs(&self, n: NodeId) -> &[NodeId] {
+        self.readers_of(self.node(n).dest())
+    }
+
+    /// The nodes in one fixed topological order of the dependence relation.
+    #[must_use]
+    pub fn topological_order(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// Looks up a variable by name.
+    #[must_use]
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.var_ids().find(|v| self.var(*v).name() == name)
+    }
+
+    /// Histogram of operation counts, keyed by [`Op`].
+    #[must_use]
+    pub fn op_histogram(&self) -> BTreeMap<Op, usize> {
+        let mut h = BTreeMap::new();
+        for n in &self.nodes {
+            *h.entry(n.op()).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Evaluates the behaviour directly (no netlist), returning the value of
+    /// every variable. This is the functional reference the synthesised
+    /// datapath is checked against.
+    ///
+    /// `inputs` maps primary-input variable ids to values; values are masked
+    /// to the datapath width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfgError::MissingInput`] if a primary input has no value.
+    pub fn evaluate(&self, inputs: &BTreeMap<VarId, u64>) -> Result<Vec<u64>, DfgError> {
+        let mask = (1u64 << self.width) - 1;
+        let mut vals = vec![0u64; self.vars.len()];
+        let mut have = vec![false; self.vars.len()];
+        for v in self.inputs() {
+            let x = *inputs
+                .get(&v)
+                .ok_or_else(|| DfgError::MissingInput(self.var(v).name().to_owned()))?;
+            vals[v.index()] = x & mask;
+            have[v.index()] = true;
+        }
+        for &n in &self.topo {
+            let node = self.node(n);
+            let read = |o: Operand| -> u64 {
+                match o {
+                    Operand::Var(v) => {
+                        debug_assert!(have[v.index()], "topological order violated");
+                        vals[v.index()]
+                    }
+                    Operand::Const(c) => c & mask,
+                }
+            };
+            let r = node.op().apply(read(node.lhs()), read(node.rhs()), self.width);
+            vals[node.dest().index()] = r;
+            have[node.dest().index()] = true;
+        }
+        Ok(vals)
+    }
+
+    /// Convenience wrapper around [`Dfg::evaluate`] keyed by variable name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfgError::MissingInput`] if a primary input has no value.
+    pub fn evaluate_named(
+        &self,
+        inputs: &BTreeMap<&str, u64>,
+    ) -> Result<BTreeMap<String, u64>, DfgError> {
+        let mut by_id = BTreeMap::new();
+        for v in self.inputs() {
+            let name = self.var(v).name();
+            let x = *inputs
+                .get(name)
+                .ok_or_else(|| DfgError::MissingInput(name.to_owned()))?;
+            by_id.insert(v, x);
+        }
+        let vals = self.evaluate(&by_id)?;
+        Ok(self
+            .var_ids()
+            .map(|v| (self.var(v).name().to_owned(), vals[v.index()]))
+            .collect())
+    }
+}
+
+impl fmt::Display for Dfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "dfg `{}` ({} bits)", self.name, self.width)?;
+        for n in self.node_ids() {
+            let node = self.node(n);
+            writeln!(
+                f,
+                "  {n}: {} = {} {} {}",
+                self.var(node.dest()).name(),
+                node.lhs(),
+                node.op(),
+                node.rhs()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`Dfg`]. See the type-level example on [`Dfg`].
+#[derive(Debug, Clone)]
+pub struct DfgBuilder {
+    name: String,
+    width: u8,
+    vars: Vec<Variable>,
+    nodes: Vec<Node>,
+    names_seen: BTreeMap<String, VarId>,
+    duplicate: Option<String>,
+}
+
+impl DfgBuilder {
+    /// Starts a behaviour named `name` on a `width`-bit datapath.
+    #[must_use]
+    pub fn new(name: &str, width: u8) -> Self {
+        DfgBuilder {
+            name: name.to_owned(),
+            width,
+            vars: Vec::new(),
+            nodes: Vec::new(),
+            names_seen: BTreeMap::new(),
+            duplicate: None,
+        }
+    }
+
+    fn add_var(&mut self, name: String, kind: VarKind) -> VarId {
+        let id = VarId(self.vars.len() as u32);
+        if self.names_seen.insert(name.clone(), id).is_some() && self.duplicate.is_none() {
+            self.duplicate = Some(name.clone());
+        }
+        self.vars.push(Variable {
+            name,
+            kind,
+            output: false,
+        });
+        id
+    }
+
+    /// Declares a primary input.
+    pub fn input(&mut self, name: &str) -> VarId {
+        self.add_var(name.to_owned(), VarKind::Input)
+    }
+
+    /// Adds the node `dest = lhs op rhs` with an auto-generated destination
+    /// name (`t0`, `t1`, …) and returns the destination variable.
+    pub fn op(
+        &mut self,
+        op: Op,
+        lhs: impl Into<Operand>,
+        rhs: impl Into<Operand>,
+    ) -> VarId {
+        let name = format!("t{}", self.nodes.len());
+        self.op_named(&name, op, lhs, rhs)
+    }
+
+    /// Adds the node `dest = lhs op rhs` with an explicit destination name.
+    pub fn op_named(
+        &mut self,
+        dest_name: &str,
+        op: Op,
+        lhs: impl Into<Operand>,
+        rhs: impl Into<Operand>,
+    ) -> VarId {
+        let dest = self.add_var(dest_name.to_owned(), VarKind::Internal);
+        self.nodes.push(Node {
+            op,
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+            dest,
+        });
+        dest
+    }
+
+    /// Marks `v` as a primary output.
+    pub fn mark_output(&mut self, v: VarId) -> &mut Self {
+        self.vars[v.index()].output = true;
+        self
+    }
+
+    /// Looks up a declared variable by name (inputs and node results).
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<VarId> {
+        self.names_seen.get(name).copied()
+    }
+
+    /// Renames an *internal* variable (used by the text parser to bind
+    /// generated temporaries to their assignment targets). Returns `false`
+    /// — leaving the builder unchanged — when `new_name` is already taken
+    /// or `v` is a primary input.
+    pub fn rename(&mut self, v: VarId, new_name: &str) -> bool {
+        if self.names_seen.contains_key(new_name)
+            || self.vars[v.index()].kind == VarKind::Input
+        {
+            return false;
+        }
+        let old = std::mem::replace(&mut self.vars[v.index()].name, new_name.to_owned());
+        self.names_seen.remove(&old);
+        self.names_seen.insert(new_name.to_owned(), v);
+        true
+    }
+
+    /// Validates and freezes the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the width is out of range, a name is duplicated,
+    /// an operand references an out-of-range variable, the graph is empty, or
+    /// the dependence relation is cyclic (impossible through this builder but
+    /// checked for defence in depth).
+    pub fn finish(self) -> Result<Dfg, DfgError> {
+        if !(1..=63).contains(&self.width) {
+            return Err(DfgError::BadWidth(self.width));
+        }
+        if let Some(n) = self.duplicate {
+            return Err(DfgError::DuplicateName(n));
+        }
+        if self.nodes.is_empty() {
+            return Err(DfgError::Empty);
+        }
+        if let Some(v) = self
+            .vars
+            .iter()
+            .find(|v| v.kind == VarKind::Input && v.output)
+        {
+            return Err(DfgError::InputAsOutput(v.name.clone()));
+        }
+        let nv = self.vars.len();
+        let mut writer: Vec<Option<NodeId>> = vec![None; nv];
+        let mut readers: Vec<Vec<NodeId>> = vec![Vec::new(); nv];
+        for (i, node) in self.nodes.iter().enumerate() {
+            let id = NodeId(i as u32);
+            writer[node.dest.index()] = Some(id);
+            for v in node.read_vars() {
+                if v.index() >= nv {
+                    return Err(DfgError::UndefinedVar(v));
+                }
+                if readers[v.index()].last() != Some(&id) {
+                    readers[v.index()].push(id);
+                }
+            }
+        }
+        // Every read variable must be an input or written by some node.
+        for (vi, var) in self.vars.iter().enumerate() {
+            if !readers[vi].is_empty() && var.kind == VarKind::Internal && writer[vi].is_none() {
+                return Err(DfgError::UndefinedVar(VarId(vi as u32)));
+            }
+        }
+        // Kahn topological sort over dependence edges.
+        let nn = self.nodes.len();
+        // In-degree counts *distinct* producing variables, matching the
+        // deduplicated `readers` lists that drive the decrements below
+        // (a node reading the same variable in both operands has one edge).
+        let mut indeg = vec![0usize; nn];
+        for (i, node) in self.nodes.iter().enumerate() {
+            let reads: Vec<VarId> = node.read_vars().collect();
+            indeg[i] = reads
+                .iter()
+                .enumerate()
+                .filter(|&(j, v)| {
+                    writer[v.index()].is_some() && !reads[..j].contains(v)
+                })
+                .count();
+        }
+        let mut queue: Vec<usize> = (0..nn).filter(|&i| indeg[i] == 0).collect();
+        let mut topo = Vec::with_capacity(nn);
+        let mut head = 0;
+        while head < queue.len() {
+            let i = queue[head];
+            head += 1;
+            topo.push(NodeId(i as u32));
+            for &r in &readers[self.nodes[i].dest.index()] {
+                indeg[r.index()] -= 1;
+                if indeg[r.index()] == 0 {
+                    queue.push(r.index());
+                }
+            }
+        }
+        if topo.len() != nn {
+            let stuck = (0..nn).find(|&i| indeg[i] > 0).expect("cycle member");
+            return Err(DfgError::Cycle(self.nodes[stuck].dest));
+        }
+        Ok(Dfg {
+            name: self.name,
+            width: self.width,
+            vars: self.vars,
+            nodes: self.nodes,
+            writer,
+            readers,
+            topo,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dfg {
+        let mut b = DfgBuilder::new("tiny", 4);
+        let a = b.input("a");
+        let c = b.input("c");
+        let s = b.op_named("s", Op::Add, a, c);
+        let d = b.op_named("d", Op::Sub, s, a);
+        b.mark_output(d);
+        b.finish().expect("valid graph")
+    }
+
+    #[test]
+    fn builder_produces_expected_shape() {
+        let g = tiny();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_vars(), 4);
+        assert_eq!(g.inputs().count(), 2);
+        assert_eq!(g.outputs().count(), 1);
+        assert_eq!(g.width(), 4);
+    }
+
+    #[test]
+    fn writer_and_readers_are_tracked() {
+        let g = tiny();
+        let a = g.var_by_name("a").unwrap();
+        let s = g.var_by_name("s").unwrap();
+        assert_eq!(g.writer_of(a), None);
+        assert_eq!(g.writer_of(s), Some(NodeId(0)));
+        assert_eq!(g.readers_of(a).len(), 2);
+        assert_eq!(g.readers_of(s), &[NodeId(1)]);
+    }
+
+    #[test]
+    fn preds_and_succs() {
+        let g = tiny();
+        let n1 = NodeId(1);
+        let preds: Vec<_> = g.preds(n1).collect();
+        assert_eq!(preds, vec![NodeId(0)]);
+        assert_eq!(g.succs(NodeId(0)), &[NodeId(1)]);
+    }
+
+    #[test]
+    fn topological_order_respects_dependences() {
+        let g = tiny();
+        let topo = g.topological_order();
+        let pos = |n: NodeId| topo.iter().position(|&m| m == n).unwrap();
+        assert!(pos(NodeId(0)) < pos(NodeId(1)));
+    }
+
+    #[test]
+    fn evaluate_computes_reference_values() {
+        let g = tiny();
+        let a = g.var_by_name("a").unwrap();
+        let c = g.var_by_name("c").unwrap();
+        let mut inputs = BTreeMap::new();
+        inputs.insert(a, 5);
+        inputs.insert(c, 3);
+        let vals = g.evaluate(&inputs).unwrap();
+        let s = g.var_by_name("s").unwrap();
+        let d = g.var_by_name("d").unwrap();
+        assert_eq!(vals[s.index()], 8);
+        assert_eq!(vals[d.index()], 3);
+    }
+
+    #[test]
+    fn evaluate_named_round_trip() {
+        let g = tiny();
+        let mut inputs = BTreeMap::new();
+        inputs.insert("a", 2);
+        inputs.insert("c", 9);
+        let vals = g.evaluate_named(&inputs).unwrap();
+        assert_eq!(vals["s"], 11);
+        assert_eq!(vals["d"], 9);
+    }
+
+    #[test]
+    fn evaluate_missing_input_errors() {
+        let g = tiny();
+        let err = g.evaluate(&BTreeMap::new()).unwrap_err();
+        assert!(matches!(err, DfgError::MissingInput(_)));
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        let b = DfgBuilder::new("empty", 4);
+        assert_eq!(b.finish().unwrap_err(), DfgError::Empty);
+    }
+
+    #[test]
+    fn bad_width_rejected() {
+        let mut b = DfgBuilder::new("w", 0);
+        let a = b.input("a");
+        b.op(Op::Add, a, 1u64);
+        assert_eq!(b.finish().unwrap_err(), DfgError::BadWidth(0));
+        let mut b = DfgBuilder::new("w", 64);
+        let a = b.input("a");
+        b.op(Op::Add, a, 1u64);
+        assert_eq!(b.finish().unwrap_err(), DfgError::BadWidth(64));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = DfgBuilder::new("dup", 4);
+        let a = b.input("a");
+        b.input("a");
+        b.op(Op::Add, a, 1u64);
+        assert!(matches!(b.finish().unwrap_err(), DfgError::DuplicateName(_)));
+    }
+
+    #[test]
+    fn constants_evaluate_masked() {
+        let mut b = DfgBuilder::new("c", 4);
+        let a = b.input("a");
+        let s = b.op_named("s", Op::Add, a, 0x13u64); // 0x13 masks to 3
+        b.mark_output(s);
+        let g = b.finish().unwrap();
+        let a = g.var_by_name("a").unwrap();
+        let mut inputs = BTreeMap::new();
+        inputs.insert(a, 1);
+        let vals = g.evaluate(&inputs).unwrap();
+        assert_eq!(vals[g.var_by_name("s").unwrap().index()], 4);
+    }
+
+    #[test]
+    fn op_histogram_counts() {
+        let g = tiny();
+        let h = g.op_histogram();
+        assert_eq!(h[&Op::Add], 1);
+        assert_eq!(h[&Op::Sub], 1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let g = tiny();
+        let s = g.to_string();
+        assert!(s.contains("tiny"));
+        assert!(s.contains("s = v0 + v1"));
+    }
+}

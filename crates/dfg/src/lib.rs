@@ -1,0 +1,54 @@
+//! Data-flow graphs, schedules, schedulers, and the HLS benchmark
+//! behaviours for the multi-clock low-power RTL synthesis system.
+//!
+//! This crate is the behavioural front end of the DAC'96 reproduction (see
+//! the workspace `DESIGN.md`): a behaviour is captured as a single-
+//! assignment [`Dfg`], scheduled into control steps with one of the
+//! [`scheduler`]s (or a hand-written [`Schedule`]), and handed to the
+//! allocators in `mc-alloc`.
+//!
+//! # Quick start
+//!
+//! ```
+//! use mc_dfg::{DfgBuilder, Op, scheduler};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // y = (a + b) * c
+//! let mut b = DfgBuilder::new("demo", 4);
+//! let a = b.input("a");
+//! let bb = b.input("b");
+//! let c = b.input("c");
+//! let s = b.op_named("s", Op::Add, a, bb);
+//! let y = b.op_named("y", Op::Mul, s, c);
+//! b.mark_output(y);
+//! let dfg = b.finish()?;
+//!
+//! let sched = scheduler::asap(&dfg);
+//! assert_eq!(sched.length(), 2);
+//!
+//! // Variable lifetimes drive register/latch allocation downstream.
+//! let lifetimes = sched.lifetimes(&dfg);
+//! assert_eq!(lifetimes.len(), dfg.num_vars());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The paper's evaluation workloads are bundled in [`benchmarks`]:
+//! [`benchmarks::facet`], [`benchmarks::hal`], [`benchmarks::biquad`] and
+//! [`benchmarks::bandpass`] (Tables 1–4), plus the §2 motivating example.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod benchmarks;
+mod graph;
+mod op;
+pub mod parse;
+pub mod random;
+mod schedule;
+pub mod scheduler;
+
+pub use graph::{Dfg, DfgBuilder, DfgError, Node, NodeId, Operand, VarId, VarKind, Variable};
+pub use op::{FunctionSet, Op, ALL_OPS};
+pub use schedule::{Lifetime, Schedule, ScheduleError};
+pub use scheduler::{LatencyModel, ResourceConstraints, SchedulerError};

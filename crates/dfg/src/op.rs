@@ -1,0 +1,428 @@
+//! Operation types for data-flow graph nodes and multi-function ALUs.
+//!
+//! The DAC'96 evaluation tables describe ALUs by their *function sets*, e.g.
+//! `1(*+)` — one ALU implementing multiply and add — or `1(+-&)`. [`Op`] is a
+//! single RTL operation and [`FunctionSet`] is the set of operations a
+//! (possibly multi-function) ALU realises.
+
+use std::fmt;
+
+/// A primitive RTL operation executed by an ALU in a single time step.
+///
+/// Comparison operations produce `1` or `0` in the low bit. Division by zero
+/// yields the all-ones word of the datapath width (the convention of
+/// combinational divider cells, which we document rather than trap).
+///
+/// # Examples
+///
+/// ```
+/// use mc_dfg::Op;
+///
+/// assert_eq!(Op::Add.apply(7, 9, 4), 0); // 4-bit wrap-around: 16 mod 16
+/// assert_eq!(Op::Gt.apply(9, 7, 4), 1);
+/// assert!(Op::Mul.is_expensive());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Op {
+    /// Addition (modular in the datapath width).
+    Add,
+    /// Subtraction (modular in the datapath width).
+    Sub,
+    /// Multiplication (low word, modular in the datapath width).
+    Mul,
+    /// Unsigned division; division by zero yields the all-ones word.
+    Div,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Unsigned greater-than; result is `0` or `1`.
+    Gt,
+    /// Unsigned less-than; result is `0` or `1`.
+    Lt,
+    /// Logical shift left by the low bits of the second operand.
+    Shl,
+    /// Logical shift right by the low bits of the second operand.
+    Shr,
+}
+
+/// All operations, in display order. Useful for iteration in allocators and
+/// technology models.
+pub const ALL_OPS: [Op; 11] = [
+    Op::Add,
+    Op::Sub,
+    Op::Mul,
+    Op::Div,
+    Op::And,
+    Op::Or,
+    Op::Xor,
+    Op::Gt,
+    Op::Lt,
+    Op::Shl,
+    Op::Shr,
+];
+
+impl Op {
+    /// Returns the mask for `width` bits (`width` in `1..=63`).
+    #[inline]
+    fn mask(width: u8) -> u64 {
+        debug_assert!((1..=63).contains(&width));
+        (1u64 << width) - 1
+    }
+
+    /// Evaluates the operation on `width`-bit unsigned operands.
+    ///
+    /// Operands are masked to `width` bits before evaluation and the result
+    /// is masked after, so callers may pass unmasked values.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `width` is not in `1..=63`.
+    #[must_use]
+    pub fn apply(self, a: u64, b: u64, width: u8) -> u64 {
+        let m = Self::mask(width);
+        let (a, b) = (a & m, b & m);
+        let r = match self {
+            Op::Add => a.wrapping_add(b),
+            Op::Sub => a.wrapping_sub(b),
+            Op::Mul => a.wrapping_mul(b),
+            Op::Div => {
+                if b == 0 {
+                    m
+                } else {
+                    a / b
+                }
+            }
+            Op::And => a & b,
+            Op::Or => a | b,
+            Op::Xor => a ^ b,
+            Op::Gt => u64::from(a > b),
+            Op::Lt => u64::from(a < b),
+            Op::Shl => {
+                let sh = (b % u64::from(width)) as u32;
+                a << sh
+            }
+            Op::Shr => {
+                let sh = (b % u64::from(width)) as u32;
+                a >> sh
+            }
+        };
+        r & m
+    }
+
+    /// Whether `a op b == b op a` for all operands.
+    #[must_use]
+    pub fn is_commutative(self) -> bool {
+        matches!(self, Op::Add | Op::Mul | Op::And | Op::Or | Op::Xor)
+    }
+
+    /// Whether the operation requires a large (array-style) combinational
+    /// cell — multipliers and dividers — as opposed to a linear-cost one.
+    #[must_use]
+    pub fn is_expensive(self) -> bool {
+        matches!(self, Op::Mul | Op::Div)
+    }
+
+    /// The single-character symbol used in the paper's tables (`*`, `+`,
+    /// `-`, `/`, `&`, `|`, `^`, `>`, `<`, `«`, `»`).
+    #[must_use]
+    pub fn symbol(self) -> char {
+        match self {
+            Op::Add => '+',
+            Op::Sub => '-',
+            Op::Mul => '*',
+            Op::Div => '/',
+            Op::And => '&',
+            Op::Or => '|',
+            Op::Xor => '^',
+            Op::Gt => '>',
+            Op::Lt => '<',
+            Op::Shl => '«',
+            Op::Shr => '»',
+        }
+    }
+
+    /// A stable small index for table/bitset indexing (`0..ALL_OPS.len()`).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Op::Add => 0,
+            Op::Sub => 1,
+            Op::Mul => 2,
+            Op::Div => 3,
+            Op::And => 4,
+            Op::Or => 5,
+            Op::Xor => 6,
+            Op::Gt => 7,
+            Op::Lt => 8,
+            Op::Shl => 9,
+            Op::Shr => 10,
+        }
+    }
+
+    /// Inverse of [`Op::index`]. Returns `None` for out-of-range indices.
+    #[must_use]
+    pub fn from_index(i: usize) -> Option<Op> {
+        ALL_OPS.get(i).copied()
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+/// The set of operations a (multi-function) ALU implements.
+///
+/// Rendered in the paper's table notation: an ALU with `{Mul, Add}` prints
+/// as `(*+)`. Backed by a bitset over [`Op::index`], so it is `Copy` and
+/// cheap to pass around.
+///
+/// # Examples
+///
+/// ```
+/// use mc_dfg::{FunctionSet, Op};
+///
+/// let mut fs = FunctionSet::new();
+/// fs.insert(Op::Mul);
+/// fs.insert(Op::Add);
+/// assert!(fs.contains(Op::Add));
+/// assert_eq!(fs.to_string(), "(+*)");
+/// assert_eq!(fs.len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FunctionSet(u16);
+
+impl FunctionSet {
+    /// Creates the empty function set.
+    #[must_use]
+    pub fn new() -> Self {
+        FunctionSet(0)
+    }
+
+    /// Creates a singleton set.
+    #[must_use]
+    pub fn single(op: Op) -> Self {
+        let mut s = Self::new();
+        s.insert(op);
+        s
+    }
+
+    /// Creates a set from any iterator of operations.
+    pub fn from_ops<I: IntoIterator<Item = Op>>(ops: I) -> Self {
+        let mut s = Self::new();
+        for op in ops {
+            s.insert(op);
+        }
+        s
+    }
+
+    /// Adds an operation; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, op: Op) -> bool {
+        let bit = 1u16 << op.index();
+        let fresh = self.0 & bit == 0;
+        self.0 |= bit;
+        fresh
+    }
+
+    /// Removes an operation; returns `true` if it was present.
+    pub fn remove(&mut self, op: Op) -> bool {
+        let bit = 1u16 << op.index();
+        let present = self.0 & bit != 0;
+        self.0 &= !bit;
+        present
+    }
+
+    /// Whether the set contains `op`.
+    #[must_use]
+    pub fn contains(self, op: Op) -> bool {
+        self.0 & (1u16 << op.index()) != 0
+    }
+
+    /// Number of operations in the set.
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The union of two sets.
+    #[must_use]
+    pub fn union(self, other: Self) -> Self {
+        FunctionSet(self.0 | other.0)
+    }
+
+    /// The intersection of two sets.
+    #[must_use]
+    pub fn intersection(self, other: Self) -> Self {
+        FunctionSet(self.0 & other.0)
+    }
+
+    /// Whether every operation of `self` is also in `other`.
+    #[must_use]
+    pub fn is_subset(self, other: Self) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterates over the operations in [`Op::index`] order.
+    pub fn iter(self) -> impl Iterator<Item = Op> {
+        ALL_OPS.into_iter().filter(move |op| self.contains(*op))
+    }
+
+    /// Whether the set contains a multiplier or divider.
+    #[must_use]
+    pub fn has_expensive(self) -> bool {
+        self.iter().any(Op::is_expensive)
+    }
+}
+
+impl FromIterator<Op> for FunctionSet {
+    fn from_iter<I: IntoIterator<Item = Op>>(iter: I) -> Self {
+        Self::from_ops(iter)
+    }
+}
+
+impl Extend<Op> for FunctionSet {
+    fn extend<I: IntoIterator<Item = Op>>(&mut self, iter: I) {
+        for op in iter {
+            self.insert(op);
+        }
+    }
+}
+
+impl fmt::Display for FunctionSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for op in self.iter() {
+            write!(f, "{}", op.symbol())?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_wraps_in_width() {
+        assert_eq!(Op::Add.apply(15, 1, 4), 0);
+        assert_eq!(Op::Add.apply(15, 1, 8), 16);
+    }
+
+    #[test]
+    fn sub_wraps_in_width() {
+        assert_eq!(Op::Sub.apply(0, 1, 4), 15);
+        assert_eq!(Op::Sub.apply(5, 3, 4), 2);
+    }
+
+    #[test]
+    fn mul_takes_low_word() {
+        assert_eq!(Op::Mul.apply(7, 7, 4), 49 & 0xF);
+        assert_eq!(Op::Mul.apply(3, 5, 8), 15);
+    }
+
+    #[test]
+    fn div_by_zero_is_all_ones() {
+        assert_eq!(Op::Div.apply(9, 0, 4), 0xF);
+        assert_eq!(Op::Div.apply(9, 2, 4), 4);
+    }
+
+    #[test]
+    fn comparisons_are_boolean() {
+        assert_eq!(Op::Gt.apply(3, 3, 4), 0);
+        assert_eq!(Op::Lt.apply(2, 3, 4), 1);
+        assert_eq!(Op::Gt.apply(15, 0, 4), 1);
+    }
+
+    #[test]
+    fn shifts_mask_amount_by_width() {
+        assert_eq!(Op::Shl.apply(1, 3, 4), 8);
+        // shift of 4 on a 4-bit word wraps the amount to 0
+        assert_eq!(Op::Shl.apply(1, 4, 4), 1);
+        assert_eq!(Op::Shr.apply(8, 2, 4), 2);
+    }
+
+    #[test]
+    fn operands_are_masked_before_eval() {
+        // 0x13 masked to 4 bits is 3
+        assert_eq!(Op::Add.apply(0x13, 0, 4), 3);
+    }
+
+    #[test]
+    fn commutativity_flags() {
+        for op in ALL_OPS {
+            if op.is_commutative() {
+                for a in 0..16 {
+                    for b in 0..16 {
+                        assert_eq!(op.apply(a, b, 4), op.apply(b, a, 4), "{op}");
+                    }
+                }
+            }
+        }
+        assert!(!Op::Sub.is_commutative());
+        assert!(!Op::Div.is_commutative());
+        assert!(!Op::Gt.is_commutative());
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for (i, op) in ALL_OPS.into_iter().enumerate() {
+            assert_eq!(op.index(), i);
+            assert_eq!(Op::from_index(i), Some(op));
+        }
+        assert_eq!(Op::from_index(ALL_OPS.len()), None);
+    }
+
+    #[test]
+    fn function_set_basic_ops() {
+        let mut fs = FunctionSet::new();
+        assert!(fs.is_empty());
+        assert!(fs.insert(Op::Mul));
+        assert!(!fs.insert(Op::Mul));
+        fs.insert(Op::Add);
+        assert_eq!(fs.len(), 2);
+        assert!(fs.contains(Op::Mul));
+        assert!(!fs.contains(Op::Div));
+        assert!(fs.remove(Op::Mul));
+        assert!(!fs.remove(Op::Mul));
+        assert_eq!(fs.len(), 1);
+    }
+
+    #[test]
+    fn function_set_display_matches_paper_notation() {
+        let fs = FunctionSet::from_ops([Op::Mul, Op::Add]);
+        assert_eq!(fs.to_string(), "(+*)");
+        let fs = FunctionSet::from_ops([Op::Add, Op::Sub, Op::And]);
+        assert_eq!(fs.to_string(), "(+-&)");
+    }
+
+    #[test]
+    fn function_set_algebra() {
+        let a = FunctionSet::from_ops([Op::Add, Op::Sub]);
+        let b = FunctionSet::from_ops([Op::Sub, Op::Mul]);
+        assert_eq!(a.union(b).len(), 3);
+        assert_eq!(a.intersection(b).len(), 1);
+        assert!(FunctionSet::single(Op::Sub).is_subset(a));
+        assert!(!a.is_subset(b));
+        assert!(a.union(b).has_expensive());
+        assert!(!a.has_expensive());
+    }
+
+    #[test]
+    fn function_set_from_iterator_and_extend() {
+        let fs: FunctionSet = [Op::Add, Op::Or].into_iter().collect();
+        assert_eq!(fs.len(), 2);
+        let mut fs2 = fs;
+        fs2.extend([Op::Xor, Op::Or]);
+        assert_eq!(fs2.len(), 3);
+    }
+}

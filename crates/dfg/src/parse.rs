@@ -1,0 +1,612 @@
+//! A small behavioural description language, so behaviours can live in
+//! plain-text files instead of builder code.
+//!
+//! ```text
+//! # biquad section
+//! width 8
+//! input x, w1, w2, a1, a2, b0, b1, b2
+//! w0 = x - a1*w1 - a2*w2
+//! y  = b0*w0 + b1*w1 + b2*w2
+//! output y, w0
+//! ```
+//!
+//! One assignment per line; expressions use C-like operators
+//! (`+ - * / & | ^ < > << >>`) with the usual precedence and parentheses.
+//! Compound expressions expand into chains of single-operation nodes with
+//! generated intermediate names. `#` starts a comment.
+
+use std::fmt;
+
+use crate::graph::{Dfg, DfgBuilder, DfgError, Operand};
+use crate::op::Op;
+
+/// Errors from [`parse_dfg`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Lexical or syntactic problem at a line/column.
+    Syntax {
+        /// 1-based source line.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// A name was used before it was defined.
+    Undefined {
+        /// 1-based source line.
+        line: usize,
+        /// The unknown identifier.
+        name: String,
+    },
+    /// The assembled graph failed validation.
+    Graph(DfgError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            ParseError::Undefined { line, name } => {
+                write!(f, "line {line}: `{name}` used before definition")
+            }
+            ParseError::Graph(e) => write!(f, "invalid behaviour: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<DfgError> for ParseError {
+    fn from(e: DfgError) -> Self {
+        ParseError::Graph(e)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(u64),
+    Op(BinOp),
+    LParen,
+    RParen,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    And,
+    Or,
+    Xor,
+    Lt,
+    Gt,
+    Shl,
+    Shr,
+}
+
+impl BinOp {
+    fn to_op(self) -> Op {
+        match self {
+            BinOp::Add => Op::Add,
+            BinOp::Sub => Op::Sub,
+            BinOp::Mul => Op::Mul,
+            BinOp::Div => Op::Div,
+            BinOp::And => Op::And,
+            BinOp::Or => Op::Or,
+            BinOp::Xor => Op::Xor,
+            BinOp::Lt => Op::Lt,
+            BinOp::Gt => Op::Gt,
+            BinOp::Shl => Op::Shl,
+            BinOp::Shr => Op::Shr,
+        }
+    }
+
+    /// C-like precedence, higher binds tighter.
+    fn precedence(self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::Xor => 2,
+            BinOp::And => 3,
+            BinOp::Lt | BinOp::Gt => 4,
+            BinOp::Shl | BinOp::Shr => 5,
+            BinOp::Add | BinOp::Sub => 6,
+            BinOp::Mul | BinOp::Div => 7,
+        }
+    }
+}
+
+fn lex(line: &str, lineno: usize) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            ' ' | '\t' => i += 1,
+            '#' => break,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Op(BinOp::Add));
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Op(BinOp::Sub));
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Op(BinOp::Mul));
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Op(BinOp::Div));
+                i += 1;
+            }
+            '&' => {
+                tokens.push(Token::Op(BinOp::And));
+                i += 1;
+            }
+            '|' => {
+                tokens.push(Token::Op(BinOp::Or));
+                i += 1;
+            }
+            '^' => {
+                tokens.push(Token::Op(BinOp::Xor));
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'<') {
+                    tokens.push(Token::Op(BinOp::Shl));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Op(BinOp::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'>') {
+                    tokens.push(Token::Op(BinOp::Shr));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Op(BinOp::Gt));
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let value = text.parse().map_err(|_| ParseError::Syntax {
+                    line: lineno,
+                    message: format!("number `{text}` out of range"),
+                })?;
+                tokens.push(Token::Number(value));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(bytes[start..i].iter().collect()));
+            }
+            other => {
+                return Err(ParseError::Syntax {
+                    line: lineno,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Precedence-climbing expression parser that emits single-op nodes into
+/// the builder as it reduces.
+struct ExprParser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    line: usize,
+    builder: &'a mut DfgBuilder,
+    temp_counter: &'a mut usize,
+}
+
+impl<'a> ExprParser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn syntax(&self, message: impl Into<String>) -> ParseError {
+        ParseError::Syntax {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Operand, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Number(v)) => {
+                self.pos += 1;
+                Ok(Operand::Const(v))
+            }
+            Some(Token::Ident(name)) => {
+                self.pos += 1;
+                let var = self
+                    .builder
+                    .lookup(&name)
+                    .ok_or_else(|| ParseError::Undefined {
+                        line: self.line,
+                        name: name.clone(),
+                    })?;
+                Ok(Operand::Var(var))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let inner = self.parse_expr(0)?;
+                match self.peek() {
+                    Some(Token::RParen) => {
+                        self.pos += 1;
+                        Ok(inner)
+                    }
+                    _ => Err(self.syntax("expected `)`")),
+                }
+            }
+            other => Err(self.syntax(format!("expected operand, found {other:?}"))),
+        }
+    }
+
+    fn parse_expr(&mut self, min_prec: u8) -> Result<Operand, ParseError> {
+        let mut lhs = self.parse_primary()?;
+        while let Some(&Token::Op(op)) = self.peek() {
+            if op.precedence() < min_prec {
+                break;
+            }
+            self.pos += 1;
+            let rhs = self.parse_expr(op.precedence() + 1)?;
+            *self.temp_counter += 1;
+            let name = format!("_e{}", *self.temp_counter);
+            let dest = self.builder.op_named(&name, op.to_op(), lhs, rhs);
+            lhs = Operand::Var(dest);
+        }
+        Ok(lhs)
+    }
+}
+
+/// Parses a behavioural description (see module docs) into a validated
+/// [`Dfg`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] locating the first problem.
+pub fn parse_dfg(name: &str, source: &str) -> Result<Dfg, ParseError> {
+    let mut width: u8 = 4;
+    let mut builder = DfgBuilder::new(name, width);
+    let mut outputs: Vec<(usize, String)> = Vec::new();
+    let mut temp_counter = 0usize;
+    let mut width_locked = false;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("width") {
+            if width_locked {
+                return Err(ParseError::Syntax {
+                    line: lineno,
+                    message: "width must be declared before any definitions".into(),
+                });
+            }
+            let w: u8 = rest
+                .trim()
+                .trim_end_matches('#')
+                .trim()
+                .parse()
+                .map_err(|_| ParseError::Syntax {
+                    line: lineno,
+                    message: format!("bad width `{}`", rest.trim()),
+                })?;
+            width = w;
+            builder = DfgBuilder::new(name, width);
+            continue;
+        }
+        width_locked = true;
+        if let Some(rest) = line.strip_prefix("input") {
+            for n in split_names(rest) {
+                builder.input(&n);
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("output") {
+            for n in split_names(rest) {
+                outputs.push((lineno, n));
+            }
+            continue;
+        }
+        // Assignment: name = expr
+        let Some(eq) = line.find('=') else {
+            return Err(ParseError::Syntax {
+                line: lineno,
+                message: "expected `name = expression`".into(),
+            });
+        };
+        let dest = line[..eq].trim();
+        if dest.is_empty() || !dest.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(ParseError::Syntax {
+                line: lineno,
+                message: format!("bad assignment target `{dest}`"),
+            });
+        }
+        if builder.lookup(dest).is_some() {
+            return Err(ParseError::Syntax {
+                line: lineno,
+                message: format!("`{dest}` is already defined (single assignment)"),
+            });
+        }
+        let tokens = lex(&line[eq + 1..], lineno)?;
+        if tokens.is_empty() {
+            return Err(ParseError::Syntax {
+                line: lineno,
+                message: "empty expression".into(),
+            });
+        }
+        let mut parser = ExprParser {
+            tokens: &tokens,
+            pos: 0,
+            line: lineno,
+            builder: &mut builder,
+            temp_counter: &mut temp_counter,
+        };
+        let value = parser.parse_expr(0)?;
+        let consumed = parser.pos;
+        if consumed != tokens.len() {
+            return Err(ParseError::Syntax {
+                line: lineno,
+                message: format!("trailing tokens after expression: {:?}", &tokens[consumed..]),
+            });
+        }
+        // Bind the expression result to the target name: if the expression
+        // is a bare operand, materialise an identity via renaming — we
+        // instead require at least one operation per assignment and name
+        // the final node's destination directly.
+        match value {
+            Operand::Var(v) if builder.rename(v, dest) => {}
+            _ => {
+                return Err(ParseError::Syntax {
+                    line: lineno,
+                    message: "an assignment must compute something (pure aliases and \
+                              constants are not supported)"
+                        .into(),
+                });
+            }
+        }
+    }
+    for (lineno, name) in outputs {
+        let var = builder.lookup(&name).ok_or(ParseError::Undefined {
+            line: lineno,
+            name,
+        })?;
+        builder.mark_output(var);
+    }
+    Ok(builder.finish()?)
+}
+
+/// Renders a [`Dfg`] back into the behavioural DSL, one single-operation
+/// assignment per node. `parse_dfg(to_dsl(g))` produces a behaviour that
+/// evaluates identically to `g` (names and structure are preserved; the
+/// printer quotes every node explicitly, so generated temporaries of the
+/// original parse round-trip as ordinary names).
+#[must_use]
+pub fn to_dsl(dfg: &Dfg) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "# behaviour `{}`", dfg.name());
+    let _ = writeln!(s, "width {}", dfg.width());
+    let inputs: Vec<&str> = dfg.inputs().map(|v| dfg.var(v).name()).collect();
+    if !inputs.is_empty() {
+        let _ = writeln!(s, "input {}", inputs.join(", "));
+    }
+    let op_text = |op: Op| match op {
+        Op::Shl => "<<".to_owned(),
+        Op::Shr => ">>".to_owned(),
+        other => other.symbol().to_string(),
+    };
+    let operand_text = |o: Operand| match o {
+        Operand::Var(v) => dfg.var(v).name().to_owned(),
+        Operand::Const(c) => c.to_string(),
+    };
+    for &n in dfg.topological_order() {
+        let node = dfg.node(n);
+        let _ = writeln!(
+            s,
+            "{} = {} {} {}",
+            dfg.var(node.dest()).name(),
+            operand_text(node.lhs()),
+            op_text(node.op()),
+            operand_text(node.rhs())
+        );
+    }
+    let outputs: Vec<&str> = dfg.outputs().map(|v| dfg.var(v).name()).collect();
+    if !outputs.is_empty() {
+        let _ = writeln!(s, "output {}", outputs.join(", "));
+    }
+    s
+}
+
+fn split_names(rest: &str) -> Vec<String> {
+    rest.split('#')
+        .next()
+        .unwrap_or("")
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    const BIQUAD: &str = "
+        # biquad section
+        width 8
+        input x, w1, w2, a1, a2, b0, b1, b2
+        w0 = x - a1*w1 - a2*w2
+        y  = b0*w0 + b1*w1 + b2*w2
+        output y, w0
+    ";
+
+    #[test]
+    fn parses_biquad_and_matches_builder_semantics() {
+        let dfg = parse_dfg("biquad_dsl", BIQUAD).unwrap();
+        assert_eq!(dfg.width(), 8);
+        assert_eq!(dfg.inputs().count(), 8);
+        assert_eq!(dfg.outputs().count(), 2);
+        let mut inputs = BTreeMap::new();
+        for (n, v) in [
+            ("x", 100u64),
+            ("w1", 7),
+            ("w2", 3),
+            ("a1", 2),
+            ("a2", 4),
+            ("b0", 1),
+            ("b1", 5),
+            ("b2", 6),
+        ] {
+            inputs.insert(n, v);
+        }
+        let vals = dfg.evaluate_named(&inputs).unwrap();
+        assert_eq!(vals["w0"], 100 - 14 - 12);
+        assert_eq!(vals["y"], (100 - 26) + 35 + 18);
+    }
+
+    #[test]
+    fn precedence_is_c_like() {
+        let dfg = parse_dfg("prec", "input a, b\ny = a + b * 2\noutput y").unwrap();
+        let mut inputs = BTreeMap::new();
+        inputs.insert("a", 1u64);
+        inputs.insert("b", 3);
+        let vals = dfg.evaluate_named(&inputs).unwrap();
+        assert_eq!(vals["y"], 7, "must parse as a + (b*2)");
+    }
+
+    #[test]
+    fn parentheses_override_precedence() {
+        let dfg = parse_dfg("paren", "input a, b\ny = (a + b) * 2\noutput y").unwrap();
+        let mut inputs = BTreeMap::new();
+        inputs.insert("a", 1u64);
+        inputs.insert("b", 3);
+        assert_eq!(dfg.evaluate_named(&inputs).unwrap()["y"], 8);
+    }
+
+    #[test]
+    fn shifts_and_comparisons_lex() {
+        let dfg = parse_dfg(
+            "ops",
+            "width 8\ninput a, b\ny = (a << 1) ^ (b >> 1)\nc = a < b\noutput y, c",
+        )
+        .unwrap();
+        let mut inputs = BTreeMap::new();
+        inputs.insert("a", 3u64);
+        inputs.insert("b", 8);
+        let vals = dfg.evaluate_named(&inputs).unwrap();
+        assert_eq!(vals["y"], 6 ^ 4);
+        assert_eq!(vals["c"], 1);
+    }
+
+    #[test]
+    fn undefined_name_is_located() {
+        let err = parse_dfg("bad", "input a\ny = a + zz\noutput y").unwrap_err();
+        assert!(matches!(err, ParseError::Undefined { line: 2, ref name } if name == "zz"));
+    }
+
+    #[test]
+    fn unbalanced_paren_reported() {
+        let err = parse_dfg("bad", "input a\ny = (a + 1\noutput y").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 2, .. }));
+    }
+
+    #[test]
+    fn alias_assignment_rejected() {
+        let err = parse_dfg("bad", "input a\ny = a\noutput y").unwrap_err();
+        assert!(err.to_string().contains("must compute"));
+    }
+
+    #[test]
+    fn width_after_definition_rejected() {
+        let err = parse_dfg("bad", "input a\ny = a + 1\nwidth 8\noutput y").unwrap_err();
+        assert!(err.to_string().contains("before any definitions"));
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        let err = parse_dfg("bad", "input a\ny = a + 1 )\noutput y").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { .. }));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let dfg = parse_dfg(
+            "c",
+            "# header\n\ninput a  # the input\ny = a + 1 # inc\n\noutput y\n",
+        )
+        .unwrap();
+        assert_eq!(dfg.num_nodes(), 1);
+    }
+
+    #[test]
+    fn to_dsl_round_trips_benchmarks() {
+        for bm in crate::benchmarks::all_benchmarks() {
+            let text = to_dsl(&bm.dfg);
+            let reparsed = parse_dfg(bm.dfg.name(), &text)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{text}", bm.dfg.name()));
+            assert_eq!(reparsed.num_nodes(), bm.dfg.num_nodes(), "{}", bm.dfg.name());
+            assert_eq!(
+                reparsed.inputs().count(),
+                bm.dfg.inputs().count(),
+                "{}",
+                bm.dfg.name()
+            );
+            // Evaluate both on the same inputs.
+            let mut inputs = BTreeMap::new();
+            for (i, v) in bm.dfg.inputs().enumerate() {
+                inputs.insert(bm.dfg.var(v).name(), (i as u64 * 3 + 1) & 0xF);
+            }
+            let a = bm.dfg.evaluate_named(&inputs).unwrap();
+            let b = reparsed.evaluate_named(&inputs).unwrap();
+            for v in bm.dfg.outputs() {
+                let name = bm.dfg.var(v).name();
+                assert_eq!(a[name], b[name], "{} output {name}", bm.dfg.name());
+            }
+        }
+    }
+
+    #[test]
+    fn chained_subtraction_is_left_associative() {
+        let dfg = parse_dfg("assoc", "input a, b, c\ny = a - b - c\noutput y").unwrap();
+        let mut inputs = BTreeMap::new();
+        inputs.insert("a", 10u64);
+        inputs.insert("b", 3);
+        inputs.insert("c", 2);
+        assert_eq!(dfg.evaluate_named(&inputs).unwrap()["y"], 5);
+    }
+}

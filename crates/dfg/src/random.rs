@@ -1,0 +1,213 @@
+//! Random DFG generation for property-based testing and stress runs.
+//!
+//! The generator produces well-formed, acyclic, single-assignment graphs by
+//! construction: each new node draws its operands from already-defined
+//! variables (or constants), so every generated graph passes
+//! [`DfgBuilder::finish`](crate::DfgBuilder::finish) validation.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::graph::{Dfg, DfgBuilder, Operand};
+use crate::op::{Op, ALL_OPS};
+use crate::scheduler::{asap, list_schedule, ResourceConstraints};
+use crate::schedule::Schedule;
+
+/// Configuration for [`random_dfg`].
+///
+/// # Examples
+///
+/// ```
+/// use mc_dfg::random::{RandomDfgConfig, random_dfg};
+///
+/// let cfg = RandomDfgConfig::new(12).with_inputs(4).with_seed(7);
+/// let dfg = random_dfg(&cfg);
+/// assert_eq!(dfg.num_nodes(), 12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomDfgConfig {
+    nodes: usize,
+    inputs: usize,
+    width: u8,
+    seed: u64,
+    ops: Vec<Op>,
+    const_prob: f64,
+}
+
+impl RandomDfgConfig {
+    /// A configuration generating `nodes` operation nodes with defaults:
+    /// 4 inputs, 4-bit width, seed 0, all operations, 10 % constant
+    /// operands.
+    #[must_use]
+    pub fn new(nodes: usize) -> Self {
+        RandomDfgConfig {
+            nodes: nodes.max(1),
+            inputs: 4,
+            width: 4,
+            seed: 0,
+            ops: ALL_OPS.to_vec(),
+            const_prob: 0.1,
+        }
+    }
+
+    /// Sets the number of primary inputs (at least 1).
+    #[must_use]
+    pub fn with_inputs(mut self, inputs: usize) -> Self {
+        self.inputs = inputs.max(1);
+        self
+    }
+
+    /// Sets the datapath width.
+    #[must_use]
+    pub fn with_width(mut self, width: u8) -> Self {
+        self.width = width;
+        self
+    }
+
+    /// Sets the RNG seed (generation is fully deterministic per seed).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Restricts the operation alphabet (must be non-empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty.
+    #[must_use]
+    pub fn with_ops(mut self, ops: &[Op]) -> Self {
+        assert!(!ops.is_empty(), "operation alphabet must be non-empty");
+        self.ops = ops.to_vec();
+        self
+    }
+
+    /// Sets the probability that an operand is a constant instead of a
+    /// variable (clamped to `0.0..=0.9`).
+    #[must_use]
+    pub fn with_const_prob(mut self, p: f64) -> Self {
+        self.const_prob = p.clamp(0.0, 0.9);
+        self
+    }
+}
+
+/// Generates a random well-formed DFG. Deterministic per configuration.
+#[must_use]
+pub fn random_dfg(cfg: &RandomDfgConfig) -> Dfg {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = DfgBuilder::new(&format!("random_{}", cfg.seed), cfg.width);
+    let mut pool: Vec<Operand> = (0..cfg.inputs)
+        .map(|i| Operand::Var(b.input(&format!("in{i}"))))
+        .collect();
+    let max_const = (1u64 << cfg.width) - 1;
+    let mut last = None;
+    for i in 0..cfg.nodes {
+        let pick = |rng: &mut StdRng, pool: &[Operand]| -> Operand {
+            if rng.gen_bool(cfg.const_prob) {
+                Operand::Const(rng.gen_range(0..=max_const))
+            } else {
+                *pool.choose(rng).expect("pool starts non-empty")
+            }
+        };
+        let lhs = pick(&mut rng, &pool);
+        let rhs = pick(&mut rng, &pool);
+        let op = *cfg.ops.choose(&mut rng).expect("non-empty alphabet");
+        let dest = b.op_named(&format!("r{i}"), op, lhs, rhs);
+        pool.push(Operand::Var(dest));
+        last = Some(dest);
+    }
+    // Guarantee at least one primary output: the final node plus a random
+    // sample of earlier results.
+    if let Some(last) = last {
+        b.mark_output(last);
+    }
+    // Only node results may be outputs: primary inputs are reloaded at the
+    // computation boundary, so an input-as-output is rejected by the
+    // builder.
+    for o in pool.iter().skip(cfg.inputs) {
+        if let Operand::Var(v) = o {
+            if rng.gen_bool(0.15) {
+                b.mark_output(*v);
+            }
+        }
+    }
+    b.finish().expect("random DFG is well-formed by construction")
+}
+
+/// Generates a random DFG together with a schedule: ASAP for half the
+/// seeds, resource-constrained list scheduling for the other half, so
+/// downstream property tests see both dense and stretched schedules.
+#[must_use]
+pub fn random_scheduled_dfg(cfg: &RandomDfgConfig) -> (Dfg, Schedule) {
+    let dfg = random_dfg(cfg);
+    let sched = if cfg.seed % 2 == 0 {
+        asap(&dfg)
+    } else {
+        let rc = ResourceConstraints::new()
+            .with_limit(Op::Mul, 1)
+            .with_limit(Op::Div, 1)
+            .with_limit(Op::Add, 2);
+        list_schedule(&dfg, &rc).expect("limits are non-zero")
+    };
+    (dfg, sched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::critical_path;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = RandomDfgConfig::new(20).with_seed(42);
+        let a = random_dfg(&cfg);
+        let b = random_dfg(&cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_dfg(&RandomDfgConfig::new(20).with_seed(1));
+        let b = random_dfg(&RandomDfgConfig::new(20).with_seed(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn generated_graphs_have_requested_size() {
+        for seed in 0..10 {
+            let cfg = RandomDfgConfig::new(15).with_seed(seed).with_inputs(3);
+            let g = random_dfg(&cfg);
+            assert_eq!(g.num_nodes(), 15);
+            assert_eq!(g.inputs().count(), 3);
+            assert!(g.outputs().count() >= 1);
+        }
+    }
+
+    #[test]
+    fn restricted_alphabet_is_respected() {
+        let cfg = RandomDfgConfig::new(30)
+            .with_seed(9)
+            .with_ops(&[Op::Add, Op::Sub]);
+        let g = random_dfg(&cfg);
+        for n in g.node_ids() {
+            assert!(matches!(g.node(n).op(), Op::Add | Op::Sub));
+        }
+    }
+
+    #[test]
+    fn scheduled_variant_is_valid() {
+        for seed in 0..8 {
+            let cfg = RandomDfgConfig::new(12).with_seed(seed);
+            let (g, s) = random_scheduled_dfg(&cfg);
+            assert!(s.length() >= critical_path(&g));
+            assert_eq!(s.steps().len(), g.num_nodes());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_alphabet_panics() {
+        let _ = RandomDfgConfig::new(5).with_ops(&[]);
+    }
+}

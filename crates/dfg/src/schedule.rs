@@ -1,0 +1,478 @@
+//! Schedules: the assignment of DFG nodes to control steps, plus the
+//! variable lifetime analysis derived from a schedule.
+//!
+//! Timing convention (standard register-transfer semantics, matching the
+//! paper's Fig. 1): a node scheduled in step `t` reads its operands *during*
+//! step `t` and its result is stored at the *end* of step `t`, so dependent
+//! nodes may execute no earlier than step `t + 1`. Primary inputs are loaded
+//! before step 1 (their write step is 0).
+
+use std::fmt;
+
+use crate::graph::{Dfg, NodeId, VarId};
+
+/// Errors arising while constructing or validating a [`Schedule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The step vector length does not match the node count.
+    WrongArity {
+        /// Number of nodes in the graph.
+        nodes: usize,
+        /// Number of steps supplied.
+        steps: usize,
+    },
+    /// A node was assigned step 0 or a step beyond the schedule length.
+    StepOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Its assigned step.
+        step: u32,
+        /// The declared schedule length.
+        length: u32,
+    },
+    /// A dependence `writer -> reader` is violated (`reader` not strictly
+    /// after `writer`).
+    DependenceViolated {
+        /// The producing node.
+        writer: NodeId,
+        /// The consuming node.
+        reader: NodeId,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::WrongArity { nodes, steps } => {
+                write!(f, "schedule has {steps} steps for {nodes} nodes")
+            }
+            ScheduleError::StepOutOfRange { node, step, length } => {
+                write!(f, "node {node} scheduled at step {step} outside 1..={length}")
+            }
+            ScheduleError::DependenceViolated { writer, reader } => {
+                write!(f, "node {reader} not scheduled strictly after its producer {writer}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A validated schedule for a specific [`Dfg`].
+///
+/// Steps are 1-based; `length` is the number of control steps `T`. Every
+/// node has a *latency* (default 1): a node starting at step `t` with
+/// latency `L` executes during steps `t ..= t+L-1` (its *completion*
+/// step), holds its operands stable throughout, and its result is stored
+/// at the end of the completion step.
+///
+/// # Examples
+///
+/// ```
+/// use mc_dfg::{DfgBuilder, Op, Schedule};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = DfgBuilder::new("demo", 4);
+/// let a = b.input("a");
+/// let s = b.op(Op::Add, a, a);
+/// let d = b.op(Op::Sub, s, a);
+/// b.mark_output(d);
+/// let dfg = b.finish()?;
+/// let sched = Schedule::new(&dfg, vec![1, 2], 2)?;
+/// assert_eq!(sched.length(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    steps: Vec<u32>,
+    length: u32,
+    latencies: Vec<u32>,
+}
+
+impl Schedule {
+    /// Builds and validates a unit-latency schedule: `steps[i]` is the
+    /// control step of node `i`, `length` the total number of steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScheduleError`] when arity, range, or dependence
+    /// constraints are violated.
+    pub fn new(dfg: &Dfg, steps: Vec<u32>, length: u32) -> Result<Self, ScheduleError> {
+        let latencies = vec![1; steps.len()];
+        Self::with_latencies(dfg, steps, length, latencies)
+    }
+
+    /// Builds and validates a schedule with explicit per-node latencies
+    /// (multi-cycle operations): a consumer may start no earlier than the
+    /// step after its producer's completion, and every completion must
+    /// fit within `length`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScheduleError`] when arity, range, or dependence
+    /// constraints are violated (a zero latency counts as out of range).
+    pub fn with_latencies(
+        dfg: &Dfg,
+        steps: Vec<u32>,
+        length: u32,
+        latencies: Vec<u32>,
+    ) -> Result<Self, ScheduleError> {
+        if steps.len() != dfg.num_nodes() || latencies.len() != dfg.num_nodes() {
+            return Err(ScheduleError::WrongArity {
+                nodes: dfg.num_nodes(),
+                steps: steps.len().min(latencies.len()),
+            });
+        }
+        for n in dfg.node_ids() {
+            let s = steps[n.index()];
+            let l = latencies[n.index()];
+            if s == 0 || l == 0 || s + l - 1 > length {
+                return Err(ScheduleError::StepOutOfRange {
+                    node: n,
+                    step: s,
+                    length,
+                });
+            }
+        }
+        for reader in dfg.node_ids() {
+            for writer in dfg.preds(reader) {
+                let completion = steps[writer.index()] + latencies[writer.index()] - 1;
+                if steps[reader.index()] <= completion {
+                    return Err(ScheduleError::DependenceViolated { writer, reader });
+                }
+            }
+        }
+        Ok(Schedule {
+            steps,
+            length,
+            latencies,
+        })
+    }
+
+    /// The control step at which node `n` starts (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range for the scheduled graph.
+    #[must_use]
+    pub fn step_of(&self, n: NodeId) -> u32 {
+        self.steps[n.index()]
+    }
+
+    /// The latency of node `n` in steps (1 for single-cycle operations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range for the scheduled graph.
+    #[must_use]
+    pub fn latency_of(&self, n: NodeId) -> u32 {
+        self.latencies[n.index()]
+    }
+
+    /// The step at whose end node `n`'s result is stored:
+    /// `step + latency − 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range for the scheduled graph.
+    #[must_use]
+    pub fn completion_of(&self, n: NodeId) -> u32 {
+        self.steps[n.index()] + self.latencies[n.index()] - 1
+    }
+
+    /// Whether any node has a latency above 1.
+    #[must_use]
+    pub fn has_multicycle_ops(&self) -> bool {
+        self.latencies.iter().any(|&l| l > 1)
+    }
+
+    /// The number of control steps `T`.
+    #[must_use]
+    pub fn length(&self) -> u32 {
+        self.length
+    }
+
+    /// The nodes scheduled in step `t`, in node order.
+    #[must_use]
+    pub fn nodes_at_step(&self, t: u32) -> Vec<NodeId> {
+        self.steps
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s == t)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// The maximum number of nodes in any single step (a lower bound on the
+    /// single-clock ALU count).
+    #[must_use]
+    pub fn max_parallelism(&self) -> usize {
+        (1..=self.length)
+            .map(|t| self.nodes_at_step(t).len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The raw step vector, indexed by node index.
+    #[must_use]
+    pub fn steps(&self) -> &[u32] {
+        &self.steps
+    }
+
+    /// Computes the lifetime of every variable under this schedule.
+    ///
+    /// See [`Lifetime`] for the conventions. A multi-cycle reader holds
+    /// its operands stable for its whole execution, so a variable stays
+    /// live through every reader's *completion* step; a multi-cycle
+    /// writer produces its value at its completion.
+    #[must_use]
+    pub fn lifetimes(&self, dfg: &Dfg) -> Vec<Lifetime> {
+        dfg.var_ids()
+            .map(|v| {
+                let write_step = match dfg.writer_of(v) {
+                    Some(n) => self.completion_of(n),
+                    None => 0, // primary input, loaded before step 1
+                };
+                let read_steps: Vec<u32> = dfg
+                    .readers_of(v)
+                    .iter()
+                    .map(|&n| self.completion_of(n))
+                    .collect();
+                let last_read = read_steps.iter().copied().max().unwrap_or(write_step);
+                let death = if dfg.var(v).is_output() {
+                    self.length.max(last_read)
+                } else {
+                    last_read
+                };
+                Lifetime {
+                    var: v,
+                    write_step,
+                    death,
+                    read_steps,
+                }
+            })
+            .collect()
+    }
+}
+
+/// The lifetime of one variable under a schedule.
+///
+/// The value exists from the end of `write_step` until the end of `death`
+/// (inclusive): it is readable during steps `write_step + 1 ..= death`.
+/// Primary inputs have `write_step == 0`; primary outputs die no earlier
+/// than the schedule length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lifetime {
+    /// The variable described.
+    pub var: VarId,
+    /// Step whose end produces the value (0 for primary inputs).
+    pub write_step: u32,
+    /// Last step during which the value is read (or must persist).
+    pub death: u32,
+    /// Every step at which a node reads this variable.
+    pub read_steps: Vec<u32>,
+}
+
+impl Lifetime {
+    /// Whether two variables may share an **edge-triggered register** (DFF).
+    ///
+    /// A DFF captures at the end of the write step, so one variable may be
+    /// written in the same step in which the other receives its final read:
+    /// compatible iff `self` dies no later than `other` is written, or vice
+    /// versa. Two values written in the same step always conflict.
+    #[must_use]
+    pub fn dff_compatible(&self, other: &Lifetime) -> bool {
+        self.write_step != other.write_step
+            && (self.death <= other.write_step || other.death <= self.write_step)
+    }
+
+    /// Whether two variables may share a **transparent latch**.
+    ///
+    /// The paper (§4.2) requires *completely disjoint* life spans — no
+    /// overlapping READs and WRITEs — because a latch is transparent while
+    /// its enable is high: writing during the final-read step of the other
+    /// variable would corrupt the read. Compatible iff the closed intervals
+    /// `[write_step, death]` do not intersect.
+    #[must_use]
+    pub fn latch_compatible(&self, other: &Lifetime) -> bool {
+        self.death < other.write_step || other.death < self.write_step
+    }
+
+    /// Length of the live interval in steps.
+    #[must_use]
+    pub fn span(&self) -> u32 {
+        self.death.saturating_sub(self.write_step)
+    }
+}
+
+impl fmt::Display for Lifetime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: w@{} d@{}", self.var, self.write_step, self.death)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DfgBuilder;
+    use crate::op::Op;
+
+    /// a, c inputs; s = a + c @1; d = s - a @2; d output.
+    fn tiny() -> (Dfg, Schedule) {
+        let mut b = DfgBuilder::new("tiny", 4);
+        let a = b.input("a");
+        let c = b.input("c");
+        let s = b.op_named("s", Op::Add, a, c);
+        let d = b.op_named("d", Op::Sub, s, a);
+        b.mark_output(d);
+        let g = b.finish().unwrap();
+        let sched = Schedule::new(&g, vec![1, 2], 2).unwrap();
+        (g, sched)
+    }
+
+    #[test]
+    fn valid_schedule_accepted() {
+        let (_, s) = tiny();
+        assert_eq!(s.length(), 2);
+        assert_eq!(s.step_of(NodeId(0)), 1);
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let (g, _) = tiny();
+        let err = Schedule::new(&g, vec![1], 2).unwrap_err();
+        assert!(matches!(err, ScheduleError::WrongArity { .. }));
+    }
+
+    #[test]
+    fn step_zero_rejected() {
+        let (g, _) = tiny();
+        let err = Schedule::new(&g, vec![0, 1], 2).unwrap_err();
+        assert!(matches!(err, ScheduleError::StepOutOfRange { .. }));
+    }
+
+    #[test]
+    fn step_beyond_length_rejected() {
+        let (g, _) = tiny();
+        let err = Schedule::new(&g, vec![1, 3], 2).unwrap_err();
+        assert!(matches!(err, ScheduleError::StepOutOfRange { .. }));
+    }
+
+    #[test]
+    fn dependence_violation_rejected() {
+        let (g, _) = tiny();
+        let err = Schedule::new(&g, vec![2, 2], 2).unwrap_err();
+        assert!(matches!(err, ScheduleError::DependenceViolated { .. }));
+        let err = Schedule::new(&g, vec![2, 1], 2).unwrap_err();
+        assert!(matches!(err, ScheduleError::DependenceViolated { .. }));
+    }
+
+    #[test]
+    fn nodes_at_step_and_parallelism() {
+        let (g, s) = tiny();
+        assert_eq!(s.nodes_at_step(1), vec![NodeId(0)]);
+        assert_eq!(s.nodes_at_step(2), vec![NodeId(1)]);
+        assert_eq!(s.max_parallelism(), 1);
+        let s2 = Schedule::new(&g, vec![1, 2], 3).unwrap();
+        assert_eq!(s2.nodes_at_step(3), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn lifetimes_of_inputs_and_outputs() {
+        let (g, s) = tiny();
+        let lts = s.lifetimes(&g);
+        let lt = |name: &str| {
+            let v = g.var_by_name(name).unwrap();
+            lts[v.index()].clone()
+        };
+        // a read at steps 1 and 2, input ⇒ write step 0, death 2.
+        assert_eq!(lt("a").write_step, 0);
+        assert_eq!(lt("a").death, 2);
+        // c read only at step 1.
+        assert_eq!(lt("c").death, 1);
+        // s written @1, read @2.
+        assert_eq!(lt("s").write_step, 1);
+        assert_eq!(lt("s").death, 2);
+        // d written @2, output ⇒ persists to schedule end (2).
+        assert_eq!(lt("d").write_step, 2);
+        assert_eq!(lt("d").death, 2);
+    }
+
+    #[test]
+    fn unread_non_output_dies_at_write() {
+        let mut b = DfgBuilder::new("unread", 4);
+        let a = b.input("a");
+        b.op_named("dead", Op::Add, a, 1u64);
+        let out = b.op_named("out", Op::Sub, a, 1u64);
+        b.mark_output(out);
+        let g = b.finish().unwrap();
+        let s = Schedule::new(&g, vec![1, 1], 1).unwrap();
+        let dead = g.var_by_name("dead").unwrap();
+        let lts = s.lifetimes(&g);
+        assert_eq!(lts[dead.index()].write_step, 1);
+        assert_eq!(lts[dead.index()].death, 1);
+        assert_eq!(lts[dead.index()].span(), 0);
+    }
+
+    #[test]
+    fn dff_compatibility_allows_touching_intervals() {
+        let u = Lifetime {
+            var: VarId(0),
+            write_step: 0,
+            death: 2,
+            read_steps: vec![2],
+        };
+        let v = Lifetime {
+            var: VarId(1),
+            write_step: 2,
+            death: 4,
+            read_steps: vec![4],
+        };
+        assert!(u.dff_compatible(&v));
+        assert!(v.dff_compatible(&u));
+    }
+
+    #[test]
+    fn latch_compatibility_requires_strict_disjointness() {
+        let u = Lifetime {
+            var: VarId(0),
+            write_step: 0,
+            death: 2,
+            read_steps: vec![2],
+        };
+        let v = Lifetime {
+            var: VarId(1),
+            write_step: 2,
+            death: 4,
+            read_steps: vec![4],
+        };
+        // touching at step 2: fine for DFF, conflict for latch
+        assert!(!u.latch_compatible(&v));
+        let w = Lifetime {
+            var: VarId(2),
+            write_step: 3,
+            death: 4,
+            read_steps: vec![4],
+        };
+        assert!(u.latch_compatible(&w));
+    }
+
+    #[test]
+    fn overlapping_lifetimes_incompatible_everywhere() {
+        let u = Lifetime {
+            var: VarId(0),
+            write_step: 0,
+            death: 3,
+            read_steps: vec![3],
+        };
+        let v = Lifetime {
+            var: VarId(1),
+            write_step: 1,
+            death: 2,
+            read_steps: vec![2],
+        };
+        assert!(!u.dff_compatible(&v));
+        assert!(!u.latch_compatible(&v));
+    }
+}

@@ -1,0 +1,655 @@
+//! Schedulers producing [`Schedule`]s from a [`Dfg`].
+//!
+//! The paper assumes "the DFG schedule has been determined earlier by any
+//! scheduling methodology such as \[15\]". We provide the standard family:
+//!
+//! * [`asap`] — as-soon-as-possible (dependence-constrained only),
+//! * [`alap`] — as-late-as-possible within a target latency,
+//! * [`list_schedule`] — resource-constrained list scheduling with
+//!   critical-path priority,
+//! * [`force_directed`] — time-constrained force-directed scheduling after
+//!   Paulin & Knight (the paper's reference \[13\], used for the HAL design).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::graph::{Dfg, NodeId};
+use crate::op::Op;
+use crate::schedule::Schedule;
+
+/// Errors from the schedulers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedulerError {
+    /// The requested latency is shorter than the critical path.
+    LatencyTooShort {
+        /// Requested schedule length.
+        requested: u32,
+        /// Minimum feasible length (critical path).
+        critical_path: u32,
+    },
+    /// A resource constraint forbids an operation entirely (limit 0).
+    ImpossibleConstraint(Op),
+}
+
+impl fmt::Display for SchedulerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulerError::LatencyTooShort {
+                requested,
+                critical_path,
+            } => write!(
+                f,
+                "latency {requested} below critical path {critical_path}"
+            ),
+            SchedulerError::ImpossibleConstraint(op) => {
+                write!(f, "resource constraint allows zero units for `{op}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedulerError {}
+
+/// Per-operation concurrency limits for [`list_schedule`].
+///
+/// Operations without an explicit limit are unconstrained.
+///
+/// # Examples
+///
+/// ```
+/// use mc_dfg::{ResourceConstraints, Op};
+///
+/// let rc = ResourceConstraints::new().with_limit(Op::Mul, 1);
+/// assert_eq!(rc.limit(Op::Mul), Some(1));
+/// assert_eq!(rc.limit(Op::Add), None);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResourceConstraints {
+    per_op: BTreeMap<Op, usize>,
+}
+
+impl ResourceConstraints {
+    /// No constraints.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Limits concurrent executions of `op` to `max` per step.
+    #[must_use]
+    pub fn with_limit(mut self, op: Op, max: usize) -> Self {
+        self.per_op.insert(op, max);
+        self
+    }
+
+    /// The limit for `op`, if any.
+    #[must_use]
+    pub fn limit(&self, op: Op) -> Option<usize> {
+        self.per_op.get(&op).copied()
+    }
+}
+
+/// Per-operation execution latencies in control steps (multi-cycle
+/// functional units). Operations default to a single cycle.
+///
+/// # Examples
+///
+/// ```
+/// use mc_dfg::{LatencyModel, Op};
+///
+/// let model = LatencyModel::unit().with_latency(Op::Div, 2);
+/// assert_eq!(model.latency(Op::Div), 2);
+/// assert_eq!(model.latency(Op::Add), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyModel {
+    per_op: BTreeMap<Op, u32>,
+}
+
+impl LatencyModel {
+    /// Every operation takes one cycle.
+    #[must_use]
+    pub fn unit() -> Self {
+        Self::default()
+    }
+
+    /// A typical multi-cycle profile for small datapaths: a two-cycle
+    /// sequential divider, everything else single-cycle.
+    #[must_use]
+    pub fn slow_divider() -> Self {
+        Self::unit().with_latency(Op::Div, 2)
+    }
+
+    /// Sets the latency of `op` (clamped to at least 1).
+    #[must_use]
+    pub fn with_latency(mut self, op: Op, cycles: u32) -> Self {
+        self.per_op.insert(op, cycles.max(1));
+        self
+    }
+
+    /// The latency of `op` in steps.
+    #[must_use]
+    pub fn latency(&self, op: Op) -> u32 {
+        self.per_op.get(&op).copied().unwrap_or(1)
+    }
+
+    /// The latency vector for a graph, indexed by node.
+    #[must_use]
+    pub fn for_dfg(&self, dfg: &Dfg) -> Vec<u32> {
+        dfg.node_ids().map(|n| self.latency(dfg.node(n).op())).collect()
+    }
+}
+
+/// ASAP scheduling under a latency model: every node starts as soon as
+/// all its producers have completed.
+#[must_use]
+pub fn asap_with_latencies(dfg: &Dfg, model: &LatencyModel) -> Schedule {
+    let lat = model.for_dfg(dfg);
+    let mut steps = vec![0u32; dfg.num_nodes()];
+    for &n in dfg.topological_order() {
+        let earliest = dfg
+            .preds(n)
+            .map(|p| steps[p.index()] + lat[p.index()])
+            .max()
+            .unwrap_or(1);
+        steps[n.index()] = earliest;
+    }
+    let length = dfg
+        .node_ids()
+        .map(|n| steps[n.index()] + lat[n.index()] - 1)
+        .max()
+        .unwrap_or(1);
+    Schedule::with_latencies(dfg, steps, length, lat)
+        .expect("latency-aware ASAP is valid by construction")
+}
+
+/// ASAP step for every node (1-based), without building a `Schedule`.
+fn asap_steps(dfg: &Dfg) -> Vec<u32> {
+    let mut steps = vec![0u32; dfg.num_nodes()];
+    for &n in dfg.topological_order() {
+        let earliest = dfg.preds(n).map(|p| steps[p.index()] + 1).max().unwrap_or(1);
+        steps[n.index()] = earliest;
+    }
+    steps
+}
+
+/// The critical-path length of the graph in control steps.
+#[must_use]
+pub fn critical_path(dfg: &Dfg) -> u32 {
+    asap_steps(dfg).into_iter().max().unwrap_or(0)
+}
+
+/// As-soon-as-possible schedule. Every node runs at the earliest step its
+/// dependences allow; the length is the critical path.
+///
+/// # Examples
+///
+/// ```
+/// use mc_dfg::{DfgBuilder, Op, scheduler::asap};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = DfgBuilder::new("chain", 4);
+/// let a = b.input("a");
+/// let s = b.op(Op::Add, a, a);
+/// let d = b.op(Op::Sub, s, a);
+/// b.mark_output(d);
+/// let g = b.finish()?;
+/// let sched = asap(&g);
+/// assert_eq!(sched.length(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn asap(dfg: &Dfg) -> Schedule {
+    let steps = asap_steps(dfg);
+    let length = steps.iter().copied().max().unwrap_or(1);
+    Schedule::new(dfg, steps, length).expect("ASAP schedule is valid by construction")
+}
+
+/// As-late-as-possible schedule within `latency` steps.
+///
+/// # Errors
+///
+/// Returns [`SchedulerError::LatencyTooShort`] if `latency` is below the
+/// critical path.
+pub fn alap(dfg: &Dfg, latency: u32) -> Result<Schedule, SchedulerError> {
+    let cp = critical_path(dfg);
+    if latency < cp {
+        return Err(SchedulerError::LatencyTooShort {
+            requested: latency,
+            critical_path: cp,
+        });
+    }
+    let mut steps = vec![0u32; dfg.num_nodes()];
+    for &n in dfg.topological_order().iter().rev() {
+        let latest = dfg
+            .succs(n)
+            .iter()
+            .map(|s| steps[s.index()] - 1)
+            .min()
+            .unwrap_or(latency);
+        steps[n.index()] = latest;
+    }
+    Ok(Schedule::new(dfg, steps, latency).expect("ALAP schedule is valid by construction"))
+}
+
+/// Resource-constrained list scheduling with critical-path (longest path to
+/// any sink) priority: at each step, ready nodes are placed in priority
+/// order until a resource class is exhausted.
+///
+/// # Errors
+///
+/// Returns [`SchedulerError::ImpossibleConstraint`] if some required
+/// operation has a limit of zero.
+pub fn list_schedule(
+    dfg: &Dfg,
+    constraints: &ResourceConstraints,
+) -> Result<Schedule, SchedulerError> {
+    for n in dfg.node_ids() {
+        if constraints.limit(dfg.node(n).op()) == Some(0) {
+            return Err(SchedulerError::ImpossibleConstraint(dfg.node(n).op()));
+        }
+    }
+    // Priority: height = longest path from node to a sink (inclusive).
+    let mut height = vec![1u32; dfg.num_nodes()];
+    for &n in dfg.topological_order().iter().rev() {
+        let h = dfg
+            .succs(n)
+            .iter()
+            .map(|s| height[s.index()] + 1)
+            .max()
+            .unwrap_or(1);
+        height[n.index()] = h;
+    }
+    let mut steps = vec![0u32; dfg.num_nodes()];
+    let mut unscheduled = dfg.num_nodes();
+    let mut t = 0u32;
+    while unscheduled > 0 {
+        t += 1;
+        // Ready: unscheduled, all preds scheduled strictly before t.
+        let mut ready: Vec<NodeId> = dfg
+            .node_ids()
+            .filter(|&n| {
+                steps[n.index()] == 0
+                    && dfg
+                        .preds(n)
+                        .all(|p| steps[p.index()] != 0 && steps[p.index()] < t)
+            })
+            .collect();
+        ready.sort_by_key(|&n| std::cmp::Reverse(height[n.index()]));
+        let mut used: BTreeMap<Op, usize> = BTreeMap::new();
+        for n in ready {
+            let op = dfg.node(n).op();
+            let u = used.entry(op).or_insert(0);
+            if constraints.limit(op).is_none_or(|lim| *u < lim) {
+                steps[n.index()] = t;
+                *u += 1;
+                unscheduled -= 1;
+            }
+        }
+    }
+    Ok(Schedule::new(dfg, steps, t).expect("list schedule is valid by construction"))
+}
+
+/// Resource class used by the force-directed distribution graphs: expensive
+/// (multiply/divide) units are balanced separately from cheap ALU ops, the
+/// classic Paulin–Knight grouping.
+fn fds_class(op: Op) -> usize {
+    usize::from(op.is_expensive())
+}
+
+/// Time-constrained force-directed scheduling (Paulin & Knight): balances
+/// the expected concurrency (distribution graphs) of expensive and cheap
+/// operation classes across `latency` steps by repeatedly fixing the
+/// assignment with the lowest force.
+///
+/// # Errors
+///
+/// Returns [`SchedulerError::LatencyTooShort`] if `latency` is below the
+/// critical path.
+pub fn force_directed(dfg: &Dfg, latency: u32) -> Result<Schedule, SchedulerError> {
+    let cp = critical_path(dfg);
+    if latency < cp {
+        return Err(SchedulerError::LatencyTooShort {
+            requested: latency,
+            critical_path: cp,
+        });
+    }
+    let nn = dfg.num_nodes();
+    // Mutable frames [lo, hi] per node; fixing a node collapses its frame.
+    let mut lo = asap_steps(dfg);
+    let mut hi = {
+        let alap_sched = alap(dfg, latency)?;
+        dfg.node_ids().map(|n| alap_sched.step_of(n)).collect::<Vec<_>>()
+    };
+    let mut fixed = vec![false; nn];
+
+    // Propagates frame tightening through dependences until a fixpoint.
+    let propagate = |lo: &mut Vec<u32>, hi: &mut Vec<u32>| {
+        loop {
+            let mut changed = false;
+            for &n in dfg.topological_order() {
+                let min_lo = dfg.preds(n).map(|p| lo[p.index()] + 1).max().unwrap_or(1);
+                if lo[n.index()] < min_lo {
+                    lo[n.index()] = min_lo;
+                    changed = true;
+                }
+            }
+            for &n in dfg.topological_order().iter().rev() {
+                let max_hi = dfg
+                    .succs(n)
+                    .iter()
+                    .map(|s| hi[s.index()].saturating_sub(1))
+                    .min()
+                    .unwrap_or(latency);
+                if hi[n.index()] > max_hi {
+                    hi[n.index()] = max_hi;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    };
+    propagate(&mut lo, &mut hi);
+
+    let distribution = |lo: &[u32], hi: &[u32]| -> [Vec<f64>; 2] {
+        let mut dg = [vec![0.0; latency as usize + 1], vec![0.0; latency as usize + 1]];
+        for n in dfg.node_ids() {
+            let class = fds_class(dfg.node(n).op());
+            let (a, b) = (lo[n.index()], hi[n.index()]);
+            let p = 1.0 / f64::from(b - a + 1);
+            for t in a..=b {
+                dg[class][t as usize] += p;
+            }
+        }
+        dg
+    };
+
+    for _ in 0..nn {
+        let dg = distribution(&lo, &hi);
+        // Choose the unfixed (node, step) with minimal self-force.
+        let mut best: Option<(f64, NodeId, u32)> = None;
+        for n in dfg.node_ids() {
+            if fixed[n.index()] {
+                continue;
+            }
+            let class = fds_class(dfg.node(n).op());
+            let (a, b) = (lo[n.index()], hi[n.index()]);
+            let frame = f64::from(b - a + 1);
+            let avg: f64 = (a..=b).map(|t| dg[class][t as usize]).sum::<f64>() / frame;
+            for t in a..=b {
+                // Self-force of fixing n at t: DG rises by (1 - p) at t and
+                // falls by p elsewhere in the frame; classic approximation
+                // is DG(t) - average DG over the frame.
+                let force = dg[class][t as usize] - avg;
+                let better = match best {
+                    None => true,
+                    Some((bf, bn, bt)) => {
+                        force < bf - 1e-12
+                            || ((force - bf).abs() <= 1e-12 && (n, t) < (bn, bt))
+                    }
+                };
+                if better {
+                    best = Some((force, n, t));
+                }
+            }
+        }
+        let (_, n, t) = best.expect("an unfixed node exists");
+        lo[n.index()] = t;
+        hi[n.index()] = t;
+        fixed[n.index()] = true;
+        propagate(&mut lo, &mut hi);
+    }
+    Ok(Schedule::new(dfg, lo, latency).expect("force-directed schedule is valid by construction"))
+}
+
+/// Phase-affine scheduling — an extension beyond the paper, which assumes
+/// the schedule is fixed before clock assignment. Under an `n`-clock
+/// scheme, an operation whose operands were written in a *different*
+/// partition costs combinational power there (§3.2); this scheduler
+/// delays each operation (within a slack budget) until a step owned by
+/// the partition of its most expensive operand, so reads stay
+/// in-partition.
+///
+/// `stretch` bounds the schedule-length increase over ASAP in steps; with
+/// `stretch = 0` the result equals ASAP.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn phase_affine(dfg: &Dfg, n: u32, stretch: u32) -> Schedule {
+    assert!(n >= 1, "at least one clock");
+    let phase_of = |t: u32| (t - 1) % n + 1;
+    let asap_len = critical_path(dfg);
+    let budget = asap_len + stretch;
+    // Longest path (in steps, inclusive) from each node to any sink: a
+    // node placed at step t forces a schedule length of at least
+    // t + height - 1, which is what the budget must bound.
+    let mut height = vec![1u32; dfg.num_nodes()];
+    for &node in dfg.topological_order().iter().rev() {
+        let h = dfg
+            .succs(node)
+            .iter()
+            .map(|s| height[s.index()] + 1)
+            .max()
+            .unwrap_or(1);
+        height[node.index()] = h;
+    }
+    let mut steps = vec![0u32; dfg.num_nodes()];
+    for &node in dfg.topological_order() {
+        let earliest = dfg
+            .preds(node)
+            .map(|p| steps[p.index()] + 1)
+            .max()
+            .unwrap_or(1);
+        // Preferred partition: that of the operand produced by the most
+        // expensive unit (stabilising a multiplier's consumer pays most);
+        // ties broken toward the left operand. Operands that are primary
+        // inputs impose no preference (they are stable all period).
+        let mut pref: Option<u32> = None;
+        let mut pref_cost = -1.0f64;
+        for v in dfg.node(node).read_vars() {
+            if let Some(p) = dfg.writer_of(v) {
+                let cost = if dfg.node(p).op().is_expensive() { 2.0 } else { 1.0 };
+                if cost > pref_cost {
+                    pref_cost = cost;
+                    pref = Some(phase_of(steps[p.index()]));
+                }
+            }
+        }
+        let chosen = match pref {
+            Some(k) if n > 1 => {
+                // Smallest step >= earliest in partition k, if it fits the
+                // latency budget; otherwise fall back to the earliest step.
+                let candidate = (earliest..earliest + n)
+                    .find(|&t| phase_of(t) == k)
+                    .expect("every n consecutive steps cover every phase");
+                if candidate + height[node.index()] - 1 <= budget {
+                    candidate
+                } else {
+                    earliest
+                }
+            }
+            _ => earliest,
+        };
+        steps[node.index()] = chosen;
+    }
+    let length = steps.iter().copied().max().unwrap_or(1);
+    Schedule::new(dfg, steps, length).expect("phase-affine schedule is valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DfgBuilder;
+
+    /// Two independent chains of length 2 sharing inputs:
+    /// s1 = a+b @?, d1 = s1-a; s2 = a*b, d2 = s2*b.
+    fn two_chains() -> Dfg {
+        let mut b = DfgBuilder::new("chains", 4);
+        let a = b.input("a");
+        let c = b.input("c");
+        let s1 = b.op_named("s1", Op::Add, a, c);
+        let d1 = b.op_named("d1", Op::Sub, s1, a);
+        let s2 = b.op_named("s2", Op::Mul, a, c);
+        let d2 = b.op_named("d2", Op::Mul, s2, c);
+        b.mark_output(d1);
+        b.mark_output(d2);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn asap_packs_to_critical_path() {
+        let g = two_chains();
+        let s = asap(&g);
+        assert_eq!(s.length(), 2);
+        assert_eq!(s.step_of(NodeId(0)), 1);
+        assert_eq!(s.step_of(NodeId(1)), 2);
+        assert_eq!(s.step_of(NodeId(2)), 1);
+        assert_eq!(s.step_of(NodeId(3)), 2);
+        assert_eq!(critical_path(&g), 2);
+    }
+
+    #[test]
+    fn alap_pushes_late() {
+        let g = two_chains();
+        let s = alap(&g, 4).unwrap();
+        assert_eq!(s.length(), 4);
+        assert_eq!(s.step_of(NodeId(1)), 4);
+        assert_eq!(s.step_of(NodeId(0)), 3);
+    }
+
+    #[test]
+    fn alap_too_short_errors() {
+        let g = two_chains();
+        assert!(matches!(
+            alap(&g, 1).unwrap_err(),
+            SchedulerError::LatencyTooShort { critical_path: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn list_schedule_respects_limits() {
+        let g = two_chains();
+        let rc = ResourceConstraints::new().with_limit(Op::Mul, 1);
+        let s = list_schedule(&g, &rc).unwrap();
+        // Never two multiplies in the same step.
+        for t in 1..=s.length() {
+            let muls = s
+                .nodes_at_step(t)
+                .into_iter()
+                .filter(|&n| g.node(n).op() == Op::Mul)
+                .count();
+            assert!(muls <= 1, "step {t} has {muls} multiplies");
+        }
+    }
+
+    #[test]
+    fn list_schedule_without_limits_matches_asap_length() {
+        let g = two_chains();
+        let s = list_schedule(&g, &ResourceConstraints::new()).unwrap();
+        assert_eq!(s.length(), critical_path(&g));
+    }
+
+    #[test]
+    fn list_schedule_zero_limit_errors() {
+        let g = two_chains();
+        let rc = ResourceConstraints::new().with_limit(Op::Mul, 0);
+        assert_eq!(
+            list_schedule(&g, &rc).unwrap_err(),
+            SchedulerError::ImpossibleConstraint(Op::Mul)
+        );
+    }
+
+    #[test]
+    fn force_directed_is_valid_and_balances() {
+        let g = two_chains();
+        let s = force_directed(&g, 4).unwrap();
+        assert_eq!(s.length(), 4);
+        // With latency 4 and two independent 2-chains of multiplies/adds,
+        // the expensive class should not exceed one multiply per step.
+        for t in 1..=4 {
+            let muls = s
+                .nodes_at_step(t)
+                .into_iter()
+                .filter(|&n| g.node(n).op().is_expensive())
+                .count();
+            assert!(muls <= 1, "step {t} has {muls} expensive ops");
+        }
+    }
+
+    #[test]
+    fn force_directed_too_short_errors() {
+        let g = two_chains();
+        assert!(force_directed(&g, 1).is_err());
+    }
+
+    #[test]
+    fn force_directed_at_critical_path_equals_asap_on_chains() {
+        let g = two_chains();
+        let s = force_directed(&g, 2).unwrap();
+        // No slack: must equal ASAP.
+        let a = asap(&g);
+        for n in g.node_ids() {
+            assert_eq!(s.step_of(n), a.step_of(n));
+        }
+    }
+
+    #[test]
+    fn phase_affine_with_single_clock_is_asap() {
+        let g = two_chains();
+        let s = phase_affine(&g, 1, 4);
+        let a = asap(&g);
+        for n in g.node_ids() {
+            assert_eq!(s.step_of(n), a.step_of(n));
+        }
+    }
+
+    #[test]
+    fn phase_affine_zero_stretch_is_asap_length() {
+        let g = two_chains();
+        let s = phase_affine(&g, 2, 0);
+        assert_eq!(s.length(), critical_path(&g));
+    }
+
+    #[test]
+    fn phase_affine_aligns_consumer_with_producer_partition() {
+        // Chain m = a*a @1 ; y = m+a — ASAP puts y at step 2 (phase 2);
+        // phase-affine delays it to step 3 (phase 1, the multiplier's
+        // partition).
+        let mut b = DfgBuilder::new("align", 4);
+        let a = b.input("a");
+        let m = b.op_named("m", Op::Mul, a, a);
+        let y = b.op_named("y", Op::Add, m, a);
+        b.mark_output(y);
+        let g = b.finish().unwrap();
+        let s = phase_affine(&g, 2, 2);
+        assert_eq!(s.step_of(NodeId(0)), 1);
+        assert_eq!(s.step_of(NodeId(1)), 3, "consumer delayed into phase 1");
+    }
+
+    #[test]
+    fn phase_affine_respects_budget() {
+        let mut b = DfgBuilder::new("budget", 4);
+        let a = b.input("a");
+        let mut prev = b.op(Op::Mul, a, a);
+        for _ in 0..5 {
+            prev = b.op(Op::Mul, prev, a);
+        }
+        b.mark_output(prev);
+        let g = b.finish().unwrap();
+        let cp = critical_path(&g);
+        for stretch in [0u32, 2, 6] {
+            let s = phase_affine(&g, 3, stretch);
+            assert!(
+                s.length() <= cp + stretch,
+                "stretch {stretch}: {} > {}",
+                s.length(),
+                cp + stretch
+            );
+        }
+    }
+}

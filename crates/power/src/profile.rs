@@ -1,0 +1,230 @@
+//! Power-over-time profiles: prices per-step activity into a per-step
+//! power series, making the multi-clock phase pattern visible (each
+//! partition draws power only around its own phase's steps).
+//!
+//! The per-step pricing uses design-average capacitances (total component
+//! capacitance spread over total events), so the profile is approximate
+//! in its split between mechanisms but exact in total: the series'
+//! average equals the aggregate power estimate.
+
+use mc_rtl::{ComponentKind, Netlist};
+use mc_sim::Activity;
+use mc_tech::{MemKind, TechLibrary};
+
+/// A per-control-step power series (mW per step).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerProfile {
+    /// Power per simulated step (mW).
+    pub steps_mw: Vec<f64>,
+    /// The controller period (steps per computation).
+    pub period: u32,
+}
+
+impl PowerProfile {
+    /// Average power over the whole run (mW).
+    #[must_use]
+    pub fn average_mw(&self) -> f64 {
+        if self.steps_mw.is_empty() {
+            0.0
+        } else {
+            self.steps_mw.iter().sum::<f64>() / self.steps_mw.len() as f64
+        }
+    }
+
+    /// Peak single-step power (mW).
+    #[must_use]
+    pub fn peak_mw(&self) -> f64 {
+        self.steps_mw.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Average power of each control step *within* the period, folding all
+    /// computations together — the phase activity pattern.
+    #[must_use]
+    pub fn folded(&self) -> Vec<f64> {
+        let p = self.period as usize;
+        if p == 0 || self.steps_mw.is_empty() {
+            return Vec::new();
+        }
+        let mut sums = vec![0.0; p];
+        let mut counts = vec![0usize; p];
+        for (i, &mw) in self.steps_mw.iter().enumerate() {
+            sums[i % p] += mw;
+            counts[i % p] += 1;
+        }
+        sums.iter()
+            .zip(&counts)
+            .map(|(s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+            .collect()
+    }
+
+    /// Renders the folded profile as an ASCII bar chart.
+    #[must_use]
+    pub fn render_folded(&self) -> String {
+        use std::fmt::Write as _;
+        let folded = self.folded();
+        let peak = folded.iter().copied().fold(0.0, f64::max).max(1e-12);
+        let mut s = String::new();
+        for (i, mw) in folded.iter().enumerate() {
+            let bars = ((mw / peak) * 40.0).round() as usize;
+            let _ = writeln!(s, "T{:<3} {:>7.3} mW |{}", i + 1, mw, "#".repeat(bars));
+        }
+        s
+    }
+}
+
+/// Builds the per-step power profile from a profiled simulation.
+///
+/// `activity.per_step` must be present (run the simulation with
+/// [`SimConfig::with_profile`](mc_sim::SimConfig::with_profile)).
+///
+/// # Errors
+///
+/// Returns [`NoProfile`] when the activity carries no per-step counters.
+pub fn power_profile(
+    netlist: &Netlist,
+    activity: &Activity,
+    lib: &TechLibrary,
+) -> Result<PowerProfile, NoProfile> {
+    let steps = activity.per_step.as_ref().ok_or(NoProfile)?;
+    let width = netlist.width();
+    let w = f64::from(width);
+
+    // Design-average capacitance per event class.
+    let mut net_cap = 0.0;
+    let mut nets = 0usize;
+    for n in netlist.net_ids() {
+        net_cap += lib.wire_cap_per_bit(netlist.receivers_of(n).len());
+        nets += 1;
+    }
+    let avg_net_cap = if nets == 0 { 0.0 } else { net_cap / nets as f64 };
+
+    let mut alu_cap = 0.0;
+    let mut alus = 0usize;
+    let mut clock_cap = 0.0;
+    let mut store_cap = 0.0;
+    let mut mems = 0usize;
+    for c in netlist.component_ids() {
+        match netlist.component(c).kind() {
+            ComponentKind::Alu { fs, .. } => {
+                alu_cap += lib.alu_internal_cap(*fs, width);
+                alus += 1;
+            }
+            ComponentKind::Mem { kind, .. } => {
+                clock_cap += lib.mem_clock_cap(*kind, width);
+                store_cap += lib.mem_store_cap_per_bit(*kind);
+                mems += 1;
+            }
+            _ => {}
+        }
+    }
+    let avg_alu_cap = if alus == 0 { 0.0 } else { alu_cap / alus as f64 };
+    let avg_clock_cap = if mems == 0 {
+        lib.mem_clock_cap(MemKind::Latch, width)
+    } else {
+        clock_cap / mems as f64
+    };
+    let avg_store_cap = if mems == 0 {
+        lib.mem_store_cap_per_bit(MemKind::Latch)
+    } else {
+        store_cap / mems as f64
+    };
+
+    let steps_mw = steps
+        .iter()
+        .map(|s| {
+            let pj = s.net_toggles as f64 * lib.toggle_energy(avg_net_cap)
+                + s.input_toggles as f64 / (2.0 * w) * lib.full_swing_energy(avg_alu_cap)
+                + s.clock_pulses as f64 * lib.full_swing_energy(avg_clock_cap)
+                + s.store_toggles as f64 * lib.toggle_energy(avg_store_cap)
+                + s.control_toggles as f64 * lib.toggle_energy(lib.controller_cap_per_toggle())
+                + lib.full_swing_energy(lib.controller_clock_cap());
+            lib.power_mw(pj)
+        })
+        .collect();
+    Ok(PowerProfile {
+        steps_mw,
+        period: netlist.controller().len(),
+    })
+}
+
+/// Error returned when profiling data is absent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoProfile;
+
+impl std::fmt::Display for NoProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "simulation was run without profiling; enable SimConfig::with_profile"
+        )
+    }
+}
+
+impl std::error::Error for NoProfile {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_alloc::{allocate, AllocOptions, Strategy};
+    use mc_clocks::ClockScheme;
+    use mc_dfg::benchmarks;
+    use mc_rtl::PowerMode;
+    use mc_sim::{simulate, SimConfig};
+
+    fn profiled(n: u32) -> (Netlist, Activity) {
+        let bm = benchmarks::hal();
+        let dp = allocate(
+            &bm.dfg,
+            &bm.schedule,
+            &AllocOptions::new(Strategy::Integrated, ClockScheme::new(n).unwrap()),
+        )
+        .unwrap();
+        let cfg = SimConfig::new(PowerMode::multiclock(), 50, 7).with_profile();
+        let res = simulate(&dp.netlist, &cfg);
+        (dp.netlist, res.activity)
+    }
+
+    #[test]
+    fn profile_has_one_entry_per_step() {
+        let (nl, act) = profiled(2);
+        let p = power_profile(&nl, &act, &TechLibrary::vsc450()).unwrap();
+        assert_eq!(p.steps_mw.len() as u64, act.steps);
+        assert!(p.average_mw() > 0.0);
+        assert!(p.peak_mw() >= p.average_mw());
+    }
+
+    #[test]
+    fn folded_profile_has_period_entries() {
+        let (nl, act) = profiled(2);
+        let p = power_profile(&nl, &act, &TechLibrary::vsc450()).unwrap();
+        assert_eq!(p.folded().len(), nl.controller().len() as usize);
+        let render = p.render_folded();
+        assert_eq!(render.lines().count(), nl.controller().len() as usize);
+        assert!(render.contains("mW"));
+    }
+
+    #[test]
+    fn unprofiled_activity_is_rejected() {
+        let bm = benchmarks::hal();
+        let dp = allocate(
+            &bm.dfg,
+            &bm.schedule,
+            &AllocOptions::new(Strategy::Integrated, ClockScheme::new(2).unwrap()),
+        )
+        .unwrap();
+        let res = simulate(&dp.netlist, &SimConfig::new(PowerMode::multiclock(), 5, 7));
+        assert!(power_profile(&dp.netlist, &res.activity, &TechLibrary::vsc450()).is_err());
+    }
+
+    #[test]
+    fn profile_varies_across_the_period() {
+        // Different steps execute different operations, so the folded
+        // profile is not flat.
+        let (nl, act) = profiled(3);
+        let p = power_profile(&nl, &act, &TechLibrary::vsc450()).unwrap();
+        let folded = p.folded();
+        let min = folded.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = folded.iter().copied().fold(0.0, f64::max);
+        assert!(max > min * 1.05, "profile suspiciously flat: {folded:?}");
+    }
+}

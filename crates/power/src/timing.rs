@@ -1,0 +1,167 @@
+//! Static timing analysis of a synthesised netlist: the worst
+//! register-to-register combinational path and the implied maximum clock
+//! frequency.
+//!
+//! This backs the paper's "no loss of performance" claim with a check:
+//! under the multi-clock scheme every operation still completes within
+//! one *system* clock period (the phase clocks only gate which latches
+//! capture), so a multi-clock design is viable at the target `f` exactly
+//! when its critical path fits the period — same condition as the
+//! conventional design.
+
+use mc_rtl::{ComponentKind, Netlist};
+use mc_tech::{MemKind, TechLibrary};
+
+/// The timing summary of one design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingReport {
+    /// Worst register-to-register path (ns), including clock-to-Q, logic,
+    /// interconnect and setup.
+    pub critical_path_ns: f64,
+    /// Maximum system clock frequency (MHz) implied by the critical path.
+    pub fmax_mhz: f64,
+    /// Whether the design meets the library's reporting frequency.
+    pub meets_target: bool,
+}
+
+/// Computes the worst register-to-register path of `netlist` under `lib`'s
+/// delay model.
+#[must_use]
+pub fn analyze_timing(netlist: &Netlist, lib: &TechLibrary) -> TimingReport {
+    let width = netlist.width();
+    // Arrival time at each net (ns after the clock edge).
+    let mut arrival = vec![0.0f64; netlist.num_nets()];
+    for c in netlist.component_ids() {
+        let comp = netlist.component(c);
+        let out = comp.output();
+        let launch = match comp.kind() {
+            ComponentKind::Mem { kind, .. } => lib.mem_clk_to_q_ns(*kind),
+            // Primary inputs settle from the environment's registers at a
+            // comparable clock-to-Q; constants are static.
+            ComponentKind::Input => lib.mem_clk_to_q_ns(MemKind::Dff),
+            ComponentKind::Const { .. } => 0.0,
+            _ => continue,
+        };
+        arrival[out.index()] = launch + lib.wire_delay_ns(netlist.receivers_of(out).len());
+    }
+    for &c in netlist.combinational_order() {
+        let comp = netlist.component(c);
+        let inputs_ready = comp
+            .data_inputs()
+            .iter()
+            .map(|n| arrival[n.index()])
+            .fold(0.0, f64::max);
+        let delay = match comp.kind() {
+            ComponentKind::Mux { inputs } => lib.mux_delay_ns(inputs.len()),
+            ComponentKind::Alu { fs, .. } => lib.alu_delay_ns(*fs, width),
+            _ => unreachable!("combinational order holds only muxes and ALUs"),
+        };
+        let out = comp.output();
+        arrival[out.index()] =
+            inputs_ready + delay + lib.wire_delay_ns(netlist.receivers_of(out).len());
+    }
+    // The path ends at a memory element's data input plus setup.
+    let mut critical: f64 = 0.0;
+    for mem in netlist.mems() {
+        if let ComponentKind::Mem { kind, input, .. } = netlist.component(mem).kind() {
+            critical = critical.max(arrival[input.index()] + lib.mem_setup_ns(*kind));
+        }
+    }
+    // Supply-voltage derating: delays stretch as the supply approaches
+    // the threshold (see `TechLibrary::delay_derating`).
+    let critical = critical * lib.delay_derating();
+    let fmax_mhz = if critical > 0.0 { 1000.0 / critical } else { f64::INFINITY };
+    TimingReport {
+        critical_path_ns: critical,
+        fmax_mhz,
+        meets_target: fmax_mhz >= lib.clock_mhz(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_alloc::{allocate, AllocOptions, Strategy};
+    use mc_clocks::ClockScheme;
+    use mc_dfg::benchmarks;
+
+    fn netlist(n: u32) -> Netlist {
+        let bm = benchmarks::facet();
+        let strategy = if n == 1 { Strategy::Conventional } else { Strategy::Integrated };
+        allocate(
+            &bm.dfg,
+            &bm.schedule,
+            &AllocOptions::new(strategy, ClockScheme::new(n).unwrap()),
+        )
+        .unwrap()
+        .netlist
+    }
+
+    #[test]
+    fn critical_path_is_positive_and_fmax_consistent() {
+        let lib = TechLibrary::vsc450();
+        let t = analyze_timing(&netlist(1), &lib);
+        assert!(t.critical_path_ns > 0.0);
+        assert!((t.fmax_mhz - 1000.0 / t.critical_path_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_paper_design_meets_the_target_frequency() {
+        // The "no performance loss" premise: all five styles of all four
+        // benchmarks must close timing at the reporting frequency.
+        let lib = TechLibrary::vsc450();
+        for bm in benchmarks::paper_benchmarks() {
+            let conv = allocate(
+                &bm.dfg,
+                &bm.schedule,
+                &AllocOptions::new(Strategy::Conventional, ClockScheme::single()),
+            )
+            .unwrap();
+            let t = analyze_timing(&conv.netlist, &lib);
+            assert!(t.meets_target, "{} conventional: {t:?}", bm.name());
+            for n in [1u32, 2, 3] {
+                let dp = allocate(
+                    &bm.dfg,
+                    &bm.schedule,
+                    &AllocOptions::new(Strategy::Integrated, ClockScheme::new(n).unwrap()),
+                )
+                .unwrap();
+                let t = analyze_timing(&dp.netlist, &lib);
+                assert!(t.meets_target, "{} n={n}: {t:?}", bm.name());
+            }
+        }
+    }
+
+    #[test]
+    fn multiclock_critical_path_is_comparable_to_conventional() {
+        // The phase clocks must not lengthen the combinational paths by
+        // more than mux restructuring noise.
+        let lib = TechLibrary::vsc450();
+        let t1 = analyze_timing(&netlist(1), &lib);
+        let t3 = analyze_timing(&netlist(3), &lib);
+        assert!(
+            t3.critical_path_ns < t1.critical_path_ns * 1.3,
+            "3-clock path {} vs conventional {}",
+            t3.critical_path_ns,
+            t1.critical_path_ns
+        );
+    }
+
+    #[test]
+    fn wider_datapaths_are_slower() {
+        let lib = TechLibrary::vsc450();
+        let build = |w: u8| {
+            let bm = benchmarks::hal_w(w);
+            allocate(
+                &bm.dfg,
+                &bm.schedule,
+                &AllocOptions::new(Strategy::Integrated, ClockScheme::new(2).unwrap()),
+            )
+            .unwrap()
+            .netlist
+        };
+        let t4 = analyze_timing(&build(4), &lib);
+        let t16 = analyze_timing(&build(16), &lib);
+        assert!(t16.critical_path_ns > t4.critical_path_ns);
+    }
+}

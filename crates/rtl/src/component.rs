@@ -1,0 +1,256 @@
+//! Netlist components: ALUs, memory elements, muxes, constant drivers and
+//! primary-input ports.
+
+use std::fmt;
+
+use mc_clocks::PhaseId;
+use mc_dfg::FunctionSet;
+use mc_tech::MemKind;
+
+/// Identifier of a component within one netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CompId(pub(crate) u32);
+
+impl CompId {
+    /// Dense index (`0..netlist.num_components()`).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CompId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Identifier of a net (a single-driver signal bundle of datapath width).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// Dense index (`0..netlist.num_nets()`).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// The behavioural kind of one component, with its port connectivity.
+///
+/// Every component drives exactly one output net; data inputs are nets.
+/// Control inputs (mux select, ALU function select, memory load) come from
+/// the [`Controller`](crate::Controller), not from nets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ComponentKind {
+    /// A (possibly multi-function) ALU with two data ports.
+    Alu {
+        /// The operations this ALU can perform.
+        fs: FunctionSet,
+        /// Left operand net.
+        a: NetId,
+        /// Right operand net.
+        b: NetId,
+    },
+    /// A memory element (latch or DFF) in a specific clock partition.
+    Mem {
+        /// Latch or DFF.
+        kind: MemKind,
+        /// The phase clock driving this element.
+        phase: PhaseId,
+        /// Data input net.
+        input: NetId,
+    },
+    /// A `k`-input multiplexer (`k >= 1`; `k == 1` is a feed-through that
+    /// the clean-up phase normally removes).
+    Mux {
+        /// Data input nets in select order.
+        inputs: Vec<NetId>,
+    },
+    /// A hard-wired constant driver.
+    Const {
+        /// The driven value (masked to the datapath width).
+        value: u64,
+    },
+    /// A primary-input port driven by the environment.
+    Input,
+}
+
+/// A netlist component: kind, connectivity, output net and a report label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    pub(crate) kind: ComponentKind,
+    pub(crate) out: NetId,
+    pub(crate) label: String,
+}
+
+impl Component {
+    /// The component's kind and connectivity.
+    #[must_use]
+    pub fn kind(&self) -> &ComponentKind {
+        &self.kind
+    }
+
+    /// The net driven by this component.
+    #[must_use]
+    pub fn output(&self) -> NetId {
+        self.out
+    }
+
+    /// The human-readable label used in reports and exports (e.g. the
+    /// variable names merged into a register, or an ALU's function set).
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The data-input nets of this component, in port order.
+    #[must_use]
+    pub fn data_inputs(&self) -> Vec<NetId> {
+        match &self.kind {
+            ComponentKind::Alu { a, b, .. } => vec![*a, *b],
+            ComponentKind::Mem { input, .. } => vec![*input],
+            ComponentKind::Mux { inputs } => inputs.clone(),
+            ComponentKind::Const { .. } | ComponentKind::Input => Vec::new(),
+        }
+    }
+
+    /// Whether this component is a memory element.
+    #[must_use]
+    pub fn is_mem(&self) -> bool {
+        matches!(self.kind, ComponentKind::Mem { .. })
+    }
+
+    /// Whether this component is an ALU.
+    #[must_use]
+    pub fn is_alu(&self) -> bool {
+        matches!(self.kind, ComponentKind::Alu { .. })
+    }
+
+    /// Whether this component is a mux.
+    #[must_use]
+    pub fn is_mux(&self) -> bool {
+        matches!(self.kind, ComponentKind::Mux { .. })
+    }
+
+    /// Whether this component is combinational (recomputed every step).
+    #[must_use]
+    pub fn is_combinational(&self) -> bool {
+        matches!(
+            self.kind,
+            ComponentKind::Alu { .. } | ComponentKind::Mux { .. }
+        )
+    }
+
+    /// The clock phase of a memory element, or `None` for everything else.
+    #[must_use]
+    pub fn mem_phase(&self) -> Option<PhaseId> {
+        match self.kind {
+            ComponentKind::Mem { phase, .. } => Some(phase),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ComponentKind::Alu { fs, a, b } => {
+                write!(f, "ALU{fs} ({a}, {b}) -> {} [{}]", self.out, self.label)
+            }
+            ComponentKind::Mem { kind, phase, input } => {
+                let k = match kind {
+                    MemKind::Latch => "LATCH",
+                    MemKind::Dff => "DFF",
+                };
+                write!(f, "{k}@{phase} ({input}) -> {} [{}]", self.out, self.label)
+            }
+            ComponentKind::Mux { inputs } => {
+                write!(f, "MUX{}(", inputs.len())?;
+                for (i, n) in inputs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}")?;
+                }
+                write!(f, ") -> {} [{}]", self.out, self.label)
+            }
+            ComponentKind::Const { value } => {
+                write!(f, "CONST #{value} -> {}", self.out)
+            }
+            ComponentKind::Input => write!(f, "INPUT -> {} [{}]", self.out, self.label),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_dfg::Op;
+
+    fn alu() -> Component {
+        Component {
+            kind: ComponentKind::Alu {
+                fs: FunctionSet::from_ops([Op::Add, Op::Sub]),
+                a: NetId(0),
+                b: NetId(1),
+            },
+            out: NetId(2),
+            label: "alu0".into(),
+        }
+    }
+
+    #[test]
+    fn data_inputs_per_kind() {
+        assert_eq!(alu().data_inputs(), vec![NetId(0), NetId(1)]);
+        let mem = Component {
+            kind: ComponentKind::Mem {
+                kind: MemKind::Latch,
+                phase: PhaseId::new(1),
+                input: NetId(3),
+            },
+            out: NetId(4),
+            label: "r0".into(),
+        };
+        assert_eq!(mem.data_inputs(), vec![NetId(3)]);
+        let c = Component {
+            kind: ComponentKind::Const { value: 3 },
+            out: NetId(5),
+            label: "#3".into(),
+        };
+        assert!(c.data_inputs().is_empty());
+    }
+
+    #[test]
+    fn kind_predicates() {
+        let a = alu();
+        assert!(a.is_alu() && a.is_combinational() && !a.is_mem() && !a.is_mux());
+        let mem = Component {
+            kind: ComponentKind::Mem {
+                kind: MemKind::Dff,
+                phase: PhaseId::new(2),
+                input: NetId(0),
+            },
+            out: NetId(1),
+            label: "r".into(),
+        };
+        assert!(mem.is_mem() && !mem.is_combinational());
+        assert_eq!(mem.mem_phase(), Some(PhaseId::new(2)));
+        assert_eq!(a.mem_phase(), None);
+    }
+
+    #[test]
+    fn display_includes_connectivity() {
+        let s = alu().to_string();
+        assert!(s.contains("ALU(+-)"));
+        assert!(s.contains("w0"));
+        assert!(s.contains("w2"));
+    }
+}

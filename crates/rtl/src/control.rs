@@ -1,0 +1,255 @@
+//! The controller: per-step control words for mux selects, ALU functions
+//! and memory load enables, plus the power-management mode of a design.
+//!
+//! The controller is a Moore FSM that cycles through the schedule's
+//! control steps; one computation of the behaviour takes one full cycle of
+//! the controller. Control values may be *unspecified* in a step
+//! (don't-care); whether an unspecified line holds its previous value
+//! (latched control lines, the paper's §3.2 suggestion 2) or falls back to
+//! a default is chosen by the [`ControlPolicy`].
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use mc_dfg::Op;
+
+use crate::component::CompId;
+
+/// The control values asserted during one control step.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ControlWord {
+    /// Selected data input per mux (absent ⇒ don't-care).
+    pub mux_sel: BTreeMap<CompId, usize>,
+    /// Executed function per ALU (absent ⇒ ALU idle this step).
+    pub alu_fn: BTreeMap<CompId, Op>,
+    /// Memory elements whose load enable is asserted this step.
+    pub mem_load: BTreeSet<CompId>,
+}
+
+impl ControlWord {
+    /// An all-don't-care word.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the ALU `c` executes an operation this step.
+    #[must_use]
+    pub fn alu_active(&self, c: CompId) -> bool {
+        self.alu_fn.contains_key(&c)
+    }
+}
+
+/// How unspecified (don't-care) control lines behave between uses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ControlPolicy {
+    /// The line holds its previous value — the paper's *latched control
+    /// lines* (§3.2): mux selects stay stable between a partition's
+    /// adjacent clock pulses, so idle partitions see no input changes.
+    #[default]
+    Hold,
+    /// The line returns to a default (select 0, function = first in set)
+    /// when unspecified — a controller synthesised without latching, which
+    /// toggles control lines and downstream muxes needlessly.
+    Zero,
+}
+
+/// The power-management mechanisms active in a design. Combinations
+/// reproduce the paper's five design styles (see `mc-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PowerMode {
+    /// Gate memory-element clocks: a memory element receives a clock pulse
+    /// only in steps where its load enable is asserted (the conventional
+    /// gated-clock technique of the paper's reference \[10\]).
+    pub gated_mem_clocks: bool,
+    /// Operand isolation: when an ALU is idle in a step, its input ports
+    /// are frozen so no combinational power is consumed ("extra logic to
+    /// isolate ALUs", §2.2).
+    pub operand_isolation: bool,
+    /// Behaviour of unspecified control lines.
+    pub control_policy: ControlPolicy,
+}
+
+impl PowerMode {
+    /// No power management: clocks toggle everywhere, every step; control
+    /// lines fall to defaults. The paper's "Conven. Alloc. (Non-Gated
+    /// Clock)" row.
+    #[must_use]
+    pub fn non_gated() -> Self {
+        PowerMode {
+            gated_mem_clocks: false,
+            operand_isolation: false,
+            control_policy: ControlPolicy::Zero,
+        }
+    }
+
+    /// Conventional power management: gated clocks plus ALU operand
+    /// isolation. The paper's "Conven. Alloc. (Gated Clock)" row.
+    #[must_use]
+    pub fn gated() -> Self {
+        PowerMode {
+            gated_mem_clocks: true,
+            operand_isolation: true,
+            control_policy: ControlPolicy::Zero,
+        }
+    }
+
+    /// The multi-clock scheme's mode: phase clocks do the gating work, and
+    /// control lines are latched between a partition's pulses (§3.2).
+    #[must_use]
+    pub fn multiclock() -> Self {
+        PowerMode {
+            gated_mem_clocks: false,
+            operand_isolation: false,
+            control_policy: ControlPolicy::Hold,
+        }
+    }
+}
+
+impl fmt::Display for PowerMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gated={} isolation={} control={:?}",
+            self.gated_mem_clocks, self.operand_isolation, self.control_policy
+        )
+    }
+}
+
+/// The controller FSM: one [`ControlWord`] per control step, cycled with
+/// period `len`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Controller {
+    words: Vec<ControlWord>,
+}
+
+impl Controller {
+    /// A controller with `steps` all-don't-care words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0`.
+    #[must_use]
+    pub fn new(steps: u32) -> Self {
+        assert!(steps >= 1, "a controller needs at least one step");
+        Controller {
+            words: vec![ControlWord::new(); steps as usize],
+        }
+    }
+
+    /// Number of control steps (the period).
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.words.len() as u32
+    }
+
+    /// Always false (a controller has ≥ 1 step); provided for API
+    /// completeness alongside [`Controller::len`].
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The word for 1-based step `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is 0 or beyond the period.
+    #[must_use]
+    pub fn word(&self, t: u32) -> &ControlWord {
+        assert!(t >= 1, "control steps are 1-based");
+        &self.words[(t - 1) as usize]
+    }
+
+    /// Mutable access to the word for 1-based step `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is 0 or beyond the period.
+    pub fn word_mut(&mut self, t: u32) -> &mut ControlWord {
+        assert!(t >= 1, "control steps are 1-based");
+        &mut self.words[(t - 1) as usize]
+    }
+
+    /// Iterates `(step, word)` in step order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &ControlWord)> {
+        self.words.iter().enumerate().map(|(i, w)| (i as u32 + 1, w))
+    }
+
+    /// Total number of distinct control points referenced anywhere in the
+    /// schedule (mux selects + ALU function selects + load enables), a
+    /// proxy for controller output width.
+    #[must_use]
+    pub fn control_points(&self) -> usize {
+        let mut muxes = BTreeSet::new();
+        let mut alus = BTreeSet::new();
+        let mut mems = BTreeSet::new();
+        for w in &self.words {
+            muxes.extend(w.mux_sel.keys().copied());
+            alus.extend(w.alu_fn.keys().copied());
+            mems.extend(w.mem_load.iter().copied());
+        }
+        muxes.len() + alus.len() + mems.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn controller_indexing_is_one_based() {
+        let mut c = Controller::new(3);
+        c.word_mut(2).mem_load.insert(CompId(7));
+        assert!(c.word(2).mem_load.contains(&CompId(7)));
+        assert!(c.word(1).mem_load.is_empty());
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_step_controller_panics() {
+        let _ = Controller::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn word_zero_panics() {
+        let _ = Controller::new(2).word(0);
+    }
+
+    #[test]
+    fn control_points_counts_distinct_lines() {
+        let mut c = Controller::new(2);
+        c.word_mut(1).mux_sel.insert(CompId(0), 1);
+        c.word_mut(2).mux_sel.insert(CompId(0), 0); // same mux
+        c.word_mut(1).alu_fn.insert(CompId(1), Op::Add);
+        c.word_mut(2).mem_load.insert(CompId(2));
+        assert_eq!(c.control_points(), 3);
+    }
+
+    #[test]
+    fn alu_active_reflects_word() {
+        let mut c = Controller::new(1);
+        c.word_mut(1).alu_fn.insert(CompId(4), Op::Mul);
+        assert!(c.word(1).alu_active(CompId(4)));
+        assert!(!c.word(1).alu_active(CompId(5)));
+    }
+
+    #[test]
+    fn power_mode_presets() {
+        assert!(!PowerMode::non_gated().gated_mem_clocks);
+        assert!(PowerMode::gated().gated_mem_clocks);
+        assert!(PowerMode::gated().operand_isolation);
+        assert_eq!(PowerMode::multiclock().control_policy, ControlPolicy::Hold);
+        assert_eq!(PowerMode::non_gated().control_policy, ControlPolicy::Zero);
+    }
+
+    #[test]
+    fn iter_yields_steps_in_order() {
+        let c = Controller::new(4);
+        let steps: Vec<u32> = c.iter().map(|(t, _)| t).collect();
+        assert_eq!(steps, vec![1, 2, 3, 4]);
+    }
+}

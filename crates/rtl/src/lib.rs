@@ -1,0 +1,48 @@
+//! Structural RTL netlists for the multi-clock low-power synthesis system:
+//! components (ALUs, latches/DFFs, muxes), single-driver nets, clock
+//! partitions, and the controller FSM.
+//!
+//! The model follows the paper's §3.1: the basic unit is the *functional
+//! block* (two muxes → ALU → memory elements) and a *datapath module*
+//! (DPM) is a set of functional blocks sharing one phase clock. Here the
+//! netlist is stored flat — components plus nets — and the FB/DPM grouping
+//! is derived ([`Netlist::dpm_groups`]) for reporting and export.
+//!
+//! # Building a netlist
+//!
+//! ```
+//! use mc_rtl::{NetlistBuilder, PowerMode};
+//! use mc_clocks::{ClockScheme, PhaseId};
+//! use mc_dfg::{FunctionSet, Op};
+//! use mc_tech::MemKind;
+//!
+//! # fn main() -> Result<(), mc_rtl::NetlistError> {
+//! let scheme = ClockScheme::new(2).expect("2 clocks is valid");
+//! let mut nb = NetlistBuilder::new("acc", 4, scheme, 2);
+//! let (_, x) = nb.add_input("x");
+//! // Accumulator register in partition 1, fed back through the ALU.
+//! let (acc, acc_out) = nb.add_mem(MemKind::Latch, PhaseId::new(1), "acc");
+//! let (alu, sum) = nb.add_alu(FunctionSet::single(Op::Add), x, acc_out, "adder");
+//! nb.set_mem_input(acc, sum);
+//! nb.mark_output("total", acc_out);
+//! nb.controller_mut().word_mut(1).alu_fn.insert(alu, Op::Add);
+//! nb.controller_mut().word_mut(1).mem_load.insert(acc);
+//! let netlist = nb.finish()?;
+//! assert_eq!(netlist.stats().mem_cells, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod component;
+mod control;
+pub mod discipline;
+pub mod export;
+pub mod lint;
+mod netlist;
+
+pub use component::{CompId, Component, ComponentKind, NetId};
+pub use control::{ControlPolicy, ControlWord, Controller, PowerMode};
+pub use netlist::{Netlist, NetlistBuilder, NetlistError, NetlistStats};

@@ -1,0 +1,265 @@
+//! Netlist linting: structural and controller-consistency checks beyond
+//! the hard validation of [`NetlistBuilder::finish`](crate::NetlistBuilder).
+//!
+//! Hard validation rejects netlists that cannot be simulated; lints flag
+//! netlists that simulate but almost certainly don't mean what their
+//! author intended — dead logic, never-captured memories, and above all
+//! *off-phase loads*: a load enable asserted in a step not owned by the
+//! memory's phase clock silently never captures.
+
+use std::fmt;
+
+use crate::component::CompId;
+use crate::netlist::Netlist;
+
+/// Severity of a lint finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Stylistic or informational.
+    Info,
+    /// Almost certainly a functional or power bug.
+    Warning,
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lint {
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// The offending component, when one is identifiable.
+    pub comp: Option<CompId>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+        };
+        match self.comp {
+            Some(c) => write!(f, "{sev}: {c}: {}", self.message),
+            None => write!(f, "{sev}: {}", self.message),
+        }
+    }
+}
+
+/// Runs all lints over `netlist`, returning findings sorted by severity
+/// (warnings first) then component.
+#[must_use]
+pub fn lint(netlist: &Netlist) -> Vec<Lint> {
+    let mut out = Vec::new();
+
+    // Dead nets: driven but never read and not a primary output.
+    let output_nets: Vec<_> = netlist.outputs().iter().map(|(_, n)| *n).collect();
+    for n in netlist.net_ids() {
+        if netlist.receivers_of(n).is_empty() && !output_nets.contains(&n) {
+            out.push(Lint {
+                severity: Severity::Warning,
+                comp: Some(netlist.driver_of(n)),
+                message: format!(
+                    "net {} ({}) is driven but never read",
+                    n,
+                    netlist.net_name(n)
+                ),
+            });
+        }
+    }
+
+    // Controller coverage per component.
+    let words: Vec<_> = netlist.controller().iter().map(|(_, w)| w.clone()).collect();
+    for c in netlist.component_ids() {
+        let comp = netlist.component(c);
+        match comp.kind() {
+            crate::ComponentKind::Mem { phase, .. } => {
+                let load_steps: Vec<u32> = netlist
+                    .controller()
+                    .iter()
+                    .filter(|(_, w)| w.mem_load.contains(&c))
+                    .map(|(t, _)| t)
+                    .collect();
+                if load_steps.is_empty() {
+                    out.push(Lint {
+                        severity: Severity::Warning,
+                        comp: Some(c),
+                        message: format!(
+                            "memory `{}` is never loaded; it holds its reset value forever",
+                            comp.label()
+                        ),
+                    });
+                }
+                for &t in &load_steps {
+                    if !netlist.scheme().is_active(*phase, t) {
+                        out.push(Lint {
+                            severity: Severity::Warning,
+                            comp: Some(c),
+                            message: format!(
+                                "memory `{}` has a load at step {t}, which {phase} does not \
+                                 own — the capture silently never happens",
+                                comp.label()
+                            ),
+                        });
+                    }
+                }
+            }
+            crate::ComponentKind::Alu { .. } => {
+                if !words.iter().any(|w| w.alu_fn.contains_key(&c)) {
+                    out.push(Lint {
+                        severity: Severity::Warning,
+                        comp: Some(c),
+                        message: format!("ALU `{}` never executes an operation", comp.label()),
+                    });
+                }
+            }
+            crate::ComponentKind::Mux { inputs } => {
+                if inputs.len() >= 2 && !words.iter().any(|w| w.mux_sel.contains_key(&c)) {
+                    out.push(Lint {
+                        severity: Severity::Warning,
+                        comp: Some(c),
+                        message: format!(
+                            "mux `{}` has {} inputs but its select is never driven",
+                            comp.label(),
+                            inputs.len()
+                        ),
+                    });
+                }
+                if inputs.len() == 1 {
+                    out.push(Lint {
+                        severity: Severity::Info,
+                        comp: Some(c),
+                        message: format!(
+                            "mux `{}` has a single input; a wire would do",
+                            comp.label()
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Idle controller steps (informational — common in padded schedules).
+    for (t, w) in netlist.controller().iter() {
+        if w.mem_load.is_empty() && w.alu_fn.is_empty() {
+            out.push(Lint {
+                severity: Severity::Info,
+                comp: None,
+                message: format!("control step {t} performs no loads or operations"),
+            });
+        }
+    }
+
+    out.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.comp.cmp(&b.comp)));
+    out
+}
+
+/// Convenience: only the warnings.
+#[must_use]
+pub fn warnings(netlist: &Netlist) -> Vec<Lint> {
+    lint(netlist)
+        .into_iter()
+        .filter(|l| l.severity == Severity::Warning)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetlistBuilder;
+    use mc_clocks::{ClockScheme, PhaseId};
+    use mc_dfg::{FunctionSet, Op};
+    use mc_tech::MemKind;
+
+    /// A small, deliberately clean netlist.
+    fn clean() -> Netlist {
+        let scheme = ClockScheme::new(2).unwrap();
+        let mut nb = NetlistBuilder::new("clean", 4, scheme, 2);
+        let (_, a) = nb.add_input("a");
+        let (r, rout) = nb.add_mem(MemKind::Latch, PhaseId::new(1), "r");
+        let (alu, aout) = nb.add_alu(FunctionSet::single(Op::Add), a, rout, "alu");
+        nb.set_mem_input(r, aout);
+        nb.mark_output("y", rout);
+        let w = nb.controller_mut().word_mut(1);
+        w.alu_fn.insert(alu, Op::Add);
+        w.mem_load.insert(r);
+        nb.finish().unwrap()
+    }
+
+    #[test]
+    fn clean_netlist_has_no_warnings() {
+        let findings = warnings(&clean());
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn idle_step_is_reported_as_info() {
+        let findings = lint(&clean());
+        assert!(findings
+            .iter()
+            .any(|l| l.severity == Severity::Info && l.message.contains("step 2")));
+    }
+
+    #[test]
+    fn off_phase_load_is_flagged() {
+        let scheme = ClockScheme::new(2).unwrap();
+        let mut nb = NetlistBuilder::new("offphase", 4, scheme, 2);
+        let (_, a) = nb.add_input("a");
+        let (r, rout) = nb.add_mem(MemKind::Latch, PhaseId::new(1), "r");
+        nb.set_mem_input(r, a);
+        nb.mark_output("y", rout);
+        // Phase 1 owns step 1; loading at step 2 never captures.
+        nb.controller_mut().word_mut(2).mem_load.insert(r);
+        let nl = nb.finish().unwrap();
+        let findings = warnings(&nl);
+        assert!(
+            findings.iter().any(|l| l.message.contains("does not own")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn never_loaded_mem_and_idle_alu_are_flagged() {
+        let scheme = ClockScheme::single();
+        let mut nb = NetlistBuilder::new("dead", 4, scheme, 1);
+        let (_, a) = nb.add_input("a");
+        let (r, rout) = nb.add_mem(MemKind::Dff, PhaseId::new(1), "r");
+        let (_alu, aout) = nb.add_alu(FunctionSet::single(Op::Add), a, rout, "alu");
+        nb.set_mem_input(r, aout);
+        nb.mark_output("y", rout);
+        let nl = nb.finish().unwrap();
+        let findings = warnings(&nl);
+        assert!(findings.iter().any(|l| l.message.contains("never loaded")));
+        assert!(findings.iter().any(|l| l.message.contains("never executes")));
+    }
+
+    #[test]
+    fn dead_net_is_flagged() {
+        let scheme = ClockScheme::single();
+        let mut nb = NetlistBuilder::new("deadnet", 4, scheme, 1);
+        let (_, a) = nb.add_input("a");
+        nb.add_const(7); // drives a net nobody reads
+        let (r, rout) = nb.add_mem(MemKind::Dff, PhaseId::new(1), "r");
+        nb.set_mem_input(r, a);
+        nb.mark_output("y", rout);
+        nb.controller_mut().word_mut(1).mem_load.insert(r);
+        let nl = nb.finish().unwrap();
+        assert!(warnings(&nl)
+            .iter()
+            .any(|l| l.message.contains("never read")));
+    }
+
+    #[test]
+    fn findings_render() {
+        let scheme = ClockScheme::single();
+        let mut nb = NetlistBuilder::new("r", 4, scheme, 1);
+        let (_, a) = nb.add_input("a");
+        let (r, rout) = nb.add_mem(MemKind::Dff, PhaseId::new(1), "r");
+        nb.set_mem_input(r, a);
+        nb.mark_output("y", rout);
+        let nl = nb.finish().unwrap();
+        let all = lint(&nl);
+        assert!(!all.is_empty());
+        assert!(all[0].to_string().contains("warning"));
+    }
+}

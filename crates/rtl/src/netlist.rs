@@ -1,0 +1,785 @@
+//! The structural netlist: components wired by single-driver nets, a
+//! controller, and a clock scheme — the output of allocation and the input
+//! to simulation, power estimation and export.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use mc_clocks::{ClockScheme, PhaseId};
+use mc_dfg::FunctionSet;
+use mc_tech::MemKind;
+
+use crate::component::{CompId, Component, ComponentKind, NetId};
+use crate::control::Controller;
+
+/// Sentinel for a memory input that has not been connected yet.
+const UNCONNECTED: NetId = NetId(u32::MAX);
+
+/// Errors detected while validating a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A memory element was never connected to a data source.
+    UnconnectedMem(CompId),
+    /// A component references a net that does not exist.
+    DanglingNet(CompId, NetId),
+    /// The combinational subgraph (muxes/ALUs) contains a cycle not broken
+    /// by a memory element.
+    CombinationalCycle(CompId),
+    /// A controller word targets a component of the wrong kind or with an
+    /// out-of-range value.
+    BadControl {
+        /// The 1-based control step.
+        step: u32,
+        /// The component targeted.
+        comp: CompId,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A memory element's phase exceeds the clock scheme.
+    PhaseOutOfRange(CompId, PhaseId),
+    /// A primary output references a net that does not exist.
+    BadOutput(String),
+    /// A mux was declared with no inputs.
+    EmptyMux(CompId),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnconnectedMem(c) => write!(f, "memory {c} has no data input"),
+            NetlistError::DanglingNet(c, n) => write!(f, "component {c} references missing {n}"),
+            NetlistError::CombinationalCycle(c) => {
+                write!(f, "combinational cycle through component {c}")
+            }
+            NetlistError::BadControl { step, comp, reason } => {
+                write!(f, "bad control at step {step} for {comp}: {reason}")
+            }
+            NetlistError::PhaseOutOfRange(c, p) => {
+                write!(f, "memory {c} clocked by {p} outside the scheme")
+            }
+            NetlistError::BadOutput(name) => write!(f, "primary output `{name}` has no net"),
+            NetlistError::EmptyMux(c) => write!(f, "mux {c} has no inputs"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// Resource statistics in the shape of the paper's table columns: ALU
+/// function sets, memory cells (words), and total mux data inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Function set of every ALU.
+    pub alus: Vec<FunctionSet>,
+    /// Number of memory elements (words), the "Mem. Cells" column.
+    pub mem_cells: usize,
+    /// Total data inputs over all muxes with ≥ 2 inputs, the "Mux In's"
+    /// column.
+    pub mux_inputs: usize,
+    /// Number of muxes with ≥ 2 inputs.
+    pub muxes: usize,
+    /// Number of nets.
+    pub nets: usize,
+}
+
+impl NetlistStats {
+    /// Formats the ALU list the way the paper's tables do: `2(+),1(*+)`.
+    #[must_use]
+    pub fn alu_summary(&self) -> String {
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        for fs in &self.alus {
+            *counts.entry(fs.to_string()).or_insert(0) += 1;
+        }
+        counts
+            .into_iter()
+            .map(|(fs, n)| format!("{n}{fs}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// A validated structural netlist.
+///
+/// Built with [`NetlistBuilder`]; all structural invariants (single-driver
+/// nets, acyclic combinational logic, well-typed control words) hold after
+/// [`NetlistBuilder::finish`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Netlist {
+    name: String,
+    width: u8,
+    scheme: ClockScheme,
+    components: Vec<Component>,
+    net_names: Vec<String>,
+    net_driver: Vec<CompId>,
+    controller: Controller,
+    inputs: Vec<(String, CompId)>,
+    outputs: Vec<(String, NetId)>,
+    comb_order: Vec<CompId>,
+}
+
+impl Netlist {
+    /// The design name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Datapath bit width.
+    #[must_use]
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// The clock scheme the design runs under.
+    #[must_use]
+    pub fn scheme(&self) -> ClockScheme {
+        self.scheme
+    }
+
+    /// Number of components.
+    #[must_use]
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Number of nets.
+    #[must_use]
+    pub fn num_nets(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// The component `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` does not belong to this netlist.
+    #[must_use]
+    pub fn component(&self, c: CompId) -> &Component {
+        &self.components[c.index()]
+    }
+
+    /// Iterates over all component ids.
+    pub fn component_ids(&self) -> impl Iterator<Item = CompId> {
+        (0..self.components.len() as u32).map(CompId)
+    }
+
+    /// Iterates over all net ids.
+    pub fn net_ids(&self) -> impl Iterator<Item = NetId> {
+        (0..self.net_names.len() as u32).map(NetId)
+    }
+
+    /// The name of net `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` does not belong to this netlist.
+    #[must_use]
+    pub fn net_name(&self, n: NetId) -> &str {
+        &self.net_names[n.index()]
+    }
+
+    /// The component driving net `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` does not belong to this netlist.
+    #[must_use]
+    pub fn driver_of(&self, n: NetId) -> CompId {
+        self.net_driver[n.index()]
+    }
+
+    /// The components reading net `n` (receivers), in id order.
+    #[must_use]
+    pub fn receivers_of(&self, n: NetId) -> Vec<CompId> {
+        self.component_ids()
+            .filter(|&c| self.component(c).data_inputs().contains(&n))
+            .collect()
+    }
+
+    /// The controller FSM.
+    #[must_use]
+    pub fn controller(&self) -> &Controller {
+        &self.controller
+    }
+
+    /// Primary inputs: `(name, input component)` in declaration order.
+    #[must_use]
+    pub fn inputs(&self) -> &[(String, CompId)] {
+        &self.inputs
+    }
+
+    /// Primary outputs: `(name, net)` in declaration order.
+    #[must_use]
+    pub fn outputs(&self) -> &[(String, NetId)] {
+        &self.outputs
+    }
+
+    /// Combinational components (muxes, ALUs) in evaluation order: every
+    /// component appears after all combinational components driving its
+    /// inputs.
+    #[must_use]
+    pub fn combinational_order(&self) -> &[CompId] {
+        &self.comb_order
+    }
+
+    /// The memory elements, in id order.
+    pub fn mems(&self) -> impl Iterator<Item = CompId> + '_ {
+        self.component_ids().filter(|&c| self.component(c).is_mem())
+    }
+
+    /// Resource statistics in the paper's table shape.
+    #[must_use]
+    pub fn stats(&self) -> NetlistStats {
+        let mut alus = Vec::new();
+        let mut mem_cells = 0;
+        let mut mux_inputs = 0;
+        let mut muxes = 0;
+        for c in &self.components {
+            match c.kind() {
+                ComponentKind::Alu { fs, .. } => alus.push(*fs),
+                ComponentKind::Mem { .. } => mem_cells += 1,
+                ComponentKind::Mux { inputs } if inputs.len() >= 2 => {
+                    mux_inputs += inputs.len();
+                    muxes += 1;
+                }
+                _ => {}
+            }
+        }
+        NetlistStats {
+            alus,
+            mem_cells,
+            mux_inputs,
+            muxes,
+            nets: self.num_nets(),
+        }
+    }
+
+    /// Groups components into the paper's datapath modules (Fig. 3b):
+    /// memory elements by phase, each combinational component assigned to
+    /// the phase of the memories it (transitively) feeds. Components
+    /// feeding several phases are reported under the smallest such phase
+    /// and flagged shared in the export.
+    #[must_use]
+    pub fn dpm_groups(&self) -> BTreeMap<PhaseId, Vec<CompId>> {
+        let mut groups: BTreeMap<PhaseId, Vec<CompId>> = BTreeMap::new();
+        for k in self.scheme.phases() {
+            groups.insert(k, Vec::new());
+        }
+        // Phase of each component: mems have their own; combinational
+        // components inherit the phase of the nearest downstream mem.
+        let mut phase_of: Vec<Option<PhaseId>> = vec![None; self.components.len()];
+        for c in self.component_ids() {
+            if let Some(p) = self.component(c).mem_phase() {
+                phase_of[c.index()] = Some(p);
+            }
+        }
+        // Walk combinational components in reverse evaluation order so
+        // downstream phases are known first.
+        for &c in self.comb_order.iter().rev() {
+            let receivers = self.receivers_of(self.component(c).output());
+            let p = receivers
+                .iter()
+                .filter_map(|&r| phase_of[r.index()])
+                .min();
+            phase_of[c.index()] = p;
+        }
+        for c in self.component_ids() {
+            if let Some(p) = phase_of[c.index()] {
+                groups.entry(p).or_default().push(c);
+            }
+        }
+        groups
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "netlist `{}` ({} bits, {})",
+            self.name, self.width, self.scheme
+        )?;
+        for c in self.component_ids() {
+            writeln!(f, "  {c}: {}", self.component(c))?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`Netlist`]. Allocators use this to materialise
+/// a datapath; see crate-level docs for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct NetlistBuilder {
+    name: String,
+    width: u8,
+    scheme: ClockScheme,
+    components: Vec<Component>,
+    net_names: Vec<String>,
+    controller: Controller,
+    inputs: Vec<(String, CompId)>,
+    outputs: Vec<(String, NetId)>,
+}
+
+impl NetlistBuilder {
+    /// Starts a netlist for `width`-bit data under `scheme`, with a
+    /// controller of `steps` control steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0` (propagated from [`Controller::new`]).
+    #[must_use]
+    pub fn new(name: &str, width: u8, scheme: ClockScheme, steps: u32) -> Self {
+        NetlistBuilder {
+            name: name.to_owned(),
+            width,
+            scheme,
+            components: Vec::new(),
+            net_names: Vec::new(),
+            controller: Controller::new(steps),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, kind: ComponentKind, label: String, net_name: String) -> (CompId, NetId) {
+        let out = NetId(self.net_names.len() as u32);
+        self.net_names.push(net_name);
+        let id = CompId(self.components.len() as u32);
+        self.components.push(Component { kind, out, label });
+        (id, out)
+    }
+
+    /// Adds a primary-input port named `name`; returns the port and the
+    /// net it drives.
+    pub fn add_input(&mut self, name: &str) -> (CompId, NetId) {
+        let (id, out) = self.push(
+            ComponentKind::Input,
+            name.to_owned(),
+            format!("in_{name}"),
+        );
+        self.inputs.push((name.to_owned(), id));
+        (id, out)
+    }
+
+    /// Adds a constant driver.
+    pub fn add_const(&mut self, value: u64) -> (CompId, NetId) {
+        self.push(
+            ComponentKind::Const { value },
+            format!("#{value}"),
+            format!("const_{value}"),
+        )
+    }
+
+    /// Adds an ALU implementing `fs` with operand nets `a` and `b`.
+    pub fn add_alu(&mut self, fs: FunctionSet, a: NetId, b: NetId, label: &str) -> (CompId, NetId) {
+        self.push(
+            ComponentKind::Alu { fs, a, b },
+            label.to_owned(),
+            format!("alu_{label}"),
+        )
+    }
+
+    /// Adds a memory element with its data input initially unconnected;
+    /// connect it later with [`NetlistBuilder::set_mem_input`]. This
+    /// two-step protocol is what allows feedback through registers.
+    pub fn add_mem(&mut self, kind: MemKind, phase: PhaseId, label: &str) -> (CompId, NetId) {
+        self.push(
+            ComponentKind::Mem {
+                kind,
+                phase,
+                input: UNCONNECTED,
+            },
+            label.to_owned(),
+            format!("mem_{label}"),
+        )
+    }
+
+    /// Connects the data input of memory `mem` to `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mem` is not a memory element.
+    pub fn set_mem_input(&mut self, mem: CompId, net: NetId) {
+        match &mut self.components[mem.index()].kind {
+            ComponentKind::Mem { input, .. } => *input = net,
+            _ => panic!("{mem} is not a memory element"),
+        }
+    }
+
+    /// Adds a multiplexer over `inputs` (in select order).
+    pub fn add_mux(&mut self, inputs: Vec<NetId>, label: &str) -> (CompId, NetId) {
+        self.push(
+            ComponentKind::Mux { inputs },
+            label.to_owned(),
+            format!("mux_{label}"),
+        )
+    }
+
+    /// Declares net `net` as the primary output `name`.
+    pub fn mark_output(&mut self, name: &str, net: NetId) {
+        self.outputs.push((name.to_owned(), net));
+    }
+
+    /// Mutable access to the controller being built.
+    pub fn controller_mut(&mut self) -> &mut Controller {
+        &mut self.controller
+    }
+
+    /// The output net of component `c` (valid during building).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` has not been added.
+    #[must_use]
+    pub fn output_of(&self, c: CompId) -> NetId {
+        self.components[c.index()].out
+    }
+
+    /// Validates and freezes the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NetlistError`] describing the first violated invariant;
+    /// see that type for the full list of checks.
+    pub fn finish(self) -> Result<Netlist, NetlistError> {
+        let nn = self.net_names.len();
+        let nc = self.components.len();
+        // Connectivity checks.
+        for (i, comp) in self.components.iter().enumerate() {
+            let id = CompId(i as u32);
+            if let ComponentKind::Mem { input, .. } = comp.kind {
+                if input == UNCONNECTED {
+                    return Err(NetlistError::UnconnectedMem(id));
+                }
+            }
+            if let ComponentKind::Mux { inputs } = &comp.kind {
+                if inputs.is_empty() {
+                    return Err(NetlistError::EmptyMux(id));
+                }
+            }
+            for n in comp.data_inputs() {
+                if n.index() >= nn {
+                    return Err(NetlistError::DanglingNet(id, n));
+                }
+            }
+            if let Some(p) = comp.mem_phase() {
+                if p.get() > self.scheme.num_clocks() {
+                    return Err(NetlistError::PhaseOutOfRange(id, p));
+                }
+            }
+        }
+        let net_driver: Vec<CompId> = {
+            let mut d = vec![CompId(u32::MAX); nn];
+            for (i, comp) in self.components.iter().enumerate() {
+                d[comp.out.index()] = CompId(i as u32);
+            }
+            debug_assert!(
+                d.iter().all(|c| c.0 != u32::MAX),
+                "every net is created with its driver"
+            );
+            d
+        };
+        // Controller checks.
+        for (t, w) in self.controller.iter() {
+            for (&c, &sel) in &w.mux_sel {
+                match self.components.get(c.index()).map(Component::kind) {
+                    Some(ComponentKind::Mux { inputs }) => {
+                        if sel >= inputs.len() {
+                            return Err(NetlistError::BadControl {
+                                step: t,
+                                comp: c,
+                                reason: format!("select {sel} on a {}-input mux", inputs.len()),
+                            });
+                        }
+                    }
+                    _ => {
+                        return Err(NetlistError::BadControl {
+                            step: t,
+                            comp: c,
+                            reason: "mux select on a non-mux".into(),
+                        })
+                    }
+                }
+            }
+            for (&c, &op) in &w.alu_fn {
+                match self.components.get(c.index()).map(Component::kind) {
+                    Some(ComponentKind::Alu { fs, .. }) => {
+                        if !fs.contains(op) {
+                            return Err(NetlistError::BadControl {
+                                step: t,
+                                comp: c,
+                                reason: format!("function {op} outside {fs}"),
+                            });
+                        }
+                    }
+                    _ => {
+                        return Err(NetlistError::BadControl {
+                            step: t,
+                            comp: c,
+                            reason: "ALU function on a non-ALU".into(),
+                        })
+                    }
+                }
+            }
+            for &c in &w.mem_load {
+                if !self
+                    .components
+                    .get(c.index())
+                    .map(Component::is_mem)
+                    .unwrap_or(false)
+                {
+                    return Err(NetlistError::BadControl {
+                        step: t,
+                        comp: c,
+                        reason: "load enable on a non-memory".into(),
+                    });
+                }
+            }
+        }
+        // Combinational topological order (Kahn); mem/const/input outputs
+        // are sources.
+        let mut indeg = vec![0usize; nc];
+        for (i, comp) in self.components.iter().enumerate() {
+            if !comp.is_combinational() {
+                continue;
+            }
+            indeg[i] = comp
+                .data_inputs()
+                .iter()
+                .filter(|n| {
+                    let d = net_driver[n.index()];
+                    self.components[d.index()].is_combinational()
+                })
+                .count();
+        }
+        let mut queue: Vec<usize> = (0..nc)
+            .filter(|&i| self.components[i].is_combinational() && indeg[i] == 0)
+            .collect();
+        let mut comb_order = Vec::new();
+        let mut head = 0;
+        // Receivers index for the decrement pass.
+        let mut receivers: Vec<Vec<usize>> = vec![Vec::new(); nn];
+        for (i, comp) in self.components.iter().enumerate() {
+            if comp.is_combinational() {
+                for n in comp.data_inputs() {
+                    receivers[n.index()].push(i);
+                }
+            }
+        }
+        while head < queue.len() {
+            let i = queue[head];
+            head += 1;
+            comb_order.push(CompId(i as u32));
+            for &r in &receivers[self.components[i].out.index()] {
+                indeg[r] -= 1;
+                if indeg[r] == 0 {
+                    queue.push(r);
+                }
+            }
+        }
+        let comb_total = self
+            .components
+            .iter()
+            .filter(|c| c.is_combinational())
+            .count();
+        if comb_order.len() != comb_total {
+            let stuck = (0..nc)
+                .find(|&i| self.components[i].is_combinational() && indeg[i] > 0)
+                .expect("cycle member exists");
+            return Err(NetlistError::CombinationalCycle(CompId(stuck as u32)));
+        }
+        // Output checks.
+        for (name, n) in &self.outputs {
+            if n.index() >= nn {
+                return Err(NetlistError::BadOutput(name.clone()));
+            }
+        }
+        Ok(Netlist {
+            name: self.name,
+            width: self.width,
+            scheme: self.scheme,
+            components: self.components,
+            net_names: self.net_names,
+            net_driver,
+            controller: self.controller,
+            inputs: self.inputs,
+            outputs: self.outputs,
+            comb_order,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_dfg::Op;
+
+    /// in_a, in_b -> mux2 -> ALU(+,-) -> latch@1 -> output; ALU.b = in_b.
+    fn small() -> Netlist {
+        let scheme = ClockScheme::new(2).unwrap();
+        let mut nb = NetlistBuilder::new("small", 4, scheme, 2);
+        let (_, a) = nb.add_input("a");
+        let (_, b) = nb.add_input("b");
+        let (r, rout) = nb.add_mem(MemKind::Latch, PhaseId::new(1), "r0");
+        let (m, mout) = nb.add_mux(vec![a, rout], "m0");
+        let fs = FunctionSet::from_ops([Op::Add, Op::Sub]);
+        let (alu, aout) = nb.add_alu(fs, mout, b, "alu0");
+        nb.set_mem_input(r, aout);
+        nb.mark_output("y", rout);
+        {
+            let w = nb.controller_mut().word_mut(1);
+            w.mux_sel.insert(m, 0);
+            w.alu_fn.insert(alu, Op::Add);
+            w.mem_load.insert(r);
+        }
+        nb.finish().expect("small netlist is valid")
+    }
+
+    #[test]
+    fn builder_produces_connected_netlist() {
+        let n = small();
+        assert_eq!(n.num_components(), 5);
+        assert_eq!(n.num_nets(), 5);
+        assert_eq!(n.inputs().len(), 2);
+        assert_eq!(n.outputs().len(), 1);
+    }
+
+    #[test]
+    fn drivers_and_receivers() {
+        let n = small();
+        let mem = n.mems().next().unwrap();
+        let mem_out = n.component(mem).output();
+        assert_eq!(n.driver_of(mem_out), mem);
+        // The mem output feeds the mux (input 1).
+        let recv = n.receivers_of(mem_out);
+        assert_eq!(recv.len(), 1);
+        assert!(n.component(recv[0]).is_mux());
+    }
+
+    #[test]
+    fn combinational_order_respects_dependences() {
+        let n = small();
+        let order = n.combinational_order();
+        assert_eq!(order.len(), 2); // mux then ALU
+        assert!(n.component(order[0]).is_mux());
+        assert!(n.component(order[1]).is_alu());
+    }
+
+    #[test]
+    fn stats_match_structure() {
+        let n = small();
+        let s = n.stats();
+        assert_eq!(s.alus.len(), 1);
+        assert_eq!(s.mem_cells, 1);
+        assert_eq!(s.mux_inputs, 2);
+        assert_eq!(s.muxes, 1);
+        assert_eq!(s.alu_summary(), "1(+-)");
+    }
+
+    #[test]
+    fn unconnected_mem_rejected() {
+        let scheme = ClockScheme::single();
+        let mut nb = NetlistBuilder::new("bad", 4, scheme, 1);
+        let (_m, _) = nb.add_mem(MemKind::Dff, PhaseId::new(1), "r");
+        let err = nb.finish().unwrap_err();
+        assert!(matches!(err, NetlistError::UnconnectedMem(_)));
+    }
+
+    #[test]
+    fn empty_mux_rejected() {
+        let scheme = ClockScheme::single();
+        let mut nb = NetlistBuilder::new("bad", 4, scheme, 1);
+        nb.add_mux(vec![], "m");
+        assert!(matches!(nb.finish().unwrap_err(), NetlistError::EmptyMux(_)));
+    }
+
+    #[test]
+    fn phase_out_of_range_rejected() {
+        let scheme = ClockScheme::single();
+        let mut nb = NetlistBuilder::new("bad", 4, scheme, 1);
+        let (_, a) = nb.add_input("a");
+        let (m, _) = nb.add_mem(MemKind::Latch, PhaseId::new(2), "r");
+        nb.set_mem_input(m, a);
+        assert!(matches!(
+            nb.finish().unwrap_err(),
+            NetlistError::PhaseOutOfRange(..)
+        ));
+    }
+
+    #[test]
+    fn bad_mux_select_rejected() {
+        let scheme = ClockScheme::single();
+        let mut nb = NetlistBuilder::new("bad", 4, scheme, 1);
+        let (_, a) = nb.add_input("a");
+        let (m, _) = nb.add_mux(vec![a], "m");
+        nb.controller_mut().word_mut(1).mux_sel.insert(m, 1);
+        assert!(matches!(
+            nb.finish().unwrap_err(),
+            NetlistError::BadControl { .. }
+        ));
+    }
+
+    #[test]
+    fn alu_function_outside_set_rejected() {
+        let scheme = ClockScheme::single();
+        let mut nb = NetlistBuilder::new("bad", 4, scheme, 1);
+        let (_, a) = nb.add_input("a");
+        let (alu, _) = nb.add_alu(FunctionSet::single(Op::Add), a, a, "alu");
+        nb.controller_mut().word_mut(1).alu_fn.insert(alu, Op::Mul);
+        assert!(matches!(
+            nb.finish().unwrap_err(),
+            NetlistError::BadControl { .. }
+        ));
+    }
+
+    #[test]
+    fn load_on_non_mem_rejected() {
+        let scheme = ClockScheme::single();
+        let mut nb = NetlistBuilder::new("bad", 4, scheme, 1);
+        let (inp, _) = nb.add_input("a");
+        nb.controller_mut().word_mut(1).mem_load.insert(inp);
+        assert!(matches!(
+            nb.finish().unwrap_err(),
+            NetlistError::BadControl { .. }
+        ));
+    }
+
+    #[test]
+    fn combinational_cycle_rejected() {
+        let scheme = ClockScheme::single();
+        let mut nb = NetlistBuilder::new("bad", 4, scheme, 1);
+        let (_, a) = nb.add_input("a");
+        // mux1 reads mux2's output and vice versa: a combinational loop.
+        // Nets: in_a = w0, m1 out = w1, m2 out = w2.
+        let (_m1, o1) = nb.add_mux(vec![a, NetId(2)], "m1"); // forward ref to m2's output
+        let (_m2, _o2) = nb.add_mux(vec![o1], "m2");
+        let err = nb.finish().unwrap_err();
+        assert!(matches!(err, NetlistError::CombinationalCycle(_)));
+    }
+
+    #[test]
+    fn dpm_groups_split_by_phase() {
+        let scheme = ClockScheme::new(2).unwrap();
+        let mut nb = NetlistBuilder::new("dpm", 4, scheme, 2);
+        let (_, a) = nb.add_input("a");
+        let (r1, _) = nb.add_mem(MemKind::Latch, PhaseId::new(1), "r1");
+        let (r2, _) = nb.add_mem(MemKind::Latch, PhaseId::new(2), "r2");
+        let (_alu, aout) = nb.add_alu(FunctionSet::single(Op::Add), a, a, "alu");
+        nb.set_mem_input(r1, aout);
+        nb.set_mem_input(r2, a);
+        let n = nb.finish().unwrap();
+        let groups = n.dpm_groups();
+        // ALU feeds r1 (phase 1), so it lands in phase 1's DPM.
+        assert_eq!(groups[&PhaseId::new(1)].len(), 2);
+        assert_eq!(groups[&PhaseId::new(2)].len(), 1);
+    }
+
+    #[test]
+    fn display_lists_components() {
+        let n = small();
+        let s = n.to_string();
+        assert!(s.contains("netlist `small`"));
+        assert!(s.contains("ALU(+-)"));
+        assert!(s.contains("LATCH@CLK1"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Switching-activity counters collected during simulation.
+//!
+//! The power estimator multiplies these event counts by the technology
+//! library's capacitances — the same transition-counting procedure the
+//! paper used via the COMPASS simulator's "power option".
+
+/// Raw switching activity of one simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Activity {
+    /// Total control steps simulated.
+    pub steps: u64,
+    /// Completed computations of the behaviour.
+    pub computations: u64,
+    /// Bit flips observed on each net (indexed by net index).
+    pub net_toggles: Vec<u64>,
+    /// Toggled input bits seen by each component's data ports (indexed by
+    /// component index; meaningful for ALUs, which burn internal power
+    /// proportional to input activity). A function-select change counts as
+    /// a full-width toggle since it reshapes the whole datapath cell.
+    pub input_toggles: Vec<u64>,
+    /// Clock pulses delivered to each memory element (indexed by component
+    /// index). Phase clocks and gating reduce exactly this count.
+    pub clock_pulses: Vec<u64>,
+    /// Stored-bit flips per memory element (indexed by component index).
+    pub store_toggles: Vec<u64>,
+    /// Control-line bit toggles leaving the controller.
+    pub control_toggles: u64,
+    /// Clock pulses into the controller state register (one per step).
+    pub controller_pulses: u64,
+    /// Per-step aggregate counters, collected when profiling is enabled
+    /// in [`SimConfig`](crate::SimConfig). Used for power-over-time
+    /// profiles that visualise the phase activity pattern.
+    pub per_step: Option<Vec<StepActivity>>,
+}
+
+/// Aggregate switching counters of a single control step (profiling).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepActivity {
+    /// Bit flips across all nets this step.
+    pub net_toggles: u64,
+    /// ALU input-bit activity this step.
+    pub input_toggles: u64,
+    /// Memory clock pulses this step.
+    pub clock_pulses: u64,
+    /// Stored-bit flips this step.
+    pub store_toggles: u64,
+    /// Control-line toggles this step.
+    pub control_toggles: u64,
+}
+
+impl Activity {
+    /// Zeroed counters for a design with `nets` nets and `comps`
+    /// components.
+    #[must_use]
+    pub fn new(nets: usize, comps: usize) -> Self {
+        Activity {
+            steps: 0,
+            computations: 0,
+            net_toggles: vec![0; nets],
+            input_toggles: vec![0; comps],
+            clock_pulses: vec![0; comps],
+            store_toggles: vec![0; comps],
+            control_toggles: 0,
+            controller_pulses: 0,
+            per_step: None,
+        }
+    }
+
+    /// Total bit flips across all nets.
+    #[must_use]
+    pub fn total_net_toggles(&self) -> u64 {
+        self.net_toggles.iter().sum()
+    }
+
+    /// Total clock pulses across all memory elements.
+    #[must_use]
+    pub fn total_clock_pulses(&self) -> u64 {
+        self.clock_pulses.iter().sum()
+    }
+
+    /// Average net toggles per control step (the per-node transition
+    /// frequency of the paper's `P = f·C·V²`).
+    #[must_use]
+    pub fn toggles_per_step(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.total_net_toggles() as f64 / self.steps as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zeroed() {
+        let a = Activity::new(3, 2);
+        assert_eq!(a.total_net_toggles(), 0);
+        assert_eq!(a.total_clock_pulses(), 0);
+        assert_eq!(a.toggles_per_step(), 0.0);
+        assert_eq!(a.net_toggles.len(), 3);
+        assert_eq!(a.clock_pulses.len(), 2);
+    }
+
+    #[test]
+    fn aggregates_sum_counters() {
+        let mut a = Activity::new(2, 2);
+        a.net_toggles[0] = 3;
+        a.net_toggles[1] = 4;
+        a.clock_pulses[1] = 5;
+        a.steps = 7;
+        assert_eq!(a.total_net_toggles(), 7);
+        assert_eq!(a.total_clock_pulses(), 5);
+        assert!((a.toggles_per_step() - 1.0).abs() < 1e-12);
+    }
+}

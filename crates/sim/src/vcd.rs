@@ -1,0 +1,181 @@
+//! VCD (Value Change Dump) export of simulation traces, so synthesised
+//! designs can be inspected in any standard waveform viewer (GTKWave,
+//! Surfer, …).
+//!
+//! The dump models one control step as one timescale unit and emits every
+//! net of the design as a `wire` of the datapath width, grouped under a
+//! module scope named after the design.
+
+use std::fmt::Write as _;
+
+use mc_rtl::Netlist;
+
+use crate::engine::SimResult;
+
+/// Identifier characters permitted by the VCD grammar (printable ASCII).
+const ID_CHARS: &[u8] = b"!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`abcdefghijklmnopqrstuvwxyz{|}~";
+
+/// Encodes a dense index as a short VCD identifier.
+fn vcd_id(mut i: usize) -> String {
+    let base = ID_CHARS.len();
+    let mut s = String::new();
+    loop {
+        s.push(ID_CHARS[i % base] as char);
+        i /= base;
+        if i == 0 {
+            break;
+        }
+    }
+    s
+}
+
+/// Renders a simulation trace as VCD text.
+///
+/// `result` must have been produced with tracing enabled
+/// ([`SimConfig::with_trace`](crate::SimConfig::with_trace)); each trace
+/// row becomes one timestep.
+///
+/// # Errors
+///
+/// Returns a descriptive message if the result carries no trace.
+pub fn to_vcd(netlist: &Netlist, result: &SimResult) -> Result<String, NoTrace> {
+    let trace = result.trace.as_ref().ok_or(NoTrace)?;
+    let width = netlist.width();
+    let mut s = String::new();
+    let _ = writeln!(s, "$date multiclock simulation $end");
+    let _ = writeln!(s, "$version multiclock mc-sim $end");
+    let _ = writeln!(s, "$timescale 1 ns $end");
+    let _ = writeln!(s, "$scope module {} $end", sanitize(netlist.name()));
+    for n in netlist.net_ids() {
+        let _ = writeln!(
+            s,
+            "$var wire {width} {} {} $end",
+            vcd_id(n.index()),
+            sanitize(netlist.net_name(n))
+        );
+    }
+    let _ = writeln!(s, "$upscope $end");
+    let _ = writeln!(s, "$enddefinitions $end");
+
+    let mut prev: Option<&Vec<u64>> = None;
+    for (t, row) in trace.iter().enumerate() {
+        let _ = writeln!(s, "#{t}");
+        if t == 0 {
+            let _ = writeln!(s, "$dumpvars");
+        }
+        for n in netlist.net_ids() {
+            let v = row[n.index()];
+            let changed = prev.is_none_or(|p| p[n.index()] != v);
+            if changed {
+                let _ = writeln!(s, "b{:0w$b} {}", v, vcd_id(n.index()), w = width as usize);
+            }
+        }
+        if t == 0 {
+            let _ = writeln!(s, "$end");
+        }
+        prev = Some(row);
+    }
+    let _ = writeln!(s, "#{}", trace.len());
+    Ok(s)
+}
+
+/// VCD identifiers and reference names must not contain whitespace.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
+}
+
+/// Error returned when VCD export is asked for an untraced simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoTrace;
+
+impl std::fmt::Display for NoTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "simulation was run without tracing; enable SimConfig::with_trace"
+        )
+    }
+}
+
+impl std::error::Error for NoTrace {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate, SimConfig};
+    use mc_alloc::{allocate, AllocOptions, Strategy};
+    use mc_clocks::ClockScheme;
+    use mc_dfg::benchmarks;
+    use mc_rtl::PowerMode;
+
+    fn traced() -> (Netlist, SimResult) {
+        let bm = benchmarks::motivating();
+        let dp = allocate(
+            &bm.dfg,
+            &bm.schedule,
+            &AllocOptions::new(Strategy::Integrated, ClockScheme::new(2).unwrap()),
+        )
+        .unwrap();
+        let cfg = SimConfig::new(PowerMode::multiclock(), 2, 7).with_trace();
+        let res = simulate(&dp.netlist, &cfg);
+        (dp.netlist, res)
+    }
+
+    #[test]
+    fn vcd_contains_header_and_all_nets() {
+        let (nl, res) = traced();
+        let vcd = to_vcd(&nl, &res).unwrap();
+        assert!(vcd.starts_with("$date"));
+        assert!(vcd.contains("$enddefinitions $end"));
+        for n in nl.net_ids() {
+            assert!(vcd.contains(nl.net_name(n)), "{} missing", nl.net_name(n));
+        }
+    }
+
+    #[test]
+    fn vcd_has_one_timestamp_per_step_plus_final() {
+        let (nl, res) = traced();
+        let vcd = to_vcd(&nl, &res).unwrap();
+        let stamps = vcd.lines().filter(|l| l.starts_with('#')).count();
+        assert_eq!(stamps as u64, res.activity.steps + 1);
+    }
+
+    #[test]
+    fn vcd_values_have_datapath_width() {
+        let (nl, res) = traced();
+        let vcd = to_vcd(&nl, &res).unwrap();
+        let val_line = vcd
+            .lines()
+            .find(|l| l.starts_with('b'))
+            .expect("dump contains values");
+        let bits = val_line[1..].split(' ').next().unwrap();
+        assert_eq!(bits.len(), nl.width() as usize);
+    }
+
+    #[test]
+    fn untraced_simulation_is_rejected() {
+        let bm = benchmarks::motivating();
+        let dp = allocate(
+            &bm.dfg,
+            &bm.schedule,
+            &AllocOptions::new(Strategy::Integrated, ClockScheme::new(2).unwrap()),
+        )
+        .unwrap();
+        let res = simulate(&dp.netlist, &SimConfig::new(PowerMode::multiclock(), 2, 7));
+        assert_eq!(to_vcd(&dp.netlist, &res), Err(NoTrace));
+    }
+
+    #[test]
+    fn vcd_ids_are_unique_and_printable() {
+        let ids: Vec<String> = (0..500).map(vcd_id).collect();
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+        for id in ids {
+            assert!(id.bytes().all(|b| (33..=126).contains(&b)));
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Gate-equivalent (GE) structural model of datapath cells.
+//!
+//! Component areas and internal capacitances are derived from gate counts
+//! of textbook implementations (ripple adders, array multipliers, restoring
+//! array dividers, barrel shifters), which fixes the *relative* costs that
+//! the paper's conclusions rest on: multiplier ≫ divider ≫ adder ≫ logic,
+//! and multi-function ALUs synthesising worse than a plain `(+-)` unit
+//! (the paper's observation about COMPASS in §5.2).
+
+use mc_dfg::{FunctionSet, Op};
+
+/// Gate equivalents of a single-function combinational unit of `width`
+/// bits.
+#[must_use]
+pub fn op_gate_equivalents(op: Op, width: u8) -> f64 {
+    let w = f64::from(width);
+    match op {
+        // Ripple-carry adder: ~8 gates per full-adder bit slice.
+        Op::Add | Op::Sub => 8.0 * w,
+        // Magnitude comparator: subtractor slice without sum outputs.
+        Op::Gt | Op::Lt => 6.0 * w,
+        Op::And | Op::Or => 1.5 * w,
+        Op::Xor => 2.5 * w,
+        // Barrel shifter: log2(w) mux stages of w bits.
+        Op::Shl | Op::Shr => 3.0 * w * f64::from(width.next_power_of_two().trailing_zeros().max(1)),
+        // Array multiplier: w^2 AND terms plus carry-save rows.
+        Op::Mul => 6.0 * w * w,
+        // Restoring array divider: w^2 controlled subtract-restore cells.
+        Op::Div => 9.0 * w * w,
+    }
+}
+
+/// Gate equivalents of a (possibly multi-function) ALU.
+///
+/// Sharing model:
+/// * `{Add, Sub, Gt, Lt}` share one adder core — each additional member of
+///   the group costs only an input-conditioning slice. This is why `(+-)`
+///   units "reduce very well" in synthesis (paper §5.2).
+/// * Logic, shift, multiply and divide functions are disjoint blocks.
+/// * Every extra function beyond the first adds result-mux/decode
+///   overhead, and ALUs mixing beyond the adder group carry a synthesis
+///   penalty (COMPASS "does not reduce logic as well for most
+///   multifunction ALUs").
+#[must_use]
+pub fn alu_gate_equivalents(fs: FunctionSet, width: u8) -> f64 {
+    let w = f64::from(width);
+    let arith = fs.intersection(FunctionSet::from_ops([Op::Add, Op::Sub, Op::Gt, Op::Lt]));
+    let mut ge = 0.0;
+    if !arith.is_empty() {
+        // One shared core at the cost of the widest member, plus a thin
+        // conditioning slice per extra shared function.
+        let core = arith
+            .iter()
+            .map(|op| op_gate_equivalents(op, width))
+            .fold(0.0, f64::max);
+        ge += core + 1.2 * w * (arith.len() as f64 - 1.0);
+    }
+    for op in fs.iter() {
+        if !arith.contains(op) {
+            ge += op_gate_equivalents(op, width);
+        }
+    }
+    let nf = fs.len() as f64;
+    if fs.len() > 1 {
+        // Result mux + function decode.
+        ge += 1.5 * w * (nf - 1.0);
+        // Synthesis penalty for heterogeneous multi-function ALUs; pure
+        // adder-group combinations ((+-), (+<), …) are exempt.
+        let adder_group = FunctionSet::from_ops([Op::Add, Op::Sub, Op::Gt, Op::Lt]);
+        if !fs.is_subset(adder_group) {
+            ge *= 1.08_f64.powf(nf - 1.0);
+        }
+    }
+    ge
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplier_dominates_adder() {
+        let mul = op_gate_equivalents(Op::Mul, 4);
+        let add = op_gate_equivalents(Op::Add, 4);
+        assert!(mul > 2.0 * add, "mul {mul} vs add {add}");
+    }
+
+    #[test]
+    fn divider_exceeds_multiplier() {
+        assert!(op_gate_equivalents(Op::Div, 4) > op_gate_equivalents(Op::Mul, 4));
+    }
+
+    #[test]
+    fn expensive_ops_scale_quadratically() {
+        let m4 = op_gate_equivalents(Op::Mul, 4);
+        let m8 = op_gate_equivalents(Op::Mul, 8);
+        assert!((m8 / m4 - 4.0).abs() < 1e-9);
+        let a4 = op_gate_equivalents(Op::Add, 4);
+        let a8 = op_gate_equivalents(Op::Add, 8);
+        assert!((a8 / a4 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_sub_alu_is_barely_bigger_than_adder() {
+        let add = alu_gate_equivalents(FunctionSet::single(Op::Add), 4);
+        let addsub = alu_gate_equivalents(FunctionSet::from_ops([Op::Add, Op::Sub]), 4);
+        assert!(addsub < 1.5 * add, "(+-) must share the adder core");
+        assert!(addsub > add, "extra function is not free");
+    }
+
+    #[test]
+    fn heterogeneous_alu_pays_penalty() {
+        // (*+) must cost more than * and + cores plus plain mux overhead.
+        let w = 4u8;
+        let mul = op_gate_equivalents(Op::Mul, w);
+        let add = op_gate_equivalents(Op::Add, w);
+        let combo = alu_gate_equivalents(FunctionSet::from_ops([Op::Mul, Op::Add]), w);
+        assert!(combo > mul + add, "combo {combo} vs parts {}", mul + add);
+    }
+
+    #[test]
+    fn empty_function_set_is_zero() {
+        assert_eq!(alu_gate_equivalents(FunctionSet::new(), 4), 0.0);
+    }
+
+    #[test]
+    fn single_function_alu_matches_op_cost() {
+        for op in mc_dfg::ALL_OPS {
+            let a = alu_gate_equivalents(FunctionSet::single(op), 4);
+            let b = op_gate_equivalents(op, 4);
+            assert!((a - b).abs() < 1e-9, "{op}");
+        }
+    }
+
+    #[test]
+    fn monotone_in_function_count() {
+        let small = alu_gate_equivalents(FunctionSet::from_ops([Op::Add]), 4);
+        let mid = alu_gate_equivalents(FunctionSet::from_ops([Op::Add, Op::And]), 4);
+        let big = alu_gate_equivalents(FunctionSet::from_ops([Op::Add, Op::And, Op::Or]), 4);
+        assert!(small < mid && mid < big);
+    }
+}

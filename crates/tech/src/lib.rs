@@ -1,0 +1,624 @@
+//! Calibrated technology library for power/area estimation, standing in
+//! for the paper's 0.8 µm CMOS "VSC450 Portable Library" \[18\].
+//!
+//! The paper estimates power by counting transitions per circuit node and
+//! applying `P = f·C_L·V²` with `V = 4.65 V`; area is layout area in λ².
+//! This crate provides the `C_L` and λ² figures: cell capacitances and
+//! areas derived from a gate-equivalent structural model ([`ge`]) scaled
+//! by calibrated per-gate constants ([`TechParams`]).
+//!
+//! **Calibration** (see `DESIGN.md` §6): absolute constants are chosen so
+//! that the four benchmark datapaths land in the paper's numeric range
+//! (units of mW at 20 MHz and a few Mλ²). The paper's *conclusions* depend
+//! only on relative costs — latch < DFF, logic < adder < multiplier,
+//! clock-edge cost per memory element — which come from cell structure,
+//! not from the calibration constants.
+//!
+//! # Examples
+//!
+//! ```
+//! use mc_tech::{TechLibrary, MemKind};
+//! use mc_dfg::{FunctionSet, Op};
+//!
+//! let lib = TechLibrary::vsc450();
+//! let addsub = FunctionSet::from_ops([Op::Add, Op::Sub]);
+//! assert!(lib.alu_area(addsub, 4) > 0.0);
+//! // A DFF costs about twice a latch in clock load — the paper's reason
+//! // for preferring latches in the multi-clock scheme.
+//! let latch = lib.mem_clock_cap(MemKind::Latch, 4);
+//! let dff = lib.mem_clock_cap(MemKind::Dff, 4);
+//! assert!(dff > 1.8 * latch);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ge;
+
+use mc_dfg::FunctionSet;
+
+/// The kind of memory element used for a register-file cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemKind {
+    /// Level-sensitive transparent latch. Usable only when READs and
+    /// WRITEs never overlap — which the multi-clock scheme guarantees.
+    Latch,
+    /// Edge-triggered master–slave D flip-flop (two latches): roughly
+    /// twice the clock load and ~1.8× the area of a latch.
+    Dff,
+}
+
+/// Raw calibration constants of the library. All capacitances in pF, all
+/// areas in λ² (λ = 0.4 µm for the 0.8 µm process).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechParams {
+    /// Area of one gate equivalent (λ²).
+    pub ge_area: f64,
+    /// Average switched internal capacitance per gate equivalent (pF).
+    pub ge_cap: f64,
+    /// Input (port) capacitance per bit of a combinational block (pF).
+    pub port_cap_per_bit: f64,
+    /// Base wire capacitance per bit of a net (pF).
+    pub wire_cap_per_bit: f64,
+    /// Extra wire capacitance per bit per fanout branch (pF).
+    pub wire_cap_per_fanout: f64,
+    /// Latch: area per bit (λ²).
+    pub latch_area_per_bit: f64,
+    /// Latch: clock-input capacitance per bit, charged once per pulse (pF).
+    pub latch_clock_cap_per_bit: f64,
+    /// Latch: internal storage capacitance switched per written bit flip
+    /// (pF).
+    pub latch_store_cap_per_bit: f64,
+    /// DFF: area per bit (λ²).
+    pub dff_area_per_bit: f64,
+    /// DFF: clock-input capacitance per bit (master + slave) (pF).
+    pub dff_clock_cap_per_bit: f64,
+    /// DFF: internal storage capacitance per written bit flip (pF).
+    pub dff_store_cap_per_bit: f64,
+    /// Area of one 2:1 mux bit slice (λ²).
+    pub mux2_area_per_bit: f64,
+    /// Internal capacitance switched per toggled mux output bit, per tree
+    /// level (pF).
+    pub mux_cap_per_bit_level: f64,
+    /// Controller: area per (state × control-bit) product term (λ²).
+    pub ctrl_area_per_term: f64,
+    /// Controller: capacitance switched per control-bit toggle (pF).
+    pub ctrl_cap_per_toggle: f64,
+    /// Controller: clock capacitance of the state register per pulse (pF).
+    pub ctrl_clock_cap: f64,
+    /// Layout overhead factor applied to summed cell area (routing,
+    /// placement white space, power rails).
+    pub layout_overhead: f64,
+    /// Static (leakage) power per Mλ² of layout area (µW). Tiny for a
+    /// 0.8 µm process — the paper's §1 notes dynamic switching dominates —
+    /// but modelled so the area cost of extra clocks carries its honest
+    /// static price.
+    pub leakage_uw_per_mlambda2: f64,
+    /// Supply voltage (V). The paper uses 4.65 V for all experiments.
+    pub supply_voltage: f64,
+    /// System clock frequency `f` (MHz) at which power is reported.
+    pub clock_mhz: f64,
+}
+
+impl TechParams {
+    /// The calibrated default parameter set (see crate docs).
+    #[must_use]
+    pub fn vsc450() -> Self {
+        TechParams {
+            ge_area: 1450.0,
+            ge_cap: 0.020,
+            port_cap_per_bit: 0.05,
+            wire_cap_per_bit: 0.13,
+            wire_cap_per_fanout: 0.035,
+            latch_area_per_bit: 2300.0,
+            latch_clock_cap_per_bit: 0.036,
+            latch_store_cap_per_bit: 0.063,
+            dff_area_per_bit: 4100.0,
+            dff_clock_cap_per_bit: 0.08,
+            dff_store_cap_per_bit: 0.126,
+            mux2_area_per_bit: 700.0,
+            mux_cap_per_bit_level: 0.042,
+            ctrl_area_per_term: 130.0,
+            ctrl_cap_per_toggle: 0.042,
+            ctrl_clock_cap: 0.168,
+            layout_overhead: 3.4,
+            leakage_uw_per_mlambda2: 12.0,
+            supply_voltage: 4.65,
+            clock_mhz: 50.0,
+        }
+    }
+}
+
+impl Default for TechParams {
+    fn default() -> Self {
+        Self::vsc450()
+    }
+}
+
+/// The technology library: all per-component area and capacitance queries
+/// used by the simulator and the power estimator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TechLibrary {
+    params: TechParams,
+}
+
+impl TechLibrary {
+    /// The calibrated 0.8 µm-style default library.
+    #[must_use]
+    pub fn vsc450() -> Self {
+        TechLibrary {
+            params: TechParams::vsc450(),
+        }
+    }
+
+    /// A library with explicit parameters (for sensitivity studies).
+    #[must_use]
+    pub fn with_params(params: TechParams) -> Self {
+        TechLibrary { params }
+    }
+
+    /// The raw parameters.
+    #[must_use]
+    pub fn params(&self) -> &TechParams {
+        &self.params
+    }
+
+    /// A copy of this library operated at a different supply voltage.
+    ///
+    /// Capacitances are physical and stay put; dynamic power scales as
+    /// `V²` through the energy formulas, and gate delays grow as the
+    /// classic alpha-power law `V / (V - V_t)²` (normalised to this
+    /// library's voltage) — exposed via [`TechLibrary::delay_derating`]
+    /// for the timing analyser.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.5 < volts` and `volts` is above the threshold
+    /// margin (1.0 V).
+    #[must_use]
+    pub fn at_voltage(&self, volts: f64) -> Self {
+        assert!(volts > 1.0, "supply must stay above the threshold margin");
+        let mut params = self.params.clone();
+        params.supply_voltage = volts;
+        TechLibrary { params }
+    }
+
+    /// Multiplicative gate-delay factor of this library relative to the
+    /// reference 4.65 V operating point: `d(V) ∝ V / (V − V_t)²` with
+    /// `V_t = 0.8 V` (the 0.8 µm-era threshold).
+    #[must_use]
+    pub fn delay_derating(&self) -> f64 {
+        const VT: f64 = 0.8;
+        const VREF: f64 = 4.65;
+        let d = |v: f64| v / ((v - VT) * (v - VT));
+        d(self.params.supply_voltage) / d(VREF)
+    }
+
+    /// Supply voltage in volts (4.65 V in all paper experiments).
+    #[must_use]
+    pub fn supply_voltage(&self) -> f64 {
+        self.params.supply_voltage
+    }
+
+    /// System clock frequency in MHz.
+    #[must_use]
+    pub fn clock_mhz(&self) -> f64 {
+        self.params.clock_mhz
+    }
+
+    // ----- combinational units ------------------------------------------
+
+    /// Cell area of an ALU implementing `fs` at `width` bits (λ², before
+    /// layout overhead).
+    #[must_use]
+    pub fn alu_area(&self, fs: FunctionSet, width: u8) -> f64 {
+        ge::alu_gate_equivalents(fs, width) * self.params.ge_area
+    }
+
+    /// Total internal capacitance of an ALU implementing `fs` (pF). The
+    /// simulator scales this by the fraction of input bits that toggled:
+    /// stable inputs ⇒ zero combinational power, the paper's requirement
+    /// (b) in §3.2.
+    #[must_use]
+    pub fn alu_internal_cap(&self, fs: FunctionSet, width: u8) -> f64 {
+        ge::alu_gate_equivalents(fs, width) * self.params.ge_cap
+    }
+
+    /// Input capacitance of one ALU data port bit (pF).
+    #[must_use]
+    pub fn alu_port_cap_per_bit(&self) -> f64 {
+        self.params.port_cap_per_bit
+    }
+
+    // ----- memory elements ----------------------------------------------
+
+    /// Cell area of a `width`-bit memory element (λ²).
+    #[must_use]
+    pub fn mem_area(&self, kind: MemKind, width: u8) -> f64 {
+        let per_bit = match kind {
+            MemKind::Latch => self.params.latch_area_per_bit,
+            MemKind::Dff => self.params.dff_area_per_bit,
+        };
+        per_bit * f64::from(width)
+    }
+
+    /// Clock-input capacitance charged by one clock pulse into a
+    /// `width`-bit memory element (pF). Gating or phase clocks save
+    /// exactly these pulses.
+    #[must_use]
+    pub fn mem_clock_cap(&self, kind: MemKind, width: u8) -> f64 {
+        let per_bit = match kind {
+            MemKind::Latch => self.params.latch_clock_cap_per_bit,
+            MemKind::Dff => self.params.dff_clock_cap_per_bit,
+        };
+        per_bit * f64::from(width)
+    }
+
+    /// Internal storage capacitance switched per written bit that flips
+    /// (pF).
+    #[must_use]
+    pub fn mem_store_cap_per_bit(&self, kind: MemKind) -> f64 {
+        match kind {
+            MemKind::Latch => self.params.latch_store_cap_per_bit,
+            MemKind::Dff => self.params.dff_store_cap_per_bit,
+        }
+    }
+
+    /// Data-input capacitance per bit of a memory element (pF).
+    #[must_use]
+    pub fn mem_input_cap_per_bit(&self) -> f64 {
+        self.params.port_cap_per_bit
+    }
+
+    // ----- muxes ----------------------------------------------------------
+
+    /// Cell area of a `k`-input mux of `width` bits (λ²), built as a tree
+    /// of `k-1` two-input mux slices.
+    #[must_use]
+    pub fn mux_area(&self, inputs: usize, width: u8) -> f64 {
+        if inputs <= 1 {
+            return 0.0;
+        }
+        (inputs as f64 - 1.0) * self.params.mux2_area_per_bit * f64::from(width)
+    }
+
+    /// Internal capacitance switched per toggled mux output bit (pF):
+    /// proportional to the tree depth `ceil(log2 k)`.
+    #[must_use]
+    pub fn mux_internal_cap_per_bit(&self, inputs: usize) -> f64 {
+        if inputs <= 1 {
+            return 0.0;
+        }
+        let levels = (inputs as f64).log2().ceil().max(1.0);
+        self.params.mux_cap_per_bit_level * levels
+    }
+
+    /// Input capacitance per bit of one mux data port (pF).
+    #[must_use]
+    pub fn mux_input_cap_per_bit(&self) -> f64 {
+        self.params.port_cap_per_bit * 0.6
+    }
+
+    // ----- nets -----------------------------------------------------------
+
+    /// Load capacitance of one bit of a net with `fanout` receiving ports
+    /// (pF): wire plus a routing allowance per branch. Receiver input
+    /// capacitance is added separately by the power model from the port
+    /// queries above.
+    #[must_use]
+    pub fn wire_cap_per_bit(&self, fanout: usize) -> f64 {
+        self.params.wire_cap_per_bit + self.params.wire_cap_per_fanout * fanout as f64
+    }
+
+    // ----- controller -----------------------------------------------------
+
+    /// Area of a controller with `states` states driving `control_bits`
+    /// control points (λ²): a one-hot state register plus a PLA-style
+    /// decode plane.
+    #[must_use]
+    pub fn controller_area(&self, states: u32, control_bits: usize) -> f64 {
+        let reg = f64::from(states) * self.params.dff_area_per_bit;
+        let plane = f64::from(states) * control_bits as f64 * self.params.ctrl_area_per_term;
+        reg + plane
+    }
+
+    /// Capacitance switched per control-bit toggle (pF).
+    #[must_use]
+    pub fn controller_cap_per_toggle(&self) -> f64 {
+        self.params.ctrl_cap_per_toggle
+    }
+
+    /// Clock capacitance of the controller state register per pulse (pF).
+    #[must_use]
+    pub fn controller_clock_cap(&self) -> f64 {
+        self.params.ctrl_clock_cap
+    }
+
+    // ----- clock generation ---------------------------------------------
+
+    /// Area of the non-overlapping phase generator for `n` clocks (λ²): a
+    /// one-hot ring counter of `n` flip-flops plus non-overlap gating and
+    /// a buffer per phase line. A single-clock design needs none.
+    #[must_use]
+    pub fn clock_generator_area(&self, n: u32) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        f64::from(n) * (self.params.dff_area_per_bit + 3.0 * self.params.ge_area)
+    }
+
+    /// Capacitance switched by the phase generator in one system-clock
+    /// period (pF): two ring-counter bits toggle per step (the moving
+    /// one-hot token), plus one phase trunk pulsing. Zero for a single
+    /// clock (the plain clock tree is charged at the memory elements).
+    #[must_use]
+    pub fn clock_generator_cap_per_step(&self, n: u32) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        let counter = 2.0 * (self.params.dff_clock_cap_per_bit + self.params.dff_store_cap_per_bit);
+        let trunk = self.params.wire_cap_per_bit + 0.02 * f64::from(n);
+        counter + trunk
+    }
+
+    // ----- delays -----------------------------------------------------------
+
+    /// Propagation delay of an ALU implementing `fs` at `width` bits (ns):
+    /// the slowest member function plus a decode allowance for
+    /// multi-function units.
+    #[must_use]
+    pub fn alu_delay_ns(&self, fs: FunctionSet, width: u8) -> f64 {
+        let w = f64::from(width);
+        let op_delay = |op: mc_dfg::Op| -> f64 {
+            use mc_dfg::Op;
+            match op {
+                // Ripple carry: one full-adder per bit.
+                Op::Add | Op::Sub => 0.25 * w + 1.0,
+                Op::Gt | Op::Lt => 0.25 * w + 0.8,
+                Op::And | Op::Or | Op::Xor => 0.8,
+                Op::Shl | Op::Shr => {
+                    0.4 * f64::from(width.next_power_of_two().trailing_zeros().max(1)) + 0.8
+                }
+                // Array multiplier: carry propagates along the diagonal.
+                Op::Mul => 0.5 * w + 2.0,
+                // Restoring divider: full ripple per row.
+                Op::Div => 0.9 * w + 3.0,
+            }
+        };
+        let worst = fs.iter().map(op_delay).fold(0.0, f64::max);
+        let decode = if fs.len() > 1 { 0.3 } else { 0.0 };
+        worst + decode
+    }
+
+    /// Propagation delay of a `k`-input mux (ns).
+    #[must_use]
+    pub fn mux_delay_ns(&self, inputs: usize) -> f64 {
+        if inputs <= 1 {
+            0.0
+        } else {
+            0.45 * (inputs as f64).log2().ceil().max(1.0)
+        }
+    }
+
+    /// Clock-to-output delay of a memory element (ns).
+    #[must_use]
+    pub fn mem_clk_to_q_ns(&self, kind: MemKind) -> f64 {
+        match kind {
+            MemKind::Latch => 0.6,
+            MemKind::Dff => 0.9,
+        }
+    }
+
+    /// Data setup time of a memory element before the capturing edge (ns).
+    #[must_use]
+    pub fn mem_setup_ns(&self, _kind: MemKind) -> f64 {
+        0.5
+    }
+
+    /// Interconnect delay of a net with `fanout` receivers (ns).
+    #[must_use]
+    pub fn wire_delay_ns(&self, fanout: usize) -> f64 {
+        0.12 + 0.05 * fanout as f64
+    }
+
+    // ----- totals -----------------------------------------------------------
+
+    /// Applies the layout overhead factor to a summed cell area (λ²).
+    #[must_use]
+    pub fn layout_area(&self, cell_area: f64) -> f64 {
+        cell_area * self.params.layout_overhead
+    }
+
+    /// Energy (pJ) of one full swing of `cap` pF at the supply voltage:
+    /// `C·V²` (charge + discharge). One *toggle* (single edge) is half of
+    /// this.
+    #[must_use]
+    pub fn full_swing_energy(&self, cap_pf: f64) -> f64 {
+        cap_pf * self.params.supply_voltage * self.params.supply_voltage
+    }
+
+    /// Energy (pJ) of a single edge on `cap` pF: `C·V²/2`.
+    #[must_use]
+    pub fn toggle_energy(&self, cap_pf: f64) -> f64 {
+        0.5 * self.full_swing_energy(cap_pf)
+    }
+
+    /// Static (leakage) power of `area` λ² of layout (mW), scaled by the
+    /// square of the supply relative to the calibration voltage.
+    #[must_use]
+    pub fn static_power_mw(&self, area_lambda2: f64) -> f64 {
+        let vref = 4.65;
+        let vscale = (self.params.supply_voltage / vref).powi(2);
+        self.params.leakage_uw_per_mlambda2 * (area_lambda2 / 1e6) * vscale / 1000.0
+    }
+
+    /// Converts an average energy per control step (pJ/step) into power
+    /// (mW) at the library clock frequency: each control step lasts one
+    /// system clock period `1/f`.
+    #[must_use]
+    pub fn power_mw(&self, energy_pj_per_step: f64) -> f64 {
+        // pJ/step × steps/s = pJ/s; f in MHz ⇒ pJ × 1e6 / s = µW ⇒ /1000 mW.
+        energy_pj_per_step * self.params.clock_mhz / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_dfg::Op;
+
+    #[test]
+    fn dff_is_heavier_than_latch() {
+        let lib = TechLibrary::vsc450();
+        assert!(lib.mem_area(MemKind::Dff, 4) > 1.5 * lib.mem_area(MemKind::Latch, 4));
+        assert!(
+            lib.mem_clock_cap(MemKind::Dff, 4) > 1.8 * lib.mem_clock_cap(MemKind::Latch, 4)
+        );
+        assert!(
+            lib.mem_store_cap_per_bit(MemKind::Dff) > lib.mem_store_cap_per_bit(MemKind::Latch)
+        );
+    }
+
+    #[test]
+    fn mux_area_grows_with_inputs_and_width() {
+        let lib = TechLibrary::vsc450();
+        assert_eq!(lib.mux_area(1, 4), 0.0);
+        assert!(lib.mux_area(2, 4) > 0.0);
+        assert!(lib.mux_area(4, 4) > lib.mux_area(2, 4));
+        assert!(lib.mux_area(2, 8) > lib.mux_area(2, 4));
+    }
+
+    #[test]
+    fn mux_internal_cap_tracks_tree_depth() {
+        let lib = TechLibrary::vsc450();
+        assert_eq!(lib.mux_internal_cap_per_bit(1), 0.0);
+        let c2 = lib.mux_internal_cap_per_bit(2);
+        let c8 = lib.mux_internal_cap_per_bit(8);
+        assert!((c8 / c2 - 3.0).abs() < 1e-9, "log2(8)=3 levels");
+    }
+
+    #[test]
+    fn wire_cap_increases_with_fanout() {
+        let lib = TechLibrary::vsc450();
+        assert!(lib.wire_cap_per_bit(3) > lib.wire_cap_per_bit(1));
+    }
+
+    #[test]
+    fn energy_identities() {
+        let lib = TechLibrary::vsc450();
+        let c = 0.5;
+        assert!((lib.full_swing_energy(c) - 2.0 * lib.toggle_energy(c)).abs() < 1e-12);
+        // C·V² with V = 4.65: 0.5 pF ⇒ 10.81 pJ.
+        assert!((lib.full_swing_energy(c) - 0.5 * 4.65 * 4.65).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_conversion_is_linear_in_frequency() {
+        let mut p = TechParams::vsc450();
+        p.clock_mhz = 10.0;
+        let lib10 = TechLibrary::with_params(p.clone());
+        p.clock_mhz = 20.0;
+        let lib20 = TechLibrary::with_params(p);
+        assert!((lib20.power_mw(100.0) - 2.0 * lib10.power_mw(100.0)).abs() < 1e-12);
+        // 100 pJ/step at 20 MHz = 100 pJ × 2e7 /s = 2 mW.
+        assert!((lib20.power_mw(100.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn controller_area_scales_with_states_and_bits() {
+        let lib = TechLibrary::vsc450();
+        assert!(lib.controller_area(8, 20) > lib.controller_area(4, 20));
+        assert!(lib.controller_area(4, 40) > lib.controller_area(4, 20));
+    }
+
+    #[test]
+    fn alu_area_ranking_matches_structure() {
+        let lib = TechLibrary::vsc450();
+        let add = lib.alu_area(FunctionSet::single(Op::Add), 4);
+        let mul = lib.alu_area(FunctionSet::single(Op::Mul), 4);
+        let div = lib.alu_area(FunctionSet::single(Op::Div), 4);
+        assert!(add < mul && mul < div);
+    }
+
+    #[test]
+    fn layout_overhead_is_multiplicative() {
+        let lib = TechLibrary::vsc450();
+        let factor = lib.params().layout_overhead;
+        assert!((lib.layout_area(1000.0) - 1000.0 * factor).abs() < 1e-9);
+        assert!(factor > 1.0, "layout overhead must inflate cell area");
+    }
+
+    #[test]
+    fn default_matches_vsc450() {
+        assert_eq!(TechLibrary::default(), TechLibrary::vsc450());
+    }
+
+    #[test]
+    fn voltage_scaling_scales_energy_quadratically() {
+        let lib5 = TechLibrary::vsc450().at_voltage(5.0);
+        let lib33 = TechLibrary::vsc450().at_voltage(3.3);
+        let ratio = lib33.full_swing_energy(1.0) / lib5.full_swing_energy(1.0);
+        assert!((ratio - (3.3f64 / 5.0).powi(2)).abs() < 1e-12);
+        // The paper's reference [2]: 3.3 V vs 5 V saves ~56 % dynamic power.
+        assert!((1.0 - ratio - 0.5644).abs() < 0.01);
+    }
+
+    #[test]
+    fn lower_voltage_means_slower_gates() {
+        let nominal = TechLibrary::vsc450();
+        assert!((nominal.delay_derating() - 1.0).abs() < 1e-12);
+        let low = nominal.at_voltage(3.3);
+        assert!(low.delay_derating() > 1.2, "{}", low.delay_derating());
+        let high = nominal.at_voltage(5.0);
+        assert!(high.delay_derating() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold margin")]
+    fn sub_threshold_voltage_panics() {
+        let _ = TechLibrary::vsc450().at_voltage(0.9);
+    }
+
+    #[test]
+    fn clock_generator_costs_nothing_for_single_clock() {
+        let lib = TechLibrary::vsc450();
+        assert_eq!(lib.clock_generator_area(1), 0.0);
+        assert_eq!(lib.clock_generator_cap_per_step(1), 0.0);
+        assert!(lib.clock_generator_area(3) > lib.clock_generator_area(2));
+        assert!(lib.clock_generator_cap_per_step(4) > lib.clock_generator_cap_per_step(2));
+    }
+
+    #[test]
+    fn delay_ranking_matches_structure() {
+        let lib = TechLibrary::vsc450();
+        let d = |op| lib.alu_delay_ns(FunctionSet::single(op), 4);
+        assert!(d(Op::And) < d(Op::Add));
+        assert!(d(Op::Add) < d(Op::Mul));
+        assert!(d(Op::Mul) < d(Op::Div));
+        // Multi-function decode costs a little extra.
+        let addsub = lib.alu_delay_ns(FunctionSet::from_ops([Op::Add, Op::Sub]), 4);
+        assert!(addsub > d(Op::Add));
+    }
+
+    #[test]
+    fn delays_grow_with_width() {
+        let lib = TechLibrary::vsc450();
+        let fs = FunctionSet::single(Op::Mul);
+        assert!(lib.alu_delay_ns(fs, 16) > lib.alu_delay_ns(fs, 4));
+    }
+
+    #[test]
+    fn mux_delay_tracks_depth() {
+        let lib = TechLibrary::vsc450();
+        assert_eq!(lib.mux_delay_ns(1), 0.0);
+        assert!(lib.mux_delay_ns(8) > lib.mux_delay_ns(2));
+    }
+
+    #[test]
+    fn mem_timing_constants() {
+        let lib = TechLibrary::vsc450();
+        assert!(lib.mem_clk_to_q_ns(MemKind::Dff) > lib.mem_clk_to_q_ns(MemKind::Latch));
+        assert!(lib.mem_setup_ns(MemKind::Latch) > 0.0);
+        assert!(lib.wire_delay_ns(4) > lib.wire_delay_ns(0));
+    }
+}

@@ -1,0 +1,75 @@
+//! Design-space exploration for a DSP filter: sweep clock counts and
+//! memory-element choices for the biquad IIR section (the paper's Table 3
+//! workload) and print the power/area trade-off so a designer can pick a
+//! point — the decision the paper's §5.2 discusses ("an obvious trade-off
+//! between the amount of power reduction and the amount of area
+//! increase").
+//!
+//! Run with: `cargo run --release --example filter_design_space`
+
+use multiclock::alloc::Strategy;
+use multiclock::dfg::benchmarks;
+use multiclock::rtl::PowerMode;
+use multiclock::tech::MemKind;
+use multiclock::{DesignStyle, Synthesizer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bm = benchmarks::biquad();
+    let synth = Synthesizer::for_benchmark(&bm).with_computations(300);
+
+    println!("design space for `{}` ({})\n", bm.name(), bm.description);
+    println!(
+        "{:<44} {:>8} {:>10} {:>7} {:>9}",
+        "design point", "mW", "λ²", "mW Δ%", "λ² Δ%"
+    );
+
+    let base = synth.evaluate(DesignStyle::ConventionalGated)?;
+    let mut points = vec![("gated baseline".to_owned(), base.clone())];
+    for n in 1..=4u32 {
+        for mem_kind in [MemKind::Latch, MemKind::Dff] {
+            let style = DesignStyle::Custom {
+                strategy: Strategy::Integrated,
+                clocks: n,
+                mem_kind,
+                transfers: true,
+                mode: PowerMode::multiclock(),
+            };
+            let label = format!(
+                "{n} clock(s), {}",
+                if mem_kind == MemKind::Latch { "latches" } else { "DFFs" }
+            );
+            points.push((label, synth.evaluate(style)?));
+        }
+    }
+    for (label, r) in &points {
+        println!(
+            "{:<44} {:>8.2} {:>10.0} {:>6.1}% {:>8.1}%",
+            label,
+            r.power.total_mw,
+            r.area.total_lambda2,
+            100.0 * (r.power.total_mw / base.power.total_mw - 1.0),
+            100.0 * (r.area.total_lambda2 / base.area.total_lambda2 - 1.0)
+        );
+    }
+
+    // Pareto frontier on (power, area).
+    let mut frontier: Vec<&(String, multiclock::power::DesignReport)> = Vec::new();
+    for p in &points {
+        let dominated = points.iter().any(|q| {
+            q.1.power.total_mw < p.1.power.total_mw
+                && q.1.area.total_lambda2 <= p.1.area.total_lambda2
+        });
+        if !dominated {
+            frontier.push(p);
+        }
+    }
+    println!("\nPareto-efficient points:");
+    for (label, r) in frontier {
+        println!(
+            "  {label}: {:.2} mW, {:.2} Mλ²",
+            r.power.total_mw,
+            r.area.total_lambda2 / 1e6
+        );
+    }
+    Ok(())
+}

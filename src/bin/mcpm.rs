@@ -1,0 +1,368 @@
+//! `mcpm` — multi-clock power management command-line tool.
+//!
+//! Synthesise, evaluate, profile and export the bundled benchmark
+//! behaviours from the command line:
+//!
+//! ```text
+//! mcpm list
+//! mcpm eval    --benchmark hal [--computations 400] [--seed 42]
+//! mcpm synth   --benchmark hal --clocks 3 [--strategy integrated]
+//!              [--mem latch] [--export vhdl|dot|vcd] [--out FILE]
+//! mcpm sweep   --benchmark biquad --max-clocks 6
+//! mcpm profile --benchmark hal --clocks 2
+//! mcpm top     --benchmark bandpass --clocks 2 [--count 10]
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use multiclock::alloc::Strategy;
+use multiclock::dfg::benchmarks::{self, Benchmark};
+use multiclock::power::{per_component_power, profile::power_profile};
+use multiclock::rtl::{export, PowerMode};
+use multiclock::sim::{simulate, vcd, SimConfig};
+use multiclock::tech::MemKind;
+use multiclock::{DesignStyle, Synthesizer};
+
+/// Parsed command-line options (flag → value).
+struct Args {
+    command: String,
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    fn parse() -> Option<Args> {
+        let mut it = std::env::args().skip(1);
+        let command = it.next()?;
+        let mut flags = BTreeMap::new();
+        let rest: Vec<String> = it.collect();
+        let mut i = 0;
+        while i < rest.len() {
+            let key = rest[i].strip_prefix("--")?.to_owned();
+            let value = rest.get(i + 1)?.clone();
+            flags.insert(key, value);
+            i += 2;
+        }
+        Some(Args { command, flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value `{v}` for --{key}")),
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "mcpm — multi-clock power management for RTL datapaths\n\
+     \n\
+     commands:\n\
+     \x20 list                                   list bundled benchmarks\n\
+     \x20 eval    --benchmark NAME | --file F    evaluate the five paper design styles\n\
+     \x20 synth   --benchmark NAME | --file F    synthesise one design (--clocks N)\n\
+     \x20         [--strategy conventional|split|integrated] [--mem latch|dff]\n\
+     \x20         [--export vhdl|dot|vcd] [--out FILE]\n\
+     \x20 sweep   --benchmark NAME [--max-clocks N]   clock-count sweep\n\
+     \x20 profile --benchmark NAME --clocks N    power-over-time (folded by period)\n\
+     \x20 top     --benchmark NAME --clocks N [--count K]   hottest components\n\
+     \x20 stats   --benchmark NAME --clocks N [--seeds K]   power spread across seeds\n\
+     \x20 signoff --benchmark NAME | --file F    equivalence + lint + discipline + timing\n\
+     \n\
+     common flags: --computations N (default 400), --seed S (default 42)"
+}
+
+fn find_benchmark(name: &str) -> Result<Benchmark, String> {
+    benchmarks::all_benchmarks()
+        .into_iter()
+        .find(|b| b.name() == name)
+        .ok_or_else(|| {
+            let names: Vec<String> = benchmarks::all_benchmarks()
+                .iter()
+                .map(|b| b.name().to_owned())
+                .collect();
+            format!("unknown benchmark `{name}`; available: {}", names.join(", "))
+        })
+}
+
+/// Loads the behaviour: either `--benchmark NAME` (bundled, with its
+/// reference schedule) or `--file PATH` (the behavioural DSL, scheduled
+/// ASAP).
+fn load_behavior(args: &Args) -> Result<Benchmark, String> {
+    match (args.get("benchmark"), args.get("file")) {
+        (Some(name), None) => find_benchmark(name),
+        (None, Some(path)) => {
+            let source = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let stem = std::path::Path::new(path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("user_design");
+            let dfg = multiclock::dfg::parse::parse_dfg(stem, &source)
+                .map_err(|e| format!("{path}: {e}"))?;
+            let schedule = multiclock::dfg::scheduler::asap(&dfg);
+            Ok(Benchmark {
+                dfg,
+                schedule,
+                description: "user behaviour from file",
+            })
+        }
+        (Some(_), Some(_)) => Err("pass either --benchmark or --file, not both".into()),
+        (None, None) => Err("missing --benchmark NAME or --file PATH".into()),
+    }
+}
+
+fn style_from(args: &Args) -> Result<DesignStyle, String> {
+    let clocks: u32 = args.parse_num("clocks", 2)?;
+    let strategy = match args.get("strategy").unwrap_or("integrated") {
+        "conventional" => Strategy::Conventional,
+        "split" => Strategy::Split,
+        "integrated" => Strategy::Integrated,
+        other => return Err(format!("unknown strategy `{other}`")),
+    };
+    let mem_kind = match args.get("mem").unwrap_or("latch") {
+        "latch" => MemKind::Latch,
+        "dff" => MemKind::Dff,
+        other => return Err(format!("unknown memory kind `{other}`")),
+    };
+    if strategy == Strategy::Conventional {
+        return if clocks == 1 {
+            Ok(DesignStyle::ConventionalGated)
+        } else {
+            Err("conventional strategy requires --clocks 1".to_owned())
+        };
+    }
+    Ok(DesignStyle::Custom {
+        strategy,
+        clocks,
+        mem_kind,
+        transfers: true,
+        mode: PowerMode::multiclock(),
+    })
+}
+
+fn emit(args: &Args, text: &str) -> Result<(), String> {
+    match args.get("out") {
+        Some(path) => std::fs::write(path, text)
+            .map_err(|e| format!("cannot write `{path}`: {e}"))
+            .map(|()| println!("wrote {path} ({} bytes)", text.len())),
+        None => {
+            println!("{text}");
+            Ok(())
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let Some(args) = Args::parse() else {
+        println!("{}", usage());
+        return Ok(());
+    };
+    let computations: usize = args.parse_num("computations", 400)?;
+    let seed: u64 = args.parse_num("seed", 42)?;
+
+    match args.command.as_str() {
+        "list" => {
+            for bm in benchmarks::all_benchmarks() {
+                println!(
+                    "{:<11} {:>3} ops, {:>2} steps — {}",
+                    bm.name(),
+                    bm.dfg.num_nodes(),
+                    bm.schedule.length(),
+                    bm.description
+                );
+            }
+            Ok(())
+        }
+        "eval" => {
+            let bm = load_behavior(&args)?;
+            let table = multiclock::experiment::paper_table(&bm, computations, seed)
+                .map_err(|e| e.to_string())?;
+            println!("{}", table.render());
+            if let Some(red) = table.gated_to_best_multiclock_reduction() {
+                println!(
+                    "gated → best multiclock reduction: {:.1} %",
+                    red * 100.0
+                );
+            }
+            Ok(())
+        }
+        "synth" => {
+            let bm = load_behavior(&args)?;
+            let style = style_from(&args)?;
+            let synth = Synthesizer::for_benchmark(&bm)
+                .with_computations(computations)
+                .with_seed(seed);
+            let design = synth
+                .synthesize_verified(style)
+                .map_err(|e| e.to_string())?;
+            let nl = &design.datapath.netlist;
+            match args.get("export") {
+                None => emit(&args, &nl.to_string())?,
+                Some("vhdl") => emit(&args, &export::to_vhdl(nl))?,
+                Some("dot") => emit(&args, &export::to_dot(nl))?,
+                Some("vcd") => {
+                    let cfg =
+                        SimConfig::new(design.mode, computations.min(20), seed).with_trace();
+                    let res = simulate(nl, &cfg);
+                    let dump = vcd::to_vcd(nl, &res).map_err(|e| e.to_string())?;
+                    emit(&args, &dump)?;
+                }
+                Some(other) => return Err(format!("unknown export format `{other}`")),
+            }
+            let stats = nl.stats();
+            eprintln!(
+                "verified OK — ALUs {}, mem cells {}, mux inputs {}",
+                stats.alu_summary(),
+                stats.mem_cells,
+                stats.mux_inputs
+            );
+            Ok(())
+        }
+        "sweep" => {
+            let bm = load_behavior(&args)?;
+            let max: u32 = args.parse_num("max-clocks", 6)?;
+            let sweep = multiclock::experiment::clock_sweep(&bm, max, computations, seed)
+                .map_err(|e| e.to_string())?;
+            println!("{:>3} {:>9} {:>12} {:>6} {:>6}", "n", "mW", "λ²", "mem", "muxin");
+            for (n, rep) in sweep {
+                println!(
+                    "{n:>3} {:>9.2} {:>12.0} {:>6} {:>6}",
+                    rep.power.total_mw,
+                    rep.area.total_lambda2,
+                    rep.stats.mem_cells,
+                    rep.stats.mux_inputs
+                );
+            }
+            Ok(())
+        }
+        "profile" => {
+            let bm = load_behavior(&args)?;
+            let style = style_from(&args)?;
+            let synth = Synthesizer::for_benchmark(&bm).with_seed(seed);
+            let design = synth.synthesize(style).map_err(|e| e.to_string())?;
+            let cfg = SimConfig::new(design.mode, computations, seed).with_profile();
+            let res = simulate(&design.datapath.netlist, &cfg);
+            let prof = power_profile(&design.datapath.netlist, &res.activity, synth.tech())
+                .map_err(|e| e.to_string())?;
+            println!(
+                "power profile of `{}` (avg {:.2} mW, peak {:.2} mW):",
+                design.datapath.netlist.name(),
+                prof.average_mw(),
+                prof.peak_mw()
+            );
+            print!("{}", prof.render_folded());
+            Ok(())
+        }
+        "top" => {
+            let bm = load_behavior(&args)?;
+            let style = style_from(&args)?;
+            let count: usize = args.parse_num("count", 10)?;
+            let synth = Synthesizer::for_benchmark(&bm).with_seed(seed);
+            let design = synth.synthesize(style).map_err(|e| e.to_string())?;
+            let cfg = SimConfig::new(design.mode, computations, seed);
+            let res = simulate(&design.datapath.netlist, &cfg);
+            let ranked =
+                per_component_power(&design.datapath.netlist, &res.activity, synth.tech());
+            println!("top {count} power consumers of `{}`:", design.datapath.netlist.name());
+            for cp in ranked.into_iter().take(count) {
+                println!("  {:<28} {:>8.3} mW", cp.label, cp.mw);
+            }
+            Ok(())
+        }
+        "signoff" => {
+            let bm = load_behavior(&args)?;
+            let style = style_from(&args)?;
+            let synth = Synthesizer::for_benchmark(&bm)
+                .with_computations(computations)
+                .with_seed(seed);
+            let design = synth
+                .synthesize_verified(style)
+                .map_err(|e| e.to_string())?;
+            let nl = &design.datapath.netlist;
+            println!("signoff report for `{}`", nl.name());
+
+            println!("\n[1/4] functional equivalence: PASS ({computations} random vectors)");
+
+            let warnings = multiclock::rtl::lint::warnings(nl);
+            println!(
+                "\n[2/4] lint: {} warning(s)",
+                warnings.len()
+            );
+            for w in &warnings {
+                println!("      {w}");
+            }
+
+            let hazards = multiclock::rtl::discipline::check_latch_discipline(nl, false);
+            println!(
+                "\n[3/4] latch discipline (non-overlapping READ/WRITE): {}",
+                if hazards.is_empty() { "PASS" } else { "FAIL" }
+            );
+            for h in &hazards {
+                println!("      {h}");
+            }
+
+            let timing = multiclock::power::timing::analyze_timing(nl, synth.tech());
+            println!(
+                "\n[4/4] timing: critical path {:.2} ns, fmax {:.0} MHz, target {:.0} MHz — {}",
+                timing.critical_path_ns,
+                timing.fmax_mhz,
+                synth.tech().clock_mhz(),
+                if timing.meets_target { "MET" } else { "VIOLATED" }
+            );
+
+            // Per-DPM power split.
+            let cfg = SimConfig::new(design.mode, computations, seed);
+            let res = simulate(nl, &cfg);
+            println!("\nper-partition power (attributable):");
+            for (phase, mw) in
+                multiclock::power::per_dpm_power(nl, &res.activity, synth.tech())
+            {
+                println!("  DPM({phase}): {mw:.3} mW");
+            }
+            if !warnings.is_empty() || !hazards.is_empty() || !timing.meets_target {
+                return Err("signoff found issues (see above)".into());
+            }
+            println!("\nsignoff CLEAN");
+            Ok(())
+        }
+        "stats" => {
+            let bm = load_behavior(&args)?;
+            let style = style_from(&args)?;
+            let seeds: usize = args.parse_num("seeds", 5)?;
+            let stats = multiclock::experiment::power_stats(&bm, style, computations, seeds)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "{} over {} seeds × {computations} computations:",
+                style.label(),
+                stats.seeds
+            );
+            println!(
+                "  power {:.3} ± {:.3} mW  (min {:.3}, max {:.3})",
+                stats.mean_mw, stats.std_mw, stats.min_mw, stats.max_mw
+            );
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! End-to-end tests of the `mcpm` command-line tool, driving the real
+//! binary the way a user would.
+
+use std::process::Command;
+
+fn mcpm(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_mcpm"))
+        .args(args)
+        .output()
+        .expect("mcpm runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn no_arguments_prints_usage() {
+    let (ok, stdout, _) = mcpm(&[]);
+    assert!(ok);
+    assert!(stdout.contains("commands:"));
+}
+
+#[test]
+fn list_names_all_benchmarks() {
+    let (ok, stdout, _) = mcpm(&["list"]);
+    assert!(ok);
+    for name in ["facet", "hal", "biquad", "bandpass", "ewf"] {
+        assert!(stdout.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn eval_renders_the_five_styles() {
+    let (ok, stdout, _) = mcpm(&["eval", "--benchmark", "facet", "--computations", "40"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("Non-Gated Clock"));
+    assert!(stdout.contains("3 Clocks"));
+    assert!(stdout.contains("reduction"));
+}
+
+#[test]
+fn synth_verifies_and_prints_netlist() {
+    let (ok, stdout, stderr) = mcpm(&[
+        "synth",
+        "--benchmark",
+        "motivating",
+        "--clocks",
+        "2",
+        "--computations",
+        "30",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("netlist `motivating_integrated_2clk`"));
+    assert!(stderr.contains("verified OK"));
+}
+
+#[test]
+fn synth_exports_vhdl() {
+    let (ok, stdout, _) = mcpm(&[
+        "synth",
+        "--benchmark",
+        "hal",
+        "--clocks",
+        "3",
+        "--export",
+        "vhdl",
+        "--computations",
+        "20",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("entity hal_integrated_3clk is"));
+    assert!(stdout.contains("CLK3 : in bit;"));
+}
+
+#[test]
+fn synth_from_dsl_file_works() {
+    let (ok, stdout, stderr) = mcpm(&[
+        "synth",
+        "--file",
+        "examples/data/mac4.dfg",
+        "--clocks",
+        "2",
+        "--computations",
+        "30",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("netlist `mac4_integrated_2clk`"));
+}
+
+#[test]
+fn unknown_benchmark_fails_with_candidates() {
+    let (ok, _, stderr) = mcpm(&["eval", "--benchmark", "nope"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown benchmark"));
+    assert!(stderr.contains("facet"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let (ok, _, stderr) = mcpm(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+    assert!(stderr.contains("commands:"));
+}
+
+#[test]
+fn sweep_outputs_one_row_per_clock_count() {
+    let (ok, stdout, _) = mcpm(&[
+        "sweep",
+        "--benchmark",
+        "ar_lattice",
+        "--max-clocks",
+        "3",
+        "--computations",
+        "30",
+    ]);
+    assert!(ok);
+    let rows = stdout
+        .lines()
+        .filter(|l| l.trim_start().starts_with(['1', '2', '3']))
+        .count();
+    assert_eq!(rows, 3, "{stdout}");
+}
+
+#[test]
+fn signoff_is_clean_for_multiclock_designs() {
+    let (ok, stdout, _) = mcpm(&[
+        "signoff",
+        "--benchmark",
+        "biquad",
+        "--clocks",
+        "2",
+        "--computations",
+        "40",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("functional equivalence: PASS"));
+    assert!(stdout.contains("latch discipline"));
+    assert!(stdout.contains("signoff CLEAN"));
+    assert!(stdout.contains("DPM(CLK1)"));
+}
+
+#[test]
+fn stats_report_spread() {
+    let (ok, stdout, _) = mcpm(&[
+        "stats",
+        "--benchmark",
+        "facet",
+        "--clocks",
+        "2",
+        "--computations",
+        "50",
+        "--seeds",
+        "3",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("3 seeds"));
+    assert!(stdout.contains("±"));
+}
+
+#[test]
+fn profile_renders_bars() {
+    let (ok, stdout, _) = mcpm(&[
+        "profile",
+        "--benchmark",
+        "hal",
+        "--clocks",
+        "2",
+        "--computations",
+        "40",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("power profile"));
+    assert!(stdout.contains('#'));
+}

@@ -1,0 +1,90 @@
+//! End-to-end functional equivalence: every bundled benchmark, synthesised
+//! in every design style, must compute exactly what its behaviour
+//! computes, verified by simulating the synthesised netlist against
+//! direct DFG evaluation over random vectors.
+
+use multiclock::dfg::benchmarks;
+use multiclock::{DesignStyle, Synthesizer};
+
+#[test]
+fn all_benchmarks_all_paper_styles_are_equivalent() {
+    for bm in benchmarks::all_benchmarks() {
+        let synth = Synthesizer::for_benchmark(&bm).with_computations(25).with_seed(3);
+        for style in DesignStyle::paper_rows() {
+            synth
+                .synthesize_verified(style)
+                .unwrap_or_else(|e| panic!("{} under {style}: {e}", bm.name()));
+        }
+    }
+}
+
+#[test]
+fn wide_datapaths_are_equivalent() {
+    for width in [8u8, 16, 32] {
+        let bm = benchmarks::hal_w(width);
+        let synth = Synthesizer::for_benchmark(&bm).with_computations(20).with_seed(9);
+        for style in [DesignStyle::MultiClock(2), DesignStyle::ConventionalGated] {
+            synth
+                .synthesize_verified(style)
+                .unwrap_or_else(|e| panic!("width {width} under {style}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn higher_clock_counts_stay_equivalent() {
+    let bm = benchmarks::bandpass();
+    let synth = Synthesizer::for_benchmark(&bm).with_computations(15).with_seed(5);
+    for n in 4..=6u32 {
+        synth
+            .synthesize_verified(DesignStyle::MultiClock(n))
+            .unwrap_or_else(|e| panic!("n={n}: {e}"));
+    }
+}
+
+#[test]
+fn split_strategy_is_equivalent_across_benchmarks() {
+    use multiclock::alloc::Strategy;
+    use multiclock::rtl::PowerMode;
+    use multiclock::tech::MemKind;
+    for bm in benchmarks::paper_benchmarks() {
+        let synth = Synthesizer::for_benchmark(&bm).with_computations(20).with_seed(7);
+        for clocks in [2u32, 3] {
+            let style = DesignStyle::Custom {
+                strategy: Strategy::Split,
+                clocks,
+                mem_kind: MemKind::Latch,
+                transfers: false,
+                mode: PowerMode::multiclock(),
+            };
+            synth
+                .synthesize_verified(style)
+                .unwrap_or_else(|e| panic!("{} split n={clocks}: {e}", bm.name()));
+        }
+    }
+}
+
+#[test]
+fn power_modes_do_not_change_function() {
+    use multiclock::rtl::{ControlPolicy, PowerMode};
+    use multiclock::sim::verify_equivalence;
+    let bm = benchmarks::facet();
+    let synth = Synthesizer::for_benchmark(&bm);
+    let design = synth.synthesize(DesignStyle::MultiClock(2)).expect("synthesises");
+    // Even "wrong" mode combinations (gating a multiclock design,
+    // unlatched controls) must not alter results — power modes are
+    // observability knobs, never functional ones.
+    for gated in [false, true] {
+        for iso in [false, true] {
+            for policy in [ControlPolicy::Hold, ControlPolicy::Zero] {
+                let mode = PowerMode {
+                    gated_mem_clocks: gated,
+                    operand_isolation: iso,
+                    control_policy: policy,
+                };
+                verify_equivalence(&bm.dfg, &design.datapath.netlist, mode, 15, 11)
+                    .unwrap_or_else(|e| panic!("{mode}: {e}"));
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Integration tests over the experiment pipeline: ablations, timing,
+//! power profiles and per-component attribution, exercised across crates
+//! exactly the way the benchmark harness drives them.
+
+use multiclock::dfg::benchmarks;
+use multiclock::power::{
+    estimate_power, per_component_power, profile::power_profile, timing::analyze_timing,
+};
+use multiclock::rtl::PowerMode;
+use multiclock::sim::{simulate, SimConfig};
+use multiclock::tech::TechLibrary;
+use multiclock::{experiment, DesignStyle, Synthesizer};
+
+#[test]
+fn every_design_style_meets_target_frequency() {
+    // The scheme's premise: no performance loss. All styles must close
+    // timing at the library's reporting frequency.
+    for bm in benchmarks::paper_benchmarks() {
+        let synth = Synthesizer::for_benchmark(&bm).with_computations(20);
+        for style in DesignStyle::paper_rows() {
+            let r = synth.evaluate(style).expect("evaluates");
+            assert!(
+                r.timing.meets_target,
+                "{} under {style}: fmax {:.1} MHz < target",
+                bm.name(),
+                r.timing.fmax_mhz
+            );
+        }
+    }
+}
+
+#[test]
+fn latch_vs_dff_holds_on_every_benchmark() {
+    for bm in benchmarks::paper_benchmarks() {
+        let (latch, dff) = experiment::latch_vs_dff(&bm, 2, 150, 42).expect("runs");
+        assert!(
+            latch.power.total_mw < dff.power.total_mw,
+            "{}: latch {} vs dff {}",
+            bm.name(),
+            latch.power.total_mw,
+            dff.power.total_mw
+        );
+        assert!(latch.area.total_lambda2 < dff.area.total_lambda2, "{}", bm.name());
+    }
+}
+
+#[test]
+fn control_latching_never_hurts_significantly() {
+    for bm in benchmarks::paper_benchmarks() {
+        let (hold, zero) = experiment::control_latching(&bm, 2, 150, 42).expect("runs");
+        assert!(
+            hold.power.total_mw <= zero.power.total_mw * 1.02,
+            "{}: hold {} vs zero {}",
+            bm.name(),
+            hold.power.total_mw,
+            zero.power.total_mw
+        );
+    }
+}
+
+#[test]
+fn phase_affine_helps_on_every_paper_benchmark() {
+    for bm in benchmarks::paper_benchmarks() {
+        let (reference, affine) =
+            experiment::phase_affine_vs_reference(&bm, 2, 4, 150, 42).expect("runs");
+        assert!(
+            affine.power.total_mw < reference.power.total_mw,
+            "{}: affine {} vs reference {}",
+            bm.name(),
+            affine.power.total_mw,
+            reference.power.total_mw
+        );
+    }
+}
+
+#[test]
+fn profile_average_tracks_aggregate_power() {
+    // The per-step profile prices with design-average capacitances; its
+    // mean must stay within 25 % of the exact aggregate estimate.
+    let bm = benchmarks::hal();
+    let synth = Synthesizer::for_benchmark(&bm);
+    let design = synth.synthesize(DesignStyle::MultiClock(2)).expect("synthesises");
+    let lib = TechLibrary::vsc450();
+    let cfg = SimConfig::new(PowerMode::multiclock(), 200, 7).with_profile();
+    let res = simulate(&design.datapath.netlist, &cfg);
+    let exact = estimate_power(&design.datapath.netlist, &res.activity, &lib);
+    let prof = power_profile(&design.datapath.netlist, &res.activity, &lib).expect("profiled");
+    let ratio = prof.average_mw() / exact.total_mw;
+    assert!(
+        (0.75..1.25).contains(&ratio),
+        "profile mean {} vs exact {} (ratio {ratio})",
+        prof.average_mw(),
+        exact.total_mw
+    );
+}
+
+#[test]
+fn component_attribution_accounts_for_most_power() {
+    // Per-component attribution covers internal + driven-net energy;
+    // receiver input caps and controller overhead are not attributed, so
+    // the sum must land between 50 % and 105 % of the total.
+    let bm = benchmarks::biquad();
+    let synth = Synthesizer::for_benchmark(&bm);
+    let design = synth.synthesize(DesignStyle::MultiClock(2)).expect("synthesises");
+    let lib = TechLibrary::vsc450();
+    let res = simulate(
+        &design.datapath.netlist,
+        &SimConfig::new(PowerMode::multiclock(), 200, 7),
+    );
+    let exact = estimate_power(&design.datapath.netlist, &res.activity, &lib);
+    let attributed: f64 = per_component_power(&design.datapath.netlist, &res.activity, &lib)
+        .iter()
+        .map(|c| c.mw)
+        .sum();
+    let ratio = attributed / exact.total_mw;
+    assert!(
+        (0.5..1.05).contains(&ratio),
+        "attributed {attributed} vs exact {} (ratio {ratio})",
+        exact.total_mw
+    );
+}
+
+#[test]
+fn timing_is_dominated_by_the_divider_on_facet() {
+    // FACET contains a divider, the slowest 4-bit unit; its delay must
+    // show in the critical path.
+    let bm = benchmarks::facet();
+    let synth = Synthesizer::for_benchmark(&bm);
+    let design = synth
+        .synthesize(DesignStyle::ConventionalNonGated)
+        .expect("synthesises");
+    let lib = TechLibrary::vsc450();
+    let t = analyze_timing(&design.datapath.netlist, &lib);
+    let div_delay = lib.alu_delay_ns(multiclock::dfg::FunctionSet::single(multiclock::dfg::Op::Div), 4);
+    assert!(
+        t.critical_path_ns > div_delay,
+        "critical {} must exceed the divider's {div_delay}",
+        t.critical_path_ns
+    );
+}
+
+#[test]
+fn clock_sweep_is_deterministic_and_complete() {
+    let bm = benchmarks::ar_lattice();
+    let a = experiment::clock_sweep(&bm, 4, 80, 9).expect("sweeps");
+    let b = experiment::clock_sweep(&bm, 4, 80, 9).expect("sweeps");
+    assert_eq!(a.len(), 4);
+    for ((na, ra), (nb, rb)) in a.iter().zip(&b) {
+        assert_eq!(na, nb);
+        assert_eq!(ra.power.total_mw, rb.power.total_mw);
+    }
+}
+
+#[test]
+fn latch_discipline_holds_for_every_multiclock_design() {
+    use multiclock::rtl::discipline::check_latch_discipline;
+    for bm in benchmarks::all_benchmarks() {
+        let synth = Synthesizer::for_benchmark(&bm);
+        for n in [1u32, 2, 3] {
+            let design = synth
+                .synthesize(DesignStyle::MultiClock(n))
+                .unwrap_or_else(|e| panic!("{} n={n}: {e}", bm.name()));
+            let hazards = check_latch_discipline(&design.datapath.netlist, false);
+            assert!(
+                hazards.is_empty(),
+                "{} n={n}: {:?}",
+                bm.name(),
+                hazards
+            );
+        }
+    }
+}
+
+#[test]
+fn conventional_dff_designs_are_not_latch_convertible() {
+    // The reason conventional datapaths need DFFs: audited as latches, at
+    // least some of the paper benchmarks' conventional designs exhibit
+    // read/write overlaps.
+    use multiclock::rtl::discipline::check_latch_discipline;
+    let mut any_hazard = false;
+    for bm in benchmarks::paper_benchmarks() {
+        let design = Synthesizer::for_benchmark(&bm)
+            .synthesize(DesignStyle::ConventionalGated)
+            .expect("synthesises");
+        // A conventional DFF design is always clean as-built…
+        assert!(check_latch_discipline(&design.datapath.netlist, false).is_empty());
+        // …but not necessarily if its registers were latches.
+        any_hazard |= !check_latch_discipline(&design.datapath.netlist, true).is_empty();
+    }
+    assert!(
+        any_hazard,
+        "expected at least one conventional design to fail the latch audit"
+    );
+}
+
+#[test]
+fn ewf_scales_through_the_whole_pipeline() {
+    // The 34-op EWF stress benchmark must flow through synthesis,
+    // verification and evaluation at several clock counts.
+    let bm = benchmarks::ewf();
+    let synth = Synthesizer::for_benchmark(&bm).with_computations(40);
+    for n in [1u32, 2, 4] {
+        let design = synth
+            .synthesize_verified(DesignStyle::MultiClock(n))
+            .unwrap_or_else(|e| panic!("n={n}: {e}"));
+        let r = synth.evaluate(DesignStyle::MultiClock(n)).expect("evaluates");
+        assert!(r.power.total_mw > 0.0);
+        assert!(design.datapath.netlist.stats().mem_cells >= 17, "n={n}");
+    }
+}

@@ -1,0 +1,98 @@
+//! Integration tests for the export back ends: structural VHDL, Graphviz
+//! DOT, and VCD waveform dumps, produced from fully synthesised designs.
+
+use multiclock::dfg::benchmarks;
+use multiclock::rtl::export::{to_dot, to_vhdl};
+use multiclock::rtl::PowerMode;
+use multiclock::sim::{simulate, vcd::to_vcd, SimConfig};
+use multiclock::{DesignStyle, Synthesizer};
+
+fn design(style: DesignStyle) -> multiclock::Design {
+    let bm = benchmarks::hal();
+    Synthesizer::for_benchmark(&bm)
+        .synthesize(style)
+        .expect("synthesises")
+}
+
+#[test]
+fn vhdl_export_covers_every_component_and_net() {
+    let d = design(DesignStyle::MultiClock(3));
+    let nl = &d.datapath.netlist;
+    let text = to_vhdl(nl);
+    for n in nl.net_ids() {
+        assert!(
+            text.contains(nl.net_name(n)),
+            "net {} missing from VHDL",
+            nl.net_name(n)
+        );
+    }
+    // Clock ports for all three phases.
+    for k in nl.scheme().phases() {
+        assert!(text.contains(&format!("{k} : in bit;")));
+    }
+    // Controller annotation covers the whole period.
+    for t in 1..=nl.controller().len() {
+        assert!(text.contains(&format!("T{t}:")), "step {t} missing");
+    }
+}
+
+#[test]
+fn dot_export_is_well_formed_for_all_styles() {
+    for style in DesignStyle::paper_rows() {
+        let d = design(style);
+        let dot = to_dot(&d.datapath.netlist);
+        assert!(dot.starts_with("digraph"));
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count(), "{style}");
+        let nodes = dot.lines().filter(|l| l.contains("[shape=")).count();
+        assert_eq!(nodes, d.datapath.netlist.num_components(), "{style}");
+    }
+}
+
+#[test]
+fn vcd_round_trip_is_consistent_with_trace() {
+    let d = design(DesignStyle::MultiClock(2));
+    let nl = &d.datapath.netlist;
+    let cfg = SimConfig::new(PowerMode::multiclock(), 4, 11).with_trace();
+    let res = simulate(nl, &cfg);
+    let dump = to_vcd(nl, &res).expect("traced");
+    // Every declared variable has at least the initial dump value.
+    let declared = dump.lines().filter(|l| l.starts_with("$var")).count();
+    assert_eq!(declared, nl.num_nets());
+    let initial_values = dump
+        .lines()
+        .skip_while(|l| !l.starts_with("$dumpvars"))
+        .take_while(|l| !l.starts_with("$end"))
+        .filter(|l| l.starts_with('b'))
+        .count();
+    assert_eq!(initial_values, nl.num_nets());
+    // Value-change counts are bounded by trace content: the number of `b`
+    // lines after t0 equals the number of (step, net) pairs whose value
+    // changed.
+    let trace = res.trace.expect("trace present");
+    let mut expected_changes = 0;
+    for w in trace.windows(2) {
+        expected_changes += w[0]
+            .iter()
+            .zip(&w[1])
+            .filter(|(a, b)| a != b)
+            .count();
+    }
+    let after_t0: Vec<&str> = dump
+        .lines()
+        .skip_while(|l| *l != "#1")
+        .filter(|l| l.starts_with('b'))
+        .collect();
+    assert_eq!(after_t0.len(), expected_changes);
+}
+
+#[test]
+fn exports_work_for_every_bundled_benchmark() {
+    for bm in benchmarks::all_benchmarks() {
+        let d = Synthesizer::for_benchmark(&bm)
+            .synthesize(DesignStyle::MultiClock(2))
+            .unwrap_or_else(|e| panic!("{}: {e}", bm.name()));
+        let nl = &d.datapath.netlist;
+        assert!(to_vhdl(nl).contains(&format!("entity {}", nl.name())));
+        assert!(to_dot(nl).contains(nl.name()));
+    }
+}

@@ -1,0 +1,131 @@
+//! Multi-cycle functional units end to end: schedules with a two-cycle
+//! divider (and slower profiles) must allocate, verify and evaluate
+//! exactly like unit-latency ones — the simulator's equivalence oracle is
+//! the arbiter.
+
+use multiclock::alloc::{allocate, AllocOptions, Strategy};
+use multiclock::clocks::ClockScheme;
+use multiclock::dfg::{benchmarks, scheduler, DfgBuilder, LatencyModel, Op};
+use multiclock::rtl::PowerMode;
+use multiclock::sim::verify_equivalence;
+use multiclock::{DesignStyle, Synthesizer};
+
+/// FACET (which contains a divider) under a 2-cycle divider model.
+fn facet_multicycle() -> (multiclock::dfg::Dfg, multiclock::dfg::Schedule) {
+    let bm = benchmarks::facet();
+    let schedule = scheduler::asap_with_latencies(&bm.dfg, &LatencyModel::slow_divider());
+    (bm.dfg, schedule)
+}
+
+#[test]
+fn slow_divider_schedule_is_longer_but_valid() {
+    let bm = benchmarks::facet();
+    let unit = scheduler::asap_with_latencies(&bm.dfg, &LatencyModel::unit());
+    let slow = scheduler::asap_with_latencies(&bm.dfg, &LatencyModel::slow_divider());
+    assert!(slow.has_multicycle_ops());
+    assert!(!unit.has_multicycle_ops());
+    assert!(slow.length() > unit.length(), "{} vs {}", slow.length(), unit.length());
+    // The divider node completes one step after it starts.
+    let div = bm
+        .dfg
+        .node_ids()
+        .find(|&n| bm.dfg.node(n).op() == Op::Div)
+        .expect("FACET has a divider");
+    assert_eq!(slow.completion_of(div), slow.step_of(div) + 1);
+}
+
+#[test]
+fn multicycle_designs_are_functionally_correct() {
+    let (dfg, schedule) = facet_multicycle();
+    let conv = allocate(
+        &dfg,
+        &schedule,
+        &AllocOptions::new(Strategy::Conventional, ClockScheme::single()),
+    )
+    .expect("allocates");
+    verify_equivalence(&dfg, &conv.netlist, PowerMode::gated(), 40, 3)
+        .unwrap_or_else(|e| panic!("conventional: {e}"));
+    for n in [1u32, 2, 3] {
+        for strategy in [Strategy::Split, Strategy::Integrated] {
+            let dp = allocate(
+                &dfg,
+                &schedule,
+                &AllocOptions::new(strategy, ClockScheme::new(n).expect("valid")),
+            )
+            .expect("allocates");
+            verify_equivalence(&dfg, &dp.netlist, PowerMode::multiclock(), 40, 3)
+                .unwrap_or_else(|e| panic!("{strategy} n={n}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn multicycle_ops_never_share_an_alu_with_overlapping_windows() {
+    let (dfg, schedule) = facet_multicycle();
+    let dp = allocate(
+        &dfg,
+        &schedule,
+        &AllocOptions::new(Strategy::Integrated, ClockScheme::new(2).expect("valid")),
+    )
+    .expect("allocates");
+    for g in &dp.alus {
+        let mut windows: Vec<(u32, u32)> = g
+            .ops
+            .iter()
+            .map(|&o| (dp.problem.ops[o].step, dp.problem.ops[o].completion()))
+            .collect();
+        windows.sort_unstable();
+        for pair in windows.windows(2) {
+            assert!(pair[0].1 < pair[1].0, "overlapping windows {pair:?}");
+        }
+    }
+}
+
+#[test]
+fn very_slow_units_still_verify() {
+    // An aggressive profile: 3-cycle divider, 2-cycle multiplier.
+    let model = LatencyModel::unit()
+        .with_latency(Op::Div, 3)
+        .with_latency(Op::Mul, 2);
+    for bm in [benchmarks::facet(), benchmarks::hal(), benchmarks::biquad()] {
+        let schedule = scheduler::asap_with_latencies(&bm.dfg, &model);
+        let synth = Synthesizer::new(bm.dfg.clone(), schedule).with_computations(25);
+        for style in [DesignStyle::ConventionalGated, DesignStyle::MultiClock(2)] {
+            synth
+                .synthesize_verified(style)
+                .unwrap_or_else(|e| panic!("{} under {style}: {e}", bm.name()));
+        }
+    }
+}
+
+#[test]
+fn multicycle_chain_computes_through_partitions() {
+    // A hand-built chain where a 2-cycle divide feeds a multiply across
+    // partitions.
+    let mut b = DfgBuilder::new("mc_chain", 8);
+    let a = b.input("a");
+    let d = b.input("d");
+    let q = b.op_named("q", Op::Div, a, d);
+    let m = b.op_named("m", Op::Mul, q, a);
+    let y = b.op_named("y", Op::Add, m, 1u64);
+    b.mark_output(y);
+    let dfg = b.finish().expect("well-formed");
+    let schedule = scheduler::asap_with_latencies(&dfg, &LatencyModel::slow_divider());
+    assert_eq!(schedule.length(), 4);
+    let synth = Synthesizer::new(dfg, schedule).with_computations(60);
+    for n in [2u32, 3] {
+        synth
+            .synthesize_verified(DesignStyle::MultiClock(n))
+            .unwrap_or_else(|e| panic!("n={n}: {e}"));
+    }
+}
+
+#[test]
+fn multicycle_power_evaluation_runs() {
+    let (dfg, schedule) = facet_multicycle();
+    let synth = Synthesizer::new(dfg, schedule).with_computations(120);
+    let gated = synth.evaluate(DesignStyle::ConventionalGated).expect("evaluates");
+    let multi = synth.evaluate(DesignStyle::MultiClock(2)).expect("evaluates");
+    assert!(gated.power.total_mw > 0.0 && multi.power.total_mw > 0.0);
+    assert!(multi.power.total_mw < gated.power.total_mw);
+}

@@ -1,0 +1,155 @@
+//! The paper-shape assertions: the qualitative results of Tables 1–4 must
+//! reproduce — who wins, in which direction, and (loosely) by how much.
+//! Absolute mW/λ² values are calibration-dependent and are *not* asserted;
+//! see EXPERIMENTS.md for the measured-vs-published numbers.
+
+use multiclock::experiment::paper_table;
+use multiclock::dfg::benchmarks;
+use multiclock::DesignStyle;
+
+const COMPUTATIONS: usize = 250;
+const SEED: u64 = 42;
+
+fn power(table: &multiclock::experiment::Table, style: DesignStyle) -> f64 {
+    table
+        .row(&style.label())
+        .unwrap_or_else(|| panic!("row {style} present"))
+        .report
+        .power
+        .total_mw
+}
+
+fn area(table: &multiclock::experiment::Table, style: DesignStyle) -> f64 {
+    table
+        .row(&style.label())
+        .unwrap_or_else(|| panic!("row {style} present"))
+        .report
+        .area
+        .total_lambda2
+}
+
+#[test]
+fn gating_always_beats_no_management() {
+    for bm in benchmarks::paper_benchmarks() {
+        let t = paper_table(&bm, COMPUTATIONS, SEED).expect("table builds");
+        assert!(
+            power(&t, DesignStyle::ConventionalGated)
+                < power(&t, DesignStyle::ConventionalNonGated),
+            "{}",
+            bm.name()
+        );
+    }
+}
+
+#[test]
+fn two_clocks_beat_one_clock_everywhere() {
+    for bm in benchmarks::paper_benchmarks() {
+        let t = paper_table(&bm, COMPUTATIONS, SEED).expect("table builds");
+        assert!(
+            power(&t, DesignStyle::MultiClock(2)) < power(&t, DesignStyle::MultiClock(1)),
+            "{}",
+            bm.name()
+        );
+    }
+}
+
+#[test]
+fn multiclock_beats_gated_on_compute_bound_benchmarks() {
+    // FACET, HAL and the biquad reproduce the paper's headline: the best
+    // multi-clock design beats the gated baseline by >= 25 % (the paper
+    // reports 49 %, 54 %, 37 %). The band is deliberately loose: our
+    // substrate is a simulator, not the authors' COMPASS flow.
+    for bm in [benchmarks::facet(), benchmarks::hal(), benchmarks::biquad()] {
+        let t = paper_table(&bm, COMPUTATIONS, SEED).expect("table builds");
+        let red = t
+            .gated_to_best_multiclock_reduction()
+            .expect("rows present");
+        assert!(
+            red >= 0.25,
+            "{}: gated→multiclock reduction only {:.1} %",
+            bm.name(),
+            red * 100.0
+        );
+        assert!(red <= 0.70, "{}: implausibly large reduction", bm.name());
+    }
+}
+
+#[test]
+fn bandpass_multiclock_is_at_least_competitive() {
+    // The register-dominated band-pass filter is our one divergence from
+    // the paper (which reports 35 %): under a strong gated baseline the
+    // two-clock design wins only slightly and the three-clock design
+    // shows the diminishing-returns crossover the paper warns about. We
+    // assert competitiveness (within 10 % of gated), not victory.
+    let bm = benchmarks::bandpass();
+    let t = paper_table(&bm, COMPUTATIONS, SEED).expect("table builds");
+    let gated = power(&t, DesignStyle::ConventionalGated);
+    let best = power(&t, DesignStyle::MultiClock(2)).min(power(&t, DesignStyle::MultiClock(3)));
+    assert!(
+        best < gated * 1.10,
+        "bandpass best multiclock {best} vs gated {gated}"
+    );
+}
+
+#[test]
+fn three_clock_power_is_minimal_for_facet_and_hal() {
+    for bm in [benchmarks::facet(), benchmarks::hal()] {
+        let t = paper_table(&bm, COMPUTATIONS, SEED).expect("table builds");
+        let p3 = power(&t, DesignStyle::MultiClock(3));
+        for style in DesignStyle::paper_rows() {
+            assert!(
+                p3 <= power(&t, style) + 1e-9,
+                "{}: {style} beats 3 clocks",
+                bm.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn area_grows_with_clock_count_modestly() {
+    // The paper reports ~5–12 % area increase from 1 to 3 clocks on HAL /
+    // biquad / bandpass; our allocator pays more for HAL's extra
+    // multipliers but must stay within ~2.5x.
+    for bm in benchmarks::paper_benchmarks() {
+        let t = paper_table(&bm, 60, SEED).expect("table builds");
+        let a1 = area(&t, DesignStyle::MultiClock(1));
+        let a3 = area(&t, DesignStyle::MultiClock(3));
+        assert!(a3 >= a1 * 0.95, "{}: area shrank implausibly", bm.name());
+        assert!(a3 <= a1 * 2.5, "{}: area exploded {a1} -> {a3}", bm.name());
+    }
+}
+
+#[test]
+fn memory_cells_track_the_papers_direction() {
+    // Multi-clock designs use at least as many memory elements as the
+    // 1-clock design (the paper's Mem Cells column grows with clocks).
+    for bm in benchmarks::paper_benchmarks() {
+        let t = paper_table(&bm, 30, SEED).expect("table builds");
+        let m1 = t.row(&DesignStyle::MultiClock(1).label()).unwrap().report.stats.mem_cells;
+        let m3 = t.row(&DesignStyle::MultiClock(3).label()).unwrap().report.stats.mem_cells;
+        assert!(m3 >= m1, "{}: mem cells fell {m1} -> {m3}", bm.name());
+    }
+}
+
+#[test]
+fn clock_sweep_shows_diminishing_returns() {
+    // §5.2: "you can not keep adding clocks and expect power reduction".
+    // Somewhere in 1..=6 the marginal gain must flatten: the best
+    // improvement happens in the first three steps of the sweep.
+    let bm = benchmarks::facet();
+    let sweep = multiclock::experiment::clock_sweep(&bm, 6, COMPUTATIONS, SEED).expect("sweeps");
+    let deltas: Vec<f64> = sweep
+        .windows(2)
+        .map(|w| w[0].1.power.total_mw - w[1].1.power.total_mw)
+        .collect();
+    let best = deltas
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let early_best = deltas[..3].iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        (early_best - best).abs() < 1e-9,
+        "largest marginal gain should come early: {deltas:?}"
+    );
+}
