@@ -156,10 +156,13 @@ mod tests {
         for g in &groups {
             for &oi in &g.ops {
                 let scheme = ClockScheme::new(2).unwrap();
-                assert_eq!(scheme.phase_of_step({
-                    let p = Problem::build(&bm.dfg, &bm.schedule, scheme, false);
-                    p.ops[oi].step
-                }), g.phase);
+                assert_eq!(
+                    scheme.phase_of_step({
+                        let p = Problem::build(&bm.dfg, &bm.schedule, scheme, false);
+                        p.ops[oi].step
+                    }),
+                    g.phase
+                );
             }
         }
         // Both phases are populated for HAL's 4-step schedule.

@@ -44,9 +44,7 @@ pub fn compose(
     for op in &problem.ops {
         for o in [op.lhs, op.rhs] {
             if let POperand::Const(c) = o {
-                const_net
-                    .entry(c)
-                    .or_insert_with(|| nb.add_const(c).1);
+                const_net.entry(c).or_insert_with(|| nb.add_const(c).1);
             }
         }
     }
@@ -195,7 +193,10 @@ pub fn compose(
             word.mem_load.insert(mem_comp[gi]);
             if let Some(m) = mux {
                 let net = writer_net(problem, i);
-                let sel = sources.iter().position(|&n| n == net).expect("source present");
+                let sel = sources
+                    .iter()
+                    .position(|&n| n == net)
+                    .expect("source present");
                 nb.controller_mut()
                     .word_mut(load_step)
                     .mux_sel

@@ -162,7 +162,13 @@ mod tests {
     #[test]
     fn groups_preserve_all_items_exactly_once() {
         let ivs: Vec<Interval> = (0..20)
-            .map(|i| iv(i, (i as u32 * 7) % 13, (i as u32 * 7) % 13 + 1 + (i as u32 % 5)))
+            .map(|i| {
+                iv(
+                    i,
+                    (i as u32 * 7) % 13,
+                    (i as u32 * 7) % 13 + 1 + (i as u32 % 5),
+                )
+            })
             .collect();
         for kind in [MemKind::Latch, MemKind::Dff] {
             let groups = left_edge(&ivs, kind);

@@ -267,7 +267,11 @@ mod tests {
     fn all_strategies_allocate_all_benchmarks() {
         for bm in benchmarks::all_benchmarks() {
             let conv = AllocOptions::new(Strategy::Conventional, ClockScheme::single());
-            assert!(allocate(&bm.dfg, &bm.schedule, &conv).is_ok(), "{}", bm.name());
+            assert!(
+                allocate(&bm.dfg, &bm.schedule, &conv).is_ok(),
+                "{}",
+                bm.name()
+            );
             for n in [1u32, 2, 3] {
                 for strategy in [Strategy::Split, Strategy::Integrated] {
                     let opts = AllocOptions::new(strategy, ClockScheme::new(n).unwrap());

@@ -189,8 +189,7 @@ impl Problem {
 
     /// Indices of the primary-input variables.
     pub fn input_vars(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..self.vars.len())
-            .filter(|&i| matches!(self.vars[i].source, PVarSource::PrimaryInput(_)))
+        (0..self.vars.len()).filter(|&i| matches!(self.vars[i].source, PVarSource::PrimaryInput(_)))
     }
 
     /// The operations executed in partition `k`, in step order.
@@ -247,28 +246,24 @@ impl fmt::Display for Problem {
 /// read. Capturing at the earliest such step makes the copy shareable by
 /// every later reader in that partition. Returns the number of transfer
 /// variables created.
-fn reroute_through_transfers(
-    vars: &mut Vec<PVar>,
-    ops: &mut [POp],
-    scheme: ClockScheme,
-) -> usize {
+fn reroute_through_transfers(vars: &mut Vec<PVar>, ops: &mut [POp], scheme: ClockScheme) -> usize {
     use std::collections::BTreeMap;
     // (source var, reader phase) -> transfer var index
     let mut cache: BTreeMap<(usize, u32), usize> = BTreeMap::new();
     let mut created = 0;
-    for oi in 0..ops.len() {
+    for op in ops.iter_mut() {
         // §4.2 step 3 offers a choice for cross-partition operands: add a
         // transfer register, or rely on latched mux controls. A transfer
         // costs a latch (area, clock pulses, store toggles); it pays only
         // when it keeps the inputs of an *expensive* unit (multiplier /
         // divider) stable, so we insert selectively.
-        if !ops[oi].op.is_expensive() {
+        if !op.op.is_expensive() {
             continue;
         }
         for side in 0..2 {
-            let operand = if side == 0 { ops[oi].lhs } else { ops[oi].rhs };
+            let operand = if side == 0 { op.lhs } else { op.rhs };
             let POperand::Var(v) = operand else { continue };
-            let reader_phase = ops[oi].phase;
+            let reader_phase = op.phase;
             if vars[v].phase == reader_phase {
                 continue;
             }
@@ -277,13 +272,13 @@ fn reroute_through_transfers(
             if matches!(vars[v].source, PVarSource::PrimaryInput(_)) {
                 continue;
             }
-            let read_step = ops[oi].step;
+            let read_step = op.step;
             let write_step = vars[v].write_step;
             // Earliest reader-phase step strictly after the write and
             // strictly before the read: capture as soon as the value
             // exists so every reader in this partition can share it.
-            let capture = (write_step + 1..read_step)
-                .find(|&s| scheme.phase_of_step(s) == reader_phase);
+            let capture =
+                (write_step + 1..read_step).find(|&s| scheme.phase_of_step(s) == reader_phase);
             let Some(capture) = capture else { continue };
             let key = (v, reader_phase.get());
             let ti = *cache.entry(key).or_insert_with(|| {
@@ -302,9 +297,9 @@ fn reroute_through_transfers(
                 idx
             });
             if side == 0 {
-                ops[oi].lhs = POperand::Var(ti);
+                op.lhs = POperand::Var(ti);
             } else {
-                ops[oi].rhs = POperand::Var(ti);
+                op.rhs = POperand::Var(ti);
             }
         }
     }
@@ -325,9 +320,9 @@ fn recompute_deaths(vars: &mut [PVar], ops: &[POp], period: u32) {
             }
         }
     }
-    for i in 0..vars.len() {
-        if let PVarSource::Transfer(src) = vars[i].source {
-            death[src] = death[src].max(vars[i].write_step);
+    for v in vars.iter() {
+        if let PVarSource::Transfer(src) = v.source {
+            death[src] = death[src].max(v.write_step);
         }
     }
     for (v, d) in vars.iter_mut().zip(death) {

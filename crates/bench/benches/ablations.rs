@@ -1,42 +1,37 @@
-//! Criterion benches for the ablation experiments: clock-count sweep,
-//! latch-vs-DFF, and control-line latching on the HAL benchmark.
+//! Benches for the ablation experiments: clock-count sweep, latch-vs-DFF,
+//! and control-line latching on the HAL benchmark.
+//!
+//! Run with `cargo bench -p mc-bench --bench ablations`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use mc_bench::harness::bench;
 use mc_core::experiment;
 use mc_dfg::benchmarks;
 
 const COMPUTATIONS: usize = 40;
 const SEED: u64 = 42;
 
-fn bench_ablations(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablations");
-    group.sample_size(10);
+fn main() {
     let bm = benchmarks::hal();
-    group.bench_function("clock_sweep_1_to_4", |b| {
-        b.iter(|| {
-            let sweep = experiment::clock_sweep(black_box(&bm), 4, COMPUTATIONS, SEED)
-                .expect("sweep succeeds");
-            black_box(sweep.len())
-        });
+    bench("ablations/clock_sweep_1_to_4", || {
+        let sweep =
+            experiment::clock_sweep(black_box(&bm), 4, COMPUTATIONS, SEED).expect("sweep succeeds");
+        black_box(sweep.len());
     });
-    group.bench_function("latch_vs_dff", |b| {
-        b.iter(|| {
-            let pair = experiment::latch_vs_dff(black_box(&bm), 2, COMPUTATIONS, SEED)
-                .expect("ablation succeeds");
-            black_box(pair.0.power.total_mw)
-        });
+    bench("ablations/clock_sweep_1_to_4_parallel", || {
+        let sweep = experiment::clock_sweep_parallel(black_box(&bm), 4, COMPUTATIONS, SEED)
+            .expect("sweep succeeds");
+        black_box(sweep.len());
     });
-    group.bench_function("control_latching", |b| {
-        b.iter(|| {
-            let pair = experiment::control_latching(black_box(&bm), 2, COMPUTATIONS, SEED)
-                .expect("ablation succeeds");
-            black_box(pair.0.power.total_mw)
-        });
+    bench("ablations/latch_vs_dff", || {
+        let pair = experiment::latch_vs_dff(black_box(&bm), 2, COMPUTATIONS, SEED)
+            .expect("ablation succeeds");
+        black_box(pair.0.power.total_mw);
     });
-    group.finish();
+    bench("ablations/control_latching", || {
+        let pair = experiment::control_latching(black_box(&bm), 2, COMPUTATIONS, SEED)
+            .expect("ablation succeeds");
+        black_box(pair.0.power.total_mw);
+    });
 }
-
-criterion_group!(benches, bench_ablations);
-criterion_main!(benches);

@@ -1,11 +1,13 @@
-//! Criterion benches for the individual pipeline stages — scheduling,
-//! allocation, simulation, power pricing — so performance regressions in
-//! any stage are visible separately.
+//! Benches for the individual pipeline stages — scheduling, allocation,
+//! simulation, power pricing — so performance regressions in any stage
+//! are visible separately.
+//!
+//! Run with `cargo bench -p mc-bench --bench pipeline`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use mc_alloc::{allocate, AllocOptions, Strategy};
+use mc_bench::harness::bench;
 use mc_clocks::ClockScheme;
 use mc_dfg::{benchmarks, scheduler};
 use mc_power::{estimate_area, estimate_power};
@@ -13,21 +15,20 @@ use mc_rtl::PowerMode;
 use mc_sim::{simulate, SimConfig};
 use mc_tech::TechLibrary;
 
-fn bench_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline");
+fn main() {
     let bm = benchmarks::bandpass();
     let scheme = ClockScheme::new(3).expect("three clocks");
 
-    group.bench_function("schedule_force_directed", |b| {
-        b.iter(|| black_box(scheduler::force_directed(&bm.dfg, 10).expect("schedules")))
+    bench("pipeline/schedule_force_directed", || {
+        black_box(scheduler::force_directed(&bm.dfg, 10).expect("schedules"));
     });
-    group.bench_function("schedule_list", |b| {
+    bench("pipeline/schedule_list", || {
         let rc = mc_dfg::ResourceConstraints::new().with_limit(mc_dfg::Op::Mul, 2);
-        b.iter(|| black_box(scheduler::list_schedule(&bm.dfg, &rc).expect("schedules")))
+        black_box(scheduler::list_schedule(&bm.dfg, &rc).expect("schedules"));
     });
-    group.bench_function("allocate_integrated_3clk", |b| {
+    bench("pipeline/allocate_integrated_3clk", || {
         let opts = AllocOptions::new(Strategy::Integrated, scheme);
-        b.iter(|| black_box(allocate(&bm.dfg, &bm.schedule, &opts).expect("allocates")))
+        black_box(allocate(&bm.dfg, &bm.schedule, &opts).expect("allocates"));
     });
 
     let dp = allocate(
@@ -36,32 +37,29 @@ fn bench_pipeline(c: &mut Criterion) {
         &AllocOptions::new(Strategy::Integrated, scheme),
     )
     .expect("allocates");
-    group.bench_function("simulate_200_computations", |b| {
+    bench("pipeline/simulate_200_computations", || {
         let cfg = SimConfig::new(PowerMode::multiclock(), 200, 7);
-        b.iter(|| black_box(simulate(&dp.netlist, &cfg).activity.steps))
+        black_box(simulate(&dp.netlist, &cfg).activity.steps);
     });
 
     let lib = TechLibrary::vsc450();
-    let res = simulate(&dp.netlist, &SimConfig::new(PowerMode::multiclock(), 200, 7));
-    group.bench_function("price_power_and_area", |b| {
-        b.iter(|| {
-            let p = estimate_power(&dp.netlist, &res.activity, &lib);
-            let a = estimate_area(&dp.netlist, PowerMode::multiclock(), &lib);
-            black_box((p.total_mw, a.total_lambda2))
-        })
+    let res = simulate(
+        &dp.netlist,
+        &SimConfig::new(PowerMode::multiclock(), 200, 7),
+    );
+    bench("pipeline/price_power_and_area", || {
+        let p = estimate_power(&dp.netlist, &res.activity, &lib);
+        let a = estimate_area(&dp.netlist, PowerMode::multiclock(), &lib);
+        black_box((p.total_mw, a.total_lambda2));
     });
-    group.bench_function("static_timing_analysis", |b| {
-        b.iter(|| black_box(mc_power::timing::analyze_timing(&dp.netlist, &lib)))
+    bench("pipeline/static_timing_analysis", || {
+        black_box(mc_power::timing::analyze_timing(&dp.netlist, &lib));
     });
-    group.bench_function("lint_netlist", |b| {
-        b.iter(|| black_box(mc_rtl::lint::lint(&dp.netlist).len()))
+    bench("pipeline/lint_netlist", || {
+        black_box(mc_rtl::lint::lint(&dp.netlist).len());
     });
-    group.bench_function("parse_dsl_round_trip", |b| {
+    bench("pipeline/parse_dsl_round_trip", || {
         let text = mc_dfg::parse::to_dsl(&bm.dfg);
-        b.iter(|| black_box(mc_dfg::parse::parse_dfg("bp", &text).expect("parses")))
+        black_box(mc_dfg::parse::parse_dfg("bp", &text).expect("parses"));
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);

@@ -1,36 +1,37 @@
-//! Criterion benches regenerating the paper's Tables 1–4 (one group per
-//! table): each iteration synthesises all five design styles of a
-//! benchmark and evaluates power/area over random stimulus. The reported
-//! wall time tracks the cost of a full table reproduction.
+//! Benches regenerating the paper's Tables 1–4: each iteration
+//! synthesises all five design styles of a benchmark and evaluates
+//! power/area over random stimulus. The reported wall time tracks the
+//! cost of a full table reproduction; the parallel variants show the
+//! scoped-thread speed-up of the flow layer.
+//!
+//! Run with `cargo bench -p mc-bench --bench tables` (set
+//! `MC_BENCH_ITERS` to adjust the iteration count).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use mc_core::experiment::paper_table;
+use mc_bench::harness::bench;
+use mc_core::experiment::{paper_table, paper_table_parallel};
 use mc_dfg::benchmarks;
 
 const COMPUTATIONS: usize = 60;
 const SEED: u64 = 42;
 
-fn bench_tables(c: &mut Criterion) {
-    let mut group = c.benchmark_group("paper_tables");
-    group.sample_size(10);
+fn main() {
     for (table, bm) in [
         ("table1_facet", benchmarks::facet()),
         ("table2_hal", benchmarks::hal()),
         ("table3_biquad", benchmarks::biquad()),
         ("table4_bandpass", benchmarks::bandpass()),
     ] {
-        group.bench_function(table, |b| {
-            b.iter(|| {
-                let t = paper_table(black_box(&bm), COMPUTATIONS, SEED)
-                    .expect("table synthesis succeeds");
-                black_box(t.rows.len())
-            });
+        bench(&format!("paper_tables/{table}"), || {
+            let t =
+                paper_table(black_box(&bm), COMPUTATIONS, SEED).expect("table synthesis succeeds");
+            black_box(t.rows.len());
+        });
+        bench(&format!("paper_tables/{table}_parallel"), || {
+            let t = paper_table_parallel(black_box(&bm), COMPUTATIONS, SEED)
+                .expect("table synthesis succeeds");
+            black_box(t.rows.len());
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_tables);
-criterion_main!(benches);

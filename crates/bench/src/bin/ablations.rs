@@ -18,8 +18,11 @@ fn main() {
         let sweep = experiment::clock_sweep(&bm, 6, n, seed).expect("sweep succeeds");
         print!("{:<9}:", bm.name());
         for (k, rep) in &sweep {
-            print!("  n={k}: {:5.2} mW / {:4.2} Mλ²", rep.power.total_mw,
-                rep.area.total_lambda2 / 1e6);
+            print!(
+                "  n={k}: {:5.2} mW / {:4.2} Mλ²",
+                rep.power.total_mw,
+                rep.area.total_lambda2 / 1e6
+            );
         }
         println!();
     }
@@ -116,13 +119,9 @@ fn main() {
     println!("\n== Ablation 8 (extension): input-stimulus sensitivity, 2 clocks ==");
     println!("(the paper uses uniform random inputs; correlated streams switch less)");
     for bm in benchmarks::paper_benchmarks() {
-        let (random, walk, constant) = experiment::stimulus_sensitivity(
-            &bm,
-            mc_core::DesignStyle::MultiClock(2),
-            n,
-            seed,
-        )
-        .expect("runs");
+        let (random, walk, constant) =
+            experiment::stimulus_sensitivity(&bm, mc_core::DesignStyle::MultiClock(2), n, seed)
+                .expect("runs");
         println!(
             "{:<9}: uniform {:5.2} mW   walk±1 {:5.2} mW ({:4.1} % less)   constant {:5.2} mW",
             bm.name(),

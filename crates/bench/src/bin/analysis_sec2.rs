@@ -13,8 +13,14 @@ fn main() {
     let busy1 = analysis::busy_fraction(3, 5, 1);
     // Circuit 2: disjoint subcircuits, each busy 2 of 4 effective steps.
     let busy2 = analysis::busy_fraction(2, 5, 1);
-    println!("Circuit 1 component busy fraction: {:.0} % (paper: 75 %)", busy1 * 100.0);
-    println!("Circuit 2 component busy fraction: {:.0} % (paper: 50 %)", busy2 * 100.0);
+    println!(
+        "Circuit 1 component busy fraction: {:.0} % (paper: 75 %)",
+        busy1 * 100.0
+    );
+    println!(
+        "Circuit 2 component busy fraction: {:.0} % (paper: 50 %)",
+        busy2 * 100.0
+    );
 
     println!("\n§2.1 no power management: need C21 + C22 < 2·C1");
     for ratio in [1.6f64, 2.0, 2.4] {
@@ -22,8 +28,10 @@ fn main() {
         println!("  ΣC/C1 = {ratio:.1}: multi-clock wins? {wins}");
     }
 
-    println!("\n§2.2 vs gated clocks: need C21 + C22 < (busy1/busy2)·C1 = {:.2}·C1",
-        analysis::capacitance_headroom(busy1, busy2));
+    println!(
+        "\n§2.2 vs gated clocks: need C21 + C22 < (busy1/busy2)·C1 = {:.2}·C1",
+        analysis::capacitance_headroom(busy1, busy2)
+    );
     for ratio in [1.2f64, 1.5, 1.8] {
         let wins =
             analysis::wins_against_gated_clocks(&[ratio / 2.0, ratio / 2.0], 1.0, busy1, busy2);

@@ -33,7 +33,10 @@ fn main() {
     let res = simulate_with_inputs(nl, PowerMode::multiclock(), &vectors, true);
     let trace = res.trace.expect("trace requested");
 
-    println!("Fig. 4 — per-step values of memory-element outputs (`{}`)", nl.name());
+    println!(
+        "Fig. 4 — per-step values of memory-element outputs (`{}`)",
+        nl.name()
+    );
     let period = nl.controller().len();
     print!("{:<24}", "signal \\ step");
     for s in 1..=trace.len() {

@@ -11,7 +11,10 @@ use mc_dfg::benchmarks;
 fn main() {
     let bm = benchmarks::motivating();
     let scheme = ClockScheme::new(2).expect("two clocks");
-    println!("Fig. 5 — split allocation of `{}` under {scheme}", bm.name());
+    println!(
+        "Fig. 5 — split allocation of `{}` under {scheme}",
+        bm.name()
+    );
 
     // Step 1: partition the schedule by odd/even steps with local numbering.
     println!("\nStep 1 (partition the schedule):");

@@ -12,7 +12,10 @@ use mc_tech::MemKind;
 
 fn render(problem: &Problem, title: &str) {
     println!("{title}");
-    println!("  {:<10} {:>6} {:>6} {:>8}  source", "variable", "write", "death", "phase");
+    println!(
+        "  {:<10} {:>6} {:>6} {:>8}  source",
+        "variable", "write", "death", "phase"
+    );
     for v in &problem.vars {
         let src = match v.source {
             PVarSource::PrimaryInput(_) => "primary input".to_owned(),
@@ -21,7 +24,10 @@ fn render(problem: &Problem, title: &str) {
         };
         println!(
             "  {:<10} {:>6} {:>6} {:>8}  {src}",
-            v.name, v.write_step, v.death, v.phase.to_string()
+            v.name,
+            v.write_step,
+            v.death,
+            v.phase.to_string()
         );
     }
     let regs = allocate_registers(problem, MemKind::Latch, LifetimeView::Global);

@@ -23,7 +23,11 @@ fn main() {
     println!("{}", dp.netlist);
     println!("register binding:");
     for (i, g) in dp.regs.iter().enumerate() {
-        let names: Vec<&str> = g.pvars.iter().map(|&v| dp.problem.vars[v].name.as_str()).collect();
+        let names: Vec<&str> = g
+            .pvars
+            .iter()
+            .map(|&v| dp.problem.vars[v].name.as_str())
+            .collect();
         println!("  mem{i} ({}, {:?}): {}", g.phase, g.kind, names.join(", "));
     }
     println!("ALU binding:");

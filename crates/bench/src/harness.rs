@@ -1,0 +1,85 @@
+//! A minimal, dependency-free micro-benchmark harness (the workspace
+//! builds hermetically, so Criterion is not available). Each benchmark is
+//! timed over a fixed warm-up plus measured iterations; the report shows
+//! min / mean / max wall-clock per iteration.
+//!
+//! Iteration count defaults to 10 and can be overridden with the
+//! `MC_BENCH_ITERS` environment variable (e.g. `MC_BENCH_ITERS=3` for a
+//! quick smoke run).
+
+use std::time::{Duration, Instant};
+
+/// Timing summary of one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Measured iterations.
+    pub iters: usize,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Mean iteration time.
+    pub mean: Duration,
+    /// Slowest iteration.
+    pub max: Duration,
+}
+
+impl BenchResult {
+    /// Renders the criterion-style one-line summary.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{:<40} [{:>10.3?} {:>10.3?} {:>10.3?}]  ({} iters)",
+            self.name, self.min, self.mean, self.max, self.iters
+        )
+    }
+}
+
+/// The measured iteration count: `MC_BENCH_ITERS` or 10.
+#[must_use]
+pub fn iterations() -> usize {
+    std::env::var("MC_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(10)
+}
+
+/// Times `f` over [`iterations`] measured runs (after one warm-up run),
+/// prints the summary line, and returns the timings.
+pub fn bench<F: FnMut()>(name: &str, mut f: F) -> BenchResult {
+    f(); // warm-up: page in code and data, fill caches
+    let iters = iterations();
+    let mut times = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed());
+    }
+    let min = *times.iter().min().expect("at least one iter");
+    let max = *times.iter().max().expect("at least one iter");
+    let mean = times.iter().sum::<Duration>() / iters as u32;
+    let result = BenchResult {
+        name: name.to_owned(),
+        iters,
+        min,
+        mean,
+        max,
+    };
+    println!("{}", result.render());
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_all_iterations() {
+        let mut runs = 0usize;
+        let r = bench("noop", || runs += 1);
+        assert_eq!(runs, r.iters + 1, "warm-up plus measured");
+        assert!(r.min <= r.mean && r.mean <= r.max);
+        assert!(r.render().contains("noop"));
+    }
+}

@@ -1,9 +1,11 @@
 //! Shared harness code for the table/figure regeneration binaries and the
-//! Criterion benches: CLI configuration and the paper's published numbers
-//! for side-by-side comparison.
+//! in-tree micro-benchmarks: CLI configuration and the paper's published
+//! numbers for side-by-side comparison.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+
+pub mod harness;
 
 use mc_dfg::benchmarks::{self, Benchmark};
 
@@ -101,7 +103,13 @@ pub const PAPER_TABLE_1: [PaperRow; 5] = [
 
 /// Table 2 (HAL) as published.
 pub const PAPER_TABLE_2: [PaperRow; 5] = [
-    row("Conven. Alloc. (Non-Gated Clock)", 12.48, 3_080_133.0, 8, 10),
+    row(
+        "Conven. Alloc. (Non-Gated Clock)",
+        12.48,
+        3_080_133.0,
+        8,
+        10,
+    ),
     row("Conven. Alloc. (Gated Clock)", 8.12, 2_819_025.0, 8, 10),
     row("1 Clock", 5.61, 2_627_484.0, 12, 20),
     row("2 Clocks", 4.98, 2_901_501.0, 14, 20),
@@ -110,7 +118,13 @@ pub const PAPER_TABLE_2: [PaperRow; 5] = [
 
 /// Table 3 (Biquad filter) as published.
 pub const PAPER_TABLE_3: [PaperRow; 5] = [
-    row("Conven. Alloc. (Non-Gated Clock)", 18.65, 5_118_795.0, 18, 35),
+    row(
+        "Conven. Alloc. (Non-Gated Clock)",
+        18.65,
+        5_118_795.0,
+        18,
+        35,
+    ),
     row("Conven. Alloc. (Gated Clock)", 11.49, 4_826_283.0, 18, 35),
     row("1 Clock", 11.31, 5_126_718.0, 20, 47),
     row("2 Clocks", 9.24, 5_194_451.0, 20, 56),
@@ -119,7 +133,13 @@ pub const PAPER_TABLE_3: [PaperRow; 5] = [
 
 /// Table 4 (Band-pass filter) as published.
 pub const PAPER_TABLE_4: [PaperRow; 5] = [
-    row("Conven. Alloc. (Non-Gated Clock)", 18.01, 5_588_975.0, 23, 39),
+    row(
+        "Conven. Alloc. (Non-Gated Clock)",
+        18.01,
+        5_588_975.0,
+        23,
+        39,
+    ),
     row("Conven. Alloc. (Gated Clock)", 8.87, 4_181_238.0, 23, 39),
     row("1 Clock", 7.39, 3_049_956.0, 15, 50),
     row("2 Clocks", 6.15, 3_729_654.0, 19, 57),
@@ -154,7 +174,9 @@ pub fn table_spec(i: usize) -> (Benchmark, &'static [PaperRow; 5]) {
 pub fn run_paper_table(i: usize, cfg: RunConfig) -> String {
     use std::fmt::Write as _;
     let (bm, paper) = table_spec(i);
-    let table = mc_core::experiment::paper_table(&bm, cfg.computations, cfg.seed)
+    // Rows run concurrently through the instrumented pass pipeline;
+    // results are bit-identical to the sequential path.
+    let table = mc_core::experiment::paper_table_parallel(&bm, cfg.computations, cfg.seed)
         .expect("paper table synthesis succeeds");
     let mut out = String::new();
     let _ = writeln!(
@@ -201,6 +223,8 @@ pub fn run_paper_table(i: usize, cfg: RunConfig) -> String {
         out,
         "(* = published; absolute calibration differs, shape is the claim)"
     );
+    let _ = writeln!(out);
+    let _ = write!(out, "{}", table.render_timings());
     print!("{out}");
     out
 }

@@ -168,7 +168,11 @@ impl ClockScheme {
     #[must_use]
     pub fn global_step(&self, local: u32, k: PhaseId) -> u32 {
         assert!(local >= 1, "local steps are 1-based");
-        assert!(k.get() <= self.n, "phase {k} outside scheme of {} clocks", self.n);
+        assert!(
+            k.get() <= self.n,
+            "phase {k} outside scheme of {} clocks",
+            self.n
+        );
         (local - 1) * self.n + k.get()
     }
 
@@ -227,12 +231,7 @@ impl ClockScheme {
     /// exposed for defence-in-depth testing of downstream schemes.
     #[must_use]
     pub fn verify_non_overlapping(&self, total: u32) -> bool {
-        (1..=total).all(|t| {
-            self.phases()
-                .filter(|&k| self.is_active(k, t))
-                .count()
-                == 1
-        })
+        (1..=total).all(|t| self.phases().filter(|&k| self.is_active(k, t)).count() == 1)
     }
 }
 

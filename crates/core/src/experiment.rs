@@ -1,5 +1,10 @@
 //! The experiment pipeline: regenerates the paper's tables and the
 //! ablation studies discussed in §3.2 and §5.2.
+//!
+//! Every experiment runs through the instrumented pass pipeline
+//! ([`crate::flow::Flow`]): table rows carry their per-pass timings, the
+//! table carries the passes' diagnostics, and the `_parallel` variants
+//! evaluate rows on scoped threads with bit-identical results.
 
 use std::fmt::Write as _;
 
@@ -9,16 +14,21 @@ use mc_power::DesignReport;
 use mc_rtl::{ControlPolicy, PowerMode};
 use mc_tech::MemKind;
 
+use crate::flow::{Diagnostic, Evaluated, Flow, PassMetrics};
 use crate::style::DesignStyle;
-use crate::synthesizer::{Synthesizer, SynthesisError};
+use crate::synthesizer::SynthesisError;
 
 /// One evaluated row of an experiment table.
 #[derive(Debug, Clone)]
 pub struct TableRow {
     /// Row label (the design style).
     pub label: String,
+    /// The design style this row evaluated.
+    pub style: DesignStyle,
     /// The full evaluation.
     pub report: DesignReport,
+    /// Per-pass instrumentation for this row, in execution order.
+    pub metrics: Vec<PassMetrics>,
 }
 
 /// A rendered experiment: one benchmark, several design styles.
@@ -28,9 +38,30 @@ pub struct Table {
     pub benchmark: String,
     /// Rows in presentation order.
     pub rows: Vec<TableRow>,
+    /// Diagnostics the passes reported across all rows.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl Table {
+    fn from_evaluated(benchmark: String, evaluated: Vec<Evaluated>) -> Self {
+        let mut rows = Vec::with_capacity(evaluated.len());
+        let mut diagnostics = Vec::new();
+        for e in evaluated {
+            diagnostics.extend(e.diagnostics);
+            rows.push(TableRow {
+                label: e.style.label(),
+                style: e.style,
+                report: (*e.report).clone(),
+                metrics: e.metrics,
+            });
+        }
+        Table {
+            benchmark,
+            rows,
+            diagnostics,
+        }
+    }
+
     /// Renders the table in the paper's column layout: power, area, ALUs,
     /// memory cells, mux inputs.
     #[must_use]
@@ -62,21 +93,52 @@ impl Table {
         s
     }
 
+    /// Renders the per-pass timing breakdown of every row — the flow's
+    /// instrumentation view of the same table.
+    #[must_use]
+    pub fn render_timings(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{} — per-pass timings", self.benchmark);
+        for row in &self.rows {
+            let total: std::time::Duration = row.metrics.iter().map(|m| m.duration).sum();
+            let _ = writeln!(s, "{:<34} {:>9.1?}", row.label, total);
+            for m in &row.metrics {
+                let _ = writeln!(
+                    s,
+                    "    {:<10} {:>9.1?}{}",
+                    m.pass,
+                    m.duration,
+                    if m.cache_hit { "  (cached)" } else { "" }
+                );
+            }
+        }
+        s
+    }
+
     /// The row with exactly this label, if any.
     #[must_use]
     pub fn row(&self, label: &str) -> Option<&TableRow> {
         self.rows.iter().find(|r| r.label == label)
     }
 
+    /// The row evaluating exactly this style, if any.
+    #[must_use]
+    pub fn row_for_style(&self, style: DesignStyle) -> Option<&TableRow> {
+        self.rows.iter().find(|r| r.style == style)
+    }
+
     /// Power reduction (fraction) from the gated-clock baseline row to the
-    /// lowest-power multi-clock row — the paper's headline metric.
+    /// lowest-power genuinely multi-clock row (n ≥ 2) — the paper's
+    /// headline metric. Selection is by [`TableRow::style`], so the
+    /// single-clock `MultiClock(1)` baseline row can never be mistaken
+    /// for a partitioned design.
     #[must_use]
     pub fn gated_to_best_multiclock_reduction(&self) -> Option<f64> {
-        let gated = self.row(&DesignStyle::ConventionalGated.label())?;
+        let gated = self.row_for_style(DesignStyle::ConventionalGated)?;
         let best = self
             .rows
             .iter()
-            .filter(|r| r.label.ends_with("Clock") || r.label.ends_with("Clocks"))
+            .filter(|r| matches!(r.style, DesignStyle::MultiClock(n) if n >= 2))
             .map(|r| r.report.power.total_mw)
             .fold(f64::INFINITY, f64::min);
         if best.is_finite() {
@@ -87,28 +149,45 @@ impl Table {
     }
 }
 
+fn flow_for(bm: &Benchmark, computations: usize, seed: u64) -> Flow {
+    Flow::for_benchmark(bm)
+        .with_computations(computations)
+        .with_seed(seed)
+}
+
 /// Regenerates one of the paper's Tables 1–4 for a benchmark: the five
-/// design styles, evaluated with random stimulus.
+/// design styles, evaluated with random stimulus through the pass
+/// pipeline (rows sequentially).
 ///
 /// # Errors
 ///
 /// Propagates [`SynthesisError`] from any row.
-pub fn paper_table(bm: &Benchmark, computations: usize, seed: u64) -> Result<Table, SynthesisError> {
-    let synth = Synthesizer::for_benchmark(bm)
-        .with_computations(computations)
-        .with_seed(seed);
-    let mut rows = Vec::new();
-    for style in DesignStyle::paper_rows() {
-        let report = synth.evaluate(style)?;
-        rows.push(TableRow {
-            label: style.label(),
-            report,
-        });
-    }
-    Ok(Table {
-        benchmark: bm.name().to_owned(),
-        rows,
-    })
+pub fn paper_table(
+    bm: &Benchmark,
+    computations: usize,
+    seed: u64,
+) -> Result<Table, SynthesisError> {
+    let flow = flow_for(bm, computations, seed);
+    let evaluated = flow.evaluate_styles(&DesignStyle::paper_rows())?;
+    Ok(Table::from_evaluated(bm.name().to_owned(), evaluated))
+}
+
+/// [`paper_table`] with the rows evaluated concurrently on scoped
+/// threads. The result is bit-identical to the sequential table — each
+/// row is independently seeded — but the wall-clock is roughly the
+/// slowest row instead of the sum.
+///
+/// # Errors
+///
+/// Propagates [`SynthesisError`] from any row.
+pub fn paper_table_parallel(
+    bm: &Benchmark,
+    computations: usize,
+    seed: u64,
+) -> Result<Table, SynthesisError> {
+    let flow = flow_for(bm, computations, seed);
+    let evaluated = flow.evaluate_styles_parallel(&DesignStyle::paper_rows())?;
+    Ok(Table::from_evaluated(bm.name().to_owned(), evaluated))
 }
 
 /// Ablation: sweep the clock count from 1 to `max_clocks`, showing the
@@ -124,12 +203,32 @@ pub fn clock_sweep(
     computations: usize,
     seed: u64,
 ) -> Result<Vec<(u32, DesignReport)>, SynthesisError> {
-    let synth = Synthesizer::for_benchmark(bm)
-        .with_computations(computations)
-        .with_seed(seed);
+    let flow = flow_for(bm, computations, seed);
     (1..=max_clocks)
-        .map(|n| Ok((n, synth.evaluate(DesignStyle::MultiClock(n))?)))
+        .map(|n| Ok((n, flow.evaluate(DesignStyle::MultiClock(n))?)))
         .collect()
+}
+
+/// [`clock_sweep`] with the sweep points evaluated concurrently on
+/// scoped threads; bit-identical results.
+///
+/// # Errors
+///
+/// Propagates [`SynthesisError`] from any configuration.
+pub fn clock_sweep_parallel(
+    bm: &Benchmark,
+    max_clocks: u32,
+    computations: usize,
+    seed: u64,
+) -> Result<Vec<(u32, DesignReport)>, SynthesisError> {
+    let flow = flow_for(bm, computations, seed);
+    let styles: Vec<DesignStyle> = (1..=max_clocks).map(DesignStyle::MultiClock).collect();
+    let evaluated = flow.evaluate_styles_parallel(&styles)?;
+    Ok(evaluated
+        .into_iter()
+        .zip(1..)
+        .map(|(e, n)| (n, (*e.report).clone()))
+        .collect())
 }
 
 /// Ablation: latch vs. DFF memory elements for the same multi-clock
@@ -145,9 +244,7 @@ pub fn latch_vs_dff(
     computations: usize,
     seed: u64,
 ) -> Result<(DesignReport, DesignReport), SynthesisError> {
-    let synth = Synthesizer::for_benchmark(bm)
-        .with_computations(computations)
-        .with_seed(seed);
+    let flow = flow_for(bm, computations, seed);
     let style = |mem_kind| DesignStyle::Custom {
         strategy: Strategy::Integrated,
         clocks,
@@ -156,8 +253,8 @@ pub fn latch_vs_dff(
         mode: PowerMode::multiclock(),
     };
     Ok((
-        synth.evaluate(style(MemKind::Latch))?,
-        synth.evaluate(style(MemKind::Dff))?,
+        flow.evaluate(style(MemKind::Latch))?,
+        flow.evaluate(style(MemKind::Dff))?,
     ))
 }
 
@@ -173,9 +270,7 @@ pub fn control_latching(
     computations: usize,
     seed: u64,
 ) -> Result<(DesignReport, DesignReport), SynthesisError> {
-    let synth = Synthesizer::for_benchmark(bm)
-        .with_computations(computations)
-        .with_seed(seed);
+    let flow = flow_for(bm, computations, seed);
     let style = |policy| DesignStyle::Custom {
         strategy: Strategy::Integrated,
         clocks,
@@ -188,8 +283,8 @@ pub fn control_latching(
         },
     };
     Ok((
-        synth.evaluate(style(ControlPolicy::Hold))?,
-        synth.evaluate(style(ControlPolicy::Zero))?,
+        flow.evaluate(style(ControlPolicy::Hold))?,
+        flow.evaluate(style(ControlPolicy::Zero))?,
     ))
 }
 
@@ -205,9 +300,7 @@ pub fn split_vs_integrated(
     computations: usize,
     seed: u64,
 ) -> Result<(DesignReport, DesignReport), SynthesisError> {
-    let synth = Synthesizer::for_benchmark(bm)
-        .with_computations(computations)
-        .with_seed(seed);
+    let flow = flow_for(bm, computations, seed);
     let style = |strategy| DesignStyle::Custom {
         strategy,
         clocks,
@@ -216,8 +309,8 @@ pub fn split_vs_integrated(
         mode: PowerMode::multiclock(),
     };
     Ok((
-        synth.evaluate(style(Strategy::Split))?,
-        synth.evaluate(style(Strategy::Integrated))?,
+        flow.evaluate(style(Strategy::Split))?,
+        flow.evaluate(style(Strategy::Integrated))?,
     ))
 }
 
@@ -232,9 +325,7 @@ pub fn transfers_on_off(
     computations: usize,
     seed: u64,
 ) -> Result<(DesignReport, DesignReport), SynthesisError> {
-    let synth = Synthesizer::for_benchmark(bm)
-        .with_computations(computations)
-        .with_seed(seed);
+    let flow = flow_for(bm, computations, seed);
     let style = |transfers| DesignStyle::Custom {
         strategy: Strategy::Integrated,
         clocks,
@@ -242,7 +333,7 @@ pub fn transfers_on_off(
         transfers,
         mode: PowerMode::multiclock(),
     };
-    Ok((synth.evaluate(style(true))?, synth.evaluate(style(false))?))
+    Ok((flow.evaluate(style(true))?, flow.evaluate(style(false))?))
 }
 
 /// Power of one design style under different input-stimulus models:
@@ -261,15 +352,13 @@ pub fn stimulus_sensitivity(
     seed: u64,
 ) -> Result<(f64, f64, f64), SynthesisError> {
     use mc_sim::{simulate_with_inputs, Stimulus};
-    let synth = Synthesizer::for_benchmark(bm)
-        .with_computations(computations)
-        .with_seed(seed);
-    let design = synth.synthesize(style)?;
+    let flow = flow_for(bm, computations, seed);
+    let design = flow.synthesize(style)?;
     let nl = &design.datapath.netlist;
     let run = |stim: Stimulus| -> f64 {
         let vectors = stim.vectors(nl, computations, seed);
         let res = simulate_with_inputs(nl, design.mode, &vectors, false);
-        mc_power::estimate_power(nl, &res.activity, synth.tech()).total_mw
+        mc_power::estimate_power(nl, &res.activity, flow.tech()).total_mw
     };
     Ok((
         run(Stimulus::UniformRandom),
@@ -311,11 +400,8 @@ pub fn voltage_scaling(
     let mut out = Vec::with_capacity(voltages.len());
     for &v in voltages {
         let lib = mc_tech::TechLibrary::vsc450().at_voltage(v);
-        let synth = Synthesizer::for_benchmark(bm)
-            .with_computations(computations)
-            .with_seed(seed)
-            .with_tech(lib);
-        let report = synth.evaluate(style)?;
+        let flow = flow_for(bm, computations, seed).with_tech(lib);
+        let report = flow.evaluate(style)?;
         out.push(VoltagePoint {
             volts: v,
             power_mw: report.power.total_mw,
@@ -363,10 +449,8 @@ pub fn power_stats(
     assert!(seeds >= 1, "need at least one seed");
     let mut values = Vec::with_capacity(seeds);
     for s in 0..seeds {
-        let synth = Synthesizer::for_benchmark(bm)
-            .with_computations(computations)
-            .with_seed(1000 + s as u64 * 7919);
-        values.push(synth.evaluate(style)?.power.total_mw);
+        let flow = flow_for(bm, computations, 1000 + s as u64 * 7919);
+        values.push(flow.evaluate(style)?.power.total_mw);
     }
     let mean = values.iter().sum::<f64>() / values.len() as f64;
     let var = if values.len() > 1 {
@@ -399,12 +483,9 @@ pub fn phase_affine_vs_reference(
     seed: u64,
 ) -> Result<(DesignReport, DesignReport), SynthesisError> {
     let style = DesignStyle::MultiClock(clocks);
-    let reference = Synthesizer::for_benchmark(bm)
-        .with_computations(computations)
-        .with_seed(seed)
-        .evaluate(style)?;
+    let reference = flow_for(bm, computations, seed).evaluate(style)?;
     let affine_schedule = mc_dfg::scheduler::phase_affine(&bm.dfg, clocks, stretch);
-    let affine = Synthesizer::new(bm.dfg.clone(), affine_schedule)
+    let affine = Flow::new(bm.dfg.clone(), affine_schedule)
         .with_computations(computations)
         .with_seed(seed)
         .evaluate(style)?;
@@ -429,14 +510,63 @@ mod tests {
     }
 
     #[test]
+    fn paper_table_rows_carry_styles_and_metrics() {
+        let t = paper_table(&benchmarks::facet(), N, 42).unwrap();
+        let styles: Vec<_> = t.rows.iter().map(|r| r.style).collect();
+        assert_eq!(styles, DesignStyle::paper_rows());
+        for row in &t.rows {
+            assert!(!row.metrics.is_empty(), "{}: no pass metrics", row.label);
+            assert!(row.metrics.iter().any(|m| m.pass == "simulate"));
+        }
+        // Rows 1–2 share the conventional allocation: exactly one of the
+        // two runs "allocate" cold.
+        let alloc_cold = t.rows[..2]
+            .iter()
+            .flat_map(|r| &r.metrics)
+            .filter(|m| m.pass == "allocate" && !m.cache_hit)
+            .count();
+        assert_eq!(alloc_cold, 1, "conventional allocation should run once");
+        assert!(t.render_timings().contains("partition"));
+    }
+
+    #[test]
+    fn parallel_paper_table_matches_sequential() {
+        let seq = paper_table(&benchmarks::hal(), N, 42).unwrap();
+        let par = paper_table_parallel(&benchmarks::hal(), N, 42).unwrap();
+        assert_eq!(seq.rows.len(), par.rows.len());
+        for (s, p) in seq.rows.iter().zip(&par.rows) {
+            assert_eq!(s.style, p.style);
+            assert_eq!(s.report.power.total_mw, p.report.power.total_mw);
+            assert_eq!(s.report.area.total_lambda2, p.report.area.total_lambda2);
+            assert_eq!(s.report.stats.mux_inputs, p.report.stats.mux_inputs);
+        }
+    }
+
+    #[test]
     fn facet_reproduces_paper_ordering() {
         let t = paper_table(&benchmarks::facet(), 200, 42).unwrap();
-        let p = |style: DesignStyle| t.row(&style.label()).unwrap().report.power.total_mw;
+        let p = |style: DesignStyle| t.row_for_style(style).unwrap().report.power.total_mw;
         assert!(p(DesignStyle::ConventionalNonGated) > p(DesignStyle::ConventionalGated));
         assert!(p(DesignStyle::MultiClock(2)) < p(DesignStyle::ConventionalGated));
         assert!(p(DesignStyle::MultiClock(3)) < p(DesignStyle::MultiClock(2)));
         let red = t.gated_to_best_multiclock_reduction().unwrap();
         assert!(red > 0.25, "gated→multiclock reduction {red}");
+    }
+
+    #[test]
+    fn reduction_ignores_the_single_clock_baseline_row() {
+        // A table whose only "multi-clock" rows are the 1-clock baseline
+        // must yield no reduction — the old label-suffix selection
+        // ("…Clock"/"…Clocks") wrongly matched "1 Clock".
+        let mut t = paper_table(&benchmarks::facet(), N, 42).unwrap();
+        t.rows.retain(|r| {
+            matches!(
+                r.style,
+                DesignStyle::ConventionalGated | DesignStyle::MultiClock(1)
+            )
+        });
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.gated_to_best_multiclock_reduction(), None);
     }
 
     #[test]
@@ -450,6 +580,17 @@ mod tests {
             let pa = a.power.clock_mw / a.stats.mem_cells as f64;
             let pb = b.power.clock_mw / b.stats.mem_cells as f64;
             assert!(pb < pa * 1.05, "per-mem clock power rose: {pa} -> {pb}");
+        }
+    }
+
+    #[test]
+    fn parallel_clock_sweep_matches_sequential() {
+        let seq = clock_sweep(&benchmarks::hal(), 4, N, 42).unwrap();
+        let par = clock_sweep_parallel(&benchmarks::hal(), 4, N, 42).unwrap();
+        assert_eq!(seq.len(), par.len());
+        for ((an, a), (bn, b)) in seq.iter().zip(&par) {
+            assert_eq!(an, bn);
+            assert_eq!(a.power.total_mw, b.power.total_mw);
         }
     }
 

@@ -35,18 +35,31 @@
 //! ```
 //!
 //! The [`experiment`] module regenerates every paper table
-//! ([`experiment::paper_table`]) and the ablations; the `mc-bench` crate
-//! wraps them in runnable binaries and Criterion benches.
+//! ([`experiment::paper_table`], or [`experiment::paper_table_parallel`]
+//! on scoped threads) and the ablations; the `mc-bench` crate wraps them
+//! in runnable binaries and in-tree benches.
+//!
+//! # The pass pipeline
+//!
+//! Everything above runs through the [`flow`] layer: an explicit pass
+//! pipeline (`Behavior → PartitionedSchedule → Datapath → SimTrace →
+//! DesignReport`, see [`passes`]) with per-pass wall-clock and artifact
+//! instrumentation, pass diagnostics, and a content-keyed artifact cache
+//! so shared pipeline prefixes run once. [`Flow`] is the driver;
+//! [`Synthesizer`] is the thin facade over it.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod experiment;
+pub mod flow;
+pub mod passes;
 mod style;
 mod synthesizer;
 
+pub use flow::{CacheStats, Diagnostic, Evaluated, Flow, PassMetrics, Severity};
 pub use style::DesignStyle;
-pub use synthesizer::{Design, Synthesizer, SynthesisError};
+pub use synthesizer::{Design, SynthesisError, Synthesizer};
 
 // Re-export the stack so downstream users need a single dependency.
 pub use mc_alloc as alloc;

@@ -1,0 +1,355 @@
+//! The concrete passes of the synthesis flow and their typed artifacts.
+//!
+//! The DAC'96 scheme is a staged pipeline:
+//!
+//! ```text
+//! Behavior ──PartitionPass──▶ PartitionedSchedule ──AllocatePass──▶ Datapath
+//!     │                                                               │
+//!     └────────────VerifyPass (equivalence oracle)◀───────────────────┤
+//!                                                                     │
+//!                         SimulatePass ──▶ SimTrace ──PowerPass──▶ DesignReport
+//! ```
+//!
+//! Each pass implements [`Pass`](crate::flow::Pass): a typed
+//! input-artifact → output-artifact transformation that runs inside a
+//! [`FlowContext`](crate::flow::FlowContext), which times it, records
+//! artifact statistics, and collects its diagnostics. The
+//! [`Flow`](crate::flow::Flow) driver chains the passes and caches
+//! shareable artifacts content-keyed (see `flow.rs`).
+
+use mc_alloc::{allocate, AllocOptions, Datapath};
+use mc_clocks::ClockScheme;
+use mc_dfg::benchmarks::Benchmark;
+use mc_dfg::{Dfg, Schedule};
+use mc_power::{evaluate_design_with_activity, DesignReport};
+use mc_rtl::PowerMode;
+use mc_sim::{Activity, SimConfig};
+
+use crate::flow::{Artifact, FlowContext, Pass};
+use crate::style::DesignStyle;
+use crate::synthesizer::SynthesisError;
+
+/// The flow's root artifact: a behaviour and its schedule.
+#[derive(Debug, Clone)]
+pub struct Behavior {
+    /// The behavioural data-flow graph.
+    pub dfg: Dfg,
+    /// The control-step schedule.
+    pub schedule: Schedule,
+}
+
+impl Behavior {
+    /// Wraps a behaviour and schedule.
+    #[must_use]
+    pub fn new(dfg: Dfg, schedule: Schedule) -> Self {
+        Behavior { dfg, schedule }
+    }
+
+    /// The behaviour of a bundled benchmark (cloned).
+    #[must_use]
+    pub fn for_benchmark(bm: &Benchmark) -> Self {
+        Behavior::new(bm.dfg.clone(), bm.schedule.clone())
+    }
+}
+
+impl Artifact for Behavior {
+    fn label(&self) -> String {
+        format!(
+            "Behavior{{{}: {} ops, {} steps}}",
+            self.dfg.name(),
+            self.dfg.num_nodes(),
+            self.schedule.length()
+        )
+    }
+
+    fn size(&self) -> usize {
+        self.dfg.num_nodes()
+    }
+}
+
+/// The schedule partitioned over the phase clocks of a style: which
+/// partition owns each control step, and how the operations distribute.
+#[derive(Debug, Clone)]
+pub struct PartitionedSchedule {
+    /// The non-overlapping clock scheme.
+    pub scheme: ClockScheme,
+    /// The style this partitioning serves.
+    pub style: DesignStyle,
+    /// Operations per partition (index 0 = phase 1).
+    pub ops_per_partition: Vec<usize>,
+    /// Control steps owned per partition (index 0 = phase 1).
+    pub steps_per_partition: Vec<u32>,
+}
+
+impl Artifact for PartitionedSchedule {
+    fn label(&self) -> String {
+        format!(
+            "PartitionedSchedule{{{} clocks, ops {:?}}}",
+            self.scheme.num_clocks(),
+            self.ops_per_partition
+        )
+    }
+
+    fn size(&self) -> usize {
+        self.ops_per_partition.iter().sum()
+    }
+}
+
+/// §3: build the clock scheme and partition the scheduled behaviour —
+/// `Behavior → PartitionedSchedule`.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionPass {
+    /// The design style whose clock count drives the partitioning.
+    pub style: DesignStyle,
+}
+
+impl Pass for PartitionPass {
+    type Input<'a> = &'a Behavior;
+    type Output = PartitionedSchedule;
+
+    fn name(&self) -> &'static str {
+        "partition"
+    }
+
+    fn run(
+        &self,
+        behavior: Self::Input<'_>,
+        ctx: &mut FlowContext,
+    ) -> Result<Self::Output, SynthesisError> {
+        let scheme = ClockScheme::new(self.style.clocks())?;
+        let n = scheme.num_clocks() as usize;
+        let mut ops = vec![0usize; n];
+        let mut steps = vec![0u32; n];
+        for t in 1..=behavior.schedule.length() {
+            let phase = scheme.phase_of_step(t).get() as usize - 1;
+            steps[phase] += 1;
+            ops[phase] += behavior.schedule.nodes_at_step(t).len();
+        }
+        if n > 1 {
+            if let Some(idle) = ops.iter().position(|&o| o == 0) {
+                ctx.warn(
+                    self.name(),
+                    format!(
+                        "partition {} owns no operations: its phase clock gates nothing",
+                        idle + 1
+                    ),
+                );
+            }
+        }
+        ctx.info(
+            self.name(),
+            format!(
+                "{} control steps over {n} partition(s), ops {ops:?}",
+                behavior.schedule.length()
+            ),
+        );
+        Ok(PartitionedSchedule {
+            scheme,
+            style: self.style,
+            ops_per_partition: ops,
+            steps_per_partition: steps,
+        })
+    }
+}
+
+impl Artifact for Datapath {
+    fn label(&self) -> String {
+        let stats = self.netlist.stats();
+        format!(
+            "Datapath{{{}: {} ALUs, {} mems, {} nets}}",
+            self.netlist.name(),
+            stats.alus.len(),
+            stats.mem_cells,
+            stats.nets
+        )
+    }
+
+    fn size(&self) -> usize {
+        self.netlist.num_components()
+    }
+}
+
+/// §4: allocate the partitioned behaviour into a structural datapath
+/// (split / integrated / conventional) — `PartitionedSchedule → Datapath`.
+/// The composed netlist rides inside the datapath artifact.
+#[derive(Debug, Clone, Copy)]
+pub struct AllocatePass;
+
+impl Pass for AllocatePass {
+    type Input<'a> = (&'a Behavior, &'a PartitionedSchedule);
+    type Output = Datapath;
+
+    fn name(&self) -> &'static str {
+        "allocate"
+    }
+
+    fn run(
+        &self,
+        (behavior, partitioned): Self::Input<'_>,
+        ctx: &mut FlowContext,
+    ) -> Result<Self::Output, SynthesisError> {
+        let style = partitioned.style;
+        let opts = AllocOptions::new(style.strategy(), partitioned.scheme)
+            .with_mem_kind(style.mem_kind())
+            .with_transfers(style.transfers())
+            .with_tech(ctx.tech().clone());
+        let datapath = allocate(&behavior.dfg, &behavior.schedule, &opts)?;
+        let transfers = datapath.problem.transfers;
+        if transfers > 0 {
+            ctx.info(
+                self.name(),
+                format!("inserted {transfers} transfer variable(s) (§4.2 step 1)"),
+            );
+        }
+        Ok(datapath)
+    }
+}
+
+/// Outcome of the equivalence oracle: how many random computations the
+/// netlist matched the behaviour on.
+#[derive(Debug, Clone, Copy)]
+pub struct Verification {
+    /// Number of random computations checked.
+    pub computations: usize,
+}
+
+impl Artifact for Verification {
+    fn label(&self) -> String {
+        format!("Verification{{{} computations}}", self.computations)
+    }
+
+    fn size(&self) -> usize {
+        self.computations
+    }
+}
+
+/// The correctness oracle: simulate the netlist against direct DFG
+/// evaluation over random vectors — `(Behavior, Datapath) → Verification`.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyPass {
+    /// The power mode under which the netlist is exercised.
+    pub mode: PowerMode,
+}
+
+impl Pass for VerifyPass {
+    type Input<'a> = (&'a Behavior, &'a Datapath);
+    type Output = Verification;
+
+    fn name(&self) -> &'static str {
+        "verify"
+    }
+
+    fn run(
+        &self,
+        (behavior, datapath): Self::Input<'_>,
+        ctx: &mut FlowContext,
+    ) -> Result<Self::Output, SynthesisError> {
+        let computations = ctx.computations().min(64);
+        mc_sim::verify_equivalence(
+            &behavior.dfg,
+            &datapath.netlist,
+            self.mode,
+            computations,
+            ctx.seed(),
+        )
+        .map_err(SynthesisError::Equivalence)?;
+        Ok(Verification { computations })
+    }
+}
+
+/// Switching activity of one simulated run — the `SimTrace` artifact the
+/// power model prices.
+#[derive(Debug, Clone)]
+pub struct SimTrace {
+    /// Aggregated switching-activity counters.
+    pub activity: Activity,
+    /// The power mode the design ran under.
+    pub mode: PowerMode,
+    /// Computations simulated.
+    pub computations: usize,
+}
+
+impl Artifact for SimTrace {
+    fn label(&self) -> String {
+        format!(
+            "SimTrace{{{} steps, {} net toggles}}",
+            self.activity.steps,
+            self.activity.total_net_toggles()
+        )
+    }
+
+    fn size(&self) -> usize {
+        self.activity.steps as usize
+    }
+}
+
+/// §5.1: run the phase-accurate simulator over random stimulus and count
+/// every priced event — `Datapath → SimTrace`.
+#[derive(Debug, Clone, Copy)]
+pub struct SimulatePass {
+    /// The power mode under which the design operates.
+    pub mode: PowerMode,
+}
+
+impl Pass for SimulatePass {
+    type Input<'a> = &'a Datapath;
+    type Output = SimTrace;
+
+    fn name(&self) -> &'static str {
+        "simulate"
+    }
+
+    fn run(
+        &self,
+        datapath: Self::Input<'_>,
+        ctx: &mut FlowContext,
+    ) -> Result<Self::Output, SynthesisError> {
+        let cfg = SimConfig::new(self.mode, ctx.computations(), ctx.seed());
+        let result = mc_sim::simulate(&datapath.netlist, &cfg);
+        Ok(SimTrace {
+            activity: result.activity,
+            mode: self.mode,
+            computations: ctx.computations(),
+        })
+    }
+}
+
+impl Artifact for DesignReport {
+    fn label(&self) -> String {
+        format!(
+            "DesignReport{{{}: {:.2} mW, {:.0} λ²}}",
+            self.name, self.power.total_mw, self.area.total_lambda2
+        )
+    }
+
+    fn size(&self) -> usize {
+        self.stats.mem_cells + self.stats.mux_inputs + self.stats.alus.len()
+    }
+}
+
+/// §5: price the counted transitions with the technology library —
+/// `(Datapath, SimTrace) → DesignReport`.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerPass;
+
+impl Pass for PowerPass {
+    type Input<'a> = (&'a Datapath, &'a SimTrace);
+    type Output = DesignReport;
+
+    fn name(&self) -> &'static str {
+        "power"
+    }
+
+    fn run(
+        &self,
+        (datapath, trace): Self::Input<'_>,
+        ctx: &mut FlowContext,
+    ) -> Result<Self::Output, SynthesisError> {
+        Ok(evaluate_design_with_activity(
+            &datapath.netlist,
+            trace.mode,
+            ctx.tech(),
+            &trace.activity,
+        ))
+    }
+}

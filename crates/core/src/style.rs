@@ -168,7 +168,9 @@ mod tests {
 
     #[test]
     fn labels_match_paper_table_rows() {
-        assert!(DesignStyle::ConventionalGated.label().contains("Gated Clock"));
+        assert!(DesignStyle::ConventionalGated
+            .label()
+            .contains("Gated Clock"));
         assert_eq!(DesignStyle::MultiClock(1).label(), "1 Clock");
         assert_eq!(DesignStyle::MultiClock(3).label(), "3 Clocks");
     }

@@ -1,20 +1,27 @@
 //! The top-level synthesis facade: behaviour + schedule → synthesised
 //! design → verified, evaluated report.
+//!
+//! [`Synthesizer`] is a thin wrapper over the pass-pipeline
+//! [`Flow`](crate::flow::Flow) — it keeps the original one-call API while
+//! every synthesis runs through the instrumented, artifact-cached
+//! pipeline. Use [`Synthesizer::flow`] (or [`Flow`](crate::flow::Flow)
+//! directly) for per-pass metrics, diagnostics and parallel evaluation.
 
 use std::fmt;
 
-use mc_alloc::{allocate, AllocError, AllocOptions, Datapath, Strategy};
-use mc_clocks::{ClockError, ClockScheme};
+use mc_alloc::{AllocError, Datapath};
+use mc_clocks::ClockError;
 use mc_dfg::benchmarks::Benchmark;
 use mc_dfg::{Dfg, Schedule};
-use mc_power::{evaluate_design, DesignReport};
+use mc_power::DesignReport;
 use mc_rtl::PowerMode;
 use mc_sim::Mismatch;
 use mc_tech::TechLibrary;
 
+use crate::flow::Flow;
 use crate::style::DesignStyle;
 
-/// Errors from the synthesis facade.
+/// Errors from the synthesis flow.
 #[derive(Debug)]
 pub enum SynthesisError {
     /// The clock count was invalid.
@@ -73,7 +80,7 @@ pub struct Design {
 
 /// The synthesis facade: holds a behaviour, its schedule and the
 /// evaluation configuration, and synthesises/evaluates any
-/// [`DesignStyle`].
+/// [`DesignStyle`] through the pass pipeline.
 ///
 /// # Examples
 ///
@@ -90,11 +97,7 @@ pub struct Design {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Synthesizer {
-    dfg: Dfg,
-    schedule: Schedule,
-    tech: TechLibrary,
-    computations: usize,
-    seed: u64,
+    flow: Flow,
 }
 
 impl Synthesizer {
@@ -102,11 +105,7 @@ impl Synthesizer {
     #[must_use]
     pub fn new(dfg: Dfg, schedule: Schedule) -> Self {
         Synthesizer {
-            dfg,
-            schedule,
-            tech: TechLibrary::vsc450(),
-            computations: 400,
-            seed: 42,
+            flow: Flow::new(dfg, schedule),
         }
     }
 
@@ -114,13 +113,15 @@ impl Synthesizer {
     /// schedule).
     #[must_use]
     pub fn for_benchmark(bm: &Benchmark) -> Self {
-        Self::new(bm.dfg.clone(), bm.schedule.clone())
+        Synthesizer {
+            flow: Flow::for_benchmark(bm),
+        }
     }
 
     /// Overrides the technology library.
     #[must_use]
     pub fn with_tech(mut self, tech: TechLibrary) -> Self {
-        self.tech = tech;
+        self.flow = self.flow.with_tech(tech);
         self
     }
 
@@ -128,33 +129,40 @@ impl Synthesizer {
     /// 400).
     #[must_use]
     pub fn with_computations(mut self, computations: usize) -> Self {
-        self.computations = computations.max(1);
+        self.flow = self.flow.with_computations(computations);
         self
     }
 
     /// Sets the stimulus seed (default 42).
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.flow = self.flow.with_seed(seed);
         self
     }
 
     /// The behaviour being synthesised.
     #[must_use]
     pub fn dfg(&self) -> &Dfg {
-        &self.dfg
+        self.flow.dfg()
     }
 
     /// The schedule in use.
     #[must_use]
     pub fn schedule(&self) -> &Schedule {
-        &self.schedule
+        self.flow.schedule()
     }
 
     /// The technology library in use.
     #[must_use]
     pub fn tech(&self) -> &TechLibrary {
-        &self.tech
+        self.flow.tech()
+    }
+
+    /// The underlying pass-pipeline driver, for instrumented or parallel
+    /// evaluation.
+    #[must_use]
+    pub fn flow(&self) -> &Flow {
+        &self.flow
     }
 
     /// Synthesises a design in the given style.
@@ -164,24 +172,7 @@ impl Synthesizer {
     /// Returns [`SynthesisError::Clock`] for invalid clock counts and
     /// [`SynthesisError::Alloc`] if allocation fails.
     pub fn synthesize(&self, style: DesignStyle) -> Result<Design, SynthesisError> {
-        let scheme = ClockScheme::new(style.clocks())?;
-        let strategy = style.strategy();
-        // The conventional allocator path requires a single clock; the
-        // style accessors guarantee that for the built-in styles.
-        debug_assert!(
-            strategy != Strategy::Conventional || scheme.num_clocks() == 1,
-            "built-in styles keep conventional single-clock"
-        );
-        let opts = AllocOptions::new(strategy, scheme)
-            .with_mem_kind(style.mem_kind())
-            .with_transfers(style.transfers())
-            .with_tech(self.tech.clone());
-        let datapath = allocate(&self.dfg, &self.schedule, &opts)?;
-        Ok(Design {
-            datapath,
-            mode: style.power_mode(),
-            style,
-        })
+        self.flow.synthesize(style)
     }
 
     /// Synthesises and verifies functional equivalence against the
@@ -193,16 +184,7 @@ impl Synthesizer {
     /// [`SynthesisError::Equivalence`] if the netlist diverges from the
     /// DFG.
     pub fn synthesize_verified(&self, style: DesignStyle) -> Result<Design, SynthesisError> {
-        let design = self.synthesize(style)?;
-        mc_sim::verify_equivalence(
-            &self.dfg,
-            &design.datapath.netlist,
-            design.mode,
-            self.computations.min(64),
-            self.seed,
-        )
-        .map_err(SynthesisError::Equivalence)?;
-        Ok(design)
+        self.flow.synthesize_verified(style)
     }
 
     /// Synthesises and fully evaluates a style: random simulation, power
@@ -212,14 +194,7 @@ impl Synthesizer {
     ///
     /// Propagates [`Synthesizer::synthesize`]'s errors.
     pub fn evaluate(&self, style: DesignStyle) -> Result<DesignReport, SynthesisError> {
-        let design = self.synthesize(style)?;
-        Ok(evaluate_design(
-            &design.datapath.netlist,
-            design.mode,
-            &self.tech,
-            self.computations,
-            self.seed,
-        ))
+        self.flow.evaluate(style)
     }
 }
 

@@ -156,10 +156,10 @@ pub fn hal_w(width: u8) -> Benchmark {
     // T1
     let m1 = b.op_named("m1", Op::Mul, 3u64, x); // 3x
     let m2 = b.op_named("m2", Op::Mul, u, dx); // u·dx
-    // T2
+                                               // T2
     let m3 = b.op_named("m3", Op::Mul, m1, m2); // 3x·u·dx
     let m4 = b.op_named("m4", Op::Mul, 3u64, y); // 3y
-    // T3
+                                                 // T3
     let m5 = b.op_named("m5", Op::Mul, m4, dx); // 3y·dx
     let m6 = b.op_named("m6", Op::Mul, u, dx); // u·dx (the canonical DFG has
                                                // a second u·dx node for y1)
@@ -273,7 +273,7 @@ pub fn bandpass_w(width: u8) -> Benchmark {
     let q0 = b.op_named("q0", Op::Mul, b10, u0); // T4
     let s2 = b.op_named("s2", Op::Add, q1, q2); // T4
     let m = b.op_named("m", Op::Add, q0, s2); // T5  (section-1 output)
-    // Section 2, fed by m.
+                                              // Section 2, fed by m.
     let r1 = b.op_named("r1", Op::Mul, a21, v1); // T4
     let r2 = b.op_named("r2", Op::Mul, a22, v2); // T5
     let s3 = b.op_named("s3", Op::Sub, m, r1); // T6
@@ -323,7 +323,12 @@ pub fn fir8_w(width: u8) -> Benchmark {
     let dfg = b.finish().expect("FIR8 is well-formed");
     // Two multiplies per step (4 steps), adder tree interleaved behind them.
     let steps = vec![1, 1, 2, 2, 3, 3, 4, 4, 2, 3, 4, 5, 4, 6, 7];
-    Benchmark::assemble(dfg, steps, 7, "8-tap FIR filter; ablation workload (not in paper)")
+    Benchmark::assemble(
+        dfg,
+        steps,
+        7,
+        "8-tap FIR filter; ablation workload (not in paper)",
+    )
 }
 
 /// A two-stage autoregressive lattice filter: alternating multiply/add
@@ -347,7 +352,7 @@ pub fn ar_lattice_w(width: u8) -> Benchmark {
     let f1 = b.op_named("f1", Op::Sub, x, m1); // T2
     let m2 = b.op_named("m2", Op::Mul, k2, f1); // T3
     let g2 = b.op_named("g2", Op::Add, s2, m2); // T4
-    // Stage 1.
+                                                // Stage 1.
     let m3 = b.op_named("m3", Op::Mul, k1, s1); // T3
     let f0 = b.op_named("f0", Op::Sub, f1, m3); // T4
     let m4 = b.op_named("m4", Op::Mul, k1, f0); // T5
@@ -407,7 +412,8 @@ pub fn ewf_w(width: u8) -> Benchmark {
     Benchmark {
         dfg,
         schedule,
-        description: "fifth-order elliptic wave filter (8 adaptor sections); scaling workload (not in paper)",
+        description:
+            "fifth-order elliptic wave filter (8 adaptor sections); scaling workload (not in paper)",
     }
 }
 
@@ -493,7 +499,11 @@ mod tests {
     fn all_benchmarks_build_and_validate() {
         for bm in all_benchmarks() {
             assert!(bm.dfg.num_nodes() > 0, "{}", bm.name());
-            assert!(bm.schedule.length() >= critical_path(&bm.dfg), "{}", bm.name());
+            assert!(
+                bm.schedule.length() >= critical_path(&bm.dfg),
+                "{}",
+                bm.name()
+            );
             assert!(!bm.description.is_empty());
         }
     }
@@ -578,7 +588,10 @@ mod tests {
 
     #[test]
     fn paper_benchmarks_are_the_four_tables() {
-        let names: Vec<_> = paper_benchmarks().iter().map(|b| b.name().to_owned()).collect();
+        let names: Vec<_> = paper_benchmarks()
+            .iter()
+            .map(|b| b.name().to_owned())
+            .collect();
         assert_eq!(names, ["facet", "hal", "biquad", "bandpass"]);
     }
 
@@ -614,13 +627,20 @@ mod tests {
     fn dct4_evaluates_butterfly() {
         let bm = dct4_w(16);
         let mut inputs = BTreeMap::new();
-        for (n, v) in [("x0", 10u64), ("x1", 20), ("x2", 30), ("x3", 40), ("c1", 3), ("c3", 1)] {
+        for (n, v) in [
+            ("x0", 10u64),
+            ("x1", 20),
+            ("x2", 30),
+            ("x3", 40),
+            ("c1", 3),
+            ("c3", 1),
+        ] {
             inputs.insert(n, v);
         }
         let vals = bm.dfg.evaluate_named(&inputs).unwrap();
         assert_eq!(vals["y0"], 100); // (10+40)+(20+30)
         assert_eq!(vals["y2"], 0); // 50-50
-        // d0 = 10-40 (wraps), d1 = 20-30 (wraps); checked modularly.
+                                   // d0 = 10-40 (wraps), d1 = 20-30 (wraps); checked modularly.
         let mask = 0xFFFFu64;
         let d0 = 10u64.wrapping_sub(40) & mask;
         let d1 = 20u64.wrapping_sub(30) & mask;

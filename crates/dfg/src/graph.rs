@@ -395,7 +395,9 @@ impl Dfg {
                     Operand::Const(c) => c & mask,
                 }
             };
-            let r = node.op().apply(read(node.lhs()), read(node.rhs()), self.width);
+            let r = node
+                .op()
+                .apply(read(node.lhs()), read(node.rhs()), self.width);
             vals[node.dest().index()] = r;
             have[node.dest().index()] = true;
         }
@@ -490,12 +492,7 @@ impl DfgBuilder {
 
     /// Adds the node `dest = lhs op rhs` with an auto-generated destination
     /// name (`t0`, `t1`, …) and returns the destination variable.
-    pub fn op(
-        &mut self,
-        op: Op,
-        lhs: impl Into<Operand>,
-        rhs: impl Into<Operand>,
-    ) -> VarId {
+    pub fn op(&mut self, op: Op, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> VarId {
         let name = format!("t{}", self.nodes.len());
         self.op_named(&name, op, lhs, rhs)
     }
@@ -535,9 +532,7 @@ impl DfgBuilder {
     /// — leaving the builder unchanged — when `new_name` is already taken
     /// or `v` is a primary input.
     pub fn rename(&mut self, v: VarId, new_name: &str) -> bool {
-        if self.names_seen.contains_key(new_name)
-            || self.vars[v.index()].kind == VarKind::Input
-        {
+        if self.names_seen.contains_key(new_name) || self.vars[v.index()].kind == VarKind::Input {
             return false;
         }
         let old = std::mem::replace(&mut self.vars[v.index()].name, new_name.to_owned());
@@ -603,9 +598,7 @@ impl DfgBuilder {
             indeg[i] = reads
                 .iter()
                 .enumerate()
-                .filter(|&(j, v)| {
-                    writer[v.index()].is_some() && !reads[..j].contains(v)
-                })
+                .filter(|&(j, v)| writer[v.index()].is_some() && !reads[..j].contains(v))
                 .count();
         }
         let mut queue: Vec<usize> = (0..nn).filter(|&i| indeg[i] == 0).collect();
@@ -747,7 +740,10 @@ mod tests {
         let a = b.input("a");
         b.input("a");
         b.op(Op::Add, a, 1u64);
-        assert!(matches!(b.finish().unwrap_err(), DfgError::DuplicateName(_)));
+        assert!(matches!(
+            b.finish().unwrap_err(),
+            DfgError::DuplicateName(_)
+        ));
     }
 
     #[test]

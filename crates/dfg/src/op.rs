@@ -88,13 +88,7 @@ impl Op {
             Op::Add => a.wrapping_add(b),
             Op::Sub => a.wrapping_sub(b),
             Op::Mul => a.wrapping_mul(b),
-            Op::Div => {
-                if b == 0 {
-                    m
-                } else {
-                    a / b
-                }
-            }
+            Op::Div => a.checked_div(b).unwrap_or(m),
             Op::And => a & b,
             Op::Or => a | b,
             Op::Xor => a ^ b,

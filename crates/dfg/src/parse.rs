@@ -379,7 +379,10 @@ pub fn parse_dfg(name: &str, source: &str) -> Result<Dfg, ParseError> {
         if consumed != tokens.len() {
             return Err(ParseError::Syntax {
                 line: lineno,
-                message: format!("trailing tokens after expression: {:?}", &tokens[consumed..]),
+                message: format!(
+                    "trailing tokens after expression: {:?}",
+                    &tokens[consumed..]
+                ),
             });
         }
         // Bind the expression result to the target name: if the expression
@@ -399,10 +402,9 @@ pub fn parse_dfg(name: &str, source: &str) -> Result<Dfg, ParseError> {
         }
     }
     for (lineno, name) in outputs {
-        let var = builder.lookup(&name).ok_or(ParseError::Undefined {
-            line: lineno,
-            name,
-        })?;
+        let var = builder
+            .lookup(&name)
+            .ok_or(ParseError::Undefined { line: lineno, name })?;
         builder.mark_output(var);
     }
     Ok(builder.finish()?)
@@ -579,7 +581,12 @@ mod tests {
             let text = to_dsl(&bm.dfg);
             let reparsed = parse_dfg(bm.dfg.name(), &text)
                 .unwrap_or_else(|e| panic!("{}: {e}\n{text}", bm.dfg.name()));
-            assert_eq!(reparsed.num_nodes(), bm.dfg.num_nodes(), "{}", bm.dfg.name());
+            assert_eq!(
+                reparsed.num_nodes(),
+                bm.dfg.num_nodes(),
+                "{}",
+                bm.dfg.name()
+            );
             assert_eq!(
                 reparsed.inputs().count(),
                 bm.dfg.inputs().count(),

@@ -5,13 +5,12 @@
 //! variables (or constants), so every generated graph passes
 //! [`DfgBuilder::finish`](crate::DfgBuilder::finish) validation.
 
-use rand::prelude::*;
-use rand::rngs::StdRng;
+use mc_prng::Xoshiro256;
 
 use crate::graph::{Dfg, DfgBuilder, Operand};
 use crate::op::{Op, ALL_OPS};
-use crate::scheduler::{asap, list_schedule, ResourceConstraints};
 use crate::schedule::Schedule;
+use crate::scheduler::{asap, list_schedule, ResourceConstraints};
 
 /// Configuration for [`random_dfg`].
 ///
@@ -95,7 +94,7 @@ impl RandomDfgConfig {
 /// Generates a random well-formed DFG. Deterministic per configuration.
 #[must_use]
 pub fn random_dfg(cfg: &RandomDfgConfig) -> Dfg {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Xoshiro256::seed_from_u64(cfg.seed);
     let mut b = DfgBuilder::new(&format!("random_{}", cfg.seed), cfg.width);
     let mut pool: Vec<Operand> = (0..cfg.inputs)
         .map(|i| Operand::Var(b.input(&format!("in{i}"))))
@@ -103,16 +102,16 @@ pub fn random_dfg(cfg: &RandomDfgConfig) -> Dfg {
     let max_const = (1u64 << cfg.width) - 1;
     let mut last = None;
     for i in 0..cfg.nodes {
-        let pick = |rng: &mut StdRng, pool: &[Operand]| -> Operand {
+        let pick = |rng: &mut Xoshiro256, pool: &[Operand]| -> Operand {
             if rng.gen_bool(cfg.const_prob) {
-                Operand::Const(rng.gen_range(0..=max_const))
+                Operand::Const(rng.range_inclusive(0, max_const))
             } else {
-                *pool.choose(rng).expect("pool starts non-empty")
+                *rng.choose(pool).expect("pool starts non-empty")
             }
         };
         let lhs = pick(&mut rng, &pool);
         let rhs = pick(&mut rng, &pool);
-        let op = *cfg.ops.choose(&mut rng).expect("non-empty alphabet");
+        let op = *rng.choose(&cfg.ops).expect("non-empty alphabet");
         let dest = b.op_named(&format!("r{i}"), op, lhs, rhs);
         pool.push(Operand::Var(dest));
         last = Some(dest);
@@ -132,7 +131,8 @@ pub fn random_dfg(cfg: &RandomDfgConfig) -> Dfg {
             }
         }
     }
-    b.finish().expect("random DFG is well-formed by construction")
+    b.finish()
+        .expect("random DFG is well-formed by construction")
 }
 
 /// Generates a random DFG together with a schedule: ASAP for half the
@@ -141,7 +141,7 @@ pub fn random_dfg(cfg: &RandomDfgConfig) -> Dfg {
 #[must_use]
 pub fn random_scheduled_dfg(cfg: &RandomDfgConfig) -> (Dfg, Schedule) {
     let dfg = random_dfg(cfg);
-    let sched = if cfg.seed % 2 == 0 {
+    let sched = if cfg.seed.is_multiple_of(2) {
         asap(&dfg)
     } else {
         let rc = ResourceConstraints::new()

@@ -47,10 +47,16 @@ impl fmt::Display for ScheduleError {
                 write!(f, "schedule has {steps} steps for {nodes} nodes")
             }
             ScheduleError::StepOutOfRange { node, step, length } => {
-                write!(f, "node {node} scheduled at step {step} outside 1..={length}")
+                write!(
+                    f,
+                    "node {node} scheduled at step {step} outside 1..={length}"
+                )
             }
             ScheduleError::DependenceViolated { writer, reader } => {
-                write!(f, "node {reader} not scheduled strictly after its producer {writer}")
+                write!(
+                    f,
+                    "node {reader} not scheduled strictly after its producer {writer}"
+                )
             }
         }
     }

@@ -37,10 +37,7 @@ impl fmt::Display for SchedulerError {
             SchedulerError::LatencyTooShort {
                 requested,
                 critical_path,
-            } => write!(
-                f,
-                "latency {requested} below critical path {critical_path}"
-            ),
+            } => write!(f, "latency {requested} below critical path {critical_path}"),
             SchedulerError::ImpossibleConstraint(op) => {
                 write!(f, "resource constraint allows zero units for `{op}`")
             }
@@ -136,7 +133,9 @@ impl LatencyModel {
     /// The latency vector for a graph, indexed by node.
     #[must_use]
     pub fn for_dfg(&self, dfg: &Dfg) -> Vec<u32> {
-        dfg.node_ids().map(|n| self.latency(dfg.node(n).op())).collect()
+        dfg.node_ids()
+            .map(|n| self.latency(dfg.node(n).op()))
+            .collect()
     }
 }
 
@@ -167,7 +166,11 @@ pub fn asap_with_latencies(dfg: &Dfg, model: &LatencyModel) -> Schedule {
 fn asap_steps(dfg: &Dfg) -> Vec<u32> {
     let mut steps = vec![0u32; dfg.num_nodes()];
     for &n in dfg.topological_order() {
-        let earliest = dfg.preds(n).map(|p| steps[p.index()] + 1).max().unwrap_or(1);
+        let earliest = dfg
+            .preds(n)
+            .map(|p| steps[p.index()] + 1)
+            .max()
+            .unwrap_or(1);
         steps[n.index()] = earliest;
     }
     steps
@@ -320,42 +323,45 @@ pub fn force_directed(dfg: &Dfg, latency: u32) -> Result<Schedule, SchedulerErro
     let mut lo = asap_steps(dfg);
     let mut hi = {
         let alap_sched = alap(dfg, latency)?;
-        dfg.node_ids().map(|n| alap_sched.step_of(n)).collect::<Vec<_>>()
+        dfg.node_ids()
+            .map(|n| alap_sched.step_of(n))
+            .collect::<Vec<_>>()
     };
     let mut fixed = vec![false; nn];
 
     // Propagates frame tightening through dependences until a fixpoint.
-    let propagate = |lo: &mut Vec<u32>, hi: &mut Vec<u32>| {
-        loop {
-            let mut changed = false;
-            for &n in dfg.topological_order() {
-                let min_lo = dfg.preds(n).map(|p| lo[p.index()] + 1).max().unwrap_or(1);
-                if lo[n.index()] < min_lo {
-                    lo[n.index()] = min_lo;
-                    changed = true;
-                }
+    let propagate = |lo: &mut Vec<u32>, hi: &mut Vec<u32>| loop {
+        let mut changed = false;
+        for &n in dfg.topological_order() {
+            let min_lo = dfg.preds(n).map(|p| lo[p.index()] + 1).max().unwrap_or(1);
+            if lo[n.index()] < min_lo {
+                lo[n.index()] = min_lo;
+                changed = true;
             }
-            for &n in dfg.topological_order().iter().rev() {
-                let max_hi = dfg
-                    .succs(n)
-                    .iter()
-                    .map(|s| hi[s.index()].saturating_sub(1))
-                    .min()
-                    .unwrap_or(latency);
-                if hi[n.index()] > max_hi {
-                    hi[n.index()] = max_hi;
-                    changed = true;
-                }
+        }
+        for &n in dfg.topological_order().iter().rev() {
+            let max_hi = dfg
+                .succs(n)
+                .iter()
+                .map(|s| hi[s.index()].saturating_sub(1))
+                .min()
+                .unwrap_or(latency);
+            if hi[n.index()] > max_hi {
+                hi[n.index()] = max_hi;
+                changed = true;
             }
-            if !changed {
-                break;
-            }
+        }
+        if !changed {
+            break;
         }
     };
     propagate(&mut lo, &mut hi);
 
     let distribution = |lo: &[u32], hi: &[u32]| -> [Vec<f64>; 2] {
-        let mut dg = [vec![0.0; latency as usize + 1], vec![0.0; latency as usize + 1]];
+        let mut dg = [
+            vec![0.0; latency as usize + 1],
+            vec![0.0; latency as usize + 1],
+        ];
         for n in dfg.node_ids() {
             let class = fds_class(dfg.node(n).op());
             let (a, b) = (lo[n.index()], hi[n.index()]);
@@ -387,8 +393,7 @@ pub fn force_directed(dfg: &Dfg, latency: u32) -> Result<Schedule, SchedulerErro
                 let better = match best {
                     None => true,
                     Some((bf, bn, bt)) => {
-                        force < bf - 1e-12
-                            || ((force - bf).abs() <= 1e-12 && (n, t) < (bn, bt))
+                        force < bf - 1e-12 || ((force - bf).abs() <= 1e-12 && (n, t) < (bn, bt))
                     }
                 };
                 if better {
@@ -453,7 +458,11 @@ pub fn phase_affine(dfg: &Dfg, n: u32, stretch: u32) -> Schedule {
         let mut pref_cost = -1.0f64;
         for v in dfg.node(node).read_vars() {
             if let Some(p) = dfg.writer_of(v) {
-                let cost = if dfg.node(p).op().is_expensive() { 2.0 } else { 1.0 };
+                let cost = if dfg.node(p).op().is_expensive() {
+                    2.0
+                } else {
+                    1.0
+                };
                 if cost > pref_cost {
                     pref_cost = cost;
                     pref = Some(phase_of(steps[p.index()]));
@@ -527,7 +536,10 @@ mod tests {
         let g = two_chains();
         assert!(matches!(
             alap(&g, 1).unwrap_err(),
-            SchedulerError::LatencyTooShort { critical_path: 2, .. }
+            SchedulerError::LatencyTooShort {
+                critical_path: 2,
+                ..
+            }
         ));
     }
 

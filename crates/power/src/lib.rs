@@ -39,5 +39,6 @@ pub mod timing;
 
 pub use model::{
     clock_generator_overhead, estimate_area, estimate_power, evaluate_design,
-    per_component_power, per_dpm_power, AreaReport, ComponentPower, DesignReport, PowerReport,
+    evaluate_design_with_activity, per_component_power, per_dpm_power, AreaReport, ComponentPower,
+    DesignReport, PowerReport,
 };

@@ -392,9 +392,25 @@ pub fn evaluate_design(
 ) -> DesignReport {
     let cfg = mc_sim::SimConfig::new(mode, computations, seed);
     let result = mc_sim::simulate(netlist, &cfg);
+    evaluate_design_with_activity(netlist, mode, lib, &result.activity)
+}
+
+/// Prices an already-simulated design: builds the full report from a
+/// precomputed switching-activity profile instead of re-simulating.
+///
+/// [`evaluate_design`] is this plus the simulation; flows that keep the
+/// simulation trace as an explicit artifact (see `mc-core`'s pass
+/// pipeline) call this directly.
+#[must_use]
+pub fn evaluate_design_with_activity(
+    netlist: &Netlist,
+    mode: PowerMode,
+    lib: &TechLibrary,
+    activity: &mc_sim::Activity,
+) -> DesignReport {
     DesignReport {
         name: netlist.name().to_owned(),
-        power: estimate_power(netlist, &result.activity, lib),
+        power: estimate_power(netlist, activity, lib),
         area: estimate_area(netlist, mode, lib),
         stats: netlist.stats(),
         timing: crate::timing::analyze_timing(netlist, lib),
@@ -469,7 +485,7 @@ mod tests {
         let g = estimate_area(&nl, PowerMode::gated(), &lib);
         assert!(g.total_lambda2 > ng.total_lambda2);
         assert!(g.increase_vs(&ng) > 0.0);
-        assert_eq!(g.pm_lambda2 > 0.0, true);
+        assert!(g.pm_lambda2 > 0.0);
         assert_eq!(ng.pm_lambda2, 0.0);
     }
 
@@ -548,7 +564,10 @@ mod tests {
     fn per_component_ranking_is_sorted_and_complete() {
         let nl = hal(2, Strategy::Integrated);
         let lib = TechLibrary::vsc450();
-        let res = mc_sim::simulate(&nl, &mc_sim::SimConfig::new(PowerMode::multiclock(), 100, 7));
+        let res = mc_sim::simulate(
+            &nl,
+            &mc_sim::SimConfig::new(PowerMode::multiclock(), 100, 7),
+        );
         let ranked = per_component_power(&nl, &res.activity, &lib);
         assert_eq!(ranked.len(), nl.num_components());
         for pair in ranked.windows(2) {
@@ -566,7 +585,10 @@ mod tests {
     fn dpm_power_splits_across_phases() {
         let nl = hal(2, Strategy::Integrated);
         let lib = TechLibrary::vsc450();
-        let res = mc_sim::simulate(&nl, &mc_sim::SimConfig::new(PowerMode::multiclock(), 100, 7));
+        let res = mc_sim::simulate(
+            &nl,
+            &mc_sim::SimConfig::new(PowerMode::multiclock(), 100, 7),
+        );
         let dpms = per_dpm_power(&nl, &res.activity, &lib);
         assert_eq!(dpms.len(), 2);
         for (phase, mw) in &dpms {

@@ -96,7 +96,11 @@ pub fn power_profile(
         net_cap += lib.wire_cap_per_bit(netlist.receivers_of(n).len());
         nets += 1;
     }
-    let avg_net_cap = if nets == 0 { 0.0 } else { net_cap / nets as f64 };
+    let avg_net_cap = if nets == 0 {
+        0.0
+    } else {
+        net_cap / nets as f64
+    };
 
     let mut alu_cap = 0.0;
     let mut alus = 0usize;
@@ -117,7 +121,11 @@ pub fn power_profile(
             _ => {}
         }
     }
-    let avg_alu_cap = if alus == 0 { 0.0 } else { alu_cap / alus as f64 };
+    let avg_alu_cap = if alus == 0 {
+        0.0
+    } else {
+        alu_cap / alus as f64
+    };
     let avg_clock_cap = if mems == 0 {
         lib.mem_clock_cap(MemKind::Latch, width)
     } else {

@@ -70,7 +70,11 @@ pub fn analyze_timing(netlist: &Netlist, lib: &TechLibrary) -> TimingReport {
     // Supply-voltage derating: delays stretch as the supply approaches
     // the threshold (see `TechLibrary::delay_derating`).
     let critical = critical * lib.delay_derating();
-    let fmax_mhz = if critical > 0.0 { 1000.0 / critical } else { f64::INFINITY };
+    let fmax_mhz = if critical > 0.0 {
+        1000.0 / critical
+    } else {
+        f64::INFINITY
+    };
     TimingReport {
         critical_path_ns: critical,
         fmax_mhz,
@@ -87,7 +91,11 @@ mod tests {
 
     fn netlist(n: u32) -> Netlist {
         let bm = benchmarks::facet();
-        let strategy = if n == 1 { Strategy::Conventional } else { Strategy::Integrated };
+        let strategy = if n == 1 {
+            Strategy::Conventional
+        } else {
+            Strategy::Integrated
+        };
         allocate(
             &bm.dfg,
             &bm.schedule,

@@ -173,7 +173,10 @@ impl Controller {
 
     /// Iterates `(step, word)` in step order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &ControlWord)> {
-        self.words.iter().enumerate().map(|(i, w)| (i as u32 + 1, w))
+        self.words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (i as u32 + 1, w))
     }
 
     /// Total number of distinct control points referenced anywhere in the

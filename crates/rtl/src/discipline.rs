@@ -91,9 +91,7 @@ pub fn check_latch_discipline(netlist: &Netlist, treat_all_as_latches: bool) -> 
     let mut hazards = Vec::new();
     let is_latchy = |mem: CompId| -> bool {
         match netlist.component(mem).kind() {
-            ComponentKind::Mem { kind, .. } => {
-                treat_all_as_latches || *kind == MemKind::Latch
-            }
+            ComponentKind::Mem { kind, .. } => treat_all_as_latches || *kind == MemKind::Latch,
             _ => false,
         }
     };

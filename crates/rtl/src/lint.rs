@@ -68,7 +68,11 @@ pub fn lint(netlist: &Netlist) -> Vec<Lint> {
     }
 
     // Controller coverage per component.
-    let words: Vec<_> = netlist.controller().iter().map(|(_, w)| w.clone()).collect();
+    let words: Vec<_> = netlist
+        .controller()
+        .iter()
+        .map(|(_, w)| w.clone())
+        .collect();
     for c in netlist.component_ids() {
         let comp = netlist.component(c);
         match comp.kind() {
@@ -103,14 +107,14 @@ pub fn lint(netlist: &Netlist) -> Vec<Lint> {
                     }
                 }
             }
-            crate::ComponentKind::Alu { .. } => {
-                if !words.iter().any(|w| w.alu_fn.contains_key(&c)) {
-                    out.push(Lint {
-                        severity: Severity::Warning,
-                        comp: Some(c),
-                        message: format!("ALU `{}` never executes an operation", comp.label()),
-                    });
-                }
+            crate::ComponentKind::Alu { .. }
+                if !words.iter().any(|w| w.alu_fn.contains_key(&c)) =>
+            {
+                out.push(Lint {
+                    severity: Severity::Warning,
+                    comp: Some(c),
+                    message: format!("ALU `{}` never executes an operation", comp.label()),
+                });
             }
             crate::ComponentKind::Mux { inputs } => {
                 if inputs.len() >= 2 && !words.iter().any(|w| w.mux_sel.contains_key(&c)) {
@@ -230,7 +234,9 @@ mod tests {
         let nl = nb.finish().unwrap();
         let findings = warnings(&nl);
         assert!(findings.iter().any(|l| l.message.contains("never loaded")));
-        assert!(findings.iter().any(|l| l.message.contains("never executes")));
+        assert!(findings
+            .iter()
+            .any(|l| l.message.contains("never executes")));
     }
 
     #[test]

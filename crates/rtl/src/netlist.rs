@@ -277,10 +277,7 @@ impl Netlist {
         // downstream phases are known first.
         for &c in self.comb_order.iter().rev() {
             let receivers = self.receivers_of(self.component(c).output());
-            let p = receivers
-                .iter()
-                .filter_map(|&r| phase_of[r.index()])
-                .min();
+            let p = receivers.iter().filter_map(|&r| phase_of[r.index()]).min();
             phase_of[c.index()] = p;
         }
         for c in self.component_ids() {
@@ -352,11 +349,7 @@ impl NetlistBuilder {
     /// Adds a primary-input port named `name`; returns the port and the
     /// net it drives.
     pub fn add_input(&mut self, name: &str) -> (CompId, NetId) {
-        let (id, out) = self.push(
-            ComponentKind::Input,
-            name.to_owned(),
-            format!("in_{name}"),
-        );
+        let (id, out) = self.push(ComponentKind::Input, name.to_owned(), format!("in_{name}"));
         self.inputs.push((name.to_owned(), id));
         (id, out)
     }
@@ -690,7 +683,10 @@ mod tests {
         let scheme = ClockScheme::single();
         let mut nb = NetlistBuilder::new("bad", 4, scheme, 1);
         nb.add_mux(vec![], "m");
-        assert!(matches!(nb.finish().unwrap_err(), NetlistError::EmptyMux(_)));
+        assert!(matches!(
+            nb.finish().unwrap_err(),
+            NetlistError::EmptyMux(_)
+        ));
     }
 
     #[test]

@@ -22,8 +22,7 @@
 
 use std::collections::BTreeMap;
 
-use rand::prelude::*;
-use rand::rngs::StdRng;
+use mc_prng::Xoshiro256;
 
 use mc_dfg::Op;
 use mc_rtl::{CompId, ComponentKind, ControlPolicy, Netlist, PowerMode};
@@ -93,14 +92,14 @@ pub struct SimResult {
 /// Simulates `netlist` with random input vectors.
 #[must_use]
 pub fn simulate(netlist: &Netlist, config: &SimConfig) -> SimResult {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Xoshiro256::seed_from_u64(config.seed);
     let mask = (1u64 << netlist.width()) - 1;
     let vectors: Vec<BTreeMap<String, u64>> = (0..config.computations)
         .map(|_| {
             netlist
                 .inputs()
                 .iter()
-                .map(|(name, _)| (name.clone(), rng.gen::<u64>() & mask))
+                .map(|(name, _)| (name.clone(), rng.next_u64() & mask))
                 .collect()
         })
         .collect();
@@ -185,7 +184,9 @@ impl<'a> Engine<'a> {
 
     /// Index of `op` within an ALU's function set.
     fn fn_index(fs: mc_dfg::FunctionSet, op: Op) -> usize {
-        fs.iter().position(|o| o == op).expect("op validated in set")
+        fs.iter()
+            .position(|o| o == op)
+            .expect("op validated in set")
     }
 
     fn set_net(&mut self, net: mc_rtl::NetId, value: u64) {
@@ -205,7 +206,11 @@ impl<'a> Engine<'a> {
     ) -> SimResult {
         let nl = self.netlist;
         let mut outputs = Vec::with_capacity(vectors.len());
-        let mut trace = if collect_trace { Some(Vec::new()) } else { None };
+        let mut trace = if collect_trace {
+            Some(Vec::new())
+        } else {
+            None
+        };
         if collect_profile {
             self.activity.per_step = Some(Vec::new());
         }
@@ -228,10 +233,7 @@ impl<'a> Engine<'a> {
             self.apply_controls_silent(boundary);
             self.eval_combinational_silent();
             let word = nl.controller().word(boundary);
-            let loads: Vec<CompId> = nl
-                .mems()
-                .filter(|m| word.mem_load.contains(m))
-                .collect();
+            let loads: Vec<CompId> = nl.mems().filter(|m| word.mem_load.contains(m)).collect();
             for mem in loads {
                 let input = match nl.component(mem).kind() {
                     ComponentKind::Mem { input, .. } => *input,
@@ -285,8 +287,7 @@ impl<'a> Engine<'a> {
                 for (mem, v) in captures {
                     let old = self.stored[mem.index()];
                     if old != v {
-                        self.activity.store_toggles[mem.index()] +=
-                            (old ^ v).count_ones() as u64;
+                        self.activity.store_toggles[mem.index()] += (old ^ v).count_ones() as u64;
                         self.stored[mem.index()] = v;
                     }
                     self.set_net(nl.component(mem).output(), v);
@@ -386,7 +387,12 @@ impl<'a> Engine<'a> {
         for &c in nl.combinational_order() {
             match nl.component(c).kind() {
                 ComponentKind::Mux { inputs } => {
-                    let s = controls.sel.get(&c).copied().unwrap_or(0).min(inputs.len() - 1);
+                    let s = controls
+                        .sel
+                        .get(&c)
+                        .copied()
+                        .unwrap_or(0)
+                        .min(inputs.len() - 1);
                     let v = self.nets[inputs[s].index()];
                     self.set_net(nl.component(c).output(), v);
                 }
@@ -434,7 +440,12 @@ impl<'a> Engine<'a> {
         for &c in nl.combinational_order() {
             match nl.component(c).kind() {
                 ComponentKind::Mux { inputs } => {
-                    let s = self.prev_sel.get(&c).copied().unwrap_or(0).min(inputs.len() - 1);
+                    let s = self
+                        .prev_sel
+                        .get(&c)
+                        .copied()
+                        .unwrap_or(0)
+                        .min(inputs.len() - 1);
                     self.nets[nl.component(c).output().index()] = self.nets[inputs[s].index()];
                 }
                 ComponentKind::Alu { fs, a, b } => {

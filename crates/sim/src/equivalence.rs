@@ -6,8 +6,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use rand::prelude::*;
-use rand::rngs::StdRng;
+use mc_prng::Xoshiro256;
 
 use mc_dfg::Dfg;
 use mc_rtl::{Netlist, PowerMode};
@@ -54,14 +53,14 @@ pub fn verify_equivalence(
     computations: usize,
     seed: u64,
 ) -> Result<(), Box<Mismatch>> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
     let mask = (1u64 << dfg.width()) - 1;
     let vectors: Vec<BTreeMap<String, u64>> = (0..computations)
         .map(|_| {
             netlist
                 .inputs()
                 .iter()
-                .map(|(name, _)| (name.clone(), rng.gen::<u64>() & mask))
+                .map(|(name, _)| (name.clone(), rng.next_u64() & mask))
                 .collect()
         })
         .collect();

@@ -192,9 +192,7 @@ mod tests {
             verify_equivalence(&dfg, &nl, mode, 20, 5).expect("still correct");
             simulate(&nl, &SimConfig::new(mode, 60, 5))
         };
-        assert!(
-            both.activity.total_clock_pulses() < phase_only.activity.total_clock_pulses()
-        );
+        assert!(both.activity.total_clock_pulses() < phase_only.activity.total_clock_pulses());
         assert_eq!(both.outputs, phase_only.outputs);
     }
 
@@ -233,7 +231,7 @@ mod tests {
         let (_, nl) = datapath(1, Strategy::Conventional);
         let vec: std::collections::BTreeMap<String, u64> =
             nl.inputs().iter().map(|(n, _)| (n.clone(), 1u64)).collect();
-        let a = simulate_with_inputs(&nl, PowerMode::gated(), &[vec.clone()], false);
+        let a = simulate_with_inputs(&nl, PowerMode::gated(), std::slice::from_ref(&vec), false);
         let b = simulate_with_inputs(&nl, PowerMode::gated(), &[vec], false);
         assert_eq!(a.outputs, b.outputs);
         assert_eq!(a.inputs, b.inputs);
@@ -257,11 +255,8 @@ mod tests {
         // registers still legitimately toggle between the variables they
         // host within each period).
         let (_, nl) = datapath(2, Strategy::Integrated);
-        let vec: std::collections::BTreeMap<String, u64> = nl
-            .inputs()
-            .iter()
-            .map(|(n, _)| (n.clone(), 9u64))
-            .collect();
+        let vec: std::collections::BTreeMap<String, u64> =
+            nl.inputs().iter().map(|(n, _)| (n.clone(), 9u64)).collect();
         let res = simulate_with_inputs(&nl, PowerMode::multiclock(), &vec![vec; 12], false);
         for out in &res.outputs[1..] {
             assert_eq!(*out, res.outputs[0]);
@@ -274,7 +269,10 @@ mod tests {
         // (within the one-time startup transient).
         let short_t = res.activity.total_net_toggles() as f64;
         let long_t = long.activity.total_net_toggles() as f64;
-        assert!(long_t <= 2.0 * short_t + 1e-9, "long {long_t} vs short {short_t}");
+        assert!(
+            long_t <= 2.0 * short_t + 1e-9,
+            "long {long_t} vs short {short_t}"
+        );
         assert!(long_t >= 1.5 * short_t, "long {long_t} vs short {short_t}");
     }
 }

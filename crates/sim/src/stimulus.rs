@@ -5,8 +5,7 @@
 
 use std::collections::BTreeMap;
 
-use rand::prelude::*;
-use rand::rngs::StdRng;
+use mc_prng::Xoshiro256;
 
 use mc_rtl::Netlist;
 
@@ -37,12 +36,12 @@ impl Stimulus {
         computations: usize,
         seed: u64,
     ) -> Vec<BTreeMap<String, u64>> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
         let mask = (1u64 << netlist.width()) - 1;
         let names: Vec<String> = netlist.inputs().iter().map(|(n, _)| n.clone()).collect();
         let mut current: BTreeMap<String, u64> = names
             .iter()
-            .map(|n| (n.clone(), rng.gen::<u64>() & mask))
+            .map(|n| (n.clone(), rng.next_u64() & mask))
             .collect();
         let mut out = Vec::with_capacity(computations);
         for c in 0..computations {
@@ -50,13 +49,13 @@ impl Stimulus {
                 match *self {
                     Stimulus::UniformRandom => {
                         for v in current.values_mut() {
-                            *v = rng.gen::<u64>() & mask;
+                            *v = rng.next_u64() & mask;
                         }
                     }
                     Stimulus::RandomWalk { delta } => {
                         let d = delta.min(mask);
                         for v in current.values_mut() {
-                            let step = rng.gen_range(0..=2 * d) as i64 - d as i64;
+                            let step = rng.range_inclusive(0, 2 * d) as i64 - d as i64;
                             *v = (v.wrapping_add(step as u64)) & mask;
                         }
                     }

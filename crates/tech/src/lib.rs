@@ -471,9 +471,7 @@ mod tests {
     fn dff_is_heavier_than_latch() {
         let lib = TechLibrary::vsc450();
         assert!(lib.mem_area(MemKind::Dff, 4) > 1.5 * lib.mem_area(MemKind::Latch, 4));
-        assert!(
-            lib.mem_clock_cap(MemKind::Dff, 4) > 1.8 * lib.mem_clock_cap(MemKind::Latch, 4)
-        );
+        assert!(lib.mem_clock_cap(MemKind::Dff, 4) > 1.8 * lib.mem_clock_cap(MemKind::Latch, 4));
         assert!(
             lib.mem_store_cap_per_bit(MemKind::Dff) > lib.mem_store_cap_per_bit(MemKind::Latch)
         );

@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let forced = scheduler::force_directed(dfg, listed.length().max(asap.length()))?;
 
     println!("schedules for `{}`:", dfg.name());
-    for (name, s) in [("asap", &asap), ("list(2*,2+)", &listed), ("force-directed", &forced)] {
+    for (name, s) in [
+        ("asap", &asap),
+        ("list(2*,2+)", &listed),
+        ("force-directed", &forced),
+    ] {
         println!(
             "  {name:<15} length {} steps, max parallelism {}",
             s.length(),
@@ -33,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\ntwo-clock synthesis from each schedule:");
-    for (name, s) in [("asap", asap), ("list(2*,2+)", listed), ("force-directed", forced)] {
+    for (name, s) in [
+        ("asap", asap),
+        ("list(2*,2+)", listed),
+        ("force-directed", forced),
+    ] {
         let synth = Synthesizer::new(dfg.clone(), s).with_computations(300);
         let design = synth.synthesize_verified(DesignStyle::MultiClock(2))?;
         let r = synth.evaluate(DesignStyle::MultiClock(2))?;

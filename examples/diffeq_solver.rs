@@ -8,9 +8,9 @@
 
 use std::collections::BTreeMap;
 
+use multiclock::dfg::benchmarks;
 use multiclock::rtl::PowerMode;
 use multiclock::sim::simulate_with_inputs;
-use multiclock::dfg::benchmarks;
 use multiclock::{DesignStyle, Synthesizer};
 
 /// One Euler step in software, in the same modular 16-bit arithmetic the
@@ -75,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         assert!(ok, "netlist diverged from the software Euler step");
     }
-    println!("\nall {} iterations match the software reference", reference.len());
+    println!(
+        "\nall {} iterations match the software reference",
+        reference.len()
+    );
 
     let report = synth.evaluate(DesignStyle::MultiClock(3))?;
     let gated = synth.evaluate(DesignStyle::ConventionalGated)?;

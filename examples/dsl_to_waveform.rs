@@ -44,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         timing.critical_path_ns,
         timing.fmax_mhz,
         synth.tech().clock_mhz(),
-        if timing.meets_target { "met" } else { "VIOLATED" }
+        if timing.meets_target {
+            "met"
+        } else {
+            "VIOLATED"
+        }
     );
 
     // Traced simulation → VCD.

@@ -36,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             };
             let label = format!(
                 "{n} clock(s), {}",
-                if mem_kind == MemKind::Latch { "latches" } else { "DFFs" }
+                if mem_kind == MemKind::Latch {
+                    "latches"
+                } else {
+                    "DFFs"
+                }
             );
             points.push((label, synth.evaluate(style)?));
         }

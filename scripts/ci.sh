@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full offline quality gate: formatting, lints, release build, tests.
+# Everything runs without network access — the workspace has no external
+# dependencies.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all -- --check
+run cargo clippy --workspace --all-targets -- -D warnings
+run cargo build --release --workspace
+run cargo test -q --workspace
+
+echo "==> ci.sh: all checks passed"

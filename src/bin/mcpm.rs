@@ -87,7 +87,10 @@ fn find_benchmark(name: &str) -> Result<Benchmark, String> {
                 .iter()
                 .map(|b| b.name().to_owned())
                 .collect();
-            format!("unknown benchmark `{name}`; available: {}", names.join(", "))
+            format!(
+                "unknown benchmark `{name}`; available: {}",
+                names.join(", ")
+            )
         })
 }
 
@@ -98,8 +101,8 @@ fn load_behavior(args: &Args) -> Result<Benchmark, String> {
     match (args.get("benchmark"), args.get("file")) {
         (Some(name), None) => find_benchmark(name),
         (None, Some(path)) => {
-            let source = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let source =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
             let stem = std::path::Path::new(path)
                 .file_stem()
                 .and_then(|s| s.to_str())
@@ -182,14 +185,22 @@ fn run() -> Result<(), String> {
         }
         "eval" => {
             let bm = load_behavior(&args)?;
-            let table = multiclock::experiment::paper_table(&bm, computations, seed)
+            // Rows run concurrently through the pass pipeline; results
+            // are bit-identical to the sequential path.
+            let table = multiclock::experiment::paper_table_parallel(&bm, computations, seed)
                 .map_err(|e| e.to_string())?;
             println!("{}", table.render());
             if let Some(red) = table.gated_to_best_multiclock_reduction() {
-                println!(
-                    "gated → best multiclock reduction: {:.1} %",
-                    red * 100.0
-                );
+                println!("gated → best multiclock reduction: {:.1} %", red * 100.0);
+            }
+            println!();
+            print!("{}", table.render_timings());
+            for d in table
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == multiclock::Severity::Warning)
+            {
+                eprintln!("{d}");
             }
             Ok(())
         }
@@ -208,8 +219,7 @@ fn run() -> Result<(), String> {
                 Some("vhdl") => emit(&args, &export::to_vhdl(nl))?,
                 Some("dot") => emit(&args, &export::to_dot(nl))?,
                 Some("vcd") => {
-                    let cfg =
-                        SimConfig::new(design.mode, computations.min(20), seed).with_trace();
+                    let cfg = SimConfig::new(design.mode, computations.min(20), seed).with_trace();
                     let res = simulate(nl, &cfg);
                     let dump = vcd::to_vcd(nl, &res).map_err(|e| e.to_string())?;
                     emit(&args, &dump)?;
@@ -228,9 +238,12 @@ fn run() -> Result<(), String> {
         "sweep" => {
             let bm = load_behavior(&args)?;
             let max: u32 = args.parse_num("max-clocks", 6)?;
-            let sweep = multiclock::experiment::clock_sweep(&bm, max, computations, seed)
+            let sweep = multiclock::experiment::clock_sweep_parallel(&bm, max, computations, seed)
                 .map_err(|e| e.to_string())?;
-            println!("{:>3} {:>9} {:>12} {:>6} {:>6}", "n", "mW", "λ²", "mem", "muxin");
+            println!(
+                "{:>3} {:>9} {:>12} {:>6} {:>6}",
+                "n", "mW", "λ²", "mem", "muxin"
+            );
             for (n, rep) in sweep {
                 println!(
                     "{n:>3} {:>9.2} {:>12.0} {:>6} {:>6}",
@@ -268,9 +281,11 @@ fn run() -> Result<(), String> {
             let design = synth.synthesize(style).map_err(|e| e.to_string())?;
             let cfg = SimConfig::new(design.mode, computations, seed);
             let res = simulate(&design.datapath.netlist, &cfg);
-            let ranked =
-                per_component_power(&design.datapath.netlist, &res.activity, synth.tech());
-            println!("top {count} power consumers of `{}`:", design.datapath.netlist.name());
+            let ranked = per_component_power(&design.datapath.netlist, &res.activity, synth.tech());
+            println!(
+                "top {count} power consumers of `{}`:",
+                design.datapath.netlist.name()
+            );
             for cp in ranked.into_iter().take(count) {
                 println!("  {:<28} {:>8.3} mW", cp.label, cp.mw);
             }
@@ -291,10 +306,7 @@ fn run() -> Result<(), String> {
             println!("\n[1/4] functional equivalence: PASS ({computations} random vectors)");
 
             let warnings = multiclock::rtl::lint::warnings(nl);
-            println!(
-                "\n[2/4] lint: {} warning(s)",
-                warnings.len()
-            );
+            println!("\n[2/4] lint: {} warning(s)", warnings.len());
             for w in &warnings {
                 println!("      {w}");
             }
@@ -314,16 +326,18 @@ fn run() -> Result<(), String> {
                 timing.critical_path_ns,
                 timing.fmax_mhz,
                 synth.tech().clock_mhz(),
-                if timing.meets_target { "MET" } else { "VIOLATED" }
+                if timing.meets_target {
+                    "MET"
+                } else {
+                    "VIOLATED"
+                }
             );
 
             // Per-DPM power split.
             let cfg = SimConfig::new(design.mode, computations, seed);
             let res = simulate(nl, &cfg);
             println!("\nper-partition power (attributable):");
-            for (phase, mw) in
-                multiclock::power::per_dpm_power(nl, &res.activity, synth.tech())
-            {
+            for (phase, mw) in multiclock::power::per_dpm_power(nl, &res.activity, synth.tech()) {
                 println!("  DPM({phase}): {mw:.3} mW");
             }
             if !warnings.is_empty() || !hazards.is_empty() || !timing.meets_target {

@@ -30,6 +30,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-pub use mc_core::{experiment, Design, DesignStyle, Synthesizer, SynthesisError};
+pub use mc_core::{
+    experiment, flow, passes, CacheStats, Design, DesignStyle, Diagnostic, Evaluated, Flow,
+    PassMetrics, Severity, SynthesisError, Synthesizer,
+};
 
 pub use mc_core::{alloc, clocks, dfg, power, rtl, sim, tech};
+
+/// The in-tree deterministic PRNGs (SplitMix64, xoshiro256**).
+pub use mc_prng as prng;

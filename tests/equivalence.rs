@@ -9,7 +9,9 @@ use multiclock::{DesignStyle, Synthesizer};
 #[test]
 fn all_benchmarks_all_paper_styles_are_equivalent() {
     for bm in benchmarks::all_benchmarks() {
-        let synth = Synthesizer::for_benchmark(&bm).with_computations(25).with_seed(3);
+        let synth = Synthesizer::for_benchmark(&bm)
+            .with_computations(25)
+            .with_seed(3);
         for style in DesignStyle::paper_rows() {
             synth
                 .synthesize_verified(style)
@@ -22,7 +24,9 @@ fn all_benchmarks_all_paper_styles_are_equivalent() {
 fn wide_datapaths_are_equivalent() {
     for width in [8u8, 16, 32] {
         let bm = benchmarks::hal_w(width);
-        let synth = Synthesizer::for_benchmark(&bm).with_computations(20).with_seed(9);
+        let synth = Synthesizer::for_benchmark(&bm)
+            .with_computations(20)
+            .with_seed(9);
         for style in [DesignStyle::MultiClock(2), DesignStyle::ConventionalGated] {
             synth
                 .synthesize_verified(style)
@@ -34,7 +38,9 @@ fn wide_datapaths_are_equivalent() {
 #[test]
 fn higher_clock_counts_stay_equivalent() {
     let bm = benchmarks::bandpass();
-    let synth = Synthesizer::for_benchmark(&bm).with_computations(15).with_seed(5);
+    let synth = Synthesizer::for_benchmark(&bm)
+        .with_computations(15)
+        .with_seed(5);
     for n in 4..=6u32 {
         synth
             .synthesize_verified(DesignStyle::MultiClock(n))
@@ -48,7 +54,9 @@ fn split_strategy_is_equivalent_across_benchmarks() {
     use multiclock::rtl::PowerMode;
     use multiclock::tech::MemKind;
     for bm in benchmarks::paper_benchmarks() {
-        let synth = Synthesizer::for_benchmark(&bm).with_computations(20).with_seed(7);
+        let synth = Synthesizer::for_benchmark(&bm)
+            .with_computations(20)
+            .with_seed(7);
         for clocks in [2u32, 3] {
             let style = DesignStyle::Custom {
                 strategy: Strategy::Split,
@@ -70,7 +78,9 @@ fn power_modes_do_not_change_function() {
     use multiclock::sim::verify_equivalence;
     let bm = benchmarks::facet();
     let synth = Synthesizer::for_benchmark(&bm);
-    let design = synth.synthesize(DesignStyle::MultiClock(2)).expect("synthesises");
+    let design = synth
+        .synthesize(DesignStyle::MultiClock(2))
+        .expect("synthesises");
     // Even "wrong" mode combinations (gating a multiclock design,
     // unlatched controls) must not alter results — power modes are
     // observability knobs, never functional ones.

@@ -40,7 +40,11 @@ fn latch_vs_dff_holds_on_every_benchmark() {
             latch.power.total_mw,
             dff.power.total_mw
         );
-        assert!(latch.area.total_lambda2 < dff.area.total_lambda2, "{}", bm.name());
+        assert!(
+            latch.area.total_lambda2 < dff.area.total_lambda2,
+            "{}",
+            bm.name()
+        );
     }
 }
 
@@ -79,7 +83,9 @@ fn profile_average_tracks_aggregate_power() {
     // mean must stay within 25 % of the exact aggregate estimate.
     let bm = benchmarks::hal();
     let synth = Synthesizer::for_benchmark(&bm);
-    let design = synth.synthesize(DesignStyle::MultiClock(2)).expect("synthesises");
+    let design = synth
+        .synthesize(DesignStyle::MultiClock(2))
+        .expect("synthesises");
     let lib = TechLibrary::vsc450();
     let cfg = SimConfig::new(PowerMode::multiclock(), 200, 7).with_profile();
     let res = simulate(&design.datapath.netlist, &cfg);
@@ -101,7 +107,9 @@ fn component_attribution_accounts_for_most_power() {
     // the sum must land between 50 % and 105 % of the total.
     let bm = benchmarks::biquad();
     let synth = Synthesizer::for_benchmark(&bm);
-    let design = synth.synthesize(DesignStyle::MultiClock(2)).expect("synthesises");
+    let design = synth
+        .synthesize(DesignStyle::MultiClock(2))
+        .expect("synthesises");
     let lib = TechLibrary::vsc450();
     let res = simulate(
         &design.datapath.netlist,
@@ -131,7 +139,10 @@ fn timing_is_dominated_by_the_divider_on_facet() {
         .expect("synthesises");
     let lib = TechLibrary::vsc450();
     let t = analyze_timing(&design.datapath.netlist, &lib);
-    let div_delay = lib.alu_delay_ns(multiclock::dfg::FunctionSet::single(multiclock::dfg::Op::Div), 4);
+    let div_delay = lib.alu_delay_ns(
+        multiclock::dfg::FunctionSet::single(multiclock::dfg::Op::Div),
+        4,
+    );
     assert!(
         t.critical_path_ns > div_delay,
         "critical {} must exceed the divider's {div_delay}",
@@ -161,12 +172,7 @@ fn latch_discipline_holds_for_every_multiclock_design() {
                 .synthesize(DesignStyle::MultiClock(n))
                 .unwrap_or_else(|e| panic!("{} n={n}: {e}", bm.name()));
             let hazards = check_latch_discipline(&design.datapath.netlist, false);
-            assert!(
-                hazards.is_empty(),
-                "{} n={n}: {:?}",
-                bm.name(),
-                hazards
-            );
+            assert!(hazards.is_empty(), "{} n={n}: {:?}", bm.name(), hazards);
         }
     }
 }
@@ -203,7 +209,9 @@ fn ewf_scales_through_the_whole_pipeline() {
         let design = synth
             .synthesize_verified(DesignStyle::MultiClock(n))
             .unwrap_or_else(|e| panic!("n={n}: {e}"));
-        let r = synth.evaluate(DesignStyle::MultiClock(n)).expect("evaluates");
+        let r = synth
+            .evaluate(DesignStyle::MultiClock(n))
+            .expect("evaluates");
         assert!(r.power.total_mw > 0.0);
         assert!(design.datapath.netlist.stats().mem_cells >= 17, "n={n}");
     }

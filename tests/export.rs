@@ -42,7 +42,11 @@ fn dot_export_is_well_formed_for_all_styles() {
         let d = design(style);
         let dot = to_dot(&d.datapath.netlist);
         assert!(dot.starts_with("digraph"));
-        assert_eq!(dot.matches('{').count(), dot.matches('}').count(), "{style}");
+        assert_eq!(
+            dot.matches('{').count(),
+            dot.matches('}').count(),
+            "{style}"
+        );
         let nodes = dot.lines().filter(|l| l.contains("[shape=")).count();
         assert_eq!(nodes, d.datapath.netlist.num_components(), "{style}");
     }
@@ -71,11 +75,7 @@ fn vcd_round_trip_is_consistent_with_trace() {
     let trace = res.trace.expect("trace present");
     let mut expected_changes = 0;
     for w in trace.windows(2) {
-        expected_changes += w[0]
-            .iter()
-            .zip(&w[1])
-            .filter(|(a, b)| a != b)
-            .count();
+        expected_changes += w[0].iter().zip(&w[1]).filter(|(a, b)| a != b).count();
     }
     let after_t0: Vec<&str> = dump
         .lines()

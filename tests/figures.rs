@@ -95,8 +95,14 @@ fn split_partition_numbering_matches_paper() {
         assert_eq!(scheme.local_step(global), local);
         assert_eq!(scheme.global_step(local, PhaseId::new(phase)), global);
     }
-    assert_eq!(scheme.local_length(PhaseId::new(1), bm.schedule.length()), 3);
-    assert_eq!(scheme.local_length(PhaseId::new(2), bm.schedule.length()), 2);
+    assert_eq!(
+        scheme.local_length(PhaseId::new(1), bm.schedule.length()),
+        3
+    );
+    assert_eq!(
+        scheme.local_length(PhaseId::new(2), bm.schedule.length()),
+        2
+    );
 }
 
 /// Fig. 6: transfer insertion shortens the source lifetime and the
@@ -124,7 +130,11 @@ fn transfer_rewrites_match_fig6() {
         .iter()
         .find(|v| matches!(v.source, PVarSource::Transfer(_)))
         .expect("one transfer");
-    assert_eq!(transfer.phase, PhaseId::new(2), "lands in the reader's partition");
+    assert_eq!(
+        transfer.phase,
+        PhaseId::new(2),
+        "lands in the reader's partition"
+    );
     assert_eq!(transfer.write_step, 2, "captured at the intermediate step");
 }
 

@@ -1,0 +1,170 @@
+//! Integration tests for the pass-pipeline flow layer, exercised through
+//! the public `multiclock` facade: parallel evaluation is bit-identical
+//! to sequential, cache hits return the same artifacts as cold runs,
+//! per-pass timings are populated, and pass diagnostics propagate to the
+//! caller.
+
+use std::sync::Arc;
+
+use multiclock::dfg::benchmarks;
+use multiclock::experiment::{self, paper_table, paper_table_parallel};
+use multiclock::{DesignStyle, Flow, Severity, Synthesizer};
+
+/// Every paper table, generated in parallel, matches the sequential
+/// generation bit for bit — power, area and resource counts are `==`,
+/// not approximately equal.
+#[test]
+fn parallel_tables_are_bit_identical_for_all_benchmarks() {
+    for bm in [
+        benchmarks::facet(),
+        benchmarks::hal(),
+        benchmarks::biquad(),
+        benchmarks::bandpass(),
+    ] {
+        let seq = paper_table(&bm, 50, 42).expect("sequential table");
+        let par = paper_table_parallel(&bm, 50, 42).expect("parallel table");
+        assert_eq!(seq.rows.len(), par.rows.len());
+        for (s, p) in seq.rows.iter().zip(&par.rows) {
+            assert_eq!(s.style, p.style, "{}", bm.name());
+            assert_eq!(s.report.power.total_mw, p.report.power.total_mw);
+            assert_eq!(s.report.power.clock_mw, p.report.power.clock_mw);
+            assert_eq!(s.report.power.storage_mw, p.report.power.storage_mw);
+            assert_eq!(s.report.area.total_lambda2, p.report.area.total_lambda2);
+            assert_eq!(s.report.stats.mem_cells, p.report.stats.mem_cells);
+            assert_eq!(s.report.stats.mux_inputs, p.report.stats.mux_inputs);
+        }
+    }
+}
+
+/// Per-pass wall-clock timings are recorded for every row of a paper
+/// table, covering the whole pipeline.
+#[test]
+fn per_pass_timings_are_populated() {
+    let t = paper_table(&benchmarks::hal(), 40, 42).expect("table");
+    for row in &t.rows {
+        assert!(!row.metrics.is_empty(), "{}: no metrics", row.label);
+        let passes: Vec<&str> = row.metrics.iter().map(|m| m.pass).collect();
+        assert!(passes.contains(&"simulate"), "{}: {passes:?}", row.label);
+        assert!(passes.contains(&"power"), "{}: {passes:?}", row.label);
+        for m in &row.metrics {
+            assert!(!m.artifact.is_empty(), "{}: unlabeled artifact", m.pass);
+        }
+    }
+    let rendered = t.render_timings();
+    assert!(rendered.contains("simulate"));
+    assert!(rendered.contains("power"));
+}
+
+/// A warm evaluation returns the *same* cached artifact (same `Arc`), not
+/// a recomputation, and the flow's cache counters see the hit.
+#[test]
+fn cache_hits_return_identical_artifacts() {
+    let flow = Flow::for_benchmark(&benchmarks::facet()).with_computations(40);
+    let cold = flow
+        .evaluate_instrumented(DesignStyle::MultiClock(3))
+        .expect("cold run");
+    assert!(cold.metrics.iter().all(|m| !m.cache_hit));
+    let warm = flow
+        .evaluate_instrumented(DesignStyle::MultiClock(3))
+        .expect("warm run");
+    assert!(Arc::ptr_eq(&cold.report, &warm.report));
+    assert_eq!(warm.metrics.len(), 1);
+    assert!(warm.metrics[0].cache_hit);
+    let stats = flow.cache_stats();
+    assert!(stats.hits >= 1, "{stats}");
+    assert!(stats.reports >= 1, "{stats}");
+}
+
+/// The datapath cache is shared *across* styles that imply the same
+/// allocation: the gated and non-gated conventional rows differ only in
+/// power mode, so the second one allocates from cache.
+#[test]
+fn allocation_is_shared_across_power_modes() {
+    let flow = Flow::for_benchmark(&benchmarks::biquad()).with_computations(40);
+    let ng = flow
+        .evaluate_instrumented(DesignStyle::ConventionalNonGated)
+        .expect("non-gated");
+    let g = flow
+        .evaluate_instrumented(DesignStyle::ConventionalGated)
+        .expect("gated");
+    assert!(!ng.metrics.iter().any(|m| m.cache_hit));
+    assert!(
+        g.metrics
+            .iter()
+            .any(|m| m.pass == "allocate" && m.cache_hit),
+        "gated row should reuse the conventional allocation: {:?}",
+        g.metrics
+    );
+    // Different modes still price differently.
+    assert!(g.report.power.total_mw < ng.report.power.total_mw);
+}
+
+/// Diagnostics reported inside passes reach the caller, and partition
+/// warnings fire when a phase clock gates nothing.
+#[test]
+fn diagnostics_propagate_to_the_caller() {
+    let flow = Flow::for_benchmark(&benchmarks::hal()).with_computations(20);
+    let e = flow
+        .evaluate_instrumented(DesignStyle::MultiClock(2))
+        .expect("evaluates");
+    assert!(
+        e.diagnostics
+            .iter()
+            .any(|d| d.pass == "partition" && d.severity == Severity::Info),
+        "expected partition narration, got {:?}",
+        e.diagnostics
+    );
+    // A two-step behaviour under three clocks leaves the third partition
+    // with nothing to do — the partition pass must warn.
+    use multiclock::dfg::{scheduler, DfgBuilder, Op};
+    let mut b = DfgBuilder::new("two_step", 4);
+    let a = b.input("a");
+    let c = b.input("c");
+    let d = b.input("d");
+    let t1 = b.op_named("t1", Op::Add, a, c);
+    let t2 = b.op_named("t2", Op::Sub, t1, d);
+    b.mark_output(t2);
+    let dfg = b.finish().expect("valid dfg");
+    let schedule = scheduler::asap(&dfg);
+    assert_eq!(schedule.length(), 2);
+    let tiny = Flow::new(dfg, schedule).with_computations(10);
+    let e = tiny
+        .evaluate_instrumented(DesignStyle::MultiClock(3))
+        .expect("evaluates");
+    assert!(
+        e.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Warning),
+        "expected an idle-partition warning, got {:?}",
+        e.diagnostics
+    );
+}
+
+/// The facade (`Synthesizer`) and the flow produce the same numbers — the
+/// wrapper really is a wrapper.
+#[test]
+fn synthesizer_facade_matches_flow() {
+    let bm = benchmarks::facet();
+    let synth = Synthesizer::for_benchmark(&bm).with_computations(60);
+    let flow = Flow::for_benchmark(&bm).with_computations(60);
+    for style in DesignStyle::paper_rows() {
+        let a = synth.evaluate(style).expect("facade evaluates");
+        let b = flow.evaluate(style).expect("flow evaluates");
+        assert_eq!(a.power.total_mw, b.power.total_mw, "{style}");
+        assert_eq!(a.area.total_lambda2, b.area.total_lambda2, "{style}");
+    }
+}
+
+/// Sweeps agree between sequential and parallel execution.
+#[test]
+fn parallel_sweep_matches_sequential() {
+    let bm = benchmarks::facet();
+    let seq = experiment::clock_sweep(&bm, 4, 40, 7).expect("sequential");
+    let par = experiment::clock_sweep_parallel(&bm, 4, 40, 7).expect("parallel");
+    assert_eq!(seq.len(), par.len());
+    for ((an, a), (bn, b)) in seq.iter().zip(&par) {
+        assert_eq!(an, bn);
+        assert_eq!(a.power.total_mw, b.power.total_mw);
+        assert_eq!(a.area.total_lambda2, b.area.total_lambda2);
+    }
+}

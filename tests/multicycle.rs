@@ -24,7 +24,12 @@ fn slow_divider_schedule_is_longer_but_valid() {
     let slow = scheduler::asap_with_latencies(&bm.dfg, &LatencyModel::slow_divider());
     assert!(slow.has_multicycle_ops());
     assert!(!unit.has_multicycle_ops());
-    assert!(slow.length() > unit.length(), "{} vs {}", slow.length(), unit.length());
+    assert!(
+        slow.length() > unit.length(),
+        "{} vs {}",
+        slow.length(),
+        unit.length()
+    );
     // The divider node completes one step after it starts.
     let div = bm
         .dfg
@@ -124,8 +129,12 @@ fn multicycle_chain_computes_through_partitions() {
 fn multicycle_power_evaluation_runs() {
     let (dfg, schedule) = facet_multicycle();
     let synth = Synthesizer::new(dfg, schedule).with_computations(120);
-    let gated = synth.evaluate(DesignStyle::ConventionalGated).expect("evaluates");
-    let multi = synth.evaluate(DesignStyle::MultiClock(2)).expect("evaluates");
+    let gated = synth
+        .evaluate(DesignStyle::ConventionalGated)
+        .expect("evaluates");
+    let multi = synth
+        .evaluate(DesignStyle::MultiClock(2))
+        .expect("evaluates");
     assert!(gated.power.total_mw > 0.0 && multi.power.total_mw > 0.0);
     assert!(multi.power.total_mw < gated.power.total_mw);
 }

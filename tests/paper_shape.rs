@@ -3,8 +3,8 @@
 //! Absolute mW/λ² values are calibration-dependent and are *not* asserted;
 //! see EXPERIMENTS.md for the measured-vs-published numbers.
 
-use multiclock::experiment::paper_table;
 use multiclock::dfg::benchmarks;
+use multiclock::experiment::paper_table;
 use multiclock::DesignStyle;
 
 const COMPUTATIONS: usize = 250;
@@ -126,8 +126,18 @@ fn memory_cells_track_the_papers_direction() {
     // 1-clock design (the paper's Mem Cells column grows with clocks).
     for bm in benchmarks::paper_benchmarks() {
         let t = paper_table(&bm, 30, SEED).expect("table builds");
-        let m1 = t.row(&DesignStyle::MultiClock(1).label()).unwrap().report.stats.mem_cells;
-        let m3 = t.row(&DesignStyle::MultiClock(3).label()).unwrap().report.stats.mem_cells;
+        let m1 = t
+            .row(&DesignStyle::MultiClock(1).label())
+            .unwrap()
+            .report
+            .stats
+            .mem_cells;
+        let m3 = t
+            .row(&DesignStyle::MultiClock(3).label())
+            .unwrap()
+            .report
+            .stats
+            .mem_cells;
         assert!(m3 >= m1, "{}: mem cells fell {m1} -> {m3}", bm.name());
     }
 }
@@ -143,11 +153,11 @@ fn clock_sweep_shows_diminishing_returns() {
         .windows(2)
         .map(|w| w[0].1.power.total_mw - w[1].1.power.total_mw)
         .collect();
-    let best = deltas
+    let best = deltas.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let early_best = deltas[..3]
         .iter()
         .copied()
         .fold(f64::NEG_INFINITY, f64::max);
-    let early_best = deltas[..3].iter().copied().fold(f64::NEG_INFINITY, f64::max);
     assert!(
         (early_best - best).abs() < 1e-9,
         "largest marginal gain should come early: {deltas:?}"

@@ -1,86 +1,110 @@
-//! Property-based tests over the full pipeline: random behaviours are
-//! scheduled, allocated under every strategy, and the synthesised netlist
-//! is checked for functional equivalence; core data-structure invariants
-//! (left-edge packing, partition math, schedule legality) are exercised
-//! on random inputs.
-
-use proptest::prelude::*;
+//! Property-style tests over the full pipeline, driven by the in-tree
+//! deterministic PRNG (the workspace builds without network access, so
+//! `proptest` is not available): random behaviours are scheduled,
+//! allocated under every strategy, and the synthesised netlist is checked
+//! for functional equivalence; core data-structure invariants (left-edge
+//! packing, partition math, schedule legality) are exercised on random
+//! inputs. Every case is deterministic per seed, so failures reproduce
+//! exactly.
 
 use multiclock::alloc::leftedge::{left_edge, max_overlap, Interval};
 use multiclock::alloc::{allocate, AllocOptions, Strategy};
 use multiclock::clocks::ClockScheme;
 use multiclock::dfg::random::{random_scheduled_dfg, RandomDfgConfig};
 use multiclock::dfg::{scheduler, Op};
+use multiclock::prng::Xoshiro256;
 use multiclock::rtl::PowerMode;
 use multiclock::sim::verify_equivalence;
 use multiclock::tech::MemKind;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Cases per property — the same order of magnitude proptest ran with.
+const CASES: u64 = 24;
 
-    /// Any random behaviour, integrated-allocated under 1–3 clocks,
-    /// computes exactly what the behaviour computes.
-    #[test]
-    fn random_dfg_integrated_allocation_is_equivalent(
-        seed in 0u64..500,
-        nodes in 4usize..18,
-        n in 1u32..=3,
-    ) {
+/// Any random behaviour, integrated-allocated under 1–3 clocks, computes
+/// exactly what the behaviour computes.
+#[test]
+fn random_dfg_integrated_allocation_is_equivalent() {
+    let mut rng = Xoshiro256::seed_from_u64(0xA110C);
+    for _ in 0..CASES {
+        let seed = rng.below(500);
+        let nodes = rng.range_inclusive(4, 17) as usize;
+        let n = rng.range_inclusive(1, 3) as u32;
         let cfg = RandomDfgConfig::new(nodes).with_seed(seed).with_inputs(3);
         let (dfg, schedule) = random_scheduled_dfg(&cfg);
         let opts = AllocOptions::new(Strategy::Integrated, ClockScheme::new(n).expect("valid"));
         let dp = allocate(&dfg, &schedule, &opts).expect("allocates");
         verify_equivalence(&dfg, &dp.netlist, PowerMode::multiclock(), 6, seed ^ 0xABCD)
-            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            .unwrap_or_else(|e| panic!("seed {seed} nodes {nodes} n {n}: {e}"));
     }
+}
 
-    /// The split allocator is equally correct.
-    #[test]
-    fn random_dfg_split_allocation_is_equivalent(
-        seed in 0u64..500,
-        nodes in 4usize..14,
-    ) {
+/// The split allocator is equally correct.
+#[test]
+fn random_dfg_split_allocation_is_equivalent() {
+    let mut rng = Xoshiro256::seed_from_u64(0x5917);
+    for _ in 0..CASES {
+        let seed = rng.below(500);
+        let nodes = rng.range_inclusive(4, 13) as usize;
         let cfg = RandomDfgConfig::new(nodes).with_seed(seed).with_inputs(2);
         let (dfg, schedule) = random_scheduled_dfg(&cfg);
         let opts = AllocOptions::new(Strategy::Split, ClockScheme::new(2).expect("valid"));
         let dp = allocate(&dfg, &schedule, &opts).expect("allocates");
         verify_equivalence(&dfg, &dp.netlist, PowerMode::multiclock(), 6, seed ^ 0x1234)
-            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            .unwrap_or_else(|e| panic!("seed {seed} nodes {nodes}: {e}"));
     }
+}
 
-    /// The conventional allocator with DFFs under gated clocks is correct.
-    #[test]
-    fn random_dfg_conventional_allocation_is_equivalent(
-        seed in 0u64..500,
-        nodes in 4usize..16,
-    ) {
+/// The conventional allocator with DFFs under gated clocks is correct.
+#[test]
+fn random_dfg_conventional_allocation_is_equivalent() {
+    let mut rng = Xoshiro256::seed_from_u64(0xC0F4);
+    for _ in 0..CASES {
+        let seed = rng.below(500);
+        let nodes = rng.range_inclusive(4, 15) as usize;
         let cfg = RandomDfgConfig::new(nodes).with_seed(seed);
         let (dfg, schedule) = random_scheduled_dfg(&cfg);
         let opts = AllocOptions::new(Strategy::Conventional, ClockScheme::single());
         let dp = allocate(&dfg, &schedule, &opts).expect("allocates");
         verify_equivalence(&dfg, &dp.netlist, PowerMode::gated(), 6, seed ^ 0x77)
-            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            .unwrap_or_else(|e| panic!("seed {seed} nodes {nodes}: {e}"));
     }
+}
 
-    /// Left-edge packing: covers every interval exactly once, never packs
-    /// conflicting intervals together, and is optimal (equals the max
-    /// overlap) for edge-triggered registers.
-    #[test]
-    fn left_edge_invariants(raw in prop::collection::vec((0u32..20, 0u32..8), 1..24)) {
-        let intervals: Vec<Interval> = raw
-            .iter()
-            .enumerate()
-            .map(|(id, &(w, span))| Interval { id, write_step: w, death: w + span })
+/// Left-edge packing: covers every interval exactly once, never packs
+/// conflicting intervals together, and is optimal (equals the max
+/// overlap) for edge-triggered registers.
+#[test]
+fn left_edge_invariants() {
+    let mut rng = Xoshiro256::seed_from_u64(0x1EF7);
+    for case in 0..CASES {
+        let count = rng.range_inclusive(1, 23) as usize;
+        let intervals: Vec<Interval> = (0..count)
+            .map(|id| {
+                let w = rng.below(20) as u32;
+                let span = rng.below(8) as u32;
+                Interval {
+                    id,
+                    write_step: w,
+                    death: w + span,
+                }
+            })
             .collect();
         for kind in [MemKind::Latch, MemKind::Dff] {
             let groups = left_edge(&intervals, kind);
             let mut seen: Vec<usize> = groups.iter().flatten().copied().collect();
             seen.sort_unstable();
-            prop_assert_eq!(seen, (0..intervals.len()).collect::<Vec<_>>());
+            assert_eq!(
+                seen,
+                (0..intervals.len()).collect::<Vec<_>>(),
+                "case {case}"
+            );
             for g in &groups {
                 for (i, &x) in g.iter().enumerate() {
                     for &y in &g[i + 1..] {
-                        prop_assert!(intervals[x].compatible(&intervals[y], kind));
+                        assert!(
+                            intervals[x].compatible(&intervals[y], kind),
+                            "case {case}: {x} vs {y} under {kind:?}"
+                        );
                     }
                 }
             }
@@ -89,19 +113,24 @@ proptest! {
         // exactly its clique number (`max_overlap` pads zero-length
         // intervals so overlaps coincide with DFF conflicts).
         let groups = left_edge(&intervals, MemKind::Dff);
-        prop_assert_eq!(groups.len(), max_overlap(&intervals).max(1));
+        assert_eq!(groups.len(), max_overlap(&intervals).max(1), "case {case}");
     }
+}
 
-    /// Printing any random behaviour as DSL text and reparsing it yields
-    /// an evaluation-equivalent behaviour.
-    #[test]
-    fn dsl_round_trip_preserves_semantics(seed in 0u64..400, nodes in 2usize..20) {
-        use multiclock::dfg::parse::{parse_dfg, to_dsl};
+/// Printing any random behaviour as DSL text and reparsing it yields an
+/// evaluation-equivalent behaviour.
+#[test]
+fn dsl_round_trip_preserves_semantics() {
+    use multiclock::dfg::parse::{parse_dfg, to_dsl};
+    let mut rng = Xoshiro256::seed_from_u64(0xD51);
+    for _ in 0..CASES {
+        let seed = rng.below(400);
+        let nodes = rng.range_inclusive(2, 19) as usize;
         let cfg = RandomDfgConfig::new(nodes).with_seed(seed).with_inputs(3);
         let dfg = multiclock::dfg::random::random_dfg(&cfg);
         let text = to_dsl(&dfg);
-        let reparsed = parse_dfg(dfg.name(), &text)
-            .map_err(|e| TestCaseError::fail(format!("{e}\n{text}")))?;
+        let reparsed =
+            parse_dfg(dfg.name(), &text).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
         let mut inputs = std::collections::BTreeMap::new();
         for (i, v) in dfg.inputs().enumerate() {
             inputs.insert(dfg.var(v).name(), (seed.wrapping_mul(7) + i as u64) & 0xF);
@@ -110,24 +139,34 @@ proptest! {
         let b = reparsed.evaluate_named(&inputs).expect("evaluates");
         for v in dfg.outputs() {
             let name = dfg.var(v).name();
-            prop_assert_eq!(a[name], b[name], "output {}", name);
+            assert_eq!(a[name], b[name], "seed {seed}: output {name}");
         }
     }
+}
 
-    /// The partition/local-step maps are a bijection for every scheme.
-    #[test]
-    fn clock_scheme_bijection(n in 1u32..=16, t in 1u32..1000) {
+/// The partition/local-step maps are a bijection for every scheme.
+#[test]
+fn clock_scheme_bijection() {
+    let mut rng = Xoshiro256::seed_from_u64(0xB17);
+    for _ in 0..10 * CASES {
+        let n = rng.range_inclusive(1, 16) as u32;
+        let t = rng.range_inclusive(1, 999) as u32;
         let scheme = ClockScheme::new(n).expect("valid");
         let k = scheme.phase_of_step(t);
         let l = scheme.local_step(t);
-        prop_assert_eq!(scheme.global_step(l, k), t);
-        prop_assert!(k.get() >= 1 && k.get() <= n);
+        assert_eq!(scheme.global_step(l, k), t, "n {n} t {t}");
+        assert!(k.get() >= 1 && k.get() <= n);
     }
+}
 
-    /// ASAP schedules are valid and no longer than list schedules, which
-    /// are valid under their resource limits.
-    #[test]
-    fn scheduler_relationships(seed in 0u64..300, nodes in 3usize..20) {
+/// ASAP schedules are valid and no longer than list schedules, which are
+/// valid under their resource limits.
+#[test]
+fn scheduler_relationships() {
+    let mut rng = Xoshiro256::seed_from_u64(0x5C4ED);
+    for _ in 0..CASES {
+        let seed = rng.below(300);
+        let nodes = rng.range_inclusive(3, 19) as usize;
         let cfg = RandomDfgConfig::new(nodes).with_seed(seed);
         let dfg = multiclock::dfg::random::random_dfg(&cfg);
         let asap = scheduler::asap(&dfg);
@@ -135,7 +174,7 @@ proptest! {
             .with_limit(Op::Mul, 1)
             .with_limit(Op::Div, 1);
         let listed = scheduler::list_schedule(&dfg, &rc).expect("schedules");
-        prop_assert!(listed.length() >= asap.length());
+        assert!(listed.length() >= asap.length(), "seed {seed}");
         // Resource limits hold at every step.
         for t in 1..=listed.length() {
             let muls = listed
@@ -143,21 +182,27 @@ proptest! {
                 .into_iter()
                 .filter(|&nd| dfg.node(nd).op() == Op::Mul)
                 .count();
-            prop_assert!(muls <= 1);
+            assert!(muls <= 1, "seed {seed} step {t}: {muls} muls");
         }
     }
+}
 
-    /// Force-directed schedules at any feasible latency are valid, and the
-    /// expensive-op concurrency stays within one unit of ASAP's (FDS is a
-    /// balancing heuristic, not an optimum: cascaded frame restrictions can
-    /// occasionally co-locate two expensive operations that ASAP spreads).
-    #[test]
-    fn force_directed_validity(seed in 0u64..200, nodes in 3usize..14, slack in 0u32..4) {
+/// Force-directed schedules at any feasible latency are valid, and the
+/// expensive-op concurrency stays within one unit of ASAP's (FDS is a
+/// balancing heuristic, not an optimum: cascaded frame restrictions can
+/// occasionally co-locate two expensive operations that ASAP spreads).
+#[test]
+fn force_directed_validity() {
+    let mut rng = Xoshiro256::seed_from_u64(0xF0DC);
+    for _ in 0..CASES {
+        let seed = rng.below(200);
+        let nodes = rng.range_inclusive(3, 13) as usize;
+        let slack = rng.below(4) as u32;
         let cfg = RandomDfgConfig::new(nodes).with_seed(seed);
         let dfg = multiclock::dfg::random::random_dfg(&cfg);
         let cp = scheduler::critical_path(&dfg);
         let sched = scheduler::force_directed(&dfg, cp + slack).expect("schedules");
-        prop_assert_eq!(sched.length(), cp + slack);
+        assert_eq!(sched.length(), cp + slack, "seed {seed}");
         let asap = scheduler::asap(&dfg);
         let max_exp = |s: &multiclock::dfg::Schedule| {
             (1..=s.length())
@@ -170,6 +215,9 @@ proptest! {
                 .max()
                 .unwrap_or(0)
         };
-        prop_assert!(max_exp(&sched) <= max_exp(&asap) + 1);
+        assert!(
+            max_exp(&sched) <= max_exp(&asap) + 1,
+            "seed {seed} slack {slack}"
+        );
     }
 }
