@@ -1,0 +1,152 @@
+//! Simulator backend benchmark: compiled kernel vs reference interpreter
+//! on the paper-table workloads, emitting the repo's bench trajectory
+//! (`BENCH_sim.json`).
+//!
+//! Before timing anything, every workload is run through *both* backends
+//! with tracing and profiling enabled and the results asserted
+//! bit-identical — a divergence aborts the bench (and the CI smoke stage
+//! built on it) before a misleading number is ever written.
+//!
+//! Run with `cargo bench -p mc-bench --bench sim_kernel`. The JSON lands
+//! at `$MC_BENCH_OUT` (default `BENCH_sim.json` in the working
+//! directory); `MC_BENCH_ITERS` adjusts the iteration count.
+
+use std::hint::black_box;
+use std::io::Write as _;
+
+use mc_alloc::{allocate, AllocOptions, Strategy};
+use mc_bench::harness::{bench_steps, json_string};
+use mc_clocks::ClockScheme;
+use mc_dfg::benchmarks::{self, Benchmark};
+use mc_rtl::{Netlist, PowerMode};
+use mc_sim::{simulate, SimBackend, SimConfig};
+
+/// Computations per timed iteration — enough steps that per-step cost
+/// dominates the one-time lowering.
+const COMPUTATIONS: usize = 400;
+const SEED: u64 = 42;
+
+struct Workload {
+    name: &'static str,
+    netlist: Netlist,
+    mode: PowerMode,
+}
+
+fn workload(
+    name: &'static str,
+    bm: &Benchmark,
+    strategy: Strategy,
+    n: u32,
+    mode: PowerMode,
+) -> Workload {
+    let opts = AllocOptions::new(strategy, ClockScheme::new(n).expect("valid clock count"));
+    let dp = allocate(&bm.dfg, &bm.schedule, &opts).expect("allocation succeeds");
+    Workload {
+        name,
+        netlist: dp.netlist,
+        mode,
+    }
+}
+
+/// The paper-table design points: the multi-clock style on the four table
+/// benchmarks, plus one conventional gated-clock reference point.
+fn workloads() -> Vec<Workload> {
+    vec![
+        workload(
+            "facet_integrated_n3_multiclock",
+            &benchmarks::facet(),
+            Strategy::Integrated,
+            3,
+            PowerMode::multiclock(),
+        ),
+        workload(
+            "hal_integrated_n3_multiclock",
+            &benchmarks::hal(),
+            Strategy::Integrated,
+            3,
+            PowerMode::multiclock(),
+        ),
+        workload(
+            "biquad_integrated_n2_multiclock",
+            &benchmarks::biquad(),
+            Strategy::Integrated,
+            2,
+            PowerMode::multiclock(),
+        ),
+        workload(
+            "bandpass_split_n3_multiclock",
+            &benchmarks::bandpass(),
+            Strategy::Split,
+            3,
+            PowerMode::multiclock(),
+        ),
+        workload(
+            "hal_conventional_n1_gated",
+            &benchmarks::hal(),
+            Strategy::Conventional,
+            1,
+            PowerMode::gated(),
+        ),
+    ]
+}
+
+/// Asserts both backends produce bit-identical results on `w` (activity,
+/// outputs, trace, per-step profile) before any timing happens.
+fn assert_backends_identical(w: &Workload) {
+    let base = SimConfig::new(w.mode, 16, SEED).with_trace().with_profile();
+    let compiled = simulate(&w.netlist, &base.clone().with_backend(SimBackend::Compiled));
+    let interpreted = simulate(&w.netlist, &base.with_backend(SimBackend::Interpreter));
+    assert_eq!(
+        compiled.activity, interpreted.activity,
+        "BACKEND DIVERGENCE (activity) on {}",
+        w.name
+    );
+    assert_eq!(
+        compiled.outputs, interpreted.outputs,
+        "BACKEND DIVERGENCE (outputs) on {}",
+        w.name
+    );
+    assert_eq!(
+        compiled.trace, interpreted.trace,
+        "BACKEND DIVERGENCE (trace) on {}",
+        w.name
+    );
+}
+
+fn main() {
+    let mut entries = Vec::new();
+    for w in workloads() {
+        assert_backends_identical(&w);
+        let steps = COMPUTATIONS as u64 * u64::from(w.netlist.controller().len());
+        let cfg = SimConfig::new(w.mode, COMPUTATIONS, SEED);
+        let interp = bench_steps(&format!("sim/{}/interpreter", w.name), steps, || {
+            let r = simulate(
+                black_box(&w.netlist),
+                &cfg.clone().with_backend(SimBackend::Interpreter),
+            );
+            black_box(r.activity.steps);
+        });
+        let kernel = bench_steps(&format!("sim/{}/compiled", w.name), steps, || {
+            let r = simulate(
+                black_box(&w.netlist),
+                &cfg.clone().with_backend(SimBackend::Compiled),
+            );
+            black_box(r.activity.steps);
+        });
+        let speedup = interp.mean.as_secs_f64() / kernel.mean.as_secs_f64();
+        println!("{:<40} speedup {speedup:.2}x", format!("sim/{}", w.name));
+        entries.push(format!(
+            "{{\"benchmark\":{},\"steps\":{steps},\"interpreter\":{},\"compiled\":{},\"speedup\":{speedup:.2}}}",
+            json_string(w.name),
+            interp.to_json(),
+            kernel.to_json()
+        ));
+    }
+
+    let out_path = std::env::var("MC_BENCH_OUT").unwrap_or_else(|_| "BENCH_sim.json".to_string());
+    let json = format!("[\n  {}\n]\n", entries.join(",\n  "));
+    let mut file = std::fs::File::create(&out_path)
+        .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
+    file.write_all(json.as_bytes()).expect("write bench json");
+    println!("wrote {out_path}");
+}

@@ -1,7 +1,8 @@
 //! A minimal, dependency-free micro-benchmark harness (the workspace
 //! builds hermetically, so Criterion is not available). Each benchmark is
 //! timed over a fixed warm-up plus measured iterations; the report shows
-//! min / mean / max wall-clock per iteration.
+//! min / mean / max wall-clock per iteration, and results can be emitted
+//! as machine-readable JSON for the bench trajectory (`BENCH_sim.json`).
 //!
 //! Iteration count defaults to 10 and can be overridden with the
 //! `MC_BENCH_ITERS` environment variable (e.g. `MC_BENCH_ITERS=3` for a
@@ -22,17 +23,74 @@ pub struct BenchResult {
     pub mean: Duration,
     /// Slowest iteration.
     pub max: Duration,
+    /// Work units processed per iteration (simulation control steps for
+    /// the simulator benches); `None` for benches without a natural unit.
+    pub steps: Option<u64>,
 }
 
 impl BenchResult {
     /// Renders the criterion-style one-line summary.
     #[must_use]
     pub fn render(&self) -> String {
-        format!(
+        let mut line = format!(
             "{:<40} [{:>10.3?} {:>10.3?} {:>10.3?}]  ({} iters)",
             self.name, self.min, self.mean, self.max, self.iters
-        )
+        );
+        if let Some(sps) = self.steps_per_sec() {
+            line.push_str(&format!("  {sps:.3e} steps/s"));
+        }
+        line
     }
+
+    /// Throughput from the mean iteration time, when a step count is
+    /// attached.
+    #[must_use]
+    pub fn steps_per_sec(&self) -> Option<f64> {
+        let steps = self.steps?;
+        let secs = self.mean.as_secs_f64();
+        (secs > 0.0).then(|| steps as f64 / secs)
+    }
+
+    /// Serializes the result as one JSON object: name, iters, min/mean/max
+    /// nanoseconds, and (when present) steps and steps/sec.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut json = format!(
+            "{{\"name\":{},\"iters\":{},\"min_ns\":{},\"mean_ns\":{},\"max_ns\":{}",
+            json_string(&self.name),
+            self.iters,
+            self.min.as_nanos(),
+            self.mean.as_nanos(),
+            self.max.as_nanos()
+        );
+        if let Some(steps) = self.steps {
+            json.push_str(&format!(",\"steps\":{steps}"));
+        }
+        if let Some(sps) = self.steps_per_sec() {
+            json.push_str(&format!(",\"steps_per_sec\":{sps:.1}"));
+        }
+        json.push('}');
+        json
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// The measured iteration count: `MC_BENCH_ITERS` or 10.
@@ -47,7 +105,17 @@ pub fn iterations() -> usize {
 
 /// Times `f` over [`iterations`] measured runs (after one warm-up run),
 /// prints the summary line, and returns the timings.
-pub fn bench<F: FnMut()>(name: &str, mut f: F) -> BenchResult {
+pub fn bench<F: FnMut()>(name: &str, f: F) -> BenchResult {
+    bench_with_steps(name, None, f)
+}
+
+/// Like [`bench`], attaching the number of work units one iteration
+/// processes so the report carries a throughput (steps/sec).
+pub fn bench_steps<F: FnMut()>(name: &str, steps: u64, f: F) -> BenchResult {
+    bench_with_steps(name, Some(steps), f)
+}
+
+fn bench_with_steps<F: FnMut()>(name: &str, steps: Option<u64>, mut f: F) -> BenchResult {
     f(); // warm-up: page in code and data, fill caches
     let iters = iterations();
     let mut times = Vec::with_capacity(iters);
@@ -65,6 +133,7 @@ pub fn bench<F: FnMut()>(name: &str, mut f: F) -> BenchResult {
         min,
         mean,
         max,
+        steps,
     };
     println!("{}", result.render());
     result
@@ -81,5 +150,40 @@ mod tests {
         assert_eq!(runs, r.iters + 1, "warm-up plus measured");
         assert!(r.min <= r.mean && r.mean <= r.max);
         assert!(r.render().contains("noop"));
+        assert!(r.steps.is_none());
+        assert!(r.steps_per_sec().is_none());
+    }
+
+    #[test]
+    fn json_carries_timings_and_throughput() {
+        let r = BenchResult {
+            name: "sim".into(),
+            iters: 2,
+            min: Duration::from_nanos(100),
+            mean: Duration::from_nanos(200),
+            max: Duration::from_nanos(300),
+            steps: Some(1000),
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"name\":\"sim\""));
+        assert!(json.contains("\"mean_ns\":200"));
+        assert!(json.contains("\"steps\":1000"));
+        assert!(json.contains("\"steps_per_sec\":"));
+        let sps = r.steps_per_sec().unwrap();
+        assert!((sps - 5e9).abs() < 1e-3, "1000 steps / 200 ns = {sps}");
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn bench_steps_attaches_throughput() {
+        let r = bench_steps("unit", 50, || {
+            std::hint::black_box(0);
+        });
+        assert_eq!(r.steps, Some(50));
+        assert!(r.render().contains("steps/s"));
     }
 }

@@ -105,10 +105,17 @@ impl Table {
             for m in &row.metrics {
                 let _ = writeln!(
                     s,
-                    "    {:<10} {:>9.1?}{}",
+                    "    {:<10} {:>9.1?}{}{}",
                     m.pass,
                     m.duration,
-                    if m.cache_hit { "  (cached)" } else { "" }
+                    if m.cache_hit { "  (cached)" } else { "" },
+                    // Simulation dominates row wall time; its artifact
+                    // label carries the measured throughput.
+                    if m.pass == "simulate" {
+                        format!("  {}", m.artifact)
+                    } else {
+                        String::new()
+                    }
                 );
             }
         }

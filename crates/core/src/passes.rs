@@ -23,7 +23,7 @@ use mc_dfg::benchmarks::Benchmark;
 use mc_dfg::{Dfg, Schedule};
 use mc_power::{evaluate_design_with_activity, DesignReport};
 use mc_rtl::PowerMode;
-use mc_sim::{Activity, SimConfig};
+use mc_sim::{Activity, SimBackend, SimConfig};
 
 use crate::flow::{Artifact, FlowContext, Pass};
 use crate::style::DesignStyle;
@@ -267,14 +267,20 @@ pub struct SimTrace {
     pub mode: PowerMode,
     /// Computations simulated.
     pub computations: usize,
+    /// The execution backend that produced the trace.
+    pub backend: SimBackend,
+    /// Simulation throughput in control steps per second (compile time
+    /// included for the compiled backend).
+    pub steps_per_sec: f64,
 }
 
 impl Artifact for SimTrace {
     fn label(&self) -> String {
         format!(
-            "SimTrace{{{} steps, {} net toggles}}",
+            "SimTrace{{{} steps, {} net toggles, {:.2e} steps/s}}",
             self.activity.steps,
-            self.activity.total_net_toggles()
+            self.activity.total_net_toggles(),
+            self.steps_per_sec
         )
     }
 
@@ -305,11 +311,30 @@ impl Pass for SimulatePass {
         ctx: &mut FlowContext,
     ) -> Result<Self::Output, SynthesisError> {
         let cfg = SimConfig::new(self.mode, ctx.computations(), ctx.seed());
+        let started = std::time::Instant::now();
         let result = mc_sim::simulate(&datapath.netlist, &cfg);
+        let elapsed = started.elapsed().as_secs_f64();
+        let steps_per_sec = if elapsed > 0.0 {
+            result.activity.steps as f64 / elapsed
+        } else {
+            f64::INFINITY
+        };
+        ctx.info(
+            self.name(),
+            format!(
+                "{} backend: {} steps in {:.2} ms ({:.3e} steps/s)",
+                cfg.backend,
+                result.activity.steps,
+                elapsed * 1e3,
+                steps_per_sec
+            ),
+        );
         Ok(SimTrace {
             activity: result.activity,
             mode: self.mode,
             computations: ctx.computations(),
+            backend: cfg.backend,
+            steps_per_sec,
         })
     }
 }

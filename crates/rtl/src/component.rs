@@ -17,6 +17,19 @@ impl CompId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// The id at dense index `i` — inverse of [`CompId::index`], for
+    /// index-addressed walks over [`Netlist::components`].
+    ///
+    /// [`Netlist::components`]: crate::Netlist::components
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` exceeds `u32::MAX`.
+    #[must_use]
+    pub fn from_index(i: usize) -> Self {
+        CompId(u32::try_from(i).expect("component index fits in u32"))
+    }
 }
 
 impl fmt::Display for CompId {

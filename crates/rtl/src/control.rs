@@ -171,6 +171,15 @@ impl Controller {
         &mut self.words[(t - 1) as usize]
     }
 
+    /// All control words as a dense slice: `words()[i]` is the word of
+    /// 1-based step `i + 1`. The index-addressed companion of
+    /// [`Controller::word`], used by compiled simulation to walk the
+    /// period without per-step bounds arithmetic.
+    #[must_use]
+    pub fn words(&self) -> &[ControlWord] {
+        &self.words
+    }
+
     /// Iterates `(step, word)` in step order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &ControlWord)> {
         self.words

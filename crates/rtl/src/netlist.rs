@@ -163,6 +163,16 @@ impl Netlist {
         (0..self.components.len() as u32).map(CompId)
     }
 
+    /// All components as a dense slice, indexed by [`CompId::index`].
+    ///
+    /// This is the index-addressed access path used by compiled execution
+    /// (e.g. the `mc-sim` kernel lowering), which walks components by
+    /// position instead of chasing ids through [`Netlist::component`].
+    #[must_use]
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
     /// Iterates over all net ids.
     pub fn net_ids(&self) -> impl Iterator<Item = NetId> {
         (0..self.net_names.len() as u32).map(NetId)

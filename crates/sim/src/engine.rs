@@ -19,8 +19,15 @@
 //! Latches and DFFs behave identically *functionally* — allocation
 //! guarantees no READ/WRITE overlap for latches — and differ only in the
 //! capacitances the power model attaches to these counters.
+//!
+//! Two execution backends implement these semantics (see [`SimBackend`]):
+//! the original interpreter in this module, kept as the readable reference
+//! implementation, and the compiled kernel in
+//! [`compiled`](crate::compiled), which lowers the netlist once into a
+//! dense index-addressed program and is the default everywhere.
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 use mc_prng::Xoshiro256;
 
@@ -28,6 +35,56 @@ use mc_dfg::Op;
 use mc_rtl::{CompId, ComponentKind, ControlPolicy, Netlist, PowerMode};
 
 use crate::activity::Activity;
+use crate::compiled::CompiledNetlist;
+
+/// The execution backend running a simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum SimBackend {
+    /// The dense index-addressed kernel ([`CompiledNetlist`]): a one-time
+    /// lowering pays for levelization, periodic control precomputation and
+    /// slot indexing, then every step runs allocation-free. Bit-identical
+    /// to the interpreter; the default.
+    #[default]
+    Compiled,
+    /// The original map-driven interpreter — the reference implementation
+    /// the compiled kernel is differentially tested against.
+    Interpreter,
+}
+
+impl fmt::Display for SimBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimBackend::Compiled => write!(f, "compiled"),
+            SimBackend::Interpreter => write!(f, "interpreter"),
+        }
+    }
+}
+
+/// Errors binding a simulation to its stimulus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// An explicit input vector lacks a value for a primary input of the
+    /// netlist.
+    MissingInput {
+        /// The primary input with no value.
+        input: String,
+        /// The 0-based computation whose vector is incomplete.
+        computation: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MissingInput { input, computation } => write!(
+                f,
+                "input vector for computation {computation} has no value for primary input `{input}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// Simulation configuration.
 #[derive(Debug, Clone)]
@@ -44,6 +101,13 @@ pub struct SimConfig {
     /// Record per-step aggregate activity counters (cheap; enables
     /// power-over-time profiles).
     pub collect_profile: bool,
+    /// Keep the applied input vectors in [`SimResult::inputs`]. Off by
+    /// default — table runs never read them back, and cloning every vector
+    /// into the result was pure overhead. Tracing implies keeping them
+    /// (a trace without its stimulus is not reproducible).
+    pub keep_inputs: bool,
+    /// The execution backend.
+    pub backend: SimBackend,
 }
 
 impl SimConfig {
@@ -57,6 +121,8 @@ impl SimConfig {
             seed,
             collect_trace: false,
             collect_profile: false,
+            keep_inputs: false,
+            backend: SimBackend::default(),
         }
     }
 
@@ -73,6 +139,20 @@ impl SimConfig {
         self.collect_profile = true;
         self
     }
+
+    /// Keeps the applied input vectors in the result.
+    #[must_use]
+    pub fn with_inputs_kept(mut self) -> Self {
+        self.keep_inputs = true;
+        self
+    }
+
+    /// Selects the execution backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: SimBackend) -> Self {
+        self.backend = backend;
+        self
+    }
 }
 
 /// The outcome of a simulation run.
@@ -81,6 +161,8 @@ pub struct SimResult {
     /// Switching activity counters.
     pub activity: Activity,
     /// The input vector applied to each computation (name → value).
+    /// Populated only when the configuration keeps inputs
+    /// ([`SimConfig::with_inputs_kept`]) or traces; empty otherwise.
     pub inputs: Vec<BTreeMap<String, u64>>,
     /// The output values observed at the end of each computation
     /// (name → value).
@@ -89,28 +171,139 @@ pub struct SimResult {
     pub trace: Option<Vec<Vec<u64>>>,
 }
 
+/// Input vectors bound to dense port positions: `flat[c * n + i]` is the
+/// (masked) value of the `i`-th primary input — in [`Netlist::inputs`]
+/// order — for computation `c`.
+pub(crate) struct BoundInputs {
+    pub flat: Vec<u64>,
+    pub computations: usize,
+}
+
+impl BoundInputs {
+    /// Binds string-keyed vectors to port positions, masking values to the
+    /// datapath width.
+    pub(crate) fn bind(
+        netlist: &Netlist,
+        vectors: &[BTreeMap<String, u64>],
+    ) -> Result<Self, SimError> {
+        let mask = width_mask(netlist.width());
+        let mut flat = Vec::with_capacity(vectors.len() * netlist.inputs().len());
+        for (c, vec) in vectors.iter().enumerate() {
+            for (name, _) in netlist.inputs() {
+                let v = vec.get(name).ok_or_else(|| SimError::MissingInput {
+                    input: name.clone(),
+                    computation: c,
+                })?;
+                flat.push(v & mask);
+            }
+        }
+        Ok(BoundInputs {
+            flat,
+            computations: vectors.len(),
+        })
+    }
+
+    /// Draws `computations` uniform random vectors, one value per primary
+    /// input, in [`Netlist::inputs`] order.
+    pub(crate) fn random(netlist: &Netlist, computations: usize, seed: u64) -> Self {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mask = width_mask(netlist.width());
+        let flat = (0..computations * netlist.inputs().len())
+            .map(|_| rng.next_u64() & mask)
+            .collect();
+        BoundInputs { flat, computations }
+    }
+
+    /// Reconstructs the name-keyed vectors (for results that keep inputs).
+    fn to_vectors(&self, netlist: &Netlist) -> Vec<BTreeMap<String, u64>> {
+        let n = netlist.inputs().len();
+        (0..self.computations)
+            .map(|c| {
+                netlist
+                    .inputs()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (name, _))| (name.clone(), self.flat[c * n + i]))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// The all-ones mask of the datapath width.
+pub(crate) fn width_mask(width: u8) -> u64 {
+    (1u64 << width) - 1
+}
+
+/// Runs bound inputs through the configured backend and fills the
+/// kept-inputs field when requested.
+fn run_bound(netlist: &Netlist, bound: &BoundInputs, config: &SimConfig) -> SimResult {
+    let mut result = match config.backend {
+        SimBackend::Interpreter => Engine::new(netlist, config.mode).run(
+            bound,
+            config.collect_trace,
+            config.collect_profile,
+        ),
+        SimBackend::Compiled => CompiledNetlist::compile(netlist, config.mode).run(
+            bound,
+            config.collect_trace,
+            config.collect_profile,
+        ),
+    };
+    if config.keep_inputs || config.collect_trace {
+        result.inputs = bound.to_vectors(netlist);
+    }
+    result
+}
+
 /// Simulates `netlist` with random input vectors.
 #[must_use]
 pub fn simulate(netlist: &Netlist, config: &SimConfig) -> SimResult {
-    let mut rng = Xoshiro256::seed_from_u64(config.seed);
-    let mask = (1u64 << netlist.width()) - 1;
-    let vectors: Vec<BTreeMap<String, u64>> = (0..config.computations)
-        .map(|_| {
-            netlist
-                .inputs()
-                .iter()
-                .map(|(name, _)| (name.clone(), rng.next_u64() & mask))
-                .collect()
-        })
-        .collect();
-    Engine::new(netlist, config.mode).run(&vectors, config.collect_trace, config.collect_profile)
+    let bound = BoundInputs::random(netlist, config.computations, config.seed);
+    run_bound(netlist, &bound, config)
+}
+
+/// Simulates `netlist` over explicit input vectors under full
+/// configuration control (backend, tracing, profiling, kept inputs).
+/// `config.computations` and `config.seed` are ignored — the vectors *are*
+/// the stimulus.
+///
+/// # Errors
+///
+/// Returns [`SimError::MissingInput`] if a vector lacks a primary input.
+pub fn simulate_with_config(
+    netlist: &Netlist,
+    vectors: &[BTreeMap<String, u64>],
+    config: &SimConfig,
+) -> Result<SimResult, SimError> {
+    let bound = BoundInputs::bind(netlist, vectors)?;
+    Ok(run_bound(netlist, &bound, config))
+}
+
+/// Simulates `netlist` over explicit input vectors, one per computation.
+/// Fallible twin of [`simulate_with_inputs`].
+///
+/// # Errors
+///
+/// Returns [`SimError::MissingInput`] if a vector lacks a primary input.
+pub fn try_simulate_with_inputs(
+    netlist: &Netlist,
+    mode: PowerMode,
+    vectors: &[BTreeMap<String, u64>],
+    collect_trace: bool,
+) -> Result<SimResult, SimError> {
+    let mut config = SimConfig::new(mode, vectors.len(), 0);
+    config.collect_trace = collect_trace;
+    simulate_with_config(netlist, vectors, &config)
 }
 
 /// Simulates `netlist` over explicit input vectors, one per computation.
 ///
 /// # Panics
 ///
-/// Panics if a vector is missing a primary input of the netlist.
+/// Panics if a vector is missing a primary input of the netlist (the
+/// single [`SimError::MissingInput`] failure path; use
+/// [`try_simulate_with_inputs`] to handle it as a value).
 #[must_use]
 pub fn simulate_with_inputs(
     netlist: &Netlist,
@@ -118,15 +311,16 @@ pub fn simulate_with_inputs(
     vectors: &[BTreeMap<String, u64>],
     collect_trace: bool,
 ) -> SimResult {
-    Engine::new(netlist, mode).run(vectors, collect_trace, false)
+    try_simulate_with_inputs(netlist, mode, vectors, collect_trace)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Per-ALU bookkeeping for isolation and activity counting.
 #[derive(Debug, Clone, Copy, Default)]
-struct AluState {
-    prev_a: u64,
-    prev_b: u64,
-    prev_fn: usize,
+pub(crate) struct AluState {
+    pub prev_a: u64,
+    pub prev_b: u64,
+    pub prev_fn: usize,
 }
 
 /// Effective control values of one step.
@@ -159,7 +353,7 @@ struct Engine<'a> {
 impl<'a> Engine<'a> {
     fn new(netlist: &'a Netlist, mode: PowerMode) -> Self {
         let nc = netlist.num_components();
-        let mask = (1u64 << netlist.width()) - 1;
+        let mask = width_mask(netlist.width());
         let mut nets = vec![0; netlist.num_nets()];
         // Constant drivers hold their value from power-up.
         for c in netlist.component_ids() {
@@ -183,7 +377,7 @@ impl<'a> Engine<'a> {
     }
 
     /// Index of `op` within an ALU's function set.
-    fn fn_index(fs: mc_dfg::FunctionSet, op: Op) -> usize {
+    pub(crate) fn fn_index(fs: mc_dfg::FunctionSet, op: Op) -> usize {
         fs.iter()
             .position(|o| o == op)
             .expect("op validated in set")
@@ -198,14 +392,11 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn run(
-        mut self,
-        vectors: &[BTreeMap<String, u64>],
-        collect_trace: bool,
-        collect_profile: bool,
-    ) -> SimResult {
+    fn run(mut self, bound: &BoundInputs, collect_trace: bool, collect_profile: bool) -> SimResult {
         let nl = self.netlist;
-        let mut outputs = Vec::with_capacity(vectors.len());
+        let ni = nl.inputs().len();
+        let computations = bound.computations;
+        let mut outputs = Vec::with_capacity(computations);
         let mut trace = if collect_trace {
             Some(Vec::new())
         } else {
@@ -221,13 +412,9 @@ impl<'a> Engine<'a> {
         // toggles (steady-state behaviour is what we measure). The
         // boundary step's controls are applied silently so the mems that
         // load at the boundary capture the port values.
-        if let Some(first) = vectors.first() {
-            for (name, comp) in nl.inputs() {
-                let v = *first
-                    .get(name)
-                    .unwrap_or_else(|| panic!("no value for input `{name}`"))
-                    & self.mask;
-                self.nets[nl.component(*comp).output().index()] = v;
+        if computations > 0 {
+            for (i, (_, comp)) in nl.inputs().iter().enumerate() {
+                self.nets[nl.component(*comp).output().index()] = bound.flat[i];
             }
             let boundary = self.period;
             self.apply_controls_silent(boundary);
@@ -245,17 +432,15 @@ impl<'a> Engine<'a> {
             }
         }
 
-        for (c, _vec) in vectors.iter().enumerate() {
+        for c in 0..computations {
             for t in 1..=self.period {
                 // 1. Drive ports: during the boundary step, present the
                 // *next* computation's inputs so the boundary edge loads
                 // them.
-                if t == self.period {
-                    if let Some(next) = vectors.get(c + 1) {
-                        for (name, comp) in nl.inputs() {
-                            let v = next[name] & self.mask;
-                            self.set_net(nl.component(*comp).output(), v);
-                        }
+                if t == self.period && c + 1 < computations {
+                    let base = (c + 1) * ni;
+                    for (i, (_, comp)) in nl.inputs().iter().enumerate() {
+                        self.set_net(nl.component(*comp).output(), bound.flat[base + i]);
                     }
                 }
                 // 2. Effective controls.
@@ -319,7 +504,7 @@ impl<'a> Engine<'a> {
         }
         SimResult {
             activity: self.activity,
-            inputs: vectors.to_vec(),
+            inputs: Vec::new(),
             outputs,
             trace,
         }
@@ -505,7 +690,7 @@ impl ProfileSnapshot {
 }
 
 /// Control bits needed to encode `k` alternatives.
-fn bits_for(k: usize) -> u32 {
+pub(crate) fn bits_for(k: usize) -> u32 {
     if k <= 1 {
         0
     } else {

@@ -36,13 +36,18 @@
 #![warn(rust_2018_idioms)]
 
 mod activity;
+mod compiled;
 mod engine;
 mod equivalence;
 pub mod stimulus;
 pub mod vcd;
 
 pub use activity::{Activity, StepActivity};
-pub use engine::{simulate, simulate_with_inputs, SimConfig, SimResult};
+pub use compiled::CompiledNetlist;
+pub use engine::{
+    simulate, simulate_with_config, simulate_with_inputs, try_simulate_with_inputs, SimBackend,
+    SimConfig, SimError, SimResult,
+};
 pub use equivalence::{verify_equivalence, Mismatch};
 pub use stimulus::Stimulus;
 
@@ -232,10 +237,25 @@ mod tests {
         let vec: std::collections::BTreeMap<String, u64> =
             nl.inputs().iter().map(|(n, _)| (n.clone(), 1u64)).collect();
         let a = simulate_with_inputs(&nl, PowerMode::gated(), std::slice::from_ref(&vec), false);
-        let b = simulate_with_inputs(&nl, PowerMode::gated(), &[vec], false);
+        let b = simulate_with_inputs(&nl, PowerMode::gated(), std::slice::from_ref(&vec), false);
         assert_eq!(a.outputs, b.outputs);
-        assert_eq!(a.inputs, b.inputs);
-        assert_eq!(a.inputs.len(), 1);
+        // Input vectors are no longer cloned into the result by default…
+        assert!(a.inputs.is_empty());
+        // …but an opt-in keeps them, round-tripped through the binding.
+        let cfg = SimConfig::new(PowerMode::gated(), 1, 0).with_inputs_kept();
+        let kept = simulate_with_config(&nl, std::slice::from_ref(&vec), &cfg).unwrap();
+        assert_eq!(kept.inputs, vec![vec]);
+    }
+
+    #[test]
+    fn missing_input_is_a_typed_error() {
+        let (_, nl) = datapath(1, Strategy::Conventional);
+        let empty = std::collections::BTreeMap::new();
+        let err = try_simulate_with_inputs(&nl, PowerMode::gated(), &[empty], false)
+            .expect_err("vector lacks every input");
+        let SimError::MissingInput { computation, .. } = &err;
+        assert_eq!(*computation, 0);
+        assert!(err.to_string().contains("no value for primary input"));
     }
 
     #[test]
@@ -257,12 +277,12 @@ mod tests {
         let (_, nl) = datapath(2, Strategy::Integrated);
         let vec: std::collections::BTreeMap<String, u64> =
             nl.inputs().iter().map(|(n, _)| (n.clone(), 9u64)).collect();
-        let res = simulate_with_inputs(&nl, PowerMode::multiclock(), &vec![vec; 12], false);
+        let res = simulate_with_inputs(&nl, PowerMode::multiclock(), &vec![vec.clone(); 12], false);
         for out in &res.outputs[1..] {
             assert_eq!(*out, res.outputs[0]);
         }
         let long = {
-            let vecs = vec![res.inputs[0].clone(); 24];
+            let vecs = vec![vec; 24];
             simulate_with_inputs(&nl, PowerMode::multiclock(), &vecs, false)
         };
         // Steady-state rate: doubling the run roughly doubles the toggles

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Simulator benchmark trajectory: runs the compiled-kernel vs interpreter
+# microbenchmarks and writes BENCH_sim.json at the repo root.
+#
+# The bench itself asserts the two backends are bit-identical on every
+# workload before timing, so a divergence fails this script (and the CI
+# smoke stage that invokes it with MC_BENCH_ITERS=2).
+#
+# Usage:
+#   scripts/bench.sh                 # full run (MC_BENCH_ITERS or 10 iters)
+#   MC_BENCH_ITERS=2 scripts/bench.sh  # quick smoke run
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export MC_BENCH_OUT="${MC_BENCH_OUT:-$(pwd)/BENCH_sim.json}"
+
+echo "==> cargo bench -p mc-bench --bench sim_kernel (out: $MC_BENCH_OUT)"
+cargo bench -p mc-bench --bench sim_kernel
+
+test -s "$MC_BENCH_OUT" || { echo "bench.sh: $MC_BENCH_OUT missing or empty" >&2; exit 1; }
+echo "==> bench.sh: wrote $MC_BENCH_OUT"

@@ -16,4 +16,9 @@ run cargo clippy --workspace --all-targets -- -D warnings
 run cargo build --release --workspace
 run cargo test -q --workspace
 
+# Bench smoke: times the compiled kernel against the interpreter on the
+# paper-table workloads and emits BENCH_sim.json. The bench asserts the
+# backends are bit-identical before timing, so divergence fails the gate.
+MC_BENCH_ITERS=2 run scripts/bench.sh
+
 echo "==> ci.sh: all checks passed"

@@ -1,0 +1,126 @@
+//! Differential tests: the compiled simulation kernel must be
+//! bit-identical to the reference interpreter — activity counters,
+//! outputs, per-step trace and per-step profile — across every built-in
+//! benchmark, power mode, clock count and seed.
+//!
+//! This is the contract that lets every consumer (tables, sweeps,
+//! equivalence checks, power reports) run on the kernel by default while
+//! the interpreter stays the readable specification.
+
+use mc_alloc::{allocate, AllocOptions, Strategy};
+use mc_clocks::ClockScheme;
+use mc_dfg::benchmarks;
+use mc_rtl::{Netlist, PowerMode};
+use mc_sim::{simulate, CompiledNetlist, SimBackend, SimConfig, Stimulus};
+
+/// The allocation strategies that apply to `n` clocks.
+fn strategies(n: u32) -> &'static [Strategy] {
+    if n == 1 {
+        &[Strategy::Conventional]
+    } else {
+        &[Strategy::Split, Strategy::Integrated]
+    }
+}
+
+fn modes() -> [PowerMode; 3] {
+    [
+        PowerMode::non_gated(),
+        PowerMode::gated(),
+        PowerMode::multiclock(),
+    ]
+}
+
+/// Runs both backends under identical configuration and asserts the full
+/// result is bit-identical.
+fn assert_backends_agree(netlist: &Netlist, mode: PowerMode, computations: usize, seed: u64) {
+    let base = SimConfig::new(mode, computations, seed)
+        .with_trace()
+        .with_profile();
+    let compiled = simulate(netlist, &base.clone().with_backend(SimBackend::Compiled));
+    let interpreted = simulate(netlist, &base.with_backend(SimBackend::Interpreter));
+    let ctx = format!(
+        "netlist `{}` mode [{mode}] computations {computations} seed {seed}",
+        netlist.name()
+    );
+    assert_eq!(
+        compiled.activity, interpreted.activity,
+        "activity diverged: {ctx}"
+    );
+    assert_eq!(
+        compiled.outputs, interpreted.outputs,
+        "outputs diverged: {ctx}"
+    );
+    assert_eq!(compiled.trace, interpreted.trace, "trace diverged: {ctx}");
+    assert_eq!(
+        compiled.inputs, interpreted.inputs,
+        "inputs diverged: {ctx}"
+    );
+}
+
+#[test]
+fn kernel_matches_interpreter_on_all_benchmarks_modes_clocks_seeds() {
+    for bm in benchmarks::all_benchmarks() {
+        for n in 1u32..=4 {
+            for &strategy in strategies(n) {
+                let opts = AllocOptions::new(strategy, ClockScheme::new(n).unwrap());
+                let dp = allocate(&bm.dfg, &bm.schedule, &opts).unwrap_or_else(|e| {
+                    panic!("{} {strategy} n={n}: allocation failed: {e}", bm.name())
+                });
+                for mode in modes() {
+                    for seed in [3u64, 17, 2026] {
+                        assert_backends_agree(&dp.netlist, mode, 6, seed);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn kernel_matches_interpreter_on_empty_and_single_computation_runs() {
+    let bm = benchmarks::hal();
+    let opts = AllocOptions::new(Strategy::Integrated, ClockScheme::new(3).unwrap());
+    let dp = allocate(&bm.dfg, &bm.schedule, &opts).unwrap();
+    for computations in [0usize, 1, 2] {
+        for mode in modes() {
+            assert_backends_agree(&dp.netlist, mode, computations, 5);
+        }
+    }
+}
+
+#[test]
+fn kernel_matches_interpreter_on_wide_datapaths() {
+    for width in [16u8, 32, 48] {
+        let bm = benchmarks::hal_w(width);
+        let opts = AllocOptions::new(Strategy::Split, ClockScheme::new(2).unwrap());
+        let dp = allocate(&bm.dfg, &bm.schedule, &opts).unwrap();
+        for mode in modes() {
+            assert_backends_agree(&dp.netlist, mode, 5, 41);
+        }
+    }
+}
+
+#[test]
+fn compile_once_run_many_matches_per_call_simulation() {
+    let bm = benchmarks::ewf();
+    let opts = AllocOptions::new(Strategy::Integrated, ClockScheme::new(2).unwrap());
+    let dp = allocate(&bm.dfg, &bm.schedule, &opts).unwrap();
+    let mode = PowerMode::multiclock();
+    let compiled = CompiledNetlist::compile(&dp.netlist, mode);
+    for seed in [1u64, 2, 3] {
+        let vectors = Stimulus::UniformRandom.vectors(&dp.netlist, 4, seed);
+        let reused = compiled.simulate(&vectors, false, true).unwrap();
+        let fresh = mc_sim::try_simulate_with_inputs(&dp.netlist, mode, &vectors, false);
+        let mut fresh = fresh.unwrap();
+        // try_simulate_with_inputs doesn't profile; re-run via config for
+        // the profiled comparison.
+        let cfg = SimConfig::new(mode, vectors.len(), 0).with_profile();
+        let profiled = mc_sim::simulate_with_config(&dp.netlist, &vectors, &cfg).unwrap();
+        assert_eq!(reused.activity, profiled.activity);
+        fresh.activity.per_step = None;
+        let mut reused_stripped = reused.activity.clone();
+        reused_stripped.per_step = None;
+        assert_eq!(reused_stripped, fresh.activity);
+        assert_eq!(reused.outputs, fresh.outputs);
+    }
+}
