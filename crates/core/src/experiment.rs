@@ -197,6 +197,32 @@ pub fn paper_table_parallel(
     Ok(Table::from_evaluated(bm.name().to_owned(), evaluated))
 }
 
+/// Evaluates an arbitrary style set as one instrumented
+/// [`SweepPass`](crate::passes::SweepPass) execution and renders it as a
+/// [`Table`]: rows share the flow's artifact cache, and the sweep's
+/// per-point timing / cache-hit findings land in the table diagnostics.
+/// This is the entry point behind `mcpm sweep` and the explorer's
+/// sequential reference path.
+///
+/// # Errors
+///
+/// Propagates [`SynthesisError`] from any point.
+pub fn style_sweep(
+    bm: &Benchmark,
+    styles: &[DesignStyle],
+    computations: usize,
+    seed: u64,
+) -> Result<Table, SynthesisError> {
+    use crate::flow::FlowContext;
+    use crate::passes::SweepPass;
+    let flow = flow_for(bm, computations, seed);
+    let mut ctx = FlowContext::new(flow.tech().clone(), computations, seed);
+    let outcome = ctx.run(&SweepPass, (&flow, styles))?;
+    let mut table = Table::from_evaluated(bm.name().to_owned(), outcome.evaluated);
+    table.diagnostics.extend(ctx.diagnostics().iter().cloned());
+    Ok(table)
+}
+
 /// Ablation: sweep the clock count from 1 to `max_clocks`, showing the
 /// paper's diminishing-returns effect ("you can not keep adding clocks and
 /// expect power reduction").
@@ -574,6 +600,33 @@ mod tests {
         });
         assert_eq!(t.rows.len(), 2);
         assert_eq!(t.gated_to_best_multiclock_reduction(), None);
+    }
+
+    #[test]
+    fn style_sweep_instruments_points_and_shares_the_cache() {
+        let styles = [
+            DesignStyle::ConventionalNonGated,
+            DesignStyle::ConventionalGated,
+            DesignStyle::MultiClock(2),
+        ];
+        let t = style_sweep(&benchmarks::hal(), &styles, N, 42).unwrap();
+        assert_eq!(t.rows.len(), 3);
+        // The sweep narrates one finding per point...
+        let sweep_lines: Vec<_> = t.diagnostics.iter().filter(|d| d.pass == "sweep").collect();
+        assert_eq!(sweep_lines.len(), 3);
+        // ...and the two conventional rows share one allocation, which the
+        // gated row's narration reports as cache-served.
+        assert!(
+            sweep_lines[1].message.contains("1 cache-served"),
+            "{}",
+            sweep_lines[1].message
+        );
+        // Numbers are bit-identical to the plain table path.
+        let plain = paper_table(&benchmarks::hal(), N, 42).unwrap();
+        for row in &t.rows {
+            let same = plain.row_for_style(row.style).unwrap();
+            assert_eq!(row.report.power.total_mw, same.report.power.total_mw);
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@ use mc_power::{evaluate_design_with_activity, DesignReport};
 use mc_rtl::PowerMode;
 use mc_sim::{Activity, SimBackend, SimConfig};
 
-use crate::flow::{Artifact, FlowContext, Pass};
+use crate::flow::{Artifact, Evaluated, Flow, FlowContext, Pass};
 use crate::style::DesignStyle;
 use crate::synthesizer::SynthesisError;
 
@@ -336,6 +336,83 @@ impl Pass for SimulatePass {
             backend: cfg.backend,
             steps_per_sec,
         })
+    }
+}
+
+/// The artifact of a [`SweepPass`]: every point's full instrumented
+/// evaluation, in input order.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// One instrumented evaluation per swept style, in input order.
+    pub evaluated: Vec<Evaluated>,
+}
+
+impl SweepOutcome {
+    /// How many of the sweep's pass executions were served from the
+    /// artifact cache instead of running.
+    #[must_use]
+    pub fn cache_served(&self) -> usize {
+        self.evaluated
+            .iter()
+            .flat_map(|e| &e.metrics)
+            .filter(|m| m.cache_hit)
+            .count()
+    }
+}
+
+impl Artifact for SweepOutcome {
+    fn label(&self) -> String {
+        format!(
+            "Sweep{{{} points, {} cache-served passes}}",
+            self.evaluated.len(),
+            self.cache_served()
+        )
+    }
+
+    fn size(&self) -> usize {
+        self.evaluated.len()
+    }
+}
+
+/// A multi-point evaluation as one instrumented pass: every style runs
+/// through the full pipeline of the shared [`Flow`] (so allocations
+/// common to several points are synthesised once and served from the
+/// artifact cache), and the sweep reports per-point timings and cache
+/// diagnostics into the surrounding [`FlowContext`] — the explorer and
+/// the `mcpm sweep` timing tables read them from there.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPass;
+
+impl Pass for SweepPass {
+    type Input<'a> = (&'a Flow, &'a [DesignStyle]);
+    type Output = SweepOutcome;
+
+    fn name(&self) -> &'static str {
+        "sweep"
+    }
+
+    fn run(
+        &self,
+        (flow, styles): Self::Input<'_>,
+        ctx: &mut FlowContext,
+    ) -> Result<Self::Output, SynthesisError> {
+        let mut evaluated = Vec::with_capacity(styles.len());
+        for &style in styles {
+            let e = flow.evaluate_instrumented(style)?;
+            let served = e.metrics.iter().filter(|m| m.cache_hit).count();
+            ctx.info(
+                self.name(),
+                format!(
+                    "{}: {:.1?} across {} pass(es), {} cache-served",
+                    style.label(),
+                    e.total_duration(),
+                    e.metrics.len(),
+                    served
+                ),
+            );
+            evaluated.push(e);
+        }
+        Ok(SweepOutcome { evaluated })
     }
 }
 

@@ -1,0 +1,262 @@
+//! The exploration driver: enumerate, evaluate (optionally in parallel),
+//! prune, report.
+
+use mc_core::flow::CacheStats;
+use mc_core::{Flow, SynthesisError};
+use mc_dfg::benchmarks::Benchmark;
+
+use crate::pareto::{pareto_mask, Objectives};
+use crate::pool::{default_threads, run_indexed};
+use crate::report::{ExploreReport, PointResult};
+use crate::space::{anchor_styles, ExploreSpace};
+
+/// Configures and runs a design-space exploration.
+///
+/// Determinism contract: for a fixed (benchmark, space, seed,
+/// computations), the evaluated numbers, the frontier, and
+/// [`ExploreReport::to_json`] are bit-identical across runs, across
+/// thread counts, and between parallel and sequential evaluation. Every
+/// lattice point is evaluated by an independently seeded simulation, the
+/// work-stealing pool keys results by task index, and dominance pruning
+/// is order-insensitive, so scheduling can only change *when* a number is
+/// computed, never *what* it is.
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    space: ExploreSpace,
+    budget: Option<usize>,
+    computations: usize,
+    seed: u64,
+    threads: usize,
+    parallel: bool,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer {
+            space: ExploreSpace::default(),
+            budget: None,
+            computations: 200,
+            seed: 42,
+            threads: default_threads(),
+            parallel: true,
+        }
+    }
+}
+
+impl Explorer {
+    /// An explorer over the default space.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the lattice specification.
+    #[must_use]
+    pub fn with_space(mut self, space: ExploreSpace) -> Self {
+        self.space = space;
+        self
+    }
+
+    /// Caps the number of evaluated points. The cap is floored at the
+    /// five paper-table anchors, which the best-first enumeration places
+    /// first — a budgeted run always covers the paper's own rows and
+    /// stops gracefully after the cap.
+    #[must_use]
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Sets the random computations per simulation (default 200).
+    #[must_use]
+    pub fn with_computations(mut self, computations: usize) -> Self {
+        self.computations = computations.max(1);
+        self
+    }
+
+    /// Sets the stimulus seed (default 42).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker count for parallel evaluation.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Enables or disables the thread pool (sequential when disabled;
+    /// results are identical either way).
+    #[must_use]
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Explores `bm`: enumerates the lattice, evaluates up to the budget
+    /// through shared-cache flows, and extracts the Pareto frontier over
+    /// (power, area, latency).
+    ///
+    /// Latency is `steps × max(critical_path, target_period)` — a design
+    /// never runs faster than the system clock it is specified against,
+    /// so stretched (phase-affine) schedules pay their extra steps and a
+    /// timing-violating design pays its slow critical path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing point's [`SynthesisError`] (in lattice
+    /// order).
+    pub fn run(&self, bm: &Benchmark) -> Result<ExploreReport, SynthesisError> {
+        let lattice = self.space.enumerate();
+        let floor = anchor_styles().len();
+        let take = self
+            .budget
+            .map_or(lattice.points.len(), |b| b.max(floor))
+            .min(lattice.points.len());
+        let points = &lattice.points[..take];
+        let flows: Vec<Flow> = lattice
+            .flows
+            .iter()
+            .map(|spec| spec.build(bm, self.computations, self.seed))
+            .collect();
+        let threads = if self.parallel { self.threads } else { 1 };
+        let evals = run_indexed(points.len(), threads, self.seed, |i| {
+            let p = &points[i];
+            flows[p.flow].evaluate_instrumented(p.style)
+        });
+        let mut results = Vec::with_capacity(points.len());
+        for (p, eval) in points.iter().zip(evals) {
+            let e = eval?;
+            let flow = &flows[p.flow];
+            let steps = flow.schedule().length();
+            let target_period_ns = 1000.0 / flow.tech().clock_mhz();
+            let period_ns = e.report.timing.critical_path_ns.max(target_period_ns);
+            results.push(PointResult {
+                point: *p,
+                objectives: Objectives {
+                    power_mw: e.report.power.total_mw,
+                    area_lambda2: e.report.area.total_lambda2,
+                    latency_ns: f64::from(steps) * period_ns,
+                },
+                steps,
+                meets_target: e.report.timing.meets_target,
+                on_frontier: false,
+                metrics: e.metrics,
+            });
+        }
+        let objectives: Vec<Objectives> = results.iter().map(|r| r.objectives).collect();
+        for (r, on) in results.iter_mut().zip(pareto_mask(&objectives)) {
+            r.on_frontier = on;
+        }
+        let cache = flows.iter().map(Flow::cache_stats).fold(
+            CacheStats {
+                hits: 0,
+                misses: 0,
+                datapaths: 0,
+                reports: 0,
+            },
+            |acc, s| CacheStats {
+                hits: acc.hits + s.hits,
+                misses: acc.misses + s.misses,
+                datapaths: acc.datapaths + s.datapaths,
+                reports: acc.reports + s.reports,
+            },
+        );
+        Ok(ExploreReport {
+            benchmark: bm.dfg.name().to_owned(),
+            seed: self.seed,
+            computations: self.computations,
+            lattice_points: lattice.points.len(),
+            skipped: lattice.points.len() - take,
+            results,
+            cache,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_dfg::benchmarks;
+
+    fn tiny() -> Explorer {
+        Explorer::new().with_computations(24)
+    }
+
+    #[test]
+    fn budget_floors_at_the_anchor_rows() {
+        let report = tiny().with_budget(2).run(&benchmarks::hal()).unwrap();
+        assert_eq!(report.results.len(), 5, "floor = 5 anchors");
+        assert!(report.skipped > 0);
+        let labels: Vec<String> = report.results.iter().map(|r| r.point.label()).collect();
+        assert!(labels[0].contains("Non-Gated"), "{labels:?}");
+        assert!(labels[4].contains("3 Clocks"), "{labels:?}");
+    }
+
+    #[test]
+    fn unbudgeted_run_covers_the_whole_lattice() {
+        let space = ExploreSpace {
+            n_max: 2,
+            voltages: vec![crate::space::NOMINAL_VOLTS],
+            stretches: vec![],
+        };
+        let report = tiny()
+            .with_space(space.clone())
+            .run(&benchmarks::facet())
+            .unwrap();
+        assert_eq!(report.results.len(), space.enumerate().points.len());
+        assert_eq!(report.skipped, 0);
+        assert!(!report.frontier().is_empty());
+    }
+
+    #[test]
+    fn stretched_schedules_pay_latency() {
+        let report = tiny()
+            .with_budget(usize::MAX)
+            .run(&benchmarks::hal())
+            .unwrap();
+        let reference_steps = benchmarks::hal().schedule.length();
+        for r in &report.results {
+            match r.point.scheduler {
+                crate::space::SchedulerChoice::Reference => {
+                    assert_eq!(r.steps, reference_steps);
+                }
+                crate::space::SchedulerChoice::PhaseAffine { .. } => {
+                    assert!(r.steps >= reference_steps);
+                }
+            }
+            assert!(r.objectives.latency_ns >= f64::from(r.steps) * 20.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn frontier_is_nonempty_and_nondominated() {
+        let report = tiny().with_budget(12).run(&benchmarks::facet()).unwrap();
+        let frontier = report.frontier();
+        assert!(!frontier.is_empty());
+        for a in &frontier {
+            for b in &report.results {
+                assert!(
+                    !b.objectives.dominates(&a.objectives),
+                    "{} dominates frontier point {}",
+                    b.point.label(),
+                    a.point.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flow_groups_share_the_artifact_cache() {
+        let report = tiny()
+            .with_budget(usize::MAX)
+            .run(&benchmarks::hal())
+            .unwrap();
+        // The gated conventional row reuses the non-gated allocation, so
+        // at least one evaluation must have been cache-served.
+        assert!(report.cache.hits > 0, "cache: {}", report.cache);
+    }
+}

@@ -1,0 +1,53 @@
+//! Parallel multi-objective design-space exploration for the multi-clock
+//! power-management scheme.
+//!
+//! The paper evaluates five hand-picked configurations per benchmark.
+//! This crate enumerates the *full* configuration lattice those five are
+//! drawn from — clock count × allocation strategy × memory-element kind ×
+//! gating × scheduler × supply voltage — evaluates every point through
+//! the [`mc_core::Flow`] pass pipeline (sharing its content-keyed
+//! artifact cache), and extracts the Pareto frontier over (power, area,
+//! latency).
+//!
+//! Three properties are guaranteed:
+//!
+//! * **Determinism.** Same benchmark, space, seed and computation count ⇒
+//!   bit-identical frontier and JSON, whether evaluation runs
+//!   sequentially or on the work-stealing pool, at any thread count.
+//! * **Budgets degrade gracefully.** The lattice is enumerated
+//!   best-first with the five paper-table anchor rows leading, so any
+//!   budget still evaluates the paper's own configurations and simply
+//!   stops after the cap.
+//! * **The paper's result is recoverable.** The frontier of every
+//!   bundled benchmark contains the paper's best multi-clock row — the
+//!   exploration generalises the tables, it does not contradict them.
+//!
+//! # Examples
+//!
+//! ```
+//! use mc_explore::Explorer;
+//! use mc_dfg::benchmarks;
+//!
+//! # fn main() -> Result<(), mc_core::SynthesisError> {
+//! let report = Explorer::new()
+//!     .with_computations(24)
+//!     .with_budget(6)
+//!     .run(&benchmarks::hal())?;
+//! assert!(!report.frontier().is_empty());
+//! println!("{}", report.render_ranked());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod explorer;
+pub mod pareto;
+pub mod pool;
+pub mod report;
+pub mod space;
+
+pub use explorer::Explorer;
+pub use pareto::{pareto_mask, Objectives};
+pub use report::{ExploreReport, PointResult};
+pub use space::{DesignPoint, ExploreSpace, FlowSpec, Lattice, SchedulerChoice, NOMINAL_VOLTS};

@@ -1,0 +1,111 @@
+//! Multi-objective dominance and Pareto-frontier extraction.
+//!
+//! All three objectives are minimised. A point *dominates* another when
+//! it is no worse in every objective and strictly better in at least one;
+//! the frontier is the set of non-dominated points. Ties (bit-identical
+//! objective vectors) are all kept — pruning one of two equal points
+//! would make the frontier depend on enumeration order.
+
+/// The minimised objective vector of one evaluated design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objectives {
+    /// Average power (mW).
+    pub power_mw: f64,
+    /// Layout area (λ²).
+    pub area_lambda2: f64,
+    /// Latency of one computation (ns): schedule length × the effective
+    /// system-clock period (the target period, or the critical path when
+    /// timing is violated).
+    pub latency_ns: f64,
+}
+
+impl Objectives {
+    /// Whether `self` Pareto-dominates `other` (minimisation).
+    #[must_use]
+    pub fn dominates(&self, other: &Objectives) -> bool {
+        let no_worse = self.power_mw <= other.power_mw
+            && self.area_lambda2 <= other.area_lambda2
+            && self.latency_ns <= other.latency_ns;
+        let better = self.power_mw < other.power_mw
+            || self.area_lambda2 < other.area_lambda2
+            || self.latency_ns < other.latency_ns;
+        no_worse && better
+    }
+}
+
+/// Marks the Pareto-optimal points of `objectives`: `mask[i]` is `true`
+/// iff no other point dominates point `i`. O(n²), which is ample for
+/// configuration lattices of tens to hundreds of points.
+#[must_use]
+pub fn pareto_mask(objectives: &[Objectives]) -> Vec<bool> {
+    objectives
+        .iter()
+        .map(|a| !objectives.iter().any(|b| b.dominates(a)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(p: f64, a: f64, l: f64) -> Objectives {
+        Objectives {
+            power_mw: p,
+            area_lambda2: a,
+            latency_ns: l,
+        }
+    }
+
+    #[test]
+    fn dominance_requires_strict_improvement() {
+        assert!(o(1.0, 1.0, 1.0).dominates(&o(2.0, 1.0, 1.0)));
+        assert!(o(1.0, 1.0, 1.0).dominates(&o(2.0, 2.0, 2.0)));
+        assert!(!o(1.0, 1.0, 1.0).dominates(&o(1.0, 1.0, 1.0)), "ties");
+        assert!(!o(1.0, 2.0, 1.0).dominates(&o(2.0, 1.0, 1.0)), "trade-off");
+        assert!(!o(2.0, 1.0, 1.0).dominates(&o(1.0, 2.0, 1.0)));
+    }
+
+    #[test]
+    fn frontier_of_a_staircase_is_the_staircase() {
+        // Power/area trade-off staircase plus two dominated points.
+        let objs = [
+            o(1.0, 9.0, 5.0),
+            o(2.0, 7.0, 5.0),
+            o(4.0, 4.0, 5.0),
+            o(4.5, 4.5, 5.0), // dominated by the previous point
+            o(9.0, 1.0, 5.0),
+            o(9.0, 9.0, 9.0), // dominated by everything
+        ];
+        assert_eq!(pareto_mask(&objs), [true, true, true, false, true, false]);
+    }
+
+    #[test]
+    fn identical_points_are_both_kept() {
+        let objs = [o(1.0, 1.0, 1.0), o(1.0, 1.0, 1.0), o(2.0, 2.0, 2.0)];
+        assert_eq!(pareto_mask(&objs), [true, true, false]);
+    }
+
+    #[test]
+    fn mask_is_permutation_invariant() {
+        let objs = [o(3.0, 1.0, 2.0), o(1.0, 3.0, 2.0), o(2.0, 2.0, 3.0)];
+        let mut rev = objs;
+        rev.reverse();
+        let mask = pareto_mask(&objs);
+        let mut mask_rev = pareto_mask(&rev);
+        mask_rev.reverse();
+        assert_eq!(mask, mask_rev);
+    }
+
+    #[test]
+    fn empty_and_singleton_frontiers() {
+        assert!(pareto_mask(&[]).is_empty());
+        assert_eq!(pareto_mask(&[o(5.0, 5.0, 5.0)]), [true]);
+    }
+
+    #[test]
+    fn third_objective_rescues_otherwise_dominated_points() {
+        // Worse power and area, but strictly better latency: kept.
+        let objs = [o(1.0, 1.0, 9.0), o(5.0, 5.0, 1.0)];
+        assert_eq!(pareto_mask(&objs), [true, true]);
+    }
+}

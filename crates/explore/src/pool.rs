@@ -1,0 +1,152 @@
+//! A deterministic work-stealing scoped-thread pool.
+//!
+//! Tasks are identified by index into a fixed, deterministically ordered
+//! task list. Each worker owns a deque seeded round-robin; it pops its
+//! own work from the front and, when empty, steals from the *back* of a
+//! victim chosen by its private [`Xoshiro256`] stream (seeded from the
+//! run seed and the worker id). Results are written into slots keyed by
+//! task index, so the output vector — and anything computed from it — is
+//! bit-identical regardless of which worker ran which task, how many
+//! workers ran, or how the OS scheduled them: `run_indexed(n, k, seed,
+//! f)` equals `(0..n).map(f)` for every `k`. The stealing only perturbs
+//! *wall-clock*, never *values*, because every task is a pure function of
+//! its index.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use mc_prng::{SplitMix64, Xoshiro256};
+
+/// The default worker count: the machine's available parallelism, capped
+/// at 8 (the lattice sizes here saturate well before that).
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(8)
+}
+
+/// Runs `f(0..tasks)` on up to `threads` scoped worker threads with
+/// work-stealing, returning the results in task order. Deterministic: the
+/// returned vector is identical to the sequential `(0..tasks).map(f)`.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` when the scope joins.
+pub fn run_indexed<T, F>(tasks: usize, threads: usize, seed: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, tasks.max(1));
+    if threads <= 1 {
+        return (0..tasks).map(f).collect();
+    }
+    // Round-robin initial distribution: worker w owns tasks w, w+k, ...
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..threads)
+        .map(|w| Mutex::new((w..tasks).step_by(threads).collect()))
+        .collect();
+    let results: Vec<Mutex<Option<T>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+    let completed = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let (queues, results, completed, f) = (&queues, &results, &completed, &f);
+            scope.spawn(move || {
+                let mut rng =
+                    Xoshiro256::seed_from_u64(SplitMix64::new(seed ^ (w as u64 + 1)).next_u64());
+                loop {
+                    // Own queue first, front-out (cache-friendly order)...
+                    let mut task = queues[w].lock().expect("queue lock").pop_front();
+                    // ...then steal from the back of random victims.
+                    if task.is_none() {
+                        for _ in 0..threads * 2 {
+                            let victim = rng.below(threads as u64) as usize;
+                            if victim == w {
+                                continue;
+                            }
+                            task = queues[victim].lock().expect("queue lock").pop_back();
+                            if task.is_some() {
+                                break;
+                            }
+                        }
+                    }
+                    match task {
+                        Some(i) => {
+                            let out = f(i);
+                            *results[i].lock().expect("result lock") = Some(out);
+                            completed.fetch_add(1, Ordering::SeqCst);
+                        }
+                        None => {
+                            if completed.load(Ordering::SeqCst) >= tasks {
+                                break;
+                            }
+                            // Stragglers still running elsewhere; the pool
+                            // is for coarse tasks, so a yield is cheap.
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result lock")
+                .expect("every task ran exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn matches_sequential_for_every_thread_count() {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9).rotate_left(13);
+        let expected: Vec<u64> = (0..97).map(f).collect();
+        for threads in [1, 2, 3, 4, 7, 16] {
+            assert_eq!(run_indexed(97, threads, 42, f), expected, "k={threads}");
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counts: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        let _ = run_indexed(64, 4, 7, |i| counts[i].fetch_add(1, Ordering::SeqCst));
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "task {i}");
+        }
+    }
+
+    #[test]
+    fn stealing_keeps_results_in_task_order_under_skew() {
+        // Front-load one worker's queue with slow tasks so others steal.
+        let f = |i: usize| {
+            if i.is_multiple_of(4) {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i * 3 + 1
+        };
+        let expected: Vec<usize> = (0..32).map(f).collect();
+        assert_eq!(run_indexed(32, 4, 1, f), expected);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert!(run_indexed(0, 4, 0, |i| i).is_empty());
+        assert_eq!(run_indexed(1, 8, 0, |i| i + 10), vec![10]);
+        assert_eq!(run_indexed(3, 200, 0, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn default_threads_is_sane() {
+        let t = default_threads();
+        assert!((1..=8).contains(&t));
+    }
+}

@@ -1,0 +1,291 @@
+//! The explorer's typed result: every evaluated point with its objective
+//! vector, the Pareto frontier, and renderers for terminal tables and
+//! JSON.
+//!
+//! JSON emission follows the bench-harness conventions
+//! ([`mc_bench::harness::JsonObj`]): hand-rolled, dependency-free, with
+//! `f64` rendered through `Display` (shortest round-trip, deterministic
+//! across platforms and runs). [`ExploreReport::to_json`] deliberately
+//! excludes wall-clock durations and cache counters — both vary run to
+//! run under parallel evaluation — so same-seed runs emit bit-identical
+//! documents; [`ExploreReport::to_json_with_timings`] adds them back for
+//! human inspection and bench artifacts.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use mc_bench::harness::{json_array, JsonObj};
+use mc_core::flow::{CacheStats, PassMetrics};
+
+use crate::pareto::Objectives;
+use crate::space::DesignPoint;
+
+/// One fully evaluated lattice point.
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// The configuration that was evaluated.
+    pub point: DesignPoint,
+    /// Its minimised objective vector.
+    pub objectives: Objectives,
+    /// Schedule length in control steps (affine schedules stretch it).
+    pub steps: u32,
+    /// Whether static timing meets the library's target frequency.
+    pub meets_target: bool,
+    /// Whether the point survived dominance pruning.
+    pub on_frontier: bool,
+    /// Per-pass instrumentation of this evaluation (timings vary run to
+    /// run; excluded from deterministic JSON).
+    pub metrics: Vec<PassMetrics>,
+}
+
+impl PointResult {
+    /// Wall-clock spent across this point's recorded passes.
+    #[must_use]
+    pub fn eval_duration(&self) -> Duration {
+        self.metrics.iter().map(|m| m.duration).sum()
+    }
+
+    /// How many of this point's passes were served from the flow cache.
+    #[must_use]
+    pub fn cache_served(&self) -> usize {
+        self.metrics.iter().filter(|m| m.cache_hit).count()
+    }
+
+    fn json_obj(&self) -> JsonObj {
+        JsonObj::new()
+            .str("style", &self.point.style.label())
+            .str("scheduler", &self.point.scheduler.label())
+            .num("volts", self.point.volts)
+            .num("power_mw", self.objectives.power_mw)
+            .num("area_lambda2", self.objectives.area_lambda2)
+            .num("latency_ns", self.objectives.latency_ns)
+            .num("steps", self.steps)
+            .bool("meets_target", self.meets_target)
+            .bool("on_frontier", self.on_frontier)
+    }
+}
+
+/// The result of one exploration run over one benchmark.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// The benchmark name.
+    pub benchmark: String,
+    /// Stimulus seed every evaluation was keyed with.
+    pub seed: u64,
+    /// Random computations per simulation.
+    pub computations: usize,
+    /// Size of the full enumerated lattice (before the budget cut).
+    pub lattice_points: usize,
+    /// Lattice points skipped because the evaluation budget ran out.
+    pub skipped: usize,
+    /// Every evaluated point, in lattice (best-first) order.
+    pub results: Vec<PointResult>,
+    /// Aggregate artifact-cache counters summed over all flow groups.
+    pub cache: CacheStats,
+}
+
+impl ExploreReport {
+    /// The Pareto-optimal points, in lattice order.
+    #[must_use]
+    pub fn frontier(&self) -> Vec<&PointResult> {
+        self.results.iter().filter(|r| r.on_frontier).collect()
+    }
+
+    /// The lowest-power frontier point, if any point was evaluated.
+    #[must_use]
+    pub fn best_power(&self) -> Option<&PointResult> {
+        self.frontier().into_iter().min_by(|a, b| {
+            a.objectives
+                .power_mw
+                .total_cmp(&b.objectives.power_mw)
+                .then_with(|| a.point.label().cmp(&b.point.label()))
+        })
+    }
+
+    /// Renders the ranked frontier table: Pareto points first (by rising
+    /// power), then dominated points, each row showing the objective
+    /// vector and configuration.
+    #[must_use]
+    pub fn render_ranked(&self) -> String {
+        let mut rows: Vec<&PointResult> = self.results.iter().collect();
+        rows.sort_by(|a, b| {
+            b.on_frontier.cmp(&a.on_frontier).then_with(|| {
+                a.objectives
+                    .power_mw
+                    .total_cmp(&b.objectives.power_mw)
+                    .then_with(|| a.point.label().cmp(&b.point.label()))
+            })
+        });
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "Design-space exploration: {} ({} points evaluated, {} skipped, frontier {})",
+            self.benchmark,
+            self.results.len(),
+            self.skipped,
+            self.frontier().len()
+        );
+        let _ = writeln!(
+            s,
+            "{:>4}  {:>9}  {:>10}  {:>10}  {:>5}  {:>4}  configuration",
+            "rank", "power mW", "area λ²", "lat. ns", "steps", "time"
+        );
+        for (rank, r) in rows.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "{:>4}  {:>9.3} {:>10.0}  {:>10.1}  {:>5}  {:>4}  {} {}",
+                rank + 1,
+                r.objectives.power_mw,
+                r.objectives.area_lambda2,
+                r.objectives.latency_ns,
+                r.steps,
+                if r.meets_target { "ok" } else { "VIOL" },
+                if r.on_frontier { "*" } else { " " },
+                r.point.label()
+            );
+        }
+        let _ = writeln!(s, "(* = Pareto-optimal; timing target = library clock)");
+        s
+    }
+
+    /// Renders the per-point evaluation timings and the aggregate cache
+    /// counters (the nondeterministic half the JSON leaves out).
+    #[must_use]
+    pub fn render_timings(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "Evaluation timings: {}", self.benchmark);
+        for r in &self.results {
+            let _ = writeln!(
+                s,
+                "  {:>9.1?}  {:>2} cache-served  {}",
+                r.eval_duration(),
+                r.cache_served(),
+                r.point.label()
+            );
+        }
+        let _ = writeln!(s, "cache: {}", self.cache);
+        s
+    }
+
+    fn json_header(&self) -> JsonObj {
+        JsonObj::new()
+            .str("benchmark", &self.benchmark)
+            .num("seed", self.seed)
+            .num("computations", self.computations)
+            .num("lattice_points", self.lattice_points)
+            .num("evaluated", self.results.len())
+            .num("skipped", self.skipped)
+            .num("frontier", self.frontier().len())
+    }
+
+    /// Deterministic JSON: identical bytes for identical (benchmark,
+    /// space, seed, computations) regardless of thread count or run.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        self.json_header()
+            .raw(
+                "points",
+                &json_array(self.results.iter().map(|r| r.json_obj().finish())),
+            )
+            .finish()
+    }
+
+    /// JSON with per-point wall-clock and cache counters appended — for
+    /// bench artifacts, *not* for determinism comparison.
+    #[must_use]
+    pub fn to_json_with_timings(&self) -> String {
+        self.json_header()
+            .raw(
+                "points",
+                &json_array(self.results.iter().map(|r| {
+                    r.json_obj()
+                        .num(
+                            "eval_ms",
+                            format_args!("{:.3}", r.eval_duration().as_secs_f64() * 1e3),
+                        )
+                        .num("cache_served", r.cache_served())
+                        .finish()
+                })),
+            )
+            .num("cache_hits", self.cache.hits)
+            .num("cache_misses", self.cache.misses)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SchedulerChoice;
+    use mc_core::DesignStyle;
+
+    fn result(power: f64, frontier: bool) -> PointResult {
+        PointResult {
+            point: DesignPoint {
+                style: DesignStyle::MultiClock(2),
+                scheduler: SchedulerChoice::Reference,
+                volts: 4.65,
+                flow: 0,
+            },
+            objectives: Objectives {
+                power_mw: power,
+                area_lambda2: 1000.0,
+                latency_ns: 160.0,
+            },
+            steps: 8,
+            meets_target: true,
+            on_frontier: frontier,
+            metrics: Vec::new(),
+        }
+    }
+
+    fn report() -> ExploreReport {
+        ExploreReport {
+            benchmark: "hal".to_owned(),
+            seed: 42,
+            computations: 50,
+            lattice_points: 3,
+            skipped: 1,
+            results: vec![result(1.5, true), result(2.5, false)],
+            cache: CacheStats {
+                hits: 3,
+                misses: 7,
+                datapaths: 2,
+                reports: 2,
+            },
+        }
+    }
+
+    #[test]
+    fn frontier_and_best_power_filter_correctly() {
+        let r = report();
+        assert_eq!(r.frontier().len(), 1);
+        assert_eq!(r.best_power().unwrap().objectives.power_mw, 1.5);
+    }
+
+    #[test]
+    fn ranked_table_marks_frontier_points() {
+        let table = report().render_ranked();
+        assert!(table.contains("frontier 1"));
+        assert!(table.contains("* 2 Clocks"));
+        assert!(table.contains("1 skipped"));
+    }
+
+    #[test]
+    fn json_is_structured_and_excludes_timings() {
+        let json = report().to_json();
+        assert!(json.contains("\"benchmark\":\"hal\""));
+        assert!(json.contains("\"power_mw\":1.5"));
+        assert!(json.contains("\"on_frontier\":true"));
+        assert!(!json.contains("eval_ms"));
+        assert!(!json.contains("cache"));
+    }
+
+    #[test]
+    fn timed_json_adds_wallclock_and_cache_fields() {
+        let json = report().to_json_with_timings();
+        assert!(json.contains("\"eval_ms\":"));
+        assert!(json.contains("\"cache_hits\":3"));
+        assert!(json.contains("\"cache_misses\":7"));
+    }
+}

@@ -1,0 +1,305 @@
+//! The configuration lattice: every design decision the paper leaves to
+//! the engineer, enumerated as explicit candidate points.
+//!
+//! A [`DesignPoint`] fixes the clock count `n`, the allocation strategy
+//! (conventional ± gating, split, integrated), the memory-element kind
+//! (latch vs. DFF), the scheduler (the benchmark's reference schedule or
+//! the phase-affine scheduler) and the supply voltage. [`ExploreSpace`]
+//! enumerates the full lattice in a deterministic *best-first* order: the
+//! five paper-table anchor rows come first (so any budget ≥ 5 still
+//! evaluates the paper's own configurations), then the remaining
+//! nominal-voltage points from most to least promising under the paper's
+//! findings, then the voltage-scaled replicas.
+
+use mc_alloc::Strategy;
+use mc_core::passes::Behavior;
+use mc_core::{DesignStyle, Flow};
+use mc_dfg::benchmarks::Benchmark;
+use mc_rtl::PowerMode;
+use mc_tech::{MemKind, TechLibrary};
+
+/// The nominal supply voltage of the bundled technology library (V).
+pub const NOMINAL_VOLTS: f64 = 4.65;
+
+/// Which scheduler produced the behaviour a point is evaluated on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerChoice {
+    /// The benchmark's reference schedule — the paper's input.
+    Reference,
+    /// The phase-affine scheduler
+    /// ([`mc_dfg::scheduler::phase_affine`]), which trades up to
+    /// `stretch` extra control steps for phase-aligned operations
+    /// (latency for power).
+    PhaseAffine {
+        /// Extra control steps the affine schedule may add.
+        stretch: u32,
+    },
+}
+
+impl SchedulerChoice {
+    /// Short label used in tables and JSON (`reference` / `affine+s`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            SchedulerChoice::Reference => "reference".to_owned(),
+            SchedulerChoice::PhaseAffine { stretch } => format!("affine+{stretch}"),
+        }
+    }
+}
+
+/// Everything one flow group shares: the scheduler that produced the
+/// behaviour (plus the clock count the affine scheduler aligned to) and
+/// the supply voltage. All points of a group evaluate through one shared
+/// [`Flow`], so they share its content-keyed artifact cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowSpec {
+    /// The scheduler.
+    pub scheduler: SchedulerChoice,
+    /// The clock count the affine scheduler aligned to (0 for the
+    /// reference schedule, which is clock-independent).
+    pub affine_clocks: u32,
+    /// Supply voltage (V).
+    pub volts: f64,
+}
+
+impl FlowSpec {
+    /// Materialises the flow for `bm` under this spec.
+    #[must_use]
+    pub fn build(&self, bm: &Benchmark, computations: usize, seed: u64) -> Flow {
+        let behavior = match self.scheduler {
+            SchedulerChoice::Reference => Behavior::for_benchmark(bm),
+            SchedulerChoice::PhaseAffine { stretch } => Behavior::new(
+                bm.dfg.clone(),
+                mc_dfg::scheduler::phase_affine(&bm.dfg, self.affine_clocks, stretch),
+            ),
+        };
+        Flow::from_behavior(behavior)
+            .with_computations(computations)
+            .with_seed(seed)
+            .with_tech(TechLibrary::vsc450().at_voltage(self.volts))
+    }
+}
+
+/// One candidate configuration of the lattice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignPoint {
+    /// The design style (strategy, clocks, memory kind, power mode).
+    pub style: DesignStyle,
+    /// The scheduler the behaviour was scheduled with.
+    pub scheduler: SchedulerChoice,
+    /// Supply voltage (V).
+    pub volts: f64,
+    /// Index into the lattice's flow-group table.
+    pub flow: usize,
+}
+
+impl DesignPoint {
+    /// Human-readable point label: style, scheduler, voltage.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "{} [{}, {:.2} V]",
+            self.style.label(),
+            self.scheduler.label(),
+            self.volts
+        )
+    }
+}
+
+/// The enumerated lattice: the flow groups plus the candidate points in
+/// best-first order (every point's `flow` indexes into `flows`).
+#[derive(Debug, Clone)]
+pub struct Lattice {
+    /// The distinct (scheduler, voltage) flow groups.
+    pub flows: Vec<FlowSpec>,
+    /// The candidate points, best-first.
+    pub points: Vec<DesignPoint>,
+}
+
+/// The lattice configuration: which dimensions to span.
+#[derive(Debug, Clone)]
+pub struct ExploreSpace {
+    /// Largest clock count to consider (the five anchor rows always
+    /// include 1–3 clocks regardless).
+    pub n_max: u32,
+    /// Supply voltages to span; the first entry is treated as nominal and
+    /// hosts the anchor rows.
+    pub voltages: Vec<f64>,
+    /// Stretch values for the phase-affine scheduler (empty disables the
+    /// scheduler dimension).
+    pub stretches: Vec<u32>,
+}
+
+impl Default for ExploreSpace {
+    fn default() -> Self {
+        ExploreSpace {
+            n_max: 4,
+            voltages: vec![NOMINAL_VOLTS, 3.3],
+            stretches: vec![2],
+        }
+    }
+}
+
+/// The five paper-table anchor styles, always enumerated first.
+#[must_use]
+pub fn anchor_styles() -> [DesignStyle; 5] {
+    DesignStyle::paper_rows()
+}
+
+impl ExploreSpace {
+    /// A custom integrated/split style (integrated + latch folds back to
+    /// the canonical [`DesignStyle::MultiClock`] so anchor rows and cache
+    /// keys coincide).
+    fn custom(strategy: Strategy, clocks: u32, mem_kind: MemKind) -> DesignStyle {
+        if strategy == Strategy::Integrated && mem_kind == MemKind::Latch {
+            return DesignStyle::MultiClock(clocks);
+        }
+        DesignStyle::Custom {
+            strategy,
+            clocks,
+            mem_kind,
+            transfers: strategy == Strategy::Integrated,
+            mode: PowerMode::multiclock(),
+        }
+    }
+
+    /// Enumerates the full lattice in deterministic best-first order.
+    ///
+    /// Order per voltage (nominal first): the five anchor rows, deeper
+    /// multi-clock latch designs (`n = 4..=n_max`), integrated-DFF
+    /// ablation points, split-allocation points, then phase-affine
+    /// schedules. Voltage-scaled replicas follow the nominal block in
+    /// `voltages` order.
+    #[must_use]
+    pub fn enumerate(&self) -> Lattice {
+        let mut flows: Vec<FlowSpec> = Vec::new();
+        let mut points: Vec<DesignPoint> = Vec::new();
+        let flow_index = |flows: &mut Vec<FlowSpec>, spec: FlowSpec| -> usize {
+            match flows.iter().position(|f| *f == spec) {
+                Some(i) => i,
+                None => {
+                    flows.push(spec);
+                    flows.len() - 1
+                }
+            }
+        };
+        for &volts in &self.voltages {
+            let reference = FlowSpec {
+                scheduler: SchedulerChoice::Reference,
+                affine_clocks: 0,
+                volts,
+            };
+            let ref_flow = flow_index(&mut flows, reference);
+            let push_ref = |points: &mut Vec<DesignPoint>, style: DesignStyle| {
+                points.push(DesignPoint {
+                    style,
+                    scheduler: SchedulerChoice::Reference,
+                    volts,
+                    flow: ref_flow,
+                });
+            };
+            // Anchors: the five paper-table rows.
+            for style in anchor_styles() {
+                push_ref(&mut points, style);
+            }
+            // Deeper multi-clock latch designs beyond the paper's n = 3.
+            for n in 4..=self.n_max {
+                push_ref(&mut points, DesignStyle::MultiClock(n));
+            }
+            // Integrated allocation with DFFs (the latch-vs-register
+            // ablation, §5.2).
+            for n in 1..=self.n_max {
+                push_ref(
+                    &mut points,
+                    Self::custom(Strategy::Integrated, n, MemKind::Dff),
+                );
+            }
+            // Split allocation (§4.1), both memory kinds.
+            for n in 2..=self.n_max {
+                for mem in [MemKind::Latch, MemKind::Dff] {
+                    push_ref(&mut points, Self::custom(Strategy::Split, n, mem));
+                }
+            }
+            // Phase-affine schedules: latency-for-power trades.
+            for &stretch in &self.stretches {
+                for n in 2..=self.n_max {
+                    let spec = FlowSpec {
+                        scheduler: SchedulerChoice::PhaseAffine { stretch },
+                        affine_clocks: n,
+                        volts,
+                    };
+                    let flow = flow_index(&mut flows, spec);
+                    points.push(DesignPoint {
+                        style: DesignStyle::MultiClock(n),
+                        scheduler: SchedulerChoice::PhaseAffine { stretch },
+                        volts,
+                        flow,
+                    });
+                }
+            }
+        }
+        Lattice { flows, points }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_lead_the_enumeration() {
+        let lattice = ExploreSpace::default().enumerate();
+        let head: Vec<DesignStyle> = lattice.points[..5].iter().map(|p| p.style).collect();
+        assert_eq!(head, anchor_styles());
+        assert!(lattice.points[..5]
+            .iter()
+            .all(|p| p.scheduler == SchedulerChoice::Reference && p.volts == NOMINAL_VOLTS));
+    }
+
+    #[test]
+    fn enumeration_is_deterministic_and_duplicate_free() {
+        let a = ExploreSpace::default().enumerate();
+        let b = ExploreSpace::default().enumerate();
+        assert_eq!(a.points.len(), b.points.len());
+        for (x, y) in a.points.iter().zip(&b.points) {
+            assert_eq!(x, y);
+        }
+        let mut labels: Vec<String> = a.points.iter().map(DesignPoint::label).collect();
+        labels.sort();
+        let before = labels.len();
+        labels.dedup();
+        assert_eq!(labels.len(), before, "duplicate lattice points");
+    }
+
+    #[test]
+    fn lattice_spans_every_dimension() {
+        let lattice = ExploreSpace::default().enumerate();
+        let points = &lattice.points;
+        assert!(points.iter().any(|p| p.style.mem_kind() == MemKind::Dff));
+        assert!(points
+            .iter()
+            .any(|p| p.style.strategy() == mc_alloc::Strategy::Split));
+        assert!(points
+            .iter()
+            .any(|p| matches!(p.scheduler, SchedulerChoice::PhaseAffine { .. })));
+        assert!(points.iter().any(|p| p.volts < NOMINAL_VOLTS));
+        assert!(points.iter().any(|p| p.style.clocks() == 4));
+        // Integrated+latch folds to the canonical MultiClock variant.
+        assert!(points.iter().all(
+            |p| !matches!(p.style, DesignStyle::Custom { mem_kind, strategy, .. }
+                if mem_kind == MemKind::Latch && strategy == mc_alloc::Strategy::Integrated)
+        ));
+    }
+
+    #[test]
+    fn flow_groups_are_shared_per_scheduler_and_voltage() {
+        let lattice = ExploreSpace::default().enumerate();
+        // 2 voltages × (1 reference + 3 affine clock counts) = 8 groups.
+        assert_eq!(lattice.flows.len(), 8);
+        for p in &lattice.points {
+            let spec = lattice.flows[p.flow];
+            assert_eq!(spec.volts, p.volts);
+            assert_eq!(spec.scheduler, p.scheduler);
+        }
+    }
+}

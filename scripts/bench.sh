@@ -20,3 +20,24 @@ cargo bench -p mc-bench --bench sim_kernel
 
 test -s "$MC_BENCH_OUT" || { echo "bench.sh: $MC_BENCH_OUT missing or empty" >&2; exit 1; }
 echo "==> bench.sh: wrote $MC_BENCH_OUT"
+
+# Explorer artifact: Pareto exploration of two paper benchmarks with
+# per-point wall-clock and cache counters, via the mcpm CLI. Iteration
+# count maps to the simulation depth so the CI smoke run stays quick.
+EXPLORE_OUT="${MC_EXPLORE_OUT:-$(pwd)/BENCH_explore.json}"
+COMPUTATIONS=$(( ${MC_BENCH_ITERS:-10} * 30 ))
+
+echo "==> mcpm explore (facet, hal) → $EXPLORE_OUT"
+cargo build --release -q --bin mcpm
+{
+    printf '{"explore":['
+    ./target/release/mcpm explore --benchmark facet \
+        --computations "$COMPUTATIONS" --json --timings
+    printf ','
+    ./target/release/mcpm explore --benchmark hal \
+        --computations "$COMPUTATIONS" --json --timings
+    printf ']}'
+} > "$EXPLORE_OUT"
+
+test -s "$EXPLORE_OUT" || { echo "bench.sh: $EXPLORE_OUT missing or empty" >&2; exit 1; }
+echo "==> bench.sh: wrote $EXPLORE_OUT"

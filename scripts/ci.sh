@@ -21,4 +21,26 @@ run cargo test -q --workspace
 # backends are bit-identical before timing, so divergence fails the gate.
 MC_BENCH_ITERS=2 run scripts/bench.sh
 
+# Explorer determinism smoke: a tiny-budget exploration of two benchmarks
+# must emit bit-identical JSON on a repeated run and with the thread pool
+# disabled. Any diff means scheduling leaked into the numbers — fail.
+explore_smoke() {
+    local bench="$1" dir="$2"
+    echo "==> explorer determinism smoke: $bench"
+    ./target/release/mcpm explore --benchmark "$bench" --computations 40 \
+        --budget 8 --json --out "$dir/$bench.a.json" > /dev/null
+    ./target/release/mcpm explore --benchmark "$bench" --computations 40 \
+        --budget 8 --json --out "$dir/$bench.b.json" > /dev/null
+    ./target/release/mcpm explore --benchmark "$bench" --computations 40 \
+        --budget 8 --json --parallel false --out "$dir/$bench.seq.json" > /dev/null
+    cmp "$dir/$bench.a.json" "$dir/$bench.b.json" \
+        || { echo "ci.sh: $bench explorer JSON differs between runs" >&2; exit 1; }
+    cmp "$dir/$bench.a.json" "$dir/$bench.seq.json" \
+        || { echo "ci.sh: $bench explorer JSON differs parallel vs sequential" >&2; exit 1; }
+}
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+explore_smoke facet "$SMOKE_DIR"
+explore_smoke hal "$SMOKE_DIR"
+
 echo "==> ci.sh: all checks passed"

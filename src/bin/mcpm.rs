@@ -17,7 +17,9 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use multiclock::alloc::Strategy;
+use multiclock::bench::harness::{json_array, JsonObj};
 use multiclock::dfg::benchmarks::{self, Benchmark};
+use multiclock::explore::{ExploreSpace, Explorer};
 use multiclock::power::{per_component_power, profile::power_profile};
 use multiclock::rtl::{export, PowerMode};
 use multiclock::sim::{simulate, vcd, SimConfig};
@@ -39,15 +41,49 @@ impl Args {
         let mut i = 0;
         while i < rest.len() {
             let key = rest[i].strip_prefix("--")?.to_owned();
-            let value = rest.get(i + 1)?.clone();
-            flags.insert(key, value);
-            i += 2;
+            // `--flag value`, or a bare boolean `--flag` (next token is
+            // another flag or the end of the line).
+            match rest.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    flags.insert(key, v.clone());
+                    i += 2;
+                }
+                _ => {
+                    flags.insert(key, "true".to_owned());
+                    i += 1;
+                }
+            }
         }
         Some(Args { command, flags })
     }
 
     fn get(&self, key: &str) -> Option<&str> {
         self.flags.get(key).map(String::as_str)
+    }
+
+    /// Boolean flag: present (bare or `--flag true`) unless set to
+    /// `false`.
+    fn is_set(&self, key: &str) -> bool {
+        matches!(self.get(key), Some(v) if v != "false")
+    }
+
+    /// Comma-separated list flag, e.g. `--voltages 4.65,3.3`.
+    fn parse_list<T>(&self, key: &str, default: &[T]) -> Result<Vec<T>, String>
+    where
+        T: std::str::FromStr + Clone,
+    {
+        match self.get(key) {
+            None => Ok(default.to_vec()),
+            Some(raw) => raw
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .map_err(|_| format!("invalid value `{s}` in --{key}"))
+                })
+                .collect(),
+        }
     }
 
     fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
@@ -70,12 +106,16 @@ fn usage() -> &'static str {
      \x20         [--strategy conventional|split|integrated] [--mem latch|dff]\n\
      \x20         [--export vhdl|dot|vcd] [--out FILE]\n\
      \x20 sweep   --benchmark NAME [--max-clocks N]   clock-count sweep\n\
+     \x20 explore --benchmark NAME | --file F    Pareto design-space exploration\n\
+     \x20         [--max-clocks N] [--budget K] [--voltages V1,V2] [--stretch S1,S2]\n\
+     \x20         [--threads T] [--parallel false] [--timings] [--out FILE]\n\
      \x20 profile --benchmark NAME --clocks N    power-over-time (folded by period)\n\
      \x20 top     --benchmark NAME --clocks N [--count K]   hottest components\n\
      \x20 stats   --benchmark NAME --clocks N [--seeds K]   power spread across seeds\n\
      \x20 signoff --benchmark NAME | --file F    equivalence + lint + discipline + timing\n\
      \n\
-     common flags: --computations N (default 400), --seed S (default 42)"
+     common flags: --computations N (default 400), --seed S (default 42),\n\
+     \x20             --json (eval/sweep/explore emit machine-readable JSON)"
 }
 
 fn find_benchmark(name: &str) -> Result<Benchmark, String> {
@@ -150,6 +190,30 @@ fn style_from(args: &Args) -> Result<DesignStyle, String> {
     })
 }
 
+/// Serialises an experiment table with the bench-harness JSON
+/// conventions (`f64` via `Display`: shortest round-trip, deterministic).
+fn table_json(table: &multiclock::experiment::Table, seed: u64, computations: usize) -> String {
+    let rows = json_array(table.rows.iter().map(|row| {
+        JsonObj::new()
+            .str("style", &row.label)
+            .num("power_mw", row.report.power.total_mw)
+            .num("area_lambda2", row.report.area.total_lambda2)
+            .str("alus", &row.report.stats.alu_summary())
+            .num("mem_cells", row.report.stats.mem_cells)
+            .num("mux_inputs", row.report.stats.mux_inputs)
+            .finish()
+    }));
+    let mut doc = JsonObj::new()
+        .str("benchmark", &table.benchmark)
+        .num("seed", seed)
+        .num("computations", computations)
+        .raw("rows", &rows);
+    if let Some(red) = table.gated_to_best_multiclock_reduction() {
+        doc = doc.num("gated_to_best_multiclock_reduction", red);
+    }
+    doc.finish()
+}
+
 fn emit(args: &Args, text: &str) -> Result<(), String> {
     match args.get("out") {
         Some(path) => std::fs::write(path, text)
@@ -189,6 +253,9 @@ fn run() -> Result<(), String> {
             // are bit-identical to the sequential path.
             let table = multiclock::experiment::paper_table_parallel(&bm, computations, seed)
                 .map_err(|e| e.to_string())?;
+            if args.is_set("json") {
+                return emit(&args, &table_json(&table, seed, computations));
+            }
             println!("{}", table.render());
             if let Some(red) = table.gated_to_best_multiclock_reduction() {
                 println!("gated → best multiclock reduction: {:.1} %", red * 100.0);
@@ -240,6 +307,24 @@ fn run() -> Result<(), String> {
             let max: u32 = args.parse_num("max-clocks", 6)?;
             let sweep = multiclock::experiment::clock_sweep_parallel(&bm, max, computations, seed)
                 .map_err(|e| e.to_string())?;
+            if args.is_set("json") {
+                let rows = json_array(sweep.iter().map(|(n, rep)| {
+                    JsonObj::new()
+                        .num("clocks", n)
+                        .num("power_mw", rep.power.total_mw)
+                        .num("area_lambda2", rep.area.total_lambda2)
+                        .num("mem_cells", rep.stats.mem_cells)
+                        .num("mux_inputs", rep.stats.mux_inputs)
+                        .finish()
+                }));
+                let doc = JsonObj::new()
+                    .str("benchmark", bm.name())
+                    .num("seed", seed)
+                    .num("computations", computations)
+                    .raw("rows", &rows)
+                    .finish();
+                return emit(&args, &doc);
+            }
             println!(
                 "{:>3} {:>9} {:>12} {:>6} {:>6}",
                 "n", "mW", "λ²", "mem", "muxin"
@@ -254,6 +339,49 @@ fn run() -> Result<(), String> {
                 );
             }
             Ok(())
+        }
+        "explore" => {
+            let bm = load_behavior(&args)?;
+            let space = ExploreSpace {
+                n_max: args.parse_num("max-clocks", 4)?,
+                voltages: args
+                    .parse_list("voltages", &[multiclock::explore::NOMINAL_VOLTS, 3.3])?,
+                stretches: args.parse_list("stretch", &[2u32])?,
+            };
+            let mut explorer = Explorer::new()
+                .with_space(space)
+                .with_computations(computations)
+                .with_seed(seed)
+                .with_parallel(!matches!(args.get("parallel"), Some("false")));
+            if let Some(budget) = args.get("budget") {
+                explorer = explorer.with_budget(
+                    budget
+                        .parse()
+                        .map_err(|_| format!("invalid value `{budget}` for --budget"))?,
+                );
+            }
+            if let Some(threads) = args.get("threads") {
+                explorer = explorer.with_threads(
+                    threads
+                        .parse()
+                        .map_err(|_| format!("invalid value `{threads}` for --threads"))?,
+                );
+            }
+            let report = explorer.run(&bm).map_err(|e| e.to_string())?;
+            if args.is_set("json") {
+                let doc = if args.is_set("timings") {
+                    report.to_json_with_timings()
+                } else {
+                    report.to_json()
+                };
+                return emit(&args, &doc);
+            }
+            let mut text = report.render_ranked();
+            if args.is_set("timings") {
+                text.push('\n');
+                text.push_str(&report.render_timings());
+            }
+            emit(&args, &text)
         }
         "profile" => {
             let bm = load_behavior(&args)?;

@@ -125,6 +125,83 @@ fn sweep_outputs_one_row_per_clock_count() {
 }
 
 #[test]
+fn eval_json_is_machine_readable() {
+    let (ok, stdout, _) = mcpm(&[
+        "eval",
+        "--benchmark",
+        "facet",
+        "--computations",
+        "40",
+        "--json",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.starts_with('{'), "{stdout}");
+    assert!(stdout.contains("\"benchmark\":\"facet\""));
+    assert!(stdout.contains("\"style\":\"3 Clocks\""));
+    assert!(stdout.contains("\"gated_to_best_multiclock_reduction\":"));
+}
+
+#[test]
+fn sweep_json_has_one_row_per_clock_count() {
+    let (ok, stdout, _) = mcpm(&[
+        "sweep",
+        "--benchmark",
+        "hal",
+        "--max-clocks",
+        "3",
+        "--computations",
+        "30",
+        "--json",
+    ]);
+    assert!(ok, "{stdout}");
+    assert_eq!(stdout.matches("\"clocks\":").count(), 3, "{stdout}");
+    assert!(stdout.contains("\"power_mw\":"));
+}
+
+#[test]
+fn explore_renders_a_frontier_table() {
+    let (ok, stdout, stderr) = mcpm(&[
+        "explore",
+        "--benchmark",
+        "hal",
+        "--computations",
+        "30",
+        "--budget",
+        "6",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("Design-space exploration: hal"));
+    assert!(stdout.contains("Pareto-optimal"));
+    assert!(stdout.contains("3 Clocks"));
+}
+
+#[test]
+fn explore_json_is_deterministic_across_runs_and_thread_counts() {
+    let args = [
+        "explore",
+        "--benchmark",
+        "facet",
+        "--computations",
+        "30",
+        "--budget",
+        "8",
+        "--json",
+    ];
+    let (ok1, run1, _) = mcpm(&args);
+    let (ok2, run2, _) = mcpm(&args);
+    let mut sequential = args.to_vec();
+    sequential.extend(["--parallel", "false"]);
+    let (ok3, run3, _) = mcpm(&sequential);
+    assert!(ok1 && ok2 && ok3);
+    assert_eq!(run1, run2, "same-seed reruns must emit identical JSON");
+    assert_eq!(
+        run1, run3,
+        "parallel and sequential must emit identical JSON"
+    );
+    assert!(run1.contains("\"on_frontier\":true"));
+}
+
+#[test]
 fn signoff_is_clean_for_multiclock_designs() {
     let (ok, stdout, _) = mcpm(&[
         "signoff",

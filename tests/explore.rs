@@ -1,0 +1,141 @@
+//! Acceptance tests for the design-space explorer (`mc-explore`): the
+//! frontier recovers the paper's best multi-clock configuration on every
+//! paper benchmark, and the whole run — numbers, frontier, JSON — is
+//! bit-identical across repeats and between sequential and parallel
+//! evaluation.
+
+use multiclock::dfg::benchmarks;
+use multiclock::explore::{ExploreSpace, Explorer, SchedulerChoice};
+use multiclock::DesignStyle;
+
+/// Enough vectors for stable numbers, small enough for CI.
+const COMPUTATIONS: usize = 60;
+
+fn explorer() -> Explorer {
+    Explorer::new().with_computations(COMPUTATIONS)
+}
+
+/// The paper-table best multi-clock style for `bm`: the lowest-power row
+/// among `MultiClock(n ≥ 2)` of the five-row paper table.
+fn paper_best_style(bm: &benchmarks::Benchmark) -> DesignStyle {
+    let table = multiclock::experiment::paper_table(bm, COMPUTATIONS, 42).expect("paper table");
+    table
+        .rows
+        .iter()
+        .filter(|r| matches!(r.style, DesignStyle::MultiClock(n) if n >= 2))
+        .min_by(|a, b| a.report.power.total_mw.total_cmp(&b.report.power.total_mw))
+        .expect("paper table has multi-clock rows")
+        .style
+}
+
+/// Acceptance (a): on every paper benchmark, the frontier of the full
+/// default lattice contains the paper's best multi-clock configuration
+/// (reference schedule; any supply voltage — undervolting the same
+/// configuration is a legitimate refinement, not a contradiction).
+#[test]
+fn frontier_contains_the_paper_best_multiclock_configuration() {
+    for bm in benchmarks::paper_benchmarks() {
+        let best = paper_best_style(&bm);
+        let report = explorer().run(&bm).expect("exploration succeeds");
+        let found = report
+            .frontier()
+            .into_iter()
+            .any(|r| r.point.style == best && r.point.scheduler == SchedulerChoice::Reference);
+        assert!(
+            found,
+            "{}: paper-best {} not on the frontier:\n{}",
+            bm.name(),
+            best.label(),
+            report.render_ranked()
+        );
+    }
+}
+
+/// Acceptance (b), same-seed repeats: two runs emit bit-identical JSON.
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let bm = benchmarks::hal();
+    let a = explorer().run(&bm).expect("first run");
+    let b = explorer().run(&bm).expect("second run");
+    assert_eq!(a.to_json(), b.to_json());
+}
+
+/// Acceptance (b), parallel ≡ sequential: the pool cannot perturb a
+/// single bit of the report, at any thread count.
+#[test]
+fn parallel_and_sequential_runs_are_bit_identical() {
+    let bm = benchmarks::facet();
+    let seq = explorer()
+        .with_parallel(false)
+        .run(&bm)
+        .expect("sequential run");
+    for threads in [2, 3, 8] {
+        let par = explorer()
+            .with_threads(threads)
+            .run(&bm)
+            .expect("parallel run");
+        assert_eq!(seq.to_json(), par.to_json(), "threads = {threads}");
+        assert_eq!(
+            seq.frontier().len(),
+            par.frontier().len(),
+            "threads = {threads}"
+        );
+    }
+}
+
+/// A different seed is allowed to (and here does) change the JSON — the
+/// determinism above is per-seed, not a constant output.
+#[test]
+fn seed_actually_feeds_the_evaluation() {
+    let bm = benchmarks::hal();
+    let a = explorer().with_budget(5).with_seed(1).run(&bm).unwrap();
+    let b = explorer().with_budget(5).with_seed(2).run(&bm).unwrap();
+    assert_ne!(a.to_json(), b.to_json());
+}
+
+/// Budgeted runs stop gracefully: exactly `budget` points (≥ the five
+/// anchors), the skip count reported, anchors evaluated first.
+#[test]
+fn budget_caps_evaluation_and_keeps_anchors() {
+    let bm = benchmarks::biquad();
+    let report = explorer().with_budget(7).run(&bm).unwrap();
+    assert_eq!(report.results.len(), 7);
+    assert_eq!(report.skipped, report.lattice_points - 7);
+    let styles: Vec<DesignStyle> = report.results[..5].iter().map(|r| r.point.style).collect();
+    assert_eq!(styles, DesignStyle::paper_rows());
+}
+
+/// Voltage scaling shows up on the frontier as genuinely new trade-off
+/// points: some low-voltage point survives dominance pruning.
+#[test]
+fn voltage_scaled_points_reach_the_frontier() {
+    let bm = benchmarks::bandpass();
+    let report = explorer().run(&bm).unwrap();
+    assert!(
+        report
+            .frontier()
+            .into_iter()
+            .any(|r| r.point.volts < multiclock::explore::NOMINAL_VOLTS),
+        "{}",
+        report.render_ranked()
+    );
+}
+
+/// Custom spaces restrict the lattice: with one voltage and no affine
+/// stretches, every point is a nominal reference-schedule point.
+#[test]
+fn custom_space_restricts_the_lattice() {
+    let bm = benchmarks::facet();
+    let space = ExploreSpace {
+        n_max: 3,
+        voltages: vec![multiclock::explore::NOMINAL_VOLTS],
+        stretches: vec![],
+    };
+    let report = explorer().with_space(space).run(&bm).unwrap();
+    assert!(report
+        .results
+        .iter()
+        .all(|r| r.point.scheduler == SchedulerChoice::Reference
+            && r.point.volts == multiclock::explore::NOMINAL_VOLTS));
+    assert_eq!(report.skipped, 0);
+}

@@ -1,0 +1,85 @@
+//! Golden-file tests for the VHDL exporter over the paper benchmarks.
+//!
+//! Each bundled paper benchmark is synthesised in the paper's best style
+//! (`MultiClock(3)`) and exported; the emitted VHDL must match the
+//! checked-in golden file byte for byte. The exporter is deterministic,
+//! so any diff is a real output change — inspect it, and if intentional,
+//! regenerate with:
+//!
+//! ```text
+//! MC_UPDATE_GOLDEN=1 cargo test --test golden_vhdl
+//! ```
+
+use std::path::PathBuf;
+
+use multiclock::dfg::benchmarks;
+use multiclock::rtl::export::to_vhdl;
+use multiclock::{DesignStyle, Synthesizer};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}_3clk.vhdl"))
+}
+
+fn exported_vhdl(bm: &benchmarks::Benchmark) -> String {
+    let design = Synthesizer::for_benchmark(bm)
+        .synthesize(DesignStyle::MultiClock(3))
+        .expect("paper benchmarks synthesise under 3 clocks");
+    to_vhdl(&design.datapath.netlist)
+}
+
+#[test]
+fn vhdl_export_matches_golden_files() {
+    let update = std::env::var_os("MC_UPDATE_GOLDEN").is_some();
+    let mut mismatches = Vec::new();
+    for bm in benchmarks::paper_benchmarks() {
+        let vhdl = exported_vhdl(&bm);
+        let path = golden_path(bm.name());
+        if update {
+            std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir");
+            std::fs::write(&path, &vhdl).expect("write golden");
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+        if vhdl != golden {
+            // Report the first diverging line, not a thousand-line dump.
+            let line = vhdl
+                .lines()
+                .zip(golden.lines())
+                .position(|(a, b)| a != b)
+                .map_or_else(
+                    || vhdl.lines().count().min(golden.lines().count()),
+                    |l| l + 1,
+                );
+            mismatches.push(format!("{}: first diff at line {line}", bm.name()));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "VHDL output drifted from goldens (regenerate with MC_UPDATE_GOLDEN=1 \
+         if intentional):\n{}",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn golden_files_carry_the_multiclock_interface() {
+    if std::env::var_os("MC_UPDATE_GOLDEN").is_some() {
+        // Regeneration mode: the sibling test may still be writing.
+        return;
+    }
+    for bm in benchmarks::paper_benchmarks() {
+        let golden = std::fs::read_to_string(golden_path(bm.name()))
+            .unwrap_or_else(|e| panic!("missing golden for {}: {e}", bm.name()));
+        assert!(
+            golden.contains(&format!("entity {}_integrated_3clk is", bm.name())),
+            "{}: entity name",
+            bm.name()
+        );
+        for clk in ["CLK1", "CLK2", "CLK3"] {
+            assert!(golden.contains(clk), "{}: missing {clk} port", bm.name());
+        }
+    }
+}

@@ -144,6 +144,74 @@ fn dsl_round_trip_preserves_semantics() {
     }
 }
 
+/// §4.2's latch-merging rule, stated directly on lifetimes: left-edge
+/// packing for latches never co-locates two variables whose READ/WRITE
+/// lifetimes overlap *or even touch* — a latch is transparent while its
+/// clock is high, so a value written in the step its co-resident dies
+/// would race through. (DFFs only need edge-disjointness; touching is
+/// legal there, which `left_edge_invariants` covers via `compatible`.)
+#[test]
+fn latch_merging_never_overlaps_lifetimes() {
+    let mut rng = Xoshiro256::seed_from_u64(0x1A7C4);
+    for case in 0..CASES {
+        let count = rng.range_inclusive(2, 31) as usize;
+        let intervals: Vec<Interval> = (0..count)
+            .map(|id| {
+                let w = rng.below(24) as u32;
+                let span = rng.below(9) as u32;
+                Interval {
+                    id,
+                    write_step: w,
+                    death: w + span,
+                }
+            })
+            .collect();
+        for group in left_edge(&intervals, MemKind::Latch) {
+            for (i, &x) in group.iter().enumerate() {
+                for &y in &group[i + 1..] {
+                    let (a, b) = (&intervals[x], &intervals[y]);
+                    let (first, second) = if a.write_step <= b.write_step {
+                        (a, b)
+                    } else {
+                        (b, a)
+                    };
+                    assert!(
+                        first.death < second.write_step,
+                        "case {case}: latch shares [{}, {}] with [{}, {}]",
+                        first.write_step,
+                        first.death,
+                        second.write_step,
+                        second.death
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The same rule end-to-end: every latch-based integrated allocation of a
+/// random behaviour passes the netlist-level latch-discipline audit (no
+/// memory captures while a co-resident value is still being read).
+#[test]
+fn random_integrated_latch_allocations_keep_latch_discipline() {
+    use multiclock::rtl::discipline::check_latch_discipline;
+    let mut rng = Xoshiro256::seed_from_u64(0xD15C);
+    for _ in 0..CASES {
+        let seed = rng.below(500);
+        let nodes = rng.range_inclusive(4, 17) as usize;
+        let n = rng.range_inclusive(1, 3) as u32;
+        let cfg = RandomDfgConfig::new(nodes).with_seed(seed).with_inputs(3);
+        let (dfg, schedule) = random_scheduled_dfg(&cfg);
+        let opts = AllocOptions::new(Strategy::Integrated, ClockScheme::new(n).expect("valid"));
+        let dp = allocate(&dfg, &schedule, &opts).expect("allocates");
+        let hazards = check_latch_discipline(&dp.netlist, false);
+        assert!(
+            hazards.is_empty(),
+            "seed {seed} nodes {nodes} n {n}: {hazards:?}"
+        );
+    }
+}
+
 /// The partition/local-step maps are a bijection for every scheme.
 #[test]
 fn clock_scheme_bijection() {
