@@ -1,0 +1,177 @@
+//! Batched multi-lane kernel benchmark: aggregate multi-seed throughput
+//! of [`mc_sim::BatchedProgram`] vs the same seeds looped one at a time
+//! through the scalar compiled kernel, on the paper-table workloads.
+//! Emits `BENCH_batch.json`.
+//!
+//! Each side runs its real Monte-Carlo workflow end to end: the scalar
+//! loop calls `simulate` per seed (re-lowering and building output maps
+//! each time, as every scalar consumer does), the batched side compiles
+//! once and takes the activity-only path (`run_seeds_activity`) that
+//! Monte-Carlo power estimation consumes.
+//!
+//! Before timing anything, every workload's batched run is asserted
+//! bit-identical, lane by lane, to the scalar per-seed runs (activity
+//! and outputs) — a divergence aborts the bench before a misleading
+//! number is ever written.
+//!
+//! Run with `cargo bench -p mc-bench --bench sim_batched`. The JSON
+//! lands at `$MC_BATCH_OUT` (default `BENCH_batch.json` in the working
+//! directory); `MC_BENCH_ITERS` adjusts the iteration count. Speedups
+//! compare medians, so one descheduled iteration cannot skew the ratio.
+
+use std::hint::black_box;
+use std::io::Write as _;
+
+use mc_alloc::{allocate, AllocOptions, Strategy};
+use mc_bench::harness::{bench_steps, json_string};
+use mc_clocks::ClockScheme;
+use mc_dfg::benchmarks::{self, Benchmark};
+use mc_power::derive_seeds;
+use mc_rtl::{Netlist, PowerMode};
+use mc_sim::{simulate, simulate_seeds, BatchedProgram, SimBackend, SimConfig};
+
+/// Computations per seed — enough steps that per-step cost dominates the
+/// one-time lowering (same figure as the `sim_kernel` bench).
+const COMPUTATIONS: usize = 400;
+const SEED: u64 = 42;
+/// The headline lane width of the issue's throughput target.
+const LANES: usize = 16;
+
+struct Workload {
+    name: &'static str,
+    netlist: Netlist,
+    mode: PowerMode,
+}
+
+fn workload(
+    name: &'static str,
+    bm: &Benchmark,
+    strategy: Strategy,
+    n: u32,
+    mode: PowerMode,
+) -> Workload {
+    let opts = AllocOptions::new(strategy, ClockScheme::new(n).expect("valid clock count"));
+    let dp = allocate(&bm.dfg, &bm.schedule, &opts).expect("allocation succeeds");
+    Workload {
+        name,
+        netlist: dp.netlist,
+        mode,
+    }
+}
+
+/// The paper-table design points: the multi-clock style on the four table
+/// benchmarks, plus one conventional gated-clock reference point.
+fn workloads() -> Vec<Workload> {
+    vec![
+        workload(
+            "facet_integrated_n3_multiclock",
+            &benchmarks::facet(),
+            Strategy::Integrated,
+            3,
+            PowerMode::multiclock(),
+        ),
+        workload(
+            "hal_integrated_n3_multiclock",
+            &benchmarks::hal(),
+            Strategy::Integrated,
+            3,
+            PowerMode::multiclock(),
+        ),
+        workload(
+            "biquad_integrated_n2_multiclock",
+            &benchmarks::biquad(),
+            Strategy::Integrated,
+            2,
+            PowerMode::multiclock(),
+        ),
+        workload(
+            "bandpass_split_n3_multiclock",
+            &benchmarks::bandpass(),
+            Strategy::Split,
+            3,
+            PowerMode::multiclock(),
+        ),
+        workload(
+            "hal_conventional_n1_gated",
+            &benchmarks::hal(),
+            Strategy::Conventional,
+            1,
+            PowerMode::gated(),
+        ),
+    ]
+}
+
+/// Asserts every batched lane is bit-identical to a scalar compiled run
+/// with the same seed (activity and outputs, plus the activity-only fast
+/// path) before any timing happens.
+fn assert_lanes_identical(w: &Workload, seeds: &[u64]) {
+    let batched = simulate_seeds(&w.netlist, w.mode, 16, seeds, LANES, true);
+    let activities =
+        BatchedProgram::compile(&w.netlist, w.mode, LANES).run_seeds_activity(16, seeds, true);
+    for ((seed, lane), activity) in seeds.iter().zip(&batched).zip(&activities) {
+        let cfg = SimConfig::new(w.mode, 16, *seed)
+            .with_profile()
+            .with_backend(SimBackend::Compiled);
+        let scalar = simulate(&w.netlist, &cfg);
+        assert_eq!(
+            lane.activity, scalar.activity,
+            "LANE DIVERGENCE (activity) on {} seed {seed}",
+            w.name
+        );
+        assert_eq!(
+            lane.outputs, scalar.outputs,
+            "LANE DIVERGENCE (outputs) on {} seed {seed}",
+            w.name
+        );
+        assert_eq!(
+            *activity, scalar.activity,
+            "LANE DIVERGENCE (activity-only path) on {} seed {seed}",
+            w.name
+        );
+    }
+}
+
+fn main() {
+    let seeds = derive_seeds(SEED, LANES);
+    let mut entries = Vec::new();
+    for w in workloads() {
+        assert_lanes_identical(&w, &seeds);
+        let steps =
+            COMPUTATIONS as u64 * u64::from(w.netlist.controller().len()) * seeds.len() as u64;
+        let scalar = bench_steps(&format!("batch/{}/scalar_loop", w.name), steps, || {
+            for seed in &seeds {
+                let cfg =
+                    SimConfig::new(w.mode, COMPUTATIONS, *seed).with_backend(SimBackend::Compiled);
+                let r = simulate(black_box(&w.netlist), &cfg);
+                black_box(r.activity.steps);
+            }
+        });
+        let batched = bench_steps(&format!("batch/{}/batched_x{LANES}", w.name), steps, || {
+            let program = BatchedProgram::compile(black_box(&w.netlist), w.mode, LANES);
+            let activities = program.run_seeds_activity(COMPUTATIONS, &seeds, false);
+            black_box(activities.len());
+        });
+        let speedup = scalar.median.as_secs_f64() / batched.median.as_secs_f64();
+        let seeds_per_sec = seeds.len() as f64 / batched.median.as_secs_f64();
+        println!(
+            "{:<40} speedup {speedup:.2}x  ({seeds_per_sec:.1} seeds/s batched)",
+            format!("batch/{}", w.name)
+        );
+        entries.push(format!(
+            "{{\"benchmark\":{},\"lanes\":{LANES},\"seeds\":{},\"steps\":{steps},\
+             \"scalar_loop\":{},\"batched\":{},\"speedup\":{speedup:.2},\
+             \"batched_seeds_per_sec\":{seeds_per_sec:.1}}}",
+            json_string(w.name),
+            seeds.len(),
+            scalar.to_json(),
+            batched.to_json()
+        ));
+    }
+
+    let out_path = std::env::var("MC_BATCH_OUT").unwrap_or_else(|_| "BENCH_batch.json".to_string());
+    let json = format!("[\n  {}\n]\n", entries.join(",\n  "));
+    let mut file = std::fs::File::create(&out_path)
+        .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
+    file.write_all(json.as_bytes()).expect("write bench json");
+    println!("wrote {out_path}");
+}

@@ -133,7 +133,7 @@ fn main() {
             );
             black_box(r.activity.steps);
         });
-        let speedup = interp.mean.as_secs_f64() / kernel.mean.as_secs_f64();
+        let speedup = interp.median.as_secs_f64() / kernel.median.as_secs_f64();
         println!("{:<40} speedup {speedup:.2}x", format!("sim/{}", w.name));
         entries.push(format!(
             "{{\"benchmark\":{},\"steps\":{steps},\"interpreter\":{},\"compiled\":{},\"speedup\":{speedup:.2}}}",

@@ -1,7 +1,7 @@
 //! A minimal, dependency-free micro-benchmark harness (the workspace
 //! builds hermetically, so Criterion is not available). Each benchmark is
 //! timed over a fixed warm-up plus measured iterations; the report shows
-//! min / mean / max wall-clock per iteration, and results can be emitted
+//! min / median / mean / max wall-clock per iteration, and results can be emitted
 //! as machine-readable JSON for the bench trajectory (`BENCH_sim.json`).
 //!
 //! Iteration count defaults to 10 and can be overridden with the
@@ -21,6 +21,9 @@ pub struct BenchResult {
     pub min: Duration,
     /// Mean iteration time.
     pub mean: Duration,
+    /// Median iteration time — robust against a single descheduled
+    /// outlier, so speedup ratios and CI smoke checks compare medians.
+    pub median: Duration,
     /// Slowest iteration.
     pub max: Duration,
     /// Work units processed per iteration (simulation control steps for
@@ -33,8 +36,8 @@ impl BenchResult {
     #[must_use]
     pub fn render(&self) -> String {
         let mut line = format!(
-            "{:<40} [{:>10.3?} {:>10.3?} {:>10.3?}]  ({} iters)",
-            self.name, self.min, self.mean, self.max, self.iters
+            "{:<40} [{:>10.3?} {:>10.3?} {:>10.3?} {:>10.3?}]  ({} iters)",
+            self.name, self.min, self.median, self.mean, self.max, self.iters
         );
         if let Some(sps) = self.steps_per_sec() {
             line.push_str(&format!("  {sps:.3e} steps/s"));
@@ -60,6 +63,7 @@ impl BenchResult {
             .num("iters", self.iters)
             .num("min_ns", self.min.as_nanos())
             .num("mean_ns", self.mean.as_nanos())
+            .num("median_ns", self.median.as_nanos())
             .num("max_ns", self.max.as_nanos());
         if let Some(steps) = self.steps {
             obj = obj.num("steps", steps);
@@ -220,16 +224,37 @@ fn bench_with_steps<F: FnMut()>(name: &str, steps: Option<u64>, mut f: F) -> Ben
     let min = *times.iter().min().expect("at least one iter");
     let max = *times.iter().max().expect("at least one iter");
     let mean = times.iter().sum::<Duration>() / iters as u32;
+    let median = median_duration(&times);
     let result = BenchResult {
         name: name.to_owned(),
         iters,
         min,
         mean,
+        median,
         max,
         steps,
     };
     println!("{}", result.render());
     result
+}
+
+/// The median of `times` (mean of the two central elements for even
+/// counts).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+#[must_use]
+pub fn median_duration(times: &[Duration]) -> Duration {
+    assert!(!times.is_empty(), "median of no samples");
+    let mut sorted = times.to_vec();
+    sorted.sort_unstable();
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2
+    }
 }
 
 #[cfg(test)]
@@ -242,6 +267,7 @@ mod tests {
         let r = bench("noop", || runs += 1);
         assert_eq!(runs, r.iters + 1, "warm-up plus measured");
         assert!(r.min <= r.mean && r.mean <= r.max);
+        assert!(r.min <= r.median && r.median <= r.max);
         assert!(r.render().contains("noop"));
         assert!(r.steps.is_none());
         assert!(r.steps_per_sec().is_none());
@@ -254,12 +280,14 @@ mod tests {
             iters: 2,
             min: Duration::from_nanos(100),
             mean: Duration::from_nanos(200),
+            median: Duration::from_nanos(180),
             max: Duration::from_nanos(300),
             steps: Some(1000),
         };
         let json = r.to_json();
         assert!(json.contains("\"name\":\"sim\""));
         assert!(json.contains("\"mean_ns\":200"));
+        assert!(json.contains("\"median_ns\":180"));
         assert!(json.contains("\"steps\":1000"));
         assert!(json.contains("\"steps_per_sec\":"));
         let sps = r.steps_per_sec().unwrap();
@@ -291,6 +319,19 @@ mod tests {
     fn json_floats_render_as_plain_numbers() {
         let doc = JsonObj::new().num("x", 0.25f64).num("y", 12.0f64).finish();
         assert_eq!(doc, "{\"x\":0.25,\"y\":12}");
+    }
+
+    #[test]
+    fn median_resists_one_outlier() {
+        let ns = |n| Duration::from_nanos(n);
+        // Odd count: middle element, unmoved by the 10 µs outlier.
+        assert_eq!(median_duration(&[ns(100), ns(10_000), ns(110)]), ns(110));
+        // Even count: mean of the two central elements.
+        assert_eq!(
+            median_duration(&[ns(100), ns(200), ns(400), ns(10_000)]),
+            ns(300)
+        );
+        assert_eq!(median_duration(&[ns(42)]), ns(42));
     }
 
     #[test]

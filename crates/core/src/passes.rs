@@ -270,8 +270,13 @@ pub struct SimTrace {
     /// The execution backend that produced the trace.
     pub backend: SimBackend,
     /// Simulation throughput in control steps per second (compile time
-    /// included for the compiled backend).
+    /// included for the compiled backend; aggregated across seeds for
+    /// Monte-Carlo runs).
     pub steps_per_sec: f64,
+    /// Per-seed activities of a Monte-Carlo run (empty for the
+    /// historical single-seed path; `seed_activities[0]` is the flow
+    /// seed and equals [`SimTrace::activity`]).
+    pub seed_activities: Vec<Activity>,
 }
 
 impl Artifact for SimTrace {
@@ -311,6 +316,9 @@ impl Pass for SimulatePass {
         ctx: &mut FlowContext,
     ) -> Result<Self::Output, SynthesisError> {
         let cfg = SimConfig::new(self.mode, ctx.computations(), ctx.seed());
+        if ctx.power_seeds() > 1 {
+            return self.run_monte_carlo(datapath, ctx, cfg.backend);
+        }
         let started = std::time::Instant::now();
         let result = mc_sim::simulate(&datapath.netlist, &cfg);
         let elapsed = started.elapsed().as_secs_f64();
@@ -335,6 +343,57 @@ impl Pass for SimulatePass {
             computations: ctx.computations(),
             backend: cfg.backend,
             steps_per_sec,
+            seed_activities: Vec::new(),
+        })
+    }
+}
+
+impl SimulatePass {
+    /// Monte-Carlo path: the batched kernel sweeps
+    /// [`FlowContext::power_seeds`] derived seeds,
+    /// [`FlowContext::batch`] lanes at a time. Lane 0 carries the flow
+    /// seed, so [`SimTrace::activity`] is bit-identical to the
+    /// single-seed run.
+    fn run_monte_carlo(
+        &self,
+        datapath: &Datapath,
+        ctx: &mut FlowContext,
+        backend: SimBackend,
+    ) -> Result<SimTrace, SynthesisError> {
+        let seeds = mc_power::derive_seeds(ctx.seed(), ctx.power_seeds());
+        let started = std::time::Instant::now();
+        let program = mc_sim::BatchedProgram::compile(&datapath.netlist, self.mode, ctx.batch());
+        let seed_activities: Vec<Activity> = program.run_seeds_activity(
+            ctx.computations(),
+            &seeds,
+            /* collect_profile */ false,
+        );
+        let elapsed = started.elapsed().as_secs_f64();
+        let total_steps: u64 = seed_activities.iter().map(|a| a.steps).sum();
+        let steps_per_sec = if elapsed > 0.0 {
+            total_steps as f64 / elapsed
+        } else {
+            f64::INFINITY
+        };
+        ctx.info(
+            self.name(),
+            format!(
+                "batched backend: {} seeds x {} lanes, {} steps in {:.2} ms ({:.3e} steps/s)",
+                seeds.len(),
+                program.lanes(),
+                total_steps,
+                elapsed * 1e3,
+                steps_per_sec
+            ),
+        );
+        let activity = seed_activities[0].clone();
+        Ok(SimTrace {
+            activity,
+            mode: self.mode,
+            computations: ctx.computations(),
+            backend,
+            steps_per_sec,
+            seed_activities,
         })
     }
 }
@@ -447,6 +506,14 @@ impl Pass for PowerPass {
         (datapath, trace): Self::Input<'_>,
         ctx: &mut FlowContext,
     ) -> Result<Self::Output, SynthesisError> {
+        if trace.seed_activities.len() > 1 {
+            return Ok(mc_power::evaluate_design_monte_carlo(
+                &datapath.netlist,
+                trace.mode,
+                ctx.tech(),
+                &trace.seed_activities,
+            ));
+        }
         Ok(evaluate_design_with_activity(
             &datapath.netlist,
             trace.mode,

@@ -81,6 +81,7 @@ impl Op {
     ///
     /// Panics in debug builds if `width` is not in `1..=63`.
     #[must_use]
+    #[inline]
     pub fn apply(self, a: u64, b: u64, width: u8) -> u64 {
         let m = Self::mask(width);
         let (a, b) = (a & m, b & m);

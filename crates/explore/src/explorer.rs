@@ -26,6 +26,8 @@ pub struct Explorer {
     budget: Option<usize>,
     computations: usize,
     seed: u64,
+    power_seeds: usize,
+    batch: usize,
     threads: usize,
     parallel: bool,
 }
@@ -37,6 +39,8 @@ impl Default for Explorer {
             budget: None,
             computations: 200,
             seed: 42,
+            power_seeds: 1,
+            batch: Flow::DEFAULT_BATCH,
             threads: default_threads(),
             parallel: true,
         }
@@ -81,6 +85,24 @@ impl Explorer {
         self
     }
 
+    /// Sets the stimulus seeds per power estimate (default 1). With more
+    /// than one seed, every point is priced as a Monte-Carlo mean through
+    /// the batched multi-lane kernel and the report carries per-point
+    /// 95 % confidence bounds.
+    #[must_use]
+    pub fn with_power_seeds(mut self, power_seeds: usize) -> Self {
+        self.power_seeds = power_seeds.max(1);
+        self
+    }
+
+    /// Sets the lane width of the batched kernel (default
+    /// [`Flow::DEFAULT_BATCH`]; throughput only, never results).
+    #[must_use]
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
     /// Sets the worker count for parallel evaluation.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
@@ -120,7 +142,11 @@ impl Explorer {
         let flows: Vec<Flow> = lattice
             .flows
             .iter()
-            .map(|spec| spec.build(bm, self.computations, self.seed))
+            .map(|spec| {
+                spec.build(bm, self.computations, self.seed)
+                    .with_power_seeds(self.power_seeds)
+                    .with_batch(self.batch)
+            })
             .collect();
         let threads = if self.parallel { self.threads } else { 1 };
         let evals = run_indexed(points.len(), threads, self.seed, |i| {
@@ -144,6 +170,7 @@ impl Explorer {
                 steps,
                 meets_target: e.report.timing.meets_target,
                 on_frontier: false,
+                power_ci: e.report.power_ci,
                 metrics: e.metrics,
             });
         }

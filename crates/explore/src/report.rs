@@ -16,6 +16,7 @@ use std::time::Duration;
 
 use mc_bench::harness::{json_array, JsonObj};
 use mc_core::flow::{CacheStats, PassMetrics};
+use mc_power::PowerCi;
 
 use crate::pareto::Objectives;
 use crate::space::DesignPoint;
@@ -33,6 +34,11 @@ pub struct PointResult {
     pub meets_target: bool,
     /// Whether the point survived dominance pruning.
     pub on_frontier: bool,
+    /// Monte-Carlo confidence bounds on the power objective, present
+    /// when the explorer ran more than one stimulus seed per point
+    /// ([`Explorer::with_power_seeds`](crate::Explorer::with_power_seeds));
+    /// `power_ci.mean_mw` equals [`Objectives::power_mw`].
+    pub power_ci: Option<PowerCi>,
     /// Per-pass instrumentation of this evaluation (timings vary run to
     /// run; excluded from deterministic JSON).
     pub metrics: Vec<PassMetrics>,
@@ -52,12 +58,18 @@ impl PointResult {
     }
 
     fn json_obj(&self) -> JsonObj {
-        JsonObj::new()
+        let mut obj = JsonObj::new()
             .str("style", &self.point.style.label())
             .str("scheduler", &self.point.scheduler.label())
             .num("volts", self.point.volts)
-            .num("power_mw", self.objectives.power_mw)
-            .num("area_lambda2", self.objectives.area_lambda2)
+            .num("power_mw", self.objectives.power_mw);
+        if let Some(ci) = &self.power_ci {
+            obj = obj
+                .num("power_std_mw", ci.std_mw)
+                .num("power_ci95_mw", ci.ci95_mw)
+                .num("power_seeds", ci.seeds);
+        }
+        obj.num("area_lambda2", self.objectives.area_lambda2)
             .num("latency_ns", self.objectives.latency_ns)
             .num("steps", self.steps)
             .bool("meets_target", self.meets_target)
@@ -235,6 +247,7 @@ mod tests {
             steps: 8,
             meets_target: true,
             on_frontier: frontier,
+            power_ci: None,
             metrics: Vec::new(),
         }
     }
@@ -279,6 +292,23 @@ mod tests {
         assert!(json.contains("\"on_frontier\":true"));
         assert!(!json.contains("eval_ms"));
         assert!(!json.contains("cache"));
+        // Single-seed points carry no Monte-Carlo fields.
+        assert!(!json.contains("power_ci95_mw"));
+    }
+
+    #[test]
+    fn monte_carlo_points_emit_confidence_fields() {
+        let mut r = report();
+        r.results[0].power_ci = Some(PowerCi {
+            mean_mw: 1.5,
+            std_mw: 0.2,
+            ci95_mw: 0.1,
+            seeds: 8,
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"power_ci95_mw\":0.1"));
+        assert!(json.contains("\"power_std_mw\":0.2"));
+        assert!(json.contains("\"power_seeds\":8"));
     }
 
     #[test]

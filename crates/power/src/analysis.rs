@@ -1,6 +1,9 @@
 //! Closed-form reproduction of the paper's §2 motivating analysis:
 //! component busy fractions under overlapped computations, and the
-//! capacitance conditions under which the multi-clock scheme wins.
+//! capacitance conditions under which the multi-clock scheme wins —
+//! plus the Monte-Carlo summary statistics behind multi-seed power
+//! estimation (mean, variance, 95 % confidence interval, and the
+//! sequential-batch early-stopping rule).
 
 /// Busy fraction of a component that operates in `busy_steps` of a `t`-step
 /// behaviour whose consecutive computations overlap by `overlap` steps
@@ -62,6 +65,69 @@ pub fn crude_register_advantage_mw(c_r_pf: f64, v: f64, f_mhz: f64) -> f64 {
     0.75 * c_r_pf * v * v * f_mhz / 1000.0
 }
 
+/// Summary statistics of a Monte-Carlo sample set (per-seed power
+/// totals, typically).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloStats {
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample variance (`n − 1` denominator; 0 for `n < 2`).
+    pub variance: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Half-width of the normal-approximation 95 % confidence interval,
+    /// `1.96·s/√n` (0 for `n < 2`).
+    pub ci95_half_width: f64,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+/// Computes mean, unbiased variance and the 95 % CI half-width of
+/// `samples`. Summation runs in slice order, so identical inputs yield
+/// bit-identical statistics.
+#[must_use]
+pub fn monte_carlo_stats(samples: &[f64]) -> MonteCarloStats {
+    let n = samples.len();
+    if n == 0 {
+        return MonteCarloStats {
+            mean: 0.0,
+            variance: 0.0,
+            std_dev: 0.0,
+            ci95_half_width: 0.0,
+            samples: 0,
+        };
+    }
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let variance = if n < 2 {
+        0.0
+    } else {
+        samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1) as f64
+    };
+    let std_dev = variance.sqrt();
+    let ci95_half_width = if n < 2 {
+        0.0
+    } else {
+        1.96 * std_dev / (n as f64).sqrt()
+    };
+    MonteCarloStats {
+        mean,
+        variance,
+        std_dev,
+        ci95_half_width,
+        samples: n,
+    }
+}
+
+/// The sequential-batch early-stopping rule: after each completed batch
+/// of seeds, stop once the 95 % CI half-width falls to `rel_ci` of the
+/// absolute mean (e.g. `0.01` = ±1 %). Requires at least two samples —
+/// a single sample has no variance estimate — and treats a zero mean as
+/// unconverged unless the half-width is exactly zero.
+#[must_use]
+pub fn ci_converged(stats: &MonteCarloStats, rel_ci: f64) -> bool {
+    stats.samples >= 2 && stats.ci95_half_width <= rel_ci * stats.mean.abs()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,5 +167,34 @@ mod tests {
         assert!(adv > 0.0);
         // 0.75 × 0.5 pF × 21.6 V² × 20 MHz = 162 µW.
         assert!((adv - 0.75 * 0.5 * 4.65 * 4.65 * 20.0 / 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monte_carlo_stats_match_hand_computation() {
+        let s = monte_carlo_stats(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.samples, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        // Unbiased variance of 1..4 is 5/3.
+        assert!((s.variance - 5.0 / 3.0).abs() < 1e-12);
+        assert!((s.ci95_half_width - 1.96 * s.std_dev / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_sample_sets_are_safe() {
+        let empty = monte_carlo_stats(&[]);
+        assert_eq!(empty.samples, 0);
+        assert_eq!(empty.mean, 0.0);
+        let one = monte_carlo_stats(&[7.0]);
+        assert_eq!(one.variance, 0.0);
+        assert_eq!(one.ci95_half_width, 0.0);
+        assert!(!ci_converged(&one, 0.5), "one sample never converges");
+    }
+
+    #[test]
+    fn convergence_requires_a_tight_interval() {
+        let tight = monte_carlo_stats(&[10.0, 10.01, 9.99, 10.0]);
+        assert!(ci_converged(&tight, 0.01));
+        let loose = monte_carlo_stats(&[5.0, 15.0, 2.0, 18.0]);
+        assert!(!ci_converged(&loose, 0.01));
     }
 }

@@ -350,6 +350,33 @@ pub fn per_dpm_power(
         .collect()
 }
 
+/// Monte-Carlo confidence bounds on a design's total power, from
+/// evaluating several independent stimulus seeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerCi {
+    /// Mean total power over the seeds (mW); equals
+    /// [`PowerReport::total_mw`] of the containing report.
+    pub mean_mw: f64,
+    /// Sample standard deviation of the per-seed totals (mW).
+    pub std_mw: f64,
+    /// Half-width of the 95 % confidence interval (mW): the true mean
+    /// lies in `mean_mw ± ci95_mw` with 95 % confidence under the normal
+    /// approximation.
+    pub ci95_mw: f64,
+    /// Number of seeds evaluated.
+    pub seeds: usize,
+}
+
+impl fmt::Display for PowerCi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.3} ± {:.3} mW (95 % CI, {} seeds)",
+            self.mean_mw, self.ci95_mw, self.seeds
+        )
+    }
+}
+
 /// A complete design evaluation: the paper's table row for one design.
 #[derive(Debug, Clone)]
 pub struct DesignReport {
@@ -363,6 +390,11 @@ pub struct DesignReport {
     pub stats: NetlistStats,
     /// Static timing summary (critical path / fmax).
     pub timing: crate::timing::TimingReport,
+    /// Monte-Carlo confidence bounds when the report averaged several
+    /// stimulus seeds ([`evaluate_design_monte_carlo`]); `None` for
+    /// single-seed evaluations, whose numbers are unchanged point
+    /// samples.
+    pub power_ci: Option<PowerCi>,
 }
 
 impl fmt::Display for DesignReport {
@@ -414,7 +446,132 @@ pub fn evaluate_design_with_activity(
         area: estimate_area(netlist, mode, lib),
         stats: netlist.stats(),
         timing: crate::timing::analyze_timing(netlist, lib),
+        power_ci: None,
     }
+}
+
+/// Prices one precomputed activity profile per stimulus seed and folds
+/// them into a Monte-Carlo report: every power mechanism is averaged
+/// over the seeds (pricing is linear in the counters, so this equals
+/// pricing the mean activity), and [`DesignReport::power_ci`] carries
+/// the mean, sample standard deviation and 95 % CI half-width of the
+/// per-seed totals. Area, resource stats and timing are seed-independent
+/// and evaluated once.
+///
+/// With a single activity this degenerates to
+/// [`evaluate_design_with_activity`] plus a zero-width interval.
+///
+/// # Panics
+///
+/// Panics if `activities` is empty.
+#[must_use]
+pub fn evaluate_design_monte_carlo(
+    netlist: &Netlist,
+    mode: PowerMode,
+    lib: &TechLibrary,
+    activities: &[mc_sim::Activity],
+) -> DesignReport {
+    assert!(
+        !activities.is_empty(),
+        "Monte-Carlo evaluation needs at least one seed's activity"
+    );
+    let reports: Vec<PowerReport> = activities
+        .iter()
+        .map(|a| estimate_power(netlist, a, lib))
+        .collect();
+    let n = reports.len() as f64;
+    let avg = |f: fn(&PowerReport) -> f64| reports.iter().map(f).sum::<f64>() / n;
+    let power = PowerReport {
+        total_mw: avg(|r| r.total_mw),
+        clock_mw: avg(|r| r.clock_mw),
+        storage_mw: avg(|r| r.storage_mw),
+        alu_mw: avg(|r| r.alu_mw),
+        mux_mw: avg(|r| r.mux_mw),
+        wire_mw: avg(|r| r.wire_mw),
+        control_mw: avg(|r| r.control_mw),
+        static_mw: avg(|r| r.static_mw),
+    };
+    let totals: Vec<f64> = reports.iter().map(|r| r.total_mw).collect();
+    let stats = crate::analysis::monte_carlo_stats(&totals);
+    DesignReport {
+        name: netlist.name().to_owned(),
+        power,
+        area: estimate_area(netlist, mode, lib),
+        stats: netlist.stats(),
+        timing: crate::timing::analyze_timing(netlist, lib),
+        power_ci: Some(PowerCi {
+            mean_mw: stats.mean,
+            std_mw: stats.std_dev,
+            ci95_mw: stats.ci95_half_width,
+            seeds: stats.samples,
+        }),
+    }
+}
+
+/// Configuration of an adaptive Monte-Carlo power evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloConfig {
+    /// Random computations per seed.
+    pub computations: usize,
+    /// First stimulus seed; seed `k` derives deterministically from it
+    /// (see [`derive_seeds`]), so identical configurations yield
+    /// bit-identical reports.
+    pub base_seed: u64,
+    /// Hard ceiling on the number of seeds.
+    pub max_seeds: usize,
+    /// Lane width of the batched kernel — also the sequential batch
+    /// granularity of the early-stopping check.
+    pub lanes: usize,
+    /// Early-stopping threshold: stop once the 95 % CI half-width is at
+    /// most this fraction of the mean (checked after each completed
+    /// batch; `None` always runs `max_seeds`).
+    pub rel_ci: Option<f64>,
+}
+
+/// Deterministic seed schedule for Monte-Carlo runs: seed `0` is `base`
+/// itself (so lane 0 reproduces the single-seed run exactly) and later
+/// seeds stride by the 64-bit golden ratio.
+#[must_use]
+pub fn derive_seeds(base: u64, n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|k| base.wrapping_add((k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        .collect()
+}
+
+/// Adaptive Monte-Carlo evaluation: simulates seeds through the batched
+/// multi-lane kernel one batch at a time, prices each lane, and stops
+/// early once the 95 % CI half-width of the total power falls under
+/// `cfg.rel_ci` of the mean (sequential-batch early stopping). Runs at
+/// most `cfg.max_seeds` seeds.
+///
+/// # Panics
+///
+/// Panics if `cfg.max_seeds` is zero.
+#[must_use]
+pub fn evaluate_design_monte_carlo_adaptive(
+    netlist: &Netlist,
+    mode: PowerMode,
+    lib: &TechLibrary,
+    cfg: &MonteCarloConfig,
+) -> DesignReport {
+    assert!(cfg.max_seeds > 0, "max_seeds must be positive");
+    let seeds = derive_seeds(cfg.base_seed, cfg.max_seeds);
+    let program = mc_sim::BatchedProgram::compile(netlist, mode, cfg.lanes);
+    let mut activities: Vec<mc_sim::Activity> = Vec::with_capacity(cfg.max_seeds);
+    let mut totals: Vec<f64> = Vec::with_capacity(cfg.max_seeds);
+    for chunk in seeds.chunks(program.lanes().max(1)) {
+        for activity in program.run_seeds_activity(cfg.computations, chunk, false) {
+            totals.push(estimate_power(netlist, &activity, lib).total_mw);
+            activities.push(activity);
+        }
+        if let Some(rel) = cfg.rel_ci {
+            let stats = crate::analysis::monte_carlo_stats(&totals);
+            if crate::analysis::ci_converged(&stats, rel) {
+                break;
+            }
+        }
+    }
+    evaluate_design_monte_carlo(netlist, mode, lib, &activities)
 }
 
 #[cfg(test)]
@@ -613,5 +770,97 @@ mod tests {
         assert!(s.contains("mW"));
         assert!(rep.power.to_string().contains("clk"));
         assert!(rep.area.to_string().contains("alu"));
+        assert!(rep.power_ci.is_none(), "single-seed runs carry no CI");
+    }
+
+    #[test]
+    fn monte_carlo_report_averages_the_seeds() {
+        let nl = hal(2, Strategy::Integrated);
+        let lib = TechLibrary::vsc450();
+        let mode = PowerMode::multiclock();
+        let seeds = derive_seeds(7, 4);
+        let activities: Vec<mc_sim::Activity> =
+            mc_sim::simulate_seeds(&nl, mode, 60, &seeds, 4, false)
+                .into_iter()
+                .map(|r| r.activity)
+                .collect();
+        let mc = evaluate_design_monte_carlo(&nl, mode, &lib, &activities);
+        let ci = mc.power_ci.expect("multi-seed report carries a CI");
+        assert_eq!(ci.seeds, 4);
+        assert!((ci.mean_mw - mc.power.total_mw).abs() < 1e-12);
+        assert!(ci.ci95_mw > 0.0, "independent seeds have spread");
+        assert!(ci.to_string().contains("95 % CI"));
+        // The mean equals the hand-averaged per-seed totals.
+        let mean: f64 = activities
+            .iter()
+            .map(|a| estimate_power(&nl, a, &lib).total_mw)
+            .sum::<f64>()
+            / 4.0;
+        assert!((mc.power.total_mw - mean).abs() < 1e-12);
+        // Seed 0 is the base seed, so lane 0 reprices the scalar run.
+        let single = evaluate_design(&nl, mode, &lib, 60, 7);
+        let first = estimate_power(&nl, &activities[0], &lib);
+        assert_eq!(first, single.power);
+    }
+
+    #[test]
+    fn adaptive_evaluation_stops_early_when_converged() {
+        let nl = hal(2, Strategy::Integrated);
+        let lib = TechLibrary::vsc450();
+        let mode = PowerMode::multiclock();
+        // A generous threshold stops at the first CI check (one batch).
+        let loose = evaluate_design_monte_carlo_adaptive(
+            &nl,
+            mode,
+            &lib,
+            &MonteCarloConfig {
+                computations: 40,
+                base_seed: 7,
+                max_seeds: 32,
+                lanes: 4,
+                rel_ci: Some(0.5),
+            },
+        );
+        assert_eq!(loose.power_ci.unwrap().seeds, 4);
+        // An unreachable threshold runs the full budget.
+        let tight = evaluate_design_monte_carlo_adaptive(
+            &nl,
+            mode,
+            &lib,
+            &MonteCarloConfig {
+                computations: 40,
+                base_seed: 7,
+                max_seeds: 8,
+                lanes: 4,
+                rel_ci: Some(0.0),
+            },
+        );
+        assert_eq!(tight.power_ci.unwrap().seeds, 8);
+        // Determinism: identical configurations, identical reports.
+        let again = evaluate_design_monte_carlo_adaptive(
+            &nl,
+            mode,
+            &lib,
+            &MonteCarloConfig {
+                computations: 40,
+                base_seed: 7,
+                max_seeds: 8,
+                lanes: 4,
+                rel_ci: Some(0.0),
+            },
+        );
+        assert_eq!(tight.power, again.power);
+        assert_eq!(tight.power_ci, again.power_ci);
+    }
+
+    #[test]
+    fn derived_seeds_start_at_the_base() {
+        let seeds = derive_seeds(42, 3);
+        assert_eq!(seeds[0], 42);
+        assert_eq!(seeds.len(), 3);
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "seeds must be distinct");
     }
 }

@@ -42,7 +42,7 @@ use crate::engine::{bits_for, width_mask, BoundInputs, SimResult};
 
 /// One lowered combinational evaluation.
 #[derive(Debug, Clone, Copy)]
-enum Instr {
+pub(crate) enum Instr {
     /// A mux whose select resolved to a constant this step: copy net
     /// `src` to net `dst`.
     Copy { src: u32, dst: u32 },
@@ -66,25 +66,25 @@ enum Instr {
 /// One precomputed memory capture: store net `input` into element `comp`
 /// and forward it to net `out`.
 #[derive(Debug, Clone, Copy)]
-struct Capture {
-    comp: u32,
-    input: u32,
-    out: u32,
+pub(crate) struct Capture {
+    pub(crate) comp: u32,
+    pub(crate) input: u32,
+    pub(crate) out: u32,
 }
 
 /// Everything one step of the period needs, fully resolved.
 #[derive(Debug, Clone, Default)]
-struct StepProgram {
+pub(crate) struct StepProgram {
     /// Control-line toggles this step contributes (precomputed from the
     /// control replay).
-    control_toggles: u64,
+    pub(crate) control_toggles: u64,
     /// The specialized combinational evaluation.
-    instrs: Vec<Instr>,
+    pub(crate) instrs: Vec<Instr>,
     /// Memory elements receiving a clock pulse this step (component
     /// indices, id order).
-    pulses: Vec<u32>,
+    pub(crate) pulses: Vec<u32>,
     /// Memory elements capturing their data input this step (id order).
-    captures: Vec<Capture>,
+    pub(crate) captures: Vec<Capture>,
 }
 
 /// Replayed control state: the dense mirror of the interpreter's
@@ -105,28 +105,28 @@ struct ControlReplay {
 /// [`SimBackend::Compiled`]: crate::SimBackend::Compiled
 #[derive(Debug)]
 pub struct CompiledNetlist<'a> {
-    netlist: &'a Netlist,
-    mask: u64,
-    width: u8,
-    period: u32,
-    num_comps: usize,
+    pub(crate) netlist: &'a Netlist,
+    pub(crate) mask: u64,
+    pub(crate) width: u8,
+    pub(crate) period: u32,
+    pub(crate) num_comps: usize,
     /// Net values at power-up (constants resolved).
-    init_nets: Vec<u64>,
+    pub(crate) init_nets: Vec<u64>,
     /// Output net of each primary-input port, in [`Netlist::inputs`]
     /// order.
-    input_nets: Vec<u32>,
+    pub(crate) input_nets: Vec<u32>,
     /// Silent settle evaluated during the reset preload.
-    preload_instrs: Vec<Instr>,
+    pub(crate) preload_instrs: Vec<Instr>,
     /// Memories preloaded at reset: every element the boundary word
     /// loads, with *no* phase filter (the reset loads them all at once).
-    preload_captures: Vec<Capture>,
+    pub(crate) preload_captures: Vec<Capture>,
     /// Step programs of the first period (index `t - 1`).
-    cold: Vec<StepProgram>,
+    pub(crate) cold: Vec<StepProgram>,
     /// Step programs of every later period.
-    warm: Vec<StepProgram>,
+    pub(crate) warm: Vec<StepProgram>,
     /// Largest capture list across all step programs (capture-buffer
     /// capacity).
-    max_captures: usize,
+    pub(crate) max_captures: usize,
 }
 
 impl<'a> CompiledNetlist<'a> {

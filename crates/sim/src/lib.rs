@@ -36,6 +36,7 @@
 #![warn(rust_2018_idioms)]
 
 mod activity;
+mod batched;
 mod compiled;
 mod engine;
 mod equivalence;
@@ -43,13 +44,14 @@ pub mod stimulus;
 pub mod vcd;
 
 pub use activity::{Activity, StepActivity};
+pub use batched::{simulate_seeds, BatchedProgram, MAX_LANES};
 pub use compiled::CompiledNetlist;
 pub use engine::{
     simulate, simulate_with_config, simulate_with_inputs, try_simulate_with_inputs, SimBackend,
     SimConfig, SimError, SimResult,
 };
 pub use equivalence::{verify_equivalence, Mismatch};
-pub use stimulus::Stimulus;
+pub use stimulus::{FlatStimulus, Stimulus};
 
 #[cfg(test)]
 mod tests {

@@ -26,9 +26,109 @@ pub enum Stimulus {
     Constant,
 }
 
+/// Flat stimulus storage: one contiguous `Vec<u64>` holding every input
+/// value of every computation, with no per-step map allocation.
+///
+/// `values[c * names.len() + i]` is the value of primary input `i` — in
+/// [`Netlist::inputs`] port order — for computation `c`. This is the
+/// lane-friendly layout the batched kernel binds directly; the map API
+/// ([`Stimulus::vectors`]) is a thin wrapper that materialises
+/// `BTreeMap`s from these rows on demand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatStimulus {
+    /// Primary-input names, in netlist port order.
+    pub names: Vec<String>,
+    /// `computations × names.len()` values, row per computation.
+    pub values: Vec<u64>,
+}
+
+impl FlatStimulus {
+    /// Number of generated computations.
+    #[must_use]
+    pub fn computations(&self) -> usize {
+        if self.names.is_empty() {
+            0
+        } else {
+            self.values.len() / self.names.len()
+        }
+    }
+
+    /// The input row of computation `c`, in port order.
+    #[must_use]
+    pub fn row(&self, c: usize) -> &[u64] {
+        let n = self.names.len();
+        &self.values[c * n..(c + 1) * n]
+    }
+
+    /// Materialises the name-keyed vectors (one map per computation).
+    #[must_use]
+    pub fn to_vectors(&self) -> Vec<BTreeMap<String, u64>> {
+        (0..self.computations())
+            .map(|c| {
+                self.names
+                    .iter()
+                    .zip(self.row(c))
+                    .map(|(n, &v)| (n.clone(), v))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
 impl Stimulus {
+    /// Generates `computations` input rows for `netlist`'s primary
+    /// inputs, deterministically from `seed`, into flat storage.
+    ///
+    /// Draw order matches the historical map-based generator exactly —
+    /// initial values in port order, per-computation updates in sorted
+    /// name order — so [`Stimulus::vectors`] (the wrapper over this) is
+    /// bit-identical to its pre-flat implementation.
+    #[must_use]
+    pub fn flat_vectors(&self, netlist: &Netlist, computations: usize, seed: u64) -> FlatStimulus {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mask = (1u64 << netlist.width()) - 1;
+        let names: Vec<String> = netlist.inputs().iter().map(|(n, _)| n.clone()).collect();
+        let n = names.len();
+        // The map generator updated values in BTreeMap (sorted-name)
+        // order; replay that order against the port-order storage.
+        let mut sorted: Vec<usize> = (0..n).collect();
+        sorted.sort_by(|&a, &b| names[a].cmp(&names[b]));
+
+        let mut values = Vec::with_capacity(computations * n);
+        if computations == 0 {
+            return FlatStimulus { names, values };
+        }
+        for _ in 0..n {
+            values.push(rng.next_u64() & mask);
+        }
+        for c in 1..computations {
+            let (prev, row) = {
+                values.extend_from_within((c - 1) * n..c * n);
+                values.split_at_mut(c * n)
+            };
+            let prev = &prev[(c - 1) * n..];
+            match *self {
+                Stimulus::UniformRandom => {
+                    for &i in &sorted {
+                        row[i] = rng.next_u64() & mask;
+                    }
+                }
+                Stimulus::RandomWalk { delta } => {
+                    let d = delta.min(mask);
+                    for &i in &sorted {
+                        let step = rng.range_inclusive(0, 2 * d) as i64 - d as i64;
+                        row[i] = (prev[i].wrapping_add(step as u64)) & mask;
+                    }
+                }
+                Stimulus::Constant => {}
+            }
+        }
+        FlatStimulus { names, values }
+    }
+
     /// Generates `computations` input vectors for `netlist`'s primary
-    /// inputs, deterministically from `seed`.
+    /// inputs, deterministically from `seed`. Thin map-keyed wrapper over
+    /// [`Stimulus::flat_vectors`].
     #[must_use]
     pub fn vectors(
         &self,
@@ -36,35 +136,7 @@ impl Stimulus {
         computations: usize,
         seed: u64,
     ) -> Vec<BTreeMap<String, u64>> {
-        let mut rng = Xoshiro256::seed_from_u64(seed);
-        let mask = (1u64 << netlist.width()) - 1;
-        let names: Vec<String> = netlist.inputs().iter().map(|(n, _)| n.clone()).collect();
-        let mut current: BTreeMap<String, u64> = names
-            .iter()
-            .map(|n| (n.clone(), rng.next_u64() & mask))
-            .collect();
-        let mut out = Vec::with_capacity(computations);
-        for c in 0..computations {
-            if c > 0 {
-                match *self {
-                    Stimulus::UniformRandom => {
-                        for v in current.values_mut() {
-                            *v = rng.next_u64() & mask;
-                        }
-                    }
-                    Stimulus::RandomWalk { delta } => {
-                        let d = delta.min(mask);
-                        for v in current.values_mut() {
-                            let step = rng.range_inclusive(0, 2 * d) as i64 - d as i64;
-                            *v = (v.wrapping_add(step as u64)) & mask;
-                        }
-                    }
-                    Stimulus::Constant => {}
-                }
-            }
-            out.push(current.clone());
-        }
-        out
+        self.flat_vectors(netlist, computations, seed).to_vectors()
     }
 }
 
@@ -86,6 +158,77 @@ mod tests {
         )
         .unwrap()
         .netlist
+    }
+
+    /// The pre-flat map-based generator, kept verbatim as the reference:
+    /// the flat path must reproduce its RNG draw order bit-for-bit.
+    fn legacy_vectors(
+        stim: &Stimulus,
+        netlist: &Netlist,
+        computations: usize,
+        seed: u64,
+    ) -> Vec<BTreeMap<String, u64>> {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mask = (1u64 << netlist.width()) - 1;
+        let names: Vec<String> = netlist.inputs().iter().map(|(n, _)| n.clone()).collect();
+        let mut current: BTreeMap<String, u64> = names
+            .iter()
+            .map(|n| (n.clone(), rng.next_u64() & mask))
+            .collect();
+        let mut out = Vec::with_capacity(computations);
+        for c in 0..computations {
+            if c > 0 {
+                match *stim {
+                    Stimulus::UniformRandom => {
+                        for v in current.values_mut() {
+                            *v = rng.next_u64() & mask;
+                        }
+                    }
+                    Stimulus::RandomWalk { delta } => {
+                        let d = delta.min(mask);
+                        for v in current.values_mut() {
+                            let step = rng.range_inclusive(0, 2 * d) as i64 - d as i64;
+                            *v = (v.wrapping_add(step as u64)) & mask;
+                        }
+                    }
+                    Stimulus::Constant => {}
+                }
+            }
+            out.push(current.clone());
+        }
+        out
+    }
+
+    #[test]
+    fn flat_path_matches_the_legacy_map_generator() {
+        let nl = netlist();
+        for stim in [
+            Stimulus::UniformRandom,
+            Stimulus::RandomWalk { delta: 3 },
+            Stimulus::Constant,
+        ] {
+            for computations in [0usize, 1, 2, 17] {
+                assert_eq!(
+                    stim.vectors(&nl, computations, 42),
+                    legacy_vectors(&stim, &nl, computations, 42),
+                    "{stim:?} x{computations}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flat_rows_index_in_port_order() {
+        let nl = netlist();
+        let flat = Stimulus::UniformRandom.flat_vectors(&nl, 6, 5);
+        assert_eq!(flat.computations(), 6);
+        assert_eq!(flat.names.len(), nl.inputs().len());
+        let maps = flat.to_vectors();
+        for (c, map) in maps.iter().enumerate() {
+            for (i, name) in flat.names.iter().enumerate() {
+                assert_eq!(flat.row(c)[i], map[name]);
+            }
+        }
     }
 
     #[test]

@@ -21,6 +21,23 @@ cargo bench -p mc-bench --bench sim_kernel
 test -s "$MC_BENCH_OUT" || { echo "bench.sh: $MC_BENCH_OUT missing or empty" >&2; exit 1; }
 echo "==> bench.sh: wrote $MC_BENCH_OUT"
 
+# Batched multi-lane kernel: aggregate multi-seed throughput against the
+# same seeds looped through the scalar compiled kernel, with lane-by-lane
+# bit-identity asserted before timing. Both sides of the comparison are
+# built with native CPU features — the batched kernel's lane loops
+# vectorize (AVX popcount in particular), and sharing the flags keeps the
+# ratio honest. A separate target dir keeps the default-flags build cache
+# warm for the other stages.
+BATCH_OUT="${MC_BATCH_OUT:-$(pwd)/BENCH_batch.json}"
+echo "==> cargo bench -p mc-bench --bench sim_batched (out: $BATCH_OUT)"
+MC_BATCH_OUT="$BATCH_OUT" \
+    RUSTFLAGS="${MC_BATCH_RUSTFLAGS:--C target-cpu=native}" \
+    CARGO_TARGET_DIR=target/native \
+    cargo bench -p mc-bench --bench sim_batched
+
+test -s "$BATCH_OUT" || { echo "bench.sh: $BATCH_OUT missing or empty" >&2; exit 1; }
+echo "==> bench.sh: wrote $BATCH_OUT"
+
 # Explorer artifact: Pareto exploration of two paper benchmarks with
 # per-point wall-clock and cache counters, via the mcpm CLI. Iteration
 # count maps to the simulation depth so the CI smoke run stays quick.

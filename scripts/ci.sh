@@ -16,9 +16,11 @@ run cargo clippy --workspace --all-targets -- -D warnings
 run cargo build --release --workspace
 run cargo test -q --workspace
 
-# Bench smoke: times the compiled kernel against the interpreter on the
-# paper-table workloads and emits BENCH_sim.json. The bench asserts the
-# backends are bit-identical before timing, so divergence fails the gate.
+# Bench smoke: times the compiled kernel against the interpreter
+# (BENCH_sim.json) and the batched multi-lane kernel against the looped
+# scalar kernel (BENCH_batch.json). Both benches assert bit-identity
+# before timing — backend divergence or batched lane divergence fails
+# the gate here, not just in the nightly full run.
 MC_BENCH_ITERS=2 run scripts/bench.sh
 
 # Explorer determinism smoke: a tiny-budget exploration of two benchmarks

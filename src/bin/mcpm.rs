@@ -109,6 +109,8 @@ fn usage() -> &'static str {
      \x20 explore --benchmark NAME | --file F    Pareto design-space exploration\n\
      \x20         [--max-clocks N] [--budget K] [--voltages V1,V2] [--stretch S1,S2]\n\
      \x20         [--threads T] [--parallel false] [--timings] [--out FILE]\n\
+     \x20         [--seeds N] (Monte-Carlo power: mean ± 95 % CI per point)\n\
+     \x20         [--batch L] (lanes of the batched kernel, default 16)\n\
      \x20 profile --benchmark NAME --clocks N    power-over-time (folded by period)\n\
      \x20 top     --benchmark NAME --clocks N [--count K]   hottest components\n\
      \x20 stats   --benchmark NAME --clocks N [--seeds K]   power spread across seeds\n\
@@ -352,6 +354,8 @@ fn run() -> Result<(), String> {
                 .with_space(space)
                 .with_computations(computations)
                 .with_seed(seed)
+                .with_power_seeds(args.parse_num("seeds", 1)?)
+                .with_batch(args.parse_num("batch", multiclock::Flow::DEFAULT_BATCH)?)
                 .with_parallel(!matches!(args.get("parallel"), Some("false")));
             if let Some(budget) = args.get("budget") {
                 explorer = explorer.with_budget(

@@ -202,6 +202,32 @@ fn explore_json_is_deterministic_across_runs_and_thread_counts() {
 }
 
 #[test]
+fn explore_with_seeds_reports_confidence_bounds() {
+    let args = [
+        "explore",
+        "--benchmark",
+        "hal",
+        "--computations",
+        "24",
+        "--budget",
+        "5",
+        "--seeds",
+        "3",
+        "--json",
+    ];
+    let (ok1, run1, stderr) = mcpm(&args);
+    assert!(ok1, "{stderr}");
+    assert!(run1.contains("\"power_ci95_mw\":"));
+    assert!(run1.contains("\"power_seeds\":3"));
+    // A different lane width changes throughput, never the JSON.
+    let mut narrow = args.to_vec();
+    narrow.extend(["--batch", "4"]);
+    let (ok2, run2, _) = mcpm(&narrow);
+    assert!(ok2);
+    assert_eq!(run1, run2, "--batch must not affect results");
+}
+
+#[test]
 fn signoff_is_clean_for_multiclock_designs() {
     let (ok, stdout, _) = mcpm(&[
         "signoff",

@@ -83,6 +83,36 @@ fn parallel_and_sequential_runs_are_bit_identical() {
     }
 }
 
+/// Monte-Carlo exploration: with multiple stimulus seeds per point,
+/// every point's JSON carries the power mean plus 95 % confidence
+/// bounds, and the run stays bit-identical across repeats and thread
+/// counts — the determinism contract survives the batched kernel.
+#[test]
+fn monte_carlo_exploration_is_deterministic_and_carries_ci() {
+    let bm = benchmarks::hal();
+    let mc = || explorer().with_budget(5).with_power_seeds(4).with_batch(8);
+    let a = mc().run(&bm).expect("first run");
+    assert!(a.results.iter().all(|r| r.power_ci.is_some()));
+    for r in &a.results {
+        let ci = r.power_ci.as_ref().unwrap();
+        assert_eq!(ci.seeds, 4);
+        assert!((ci.mean_mw - r.objectives.power_mw).abs() < 1e-12);
+    }
+    let json = a.to_json();
+    assert!(json.contains("\"power_ci95_mw\":"));
+    assert!(json.contains("\"power_seeds\":4"));
+
+    let b = mc().run(&bm).expect("repeat run");
+    assert_eq!(json, b.to_json(), "repeat runs must be bit-identical");
+    for threads in [2, 5] {
+        let par = mc().with_threads(threads).run(&bm).expect("parallel run");
+        assert_eq!(json, par.to_json(), "threads = {threads}");
+    }
+    // The lane width is a throughput knob, never a results knob.
+    let narrow = mc().with_batch(2).run(&bm).expect("narrow run");
+    assert_eq!(json, narrow.to_json());
+}
+
 /// A different seed is allowed to (and here does) change the JSON — the
 /// determinism above is per-seed, not a constant output.
 #[test]
