@@ -157,10 +157,12 @@ mod tests {
             for &oi in &g.ops {
                 let scheme = ClockScheme::new(2).unwrap();
                 assert_eq!(
-                    scheme.phase_of_step({
-                        let p = Problem::build(&bm.dfg, &bm.schedule, scheme, false);
-                        p.ops[oi].step
-                    }),
+                    scheme
+                        .phase_of_step({
+                            let p = Problem::build(&bm.dfg, &bm.schedule, scheme, false);
+                            p.ops[oi].step
+                        })
+                        .unwrap(),
                     g.phase
                 );
             }

@@ -124,7 +124,7 @@ impl Problem {
             if w == 0 {
                 PhaseId::new(n)
             } else {
-                scheme.phase_of_step(w)
+                scheme.phase_of_step(w).expect("write steps are 1-based")
             }
         };
         let lifetimes = schedule.lifetimes(dfg);
@@ -166,7 +166,9 @@ impl Problem {
                     op: node.op(),
                     step,
                     latency,
-                    phase: scheme.phase_of_step(schedule.completion_of(nid)),
+                    phase: scheme
+                        .phase_of_step(schedule.completion_of(nid))
+                        .expect("completion steps are 1-based"),
                     lhs: conv(node.lhs()),
                     rhs: conv(node.rhs()),
                     dest: node.dest().index(),
@@ -277,8 +279,7 @@ fn reroute_through_transfers(vars: &mut Vec<PVar>, ops: &mut [POp], scheme: Cloc
             // Earliest reader-phase step strictly after the write and
             // strictly before the read: capture as soon as the value
             // exists so every reader in this partition can share it.
-            let capture =
-                (write_step + 1..read_step).find(|&s| scheme.phase_of_step(s) == reader_phase);
+            let capture = (write_step + 1..read_step).find(|&s| scheme.is_active(reader_phase, s));
             let Some(capture) = capture else { continue };
             let key = (v, reader_phase.get());
             let ti = *cache.entry(key).or_insert_with(|| {

@@ -21,10 +21,10 @@ fn main() {
     for k in scheme.phases() {
         println!("  partition {k} (local steps are the paper's primed numbering):");
         for t in 1..=bm.schedule.length() {
-            if scheme.phase_of_step(t) != k {
+            if !scheme.is_active(k, t) {
                 continue;
             }
-            let local = scheme.local_step(t);
+            let local = scheme.local_step(t).expect("steps are 1-based");
             let nodes: Vec<String> = bm
                 .schedule
                 .nodes_at_step(t)

@@ -206,7 +206,7 @@ pub fn bench<F: FnMut()>(name: &str, f: F) -> BenchResult {
     bench_with_steps(name, None, f)
 }
 
-/// Like [`bench`], attaching the number of work units one iteration
+/// Like [`bench()`], attaching the number of work units one iteration
 /// processes so the report carries a throughput (steps/sec).
 pub fn bench_steps<F: FnMut()>(name: &str, steps: u64, f: F) -> BenchResult {
     bench_with_steps(name, Some(steps), f)

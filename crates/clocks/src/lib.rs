@@ -20,11 +20,13 @@
 //!
 //! # fn main() -> Result<(), mc_clocks::ClockError> {
 //! let two = ClockScheme::new(2)?;
-//! assert_eq!(two.phase_of_step(1), PhaseId::new(1));
-//! assert_eq!(two.phase_of_step(2), PhaseId::new(2));
-//! assert_eq!(two.phase_of_step(3), PhaseId::new(1));
-//! assert_eq!(two.local_step(3), 2); // step 3 is the 2nd odd step
+//! assert_eq!(two.phase_of_step(1)?, PhaseId::new(1));
+//! assert_eq!(two.phase_of_step(2)?, PhaseId::new(2));
+//! assert_eq!(two.phase_of_step(3)?, PhaseId::new(1));
+//! assert_eq!(two.local_step(3)?, 2); // step 3 is the 2nd odd step
 //! assert_eq!(two.global_step(2, PhaseId::new(1)), 3);
+//! // Step 0 is not a control step: a typed error, not a panic.
+//! assert!(two.phase_of_step(0).is_err());
 //! # Ok(())
 //! # }
 //! ```
@@ -69,7 +71,7 @@ impl fmt::Display for PhaseId {
     }
 }
 
-/// Errors constructing a [`ClockScheme`].
+/// Errors constructing or querying a [`ClockScheme`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ClockError {
     /// Zero clocks requested.
@@ -77,6 +79,9 @@ pub enum ClockError {
     /// More clocks than is meaningful (we cap at 16; the paper observes
     /// diminishing returns well before that).
     TooManyClocks(u32),
+    /// Control step 0 was queried: steps are 1-based, so step 0 belongs
+    /// to no phase and has no local numbering.
+    ZeroStep,
 }
 
 impl fmt::Display for ClockError {
@@ -84,6 +89,9 @@ impl fmt::Display for ClockError {
         match self {
             ClockError::ZeroClocks => write!(f, "a clock scheme needs at least one clock"),
             ClockError::TooManyClocks(n) => write!(f, "{n} clocks exceeds the supported 16"),
+            ClockError::ZeroStep => {
+                write!(f, "control steps are 1-based; step 0 belongs to no phase")
+            }
         }
     }
 }
@@ -135,26 +143,28 @@ impl ClockScheme {
     /// `((t-1) mod n) + 1`. This matches the paper's rule that nodes with
     /// `t mod n = k` (and `t mod n = 0 → partition n`) share a partition.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `t == 0` (steps are 1-based).
-    #[must_use]
-    pub fn phase_of_step(&self, t: u32) -> PhaseId {
-        assert!(t >= 1, "control steps are 1-based");
-        PhaseId((t - 1) % self.n + 1)
+    /// Returns [`ClockError::ZeroStep`] if `t == 0` (steps are 1-based).
+    pub fn phase_of_step(&self, t: u32) -> Result<PhaseId, ClockError> {
+        if t == 0 {
+            return Err(ClockError::ZeroStep);
+        }
+        Ok(PhaseId((t - 1) % self.n + 1))
     }
 
     /// The local step of global step `t` within its partition
     /// (`((t-1) div n) + 1`), the 1', 2', … numbering of the paper's
     /// Fig. 5.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `t == 0`.
-    #[must_use]
-    pub fn local_step(&self, t: u32) -> u32 {
-        assert!(t >= 1, "control steps are 1-based");
-        (t - 1) / self.n + 1
+    /// Returns [`ClockError::ZeroStep`] if `t == 0`.
+    pub fn local_step(&self, t: u32) -> Result<u32, ClockError> {
+        if t == 0 {
+            return Err(ClockError::ZeroStep);
+        }
+        Ok((t - 1) / self.n + 1)
     }
 
     /// Inverse of ([`phase_of_step`](Self::phase_of_step),
@@ -177,9 +187,10 @@ impl ClockScheme {
     }
 
     /// Whether phase `k` is the active phase during global step `t`.
+    /// Total: step 0 is not a control step, so no phase is active there.
     #[must_use]
     pub fn is_active(&self, k: PhaseId, t: u32) -> bool {
-        self.phase_of_step(t) == k
+        self.phase_of_step(t) == Ok(k)
     }
 
     /// How many of the global steps `1..=total` belong to phase `k` —
@@ -259,22 +270,22 @@ mod tests {
     fn single_clock_owns_everything() {
         let s = ClockScheme::single();
         for t in 1..=10 {
-            assert_eq!(s.phase_of_step(t), PhaseId::new(1));
-            assert_eq!(s.local_step(t), t);
+            assert_eq!(s.phase_of_step(t), Ok(PhaseId::new(1)));
+            assert_eq!(s.local_step(t), Ok(t));
         }
     }
 
     #[test]
     fn two_clock_scheme_alternates_odd_even() {
         let s = ClockScheme::new(2).unwrap();
-        assert_eq!(s.phase_of_step(1).get(), 1);
-        assert_eq!(s.phase_of_step(2).get(), 2);
-        assert_eq!(s.phase_of_step(5).get(), 1);
-        assert_eq!(s.local_step(1), 1);
-        assert_eq!(s.local_step(3), 2);
-        assert_eq!(s.local_step(5), 3);
-        assert_eq!(s.local_step(2), 1);
-        assert_eq!(s.local_step(4), 2);
+        assert_eq!(s.phase_of_step(1).unwrap().get(), 1);
+        assert_eq!(s.phase_of_step(2).unwrap().get(), 2);
+        assert_eq!(s.phase_of_step(5).unwrap().get(), 1);
+        assert_eq!(s.local_step(1), Ok(1));
+        assert_eq!(s.local_step(3), Ok(2));
+        assert_eq!(s.local_step(5), Ok(3));
+        assert_eq!(s.local_step(2), Ok(1));
+        assert_eq!(s.local_step(4), Ok(2));
     }
 
     #[test]
@@ -284,7 +295,7 @@ mod tests {
         let s = ClockScheme::new(3).unwrap();
         for t in 1..=30u32 {
             let paper_k = if t % 3 == 0 { 3 } else { t % 3 };
-            assert_eq!(s.phase_of_step(t).get(), paper_k, "step {t}");
+            assert_eq!(s.phase_of_step(t).unwrap().get(), paper_k, "step {t}");
         }
     }
 
@@ -293,8 +304,8 @@ mod tests {
         for n in 1..=6u32 {
             let s = ClockScheme::new(n).unwrap();
             for t in 1..=48u32 {
-                let k = s.phase_of_step(t);
-                let l = s.local_step(t);
+                let k = s.phase_of_step(t).unwrap();
+                let l = s.local_step(t).unwrap();
                 assert_eq!(s.global_step(l, k), t, "n={n} t={t}");
             }
         }
@@ -349,9 +360,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "1-based")]
-    fn step_zero_panics() {
-        let _ = ClockScheme::single().phase_of_step(0);
+    fn step_zero_is_a_typed_error_not_a_panic() {
+        let s = ClockScheme::new(3).unwrap();
+        assert_eq!(s.phase_of_step(0), Err(ClockError::ZeroStep));
+        assert_eq!(s.local_step(0), Err(ClockError::ZeroStep));
+        // No phase is active during the non-step 0.
+        for k in s.phases() {
+            assert!(!s.is_active(k, 0));
+        }
+        assert!(ClockError::ZeroStep.to_string().contains("1-based"));
     }
 
     #[test]

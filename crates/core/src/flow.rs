@@ -256,6 +256,7 @@ impl FlowContext {
         pass: &P,
         input: P::Input<'_>,
     ) -> Result<P::Output, SynthesisError> {
+        let _span = mc_trace::span(pass.name());
         let start = Instant::now();
         let output = pass.run(input, self)?;
         self.metrics.push(PassMetrics {
@@ -400,8 +401,13 @@ impl ArtifactCache {
     fn count(&self, hit: bool) {
         if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            // Scheduling-dependent: concurrent rows race check-then-insert,
+            // so hit/miss splits vary with thread count (like `CacheStats`,
+            // which the deterministic reports exclude).
+            mc_trace::count_runtime("flow.cache.hits", 1);
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            mc_trace::count_runtime("flow.cache.misses", 1);
         }
     }
 
@@ -774,6 +780,7 @@ impl Flow {
     ///
     /// Propagates [`Flow::synthesize`]'s errors.
     pub fn evaluate_instrumented(&self, style: DesignStyle) -> Result<Evaluated, SynthesisError> {
+        let _span = mc_trace::span("flow.evaluate");
         let mut ctx = self.context();
         let key = self.report_key(style);
         let start = Instant::now();
@@ -841,7 +848,15 @@ impl Flow {
         std::thread::scope(|scope| {
             let handles: Vec<_> = styles
                 .iter()
-                .map(|&style| scope.spawn(move || self.evaluate_instrumented(style)))
+                .map(|&style| {
+                    scope.spawn(move || {
+                        let out = self.evaluate_instrumented(style);
+                        // Hand the trace buffer off before the scope counts
+                        // this thread as finished (see mc_trace::flush).
+                        mc_trace::flush();
+                        out
+                    })
+                })
                 .collect();
             handles
                 .into_iter()

@@ -10,11 +10,11 @@
 //!                         SimulatePass ──▶ SimTrace ──PowerPass──▶ DesignReport
 //! ```
 //!
-//! Each pass implements [`Pass`](crate::flow::Pass): a typed
+//! Each pass implements [`Pass`]: a typed
 //! input-artifact → output-artifact transformation that runs inside a
-//! [`FlowContext`](crate::flow::FlowContext), which times it, records
+//! [`FlowContext`], which times it, records
 //! artifact statistics, and collects its diagnostics. The
-//! [`Flow`](crate::flow::Flow) driver chains the passes and caches
+//! [`Flow`] driver chains the passes and caches
 //! shareable artifacts content-keyed (see `flow.rs`).
 
 use mc_alloc::{allocate, AllocOptions, Datapath};
@@ -121,7 +121,7 @@ impl Pass for PartitionPass {
         let mut ops = vec![0usize; n];
         let mut steps = vec![0u32; n];
         for t in 1..=behavior.schedule.length() {
-            let phase = scheme.phase_of_step(t).get() as usize - 1;
+            let phase = scheme.phase_of_step(t)?.get() as usize - 1;
             steps[phase] += 1;
             ops[phase] += behavior.schedule.nodes_at_step(t).len();
         }

@@ -1,0 +1,143 @@
+//! Error-path coverage for the behavioural DSL parser: every
+//! [`ParseError`] variant is exercised with a minimal source, the errors
+//! carry usable locations and messages, and — via a PRNG-driven smoke
+//! test — no input, however mangled, makes `parse_dfg` panic.
+
+use mc_dfg::parse::{parse_dfg, ParseError};
+use mc_dfg::DfgError;
+use mc_prng::Xoshiro256;
+
+fn syntax(source: &str) -> (usize, String) {
+    match parse_dfg("t", source) {
+        Err(ParseError::Syntax { line, message }) => (line, message),
+        other => panic!("expected Syntax error for {source:?}, got {other:?}"),
+    }
+}
+
+#[test]
+fn syntax_errors_locate_the_offending_line() {
+    let (line, message) = syntax("input a\nwidth 8\ny = a + a\noutput y");
+    assert_eq!(line, 2, "width after definitions");
+    assert!(message.contains("width"), "{message}");
+
+    let (line, message) = syntax("width banana\ninput a\ny = a\noutput y");
+    assert_eq!(line, 1);
+    assert!(message.contains("bad width"), "{message}");
+
+    let (line, _) = syntax("input a\ny = a +\noutput y");
+    assert_eq!(line, 2, "dangling operator");
+
+    let (line, _) = syntax("input a\ny = (a + a\noutput y");
+    assert_eq!(line, 2, "unclosed parenthesis");
+
+    let (line, _) = syntax("input a\nthis is not a statement\noutput y");
+    assert_eq!(line, 2);
+}
+
+#[test]
+fn undefined_names_are_reported_with_line_and_name() {
+    match parse_dfg("t", "input a\ny = a + bogus\noutput y") {
+        Err(ParseError::Undefined { line, name }) => {
+            assert_eq!(line, 2);
+            assert_eq!(name, "bogus");
+        }
+        other => panic!("expected Undefined, got {other:?}"),
+    }
+    // Self-reference is use-before-definition, not a cycle.
+    assert!(matches!(
+        parse_dfg("t", "input a\ny = y + a\noutput y"),
+        Err(ParseError::Undefined { .. })
+    ));
+}
+
+#[test]
+fn graph_validation_errors_surface_as_parse_errors() {
+    // Width outside the simulator's 1..=63 bit-packing range.
+    assert!(matches!(
+        parse_dfg("t", "width 0\ninput a\ny = a + a\noutput y"),
+        Err(ParseError::Graph(DfgError::BadWidth(0)))
+    ));
+    assert!(matches!(
+        parse_dfg("t", "width 64\ninput a\ny = a + a\noutput y"),
+        Err(ParseError::Graph(DfgError::BadWidth(64)))
+    ));
+    // An empty behaviour has no nodes to schedule — with or without inputs.
+    assert!(matches!(
+        parse_dfg("t", ""),
+        Err(ParseError::Graph(DfgError::Empty))
+    ));
+    assert!(matches!(
+        parse_dfg("t", "input a, b"),
+        Err(ParseError::Graph(DfgError::Empty))
+    ));
+    // Inputs reload at every computation boundary, so they can't double
+    // as outputs.
+    match parse_dfg("t", "input a\ny = a + a\noutput a") {
+        Err(ParseError::Graph(DfgError::InputAsOutput(n))) => assert_eq!(n, "a"),
+        other => panic!("expected InputAsOutput, got {other:?}"),
+    }
+}
+
+#[test]
+fn duplicate_definitions_violate_single_assignment() {
+    // The parser enforces single assignment itself, before graph
+    // validation, so the duplicate arrives as a located Syntax error.
+    let (line, message) = syntax("input a\ny = a + a\ny = a - a\noutput y");
+    assert_eq!(line, 3);
+    assert!(message.contains("already defined"), "{message}");
+}
+
+#[test]
+fn errors_render_human_readable_messages() {
+    let err = parse_dfg("t", "input a\ny = a + bogus\noutput y").unwrap_err();
+    let text = err.to_string();
+    assert!(text.contains("line 2"), "{text}");
+    assert!(text.contains("bogus"), "{text}");
+
+    let err = parse_dfg("t", "input a\ny = a +\noutput y").unwrap_err();
+    assert!(err.to_string().starts_with("line 2:"), "{err}");
+}
+
+/// Feed the parser deterministic garbage — random bytes, random ASCII,
+/// and mutations of a valid program — and require an `Err`, never a
+/// panic. `parse_dfg` is the only path user-authored text enters the
+/// system through, so totality here is a hard requirement.
+#[test]
+fn fuzz_smoke_never_panics() {
+    let valid = "width 8\ninput a, b\nt0 = a + b\ny = t0 * b\noutput y\n";
+    let mut rng = Xoshiro256::seed_from_u64(0x5EED_F00D);
+    for round in 0..2000 {
+        let source = match round % 3 {
+            // Arbitrary bytes (lossily decoded — parse takes &str).
+            0 => {
+                let len = rng.below(200) as usize;
+                let bytes: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+                String::from_utf8_lossy(&bytes).into_owned()
+            }
+            // Printable ASCII soup with newlines.
+            1 => {
+                let len = rng.below(200) as usize;
+                (0..len)
+                    .map(|_| {
+                        if rng.gen_bool(0.1) {
+                            '\n'
+                        } else {
+                            (0x20 + rng.below(0x5f) as u8) as char
+                        }
+                    })
+                    .collect()
+            }
+            // A valid program with random single-byte mutations.
+            _ => {
+                let mut bytes = valid.as_bytes().to_vec();
+                for _ in 0..=rng.below(6) {
+                    let i = rng.below(bytes.len() as u64) as usize;
+                    bytes[i] = rng.below(128) as u8;
+                }
+                String::from_utf8_lossy(&bytes).into_owned()
+            }
+        };
+        // Ok is fine (a mutation can stay valid); panicking is not.
+        let _ = parse_dfg("fuzz", &source);
+    }
+}

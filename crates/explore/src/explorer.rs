@@ -132,6 +132,7 @@ impl Explorer {
     /// Returns the first failing point's [`SynthesisError`] (in lattice
     /// order).
     pub fn run(&self, bm: &Benchmark) -> Result<ExploreReport, SynthesisError> {
+        let _span = mc_trace::span("explore.run");
         let lattice = self.space.enumerate();
         let floor = anchor_styles().len();
         let take = self
@@ -175,9 +176,16 @@ impl Explorer {
             });
         }
         let objectives: Vec<Objectives> = results.iter().map(|r| r.objectives).collect();
+        let pareto_span = mc_trace::span("explore.pareto");
         for (r, on) in results.iter_mut().zip(pareto_mask(&objectives)) {
             r.on_frontier = on;
         }
+        if mc_trace::enabled() {
+            let frontier = results.iter().filter(|r| r.on_frontier).count() as u64;
+            mc_trace::count("pareto.frontier", frontier);
+            mc_trace::count("pareto.pruned", results.len() as u64 - frontier);
+        }
+        drop(pareto_span);
         let cache = flows.iter().map(Flow::cache_stats).fold(
             CacheStats {
                 hits: 0,

@@ -42,7 +42,13 @@ where
 {
     let threads = threads.clamp(1, tasks.max(1));
     if threads <= 1 {
-        return (0..tasks).map(f).collect();
+        return (0..tasks)
+            .map(|i| {
+                let _span = mc_trace::span("pool.task");
+                mc_trace::count("pool.tasks", 1);
+                f(i)
+            })
+            .collect();
     }
     // Round-robin initial distribution: worker w owns tasks w, w+k, ...
     let queues: Vec<Mutex<VecDeque<usize>>> = (0..threads)
@@ -68,12 +74,17 @@ where
                             }
                             task = queues[victim].lock().expect("queue lock").pop_back();
                             if task.is_some() {
+                                // Scheduling-dependent by nature: which
+                                // worker drains first varies run to run.
+                                mc_trace::count_runtime("pool.steals", 1);
                                 break;
                             }
                         }
                     }
                     match task {
                         Some(i) => {
+                            let _span = mc_trace::span("pool.task");
+                            mc_trace::count("pool.tasks", 1);
                             let out = f(i);
                             *results[i].lock().expect("result lock") = Some(out);
                             completed.fetch_add(1, Ordering::SeqCst);
@@ -88,6 +99,11 @@ where
                         }
                     }
                 }
+                // Must be explicit: the scope counts this worker as done
+                // when the closure returns, before thread-local
+                // destructors run, so a take() after the scope joins
+                // would race the automatic flush-on-exit.
+                mc_trace::flush();
             });
         }
     });

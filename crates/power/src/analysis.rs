@@ -191,6 +191,18 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_stats_are_zero_not_nan() {
+        // Regression: the n−1 variance denominator must not be applied at
+        // n = 1, where it would produce 0/0 = NaN std and CI.
+        let one = monte_carlo_stats(&[3.25]);
+        assert_eq!(one.samples, 1);
+        assert_eq!(one.mean, 3.25);
+        assert_eq!(one.std_dev, 0.0, "std must be exactly 0, not NaN");
+        assert_eq!(one.ci95_half_width, 0.0, "CI must be exactly 0, not NaN");
+        assert!(one.std_dev.is_finite() && one.ci95_half_width.is_finite());
+    }
+
+    #[test]
     fn convergence_requires_a_tight_interval() {
         let tight = monte_carlo_stats(&[10.0, 10.01, 9.99, 10.0]);
         assert!(ci_converged(&tight, 0.01));

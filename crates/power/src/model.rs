@@ -620,6 +620,26 @@ mod tests {
     }
 
     #[test]
+    fn monte_carlo_with_one_seed_is_total_and_finite() {
+        // Regression: a single-seed Monte-Carlo run must degenerate to the
+        // plain evaluation plus a zero-width interval — no NaN std/CI from
+        // the n−1 variance denominator, no panic.
+        let nl = hal(1, Strategy::Conventional);
+        let lib = TechLibrary::vsc450();
+        let mode = PowerMode::non_gated();
+        let cfg = mc_sim::SimConfig::new(mode, 50, 7);
+        let activity = mc_sim::simulate(&nl, &cfg).activity;
+        let rep = evaluate_design_monte_carlo(&nl, mode, &lib, std::slice::from_ref(&activity));
+        let ci = rep.power_ci.expect("Monte-Carlo reports carry an interval");
+        assert_eq!(ci.seeds, 1);
+        assert!(ci.mean_mw.is_finite() && ci.mean_mw > 0.0);
+        assert_eq!(ci.std_mw, 0.0, "one seed has no spread, not NaN");
+        assert_eq!(ci.ci95_mw, 0.0, "one seed has no interval, not NaN");
+        let single = evaluate_design_with_activity(&nl, mode, &lib, &activity);
+        assert!((rep.power.total_mw - single.power.total_mw).abs() < 1e-12);
+    }
+
+    #[test]
     fn gated_mode_beats_non_gated_on_power() {
         let nl = hal(1, Strategy::Conventional);
         let lib = TechLibrary::vsc450();

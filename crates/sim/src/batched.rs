@@ -152,12 +152,43 @@ impl<'a> BatchedProgram<'a> {
                     let mut results =
                         self.run_batch_impl::<$w>(computations, seeds, collect_profile, collect_outputs);
                     results.truncate(wanted);
+                    self.trace_batch(computations, wanted, $w, &results);
                     return results;
                 })+
                 unreachable!("lane width exceeds MAX_LANES")
             };
         }
         dispatch!(1, 2, 4, 8, 16, 32, 64);
+    }
+
+    /// Records tracing counters for one dispatched batch. The kernel sweep
+    /// decodes each instruction once for all lanes, so the executed total
+    /// is the scalar analytic count times the *active* lane count —
+    /// padded lanes are truncated away and do not count as work, keeping
+    /// `sim.instructions` independent of the configured batch width.
+    fn trace_batch(&self, computations: usize, wanted: usize, width: usize, results: &[SimResult]) {
+        if !mc_trace::enabled() {
+            return;
+        }
+        mc_trace::count("sim.runs", wanted as u64);
+        mc_trace::count(
+            "sim.instructions",
+            self.program.instructions_executed(computations) * wanted as u64,
+        );
+        mc_trace::count("sim.lanes.active", wanted as u64);
+        mc_trace::count("sim.lanes.padded", (width - wanted) as u64);
+        for r in results {
+            let a = &r.activity;
+            mc_trace::count("sim.steps", a.steps);
+            mc_trace::count(
+                "sim.toggles",
+                a.net_toggles.iter().sum::<u64>()
+                    + a.input_toggles.iter().sum::<u64>()
+                    + a.store_toggles.iter().sum::<u64>()
+                    + a.control_toggles,
+            );
+            mc_trace::count("sim.clock_pulses", a.total_clock_pulses());
+        }
     }
 
     /// The monomorphized batch kernel: exactly `L` lanes, `L` a

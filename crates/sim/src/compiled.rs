@@ -205,6 +205,22 @@ impl<'a> CompiledNetlist<'a> {
         }
     }
 
+    /// How many instructions one sweep of `computations` computations
+    /// executes: the silent reset preload, one cold period, and
+    /// `computations - 1` warm periods. Analytic — the per-step
+    /// instruction streams are fixed at compile time — so tracing can
+    /// report it without touching the hot loop.
+    pub(crate) fn instructions_executed(&self, computations: usize) -> u64 {
+        if computations == 0 {
+            return 0;
+        }
+        let step_sum =
+            |steps: &[StepProgram]| -> u64 { steps.iter().map(|p| p.instrs.len() as u64).sum() };
+        self.preload_instrs.len() as u64
+            + step_sum(&self.cold)
+            + step_sum(&self.warm) * (computations as u64 - 1)
+    }
+
     /// Simulates explicit input vectors through the compiled program —
     /// the compile-once-run-many entry point. Bit-identical to the
     /// interpreter over the same vectors.
@@ -354,6 +370,19 @@ impl<'a> CompiledNetlist<'a> {
                 .collect();
             outputs.push(out);
             st.activity.computations += 1;
+        }
+
+        if mc_trace::enabled() {
+            // The instruction total is analytic (the per-step streams are
+            // precomputed), so the hot loop pays nothing for it.
+            mc_trace::count("sim.runs", 1);
+            mc_trace::count("sim.steps", st.activity.steps);
+            mc_trace::count("sim.instructions", self.instructions_executed(computations));
+            mc_trace::count(
+                "sim.toggles",
+                st.net_total + st.input_total + st.store_total + st.activity.control_toggles,
+            );
+            mc_trace::count("sim.clock_pulses", st.clock_total);
         }
 
         SimResult {

@@ -1,0 +1,580 @@
+//! **mc-trace** — zero-cost-when-disabled structured tracing and metrics.
+//!
+//! The whole stack (pass pipeline, simulation kernels, explorer pool, CLI)
+//! records into this crate when tracing is enabled, and pays one relaxed
+//! atomic load per call site when it is not. Two primitives:
+//!
+//! * **Spans** — named intervals with start, duration and parent, recorded
+//!   per thread via the RAII [`SpanGuard`] returned by [`span`]. Guards
+//!   must be dropped in LIFO order on their thread (the natural lexical
+//!   nesting).
+//! * **Counters** — monotone `u64` sums keyed by a static name, in two
+//!   determinism classes:
+//!   - [`count`] for **deterministic** counters whose totals depend only on
+//!     the workload (instructions executed, toggles counted, Pareto points
+//!     pruned). These must be bit-identical across repeated runs and
+//!     thread counts, and they are what the deterministic export carries.
+//!   - [`count_runtime`] for **scheduling-dependent** counters (tasks
+//!     stolen by the work-stealing pool, artifact-cache hits/misses under
+//!     concurrent evaluation). These appear only in the timing-bearing
+//!     Chrome export, mirroring how `ExploreReport` keeps wall-clock
+//!     fields out of its deterministic JSON.
+//!
+//! Recording is lock-free per event: every thread appends to its own
+//! buffer, which drains into a global collector when the thread exits (or
+//! when [`take`] runs on that thread). [`take`] returns a [`Trace`] that
+//! exports as Chrome `trace_event` JSON ([`Trace::to_chrome_json`],
+//! loadable in Perfetto / `chrome://tracing`) or as deterministic
+//! counters-only JSON ([`Trace::deterministic_json`]).
+//!
+//! ```
+//! mc_trace::enable();
+//! {
+//!     let _root = mc_trace::span("demo.root");
+//!     let _child = mc_trace::span("demo.child");
+//!     mc_trace::count("demo.widgets", 3);
+//! }
+//! let trace = mc_trace::take();
+//! mc_trace::disable();
+//! assert_eq!(trace.counters.get("demo.widgets"), Some(&3));
+//! assert_eq!(trace.span_counts().get("demo.root"), Some(&1));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod json;
+pub mod summary;
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+/// Shared time origin for all span timestamps (first use wins).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn micros_since_epoch() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+/// Global collector the per-thread buffers drain into.
+fn sink() -> &'static Mutex<Vec<ThreadLog>> {
+    static SINK: OnceLock<Mutex<Vec<ThreadLog>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Turn recording on. Idempotent; also pins the time origin.
+pub fn enable() {
+    epoch();
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turn recording off. Already-buffered events stay until [`take`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Whether tracing is currently recording. One relaxed load — this is the
+/// entire disabled-path cost of every instrumentation site.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// One closed (or still-open) span interval.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span name, e.g. `"pass.allocate"`.
+    pub name: Cow<'static, str>,
+    /// Start in microseconds since the trace epoch.
+    pub start_us: u64,
+    /// Duration in microseconds (0 until the guard drops).
+    pub dur_us: u64,
+    /// Index of the enclosing span in the same thread's span list.
+    pub parent: Option<u32>,
+}
+
+/// Everything one thread recorded (possibly one of several flushes).
+struct ThreadLog {
+    thread: u64,
+    spans: Vec<SpanRecord>,
+    counters: BTreeMap<&'static str, u64>,
+    runtime: BTreeMap<&'static str, u64>,
+}
+
+/// The live per-thread buffer behind the `LOCAL` thread-local.
+struct Local {
+    thread: u64,
+    /// Bumped on flush so stale guards from before a [`take`] can't touch
+    /// records that now live in the collector.
+    generation: u32,
+    spans: Vec<SpanRecord>,
+    counters: BTreeMap<&'static str, u64>,
+    runtime: BTreeMap<&'static str, u64>,
+    stack: Vec<u32>,
+}
+
+impl Local {
+    fn new() -> Local {
+        Local {
+            thread: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
+            generation: 0,
+            spans: Vec::new(),
+            counters: BTreeMap::new(),
+            runtime: BTreeMap::new(),
+            stack: Vec::new(),
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.spans.is_empty() && self.counters.is_empty() && self.runtime.is_empty() {
+            return;
+        }
+        let log = ThreadLog {
+            thread: self.thread,
+            spans: std::mem::take(&mut self.spans),
+            counters: std::mem::take(&mut self.counters),
+            runtime: std::mem::take(&mut self.runtime),
+        };
+        self.stack.clear();
+        self.generation += 1;
+        sink().lock().expect("trace sink lock").push(log);
+    }
+}
+
+impl Drop for Local {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<Local>> = const { RefCell::new(None) };
+}
+
+fn with_local<R>(f: impl FnOnce(&mut Local) -> R) -> Option<R> {
+    LOCAL
+        .try_with(|cell| {
+            let mut slot = cell.borrow_mut();
+            Some(f(slot.get_or_insert_with(Local::new)))
+        })
+        .unwrap_or(None)
+}
+
+/// RAII guard returned by [`span`]; records the duration when dropped.
+#[must_use = "a span measures the scope of its guard — bind it to a variable"]
+pub struct SpanGuard {
+    /// `(span index, generation)` in this thread's buffer, or `None` when
+    /// tracing was disabled at open time.
+    slot: Option<(u32, u32)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((idx, generation)) = self.slot else {
+            return;
+        };
+        let end = micros_since_epoch();
+        with_local(|local| {
+            if local.generation != generation {
+                return;
+            }
+            if let Some(rec) = local.spans.get_mut(idx as usize) {
+                rec.dur_us = end.saturating_sub(rec.start_us);
+            }
+            if local.stack.last() == Some(&idx) {
+                local.stack.pop();
+            } else {
+                local.stack.retain(|&i| i != idx);
+            }
+        });
+    }
+}
+
+/// Open a span; it closes (and gets its duration) when the returned guard
+/// drops. Near-free when tracing is disabled.
+#[inline]
+pub fn span(name: impl Into<Cow<'static, str>>) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { slot: None };
+    }
+    span_slow(name.into())
+}
+
+fn span_slow(name: Cow<'static, str>) -> SpanGuard {
+    let start = micros_since_epoch();
+    let slot = with_local(|local| {
+        let idx = local.spans.len() as u32;
+        local.spans.push(SpanRecord {
+            name,
+            start_us: start,
+            dur_us: 0,
+            parent: local.stack.last().copied(),
+        });
+        local.stack.push(idx);
+        (idx, local.generation)
+    });
+    SpanGuard { slot }
+}
+
+/// Add `delta` to a **deterministic** counter — one whose total depends
+/// only on the workload, never on scheduling. Near-free when disabled.
+#[inline]
+pub fn count(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    with_local(|local| *local.counters.entry(name).or_insert(0) += delta);
+}
+
+/// Add `delta` to a **scheduling-dependent** counter (steals, concurrent
+/// cache hits). Excluded from the deterministic export. Near-free when
+/// disabled.
+#[inline]
+pub fn count_runtime(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    with_local(|local| *local.runtime.entry(name).or_insert(0) += delta);
+}
+
+/// Hand the calling thread's buffer to the global collector *now*.
+///
+/// The buffer also flushes automatically when the thread exits, but
+/// thread-local destructors run **after** `std::thread::scope` has
+/// counted the thread as finished — a [`take`] on the parent can race
+/// them and silently miss whole worker buffers. A worker closure that
+/// records events must therefore call `flush()` as its last statement;
+/// everything buffered before the closure returns is then guaranteed to
+/// be visible to a `take` that runs after the scope joins. No-op when
+/// the thread never recorded anything.
+pub fn flush() {
+    let _ = LOCAL.try_with(|cell| {
+        if let Some(local) = cell.borrow_mut().as_mut() {
+            local.flush();
+        }
+    });
+}
+
+/// All spans one thread recorded, in open order.
+#[derive(Debug, Clone)]
+pub struct ThreadTrace {
+    /// Dense per-process thread id (assignment order is scheduling-
+    /// dependent; only used to lay spans out on rows in the Chrome view).
+    pub id: u64,
+    /// Spans opened on this thread; `SpanRecord::parent` indexes here.
+    pub spans: Vec<SpanRecord>,
+}
+
+/// A drained trace: everything recorded since the previous [`take`].
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Per-thread span lists, sorted by thread id.
+    pub threads: Vec<ThreadTrace>,
+    /// Deterministic counters, merged (summed) across threads.
+    pub counters: BTreeMap<String, u64>,
+    /// Scheduling-dependent counters, merged across threads.
+    pub runtime_counters: BTreeMap<String, u64>,
+}
+
+/// Drain every flushed buffer (plus the calling thread's live buffer) into
+/// a [`Trace`]. Worker threads must have [`flush`]ed (or fully exited,
+/// destructors included) first — anything still buffered on another thread
+/// is left for the next `take`.
+pub fn take() -> Trace {
+    with_local(Local::flush);
+    let logs: Vec<ThreadLog> = std::mem::take(&mut *sink().lock().expect("trace sink lock"));
+
+    let mut threads: BTreeMap<u64, Vec<SpanRecord>> = BTreeMap::new();
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut runtime: BTreeMap<String, u64> = BTreeMap::new();
+    for log in logs {
+        let spans = threads.entry(log.thread).or_default();
+        // A thread may have flushed more than once; parent indices are
+        // relative to each flush, so offset them past what's already there.
+        let base = spans.len() as u32;
+        spans.extend(log.spans.into_iter().map(|mut rec| {
+            rec.parent = rec.parent.map(|p| p + base);
+            rec
+        }));
+        for (name, v) in log.counters {
+            *counters.entry(name.to_owned()).or_insert(0) += v;
+        }
+        for (name, v) in log.runtime {
+            *runtime.entry(name.to_owned()).or_insert(0) += v;
+        }
+    }
+    Trace {
+        threads: threads
+            .into_iter()
+            .map(|(id, spans)| ThreadTrace { id, spans })
+            .collect(),
+        counters,
+        runtime_counters: runtime,
+    }
+}
+
+fn push_counter_obj(out: &mut String, counters: &BTreeMap<String, u64>) {
+    out.push('{');
+    for (i, (name, v)) in counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{v}", json::escape_string(name));
+    }
+    out.push('}');
+}
+
+impl Trace {
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.threads.iter().all(|t| t.spans.is_empty())
+            && self.counters.is_empty()
+            && self.runtime_counters.is_empty()
+    }
+
+    /// How many spans were opened per name (deterministic when the
+    /// instrumentation sites are).
+    pub fn span_counts(&self) -> BTreeMap<String, u64> {
+        let mut counts = BTreeMap::new();
+        for t in &self.threads {
+            for s in &t.spans {
+                *counts.entry(s.name.clone().into_owned()).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Chrome `trace_event` JSON (object form). `traceEvents` carries one
+    /// complete (`"ph":"X"`) event per span; the extra top-level keys —
+    /// `counters` (deterministic), `runtimeCounters`, `spanCounts` — are
+    /// ignored by Perfetto/`chrome://tracing` but make the file
+    /// self-describing.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        for t in &self.threads {
+            for s in &t.spans {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "{{\"name\":{},\"cat\":\"mc\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                     \"pid\":1,\"tid\":{}",
+                    json::escape_string(&s.name),
+                    s.start_us,
+                    s.dur_us,
+                    t.id
+                );
+                if let Some(p) = s.parent {
+                    let _ = write!(
+                        out,
+                        ",\"args\":{{\"parent\":{}}}",
+                        json::escape_string(&t.spans[p as usize].name)
+                    );
+                }
+                out.push('}');
+            }
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\",\"counters\":");
+        push_counter_obj(&mut out, &self.counters);
+        out.push_str(",\"runtimeCounters\":");
+        push_counter_obj(&mut out, &self.runtime_counters);
+        out.push_str(",\"spanCounts\":");
+        push_counter_obj(&mut out, &self.span_counts());
+        out.push_str("}\n");
+        out
+    }
+
+    /// Deterministic JSON: the [`count`]-class counters only — no
+    /// timestamps, no thread ids, no scheduling-dependent counters, and no
+    /// span counts (concurrent artifact-cache races can change how many
+    /// times a pass actually *runs*, so per-name span counts are
+    /// thread-count-dependent even when every counted quantity is not).
+    /// Bit-identical across repeated runs and thread counts; this is what
+    /// CI diffs.
+    pub fn deterministic_json(&self) -> String {
+        let mut out = String::from("{\"counters\":");
+        push_counter_obj(&mut out, &self.counters);
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tracing state is process-global, so tests that enable it must not
+    /// overlap (the default test harness runs them on multiple threads).
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _guard = serial();
+        disable();
+        let _ = take(); // drop anything a previous test left behind
+        {
+            let _s = span("t.nothing");
+            count("t.nothing", 7);
+            count_runtime("t.nothing.rt", 7);
+        }
+        let trace = take();
+        assert!(!trace.counters.contains_key("t.nothing"));
+        assert!(!trace.runtime_counters.contains_key("t.nothing.rt"));
+        assert_eq!(trace.span_counts().get("t.nothing"), None);
+    }
+
+    #[test]
+    fn spans_nest_and_counters_sum() {
+        let _guard = serial();
+        let _ = take();
+        enable();
+        {
+            let _root = span("t.root");
+            for _ in 0..3 {
+                let _child = span("t.child");
+                count("t.items", 2);
+            }
+        }
+        let trace = take();
+        disable();
+        let counts = trace.span_counts();
+        assert_eq!(counts.get("t.root"), Some(&1));
+        assert_eq!(counts.get("t.child"), Some(&3));
+        assert_eq!(trace.counters.get("t.items"), Some(&6));
+
+        // Every t.child has t.root as parent on the same thread.
+        for t in &trace.threads {
+            for s in t.spans.iter().filter(|s| s.name == "t.child") {
+                let parent = s.parent.expect("child has parent");
+                assert_eq!(t.spans[parent as usize].name, "t.root");
+            }
+        }
+    }
+
+    #[test]
+    fn scoped_workers_hand_off_with_an_explicit_flush() {
+        // `thread::scope` counts a worker as finished when its closure
+        // returns, *before* thread-local destructors run — so the closure
+        // must flush explicitly or a take() right after the scope can miss
+        // its buffer. This is the contract the explorer pool relies on.
+        let _guard = serial();
+        let _ = take();
+        enable();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    {
+                        let _s = span("t.task");
+                        count("t.done", 1);
+                        count_runtime("t.stolen", 1);
+                    }
+                    flush();
+                });
+            }
+        });
+        let trace = take();
+        disable();
+        assert_eq!(trace.span_counts().get("t.task"), Some(&4));
+        assert_eq!(trace.counters.get("t.done"), Some(&4));
+        assert_eq!(trace.runtime_counters.get("t.stolen"), Some(&4));
+        assert!(trace.threads.iter().filter(|t| !t.spans.is_empty()).count() >= 1);
+    }
+
+    #[test]
+    fn joined_threads_flush_on_exit() {
+        // A plain `spawn` + `join` waits for full thread termination,
+        // thread-local destructors included, so the Drop-based flush is
+        // sufficient there.
+        let _guard = serial();
+        let _ = take();
+        enable();
+        let handle = std::thread::spawn(|| {
+            let _s = span("t.joined");
+            count("t.joined.n", 2);
+        });
+        handle.join().expect("worker");
+        let trace = take();
+        disable();
+        assert_eq!(trace.span_counts().get("t.joined"), Some(&1));
+        assert_eq!(trace.counters.get("t.joined.n"), Some(&2));
+    }
+
+    #[test]
+    fn chrome_json_parses_and_carries_counters() {
+        let _guard = serial();
+        let _ = take();
+        enable();
+        {
+            let _root = span("t.chrome \"quoted\"");
+            count("t.chrome.n", 5);
+        }
+        let trace = take();
+        disable();
+        let doc = json::parse(&trace.to_chrome_json()).expect("chrome json parses");
+        let events = doc.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").and_then(|n| n.as_str()) == Some("t.chrome \"quoted\"")));
+        for e in events {
+            assert_eq!(e.get("ph").and_then(|v| v.as_str()), Some("X"));
+            assert!(e.get("ts").and_then(|v| v.as_f64()).is_some());
+            assert!(e.get("dur").and_then(|v| v.as_f64()).is_some());
+        }
+        let counters = doc.get("counters").unwrap();
+        assert_eq!(
+            counters.get("t.chrome.n").and_then(|v| v.as_f64()),
+            Some(5.0)
+        );
+    }
+
+    #[test]
+    fn deterministic_json_is_count_class_counters_only() {
+        let _guard = serial();
+        let _ = take();
+        enable();
+        {
+            let _s = span("t.span");
+            count("t.det", 1);
+            count_runtime("t.rt", 1);
+        }
+        let trace = take();
+        disable();
+        let det = trace.deterministic_json();
+        assert_eq!(det, "{\"counters\":{\"t.det\":1}}\n");
+        assert!(!det.contains("t.rt"), "no scheduling-dependent counters");
+        assert!(!det.contains("t.span"), "no span counts");
+        let chrome = trace.to_chrome_json();
+        assert!(chrome.contains("t.rt"));
+        assert!(chrome.contains("t.span"));
+    }
+
+    #[test]
+    fn take_is_a_reset() {
+        let _guard = serial();
+        let _ = take();
+        enable();
+        count("t.once", 1);
+        let first = take();
+        let second = take();
+        disable();
+        assert_eq!(first.counters.get("t.once"), Some(&1));
+        assert!(!second.counters.contains_key("t.once"));
+    }
+}

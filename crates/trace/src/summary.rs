@@ -1,0 +1,295 @@
+//! Validation and pretty-printing of trace files (`mcpm trace-summary`).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json;
+
+/// Aggregated per-name span statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStats {
+    /// Span name.
+    pub name: String,
+    /// How many spans carried this name.
+    pub count: u64,
+    /// Summed duration, microseconds.
+    pub total_us: u64,
+    /// Longest single span, microseconds.
+    pub max_us: u64,
+}
+
+/// A validated, aggregated view of a Chrome-format trace file.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// Per-name span statistics, descending by total duration.
+    pub spans: Vec<SpanStats>,
+    /// Deterministic counters from the file.
+    pub counters: BTreeMap<String, u64>,
+    /// Scheduling-dependent counters from the file.
+    pub runtime_counters: BTreeMap<String, u64>,
+    /// Per-name span open counts from the file (deterministic).
+    pub span_counts: BTreeMap<String, u64>,
+    /// `max(end) - min(start)` over all events, microseconds.
+    pub wall_us: u64,
+    /// Microseconds of the wall covered by the union of all spans.
+    pub covered_us: u64,
+}
+
+impl TraceSummary {
+    /// Parse and validate a trace document produced by
+    /// [`Trace::to_chrome_json`](crate::Trace::to_chrome_json): a JSON
+    /// object whose `traceEvents` is an array of complete events (string
+    /// `name`, `"ph":"X"`, numeric `ts`/`dur`/`tid`) with `counters` /
+    /// `runtimeCounters` / `spanCounts` objects alongside.
+    pub fn from_json(text: &str) -> Result<TraceSummary, String> {
+        let doc = json::parse(text).map_err(|e| e.to_string())?;
+        if doc.as_object().is_none() {
+            return Err("trace document must be a JSON object".into());
+        }
+        let events = doc
+            .get("traceEvents")
+            .ok_or("missing `traceEvents` key")?
+            .as_array()
+            .ok_or("`traceEvents` must be an array")?;
+
+        let mut stats: BTreeMap<String, SpanStats> = BTreeMap::new();
+        let mut intervals: Vec<(u64, u64)> = Vec::with_capacity(events.len());
+        for (i, event) in events.iter().enumerate() {
+            let field = |key: &str| {
+                event
+                    .get(key)
+                    .ok_or(format!("traceEvents[{i}] missing `{key}`"))
+            };
+            let name = field("name")?
+                .as_str()
+                .ok_or(format!("traceEvents[{i}].name must be a string"))?;
+            let ph = field("ph")?
+                .as_str()
+                .ok_or(format!("traceEvents[{i}].ph must be a string"))?;
+            if ph != "X" {
+                return Err(format!("traceEvents[{i}].ph is `{ph}`, expected `X`"));
+            }
+            let num = |key: &str| -> Result<u64, String> {
+                field(key)?
+                    .as_f64()
+                    .filter(|n| *n >= 0.0)
+                    .map(|n| n as u64)
+                    .ok_or(format!(
+                        "traceEvents[{i}].{key} must be a non-negative number"
+                    ))
+            };
+            let ts = num("ts")?;
+            let dur = num("dur")?;
+            num("tid")?;
+            let entry = stats.entry(name.to_owned()).or_insert(SpanStats {
+                name: name.to_owned(),
+                count: 0,
+                total_us: 0,
+                max_us: 0,
+            });
+            entry.count += 1;
+            entry.total_us += dur;
+            entry.max_us = entry.max_us.max(dur);
+            intervals.push((ts, ts + dur));
+        }
+
+        let counter_map = |key: &str| -> Result<BTreeMap<String, u64>, String> {
+            match doc.get(key) {
+                None => Err(format!("missing `{key}` key")),
+                Some(v) if v.as_object().is_some() => Ok(v.to_u64_map()),
+                Some(_) => Err(format!("`{key}` must be an object")),
+            }
+        };
+
+        let (wall_us, covered_us) = wall_and_union(&mut intervals);
+        let mut spans: Vec<SpanStats> = stats.into_values().collect();
+        spans.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.name.cmp(&b.name)));
+        Ok(TraceSummary {
+            spans,
+            counters: counter_map("counters")?,
+            runtime_counters: counter_map("runtimeCounters")?,
+            span_counts: counter_map("spanCounts")?,
+            wall_us,
+            covered_us,
+        })
+    }
+
+    /// Fraction of the wall clock covered by the union of all spans
+    /// (1.0 for an empty trace, which has no wall to cover).
+    pub fn coverage(&self) -> f64 {
+        if self.wall_us == 0 {
+            1.0
+        } else {
+            self.covered_us as f64 / self.wall_us as f64
+        }
+    }
+
+    /// Deterministic counters-only JSON, bit-identical across repeated
+    /// runs and thread counts: `{"counters":{...}}`. Span counts are
+    /// deliberately excluded — artifact-cache races under concurrency can
+    /// change how many times a pass runs. This is what CI diffs between
+    /// two runs.
+    pub fn deterministic_json(&self) -> String {
+        let members: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(k, v)| format!("{}:{v}", json::escape_string(k)))
+            .collect();
+        format!("{{\"counters\":{{{}}}}}\n", members.join(","))
+    }
+
+    /// Human-readable table: spans by total time, then both counter
+    /// classes.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "wall {:.3} ms, span coverage {:.1} %",
+            self.wall_us as f64 / 1e3,
+            self.coverage() * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "\n{:<28} {:>7} {:>12} {:>12} {:>12} {:>6}",
+            "span", "count", "total ms", "mean µs", "max µs", "wall%"
+        );
+        for s in &self.spans {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>7} {:>12.3} {:>12.1} {:>12} {:>6.1}",
+                s.name,
+                s.count,
+                s.total_us as f64 / 1e3,
+                s.total_us as f64 / s.count.max(1) as f64,
+                s.max_us,
+                if self.wall_us == 0 {
+                    0.0
+                } else {
+                    100.0 * s.total_us as f64 / self.wall_us as f64
+                }
+            );
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "\ncounters (deterministic):");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<34} {v:>16}");
+            }
+        }
+        if !self.runtime_counters.is_empty() {
+            let _ = writeln!(out, "\ncounters (scheduling-dependent):");
+            for (name, v) in &self.runtime_counters {
+                let _ = writeln!(out, "  {name:<34} {v:>16}");
+            }
+        }
+        out
+    }
+}
+
+/// `(wall, union)`: the full extent of the events and how much of it the
+/// merged intervals cover. Sorts `intervals` in place.
+fn wall_and_union(intervals: &mut [(u64, u64)]) -> (u64, u64) {
+    if intervals.is_empty() {
+        return (0, 0);
+    }
+    intervals.sort_unstable();
+    let wall_start = intervals[0].0;
+    let mut wall_end = 0;
+    let mut covered = 0;
+    let mut cur = intervals[0];
+    for &(start, end) in intervals[1..].iter() {
+        wall_end = wall_end.max(end);
+        if start <= cur.1 {
+            cur.1 = cur.1.max(end);
+        } else {
+            covered += cur.1 - cur.0;
+            cur = (start, end);
+        }
+    }
+    covered += cur.1 - cur.0;
+    wall_end = wall_end.max(cur.1);
+    (wall_end - wall_start, covered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> String {
+        concat!(
+            "{\"traceEvents\":[",
+            "{\"name\":\"root\",\"cat\":\"mc\",\"ph\":\"X\",\"ts\":0,\"dur\":100,\"pid\":1,\"tid\":0},",
+            "{\"name\":\"leaf\",\"cat\":\"mc\",\"ph\":\"X\",\"ts\":10,\"dur\":30,\"pid\":1,\"tid\":0},",
+            "{\"name\":\"leaf\",\"cat\":\"mc\",\"ph\":\"X\",\"ts\":50,\"dur\":40,\"pid\":1,\"tid\":1}",
+            "],\"displayTimeUnit\":\"ms\",",
+            "\"counters\":{\"sim.instructions\":1234},",
+            "\"runtimeCounters\":{\"pool.steals\":7},",
+            "\"spanCounts\":{\"root\":1,\"leaf\":2}}"
+        )
+        .to_owned()
+    }
+
+    #[test]
+    fn aggregates_and_coverage() {
+        let summary = TraceSummary::from_json(&sample()).expect("valid");
+        assert_eq!(summary.wall_us, 100);
+        assert_eq!(summary.covered_us, 100); // root covers everything
+        assert_eq!(summary.coverage(), 1.0);
+        assert_eq!(summary.spans[0].name, "root");
+        let leaf = summary.spans.iter().find(|s| s.name == "leaf").unwrap();
+        assert_eq!(leaf.count, 2);
+        assert_eq!(leaf.total_us, 70);
+        assert_eq!(leaf.max_us, 40);
+        assert_eq!(summary.counters.get("sim.instructions"), Some(&1234));
+        assert_eq!(summary.runtime_counters.get("pool.steals"), Some(&7));
+    }
+
+    #[test]
+    fn deterministic_json_is_counters_only() {
+        let summary = TraceSummary::from_json(&sample()).expect("valid");
+        assert_eq!(
+            summary.deterministic_json(),
+            "{\"counters\":{\"sim.instructions\":1234}}\n"
+        );
+    }
+
+    #[test]
+    fn schema_violations_are_reported() {
+        for (bad, needle) in [
+            ("[]", "must be a JSON object"),
+            ("{}", "missing `traceEvents`"),
+            ("{\"traceEvents\":3}", "must be an array"),
+            ("{\"traceEvents\":[{}]}", "missing `name`"),
+            (
+                "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"B\",\"ts\":0,\"dur\":0,\"tid\":0}]}",
+                "expected `X`",
+            ),
+            (
+                "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"X\",\"ts\":\"0\",\"dur\":0,\"tid\":0}]}",
+                "non-negative number",
+            ),
+            ("{\"traceEvents\":[]}", "missing `counters`"),
+            (
+                "{\"traceEvents\":[],\"counters\":{},\"runtimeCounters\":{},\"spanCounts\":3}",
+                "`spanCounts` must be an object",
+            ),
+        ] {
+            let err = TraceSummary::from_json(bad).expect_err(bad);
+            assert!(err.contains(needle), "`{bad}` → `{err}` lacks `{needle}`");
+        }
+    }
+
+    #[test]
+    fn render_mentions_all_sections() {
+        let text = TraceSummary::from_json(&sample()).unwrap().render();
+        assert!(text.contains("span coverage 100.0 %"));
+        assert!(text.contains("sim.instructions"));
+        assert!(text.contains("pool.steals"));
+        assert!(text.contains("leaf"));
+    }
+
+    #[test]
+    fn union_handles_gaps_and_overlaps() {
+        let mut iv = vec![(0, 10), (5, 20), (30, 40)];
+        assert_eq!(wall_and_union(&mut iv), (40, 30));
+    }
+}

@@ -13,6 +13,7 @@ run() {
 
 run cargo fmt --all -- --check
 run cargo clippy --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" run cargo doc --no-deps --workspace
 run cargo build --release --workspace
 run cargo test -q --workspace
 
@@ -44,5 +45,24 @@ SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 explore_smoke facet "$SMOKE_DIR"
 explore_smoke hal "$SMOKE_DIR"
+
+# Trace smoke: --trace must produce a file that validates against the
+# Chrome trace_event schema (trace-summary parses and checks every
+# event), and the deterministic counter export must be bit-identical
+# across two runs — scheduling may move work between threads but never
+# change what gets computed.
+echo "==> trace smoke: schema + counter determinism"
+./target/release/mcpm eval --benchmark hal --computations 40 \
+    --trace "$SMOKE_DIR/t1.json" > /dev/null
+./target/release/mcpm eval --benchmark hal --computations 40 \
+    --trace "$SMOKE_DIR/t2.json" > /dev/null
+./target/release/mcpm trace-summary "$SMOKE_DIR/t1.json" > /dev/null \
+    || { echo "ci.sh: trace file failed schema validation" >&2; exit 1; }
+./target/release/mcpm trace-summary "$SMOKE_DIR/t1.json" --counters \
+    > "$SMOKE_DIR/t1.counters"
+./target/release/mcpm trace-summary "$SMOKE_DIR/t2.json" --counters \
+    > "$SMOKE_DIR/t2.counters"
+cmp "$SMOKE_DIR/t1.counters" "$SMOKE_DIR/t2.counters" \
+    || { echo "ci.sh: trace counters differ between runs" >&2; exit 1; }
 
 echo "==> ci.sh: all checks passed"

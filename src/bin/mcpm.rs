@@ -14,6 +14,7 @@
 //! ```
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::process::ExitCode;
 
 use multiclock::alloc::Strategy;
@@ -24,37 +25,205 @@ use multiclock::power::{per_component_power, profile::power_profile};
 use multiclock::rtl::{export, PowerMode};
 use multiclock::sim::{simulate, vcd, SimConfig};
 use multiclock::tech::MemKind;
+use multiclock::trace::summary::TraceSummary;
 use multiclock::{DesignStyle, Synthesizer};
+
+/// Typed command-line failures. Every variant exits non-zero with a
+/// message naming the offending token, so a misspelled or degenerate flag
+/// can never silently run with defaults.
+#[derive(Debug)]
+enum CliError {
+    /// The first token is not a known subcommand.
+    UnknownCommand(String),
+    /// A `--flag` the subcommand does not accept.
+    UnknownFlag {
+        command: String,
+        flag: String,
+        suggestion: Option<&'static str>,
+        valid: &'static [&'static str],
+    },
+    /// A bare token where only `--flag [value]` pairs are allowed.
+    UnexpectedArgument { command: String, token: String },
+    /// A flag value that does not parse or is out of range.
+    InvalidValue {
+        flag: String,
+        value: String,
+        reason: String,
+    },
+    /// Any other failure (I/O, synthesis, signoff, ...).
+    Other(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::UnknownCommand(cmd) => {
+                write!(f, "unknown command `{cmd}`\n\n{}", usage())
+            }
+            CliError::UnknownFlag {
+                command,
+                flag,
+                suggestion,
+                valid,
+            } => {
+                write!(f, "unknown flag `--{flag}` for `{command}`")?;
+                if let Some(s) = suggestion {
+                    write!(f, " (did you mean `--{s}`?)")?;
+                }
+                if valid.is_empty() {
+                    write!(f, "; `{command}` takes no flags")
+                } else {
+                    let list: Vec<String> = valid.iter().map(|v| format!("--{v}")).collect();
+                    write!(f, "; valid flags: {}", list.join(", "))
+                }
+            }
+            CliError::UnexpectedArgument { command, token } => {
+                write!(
+                    f,
+                    "unexpected argument `{token}`: `{command}` takes only `--flag [value]` pairs"
+                )
+            }
+            CliError::InvalidValue {
+                flag,
+                value,
+                reason,
+            } => {
+                write!(f, "invalid value `{value}` for --{flag}: {reason}")
+            }
+            CliError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError::Other(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> CliError {
+        CliError::Other(msg.to_owned())
+    }
+}
+
+/// The flags each subcommand accepts. `None` → unknown subcommand.
+fn valid_flags(command: &str) -> Option<&'static [&'static str]> {
+    #[rustfmt::skip]
+    let flags: &'static [&'static str] = match command {
+        "list" | "help" | "--help" | "-h" => &[],
+        "eval" => &["benchmark", "file", "computations", "seed", "json", "out", "trace"],
+        "synth" => &["benchmark", "file", "computations", "seed", "clocks", "strategy",
+                     "mem", "export", "out"],
+        "sweep" => &["benchmark", "file", "computations", "seed", "max-clocks", "json",
+                     "out", "trace"],
+        "explore" => &["benchmark", "file", "computations", "seed", "max-clocks", "budget",
+                       "voltages", "stretch", "threads", "parallel", "timings", "seeds",
+                       "batch", "json", "out", "trace"],
+        "profile" | "signoff" => &["benchmark", "file", "computations", "seed", "clocks",
+                                   "strategy", "mem"],
+        "top" => &["benchmark", "file", "computations", "seed", "clocks", "strategy",
+                   "mem", "count"],
+        "stats" => &["benchmark", "file", "computations", "seed", "clocks", "strategy",
+                     "mem", "seeds"],
+        "trace-summary" => &["counters"],
+        _ => return None,
+    };
+    Some(flags)
+}
+
+/// Levenshtein edit distance, for did-you-mean hints on misspelled flags.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let subst = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = subst.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The closest valid flag within edit distance 2, if any.
+fn did_you_mean(flag: &str, valid: &'static [&'static str]) -> Option<&'static str> {
+    valid
+        .iter()
+        .map(|v| (edit_distance(flag, v), *v))
+        .filter(|&(d, _)| d <= 2)
+        .min_by_key(|&(d, _)| d)
+        .map(|(_, v)| v)
+}
 
 /// Parsed command-line options (flag → value).
 struct Args {
     command: String,
     flags: BTreeMap<String, String>,
+    /// Bare (non-`--flag`) tokens; only `trace-summary` accepts one.
+    positional: Vec<String>,
 }
 
 impl Args {
-    fn parse() -> Option<Args> {
-        let mut it = std::env::args().skip(1);
-        let command = it.next()?;
+    /// Parses the process arguments. `Ok(None)` means no command was
+    /// given (print usage). Unknown commands, unknown flags and stray
+    /// tokens are hard errors — never silently ignored.
+    fn parse() -> Result<Option<Args>, CliError> {
+        Self::parse_from(std::env::args().skip(1).collect())
+    }
+
+    fn parse_from(tokens: Vec<String>) -> Result<Option<Args>, CliError> {
+        let mut it = tokens.into_iter();
+        let Some(command) = it.next() else {
+            return Ok(None);
+        };
+        let valid =
+            valid_flags(&command).ok_or_else(|| CliError::UnknownCommand(command.clone()))?;
         let mut flags = BTreeMap::new();
+        let mut positional = Vec::new();
         let rest: Vec<String> = it.collect();
         let mut i = 0;
         while i < rest.len() {
-            let key = rest[i].strip_prefix("--")?.to_owned();
+            let Some(key) = rest[i].strip_prefix("--") else {
+                if command == "trace-summary" && positional.is_empty() {
+                    positional.push(rest[i].clone());
+                    i += 1;
+                    continue;
+                }
+                return Err(CliError::UnexpectedArgument {
+                    command,
+                    token: rest[i].clone(),
+                });
+            };
+            if !valid.contains(&key) {
+                return Err(CliError::UnknownFlag {
+                    command,
+                    flag: key.to_owned(),
+                    suggestion: did_you_mean(key, valid),
+                    valid,
+                });
+            }
             // `--flag value`, or a bare boolean `--flag` (next token is
             // another flag or the end of the line).
             match rest.get(i + 1) {
                 Some(v) if !v.starts_with("--") => {
-                    flags.insert(key, v.clone());
+                    flags.insert(key.to_owned(), v.clone());
                     i += 2;
                 }
                 _ => {
-                    flags.insert(key, "true".to_owned());
+                    flags.insert(key.to_owned(), "true".to_owned());
                     i += 1;
                 }
             }
         }
-        Some(Args { command, flags })
+        Ok(Some(Args {
+            command,
+            flags,
+            positional,
+        }))
     }
 
     fn get(&self, key: &str) -> Option<&str> {
@@ -68,7 +237,7 @@ impl Args {
     }
 
     /// Comma-separated list flag, e.g. `--voltages 4.65,3.3`.
-    fn parse_list<T>(&self, key: &str, default: &[T]) -> Result<Vec<T>, String>
+    fn parse_list<T>(&self, key: &str, default: &[T]) -> Result<Vec<T>, CliError>
     where
         T: std::str::FromStr + Clone,
     {
@@ -78,21 +247,43 @@ impl Args {
                 .split(',')
                 .filter(|s| !s.is_empty())
                 .map(|s| {
-                    s.trim()
-                        .parse()
-                        .map_err(|_| format!("invalid value `{s}` in --{key}"))
+                    s.trim().parse().map_err(|_| CliError::InvalidValue {
+                        flag: key.to_owned(),
+                        value: s.to_owned(),
+                        reason: "not a valid list element".to_owned(),
+                    })
                 })
                 .collect(),
         }
     }
 
-    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("invalid value `{v}` for --{key}")),
+            Some(v) => v.parse().map_err(|_| CliError::InvalidValue {
+                flag: key.to_owned(),
+                value: v.to_owned(),
+                reason: "not a number".to_owned(),
+            }),
         }
+    }
+
+    /// Numeric flag with a lower bound, rejected at parse time so
+    /// degenerate values (`--computations 0`, `--seeds 0`, `--batch 0`)
+    /// never reach the simulator or the Monte-Carlo divisions.
+    fn parse_num_at_least<T>(&self, key: &str, default: T, min: T) -> Result<T, CliError>
+    where
+        T: std::str::FromStr + PartialOrd + fmt::Display + Copy,
+    {
+        let v = self.parse_num(key, default)?;
+        if v < min {
+            return Err(CliError::InvalidValue {
+                flag: key.to_owned(),
+                value: v.to_string(),
+                reason: format!("must be at least {min}"),
+            });
+        }
+        Ok(v)
     }
 }
 
@@ -115,12 +306,16 @@ fn usage() -> &'static str {
      \x20 top     --benchmark NAME --clocks N [--count K]   hottest components\n\
      \x20 stats   --benchmark NAME --clocks N [--seeds K]   power spread across seeds\n\
      \x20 signoff --benchmark NAME | --file F    equivalence + lint + discipline + timing\n\
+     \x20 trace-summary FILE [--counters]        summarise a --trace file (spans,\n\
+     \x20         counters, coverage); --counters emits the deterministic JSON only\n\
      \n\
      common flags: --computations N (default 400), --seed S (default 42),\n\
-     \x20             --json (eval/sweep/explore emit machine-readable JSON)"
+     \x20             --json (eval/sweep/explore emit machine-readable JSON),\n\
+     \x20             --trace FILE (eval/sweep/explore write a Chrome trace_event\n\
+     \x20             profile loadable in Perfetto / chrome://tracing)"
 }
 
-fn find_benchmark(name: &str) -> Result<Benchmark, String> {
+fn find_benchmark(name: &str) -> Result<Benchmark, CliError> {
     benchmarks::all_benchmarks()
         .into_iter()
         .find(|b| b.name() == name)
@@ -129,17 +324,17 @@ fn find_benchmark(name: &str) -> Result<Benchmark, String> {
                 .iter()
                 .map(|b| b.name().to_owned())
                 .collect();
-            format!(
+            CliError::Other(format!(
                 "unknown benchmark `{name}`; available: {}",
                 names.join(", ")
-            )
+            ))
         })
 }
 
 /// Loads the behaviour: either `--benchmark NAME` (bundled, with its
 /// reference schedule) or `--file PATH` (the behavioural DSL, scheduled
 /// ASAP).
-fn load_behavior(args: &Args) -> Result<Benchmark, String> {
+fn load_behavior(args: &Args) -> Result<Benchmark, CliError> {
     match (args.get("benchmark"), args.get("file")) {
         (Some(name), None) => find_benchmark(name),
         (None, Some(path)) => {
@@ -163,24 +358,24 @@ fn load_behavior(args: &Args) -> Result<Benchmark, String> {
     }
 }
 
-fn style_from(args: &Args) -> Result<DesignStyle, String> {
-    let clocks: u32 = args.parse_num("clocks", 2)?;
+fn style_from(args: &Args) -> Result<DesignStyle, CliError> {
+    let clocks: u32 = args.parse_num_at_least("clocks", 2, 1)?;
     let strategy = match args.get("strategy").unwrap_or("integrated") {
         "conventional" => Strategy::Conventional,
         "split" => Strategy::Split,
         "integrated" => Strategy::Integrated,
-        other => return Err(format!("unknown strategy `{other}`")),
+        other => return Err(format!("unknown strategy `{other}`").into()),
     };
     let mem_kind = match args.get("mem").unwrap_or("latch") {
         "latch" => MemKind::Latch,
         "dff" => MemKind::Dff,
-        other => return Err(format!("unknown memory kind `{other}`")),
+        other => return Err(format!("unknown memory kind `{other}`").into()),
     };
     if strategy == Strategy::Conventional {
         return if clocks == 1 {
             Ok(DesignStyle::ConventionalGated)
         } else {
-            Err("conventional strategy requires --clocks 1".to_owned())
+            Err("conventional strategy requires --clocks 1".into())
         };
     }
     Ok(DesignStyle::Custom {
@@ -216,10 +411,10 @@ fn table_json(table: &multiclock::experiment::Table, seed: u64, computations: us
     doc.finish()
 }
 
-fn emit(args: &Args, text: &str) -> Result<(), String> {
+fn emit(args: &Args, text: &str) -> Result<(), CliError> {
     match args.get("out") {
         Some(path) => std::fs::write(path, text)
-            .map_err(|e| format!("cannot write `{path}`: {e}"))
+            .map_err(|e| CliError::Other(format!("cannot write `{path}`: {e}")))
             .map(|()| println!("wrote {path} ({} bytes)", text.len())),
         None => {
             println!("{text}");
@@ -228,12 +423,35 @@ fn emit(args: &Args, text: &str) -> Result<(), String> {
     }
 }
 
-fn run() -> Result<(), String> {
-    let Some(args) = Args::parse() else {
+fn run() -> Result<(), CliError> {
+    let Some(args) = Args::parse()? else {
         println!("{}", usage());
         return Ok(());
     };
-    let computations: usize = args.parse_num("computations", 400)?;
+    // `--trace FILE`: record the whole command under a root span and
+    // write a Chrome trace_event profile on success.
+    let trace_out = args.get("trace").map(str::to_owned);
+    if trace_out.is_some() {
+        multiclock::trace::enable();
+    }
+    let result = {
+        let _root = multiclock::trace::span(format!("mcpm.{}", args.command));
+        dispatch(&args)
+    };
+    if let Some(path) = trace_out {
+        let trace = multiclock::trace::take();
+        multiclock::trace::disable();
+        if result.is_ok() {
+            std::fs::write(&path, trace.to_chrome_json())
+                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!("trace written to {path} (load in Perfetto / chrome://tracing)");
+        }
+    }
+    result
+}
+
+fn dispatch(args: &Args) -> Result<(), CliError> {
+    let computations: usize = args.parse_num_at_least("computations", 400, 1)?;
     let seed: u64 = args.parse_num("seed", 42)?;
 
     match args.command.as_str() {
@@ -250,13 +468,13 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "eval" => {
-            let bm = load_behavior(&args)?;
+            let bm = load_behavior(args)?;
             // Rows run concurrently through the pass pipeline; results
             // are bit-identical to the sequential path.
             let table = multiclock::experiment::paper_table_parallel(&bm, computations, seed)
                 .map_err(|e| e.to_string())?;
             if args.is_set("json") {
-                return emit(&args, &table_json(&table, seed, computations));
+                return emit(args, &table_json(&table, seed, computations));
             }
             println!("{}", table.render());
             if let Some(red) = table.gated_to_best_multiclock_reduction() {
@@ -274,8 +492,8 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "synth" => {
-            let bm = load_behavior(&args)?;
-            let style = style_from(&args)?;
+            let bm = load_behavior(args)?;
+            let style = style_from(args)?;
             let synth = Synthesizer::for_benchmark(&bm)
                 .with_computations(computations)
                 .with_seed(seed);
@@ -284,16 +502,16 @@ fn run() -> Result<(), String> {
                 .map_err(|e| e.to_string())?;
             let nl = &design.datapath.netlist;
             match args.get("export") {
-                None => emit(&args, &nl.to_string())?,
-                Some("vhdl") => emit(&args, &export::to_vhdl(nl))?,
-                Some("dot") => emit(&args, &export::to_dot(nl))?,
+                None => emit(args, &nl.to_string())?,
+                Some("vhdl") => emit(args, &export::to_vhdl(nl))?,
+                Some("dot") => emit(args, &export::to_dot(nl))?,
                 Some("vcd") => {
                     let cfg = SimConfig::new(design.mode, computations.min(20), seed).with_trace();
                     let res = simulate(nl, &cfg);
                     let dump = vcd::to_vcd(nl, &res).map_err(|e| e.to_string())?;
-                    emit(&args, &dump)?;
+                    emit(args, &dump)?;
                 }
-                Some(other) => return Err(format!("unknown export format `{other}`")),
+                Some(other) => return Err(format!("unknown export format `{other}`").into()),
             }
             let stats = nl.stats();
             eprintln!(
@@ -305,8 +523,8 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "sweep" => {
-            let bm = load_behavior(&args)?;
-            let max: u32 = args.parse_num("max-clocks", 6)?;
+            let bm = load_behavior(args)?;
+            let max: u32 = args.parse_num_at_least("max-clocks", 6, 1)?;
             let sweep = multiclock::experiment::clock_sweep_parallel(&bm, max, computations, seed)
                 .map_err(|e| e.to_string())?;
             if args.is_set("json") {
@@ -325,7 +543,7 @@ fn run() -> Result<(), String> {
                     .num("computations", computations)
                     .raw("rows", &rows)
                     .finish();
-                return emit(&args, &doc);
+                return emit(args, &doc);
             }
             println!(
                 "{:>3} {:>9} {:>12} {:>6} {:>6}",
@@ -343,9 +561,9 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "explore" => {
-            let bm = load_behavior(&args)?;
+            let bm = load_behavior(args)?;
             let space = ExploreSpace {
-                n_max: args.parse_num("max-clocks", 4)?,
+                n_max: args.parse_num_at_least("max-clocks", 4, 1)?,
                 voltages: args
                     .parse_list("voltages", &[multiclock::explore::NOMINAL_VOLTS, 3.3])?,
                 stretches: args.parse_list("stretch", &[2u32])?,
@@ -354,22 +572,14 @@ fn run() -> Result<(), String> {
                 .with_space(space)
                 .with_computations(computations)
                 .with_seed(seed)
-                .with_power_seeds(args.parse_num("seeds", 1)?)
-                .with_batch(args.parse_num("batch", multiclock::Flow::DEFAULT_BATCH)?)
+                .with_power_seeds(args.parse_num_at_least("seeds", 1, 1)?)
+                .with_batch(args.parse_num_at_least("batch", multiclock::Flow::DEFAULT_BATCH, 1)?)
                 .with_parallel(!matches!(args.get("parallel"), Some("false")));
-            if let Some(budget) = args.get("budget") {
-                explorer = explorer.with_budget(
-                    budget
-                        .parse()
-                        .map_err(|_| format!("invalid value `{budget}` for --budget"))?,
-                );
+            if args.get("budget").is_some() {
+                explorer = explorer.with_budget(args.parse_num_at_least("budget", 1, 1)?);
             }
-            if let Some(threads) = args.get("threads") {
-                explorer = explorer.with_threads(
-                    threads
-                        .parse()
-                        .map_err(|_| format!("invalid value `{threads}` for --threads"))?,
-                );
+            if args.get("threads").is_some() {
+                explorer = explorer.with_threads(args.parse_num_at_least("threads", 1, 1)?);
             }
             let report = explorer.run(&bm).map_err(|e| e.to_string())?;
             if args.is_set("json") {
@@ -378,18 +588,18 @@ fn run() -> Result<(), String> {
                 } else {
                     report.to_json()
                 };
-                return emit(&args, &doc);
+                return emit(args, &doc);
             }
             let mut text = report.render_ranked();
             if args.is_set("timings") {
                 text.push('\n');
                 text.push_str(&report.render_timings());
             }
-            emit(&args, &text)
+            emit(args, &text)
         }
         "profile" => {
-            let bm = load_behavior(&args)?;
-            let style = style_from(&args)?;
+            let bm = load_behavior(args)?;
+            let style = style_from(args)?;
             let synth = Synthesizer::for_benchmark(&bm).with_seed(seed);
             let design = synth.synthesize(style).map_err(|e| e.to_string())?;
             let cfg = SimConfig::new(design.mode, computations, seed).with_profile();
@@ -406,9 +616,9 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "top" => {
-            let bm = load_behavior(&args)?;
-            let style = style_from(&args)?;
-            let count: usize = args.parse_num("count", 10)?;
+            let bm = load_behavior(args)?;
+            let style = style_from(args)?;
+            let count: usize = args.parse_num_at_least("count", 10, 1)?;
             let synth = Synthesizer::for_benchmark(&bm).with_seed(seed);
             let design = synth.synthesize(style).map_err(|e| e.to_string())?;
             let cfg = SimConfig::new(design.mode, computations, seed);
@@ -424,8 +634,8 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "signoff" => {
-            let bm = load_behavior(&args)?;
-            let style = style_from(&args)?;
+            let bm = load_behavior(args)?;
+            let style = style_from(args)?;
             let synth = Synthesizer::for_benchmark(&bm)
                 .with_computations(computations)
                 .with_seed(seed);
@@ -479,9 +689,9 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "stats" => {
-            let bm = load_behavior(&args)?;
-            let style = style_from(&args)?;
-            let seeds: usize = args.parse_num("seeds", 5)?;
+            let bm = load_behavior(args)?;
+            let style = style_from(args)?;
+            let seeds: usize = args.parse_num_at_least("seeds", 5, 1)?;
             let stats = multiclock::experiment::power_stats(&bm, style, computations, seeds)
                 .map_err(|e| e.to_string())?;
             println!(
@@ -495,11 +705,27 @@ fn run() -> Result<(), String> {
             );
             Ok(())
         }
+        "trace-summary" => {
+            let path = args
+                .positional
+                .first()
+                .ok_or("usage: mcpm trace-summary FILE [--counters]")?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let summary = TraceSummary::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+            if args.is_set("counters") {
+                print!("{}", summary.deterministic_json());
+            } else {
+                print!("{}", summary.render());
+            }
+            Ok(())
+        }
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n\n{}", usage())),
+        // `Args::parse` rejects unknown commands before dispatch.
+        other => Err(CliError::UnknownCommand(other.to_owned())),
     }
 }
 

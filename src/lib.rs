@@ -46,3 +46,7 @@ pub use mc_bench as bench;
 /// Design-space exploration: lattice enumeration, deterministic parallel
 /// evaluation, Pareto frontiers.
 pub use mc_explore as explore;
+
+/// Zero-cost-when-disabled structured tracing: spans, counters, Chrome
+/// `trace_event` export (`mcpm --trace` / `mcpm trace-summary`).
+pub use mc_trace as trace;

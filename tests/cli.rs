@@ -264,6 +264,124 @@ fn stats_report_spread() {
 }
 
 #[test]
+fn misspelled_flag_is_rejected_with_a_suggestion() {
+    let (ok, _, stderr) = mcpm(&["synth", "--benchmark", "hal", "--clcoks", "3"]);
+    assert!(!ok, "typos must not be silently ignored");
+    assert!(stderr.contains("unknown flag `--clcoks`"), "{stderr}");
+    assert!(stderr.contains("did you mean `--clocks`?"), "{stderr}");
+    assert!(stderr.contains("valid flags:"), "{stderr}");
+}
+
+#[test]
+fn unknown_flag_without_a_near_miss_lists_valid_flags() {
+    let (ok, _, stderr) = mcpm(&["eval", "--benchmark", "facet", "--frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag `--frobnicate`"), "{stderr}");
+    assert!(!stderr.contains("did you mean"), "{stderr}");
+    assert!(stderr.contains("--benchmark"), "{stderr}");
+}
+
+#[test]
+fn degenerate_numeric_flags_are_rejected_at_parse_time() {
+    for (args, flag) in [
+        (
+            vec!["eval", "--benchmark", "facet", "--computations", "0"],
+            "computations",
+        ),
+        (
+            vec![
+                "stats",
+                "--benchmark",
+                "facet",
+                "--clocks",
+                "2",
+                "--seeds",
+                "0",
+            ],
+            "seeds",
+        ),
+        (
+            vec!["explore", "--benchmark", "hal", "--batch", "0"],
+            "batch",
+        ),
+    ] {
+        let (ok, _, stderr) = mcpm(&args);
+        assert!(!ok, "{args:?} must fail");
+        assert!(
+            stderr.contains(&format!("invalid value `0` for --{flag}")),
+            "{args:?} → {stderr}"
+        );
+        assert!(stderr.contains("must be at least 1"), "{stderr}");
+    }
+}
+
+#[test]
+fn stray_positional_arguments_are_rejected() {
+    let (ok, _, stderr) = mcpm(&["eval", "facet"]);
+    assert!(!ok);
+    assert!(stderr.contains("unexpected argument `facet`"), "{stderr}");
+}
+
+#[test]
+fn trace_flag_writes_a_loadable_chrome_trace() {
+    let dir = std::env::temp_dir().join("mcpm-cli-trace-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("eval.json");
+    let path_str = path.to_str().unwrap();
+    let (ok, _, stderr) = mcpm(&[
+        "eval",
+        "--benchmark",
+        "facet",
+        "--computations",
+        "30",
+        "--trace",
+        path_str,
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("trace written"), "{stderr}");
+
+    // The file must validate and summarize through the CLI itself.
+    let (ok, stdout, stderr) = mcpm(&["trace-summary", path_str]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("span coverage"), "{stdout}");
+    assert!(stdout.contains("mcpm.eval"), "{stdout}");
+    assert!(stdout.contains("sim.instructions"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_counters_are_identical_across_runs() {
+    let dir = std::env::temp_dir().join("mcpm-cli-trace-determinism");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut counters = Vec::new();
+    for name in ["a.json", "b.json"] {
+        let path = dir.join(name);
+        let path_str = path.to_str().unwrap().to_owned();
+        let (ok, _, stderr) = mcpm(&[
+            "explore",
+            "--benchmark",
+            "facet",
+            "--computations",
+            "24",
+            "--budget",
+            "6",
+            "--trace",
+            &path_str,
+        ]);
+        assert!(ok, "{stderr}");
+        let (ok, stdout, stderr) = mcpm(&["trace-summary", &path_str, "--counters"]);
+        assert!(ok, "{stderr}");
+        counters.push(stdout);
+    }
+    assert_eq!(
+        counters[0], counters[1],
+        "deterministic counters must be bit-identical across runs"
+    );
+    assert!(counters[0].contains("\"pool.tasks\":"), "{}", counters[0]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn profile_renders_bars() {
     let (ok, stdout, _) = mcpm(&[
         "profile",

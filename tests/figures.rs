@@ -91,8 +91,8 @@ fn split_partition_numbering_matches_paper() {
         (5, 1, 3),
     ];
     for (global, phase, local) in expected {
-        assert_eq!(scheme.phase_of_step(global), PhaseId::new(phase));
-        assert_eq!(scheme.local_step(global), local);
+        assert_eq!(scheme.phase_of_step(global), Ok(PhaseId::new(phase)));
+        assert_eq!(scheme.local_step(global), Ok(local));
         assert_eq!(scheme.global_step(local, PhaseId::new(phase)), global);
     }
     assert_eq!(

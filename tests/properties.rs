@@ -220,8 +220,8 @@ fn clock_scheme_bijection() {
         let n = rng.range_inclusive(1, 16) as u32;
         let t = rng.range_inclusive(1, 999) as u32;
         let scheme = ClockScheme::new(n).expect("valid");
-        let k = scheme.phase_of_step(t);
-        let l = scheme.local_step(t);
+        let k = scheme.phase_of_step(t).expect("t >= 1");
+        let l = scheme.local_step(t).expect("t >= 1");
         assert_eq!(scheme.global_step(l, k), t, "n {n} t {t}");
         assert!(k.get() >= 1 && k.get() <= n);
     }
