@@ -34,13 +34,16 @@ pub fn compose(
 
     // Primary-input ports.
     let mut port_net: BTreeMap<usize, NetId> = BTreeMap::new();
+    nb.push_scope("io");
     for i in problem.input_vars() {
         let (_, net) = nb.add_input(&problem.vars[i].name);
         port_net.insert(i, net);
     }
+    nb.pop_scope();
 
     // Constant drivers (deduplicated by value).
     let mut const_net: BTreeMap<u64, NetId> = BTreeMap::new();
+    nb.push_scope("const");
     for op in &problem.ops {
         for o in [op.lhs, op.rhs] {
             if let POperand::Const(c) = o {
@@ -48,11 +51,13 @@ pub fn compose(
             }
         }
     }
+    nb.pop_scope();
 
     // Memory elements: one per register group.
     let mut group_of_pvar = vec![usize::MAX; problem.vars.len()];
     let mut mem_comp = Vec::with_capacity(regs.len());
     let mut mem_net = Vec::with_capacity(regs.len());
+    nb.push_scope("regs");
     for (gi, g) in regs.iter().enumerate() {
         let label = g
             .pvars
@@ -67,6 +72,7 @@ pub fn compose(
             group_of_pvar[i] = gi;
         }
     }
+    nb.pop_scope();
     debug_assert!(
         group_of_pvar.iter().all(|&g| g != usize::MAX),
         "every variable must be bound to a register group"
@@ -126,9 +132,13 @@ pub fn compose(
                 (Some(m), net)
             }
         };
+        // One functional-unit scope per ALU group: the paper's functional
+        // block (operand muxes → ALU) becomes one instance subtree.
+        nb.push_scope(&format!("fu{ai}"));
         let (mux_a, a_net) = make_port(&mut nb, &srcs_a, "a");
         let (mux_b, b_net) = make_port(&mut nb, &srcs_b, "b");
         let (alu, out) = nb.add_alu(g.fs, a_net, b_net, &format!("alu{ai}"));
+        nb.pop_scope();
         alu_out.push(out);
         // Controller entries for every op on this ALU, asserted over the
         // whole execution window so multi-cycle units keep stable function
@@ -179,7 +189,9 @@ pub fn compose(
         let (mux, input_net) = if sources.len() == 1 {
             (None, sources[0])
         } else {
+            nb.push_scope("regs");
             let (m, net) = nb.add_mux(sources.clone(), &format!("mem{gi}_in"));
+            nb.pop_scope();
             (Some(m), net)
         };
         nb.set_mem_input(mem_comp[gi], input_net);

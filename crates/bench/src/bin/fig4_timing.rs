@@ -45,7 +45,7 @@ fn main() {
     }
     println!();
     for mem in nl.mems() {
-        let comp = nl.component(mem);
+        let comp = nl.component(mem.comp());
         let phase = comp.mem_phase().expect("mems have phases");
         let net = comp.output();
         print!("{:<24}", format!("{} ({})", comp.label(), phase));

@@ -54,10 +54,15 @@
 pub mod experiment;
 pub mod flow;
 pub mod passes;
+pub mod retrofit;
 mod style;
 mod synthesizer;
 
 pub use flow::{CacheStats, Diagnostic, Evaluated, Flow, PassMetrics, Severity};
+pub use retrofit::{
+    retrofit_netlist, retrofit_source, verify_retrofit, Retrofit, RetrofitError, RetrofitOptions,
+    RetrofitReport,
+};
 pub use style::DesignStyle;
 pub use synthesizer::{Design, SynthesisError, Synthesizer};
 

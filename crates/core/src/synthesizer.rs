@@ -14,7 +14,7 @@ use mc_clocks::ClockError;
 use mc_dfg::benchmarks::Benchmark;
 use mc_dfg::{Dfg, Schedule};
 use mc_power::DesignReport;
-use mc_rtl::PowerMode;
+use mc_rtl::{NetlistError, PowerMode};
 use mc_sim::Mismatch;
 use mc_tech::TechLibrary;
 
@@ -28,6 +28,8 @@ pub enum SynthesisError {
     Clock(ClockError),
     /// Allocation failed.
     Alloc(AllocError),
+    /// Netlist construction or validation failed.
+    Netlist(NetlistError),
     /// The synthesised design diverged from the behaviour (an internal
     /// bug; surfaced rather than silently reported).
     Equivalence(Box<Mismatch>),
@@ -38,6 +40,7 @@ impl fmt::Display for SynthesisError {
         match self {
             SynthesisError::Clock(e) => write!(f, "clock scheme: {e}"),
             SynthesisError::Alloc(e) => write!(f, "allocation: {e}"),
+            SynthesisError::Netlist(e) => write!(f, "netlist: {e}"),
             SynthesisError::Equivalence(m) => write!(f, "equivalence check failed: {m}"),
         }
     }
@@ -48,6 +51,7 @@ impl std::error::Error for SynthesisError {
         match self {
             SynthesisError::Clock(e) => Some(e),
             SynthesisError::Alloc(e) => Some(e),
+            SynthesisError::Netlist(e) => Some(e),
             SynthesisError::Equivalence(m) => Some(m),
         }
     }
@@ -64,6 +68,13 @@ impl From<ClockError> for SynthesisError {
 impl From<AllocError> for SynthesisError {
     fn from(e: AllocError) -> Self {
         SynthesisError::Alloc(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<NetlistError> for SynthesisError {
+    fn from(e: NetlistError) -> Self {
+        SynthesisError::Netlist(e)
     }
 }
 

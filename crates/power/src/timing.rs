@@ -63,7 +63,7 @@ pub fn analyze_timing(netlist: &Netlist, lib: &TechLibrary) -> TimingReport {
     // The path ends at a memory element's data input plus setup.
     let mut critical: f64 = 0.0;
     for mem in netlist.mems() {
-        if let ComponentKind::Mem { kind, input, .. } = netlist.component(mem).kind() {
+        if let ComponentKind::Mem { kind, input, .. } = netlist.component(mem.comp()).kind() {
             critical = critical.max(arrival[input.index()] + lib.mem_setup_ns(*kind));
         }
     }

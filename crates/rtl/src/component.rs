@@ -7,6 +7,8 @@ use mc_clocks::PhaseId;
 use mc_dfg::FunctionSet;
 use mc_tech::MemKind;
 
+use crate::path::Path;
+
 /// Identifier of a component within one netlist.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CompId(pub(crate) u32);
@@ -37,6 +39,59 @@ impl fmt::Display for CompId {
         write!(f, "c{}", self.0)
     }
 }
+
+/// Defines a kind-typed component reference: a [`CompId`] that is
+/// guaranteed (by construction) to name a component of one specific kind.
+/// Builders hand them out, control words are keyed by them, so a load
+/// enable can only ever target a memory element and a mux select can only
+/// ever target a mux — the wrong-kind control errors of the flat model
+/// are unrepresentable in safe client code.
+macro_rules! typed_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) CompId);
+
+        impl $name {
+            /// The untyped component id.
+            #[must_use]
+            pub fn comp(self) -> CompId {
+                self.0
+            }
+
+            /// Dense index (`0..netlist.num_components()`).
+            #[must_use]
+            pub fn index(self) -> usize {
+                self.0.index()
+            }
+        }
+
+        impl From<$name> for CompId {
+            fn from(id: $name) -> CompId {
+                id.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                self.0.fmt(f)
+            }
+        }
+    };
+}
+
+typed_id!(
+    /// Reference to a memory element (latch or DFF).
+    MemId
+);
+typed_id!(
+    /// Reference to an ALU.
+    AluId
+);
+typed_id!(
+    /// Reference to a multiplexer.
+    MuxId
+);
 
 /// Identifier of a net (a single-driver signal bundle of datapath width).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -96,11 +151,13 @@ pub enum ComponentKind {
     Input,
 }
 
-/// A netlist component: kind, connectivity, output net and a report label.
+/// A netlist component: kind, connectivity, output net, a stable
+/// hierarchical path and a report label.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Component {
     pub(crate) kind: ComponentKind,
     pub(crate) out: NetId,
+    pub(crate) path: Path,
     pub(crate) label: String,
 }
 
@@ -109,6 +166,14 @@ impl Component {
     #[must_use]
     pub fn kind(&self) -> &ComponentKind {
         &self.kind
+    }
+
+    /// The stable hierarchical path of this component (scope segments
+    /// plus a uniquified leaf derived from the label). Unlike [`CompId`],
+    /// the path survives export and re-import.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
     }
 
     /// The net driven by this component.
@@ -216,6 +281,7 @@ mod tests {
                 b: NetId(1),
             },
             out: NetId(2),
+            path: Path::segment("alu0"),
             label: "alu0".into(),
         }
     }
@@ -230,12 +296,14 @@ mod tests {
                 input: NetId(3),
             },
             out: NetId(4),
+            path: Path::segment("r0"),
             label: "r0".into(),
         };
         assert_eq!(mem.data_inputs(), vec![NetId(3)]);
         let c = Component {
             kind: ComponentKind::Const { value: 3 },
             out: NetId(5),
+            path: Path::segment("_3"),
             label: "#3".into(),
         };
         assert!(c.data_inputs().is_empty());
@@ -252,6 +320,7 @@ mod tests {
                 input: NetId(0),
             },
             out: NetId(1),
+            path: Path::segment("r"),
             label: "r".into(),
         };
         assert!(mem.is_mem() && !mem.is_combinational());

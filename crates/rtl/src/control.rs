@@ -13,17 +13,23 @@ use std::fmt;
 
 use mc_dfg::Op;
 
-use crate::component::CompId;
+use crate::component::{AluId, CompId, MemId, MuxId};
 
 /// The control values asserted during one control step.
+///
+/// The maps are keyed by kind-typed component references, so a word can
+/// only ever assert a select on a mux, a function on an ALU and a load on
+/// a memory element. Typed ids come from the
+/// [`NetlistBuilder`](crate::NetlistBuilder) `add_*` methods; readers
+/// holding a bare [`CompId`] use the `*_of` accessors.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ControlWord {
     /// Selected data input per mux (absent ⇒ don't-care).
-    pub mux_sel: BTreeMap<CompId, usize>,
+    pub mux_sel: BTreeMap<MuxId, usize>,
     /// Executed function per ALU (absent ⇒ ALU idle this step).
-    pub alu_fn: BTreeMap<CompId, Op>,
+    pub alu_fn: BTreeMap<AluId, Op>,
     /// Memory elements whose load enable is asserted this step.
-    pub mem_load: BTreeSet<CompId>,
+    pub mem_load: BTreeSet<MemId>,
 }
 
 impl ControlWord {
@@ -33,9 +39,29 @@ impl ControlWord {
         Self::default()
     }
 
+    /// The select asserted on component `c` this step, if `c` is a mux
+    /// with an explicit select.
+    #[must_use]
+    pub fn sel_of(&self, c: CompId) -> Option<usize> {
+        self.mux_sel.get(&MuxId(c)).copied()
+    }
+
+    /// The function asserted on component `c` this step, if `c` is an
+    /// ALU named explicitly.
+    #[must_use]
+    pub fn fn_of(&self, c: CompId) -> Option<Op> {
+        self.alu_fn.get(&AluId(c)).copied()
+    }
+
+    /// Whether component `c`'s load enable is asserted this step.
+    #[must_use]
+    pub fn loads(&self, c: CompId) -> bool {
+        self.mem_load.contains(&MemId(c))
+    }
+
     /// Whether the ALU `c` executes an operation this step.
     #[must_use]
-    pub fn alu_active(&self, c: CompId) -> bool {
+    pub fn alu_active(&self, c: AluId) -> bool {
         self.alu_fn.contains_key(&c)
     }
 }
@@ -171,6 +197,14 @@ impl Controller {
         &mut self.words[(t - 1) as usize]
     }
 
+    /// The word for 1-based step `t`, or `None` when `t` is 0 or beyond
+    /// the period — the non-panicking twin of [`Controller::word`] for
+    /// callers handling untrusted step numbers (e.g. the importer).
+    #[must_use]
+    pub fn get(&self, t: u32) -> Option<&ControlWord> {
+        t.checked_sub(1).and_then(|i| self.words.get(i as usize))
+    }
+
     /// All control words as a dense slice: `words()[i]` is the word of
     /// 1-based step `i + 1`. The index-addressed companion of
     /// [`Controller::word`], used by compiled simulation to walk the
@@ -212,11 +246,14 @@ mod tests {
     #[test]
     fn controller_indexing_is_one_based() {
         let mut c = Controller::new(3);
-        c.word_mut(2).mem_load.insert(CompId(7));
-        assert!(c.word(2).mem_load.contains(&CompId(7)));
+        c.word_mut(2).mem_load.insert(MemId(CompId(7)));
+        assert!(c.word(2).loads(CompId(7)));
         assert!(c.word(1).mem_load.is_empty());
         assert_eq!(c.len(), 3);
         assert!(!c.is_empty());
+        assert!(c.get(2).is_some());
+        assert!(c.get(0).is_none());
+        assert!(c.get(4).is_none());
     }
 
     #[test]
@@ -234,19 +271,22 @@ mod tests {
     #[test]
     fn control_points_counts_distinct_lines() {
         let mut c = Controller::new(2);
-        c.word_mut(1).mux_sel.insert(CompId(0), 1);
-        c.word_mut(2).mux_sel.insert(CompId(0), 0); // same mux
-        c.word_mut(1).alu_fn.insert(CompId(1), Op::Add);
-        c.word_mut(2).mem_load.insert(CompId(2));
+        c.word_mut(1).mux_sel.insert(MuxId(CompId(0)), 1);
+        c.word_mut(2).mux_sel.insert(MuxId(CompId(0)), 0); // same mux
+        c.word_mut(1).alu_fn.insert(AluId(CompId(1)), Op::Add);
+        c.word_mut(2).mem_load.insert(MemId(CompId(2)));
         assert_eq!(c.control_points(), 3);
     }
 
     #[test]
     fn alu_active_reflects_word() {
         let mut c = Controller::new(1);
-        c.word_mut(1).alu_fn.insert(CompId(4), Op::Mul);
-        assert!(c.word(1).alu_active(CompId(4)));
-        assert!(!c.word(1).alu_active(CompId(5)));
+        c.word_mut(1).alu_fn.insert(AluId(CompId(4)), Op::Mul);
+        assert!(c.word(1).alu_active(AluId(CompId(4))));
+        assert!(!c.word(1).alu_active(AluId(CompId(5))));
+        assert_eq!(c.word(1).fn_of(CompId(4)), Some(Op::Mul));
+        assert!(!c.word(1).loads(CompId(4)));
+        assert_eq!(c.word(1).sel_of(CompId(4)), None);
     }
 
     #[test]

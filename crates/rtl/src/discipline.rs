@@ -64,8 +64,8 @@ fn source_mems(
                 out.insert(driver);
             }
             ComponentKind::Alu { .. } => stack.extend(comp.data_inputs()),
-            ComponentKind::Mux { inputs } => match word.mux_sel.get(&driver) {
-                Some(&sel) if sel < inputs.len() => stack.push(inputs[sel]),
+            ComponentKind::Mux { inputs } => match word.sel_of(driver) {
+                Some(sel) if sel < inputs.len() => stack.push(inputs[sel]),
                 _ => stack.extend(inputs.iter().copied()),
             },
             ComponentKind::Const { .. } | ComponentKind::Input => {}
@@ -103,10 +103,11 @@ pub fn check_latch_discipline(netlist: &Netlist, treat_all_as_latches: bool) -> 
             .filter(|&m| {
                 word.mem_load.contains(&m)
                     && netlist
-                        .component(m)
+                        .component(m.comp())
                         .mem_phase()
                         .is_some_and(|p| netlist.scheme().is_active(p, t))
             })
+            .map(crate::component::MemId::comp)
             .collect();
         for &reader in &capturing {
             let input = match netlist.component(reader).kind() {

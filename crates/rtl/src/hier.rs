@@ -1,0 +1,643 @@
+//! The hierarchical netlist model: cells addressed by stable [`Path`]s
+//! instead of dense ids, with a deterministic flattening into the
+//! index-addressed [`Netlist`] that simulation and power estimation run
+//! on.
+//!
+//! A [`Circuit`] is the tool-to-tool interchange form: importers build
+//! one, transformation passes (e.g. the single-clock → multi-phase
+//! retrofit in `mc-core`) rewrite it, and [`Circuit::flatten`] lowers it
+//! to the flat model. Flattening is deterministic — cells are emitted in
+//! path order (sources) and dependency order tie-broken by path
+//! (combinational cells) — so two structurally equal circuits flatten to
+//! byte-identical netlists regardless of insertion order.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use mc_clocks::{ClockScheme, PhaseId};
+use mc_dfg::{FunctionSet, Op};
+use mc_tech::MemKind;
+
+use crate::netlist::{Netlist, NetlistBuilder, NetlistError};
+use crate::path::Path;
+
+/// One cell of a hierarchical circuit. Data inputs reference the *paths*
+/// of the driving cells (every cell drives exactly one value).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// A primary-input port named `port`.
+    Input {
+        /// The external port name.
+        port: String,
+    },
+    /// A hard-wired constant.
+    Const {
+        /// The driven value (masked to the datapath width).
+        value: u64,
+    },
+    /// A two-operand ALU.
+    Alu {
+        /// The operations the ALU implements.
+        fs: FunctionSet,
+        /// Path of the cell driving the left operand.
+        a: Path,
+        /// Path of the cell driving the right operand.
+        b: Path,
+    },
+    /// A memory element.
+    Mem {
+        /// Latch or DFF.
+        kind: MemKind,
+        /// The phase clock driving this element.
+        phase: PhaseId,
+        /// Path of the cell driving the data input.
+        input: Path,
+    },
+    /// A multiplexer over the named cells' outputs, in select order.
+    Mux {
+        /// Paths of the driving cells, in select order.
+        inputs: Vec<Path>,
+    },
+}
+
+impl Cell {
+    /// The paths this cell reads, in port order.
+    #[must_use]
+    pub fn reads(&self) -> Vec<&Path> {
+        match self {
+            Cell::Input { .. } | Cell::Const { .. } => Vec::new(),
+            Cell::Alu { a, b, .. } => vec![a, b],
+            Cell::Mem { input, .. } => vec![input],
+            Cell::Mux { inputs } => inputs.iter().collect(),
+        }
+    }
+
+    fn is_combinational(&self) -> bool {
+        matches!(self, Cell::Alu { .. } | Cell::Mux { .. })
+    }
+}
+
+/// The control values of one step, keyed by cell path.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CircuitWord {
+    /// Selected input per mux path (absent ⇒ don't-care).
+    pub mux_sel: BTreeMap<Path, usize>,
+    /// Executed function per ALU path (absent ⇒ idle).
+    pub alu_fn: BTreeMap<Path, Op>,
+    /// Memory cells whose load enable is asserted this step.
+    pub mem_load: BTreeSet<Path>,
+}
+
+/// Errors detected while validating or flattening a [`Circuit`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum HierError {
+    /// `cell` reads `missing`, which names no cell of the circuit.
+    DanglingRef {
+        /// The reading cell.
+        cell: Path,
+        /// The missing driver path.
+        missing: Path,
+    },
+    /// The combinational cells contain a cycle through `cell`.
+    CombinationalCycle(Path),
+    /// A control word targets `cell` with a value only valid on another
+    /// cell kind (e.g. a load on an ALU).
+    BadControl {
+        /// The 1-based control step.
+        step: u32,
+        /// The mis-targeted cell (or unknown path).
+        cell: Path,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A primary output references a path that names no cell.
+    BadOutput(String, Path),
+    /// The circuit has no control steps.
+    NoSteps,
+    /// A cell's path does not round-trip through the flat builder's
+    /// deterministic path derivation (e.g. an [`Cell::Input`] whose leaf
+    /// is not the sanitized port name).
+    PathMismatch {
+        /// The path recorded in the circuit.
+        expected: Path,
+        /// The path the flat builder derived.
+        derived: Path,
+    },
+    /// The flat builder rejected the lowered netlist.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for HierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HierError::DanglingRef { cell, missing } => {
+                write!(f, "cell {cell} reads {missing}, which does not exist")
+            }
+            HierError::CombinationalCycle(p) => {
+                write!(f, "combinational cycle through cell {p}")
+            }
+            HierError::BadControl { step, cell, reason } => {
+                write!(f, "bad control at step {step} for {cell}: {reason}")
+            }
+            HierError::BadOutput(name, p) => {
+                write!(f, "output `{name}` references missing cell {p}")
+            }
+            HierError::NoSteps => write!(f, "circuit has no control steps"),
+            HierError::PathMismatch { expected, derived } => {
+                write!(f, "path {expected} does not replay (derived {derived})")
+            }
+            HierError::Netlist(e) => write!(f, "flattened netlist invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HierError {}
+
+impl From<NetlistError> for HierError {
+    fn from(e: NetlistError) -> Self {
+        HierError::Netlist(e)
+    }
+}
+
+/// A hierarchical, path-addressed circuit with its controller schedule.
+///
+/// Cells live in a [`BTreeMap`] keyed by path, so iteration order — and
+/// therefore [`Circuit::flatten`] — is independent of insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Circuit {
+    /// Design name.
+    pub name: String,
+    /// Datapath bit width.
+    pub width: u8,
+    /// The clock scheme the design runs under.
+    pub scheme: ClockScheme,
+    /// All cells, keyed by stable path.
+    pub cells: BTreeMap<Path, Cell>,
+    /// One control word per step; `words[i]` is step `i + 1`.
+    pub words: Vec<CircuitWord>,
+    /// Primary outputs: `(port name, driving cell)` in declaration order.
+    pub outputs: Vec<(String, Path)>,
+}
+
+impl Circuit {
+    /// An empty circuit with `steps` all-don't-care control words.
+    #[must_use]
+    pub fn new(name: &str, width: u8, scheme: ClockScheme, steps: u32) -> Self {
+        Circuit {
+            name: name.to_owned(),
+            width,
+            scheme,
+            cells: BTreeMap::new(),
+            words: vec![CircuitWord::default(); steps as usize],
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Lifts a flat netlist into the hierarchical model: one cell per
+    /// component at the component's recorded path, control words re-keyed
+    /// by path. `flatten` of the result reproduces a netlist with the same
+    /// structure, controller and outputs.
+    #[must_use]
+    pub fn from_netlist(netlist: &Netlist) -> Self {
+        let path_of_net =
+            |n: crate::component::NetId| netlist.component(netlist.driver_of(n)).path().clone();
+        let mut cells = BTreeMap::new();
+        for c in netlist.component_ids() {
+            let comp = netlist.component(c);
+            let cell = match comp.kind() {
+                crate::ComponentKind::Input => Cell::Input {
+                    port: comp.label().to_owned(),
+                },
+                crate::ComponentKind::Const { value } => Cell::Const { value: *value },
+                crate::ComponentKind::Alu { fs, a, b } => Cell::Alu {
+                    fs: *fs,
+                    a: path_of_net(*a),
+                    b: path_of_net(*b),
+                },
+                crate::ComponentKind::Mem { kind, phase, input } => Cell::Mem {
+                    kind: *kind,
+                    phase: *phase,
+                    input: path_of_net(*input),
+                },
+                crate::ComponentKind::Mux { inputs } => Cell::Mux {
+                    inputs: inputs.iter().map(|&n| path_of_net(n)).collect(),
+                },
+            };
+            cells.insert(comp.path().clone(), cell);
+        }
+        let path_of = |c: crate::component::CompId| netlist.component(c).path().clone();
+        let words = netlist
+            .controller()
+            .iter()
+            .map(|(_, w)| CircuitWord {
+                mux_sel: w
+                    .mux_sel
+                    .iter()
+                    .map(|(m, &s)| (path_of(m.comp()), s))
+                    .collect(),
+                alu_fn: w
+                    .alu_fn
+                    .iter()
+                    .map(|(a, &op)| (path_of(a.comp()), op))
+                    .collect(),
+                mem_load: w.mem_load.iter().map(|m| path_of(m.comp())).collect(),
+            })
+            .collect();
+        let outputs = netlist
+            .outputs()
+            .iter()
+            .map(|(name, n)| (name.clone(), path_of_net(*n)))
+            .collect();
+        Circuit {
+            name: netlist.name().to_owned(),
+            width: netlist.width(),
+            scheme: netlist.scheme(),
+            cells,
+            words,
+            outputs,
+        }
+    }
+
+    /// Lowers the circuit to the flat, index-addressed [`Netlist`].
+    ///
+    /// Deterministic: primary inputs, constants and memory elements are
+    /// emitted in path order, combinational cells in dependency order with
+    /// ties broken by path, so insertion order into [`Circuit::cells`]
+    /// never matters. Every emitted component keeps its cell's path
+    /// (verified — a cell whose path cannot be replayed by the builder's
+    /// derivation is rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`HierError`] for dangling references, combinational
+    /// cycles, mis-typed control words, bad outputs, or any flat-netlist
+    /// validation failure.
+    pub fn flatten(&self) -> Result<Netlist, HierError> {
+        if self.words.is_empty() {
+            return Err(HierError::NoSteps);
+        }
+        // Check references up front so emission can assume closure.
+        for (p, cell) in &self.cells {
+            for r in cell.reads() {
+                if !self.cells.contains_key(r) {
+                    return Err(HierError::DanglingRef {
+                        cell: p.clone(),
+                        missing: r.clone(),
+                    });
+                }
+            }
+        }
+
+        let mut nb =
+            NetlistBuilder::new(&self.name, self.width, self.scheme, self.words.len() as u32);
+        let mut nets: BTreeMap<&Path, crate::component::NetId> = BTreeMap::new();
+        let mut mems: BTreeMap<&Path, crate::component::MemId> = BTreeMap::new();
+        let mut alus: BTreeMap<&Path, crate::component::AluId> = BTreeMap::new();
+        let mut muxes: BTreeMap<&Path, crate::component::MuxId> = BTreeMap::new();
+
+        // Sets the builder scope to the parent of `p` and returns the leaf
+        // to use as the label.
+        fn rescope(nb: &mut NetlistBuilder, current: &mut Vec<String>, p: &Path) -> String {
+            let segments: Vec<&str> = p.segments().collect();
+            let (leaf, parent) = segments.split_last().expect("paths are non-empty");
+            while current.len() > parent.len()
+                || !current.iter().zip(parent.iter()).all(|(a, b)| a == b)
+            {
+                nb.pop_scope();
+                current.pop();
+            }
+            for seg in &parent[current.len()..] {
+                nb.push_scope(seg);
+                current.push((*seg).to_owned());
+            }
+            (*leaf).to_owned()
+        }
+        let mut scope: Vec<String> = Vec::new();
+
+        // Pass 1: sources (inputs, constants, memories) in path order.
+        for (p, cell) in &self.cells {
+            let id_net = match cell {
+                Cell::Input { port } => {
+                    let leaf = rescope(&mut nb, &mut scope, p);
+                    let (id, net) = nb.add_input(port);
+                    // The derived leaf must match the recorded one, which
+                    // it does exactly when leaf == sanitize(port) and no
+                    // sibling steals the name.
+                    let _ = leaf;
+                    Some((id, net))
+                }
+                Cell::Const { value } => {
+                    let _ = rescope(&mut nb, &mut scope, p);
+                    Some(nb.add_const(*value))
+                }
+                Cell::Mem { kind, phase, .. } => {
+                    let leaf = rescope(&mut nb, &mut scope, p);
+                    let (m, net) = nb.add_mem(*kind, *phase, &leaf);
+                    mems.insert(p, m);
+                    Some((m.comp(), net))
+                }
+                Cell::Alu { .. } | Cell::Mux { .. } => None,
+            };
+            if let Some((id, net)) = id_net {
+                nets.insert(p, net);
+                let derived = nb.path_of(id);
+                if derived != p {
+                    return Err(HierError::PathMismatch {
+                        expected: p.clone(),
+                        derived: derived.clone(),
+                    });
+                }
+            }
+        }
+
+        // Pass 2: combinational cells in dependency order, ties by path
+        // (Kahn's algorithm over a BTreeSet-ordered ready set).
+        let comb: Vec<&Path> = self
+            .cells
+            .iter()
+            .filter(|(_, c)| c.is_combinational())
+            .map(|(p, _)| p)
+            .collect();
+        let mut indeg: BTreeMap<&Path, usize> = BTreeMap::new();
+        let mut readers: BTreeMap<&Path, Vec<&Path>> = BTreeMap::new();
+        for &p in &comb {
+            let cell = &self.cells[p];
+            let mut d = 0;
+            for r in cell.reads() {
+                if self.cells[r].is_combinational() {
+                    d += 1;
+                    readers.entry(self.key_of(r)).or_default().push(p);
+                }
+            }
+            indeg.insert(p, d);
+        }
+        let mut ready: BTreeSet<&Path> = indeg
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&p, _)| p)
+            .collect();
+        let mut emitted = 0usize;
+        while let Some(&p) = ready.iter().next() {
+            ready.remove(p);
+            emitted += 1;
+            let leaf = rescope(&mut nb, &mut scope, p);
+            let (id, net) = match &self.cells[p] {
+                Cell::Alu { fs, a, b } => {
+                    let (alu, net) = nb.add_alu(*fs, nets[a], nets[b], &leaf);
+                    alus.insert(p, alu);
+                    (alu.comp(), net)
+                }
+                Cell::Mux { inputs } => {
+                    let ins: Vec<_> = inputs.iter().map(|i| nets[i]).collect();
+                    let (m, net) = nb.add_mux(ins, &leaf);
+                    muxes.insert(p, m);
+                    (m.comp(), net)
+                }
+                _ => unreachable!("comb holds only ALUs and muxes"),
+            };
+            nets.insert(p, net);
+            let derived = nb.path_of(id);
+            if derived != p {
+                return Err(HierError::PathMismatch {
+                    expected: p.clone(),
+                    derived: derived.clone(),
+                });
+            }
+            for &r in readers.get(p).into_iter().flatten() {
+                let d = indeg.get_mut(r).expect("reader is combinational");
+                *d -= 1;
+                if *d == 0 {
+                    ready.insert(r);
+                }
+            }
+        }
+        if emitted != comb.len() {
+            let stuck = indeg
+                .iter()
+                .find(|(_, &d)| d > 0)
+                .map(|(&p, _)| p.clone())
+                .expect("cycle member exists");
+            return Err(HierError::CombinationalCycle(stuck));
+        }
+
+        // Pass 3: memory data inputs (any reference, including forward).
+        for (p, cell) in &self.cells {
+            if let Cell::Mem { input, .. } = cell {
+                nb.set_mem_input(mems[p], nets[input]);
+            }
+        }
+
+        // Pass 4: controller, re-keyed by typed id.
+        for (i, cw) in self.words.iter().enumerate() {
+            let t = i as u32 + 1;
+            let bad = |cell: &Path, reason: &str| HierError::BadControl {
+                step: t,
+                cell: cell.clone(),
+                reason: reason.to_owned(),
+            };
+            let word = nb.controller_mut().word_mut(t);
+            for (p, &s) in &cw.mux_sel {
+                match muxes.get(p) {
+                    Some(&m) => {
+                        word.mux_sel.insert(m, s);
+                    }
+                    None => return Err(bad(p, "mux select on a non-mux")),
+                }
+            }
+            for (p, &op) in &cw.alu_fn {
+                match alus.get(p) {
+                    Some(&a) => {
+                        word.alu_fn.insert(a, op);
+                    }
+                    None => return Err(bad(p, "ALU function on a non-ALU")),
+                }
+            }
+            for p in &cw.mem_load {
+                match mems.get(p) {
+                    Some(&m) => {
+                        word.mem_load.insert(m);
+                    }
+                    None => return Err(bad(p, "load enable on a non-memory")),
+                }
+            }
+        }
+
+        // Pass 5: outputs.
+        for (name, p) in &self.outputs {
+            match nets.get(p) {
+                Some(&n) => nb.mark_output(name, n),
+                None => return Err(HierError::BadOutput(name.clone(), p.clone())),
+            }
+        }
+
+        Ok(nb.finish()?)
+    }
+
+    /// Returns the map-owned key equal to `p` (so borrows in the Kahn
+    /// walk all live as long as `self`).
+    fn key_of<'a>(&'a self, p: &Path) -> &'a Path {
+        self.cells
+            .get_key_value(p)
+            .map(|(k, _)| k)
+            .expect("reference closure checked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetlistBuilder;
+    use mc_clocks::{ClockScheme, PhaseId};
+    use mc_dfg::Op;
+
+    fn sample_netlist() -> Netlist {
+        let scheme = ClockScheme::new(2).unwrap();
+        let mut nb = NetlistBuilder::new("sample", 8, scheme, 2);
+        nb.push_scope("io");
+        let (_, a) = nb.add_input("a");
+        let (_, b) = nb.add_input("b");
+        nb.pop_scope();
+        let (_, k) = nb.add_const(3);
+        nb.push_scope("regs");
+        let (r1, r1out) = nb.add_mem(MemKind::Latch, PhaseId::new(1), "r1");
+        let (r2, r2out) = nb.add_mem(MemKind::Latch, PhaseId::new(2), "r2");
+        nb.pop_scope();
+        let (m, mout) = nb.add_mux(vec![a, k, r2out], "m0");
+        let (alu, aout) = nb.add_alu(FunctionSet::from_ops([Op::Add, Op::Mul]), mout, b, "alu0");
+        nb.set_mem_input(r1, aout);
+        nb.set_mem_input(r2, r1out);
+        nb.mark_output("y", r2out);
+        {
+            let w = nb.controller_mut().word_mut(1);
+            w.mux_sel.insert(m, 0);
+            w.alu_fn.insert(alu, Op::Add);
+            w.mem_load.insert(r1);
+        }
+        nb.controller_mut().word_mut(2).mem_load.insert(r2);
+        nb.finish().unwrap()
+    }
+
+    #[test]
+    fn netlist_round_trips_through_circuit() {
+        let nl = sample_netlist();
+        let circuit = Circuit::from_netlist(&nl);
+        let back = circuit.flatten().unwrap();
+        // Flattening canonicalises component order (sources in path
+        // order), so compare structure, not ids.
+        assert_eq!(back.stats(), nl.stats());
+        assert_eq!(back.outputs().len(), nl.outputs().len());
+        assert_eq!(back.controller().len(), nl.controller().len());
+        assert_eq!(
+            back.controller().control_points(),
+            nl.controller().control_points()
+        );
+        for c in nl.component_ids() {
+            let p = nl.component(c).path();
+            let b = back.find(p).expect("every path survives");
+            assert_eq!(
+                std::mem::discriminant(nl.component(c).kind()),
+                std::mem::discriminant(back.component(b).kind()),
+            );
+        }
+        // A second trip is a fixpoint: the canonical form re-exports byte
+        // for byte.
+        let again = Circuit::from_netlist(&back).flatten().unwrap();
+        assert_eq!(
+            crate::export::to_vhdl(&again),
+            crate::export::to_vhdl(&back),
+            "flatten ∘ from_netlist is idempotent on canonical netlists"
+        );
+    }
+
+    #[test]
+    fn flatten_is_insertion_order_independent() {
+        let nl = sample_netlist();
+        let c1 = Circuit::from_netlist(&nl);
+        // Rebuild the circuit inserting cells in reverse path order.
+        let mut c2 = Circuit::new(&c1.name, c1.width, c1.scheme, c1.words.len() as u32);
+        for (p, cell) in c1.cells.iter().rev() {
+            c2.cells.insert(p.clone(), cell.clone());
+        }
+        c2.words = c1.words.clone();
+        c2.outputs = c1.outputs.clone();
+        assert_eq!(
+            crate::export::to_vhdl(&c1.flatten().unwrap()),
+            crate::export::to_vhdl(&c2.flatten().unwrap())
+        );
+    }
+
+    #[test]
+    fn dangling_reference_is_rejected() {
+        let nl = sample_netlist();
+        let mut c = Circuit::from_netlist(&nl);
+        c.cells.insert(
+            Path::parse("bad").unwrap(),
+            Cell::Mem {
+                kind: MemKind::Dff,
+                phase: PhaseId::new(1),
+                input: Path::parse("no.such.cell").unwrap(),
+            },
+        );
+        assert!(matches!(
+            c.flatten().unwrap_err(),
+            HierError::DanglingRef { .. }
+        ));
+    }
+
+    #[test]
+    fn combinational_cycle_is_rejected() {
+        let scheme = ClockScheme::single();
+        let mut c = Circuit::new("cyc", 4, scheme, 1);
+        let a = Path::parse("a").unwrap();
+        let m1 = Path::parse("m1").unwrap();
+        let m2 = Path::parse("m2").unwrap();
+        c.cells.insert(a.clone(), Cell::Input { port: "a".into() });
+        c.cells.insert(
+            m1.clone(),
+            Cell::Mux {
+                inputs: vec![a.clone(), m2.clone()],
+            },
+        );
+        c.cells.insert(
+            m2.clone(),
+            Cell::Mux {
+                inputs: vec![m1.clone()],
+            },
+        );
+        c.outputs.push(("y".into(), m2.clone()));
+        assert!(matches!(
+            c.flatten().unwrap_err(),
+            HierError::CombinationalCycle(_)
+        ));
+    }
+
+    #[test]
+    fn mistyped_control_is_rejected() {
+        let nl = sample_netlist();
+        let mut c = Circuit::from_netlist(&nl);
+        // Assert a load on the ALU's path.
+        c.words[0].mem_load.insert(Path::parse("alu0").unwrap());
+        let err = c.flatten().unwrap_err();
+        assert!(
+            matches!(err, HierError::BadControl { step: 1, .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("non-memory"));
+    }
+
+    #[test]
+    fn bad_output_is_rejected() {
+        let nl = sample_netlist();
+        let mut c = Circuit::from_netlist(&nl);
+        c.outputs.push(("z".into(), Path::parse("ghost").unwrap()));
+        assert!(matches!(c.flatten().unwrap_err(), HierError::BadOutput(..)));
+    }
+
+    #[test]
+    fn no_steps_is_rejected() {
+        let c = Circuit::new("empty", 4, ClockScheme::single(), 1);
+        let mut c = c;
+        c.words.clear();
+        assert_eq!(c.flatten().unwrap_err(), HierError::NoSteps);
+    }
+}

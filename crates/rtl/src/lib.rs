@@ -40,9 +40,13 @@ mod component;
 mod control;
 pub mod discipline;
 pub mod export;
+pub mod hier;
+pub mod import;
 pub mod lint;
 mod netlist;
+mod path;
 
-pub use component::{CompId, Component, ComponentKind, NetId};
+pub use component::{AluId, CompId, Component, ComponentKind, MemId, MuxId, NetId};
 pub use control::{ControlPolicy, ControlWord, Controller, PowerMode};
 pub use netlist::{Netlist, NetlistBuilder, NetlistError, NetlistStats};
+pub use path::{Path, PathError};

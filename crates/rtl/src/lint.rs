@@ -80,7 +80,7 @@ pub fn lint(netlist: &Netlist) -> Vec<Lint> {
                 let load_steps: Vec<u32> = netlist
                     .controller()
                     .iter()
-                    .filter(|(_, w)| w.mem_load.contains(&c))
+                    .filter(|(_, w)| w.loads(c))
                     .map(|(t, _)| t)
                     .collect();
                 if load_steps.is_empty() {
@@ -107,9 +107,7 @@ pub fn lint(netlist: &Netlist) -> Vec<Lint> {
                     }
                 }
             }
-            crate::ComponentKind::Alu { .. }
-                if !words.iter().any(|w| w.alu_fn.contains_key(&c)) =>
-            {
+            crate::ComponentKind::Alu { .. } if !words.iter().any(|w| w.fn_of(c).is_some()) => {
                 out.push(Lint {
                     severity: Severity::Warning,
                     comp: Some(c),
@@ -117,7 +115,7 @@ pub fn lint(netlist: &Netlist) -> Vec<Lint> {
                 });
             }
             crate::ComponentKind::Mux { inputs } => {
-                if inputs.len() >= 2 && !words.iter().any(|w| w.mux_sel.contains_key(&c)) {
+                if inputs.len() >= 2 && !words.iter().any(|w| w.sel_of(c).is_some()) {
                     out.push(Lint {
                         severity: Severity::Warning,
                         comp: Some(c),

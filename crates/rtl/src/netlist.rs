@@ -9,8 +9,9 @@ use mc_clocks::{ClockScheme, PhaseId};
 use mc_dfg::FunctionSet;
 use mc_tech::MemKind;
 
-use crate::component::{CompId, Component, ComponentKind, NetId};
+use crate::component::{AluId, CompId, Component, ComponentKind, MemId, MuxId, NetId};
 use crate::control::Controller;
+use crate::path::Path;
 
 /// Sentinel for a memory input that has not been connected yet.
 const UNCONNECTED: NetId = NetId(u32::MAX);
@@ -41,6 +42,8 @@ pub enum NetlistError {
     BadOutput(String),
     /// A mux was declared with no inputs.
     EmptyMux(CompId),
+    /// A component addressed as a memory element is not one.
+    NotAMemory(CompId),
 }
 
 impl fmt::Display for NetlistError {
@@ -59,6 +62,7 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::BadOutput(name) => write!(f, "primary output `{name}` has no net"),
             NetlistError::EmptyMux(c) => write!(f, "mux {c} has no inputs"),
+            NetlistError::NotAMemory(c) => write!(f, "component {c} is not a memory element"),
         }
     }
 }
@@ -115,6 +119,7 @@ pub struct Netlist {
     inputs: Vec<(String, CompId)>,
     outputs: Vec<(String, NetId)>,
     comb_order: Vec<CompId>,
+    path_index: BTreeMap<Path, CompId>,
 }
 
 impl Netlist {
@@ -156,6 +161,38 @@ impl Netlist {
     #[must_use]
     pub fn component(&self, c: CompId) -> &Component {
         &self.components[c.index()]
+    }
+
+    /// The component `c`, or `None` when the id belongs to another
+    /// netlist — the non-panicking twin of [`Netlist::component`].
+    #[must_use]
+    pub fn get(&self, c: CompId) -> Option<&Component> {
+        self.components.get(c.index())
+    }
+
+    /// Looks a component up by its stable hierarchical path.
+    #[must_use]
+    pub fn find(&self, path: &Path) -> Option<CompId> {
+        self.path_index.get(path).copied()
+    }
+
+    /// The typed memory reference for `c`, if `c` is a memory element of
+    /// this netlist.
+    #[must_use]
+    pub fn as_mem(&self, c: CompId) -> Option<MemId> {
+        self.get(c).filter(|k| k.is_mem()).map(|_| MemId(c))
+    }
+
+    /// The typed ALU reference for `c`, if `c` is an ALU of this netlist.
+    #[must_use]
+    pub fn as_alu(&self, c: CompId) -> Option<AluId> {
+        self.get(c).filter(|k| k.is_alu()).map(|_| AluId(c))
+    }
+
+    /// The typed mux reference for `c`, if `c` is a mux of this netlist.
+    #[must_use]
+    pub fn as_mux(&self, c: CompId) -> Option<MuxId> {
+        self.get(c).filter(|k| k.is_mux()).map(|_| MuxId(c))
     }
 
     /// Iterates over all component ids.
@@ -233,8 +270,10 @@ impl Netlist {
     }
 
     /// The memory elements, in id order.
-    pub fn mems(&self) -> impl Iterator<Item = CompId> + '_ {
-        self.component_ids().filter(|&c| self.component(c).is_mem())
+    pub fn mems(&self) -> impl Iterator<Item = MemId> + '_ {
+        self.component_ids()
+            .filter(|&c| self.component(c).is_mem())
+            .map(MemId)
     }
 
     /// Resource statistics in the paper's table shape.
@@ -325,6 +364,10 @@ pub struct NetlistBuilder {
     controller: Controller,
     inputs: Vec<(String, CompId)>,
     outputs: Vec<(String, NetId)>,
+    /// Current instance scope: new components get paths below it.
+    scope: Vec<String>,
+    /// Paths already taken, for deterministic uniquification.
+    used_paths: BTreeMap<String, u32>,
 }
 
 impl NetlistBuilder {
@@ -345,14 +388,54 @@ impl NetlistBuilder {
             controller: Controller::new(steps),
             inputs: Vec::new(),
             outputs: Vec::new(),
+            scope: Vec::new(),
+            used_paths: BTreeMap::new(),
+        }
+    }
+
+    /// Opens an instance scope: components added until the matching
+    /// [`NetlistBuilder::pop_scope`] get paths below `segment`. Scopes
+    /// nest; `segment` is sanitized like a label.
+    pub fn push_scope(&mut self, segment: &str) {
+        self.scope.push(Path::sanitize(segment));
+    }
+
+    /// Closes the innermost instance scope (no-op at the root).
+    pub fn pop_scope(&mut self) {
+        self.scope.pop();
+    }
+
+    /// Derives the unique path for a new component labelled `label` in
+    /// the current scope. Deterministic: replaying the same scopes and
+    /// labels in the same order reproduces the same paths.
+    fn derive_path(&mut self, label: &str) -> Path {
+        let mut text = self.scope.join(".");
+        if !text.is_empty() {
+            text.push('.');
+        }
+        text.push_str(&Path::sanitize(label));
+        let mut candidate = text.clone();
+        loop {
+            let n = self.used_paths.entry(candidate.clone()).or_insert(0);
+            *n += 1;
+            if *n == 1 {
+                return Path::parse(&candidate).expect("derived paths are valid");
+            }
+            candidate = format!("{text}_{n}");
         }
     }
 
     fn push(&mut self, kind: ComponentKind, label: String, net_name: String) -> (CompId, NetId) {
+        let path = self.derive_path(&label);
         let out = NetId(self.net_names.len() as u32);
         self.net_names.push(net_name);
         let id = CompId(self.components.len() as u32);
-        self.components.push(Component { kind, out, label });
+        self.components.push(Component {
+            kind,
+            out,
+            path,
+            label,
+        });
         (id, out)
     }
 
@@ -374,19 +457,20 @@ impl NetlistBuilder {
     }
 
     /// Adds an ALU implementing `fs` with operand nets `a` and `b`.
-    pub fn add_alu(&mut self, fs: FunctionSet, a: NetId, b: NetId, label: &str) -> (CompId, NetId) {
-        self.push(
+    pub fn add_alu(&mut self, fs: FunctionSet, a: NetId, b: NetId, label: &str) -> (AluId, NetId) {
+        let (id, out) = self.push(
             ComponentKind::Alu { fs, a, b },
             label.to_owned(),
             format!("alu_{label}"),
-        )
+        );
+        (AluId(id), out)
     }
 
     /// Adds a memory element with its data input initially unconnected;
     /// connect it later with [`NetlistBuilder::set_mem_input`]. This
     /// two-step protocol is what allows feedback through registers.
-    pub fn add_mem(&mut self, kind: MemKind, phase: PhaseId, label: &str) -> (CompId, NetId) {
-        self.push(
+    pub fn add_mem(&mut self, kind: MemKind, phase: PhaseId, label: &str) -> (MemId, NetId) {
+        let (id, out) = self.push(
             ComponentKind::Mem {
                 kind,
                 phase,
@@ -394,28 +478,43 @@ impl NetlistBuilder {
             },
             label.to_owned(),
             format!("mem_{label}"),
-        )
+        );
+        (MemId(id), out)
     }
 
-    /// Connects the data input of memory `mem` to `net`.
+    /// Connects the data input of memory `mem` to `net`. Infallible: a
+    /// [`MemId`] can only name a memory element.
+    pub fn set_mem_input(&mut self, mem: MemId, net: NetId) {
+        self.try_set_mem_input(mem.comp(), net)
+            .expect("MemId names a memory element");
+    }
+
+    /// Connects the data input of component `mem` to `net`, for callers
+    /// holding an untyped id (e.g. importers resolving forward
+    /// references).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `mem` is not a memory element.
-    pub fn set_mem_input(&mut self, mem: CompId, net: NetId) {
-        match &mut self.components[mem.index()].kind {
-            ComponentKind::Mem { input, .. } => *input = net,
-            _ => panic!("{mem} is not a memory element"),
+    /// Returns [`NetlistError::NotAMemory`] if `mem` is not a memory
+    /// element of this netlist.
+    pub fn try_set_mem_input(&mut self, mem: CompId, net: NetId) -> Result<(), NetlistError> {
+        match self.components.get_mut(mem.index()).map(|c| &mut c.kind) {
+            Some(ComponentKind::Mem { input, .. }) => {
+                *input = net;
+                Ok(())
+            }
+            _ => Err(NetlistError::NotAMemory(mem)),
         }
     }
 
     /// Adds a multiplexer over `inputs` (in select order).
-    pub fn add_mux(&mut self, inputs: Vec<NetId>, label: &str) -> (CompId, NetId) {
-        self.push(
+    pub fn add_mux(&mut self, inputs: Vec<NetId>, label: &str) -> (MuxId, NetId) {
+        let (id, out) = self.push(
             ComponentKind::Mux { inputs },
             label.to_owned(),
             format!("mux_{label}"),
-        )
+        );
+        (MuxId(id), out)
     }
 
     /// Declares net `net` as the primary output `name`.
@@ -436,6 +535,34 @@ impl NetlistBuilder {
     #[must_use]
     pub fn output_of(&self, c: CompId) -> NetId {
         self.components[c.index()].out
+    }
+
+    /// The derived hierarchical path of component `c` (valid during
+    /// building). Importers use this to verify that replaying an exported
+    /// netlist reproduces the recorded paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` has not been added.
+    #[must_use]
+    pub fn path_of(&self, c: CompId) -> &Path {
+        &self.components[c.index()].path
+    }
+
+    /// The generated name of net `n` (valid during building).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` has not been created.
+    #[must_use]
+    pub fn net_name(&self, n: NetId) -> &str {
+        &self.net_names[n.index()]
+    }
+
+    /// Number of components added so far.
+    #[must_use]
+    pub fn num_components(&self) -> usize {
+        self.components.len()
     }
 
     /// Validates and freezes the netlist.
@@ -482,7 +609,9 @@ impl NetlistBuilder {
             );
             d
         };
-        // Controller checks.
+        // Controller checks. The maps are typed, but a typed id can still
+        // originate from *another* netlist, so kind and range are checked
+        // against this netlist's components.
         for (t, w) in self.controller.iter() {
             for (&c, &sel) in &w.mux_sel {
                 match self.components.get(c.index()).map(Component::kind) {
@@ -490,7 +619,7 @@ impl NetlistBuilder {
                         if sel >= inputs.len() {
                             return Err(NetlistError::BadControl {
                                 step: t,
-                                comp: c,
+                                comp: c.comp(),
                                 reason: format!("select {sel} on a {}-input mux", inputs.len()),
                             });
                         }
@@ -498,7 +627,7 @@ impl NetlistBuilder {
                     _ => {
                         return Err(NetlistError::BadControl {
                             step: t,
-                            comp: c,
+                            comp: c.comp(),
                             reason: "mux select on a non-mux".into(),
                         })
                     }
@@ -510,7 +639,7 @@ impl NetlistBuilder {
                         if !fs.contains(op) {
                             return Err(NetlistError::BadControl {
                                 step: t,
-                                comp: c,
+                                comp: c.comp(),
                                 reason: format!("function {op} outside {fs}"),
                             });
                         }
@@ -518,7 +647,7 @@ impl NetlistBuilder {
                     _ => {
                         return Err(NetlistError::BadControl {
                             step: t,
-                            comp: c,
+                            comp: c.comp(),
                             reason: "ALU function on a non-ALU".into(),
                         })
                     }
@@ -533,7 +662,7 @@ impl NetlistBuilder {
                 {
                     return Err(NetlistError::BadControl {
                         step: t,
-                        comp: c,
+                        comp: c.comp(),
                         reason: "load enable on a non-memory".into(),
                     });
                 }
@@ -597,6 +726,18 @@ impl NetlistBuilder {
                 return Err(NetlistError::BadOutput(name.clone()));
             }
         }
+        // Path index: builder-side uniquification guarantees injectivity.
+        let path_index: BTreeMap<Path, CompId> = self
+            .components
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.path.clone(), CompId(i as u32)))
+            .collect();
+        debug_assert_eq!(
+            path_index.len(),
+            self.components.len(),
+            "paths are unique by construction"
+        );
         Ok(Netlist {
             name: self.name,
             width: self.width,
@@ -608,6 +749,7 @@ impl NetlistBuilder {
             inputs: self.inputs,
             outputs: self.outputs,
             comb_order,
+            path_index,
         })
     }
 }
@@ -650,7 +792,7 @@ mod tests {
     #[test]
     fn drivers_and_receivers() {
         let n = small();
-        let mem = n.mems().next().unwrap();
+        let mem = n.mems().next().unwrap().comp();
         let mem_out = n.component(mem).output();
         assert_eq!(n.driver_of(mem_out), mem);
         // The mem output feeds the mux (input 1).
@@ -743,11 +885,60 @@ mod tests {
         let scheme = ClockScheme::single();
         let mut nb = NetlistBuilder::new("bad", 4, scheme, 1);
         let (inp, _) = nb.add_input("a");
-        nb.controller_mut().word_mut(1).mem_load.insert(inp);
+        nb.controller_mut().word_mut(1).mem_load.insert(MemId(inp));
         assert!(matches!(
             nb.finish().unwrap_err(),
             NetlistError::BadControl { .. }
         ));
+    }
+
+    #[test]
+    fn try_set_mem_input_rejects_non_memories() {
+        let scheme = ClockScheme::single();
+        let mut nb = NetlistBuilder::new("bad", 4, scheme, 1);
+        let (inp, a) = nb.add_input("a");
+        let err = nb.try_set_mem_input(inp, a).unwrap_err();
+        assert_eq!(err, NetlistError::NotAMemory(inp));
+        assert!(err.to_string().contains("not a memory element"));
+    }
+
+    #[test]
+    fn paths_follow_scopes_and_are_unique() {
+        let scheme = ClockScheme::single();
+        let mut nb = NetlistBuilder::new("p", 4, scheme, 1);
+        nb.push_scope("io");
+        let (a_id, a) = nb.add_input("a");
+        nb.pop_scope();
+        nb.push_scope("regs");
+        let (r1, _) = nb.add_mem(MemKind::Dff, PhaseId::new(1), "x/y");
+        let (r2, _) = nb.add_mem(MemKind::Dff, PhaseId::new(1), "x/y");
+        nb.pop_scope();
+        nb.set_mem_input(r1, a);
+        nb.set_mem_input(r2, a);
+        nb.mark_output("y", nb.output_of(r1.comp()));
+        {
+            let w = nb.controller_mut().word_mut(1);
+            w.mem_load.insert(r1);
+            w.mem_load.insert(r2);
+        }
+        let n = nb.finish().unwrap();
+        assert_eq!(n.component(a_id).path().to_string(), "io.a");
+        assert_eq!(n.component(r1.comp()).path().to_string(), "regs.x_y");
+        assert_eq!(n.component(r2.comp()).path().to_string(), "regs.x_y_2");
+        let p = Path::parse("regs.x_y_2").unwrap();
+        assert_eq!(n.find(&p), Some(r2.comp()));
+        assert_eq!(n.find(&Path::parse("regs.missing").unwrap()), None);
+    }
+
+    #[test]
+    fn typed_lookups_check_kinds() {
+        let n = small();
+        let mem = n.mems().next().unwrap();
+        assert_eq!(n.as_mem(mem.comp()), Some(mem));
+        assert_eq!(n.as_alu(mem.comp()), None);
+        assert_eq!(n.as_mux(mem.comp()), None);
+        assert!(n.get(CompId(999)).is_none());
+        assert!(n.as_mem(CompId(999)).is_none());
     }
 
     #[test]

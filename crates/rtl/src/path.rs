@@ -1,0 +1,218 @@
+//! Hierarchical component paths: stable, human-readable identifiers that
+//! survive re-export and re-import, unlike dense [`CompId`]s which are an
+//! artefact of creation order.
+//!
+//! A [`Path`] is a dot-separated sequence of segments (`regs.x_u_y1`,
+//! `fu0.alu0_a`). Each segment names one level of the instance tree: the
+//! allocator emits two levels (a scope per structural section, a leaf per
+//! component), imported designs keep whatever hierarchy their source had.
+//! Paths order lexicographically by segment, so `BTreeMap<Path, _>`
+//! iteration is deterministic and independent of insertion order — the
+//! property the hierarchical [`Circuit`](crate::Circuit) flattening
+//! relies on.
+//!
+//! [`CompId`]: crate::CompId
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A hierarchical, dot-separated component path.
+///
+/// Invariants: at least one segment; every segment is non-empty, starts
+/// with an ASCII letter or `_`, and continues with ASCII alphanumerics or
+/// `_`. Arbitrary labels are mapped into this alphabet with
+/// [`Path::sanitize`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Path(String);
+
+/// Why a string failed to parse as a [`Path`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathError {
+    /// The offending text.
+    pub text: String,
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid path `{}`", self.text)
+    }
+}
+
+impl std::error::Error for PathError {}
+
+/// Whether `s` is a valid path segment.
+fn valid_segment(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+impl Path {
+    /// Parses a dot-separated path, validating every segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PathError`] if the text is empty or any segment violates
+    /// the segment alphabet.
+    pub fn parse(text: &str) -> Result<Self, PathError> {
+        if !text.is_empty() && text.split('.').all(valid_segment) {
+            Ok(Path(text.to_owned()))
+        } else {
+            Err(PathError {
+                text: text.to_owned(),
+            })
+        }
+    }
+
+    /// A single-segment path from an already-sanitized segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment` is not a valid segment; use [`Path::sanitize`]
+    /// for arbitrary labels.
+    #[must_use]
+    pub fn segment(segment: &str) -> Self {
+        assert!(valid_segment(segment), "invalid path segment `{segment}`");
+        Path(segment.to_owned())
+    }
+
+    /// Maps an arbitrary label into a valid segment: every character
+    /// outside `[A-Za-z0-9_]` becomes `_`, and a leading digit (or empty
+    /// label) gains a `v` prefix. Deterministic, so replaying the same
+    /// labels yields the same segments.
+    #[must_use]
+    pub fn sanitize(label: &str) -> String {
+        let mut s: String = label
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        if s.is_empty() || s.starts_with(|c: char| c.is_ascii_digit()) {
+            s.insert(0, 'v');
+        }
+        s
+    }
+
+    /// The child path `self.segment`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment` is not a valid segment.
+    #[must_use]
+    pub fn child(&self, segment: &str) -> Self {
+        assert!(valid_segment(segment), "invalid path segment `{segment}`");
+        Path(format!("{}.{segment}", self.0))
+    }
+
+    /// The parent path, or `None` for a single-segment path.
+    #[must_use]
+    pub fn parent(&self) -> Option<Self> {
+        self.0.rfind('.').map(|i| Path(self.0[..i].to_owned()))
+    }
+
+    /// The final segment.
+    #[must_use]
+    pub fn leaf(&self) -> &str {
+        self.0.rsplit('.').next().expect("paths are non-empty")
+    }
+
+    /// The segments in root-to-leaf order.
+    pub fn segments(&self) -> impl Iterator<Item = &str> {
+        self.0.split('.')
+    }
+
+    /// Whether `self` equals `prefix` or sits below it in the tree.
+    #[must_use]
+    pub fn starts_with(&self, prefix: &Path) -> bool {
+        self.0 == prefix.0
+            || (self.0.len() > prefix.0.len()
+                && self.0.starts_with(&prefix.0)
+                && self.0.as_bytes()[prefix.0.len()] == b'.')
+    }
+
+    /// The path as its canonical dotted string.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl FromStr for Path {
+    type Err = PathError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Path::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_dotted_segments() {
+        let p = Path::parse("regs.x_u_y1").unwrap();
+        assert_eq!(p.segments().collect::<Vec<_>>(), vec!["regs", "x_u_y1"]);
+        assert_eq!(p.leaf(), "x_u_y1");
+        assert_eq!(p.parent(), Some(Path::parse("regs").unwrap()));
+        assert_eq!(Path::parse("regs").unwrap().parent(), None);
+    }
+
+    #[test]
+    fn parse_rejects_bad_text() {
+        for bad in ["", ".", "a..b", "1abc", "a.", "a b", "a.-"] {
+            assert!(Path::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn sanitize_produces_valid_segments() {
+        for label in ["x/u/y1", "#5", "", "9lives", "alu0", "a b.c"] {
+            let seg = Path::sanitize(label);
+            assert!(
+                Path::parse(&seg).is_ok(),
+                "sanitize({label:?}) = {seg:?} must parse"
+            );
+        }
+        assert_eq!(Path::sanitize("x/u/y1"), "x_u_y1");
+        assert_eq!(Path::sanitize("#5"), "_5");
+        assert_eq!(Path::sanitize("9lives"), "v9lives");
+    }
+
+    #[test]
+    fn starts_with_respects_segment_boundaries() {
+        let root = Path::parse("fu0").unwrap();
+        assert!(Path::parse("fu0.alu0").unwrap().starts_with(&root));
+        assert!(root.starts_with(&root));
+        assert!(!Path::parse("fu01.alu0").unwrap().starts_with(&root));
+        assert!(!root.starts_with(&Path::parse("fu0.alu0").unwrap()));
+    }
+
+    #[test]
+    fn child_and_display_round_trip() {
+        let p = Path::segment("io").child("a");
+        assert_eq!(p.to_string(), "io.a");
+        assert_eq!(Path::parse(&p.to_string()).unwrap(), p);
+        assert_eq!("io.a".parse::<Path>().unwrap(), p);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_by_text() {
+        let mut v = [
+            Path::parse("regs.b").unwrap(),
+            Path::parse("io.a").unwrap(),
+            Path::parse("regs.a").unwrap(),
+        ];
+        v.sort();
+        let s: Vec<String> = v.iter().map(Path::to_string).collect();
+        assert_eq!(s, vec!["io.a", "regs.a", "regs.b"]);
+    }
+}

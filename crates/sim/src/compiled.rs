@@ -173,7 +173,7 @@ impl<'a> CompiledNetlist<'a> {
         let preload_captures = netlist
             .mems()
             .filter(|m| boundary_word.mem_load.contains(m))
-            .map(|m| capture_of(netlist, m))
+            .map(|m| capture_of(netlist, m.comp()))
             .collect();
 
         let cold: Vec<StepProgram> = (1..=period)
@@ -537,8 +537,8 @@ fn lower_step(
         let c = mc_rtl::CompId::from_index(i);
         match comp.kind() {
             ComponentKind::Mux { inputs } => {
-                let eff = match word.mux_sel.get(&c) {
-                    Some(&s) => s,
+                let eff = match word.sel_of(c) {
+                    Some(s) => s,
                     None => match policy {
                         ControlPolicy::Hold => replay.sel[i],
                         ControlPolicy::Zero => 0,
@@ -551,9 +551,9 @@ fn lower_step(
                     ((prev ^ eff) as u64 & ((1u64 << bits) - 1)).count_ones() as u64;
             }
             ComponentKind::Alu { fs, .. } => {
-                let explicit = word.alu_fn.get(&c);
+                let explicit = word.fn_of(c);
                 let eff = match explicit {
-                    Some(&op) => fs
+                    Some(op) => fs
                         .iter()
                         .position(|o| o == op)
                         .expect("op validated in set"),
@@ -570,7 +570,7 @@ fn lower_step(
                 active[i] = explicit.is_some();
             }
             ComponentKind::Mem { .. } => {
-                let eff = word.mem_load.contains(&c);
+                let eff = word.loads(c);
                 if replay.load[i] != eff {
                     program.control_toggles += 1;
                 }
@@ -625,7 +625,7 @@ fn lower_step(
 
     // Clock pulses and captures: phase-owned steps only; gated clocks
     // additionally require the load enable.
-    for m in netlist.mems() {
+    for m in netlist.mems().map(mc_rtl::MemId::comp) {
         let comp = netlist.component(m);
         let phase = comp.mem_phase().expect("mems have phases");
         if !netlist.scheme().is_active(phase, t) {

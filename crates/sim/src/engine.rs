@@ -420,7 +420,11 @@ impl<'a> Engine<'a> {
             self.apply_controls_silent(boundary);
             self.eval_combinational_silent();
             let word = nl.controller().word(boundary);
-            let loads: Vec<CompId> = nl.mems().filter(|m| word.mem_load.contains(m)).collect();
+            let loads: Vec<CompId> = nl
+                .mems()
+                .filter(|m| word.mem_load.contains(m))
+                .map(mc_rtl::MemId::comp)
+                .collect();
             for mem in loads {
                 let input = match nl.component(mem).kind() {
                     ComponentKind::Mem { input, .. } => *input,
@@ -450,7 +454,7 @@ impl<'a> Engine<'a> {
                 let load = controls.load;
                 // 4. Clock edges and capture (two-phase commit).
                 let mut captures: Vec<(CompId, u64)> = Vec::new();
-                for mem in nl.mems() {
+                for mem in nl.mems().map(mc_rtl::MemId::comp) {
                     let comp = nl.component(mem);
                     let phase = comp.mem_phase().expect("mems have phases");
                     if !nl.scheme().is_active(phase, t) {
@@ -520,8 +524,8 @@ impl<'a> Engine<'a> {
         for c in nl.component_ids() {
             match nl.component(c).kind() {
                 ComponentKind::Mux { inputs } => {
-                    let eff = match word.mux_sel.get(&c) {
-                        Some(&s) => s,
+                    let eff = match word.sel_of(c) {
+                        Some(s) => s,
                         None => match policy {
                             ControlPolicy::Hold => self.prev_sel.get(&c).copied().unwrap_or(0),
                             ControlPolicy::Zero => 0,
@@ -534,9 +538,9 @@ impl<'a> Engine<'a> {
                     controls.sel.insert(c, eff);
                 }
                 ComponentKind::Alu { fs, .. } => {
-                    let explicit = word.alu_fn.get(&c);
+                    let explicit = word.fn_of(c);
                     let eff = match explicit {
-                        Some(&op) => Self::fn_index(*fs, op),
+                        Some(op) => Self::fn_index(*fs, op),
                         None => match policy {
                             ControlPolicy::Hold => self.prev_fn.get(&c).copied().unwrap_or(0),
                             ControlPolicy::Zero => 0,
@@ -552,7 +556,7 @@ impl<'a> Engine<'a> {
                     }
                 }
                 ComponentKind::Mem { .. } => {
-                    let eff = word.mem_load.contains(&c);
+                    let eff = word.loads(c);
                     let prev = self.prev_load.insert(c, eff).unwrap_or(false);
                     if prev != eff {
                         self.activity.control_toggles += 1;
@@ -652,7 +656,7 @@ impl<'a> Engine<'a> {
     fn apply_controls_silent(&mut self, t: u32) {
         let word = self.netlist.controller().word(t);
         for (&c, &s) in &word.mux_sel {
-            self.prev_sel.insert(c, s);
+            self.prev_sel.insert(c.comp(), s);
         }
     }
 }

@@ -46,6 +46,29 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
 explore_smoke facet "$SMOKE_DIR"
 explore_smoke hal "$SMOKE_DIR"
 
+# Retrofit smoke: export a benchmark, re-import it through the VHDL
+# round trip, convert it to the latch-based multi-phase form, and verify
+# (bit-identical outputs + power reduction happen inside the command).
+# The deterministic JSON report must be bit-identical across two runs
+# and with parallel seed verification disabled.
+echo "==> retrofit smoke: round trip + conversion determinism"
+./target/release/mcpm retrofit --benchmark biquad --computations 40 --seeds 2 \
+    --json --out "$SMOKE_DIR/retro.a.json" > /dev/null
+./target/release/mcpm retrofit --benchmark biquad --computations 40 --seeds 2 \
+    --json --out "$SMOKE_DIR/retro.b.json" > /dev/null
+./target/release/mcpm retrofit --benchmark biquad --computations 40 --seeds 2 \
+    --json --parallel false --out "$SMOKE_DIR/retro.seq.json" > /dev/null
+cmp "$SMOKE_DIR/retro.a.json" "$SMOKE_DIR/retro.b.json" \
+    || { echo "ci.sh: retrofit JSON differs between runs" >&2; exit 1; }
+cmp "$SMOKE_DIR/retro.a.json" "$SMOKE_DIR/retro.seq.json" \
+    || { echo "ci.sh: retrofit JSON differs parallel vs sequential" >&2; exit 1; }
+# The flat .mcnl export must also survive a file-based round trip.
+./target/release/mcpm synth --benchmark facet --clocks 1 --strategy conventional \
+    --export mcnl --out "$SMOKE_DIR/facet.mcnl" 2> /dev/null > /dev/null
+./target/release/mcpm retrofit --file "$SMOKE_DIR/facet.mcnl" --clocks 2 \
+    --computations 40 --seeds 2 > /dev/null \
+    || { echo "ci.sh: retrofit of exported .mcnl failed" >&2; exit 1; }
+
 # Trace smoke: --trace must produce a file that validates against the
 # Chrome trace_event schema (trace-summary parses and checks every
 # event), and the deterministic counter export must be bit-identical

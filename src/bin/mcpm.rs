@@ -122,6 +122,8 @@ fn valid_flags(command: &str) -> Option<&'static [&'static str]> {
                        "batch", "json", "out", "trace"],
         "profile" | "signoff" => &["benchmark", "file", "computations", "seed", "clocks",
                                    "strategy", "mem"],
+        "retrofit" => &["benchmark", "file", "computations", "seed", "clocks", "seeds",
+                        "parallel", "export", "json", "out", "trace"],
         "top" => &["benchmark", "file", "computations", "seed", "clocks", "strategy",
                    "mem", "count"],
         "stats" => &["benchmark", "file", "computations", "seed", "clocks", "strategy",
@@ -295,13 +297,17 @@ fn usage() -> &'static str {
      \x20 eval    --benchmark NAME | --file F    evaluate the five paper design styles\n\
      \x20 synth   --benchmark NAME | --file F    synthesise one design (--clocks N)\n\
      \x20         [--strategy conventional|split|integrated] [--mem latch|dff]\n\
-     \x20         [--export vhdl|dot|vcd] [--out FILE]\n\
+     \x20         [--export vhdl|mcnl|dot|vcd] [--out FILE]\n\
      \x20 sweep   --benchmark NAME [--max-clocks N]   clock-count sweep\n\
      \x20 explore --benchmark NAME | --file F    Pareto design-space exploration\n\
      \x20         [--max-clocks N] [--budget K] [--voltages V1,V2] [--stretch S1,S2]\n\
      \x20         [--threads T] [--parallel false] [--timings] [--out FILE]\n\
      \x20         [--seeds N] (Monte-Carlo power: mean ± 95 % CI per point)\n\
      \x20         [--batch L] (lanes of the batched kernel, default 16)\n\
+     \x20 retrofit --benchmark NAME | --file F   convert a single-clock design to a\n\
+     \x20         latch-based multi-phase one [--clocks N] [--seeds K] [--parallel false]\n\
+     \x20         [--export vhdl|mcnl] [--json] [--out FILE]  (--file reads exported\n\
+     \x20         VHDL or the mcnl format; --benchmark round-trips through VHDL first)\n\
      \x20 profile --benchmark NAME --clocks N    power-over-time (folded by period)\n\
      \x20 top     --benchmark NAME --clocks N [--count K]   hottest components\n\
      \x20 stats   --benchmark NAME --clocks N [--seeds K]   power spread across seeds\n\
@@ -504,6 +510,7 @@ fn dispatch(args: &Args) -> Result<(), CliError> {
             match args.get("export") {
                 None => emit(args, &nl.to_string())?,
                 Some("vhdl") => emit(args, &export::to_vhdl(nl))?,
+                Some("mcnl") => emit(args, &export::to_mcnl(nl))?,
                 Some("dot") => emit(args, &export::to_dot(nl))?,
                 Some("vcd") => {
                     let cfg = SimConfig::new(design.mode, computations.min(20), seed).with_trace();
@@ -596,6 +603,112 @@ fn dispatch(args: &Args) -> Result<(), CliError> {
                 text.push_str(&report.render_timings());
             }
             emit(args, &text)
+        }
+        "retrofit" => {
+            use std::fmt::Write as _;
+            let clocks: u32 = args.parse_num_at_least("clocks", 3, 2)?;
+            let nseeds: usize = args.parse_num_at_least("seeds", 5, 1)?;
+            let r = match (args.get("benchmark"), args.get("file")) {
+                (Some(name), None) => {
+                    // Round-trip through the VHDL exporter so the bundled
+                    // benchmarks exercise the same importer a real design
+                    // file would.
+                    let bm = find_benchmark(name)?;
+                    let nl = Synthesizer::for_benchmark(&bm)
+                        .synthesize(DesignStyle::ConventionalNonGated)
+                        .map_err(|e| e.to_string())?
+                        .datapath
+                        .netlist;
+                    multiclock::retrofit::retrofit_source(&export::to_vhdl(&nl), clocks)
+                }
+                (None, Some(path)) => {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+                    multiclock::retrofit::retrofit_source(&text, clocks)
+                }
+                (Some(_), Some(_)) => {
+                    return Err("pass either --benchmark or --file, not both".into())
+                }
+                (None, None) => return Err("missing --benchmark NAME or --file PATH".into()),
+            }
+            .map_err(|e| e.to_string())?;
+            let opts = multiclock::retrofit::RetrofitOptions {
+                computations,
+                seeds: multiclock::power::derive_seeds(seed, nseeds),
+                parallel: !matches!(args.get("parallel"), Some("false")),
+                ..Default::default()
+            };
+            let report =
+                multiclock::retrofit::verify_retrofit(&r, &opts).map_err(|e| e.to_string())?;
+            if let Some(format) = args.get("export") {
+                let text = match format {
+                    "vhdl" => export::to_vhdl(&r.converted),
+                    "mcnl" => export::to_mcnl(&r.converted),
+                    other => return Err(format!("unknown export format `{other}`").into()),
+                };
+                emit(args, &text)?;
+                eprintln!(
+                    "retrofit verified — `{}` → {clocks} phases, {:.1} % power reduction",
+                    r.original.name(),
+                    report.power_reduction_pct
+                );
+                return Ok(());
+            }
+            if args.is_set("json") {
+                let hist = json_array(report.phase_histogram.iter().map(|c| c.to_string()));
+                let doc = JsonObj::new()
+                    .str("design", r.original.name())
+                    .num("clocks", clocks)
+                    .num("seeds", report.seeds)
+                    .num("computations", report.computations)
+                    .num("original_power_mw", report.original.power.total_mw)
+                    .num("converted_power_mw", report.converted.power.total_mw)
+                    .num("power_reduction_pct", report.power_reduction_pct)
+                    .num("latency_factor", report.latency_factor)
+                    .num("shadows", report.shadows)
+                    .raw("registers_per_phase", &hist)
+                    .finish();
+                return emit(args, &doc);
+            }
+            let mut text = String::new();
+            let _ = writeln!(
+                text,
+                "retrofit of `{}`: 1 clock → {clocks} non-overlapping phases",
+                r.original.name()
+            );
+            let regs: Vec<String> = report
+                .phase_histogram
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("CLK{} ×{c}", i + 1))
+                .collect();
+            let _ = writeln!(
+                text,
+                "  registers per phase: {}  ({} shadow latch{} added)",
+                regs.join(", "),
+                report.shadows,
+                if report.shadows == 1 { "" } else { "es" }
+            );
+            let _ = writeln!(
+                text,
+                "  latency: {}× control steps per computation (each phase runs at f/{clocks})",
+                report.latency_factor
+            );
+            let _ = writeln!(
+                text,
+                "  power: {:.3} mW → {:.3} mW  ({:.1} % reduction)",
+                report.original.power.total_mw,
+                report.converted.power.total_mw,
+                report.power_reduction_pct
+            );
+            let _ = writeln!(
+                text,
+                "  equivalence: bit-identical outputs over {} seed{} × {} computations",
+                report.seeds,
+                if report.seeds == 1 { "" } else { "s" },
+                report.computations
+            );
+            emit(args, text.trim_end())
         }
         "profile" => {
             let bm = load_behavior(args)?;

@@ -56,7 +56,7 @@ fn memory_outputs_only_switch_on_their_phase() {
     let trace = res.trace.expect("traced");
     let period = nl.controller().len();
     for mem in nl.mems() {
-        let comp = nl.component(mem);
+        let comp = nl.component(mem.comp());
         let phase = comp.mem_phase().expect("mems have phases");
         let net = comp.output().index();
         for (s, pair) in trace.windows(2).enumerate() {
