@@ -158,7 +158,8 @@ fn main() {
             format!("batch/{}", w.name)
         );
         entries.push(format!(
-            "{{\"benchmark\":{},\"lanes\":{LANES},\"seeds\":{},\"steps\":{steps},\
+            "{{\"benchmark\":{},\"backend\":\"batched\",\"baseline\":\"scalar_loop\",\
+             \"lanes\":{LANES},\"seeds\":{},\"steps\":{steps},\
              \"scalar_loop\":{},\"batched\":{},\"speedup\":{speedup:.2},\
              \"batched_seeds_per_sec\":{seeds_per_sec:.1}}}",
             json_string(w.name),

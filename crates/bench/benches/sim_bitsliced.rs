@@ -1,0 +1,191 @@
+//! Bit-sliced kernel benchmark: aggregate multi-seed throughput of
+//! [`mc_sim::BitslicedProgram`] (64 seeds per machine word, one `u64`
+//! plane per net bit) vs the 16-lane batched kernel on the paper-table
+//! workloads. Emits `BENCH_bitslice.json`.
+//!
+//! Both sides run the activity-only Monte-Carlo path over the same
+//! 64-seed schedule: the batched side compiles once and sweeps 16 lanes
+//! at a time (four sweeps), the bit-sliced side compiles once and sweeps
+//! the whole population in one pass. The issue's acceptance bar is a
+//! ≥5x median aggregate seeds/sec ratio on at least 4 of the 5
+//! workloads.
+//!
+//! Before timing anything, every workload's bit-sliced run is asserted
+//! bit-identical, seed by seed, to scalar compiled runs (activity incl.
+//! per-step profiles, and outputs) — a divergence aborts the bench
+//! before a misleading number is ever written.
+//!
+//! Run with `cargo bench -p mc-bench --bench sim_bitsliced`. The JSON
+//! lands at `$MC_BITSLICE_OUT` (default `BENCH_bitslice.json` in the
+//! working directory); `MC_BENCH_ITERS` adjusts the iteration count.
+//! Speedups compare medians, so one descheduled iteration cannot skew
+//! the ratio.
+
+use std::hint::black_box;
+use std::io::Write as _;
+
+use mc_alloc::{allocate, AllocOptions, Strategy};
+use mc_bench::harness::{bench_steps_paired, json_string};
+use mc_clocks::ClockScheme;
+use mc_dfg::benchmarks::{self, Benchmark};
+use mc_power::derive_seeds;
+use mc_rtl::{Netlist, PowerMode};
+use mc_sim::{simulate, BatchedProgram, BitslicedProgram, SimBackend, SimConfig, BITSLICE_LANES};
+
+/// Computations per seed — enough steps that per-step cost dominates the
+/// one-time lowering (same figure as the other kernel benches).
+const COMPUTATIONS: usize = 400;
+const SEED: u64 = 42;
+/// The baseline lane width the issue's ≥5x target is measured against.
+const BATCH_LANES: usize = 16;
+
+struct Workload {
+    name: &'static str,
+    netlist: Netlist,
+    mode: PowerMode,
+}
+
+fn workload(
+    name: &'static str,
+    bm: &Benchmark,
+    strategy: Strategy,
+    n: u32,
+    mode: PowerMode,
+) -> Workload {
+    let opts = AllocOptions::new(strategy, ClockScheme::new(n).expect("valid clock count"));
+    let dp = allocate(&bm.dfg, &bm.schedule, &opts).expect("allocation succeeds");
+    Workload {
+        name,
+        netlist: dp.netlist,
+        mode,
+    }
+}
+
+/// The paper-table design points: the multi-clock style on the four table
+/// benchmarks, plus one conventional gated-clock reference point.
+fn workloads() -> Vec<Workload> {
+    vec![
+        workload(
+            "facet_integrated_n3_multiclock",
+            &benchmarks::facet(),
+            Strategy::Integrated,
+            3,
+            PowerMode::multiclock(),
+        ),
+        workload(
+            "hal_integrated_n3_multiclock",
+            &benchmarks::hal(),
+            Strategy::Integrated,
+            3,
+            PowerMode::multiclock(),
+        ),
+        workload(
+            "biquad_integrated_n2_multiclock",
+            &benchmarks::biquad(),
+            Strategy::Integrated,
+            2,
+            PowerMode::multiclock(),
+        ),
+        workload(
+            "bandpass_split_n3_multiclock",
+            &benchmarks::bandpass(),
+            Strategy::Split,
+            3,
+            PowerMode::multiclock(),
+        ),
+        workload(
+            "hal_conventional_n1_gated",
+            &benchmarks::hal(),
+            Strategy::Conventional,
+            1,
+            PowerMode::gated(),
+        ),
+    ]
+}
+
+/// Asserts every seed of a bit-sliced population is bit-identical to a
+/// scalar compiled run with the same seed (activity incl. per-step
+/// profile, outputs, plus the activity-only fast path) before any timing
+/// happens.
+fn assert_seeds_identical(w: &Workload, seeds: &[u64]) {
+    let program = BitslicedProgram::compile(&w.netlist, w.mode);
+    let sliced = program.run_seeds(16, seeds, true);
+    let activities = program.run_seeds_activity(16, seeds, true);
+    for ((seed, result), activity) in seeds.iter().zip(&sliced).zip(&activities) {
+        let cfg = SimConfig::new(w.mode, 16, *seed)
+            .with_profile()
+            .with_backend(SimBackend::Compiled);
+        let scalar = simulate(&w.netlist, &cfg);
+        assert_eq!(
+            result.activity, scalar.activity,
+            "SEED DIVERGENCE (activity) on {} seed {seed}",
+            w.name
+        );
+        assert_eq!(
+            result.outputs, scalar.outputs,
+            "SEED DIVERGENCE (outputs) on {} seed {seed}",
+            w.name
+        );
+        assert_eq!(
+            *activity, scalar.activity,
+            "SEED DIVERGENCE (activity-only path) on {} seed {seed}",
+            w.name
+        );
+    }
+}
+
+fn main() {
+    let seeds = derive_seeds(SEED, BITSLICE_LANES);
+    let mut entries = Vec::new();
+    for w in workloads() {
+        assert_seeds_identical(&w, &seeds);
+        let steps =
+            COMPUTATIONS as u64 * u64::from(w.netlist.controller().len()) * seeds.len() as u64;
+        // The two sides are timed in strict alternation: machine-speed
+        // drift over the bench session (frequency scaling, co-tenant
+        // noise) shifts both sample sets together instead of biasing
+        // whichever side ran later, keeping the speedup ratio honest.
+        let (batched, sliced) = bench_steps_paired(
+            &format!("bitslice/{}/batched_x{BATCH_LANES}", w.name),
+            &format!("bitslice/{}/bitsliced_x{BITSLICE_LANES}", w.name),
+            steps,
+            || {
+                let program = BatchedProgram::compile(black_box(&w.netlist), w.mode, BATCH_LANES);
+                let activities = program.run_seeds_activity(COMPUTATIONS, &seeds, false);
+                black_box(activities.len());
+            },
+            || {
+                let program = BitslicedProgram::compile(black_box(&w.netlist), w.mode);
+                let activities = program.run_seeds_activity(COMPUTATIONS, &seeds, false);
+                black_box(activities.len());
+            },
+        );
+        let speedup = batched.median.as_secs_f64() / sliced.median.as_secs_f64();
+        let batched_seeds_per_sec = seeds.len() as f64 / batched.median.as_secs_f64();
+        let bitsliced_seeds_per_sec = seeds.len() as f64 / sliced.median.as_secs_f64();
+        println!(
+            "{:<44} speedup {speedup:.2}x  ({bitsliced_seeds_per_sec:.1} seeds/s bit-sliced \
+             vs {batched_seeds_per_sec:.1} batched)",
+            format!("bitslice/{}", w.name)
+        );
+        entries.push(format!(
+            "{{\"benchmark\":{},\"backend\":\"bitsliced\",\"baseline\":\"batched\",\
+             \"lanes\":{BITSLICE_LANES},\"baseline_lanes\":{BATCH_LANES},\"seeds\":{},\
+             \"steps\":{steps},\"batched\":{},\"bitsliced\":{},\"speedup\":{speedup:.2},\
+             \"batched_seeds_per_sec\":{batched_seeds_per_sec:.1},\
+             \"bitsliced_seeds_per_sec\":{bitsliced_seeds_per_sec:.1}}}",
+            json_string(w.name),
+            seeds.len(),
+            batched.to_json(),
+            sliced.to_json()
+        ));
+    }
+
+    let out_path =
+        std::env::var("MC_BITSLICE_OUT").unwrap_or_else(|_| "BENCH_bitslice.json".to_string());
+    let json = format!("[\n  {}\n]\n", entries.join(",\n  "));
+    let mut file = std::fs::File::create(&out_path)
+        .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
+    file.write_all(json.as_bytes()).expect("write bench json");
+    println!("wrote {out_path}");
+}

@@ -136,7 +136,9 @@ fn main() {
         let speedup = interp.median.as_secs_f64() / kernel.median.as_secs_f64();
         println!("{:<40} speedup {speedup:.2}x", format!("sim/{}", w.name));
         entries.push(format!(
-            "{{\"benchmark\":{},\"steps\":{steps},\"interpreter\":{},\"compiled\":{},\"speedup\":{speedup:.2}}}",
+            "{{\"benchmark\":{},\"backend\":\"compiled\",\"baseline\":\"interpreter\",\
+             \"lanes\":1,\"seeds\":1,\"steps\":{steps},\"interpreter\":{},\"compiled\":{},\
+             \"speedup\":{speedup:.2}}}",
             json_string(w.name),
             interp.to_json(),
             kernel.to_json()

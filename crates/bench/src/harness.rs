@@ -238,6 +238,50 @@ fn bench_with_steps<F: FnMut()>(name: &str, steps: Option<u64>, mut f: F) -> Ben
     result
 }
 
+/// Times two workloads over the same work in strict alternation —
+/// baseline, candidate, baseline, candidate, … — after one warm-up run
+/// of each. Machine-speed drift over a long bench session (frequency
+/// scaling, a noisy co-tenant VM) then shifts both sides' samples
+/// together instead of biasing whichever side happened to run later, so
+/// a speedup ratio of the two medians stays honest. Use this whenever a
+/// bench exists to *compare* two implementations rather than to track
+/// one.
+pub fn bench_steps_paired<A: FnMut(), B: FnMut()>(
+    name_a: &str,
+    name_b: &str,
+    steps: u64,
+    mut a: A,
+    mut b: B,
+) -> (BenchResult, BenchResult) {
+    a();
+    b();
+    let iters = iterations();
+    let mut times_a = Vec::with_capacity(iters);
+    let mut times_b = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        a();
+        times_a.push(t0.elapsed());
+        let t1 = Instant::now();
+        b();
+        times_b.push(t1.elapsed());
+    }
+    let summarize = |name: &str, times: &[Duration]| {
+        let result = BenchResult {
+            name: name.to_owned(),
+            iters,
+            min: *times.iter().min().expect("at least one iter"),
+            mean: times.iter().sum::<Duration>() / iters as u32,
+            median: median_duration(times),
+            max: *times.iter().max().expect("at least one iter"),
+            steps: Some(steps),
+        };
+        println!("{}", result.render());
+        result
+    };
+    (summarize(name_a, &times_a), summarize(name_b, &times_b))
+}
+
 /// The median of `times` (mean of the two central elements for even
 /// counts).
 ///

@@ -37,6 +37,7 @@ use mc_alloc::Datapath;
 use mc_dfg::benchmarks::Benchmark;
 use mc_dfg::{Dfg, Schedule};
 use mc_power::DesignReport;
+use mc_sim::BatchBackend;
 use mc_tech::TechLibrary;
 
 use crate::passes::{AllocatePass, Behavior, PartitionPass, PowerPass, SimulatePass, VerifyPass};
@@ -166,6 +167,7 @@ pub struct FlowContext {
     seed: u64,
     power_seeds: usize,
     batch: usize,
+    backend: BatchBackend,
     metrics: Vec<PassMetrics>,
     diagnostics: Vec<Diagnostic>,
 }
@@ -181,6 +183,7 @@ impl FlowContext {
             seed,
             power_seeds: 1,
             batch: Flow::DEFAULT_BATCH,
+            backend: BatchBackend::default(),
             metrics: Vec::new(),
             diagnostics: Vec::new(),
         }
@@ -192,6 +195,14 @@ impl FlowContext {
     pub fn with_monte_carlo(mut self, power_seeds: usize, batch: usize) -> Self {
         self.power_seeds = power_seeds.max(1);
         self.batch = batch.max(1);
+        self
+    }
+
+    /// Selects the multi-seed simulation kernel (throughput only —
+    /// results are bit-identical across backends).
+    #[must_use]
+    pub fn with_backend(mut self, backend: BatchBackend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -225,6 +236,12 @@ impl FlowContext {
     #[must_use]
     pub fn batch(&self) -> usize {
         self.batch
+    }
+
+    /// The multi-seed simulation kernel in use.
+    #[must_use]
+    pub fn backend(&self) -> BatchBackend {
+        self.backend
     }
 
     /// Records an informational diagnostic.
@@ -496,6 +513,7 @@ pub struct Flow {
     seed: u64,
     power_seeds: usize,
     batch: usize,
+    backend: BatchBackend,
     fingerprint: u64,
     cache: ArtifactCache,
 }
@@ -525,6 +543,7 @@ impl Flow {
             seed: 42,
             power_seeds: 1,
             batch: Self::DEFAULT_BATCH,
+            backend: BatchBackend::default(),
             fingerprint,
             cache: ArtifactCache::default(),
         }
@@ -577,6 +596,18 @@ impl Flow {
         self
     }
 
+    /// Selects the multi-seed simulation kernel (default
+    /// [`BatchBackend::Batched`]; only used when
+    /// [`Flow::with_power_seeds`] exceeds one). Like the lane width, the
+    /// backend never affects results — every backend is bit-identical to
+    /// the scalar compiled kernel — so it is deliberately excluded from
+    /// the report cache key.
+    #[must_use]
+    pub fn with_batch_backend(mut self, backend: BatchBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// The behaviour under synthesis.
     #[must_use]
     pub fn behavior(&self) -> &Behavior {
@@ -625,6 +656,12 @@ impl Flow {
         self.batch
     }
 
+    /// The multi-seed simulation kernel in use.
+    #[must_use]
+    pub fn backend(&self) -> BatchBackend {
+        self.backend
+    }
+
     /// The content fingerprint all cache keys derive from (behaviour DSL
     /// text + schedule + technology parameters).
     #[must_use]
@@ -646,6 +683,7 @@ impl Flow {
     fn context(&self) -> FlowContext {
         FlowContext::new(self.tech.clone(), self.computations, self.seed)
             .with_monte_carlo(self.power_seeds, self.batch)
+            .with_backend(self.backend)
     }
 
     /// Cache key of the datapath: the allocation depends on strategy,
@@ -952,6 +990,28 @@ mod tests {
         assert_eq!(
             wide.report.power_ci.unwrap().ci95_mw.to_bits(),
             narrow.report.power_ci.unwrap().ci95_mw.to_bits()
+        );
+    }
+
+    #[test]
+    fn batch_backend_never_changes_the_report() {
+        let batched = flow()
+            .with_power_seeds(5)
+            .with_batch_backend(BatchBackend::Batched)
+            .evaluate_instrumented(DesignStyle::ConventionalGated)
+            .unwrap();
+        let bitsliced = flow()
+            .with_power_seeds(5)
+            .with_batch_backend(BatchBackend::Bitsliced)
+            .evaluate_instrumented(DesignStyle::ConventionalGated)
+            .unwrap();
+        assert_eq!(
+            batched.report.power.total_mw.to_bits(),
+            bitsliced.report.power.total_mw.to_bits()
+        );
+        assert_eq!(
+            batched.report.power_ci.unwrap().ci95_mw.to_bits(),
+            bitsliced.report.power_ci.unwrap().ci95_mw.to_bits()
         );
     }
 

@@ -349,11 +349,12 @@ impl Pass for SimulatePass {
 }
 
 impl SimulatePass {
-    /// Monte-Carlo path: the batched kernel sweeps
-    /// [`FlowContext::power_seeds`] derived seeds,
-    /// [`FlowContext::batch`] lanes at a time. Lane 0 carries the flow
-    /// seed, so [`SimTrace::activity`] is bit-identical to the
-    /// single-seed run.
+    /// Monte-Carlo path: the selected multi-seed kernel
+    /// ([`FlowContext::backend`]) sweeps [`FlowContext::power_seeds`]
+    /// derived seeds, [`FlowContext::batch`] lanes at a time (the
+    /// bit-sliced kernel always runs 64-seed populations). Lane 0
+    /// carries the flow seed, so [`SimTrace::activity`] is bit-identical
+    /// to the single-seed run.
     fn run_monte_carlo(
         &self,
         datapath: &Datapath,
@@ -362,12 +363,10 @@ impl SimulatePass {
     ) -> Result<SimTrace, SynthesisError> {
         let seeds = mc_power::derive_seeds(ctx.seed(), ctx.power_seeds());
         let started = std::time::Instant::now();
-        let program = mc_sim::BatchedProgram::compile(&datapath.netlist, self.mode, ctx.batch());
-        let seed_activities: Vec<Activity> = program.run_seeds_activity(
-            ctx.computations(),
-            &seeds,
-            /* collect_profile */ false,
-        );
+        let kernel =
+            mc_sim::SeedKernel::compile(&datapath.netlist, self.mode, ctx.backend(), ctx.batch());
+        let seed_activities: Vec<Activity> =
+            kernel.run_seeds_activity(ctx.computations(), &seeds, /* collect_profile */ false);
         let elapsed = started.elapsed().as_secs_f64();
         let total_steps: u64 = seed_activities.iter().map(|a| a.steps).sum();
         let steps_per_sec = if elapsed > 0.0 {
@@ -378,9 +377,10 @@ impl SimulatePass {
         ctx.info(
             self.name(),
             format!(
-                "batched backend: {} seeds x {} lanes, {} steps in {:.2} ms ({:.3e} steps/s)",
+                "{} backend: {} seeds x {} lanes, {} steps in {:.2} ms ({:.3e} steps/s)",
+                kernel.backend(),
                 seeds.len(),
-                program.lanes(),
+                kernel.lanes(),
                 total_steps,
                 elapsed * 1e3,
                 steps_per_sec

@@ -43,7 +43,10 @@ use mc_rtl::discipline::check_latch_discipline;
 use mc_rtl::hier::{Cell, Circuit, CircuitWord, HierError};
 use mc_rtl::import::{from_mcnl, from_vhdl, ImportError};
 use mc_rtl::{Netlist, Path, PowerMode};
-use mc_sim::{simulate, try_simulate_with_inputs, Activity, SimConfig, SimError, Stimulus};
+use mc_sim::{
+    simulate, try_simulate_with_inputs, Activity, BatchBackend, BitslicedProgram, SimConfig,
+    SimError, Stimulus,
+};
 use mc_tech::{MemKind, TechLibrary};
 
 /// Errors from the retrofit flow.
@@ -593,6 +596,13 @@ pub struct RetrofitOptions {
     /// Fan the per-seed simulations over scoped threads. The report is
     /// bit-identical either way; parallelism only changes wall-clock.
     pub parallel: bool,
+    /// The simulation kernel verifying the seeds: [`BatchBackend::Batched`]
+    /// runs one scalar simulation per seed (optionally in parallel),
+    /// [`BatchBackend::Bitsliced`] sweeps the whole seed population
+    /// through the bit-plane kernel in one pass. Per-seed activities and
+    /// outputs are bit-identical either way, so the report never encodes
+    /// the backend.
+    pub backend: BatchBackend,
     /// The technology library pricing both designs.
     pub tech: TechLibrary,
 }
@@ -603,6 +613,7 @@ impl Default for RetrofitOptions {
             computations: 200,
             seeds: mc_power::derive_seeds(42, 5),
             parallel: false,
+            backend: BatchBackend::default(),
             tech: TechLibrary::vsc450(),
         }
     }
@@ -631,18 +642,15 @@ pub struct RetrofitReport {
     pub seeds: usize,
 }
 
-/// Simulates one seed on both designs and checks output equivalence.
-fn run_seed(
-    r: &Retrofit,
-    computations: usize,
+/// Finds the first output divergence between the two designs' runs for
+/// one seed — the shared check of the scalar and bit-sliced paths, so
+/// both report the identical [`RetrofitMismatch`].
+fn check_outputs(
     seed: u64,
-) -> Result<(Activity, Activity), RetrofitError> {
-    let vectors = Stimulus::UniformRandom
-        .flat_vectors(&r.original, computations, seed)
-        .to_vectors();
-    let orig = try_simulate_with_inputs(&r.original, PowerMode::non_gated(), &vectors, false)?;
-    let conv = try_simulate_with_inputs(&r.converted, PowerMode::multiclock(), &vectors, false)?;
-    for (c, (o, v)) in orig.outputs.iter().zip(&conv.outputs).enumerate() {
+    orig: &[BTreeMap<String, u64>],
+    conv: &[BTreeMap<String, u64>],
+) -> Result<(), RetrofitError> {
+    for (c, (o, v)) in orig.iter().zip(conv).enumerate() {
         if o != v {
             let (port, original, converted) = o
                 .iter()
@@ -660,7 +668,55 @@ fn run_seed(
             })));
         }
     }
+    Ok(())
+}
+
+/// Simulates one seed on both designs and checks output equivalence.
+fn run_seed(
+    r: &Retrofit,
+    computations: usize,
+    seed: u64,
+) -> Result<(Activity, Activity), RetrofitError> {
+    let vectors = Stimulus::UniformRandom
+        .flat_vectors(&r.original, computations, seed)
+        .to_vectors();
+    let orig = try_simulate_with_inputs(&r.original, PowerMode::non_gated(), &vectors, false)?;
+    let conv = try_simulate_with_inputs(&r.converted, PowerMode::multiclock(), &vectors, false)?;
+    check_outputs(seed, &orig.outputs, &conv.outputs)?;
     Ok((orig.activity, conv.activity))
+}
+
+/// Bit-sliced path: sweeps the whole seed population through the
+/// bit-plane kernel on both designs at once. Each seed's stimulus is the
+/// same [`Stimulus::UniformRandom`] draw the scalar path makes, seeds are
+/// checked in schedule order and computations in order within a seed, so
+/// the first reported divergence — and every activity — is bit-identical
+/// to [`run_seed`] over the same schedule.
+fn run_seeds_bitsliced(
+    r: &Retrofit,
+    computations: usize,
+    seeds: &[u64],
+) -> Result<Vec<(Activity, Activity)>, RetrofitError> {
+    let vectors: Vec<Vec<BTreeMap<String, u64>>> = seeds
+        .iter()
+        .map(|&seed| {
+            Stimulus::UniformRandom
+                .flat_vectors(&r.original, computations, seed)
+                .to_vectors()
+        })
+        .collect();
+    let orig = BitslicedProgram::compile(&r.original, PowerMode::non_gated())
+        .run_vectors(&vectors, false)?;
+    let conv = BitslicedProgram::compile(&r.converted, PowerMode::multiclock())
+        .run_vectors(&vectors, false)?;
+    for ((&seed, o), v) in seeds.iter().zip(&orig).zip(&conv) {
+        check_outputs(seed, &o.outputs, &v.outputs)?;
+    }
+    Ok(orig
+        .into_iter()
+        .zip(conv)
+        .map(|(o, v)| (o.activity, v.activity))
+        .collect())
 }
 
 /// Verifies a retrofit — bit-identical outputs over every seed — and
@@ -683,30 +739,37 @@ pub fn verify_retrofit(
         !opts.seeds.is_empty(),
         "verification needs at least one seed"
     );
-    let pairs: Vec<Result<(Activity, Activity), RetrofitError>> = if opts.parallel {
-        std::thread::scope(|s| {
-            let handles: Vec<_> = opts
-                .seeds
-                .iter()
-                .map(|&seed| {
-                    s.spawn(move || {
-                        let out = run_seed(r, opts.computations, seed);
-                        mc_trace::flush();
-                        out
+    let pairs: Vec<Result<(Activity, Activity), RetrofitError>> =
+        if opts.backend == BatchBackend::Bitsliced {
+            // One population sweep per design; `parallel` is moot here.
+            match run_seeds_bitsliced(r, opts.computations, &opts.seeds) {
+                Ok(pairs) => pairs.into_iter().map(Ok).collect(),
+                Err(e) => vec![Err(e)],
+            }
+        } else if opts.parallel {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = opts
+                    .seeds
+                    .iter()
+                    .map(|&seed| {
+                        s.spawn(move || {
+                            let out = run_seed(r, opts.computations, seed);
+                            mc_trace::flush();
+                            out
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("seed worker panicked"))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("seed worker panicked"))
+                    .collect()
+            })
+        } else {
+            opts.seeds
+                .iter()
+                .map(|&seed| run_seed(r, opts.computations, seed))
                 .collect()
-        })
-    } else {
-        opts.seeds
-            .iter()
-            .map(|&seed| run_seed(r, opts.computations, seed))
-            .collect()
-    };
+        };
     let mut orig_acts = Vec::with_capacity(pairs.len());
     let mut conv_acts = Vec::with_capacity(pairs.len());
     for p in pairs {
@@ -830,6 +893,37 @@ mod tests {
         };
         let a = verify_retrofit(&r, &seq).unwrap();
         let b = verify_retrofit(&r, &par).unwrap();
+        assert_eq!(
+            a.original.power.total_mw.to_bits(),
+            b.original.power.total_mw.to_bits()
+        );
+        assert_eq!(
+            a.converted.power.total_mw.to_bits(),
+            b.converted.power.total_mw.to_bits()
+        );
+        assert_eq!(
+            a.power_reduction_pct.to_bits(),
+            b.power_reduction_pct.to_bits()
+        );
+        assert_eq!(a.phase_histogram, b.phase_histogram);
+    }
+
+    #[test]
+    fn bitsliced_verification_is_bit_identical_to_scalar() {
+        let nl = conventional(&benchmarks::biquad());
+        let r = retrofit_netlist(nl, 2).expect("retrofits");
+        let scalar = RetrofitOptions {
+            computations: 40,
+            seeds: mc_power::derive_seeds(11, 5),
+            backend: BatchBackend::Batched,
+            ..RetrofitOptions::default()
+        };
+        let sliced = RetrofitOptions {
+            backend: BatchBackend::Bitsliced,
+            ..scalar.clone()
+        };
+        let a = verify_retrofit(&r, &scalar).unwrap();
+        let b = verify_retrofit(&r, &sliced).unwrap();
         assert_eq!(
             a.original.power.total_mw.to_bits(),
             b.original.power.total_mw.to_bits()

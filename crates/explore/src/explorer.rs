@@ -2,6 +2,7 @@
 //! prune, report.
 
 use mc_core::flow::CacheStats;
+use mc_core::sim::BatchBackend;
 use mc_core::{Flow, SynthesisError};
 use mc_dfg::benchmarks::Benchmark;
 
@@ -28,6 +29,7 @@ pub struct Explorer {
     seed: u64,
     power_seeds: usize,
     batch: usize,
+    backend: BatchBackend,
     threads: usize,
     parallel: bool,
 }
@@ -41,6 +43,7 @@ impl Default for Explorer {
             seed: 42,
             power_seeds: 1,
             batch: Flow::DEFAULT_BATCH,
+            backend: BatchBackend::default(),
             threads: default_threads(),
             parallel: true,
         }
@@ -103,6 +106,14 @@ impl Explorer {
         self
     }
 
+    /// Selects the multi-seed simulation kernel (default batched;
+    /// throughput only — every backend prices points bit-identically).
+    #[must_use]
+    pub fn with_batch_backend(mut self, backend: BatchBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Sets the worker count for parallel evaluation.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
@@ -147,6 +158,7 @@ impl Explorer {
                 spec.build(bm, self.computations, self.seed)
                     .with_power_seeds(self.power_seeds)
                     .with_batch(self.batch)
+                    .with_batch_backend(self.backend)
             })
             .collect();
         let threads = if self.parallel { self.threads } else { 1 };

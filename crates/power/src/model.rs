@@ -522,6 +522,10 @@ pub struct MonteCarloConfig {
     /// Lane width of the batched kernel — also the sequential batch
     /// granularity of the early-stopping check.
     pub lanes: usize,
+    /// The multi-seed kernel to simulate through. Backends are
+    /// bit-identical per seed; only the early-stopping granularity
+    /// (one kernel sweep) depends on the choice.
+    pub backend: mc_sim::BatchBackend,
     /// Early-stopping threshold: stop once the 95 % CI half-width is at
     /// most this fraction of the mean (checked after each completed
     /// batch; `None` always runs `max_seeds`).
@@ -538,8 +542,8 @@ pub fn derive_seeds(base: u64, n: usize) -> Vec<u64> {
         .collect()
 }
 
-/// Adaptive Monte-Carlo evaluation: simulates seeds through the batched
-/// multi-lane kernel one batch at a time, prices each lane, and stops
+/// Adaptive Monte-Carlo evaluation: simulates seeds through the selected
+/// multi-seed kernel one sweep at a time, prices each lane, and stops
 /// early once the 95 % CI half-width of the total power falls under
 /// `cfg.rel_ci` of the mean (sequential-batch early stopping). Runs at
 /// most `cfg.max_seeds` seeds.
@@ -556,7 +560,7 @@ pub fn evaluate_design_monte_carlo_adaptive(
 ) -> DesignReport {
     assert!(cfg.max_seeds > 0, "max_seeds must be positive");
     let seeds = derive_seeds(cfg.base_seed, cfg.max_seeds);
-    let program = mc_sim::BatchedProgram::compile(netlist, mode, cfg.lanes);
+    let program = mc_sim::SeedKernel::compile(netlist, mode, cfg.backend, cfg.lanes);
     let mut activities: Vec<mc_sim::Activity> = Vec::with_capacity(cfg.max_seeds);
     let mut totals: Vec<f64> = Vec::with_capacity(cfg.max_seeds);
     for chunk in seeds.chunks(program.lanes().max(1)) {
@@ -838,6 +842,7 @@ mod tests {
                 base_seed: 7,
                 max_seeds: 32,
                 lanes: 4,
+                backend: mc_sim::BatchBackend::Batched,
                 rel_ci: Some(0.5),
             },
         );
@@ -852,6 +857,7 @@ mod tests {
                 base_seed: 7,
                 max_seeds: 8,
                 lanes: 4,
+                backend: mc_sim::BatchBackend::Batched,
                 rel_ci: Some(0.0),
             },
         );
@@ -866,6 +872,7 @@ mod tests {
                 base_seed: 7,
                 max_seeds: 8,
                 lanes: 4,
+                backend: mc_sim::BatchBackend::Batched,
                 rel_ci: Some(0.0),
             },
         );

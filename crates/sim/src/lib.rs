@@ -37,6 +37,7 @@
 
 mod activity;
 mod batched;
+mod bitsliced;
 mod compiled;
 mod engine;
 mod equivalence;
@@ -45,6 +46,9 @@ pub mod vcd;
 
 pub use activity::{Activity, StepActivity};
 pub use batched::{simulate_seeds, BatchedProgram, MAX_LANES};
+pub use bitsliced::{
+    simulate_seeds_bitsliced, BatchBackend, BitslicedProgram, SeedKernel, BITSLICE_LANES,
+};
 pub use compiled::CompiledNetlist;
 pub use engine::{
     simulate, simulate_with_config, simulate_with_inputs, try_simulate_with_inputs, SimBackend,

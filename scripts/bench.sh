@@ -38,6 +38,21 @@ MC_BATCH_OUT="$BATCH_OUT" \
 test -s "$BATCH_OUT" || { echo "bench.sh: $BATCH_OUT missing or empty" >&2; exit 1; }
 echo "==> bench.sh: wrote $BATCH_OUT"
 
+# Bit-sliced kernel: 64 seeds per machine word (one u64 plane per net
+# bit) against the 16-lane batched kernel over the same 64-seed
+# schedule, with seed-by-seed bit-identity to the scalar kernel asserted
+# before timing. Same native-CPU-flags / separate-target-dir discipline
+# as the batched stage — both sides of the ratio share the flags.
+BITSLICE_OUT="${MC_BITSLICE_OUT:-$(pwd)/BENCH_bitslice.json}"
+echo "==> cargo bench -p mc-bench --bench sim_bitsliced (out: $BITSLICE_OUT)"
+MC_BITSLICE_OUT="$BITSLICE_OUT" \
+    RUSTFLAGS="${MC_BATCH_RUSTFLAGS:--C target-cpu=native}" \
+    CARGO_TARGET_DIR=target/native \
+    cargo bench -p mc-bench --bench sim_bitsliced
+
+test -s "$BITSLICE_OUT" || { echo "bench.sh: $BITSLICE_OUT missing or empty" >&2; exit 1; }
+echo "==> bench.sh: wrote $BITSLICE_OUT"
+
 # Explorer artifact: Pareto exploration of two paper benchmarks with
 # per-point wall-clock and cache counters, via the mcpm CLI. Iteration
 # count maps to the simulation depth so the CI smoke run stays quick.

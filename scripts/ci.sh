@@ -18,9 +18,10 @@ run cargo build --release --workspace
 run cargo test -q --workspace
 
 # Bench smoke: times the compiled kernel against the interpreter
-# (BENCH_sim.json) and the batched multi-lane kernel against the looped
-# scalar kernel (BENCH_batch.json). Both benches assert bit-identity
-# before timing — backend divergence or batched lane divergence fails
+# (BENCH_sim.json), the batched multi-lane kernel against the looped
+# scalar kernel (BENCH_batch.json), and the bit-sliced kernel against
+# the batched one (BENCH_bitslice.json). Every bench asserts
+# bit-identity before timing — backend, lane or seed divergence fails
 # the gate here, not just in the nightly full run.
 MC_BENCH_ITERS=2 run scripts/bench.sh
 
@@ -68,6 +69,22 @@ cmp "$SMOKE_DIR/retro.a.json" "$SMOKE_DIR/retro.seq.json" \
 ./target/release/mcpm retrofit --file "$SMOKE_DIR/facet.mcnl" --clocks 2 \
     --computations 40 --seeds 2 > /dev/null \
     || { echo "ci.sh: retrofit of exported .mcnl failed" >&2; exit 1; }
+
+# Bit-sliced backend smoke: the multi-seed commands must emit
+# byte-identical JSON whichever batch backend runs them — the backend
+# changes throughput, never numbers. Exercised through the two
+# multi-seed flows (exploration pricing and retrofit verification).
+echo "==> bit-sliced backend smoke: batched vs bitsliced JSON"
+./target/release/mcpm explore --benchmark facet --computations 40 --budget 8 \
+    --seeds 3 --backend batched --json --out "$SMOKE_DIR/facet.bat.json" > /dev/null
+./target/release/mcpm explore --benchmark facet --computations 40 --budget 8 \
+    --seeds 3 --backend bitsliced --json --out "$SMOKE_DIR/facet.bs.json" > /dev/null
+cmp "$SMOKE_DIR/facet.bat.json" "$SMOKE_DIR/facet.bs.json" \
+    || { echo "ci.sh: explore JSON differs between batch backends" >&2; exit 1; }
+./target/release/mcpm retrofit --benchmark biquad --computations 40 --seeds 2 \
+    --backend bitsliced --json --out "$SMOKE_DIR/retro.bs.json" > /dev/null
+cmp "$SMOKE_DIR/retro.a.json" "$SMOKE_DIR/retro.bs.json" \
+    || { echo "ci.sh: retrofit JSON differs between batch backends" >&2; exit 1; }
 
 # Trace smoke: --trace must produce a file that validates against the
 # Chrome trace_event schema (trace-summary parses and checks every

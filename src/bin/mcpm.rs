@@ -23,7 +23,7 @@ use multiclock::dfg::benchmarks::{self, Benchmark};
 use multiclock::explore::{ExploreSpace, Explorer};
 use multiclock::power::{per_component_power, profile::power_profile};
 use multiclock::rtl::{export, PowerMode};
-use multiclock::sim::{simulate, vcd, SimConfig};
+use multiclock::sim::{simulate, vcd, BatchBackend, SimConfig};
 use multiclock::tech::MemKind;
 use multiclock::trace::summary::TraceSummary;
 use multiclock::{DesignStyle, Synthesizer};
@@ -119,11 +119,11 @@ fn valid_flags(command: &str) -> Option<&'static [&'static str]> {
                      "out", "trace"],
         "explore" => &["benchmark", "file", "computations", "seed", "max-clocks", "budget",
                        "voltages", "stretch", "threads", "parallel", "timings", "seeds",
-                       "batch", "json", "out", "trace"],
+                       "batch", "backend", "json", "out", "trace"],
         "profile" | "signoff" => &["benchmark", "file", "computations", "seed", "clocks",
                                    "strategy", "mem"],
         "retrofit" => &["benchmark", "file", "computations", "seed", "clocks", "seeds",
-                        "parallel", "export", "json", "out", "trace"],
+                        "parallel", "backend", "export", "json", "out", "trace"],
         "top" => &["benchmark", "file", "computations", "seed", "clocks", "strategy",
                    "mem", "count"],
         "stats" => &["benchmark", "file", "computations", "seed", "clocks", "strategy",
@@ -287,6 +287,19 @@ impl Args {
         }
         Ok(v)
     }
+
+    /// `--backend batched|bitsliced` (default batched). The backend
+    /// never changes results, only throughput.
+    fn parse_backend(&self) -> Result<BatchBackend, CliError> {
+        match self.get("backend") {
+            None => Ok(BatchBackend::default()),
+            Some(name) => BatchBackend::from_name(name).ok_or_else(|| CliError::InvalidValue {
+                flag: "backend".to_owned(),
+                value: name.to_owned(),
+                reason: "expected `batched` or `bitsliced`".to_owned(),
+            }),
+        }
+    }
 }
 
 fn usage() -> &'static str {
@@ -304,10 +317,12 @@ fn usage() -> &'static str {
      \x20         [--threads T] [--parallel false] [--timings] [--out FILE]\n\
      \x20         [--seeds N] (Monte-Carlo power: mean ± 95 % CI per point)\n\
      \x20         [--batch L] (lanes of the batched kernel, default 16)\n\
+     \x20         [--backend batched|bitsliced] (multi-seed kernel; results identical)\n\
      \x20 retrofit --benchmark NAME | --file F   convert a single-clock design to a\n\
      \x20         latch-based multi-phase one [--clocks N] [--seeds K] [--parallel false]\n\
-     \x20         [--export vhdl|mcnl] [--json] [--out FILE]  (--file reads exported\n\
-     \x20         VHDL or the mcnl format; --benchmark round-trips through VHDL first)\n\
+     \x20         [--backend batched|bitsliced] [--export vhdl|mcnl] [--json] [--out FILE]\n\
+     \x20         (--file reads exported VHDL or the mcnl format; --benchmark\n\
+     \x20         round-trips through VHDL first)\n\
      \x20 profile --benchmark NAME --clocks N    power-over-time (folded by period)\n\
      \x20 top     --benchmark NAME --clocks N [--count K]   hottest components\n\
      \x20 stats   --benchmark NAME --clocks N [--seeds K]   power spread across seeds\n\
@@ -581,6 +596,7 @@ fn dispatch(args: &Args) -> Result<(), CliError> {
                 .with_seed(seed)
                 .with_power_seeds(args.parse_num_at_least("seeds", 1, 1)?)
                 .with_batch(args.parse_num_at_least("batch", multiclock::Flow::DEFAULT_BATCH, 1)?)
+                .with_batch_backend(args.parse_backend()?)
                 .with_parallel(!matches!(args.get("parallel"), Some("false")));
             if args.get("budget").is_some() {
                 explorer = explorer.with_budget(args.parse_num_at_least("budget", 1, 1)?);
@@ -636,6 +652,7 @@ fn dispatch(args: &Args) -> Result<(), CliError> {
                 computations,
                 seeds: multiclock::power::derive_seeds(seed, nseeds),
                 parallel: !matches!(args.get("parallel"), Some("false")),
+                backend: args.parse_backend()?,
                 ..Default::default()
             };
             let report =

@@ -225,6 +225,50 @@ fn explore_with_seeds_reports_confidence_bounds() {
     let (ok2, run2, _) = mcpm(&narrow);
     assert!(ok2);
     assert_eq!(run1, run2, "--batch must not affect results");
+    // So does the bit-sliced kernel: a different backend, the same bits.
+    let mut sliced = args.to_vec();
+    sliced.extend(["--backend", "bitsliced"]);
+    let (ok3, run3, _) = mcpm(&sliced);
+    assert!(ok3);
+    assert_eq!(run1, run3, "--backend must not affect results");
+}
+
+#[test]
+fn retrofit_json_is_identical_across_backends() {
+    let args = [
+        "retrofit",
+        "--benchmark",
+        "biquad",
+        "--computations",
+        "30",
+        "--seeds",
+        "2",
+        "--json",
+    ];
+    let (ok1, batched, stderr) = mcpm(&args);
+    assert!(ok1, "{stderr}");
+    assert!(batched.contains("\"power_reduction_pct\":"), "{batched}");
+    let mut with_backend = args.to_vec();
+    with_backend.extend(["--backend", "bitsliced"]);
+    let (ok2, sliced, stderr) = mcpm(&with_backend);
+    assert!(ok2, "{stderr}");
+    assert_eq!(
+        batched, sliced,
+        "the retrofit report must not encode the verification backend"
+    );
+    assert!(!sliced.contains("backend"), "{sliced}");
+}
+
+#[test]
+fn unknown_backend_name_is_rejected() {
+    let (ok, _, stderr) = mcpm(&["explore", "--benchmark", "hal", "--backend", "vectorised"]);
+    assert!(!ok, "unknown backend names must not fall back to a default");
+    assert!(
+        stderr.contains("invalid value `vectorised` for --backend"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("batched"), "{stderr}");
+    assert!(stderr.contains("bitsliced"), "{stderr}");
 }
 
 #[test]
@@ -378,6 +422,57 @@ fn trace_counters_are_identical_across_runs() {
         "deterministic counters must be bit-identical across runs"
     );
     assert!(counters[0].contains("\"pool.tasks\":"), "{}", counters[0]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bitsliced_trace_counters_are_identical_across_runs_and_thread_counts() {
+    let dir = std::env::temp_dir().join("mcpm-cli-bitslice-trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut counters = Vec::new();
+    for (name, threads) in [("a.json", None), ("b.json", None), ("seq.json", Some("1"))] {
+        let path = dir.join(name);
+        let path_str = path.to_str().unwrap().to_owned();
+        let mut args = vec![
+            "explore",
+            "--benchmark",
+            "hal",
+            "--computations",
+            "24",
+            "--budget",
+            "5",
+            "--seeds",
+            "4",
+            "--backend",
+            "bitsliced",
+            "--trace",
+            &path_str,
+        ];
+        if let Some(t) = threads {
+            args.extend(["--threads", t]);
+        }
+        let (ok, _, stderr) = mcpm(&args);
+        assert!(ok, "{stderr}");
+        let (ok, stdout, stderr) = mcpm(&["trace-summary", &path_str, "--counters"]);
+        assert!(ok, "{stderr}");
+        counters.push(stdout);
+    }
+    assert_eq!(
+        counters[0], counters[1],
+        "bit-sliced counters must be bit-identical across runs"
+    );
+    assert_eq!(
+        counters[0], counters[2],
+        "bit-sliced counters must be bit-identical across thread counts"
+    );
+    for key in [
+        "\"sim.bitslice.planes\":",
+        "\"sim.bitslice.plane_ops\":",
+        "\"sim.bitslice.popcounts\":",
+        "\"sim.bitslice.fallback_transposes\":",
+    ] {
+        assert!(counters[0].contains(key), "missing {key}: {}", counters[0]);
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
 
