@@ -192,9 +192,20 @@ pub fn paper_table_parallel(
     computations: usize,
     seed: u64,
 ) -> Result<Table, SynthesisError> {
-    let flow = flow_for(bm, computations, seed);
+    paper_table_parallel_in(&flow_for(bm, computations, seed), bm.name())
+}
+
+/// [`paper_table_parallel`] against a caller-owned [`Flow`], so a
+/// long-lived consumer (the serve layer) can keep the flow's artifact
+/// cache warm across tables. Bit-identical to the one-shot variant: cached
+/// artifacts are content-keyed and proven equal to recomputation.
+///
+/// # Errors
+///
+/// Propagates [`SynthesisError`] from any row.
+pub fn paper_table_parallel_in(flow: &Flow, benchmark: &str) -> Result<Table, SynthesisError> {
     let evaluated = flow.evaluate_styles_parallel(&DesignStyle::paper_rows())?;
-    Ok(Table::from_evaluated(bm.name().to_owned(), evaluated))
+    Ok(Table::from_evaluated(benchmark.to_owned(), evaluated))
 }
 
 /// Evaluates an arbitrary style set as one instrumented
@@ -254,7 +265,19 @@ pub fn clock_sweep_parallel(
     computations: usize,
     seed: u64,
 ) -> Result<Vec<(u32, DesignReport)>, SynthesisError> {
-    let flow = flow_for(bm, computations, seed);
+    clock_sweep_parallel_in(&flow_for(bm, computations, seed), max_clocks)
+}
+
+/// [`clock_sweep_parallel`] against a caller-owned [`Flow`] (see
+/// [`paper_table_parallel_in`] for why).
+///
+/// # Errors
+///
+/// Propagates [`SynthesisError`] from any configuration.
+pub fn clock_sweep_parallel_in(
+    flow: &Flow,
+    max_clocks: u32,
+) -> Result<Vec<(u32, DesignReport)>, SynthesisError> {
     let styles: Vec<DesignStyle> = (1..=max_clocks).map(DesignStyle::MultiClock).collect();
     let evaluated = flow.evaluate_styles_parallel(&styles)?;
     Ok(evaluated

@@ -832,6 +832,11 @@ impl Flow {
                 diagnostics,
             });
         }
+        // A genuine (uncached) pipeline run. The span/counter pair lets
+        // callers that promise "no recompute" — the serve layer's warm
+        // cache path — assert it through the trace machinery.
+        let _run = mc_trace::span("flow.run");
+        mc_trace::count_runtime("flow.runs", 1);
         let datapath = self.datapath(style, &mut ctx)?;
         let trace = ctx.run(
             &SimulatePass {

@@ -14,7 +14,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Arc, Mutex};
 
 use mc_prng::{SplitMix64, Xoshiro256};
 
@@ -117,6 +117,89 @@ where
         .collect()
 }
 
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent bounded worker pool over the same scoped-thread
+/// discipline as [`run_indexed`], for long-lived consumers (the `mcpm
+/// serve` connection handlers) that submit work one job at a time instead
+/// of as a fixed task list.
+///
+/// Jobs drain from one shared queue into `threads` workers; dropping (or
+/// [`WorkerPool::join`]ing) the pool closes the queue, lets every already
+/// submitted job finish, and joins the workers — a graceful drain, never
+/// an abort. Each job runs under the usual `pool.task` span and
+/// `pool.tasks` counter, and workers flush their trace buffers before
+/// exiting (the same hand-off contract `run_indexed` documents). A
+/// panicking job is caught and discarded so one bad request cannot shrink
+/// the pool.
+pub struct WorkerPool {
+    sender: Option<mpsc::Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers (floored at 1) draining a shared queue.
+    #[must_use]
+    pub fn new(threads: usize) -> WorkerPool {
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads.max(1))
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::spawn(move || {
+                    loop {
+                        // Hold the lock only for the dequeue, not the job.
+                        let job = receiver.lock().expect("pool queue lock").recv();
+                        match job {
+                            Ok(job) => {
+                                let _span = mc_trace::span("pool.task");
+                                mc_trace::count("pool.tasks", 1);
+                                // A panic must not kill the worker: the
+                                // pool outlives any single job.
+                                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                            }
+                            Err(_) => break, // queue closed: drain complete
+                        }
+                    }
+                    mc_trace::flush();
+                })
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Queues a job; some worker runs it as soon as one is free. Returns
+    /// `false` if the pool is already shutting down.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        match &self.sender {
+            Some(tx) => tx.send(Box::new(job)).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Closes the queue, waits for every submitted job to finish, and
+    /// joins the workers.
+    pub fn join(mut self) {
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        self.sender.take(); // closes the channel once all clones drop
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,5 +247,49 @@ mod tests {
     fn default_threads_is_sane() {
         let t = default_threads();
         assert!((1..=8).contains(&t));
+    }
+
+    #[test]
+    fn worker_pool_runs_every_submitted_job() {
+        let pool = WorkerPool::new(4);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let done = Arc::clone(&done);
+            assert!(pool.submit(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        pool.join();
+        assert_eq!(done.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn worker_pool_survives_panicking_job() {
+        let pool = WorkerPool::new(2);
+        let done = Arc::new(AtomicUsize::new(0));
+        pool.submit(|| panic!("bad job"));
+        for _ in 0..8 {
+            let done = Arc::clone(&done);
+            pool.submit(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.join();
+        assert_eq!(done.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn worker_pool_drop_drains_queue() {
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(1);
+            for _ in 0..16 {
+                let done = Arc::clone(&done);
+                pool.submit(move || {
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        } // Drop must wait for all 16, not abort mid-queue.
+        assert_eq!(done.load(Ordering::SeqCst), 16);
     }
 }

@@ -1,0 +1,154 @@
+//! Service-layer latency benchmark: cold (every request a fresh cache
+//! key, paying the full synthesis/evaluation pipeline) vs warm (one
+//! identical request repeated, answered off the sharded disk cache), plus
+//! coalesced throughput (concurrent duplicates of an unseen key sharing a
+//! single pipeline run). Emits `BENCH_serve.json`.
+//!
+//! The server runs in-process on an ephemeral port and is exercised over
+//! real TCP, so every number includes the HTTP round trip — the cache is
+//! only a win if it beats the pipeline *including* that overhead, and the
+//! bench asserts it does by at least 5x (medians, so one descheduled
+//! iteration cannot skew the ratio). Warm responses are also asserted
+//! byte-identical to the response that populated the cache.
+//!
+//! Run with `cargo bench -p mc-serve --bench serve_latency`. The JSON
+//! lands at `$MC_SERVE_OUT` (default `BENCH_serve.json` in the working
+//! directory); `MC_BENCH_ITERS` adjusts the iteration count.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use mc_bench::harness::{iterations, median_duration, JsonObj};
+use mc_serve::http::http_request;
+use mc_serve::{ServeConfig, Server};
+
+/// Monte-Carlo depth of each sweep request — enough that the pipeline
+/// dominates the HTTP round trip on the cold path.
+const COMPUTATIONS: usize = 400;
+/// Concurrent duplicate requests in the coalescing stage.
+const COALESCE_CLIENTS: usize = 8;
+
+fn post(addr: &str, path: &str, body: &str) -> String {
+    let (status, text) = http_request(addr, "POST", path, body).expect("request succeeds");
+    assert_eq!(status, 200, "{text}");
+    text
+}
+
+fn flow_runs(addr: &str) -> u64 {
+    let (status, text) = http_request(addr, "GET", "/stats", "").expect("stats request");
+    assert_eq!(status, 200, "{text}");
+    let doc = mc_trace::json::parse(&text).expect("stats is JSON");
+    doc.get("flow_runs")
+        .and_then(mc_trace::json::Value::as_f64)
+        .expect("flow_runs in stats") as u64
+}
+
+fn sweep_body(benchmark: &str, seed: u64) -> String {
+    format!(
+        r#"{{"benchmark":"{benchmark}","max_clocks":3,"computations":{COMPUTATIONS},"seed":{seed}}}"#
+    )
+}
+
+fn main() {
+    let iters = iterations();
+    let cache_dir = std::env::temp_dir().join(format!("mcpm-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        cache_dir: cache_dir.clone(),
+        threads: 4,
+    };
+    let server = Server::bind(&config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let run = std::thread::spawn(move || server.run().expect("server run"));
+
+    // Cold: the seed is part of the cache key, so a fresh seed per
+    // iteration defeats both the disk cache and the in-memory flow pool —
+    // every request is a genuine pipeline run.
+    let mut cold = Vec::with_capacity(iters);
+    for i in 0..iters {
+        let body = sweep_body("facet", 1_000 + i as u64);
+        let t = Instant::now();
+        post(&addr, "/sweep", &body);
+        cold.push(t.elapsed());
+    }
+
+    // Warm: populate once, then repeat the identical request — every
+    // timed answer comes off disk, byte-identical to the original.
+    let warm_request = sweep_body("facet", 42);
+    let reference = post(&addr, "/sweep", &warm_request);
+    let mut warm = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        let text = post(&addr, "/sweep", &warm_request);
+        warm.push(t.elapsed());
+        assert_eq!(text, reference, "warm response must replay cached bytes");
+    }
+
+    let cold_med = median_duration(&cold);
+    let warm_med = median_duration(&warm);
+    let speedup = cold_med.as_secs_f64() / warm_med.as_secs_f64().max(1e-9);
+    assert!(
+        speedup >= 5.0,
+        "cache hit must be >=5x faster than a pipeline run \
+         (cold {cold_med:?} vs warm {warm_med:?}, {speedup:.1}x)"
+    );
+
+    // Coalescing: concurrent duplicates of a key nobody has asked for
+    // yet. However the arrivals interleave, the pipeline runs once.
+    let runs_before = flow_runs(&addr);
+    let coalesce_request = sweep_body("hal", 7);
+    let t = Instant::now();
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let (addr, body) = (&addr, &coalesce_request);
+        let handles: Vec<_> = (0..COALESCE_CLIENTS)
+            .map(|_| scope.spawn(move || post(addr, "/sweep", body)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = t.elapsed();
+    for other in &bodies[1..] {
+        assert_eq!(*other, bodies[0], "coalesced responses must be identical");
+    }
+    let runs_delta = flow_runs(&addr) - runs_before;
+    assert_eq!(
+        runs_delta, 1,
+        "duplicates must share exactly one pipeline run"
+    );
+    let coalesced_rps = COALESCE_CLIENTS as f64 / wall.as_secs_f64().max(1e-9);
+
+    let (status, _) = http_request(&addr, "POST", "/shutdown", "").expect("shutdown");
+    assert_eq!(status, 200);
+    run.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    println!(
+        "serve_latency: cold {:>10.3?}  warm {:>10.3?}  speedup {speedup:>7.1}x  \
+         coalesced {COALESCE_CLIENTS} clients in {wall:.3?} ({coalesced_rps:.0} req/s, \
+         {runs_delta} flow run)",
+        cold_med, warm_med
+    );
+
+    let coalesced = JsonObj::new()
+        .num("clients", COALESCE_CLIENTS)
+        .num("wall_ms", wall.as_secs_f64() * 1e3)
+        .num("requests_per_sec", coalesced_rps)
+        .num("flow_runs_delta", runs_delta)
+        .finish();
+    let json = JsonObj::new()
+        .str("bench", "serve_latency")
+        .num("iterations", iters)
+        .num("computations", COMPUTATIONS)
+        .num("cold_ms", cold_med.as_secs_f64() * 1e3)
+        .num("warm_ms", warm_med.as_secs_f64() * 1e3)
+        .num("cold_over_warm_speedup", speedup)
+        .bool("warm_bytes_identical", true)
+        .raw("coalesced", &coalesced)
+        .finish();
+    let out_path = std::env::var("MC_SERVE_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+    let mut file = std::fs::File::create(&out_path)
+        .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
+    file.write_all(json.as_bytes()).expect("write bench json");
+    file.write_all(b"\n").expect("write bench json");
+    println!("wrote {out_path}");
+}

@@ -1,0 +1,248 @@
+//! Request coalescing: N identical in-flight requests share one compute.
+//!
+//! The first arrival for a key becomes the *leader* and runs the compute
+//! closure; every later arrival for the same key blocks on a condvar and
+//! receives the leader's result. The ordering invariant that makes "two
+//! concurrent identical requests → exactly one flow run" deterministic
+//! rather than probabilistic: the leader publishes its result (and, in the
+//! server, writes the disk cache — the compute closure does that before
+//! returning) *before* removing the key from the in-flight map. A request
+//! arriving at any moment therefore either joins the in-flight entry or
+//! finds the finished result in the disk cache; there is no window where
+//! it could start a second compute.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The shared result type: the response body, cheap to clone to any
+/// number of waiters, or an error message.
+pub type Shared = Result<Arc<String>, String>;
+
+#[derive(Debug)]
+struct Inflight {
+    done: Mutex<Option<Shared>>,
+    ready: Condvar,
+}
+
+impl Inflight {
+    fn publish(&self, result: Shared) {
+        *self.done.lock().expect("inflight lock") = Some(result);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Shared {
+        let mut done = self.done.lock().expect("inflight lock");
+        loop {
+            match &*done {
+                Some(result) => return result.clone(),
+                None => done = self.ready.wait(done).expect("inflight lock"),
+            }
+        }
+    }
+}
+
+/// What [`Coalescer::run`] did for this caller.
+#[derive(Debug)]
+pub struct Outcome {
+    /// The computed (or shared) response body.
+    pub result: Shared,
+    /// `true` when this caller piggybacked on another request's compute.
+    pub coalesced: bool,
+}
+
+/// Deduplicates concurrent identical requests by cache key.
+#[derive(Debug, Default)]
+pub struct Coalescer {
+    inflight: Mutex<HashMap<u64, Arc<Inflight>>>,
+}
+
+impl Coalescer {
+    /// Creates an empty coalescer.
+    #[must_use]
+    pub fn new() -> Coalescer {
+        Coalescer::default()
+    }
+
+    /// How many keys are being computed right now.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.inflight.lock().expect("inflight map lock").len()
+    }
+
+    /// Runs `compute` for `key`, unless an identical request is already in
+    /// flight — then blocks until that one finishes and shares its result.
+    pub fn run(&self, key: u64, compute: impl FnOnce() -> Shared) -> Outcome {
+        let (entry, leader) = {
+            let mut map = self.inflight.lock().expect("inflight map lock");
+            match map.get(&key) {
+                Some(entry) => (Arc::clone(entry), false),
+                None => {
+                    let entry = Arc::new(Inflight {
+                        done: Mutex::new(None),
+                        ready: Condvar::new(),
+                    });
+                    map.insert(key, Arc::clone(&entry));
+                    (Arc::clone(&entry), true)
+                }
+            }
+        };
+        if !leader {
+            return Outcome {
+                result: entry.wait(),
+                coalesced: true,
+            };
+        }
+        // If `compute` panics, the guard still wakes the waiters with an
+        // error and clears the key, so nobody blocks forever and the next
+        // request retries cleanly.
+        let guard = LeaderGuard {
+            coalescer: self,
+            key,
+            entry: &entry,
+            published: false,
+        };
+        let result = compute();
+        guard.finish(result.clone());
+        Outcome {
+            result,
+            coalesced: false,
+        }
+    }
+
+    fn remove(&self, key: u64) {
+        self.inflight
+            .lock()
+            .expect("inflight map lock")
+            .remove(&key);
+    }
+}
+
+struct LeaderGuard<'a> {
+    coalescer: &'a Coalescer,
+    key: u64,
+    entry: &'a Inflight,
+    published: bool,
+}
+
+impl LeaderGuard<'_> {
+    fn finish(mut self, result: Shared) {
+        self.entry.publish(result);
+        self.published = true;
+        // Publish first, remove second — see the module invariant.
+        self.coalescer.remove(self.key);
+    }
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.entry.publish(Err(
+                "internal error: request computation panicked".to_owned()
+            ));
+            self.coalescer.remove(self.key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn single_caller_computes_uncoalesced() {
+        let c = Coalescer::new();
+        let out = c.run(1, || Ok(Arc::new("body".to_owned())));
+        assert!(!out.coalesced);
+        assert_eq!(*out.result.unwrap(), "body");
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_compute_once() {
+        let c = Arc::new(Coalescer::new());
+        let computes = Arc::new(AtomicUsize::new(0));
+        let start = Arc::new(Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let (c, computes, start) =
+                    (Arc::clone(&c), Arc::clone(&computes), Arc::clone(&start));
+                std::thread::spawn(move || {
+                    start.wait();
+                    c.run(42, move || {
+                        computes.fetch_add(1, Ordering::SeqCst);
+                        // Hold the in-flight window open long enough for
+                        // the other callers to arrive.
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        Ok(Arc::new("shared".to_owned()))
+                    })
+                })
+            })
+            .collect();
+        let outcomes: Vec<Outcome> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "exactly one compute");
+        assert!(outcomes
+            .iter()
+            .all(|o| *o.result.clone().unwrap() == "shared"));
+        assert_eq!(
+            outcomes.iter().filter(|o| o.coalesced).count(),
+            7,
+            "everyone but the leader coalesces"
+        );
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let c = Coalescer::new();
+        let a = c.run(1, || Ok(Arc::new("a".to_owned())));
+        let b = c.run(2, || Ok(Arc::new("b".to_owned())));
+        assert!(!a.coalesced && !b.coalesced);
+    }
+
+    #[test]
+    fn errors_are_shared_and_key_is_cleared() {
+        let c = Coalescer::new();
+        let out = c.run(5, || Err("boom".to_owned()));
+        assert_eq!(out.result.unwrap_err(), "boom");
+        // The failed key is gone: the next caller recomputes.
+        let out = c.run(5, || Ok(Arc::new("ok".to_owned())));
+        assert_eq!(*out.result.unwrap(), "ok");
+    }
+
+    #[test]
+    fn panicking_leader_wakes_waiters_with_an_error() {
+        let c = Arc::new(Coalescer::new());
+        let start = Arc::new(Barrier::new(2));
+        let waiter = {
+            let (c, start) = (Arc::clone(&c), Arc::clone(&start));
+            std::thread::spawn(move || {
+                start.wait();
+                // Give the leader time to claim the key.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                c.run(9, || Ok(Arc::new("fallback".to_owned())))
+            })
+        };
+        let leader = {
+            let (c, start) = (Arc::clone(&c), Arc::clone(&start));
+            std::thread::spawn(move || {
+                start.wait();
+                c.run(9, || {
+                    std::thread::sleep(std::time::Duration::from_millis(60));
+                    panic!("leader died");
+                })
+            })
+        };
+        assert!(leader.join().is_err());
+        let out = waiter.join().unwrap();
+        // The waiter either coalesced onto the panicking leader (error
+        // shared) or arrived after cleanup and computed fresh.
+        if out.coalesced {
+            assert!(out.result.unwrap_err().contains("panicked"));
+        } else {
+            assert_eq!(*out.result.unwrap(), "fallback");
+        }
+        assert_eq!(c.in_flight(), 0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Just enough HTTP/1.1 to serve and query JSON endpoints over
+//! `std::net` — hand-rolled, keeping the crate dependency-free like
+//! mc-prng and mc-trace.
+//!
+//! The server side reads one request per connection (`Connection: close`
+//! semantics) with hard caps on header and body size; the client side
+//! ([`http_request`]) exists so tests, `scripts/ci.sh`, and `mcpm
+//! request` can talk to the server without assuming `curl` is installed.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Maximum accepted header block (request line + headers).
+const MAX_HEAD: usize = 16 * 1024;
+/// Maximum accepted request body.
+const MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method verb, e.g. `GET` / `POST`.
+    pub method: String,
+    /// The request path, e.g. `/eval`.
+    pub path: String,
+    /// The (possibly empty) body.
+    pub body: String,
+}
+
+/// A request-reading failure, carrying the HTTP status to answer with.
+#[derive(Debug)]
+pub struct HttpError {
+    /// Status code for the error response (400/413/...).
+    pub status: u16,
+    /// Human-readable reason, returned in the JSON error body.
+    pub message: String,
+}
+
+impl HttpError {
+    fn bad(message: impl Into<String>) -> HttpError {
+        HttpError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+/// Reads and parses one HTTP/1.1 request from `stream`.
+///
+/// # Errors
+///
+/// Returns an [`HttpError`] (with the status to respond with) on
+/// malformed requests, oversized heads/bodies, or I/O failures.
+pub fn read_request<R: Read>(stream: &mut R) -> Result<Request, HttpError> {
+    // Read byte-wise until the blank line; requests are small and this
+    // avoids over-reading into the body.
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEAD {
+            return Err(HttpError {
+                status: 431,
+                message: format!("request header exceeds {MAX_HEAD} bytes"),
+            });
+        }
+        match stream.read(&mut byte) {
+            Ok(0) => return Err(HttpError::bad("connection closed mid-header")),
+            Ok(_) => head.push(byte[0]),
+            Err(e) => return Err(HttpError::bad(format!("read error: {e}"))),
+        }
+    }
+    let head = std::str::from_utf8(&head).map_err(|_| HttpError::bad("non-UTF-8 header"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::bad(format!(
+            "malformed request line `{request_line}`"
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError {
+            status: 505,
+            message: format!("unsupported protocol `{version}`"),
+        });
+    }
+    let mut content_length = 0usize;
+    for line in lines.filter(|l| !l.is_empty()) {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::bad(format!("bad Content-Length `{}`", value.trim())))?;
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(HttpError {
+            status: 413,
+            message: format!("request body exceeds {MAX_BODY} bytes"),
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    stream
+        .read_exact(&mut body)
+        .map_err(|e| HttpError::bad(format!("truncated body: {e}")))?;
+    let body = String::from_utf8(body).map_err(|_| HttpError::bad("non-UTF-8 body"))?;
+    Ok(Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        body,
+    })
+}
+
+/// The standard reason phrase for the statuses this server emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one `Connection: close` JSON response.
+///
+/// # Errors
+///
+/// Propagates write failures (the server logs and drops the connection).
+pub fn write_response<W: Write>(stream: &mut W, status: u16, body: &str) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        reason(status),
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// Minimal blocking HTTP client: one request, one response, connection
+/// closed. Returns `(status, body)`.
+///
+/// # Errors
+///
+/// Propagates connection/IO failures and malformed responses.
+pub fn http_request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: mcpm-serve\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// Splits a raw HTTP response into `(status, body)`.
+///
+/// # Errors
+///
+/// Fails on responses without a valid status line or header terminator.
+pub fn parse_response(raw: &[u8]) -> io::Result<(u16, String)> {
+    let invalid = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| invalid("no header/body separator in response"))?;
+    let head =
+        std::str::from_utf8(&raw[..split]).map_err(|_| invalid("non-UTF-8 response head"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| invalid("malformed status line"))?;
+    let body = String::from_utf8(raw[split + 4..].to_vec())
+        .map_err(|_| invalid("non-UTF-8 response body"))?;
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /eval HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/eval");
+        assert_eq!(req.body, "hello");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn content_length_is_case_insensitive() {
+        let raw = b"POST /x HTTP/1.0\r\ncontent-LENGTH: 2\r\n\r\nok";
+        assert_eq!(read_request(&mut &raw[..]).unwrap().body, "ok");
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for (raw, status) in [
+            (&b"garbage\r\n\r\n"[..], 400),
+            (&b"GET /x SPDY/3\r\n\r\n"[..], 505),
+            (&b"POST /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n"[..], 400),
+            (
+                &b"POST /x HTTP/1.1\r\nContent-Length: 99\r\n\r\nshort"[..],
+                400,
+            ),
+        ] {
+            let err = read_request(&mut &raw[..]).unwrap_err();
+            assert_eq!(err.status, status, "{}", err.message);
+        }
+    }
+
+    #[test]
+    fn oversized_header_is_rejected() {
+        let mut raw = b"GET /".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEAD + 10));
+        let err = read_request(&mut &raw[..]).unwrap_err();
+        assert_eq!(err.status, 431);
+    }
+
+    #[test]
+    fn response_round_trips_through_the_client_parser() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 200, "{\"ok\":true}\n").unwrap();
+        let (status, body) = parse_response(&wire).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"ok\":true}\n");
+    }
+}

@@ -1,0 +1,70 @@
+//! In-process proof, through the trace machinery, that identical
+//! requests share one pipeline run: concurrent duplicates either
+//! coalesce onto the in-flight leader or hit the cache entry the leader
+//! published, so `flow.runs` stays at exactly 1.
+//!
+//! This lives in its own test binary on purpose — `mc_trace` counters
+//! are process-global, and any other test recording spans in parallel
+//! would pollute the totals asserted here.
+
+use mc_serve::http::http_request;
+use mc_serve::{ServeConfig, Server};
+
+#[test]
+fn duplicate_requests_produce_exactly_one_flow_run() {
+    mc_trace::enable();
+    let cache_dir = std::env::temp_dir().join(format!(
+        "mcpm-serve-test-{}-trace-coalesce",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        cache_dir: cache_dir.clone(),
+        threads: 4,
+    };
+    let server = Server::bind(&config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let run = std::thread::spawn(move || server.run().expect("server run"));
+
+    // One sweep point = one pipeline run, so `flow.runs` below is an
+    // exact count rather than styles-times-requests arithmetic.
+    let body = r#"{"benchmark":"facet","max_clocks":1,"computations":30}"#;
+    let responses: Vec<String> = std::thread::scope(|scope| {
+        let addr = &addr;
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                scope.spawn(move || {
+                    let (status, text) =
+                        http_request(addr, "POST", "/sweep", body).expect("eval request");
+                    assert_eq!(status, 200, "{text}");
+                    text
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(responses[0], responses[1]);
+
+    // A third request after both returned is a guaranteed disk-cache hit.
+    let (status, text) = http_request(&addr, "POST", "/sweep", body).expect("third request");
+    assert_eq!(status, 200);
+    assert_eq!(text, responses[0]);
+
+    let (status, _) = http_request(&addr, "POST", "/shutdown", "").expect("shutdown");
+    assert_eq!(status, 200);
+    run.join().expect("server thread");
+    mc_trace::disable();
+    let trace = mc_trace::take();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let counter = |name: &str| trace.runtime_counters.get(name).copied().unwrap_or(0);
+    assert_eq!(counter("flow.runs"), 1, "{:?}", trace.runtime_counters);
+    // The duplicate either coalesced (still in flight) or hit the cache
+    // (leader already published); the third request always hits.
+    assert_eq!(counter("serve.cache.hit") + counter("serve.coalesced"), 2);
+    assert!(counter("serve.cache.miss") >= 1);
+    let spans = trace.span_counts();
+    assert_eq!(spans.get("serve.compute").copied().unwrap_or(0), 1);
+    assert_eq!(spans.get("serve.request.sweep").copied().unwrap_or(0), 3);
+}

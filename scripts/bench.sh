@@ -73,3 +73,16 @@ cargo build --release -q --bin mcpm
 
 test -s "$EXPLORE_OUT" || { echo "bench.sh: $EXPLORE_OUT missing or empty" >&2; exit 1; }
 echo "==> bench.sh: wrote $EXPLORE_OUT"
+
+# Service layer: cold (fresh cache key, full pipeline per request) vs
+# warm (identical request answered off the sharded disk cache) latency
+# over real TCP, plus coalesced throughput (concurrent duplicates of an
+# unseen key sharing one pipeline run). The bench itself asserts the
+# warm path is >=5x faster and replays byte-identical responses before
+# any number is written.
+SERVE_OUT="${MC_SERVE_OUT:-$(pwd)/BENCH_serve.json}"
+echo "==> cargo bench -p mc-serve --bench serve_latency (out: $SERVE_OUT)"
+MC_SERVE_OUT="$SERVE_OUT" cargo bench -p mc-serve --bench serve_latency
+
+test -s "$SERVE_OUT" || { echo "bench.sh: $SERVE_OUT missing or empty" >&2; exit 1; }
+echo "==> bench.sh: wrote $SERVE_OUT"

@@ -105,4 +105,32 @@ echo "==> trace smoke: schema + counter determinism"
 cmp "$SMOKE_DIR/t1.counters" "$SMOKE_DIR/t2.counters" \
     || { echo "ci.sh: trace counters differ between runs" >&2; exit 1; }
 
+# Serve smoke: boot the persistent service on an ephemeral port, check
+# health over raw TCP, diff one served /eval byte for byte against the
+# one-shot CLI's --json output (captured via redirection — stdout and
+# the HTTP body are the same bytes), then drain it gracefully.
+echo "==> serve smoke: health + byte-identity + graceful shutdown"
+./target/release/mcpm serve --addr 127.0.0.1:0 \
+    --cache-dir "$SMOKE_DIR/serve-cache" > "$SMOKE_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2> /dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
+for _ in $(seq 50); do
+    grep -q "listening on" "$SMOKE_DIR/serve.log" && break
+    sleep 0.1
+done
+SERVE_ADDR="$(sed -n 's#.*http://\([0-9.:]*\).*#\1#p' "$SMOKE_DIR/serve.log")"
+test -n "$SERVE_ADDR" \
+    || { echo "ci.sh: mcpm serve never announced its address" >&2; exit 1; }
+./target/release/mcpm request --addr "$SERVE_ADDR" --get --path /healthz > /dev/null
+./target/release/mcpm request --addr "$SERVE_ADDR" --path /eval \
+    --body '{"benchmark":"facet","computations":40}' > "$SMOKE_DIR/eval.served.json"
+./target/release/mcpm eval --benchmark facet --computations 40 --json \
+    > "$SMOKE_DIR/eval.cli.json"
+cmp "$SMOKE_DIR/eval.served.json" "$SMOKE_DIR/eval.cli.json" \
+    || { echo "ci.sh: served /eval differs from CLI --json output" >&2; exit 1; }
+./target/release/mcpm request --addr "$SERVE_ADDR" --path /shutdown > /dev/null
+wait "$SERVE_PID" \
+    || { echo "ci.sh: mcpm serve exited non-zero after shutdown" >&2; exit 1; }
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+
 echo "==> ci.sh: all checks passed"

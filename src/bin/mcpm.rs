@@ -18,11 +18,11 @@ use std::fmt;
 use std::process::ExitCode;
 
 use multiclock::alloc::Strategy;
-use multiclock::bench::harness::{json_array, JsonObj};
 use multiclock::dfg::benchmarks::{self, Benchmark};
 use multiclock::explore::{ExploreSpace, Explorer};
 use multiclock::power::{per_component_power, profile::power_profile};
 use multiclock::rtl::{export, PowerMode};
+use multiclock::serve::api;
 use multiclock::sim::{simulate, vcd, BatchBackend, SimConfig};
 use multiclock::tech::MemKind;
 use multiclock::trace::summary::TraceSummary;
@@ -126,6 +126,8 @@ fn valid_flags(command: &str) -> Option<&'static [&'static str]> {
                         "parallel", "backend", "export", "json", "out", "trace"],
         "top" => &["benchmark", "file", "computations", "seed", "clocks", "strategy",
                    "mem", "count"],
+        "serve" => &["addr", "cache-dir", "threads", "trace"],
+        "request" => &["addr", "path", "body", "get", "out"],
         "stats" => &["benchmark", "file", "computations", "seed", "clocks", "strategy",
                      "mem", "seeds"],
         "trace-summary" => &["counters"],
@@ -323,6 +325,13 @@ fn usage() -> &'static str {
      \x20         [--backend batched|bitsliced] [--export vhdl|mcnl] [--json] [--out FILE]\n\
      \x20         (--file reads exported VHDL or the mcnl format; --benchmark\n\
      \x20         round-trips through VHDL first)\n\
+     \x20 serve   [--addr HOST:PORT]             run as a persistent HTTP service\n\
+     \x20         [--cache-dir DIR] [--threads T]  (POST /eval /sweep /explore /retrofit,\n\
+     \x20         GET /healthz /stats, POST /shutdown; responses byte-identical to the\n\
+     \x20         one-shot --json output, cached on disk, identical in-flight requests\n\
+     \x20         coalesced)\n\
+     \x20 request [--addr HOST:PORT] --path /eval [--body JSON | --get]   tiny HTTP\n\
+     \x20         client for the service (for scripts without curl)\n\
      \x20 profile --benchmark NAME --clocks N    power-over-time (folded by period)\n\
      \x20 top     --benchmark NAME --clocks N [--count K]   hottest components\n\
      \x20 stats   --benchmark NAME --clocks N [--seeds K]   power spread across seeds\n\
@@ -408,28 +417,34 @@ fn style_from(args: &Args) -> Result<DesignStyle, CliError> {
     })
 }
 
-/// Serialises an experiment table with the bench-harness JSON
-/// conventions (`f64` via `Display`: shortest round-trip, deterministic).
-fn table_json(table: &multiclock::experiment::Table, seed: u64, computations: usize) -> String {
-    let rows = json_array(table.rows.iter().map(|row| {
-        JsonObj::new()
-            .str("style", &row.label)
-            .num("power_mw", row.report.power.total_mw)
-            .num("area_lambda2", row.report.area.total_lambda2)
-            .str("alus", &row.report.stats.alu_summary())
-            .num("mem_cells", row.report.stats.mem_cells)
-            .num("mux_inputs", row.report.stats.mux_inputs)
-            .finish()
-    }));
-    let mut doc = JsonObj::new()
-        .str("benchmark", &table.benchmark)
-        .num("seed", seed)
-        .num("computations", computations)
-        .raw("rows", &rows);
-    if let Some(red) = table.gated_to_best_multiclock_reduction() {
-        doc = doc.num("gated_to_best_multiclock_reduction", red);
+/// The design reference the service API wants, from `--benchmark` /
+/// `--file` (the file is read eagerly so the request is self-contained).
+fn design_ref(args: &Args) -> Result<api::DesignRef, CliError> {
+    match (args.get("benchmark"), args.get("file")) {
+        (Some(name), None) => Ok(api::DesignRef::Benchmark(name.to_owned())),
+        (None, Some(path)) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let name = std::path::Path::new(path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("user_design")
+                .to_owned();
+            Ok(api::DesignRef::Source { name, text })
+        }
+        (Some(_), Some(_)) => Err("pass either --benchmark or --file, not both".into()),
+        (None, None) => Err("missing --benchmark NAME or --file PATH".into()),
     }
-    doc.finish()
+}
+
+/// Runs one service-API request in-process and emits its JSON document —
+/// the single code path shared with `mcpm serve`, which is what makes
+/// server responses byte-identical to the CLI `--json` output.
+fn emit_api_json(args: &Args, request: &api::ApiRequest) -> Result<(), CliError> {
+    let json = request
+        .run_json(&api::FlowPool::new())
+        .map_err(CliError::Other)?;
+    emit(args, &json)
 }
 
 fn emit(args: &Args, text: &str) -> Result<(), CliError> {
@@ -489,14 +504,21 @@ fn dispatch(args: &Args) -> Result<(), CliError> {
             Ok(())
         }
         "eval" => {
+            if args.is_set("json") {
+                return emit_api_json(
+                    args,
+                    &api::ApiRequest::Eval(api::EvalRequest {
+                        design: design_ref(args)?,
+                        computations,
+                        seed,
+                    }),
+                );
+            }
             let bm = load_behavior(args)?;
             // Rows run concurrently through the pass pipeline; results
             // are bit-identical to the sequential path.
             let table = multiclock::experiment::paper_table_parallel(&bm, computations, seed)
                 .map_err(|e| e.to_string())?;
-            if args.is_set("json") {
-                return emit(args, &table_json(&table, seed, computations));
-            }
             println!("{}", table.render());
             if let Some(red) = table.gated_to_best_multiclock_reduction() {
                 println!("gated → best multiclock reduction: {:.1} %", red * 100.0);
@@ -545,28 +567,21 @@ fn dispatch(args: &Args) -> Result<(), CliError> {
             Ok(())
         }
         "sweep" => {
-            let bm = load_behavior(args)?;
             let max: u32 = args.parse_num_at_least("max-clocks", 6, 1)?;
+            if args.is_set("json") {
+                return emit_api_json(
+                    args,
+                    &api::ApiRequest::Sweep(api::SweepRequest {
+                        design: design_ref(args)?,
+                        max_clocks: max,
+                        computations,
+                        seed,
+                    }),
+                );
+            }
+            let bm = load_behavior(args)?;
             let sweep = multiclock::experiment::clock_sweep_parallel(&bm, max, computations, seed)
                 .map_err(|e| e.to_string())?;
-            if args.is_set("json") {
-                let rows = json_array(sweep.iter().map(|(n, rep)| {
-                    JsonObj::new()
-                        .num("clocks", n)
-                        .num("power_mw", rep.power.total_mw)
-                        .num("area_lambda2", rep.area.total_lambda2)
-                        .num("mem_cells", rep.stats.mem_cells)
-                        .num("mux_inputs", rep.stats.mux_inputs)
-                        .finish()
-                }));
-                let doc = JsonObj::new()
-                    .str("benchmark", bm.name())
-                    .num("seed", seed)
-                    .num("computations", computations)
-                    .raw("rows", &rows)
-                    .finish();
-                return emit(args, &doc);
-            }
             println!(
                 "{:>3} {:>9} {:>12} {:>6} {:>6}",
                 "n", "mW", "λ²", "mem", "muxin"
@@ -583,6 +598,41 @@ fn dispatch(args: &Args) -> Result<(), CliError> {
             Ok(())
         }
         "explore" => {
+            // The deterministic JSON document goes through the service
+            // API; `--timings` adds wall-clock fields the service (a
+            // byte-identity cache) deliberately does not serve.
+            if args.is_set("json") && !args.is_set("timings") {
+                let budget = match args.get("budget") {
+                    Some(_) => Some(args.parse_num_at_least("budget", 1, 1)?),
+                    None => None,
+                };
+                let threads = match args.get("threads") {
+                    Some(_) => Some(args.parse_num_at_least("threads", 1, 1)?),
+                    None => None,
+                };
+                return emit_api_json(
+                    args,
+                    &api::ApiRequest::Explore(api::ExploreRequest {
+                        design: design_ref(args)?,
+                        max_clocks: args.parse_num_at_least("max-clocks", 4, 1)?,
+                        voltages: args
+                            .parse_list("voltages", &[multiclock::explore::NOMINAL_VOLTS, 3.3])?,
+                        stretches: args.parse_list("stretch", &[2u32])?,
+                        budget,
+                        power_seeds: args.parse_num_at_least("seeds", 1, 1)?,
+                        batch: args.parse_num_at_least(
+                            "batch",
+                            multiclock::Flow::DEFAULT_BATCH,
+                            1,
+                        )?,
+                        computations,
+                        seed,
+                        parallel: !matches!(args.get("parallel"), Some("false")),
+                        threads,
+                        backend: args.parse_backend()?,
+                    }),
+                );
+            }
             let bm = load_behavior(args)?;
             let space = ExploreSpace {
                 n_max: args.parse_num_at_least("max-clocks", 4, 1)?,
@@ -606,12 +656,9 @@ fn dispatch(args: &Args) -> Result<(), CliError> {
             }
             let report = explorer.run(&bm).map_err(|e| e.to_string())?;
             if args.is_set("json") {
-                let doc = if args.is_set("timings") {
-                    report.to_json_with_timings()
-                } else {
-                    report.to_json()
-                };
-                return emit(args, &doc);
+                // Only `--json --timings` reaches here; the deterministic
+                // document returned above via the service API.
+                return emit(args, &report.to_json_with_timings());
             }
             let mut text = report.render_ranked();
             if args.is_set("timings") {
@@ -624,6 +671,20 @@ fn dispatch(args: &Args) -> Result<(), CliError> {
             use std::fmt::Write as _;
             let clocks: u32 = args.parse_num_at_least("clocks", 3, 2)?;
             let nseeds: usize = args.parse_num_at_least("seeds", 5, 1)?;
+            if args.is_set("json") && args.get("export").is_none() {
+                return emit_api_json(
+                    args,
+                    &api::ApiRequest::Retrofit(api::RetrofitRequest {
+                        design: design_ref(args)?,
+                        clocks,
+                        seeds: nseeds,
+                        computations,
+                        seed,
+                        parallel: !matches!(args.get("parallel"), Some("false")),
+                        backend: args.parse_backend()?,
+                    }),
+                );
+            }
             let r = match (args.get("benchmark"), args.get("file")) {
                 (Some(name), None) => {
                     // Round-trip through the VHDL exporter so the bundled
@@ -670,22 +731,6 @@ fn dispatch(args: &Args) -> Result<(), CliError> {
                     report.power_reduction_pct
                 );
                 return Ok(());
-            }
-            if args.is_set("json") {
-                let hist = json_array(report.phase_histogram.iter().map(|c| c.to_string()));
-                let doc = JsonObj::new()
-                    .str("design", r.original.name())
-                    .num("clocks", clocks)
-                    .num("seeds", report.seeds)
-                    .num("computations", report.computations)
-                    .num("original_power_mw", report.original.power.total_mw)
-                    .num("converted_power_mw", report.converted.power.total_mw)
-                    .num("power_reduction_pct", report.power_reduction_pct)
-                    .num("latency_factor", report.latency_factor)
-                    .num("shadows", report.shadows)
-                    .raw("registers_per_phase", &hist)
-                    .finish();
-                return emit(args, &doc);
             }
             let mut text = String::new();
             let _ = writeln!(
@@ -833,6 +878,62 @@ fn dispatch(args: &Args) -> Result<(), CliError> {
                 "  power {:.3} ± {:.3} mW  (min {:.3}, max {:.3})",
                 stats.mean_mw, stats.std_mw, stats.min_mw, stats.max_mw
             );
+            Ok(())
+        }
+        "serve" => {
+            use std::io::Write as _;
+            let defaults = multiclock::serve::ServeConfig::default();
+            let config = multiclock::serve::ServeConfig {
+                addr: args.get("addr").map_or(defaults.addr, str::to_owned),
+                cache_dir: args.get("cache-dir").map_or(defaults.cache_dir, Into::into),
+                threads: args.parse_num_at_least("threads", defaults.threads, 1)?,
+            };
+            let server = multiclock::serve::Server::bind(&config).map_err(|e| e.to_string())?;
+            let addr = server.local_addr().map_err(|e| e.to_string())?;
+            println!(
+                "mcpm serve listening on http://{addr} (cache: {}, {} worker{})",
+                config.cache_dir.display(),
+                config.threads,
+                if config.threads == 1 { "" } else { "s" }
+            );
+            // Piped stdout is block-buffered; scripts parse the line
+            // above to learn an ephemeral port, so push it out before
+            // blocking in accept.
+            let _ = std::io::stdout().flush();
+            server.run().map_err(|e| e.to_string())?;
+            // The supervisor may have closed our stdout by now (it only
+            // needed the banner); a farewell line is not worth a panic.
+            let _ = writeln!(
+                std::io::stdout(),
+                "mcpm serve: drained in-flight work, stopped"
+            );
+            Ok(())
+        }
+        "request" => {
+            let defaults = multiclock::serve::ServeConfig::default();
+            let addr = args.get("addr").unwrap_or(&defaults.addr);
+            let path = args
+                .get("path")
+                .ok_or("missing --path (e.g. --path /healthz)")?;
+            let (method, body) = if args.is_set("get") {
+                ("GET", "")
+            } else {
+                ("POST", args.get("body").unwrap_or(""))
+            };
+            let (status, body) = multiclock::serve::http::http_request(addr, method, path, body)
+                .map_err(|e| format!("request to `{addr}` failed: {e}"))?;
+            if status >= 400 {
+                return Err(format!("server answered HTTP {status}: {}", body.trim_end()).into());
+            }
+            match args.get("out") {
+                // Verbatim: the body already carries the CLI's trailing
+                // newline, keeping `--out` files diffable against
+                // redirected one-shot `--json` output.
+                Some(out) => {
+                    std::fs::write(out, &body).map_err(|e| format!("cannot write `{out}`: {e}"))?
+                }
+                None => print!("{body}"),
+            }
             Ok(())
         }
         "trace-summary" => {

@@ -50,3 +50,7 @@ pub use mc_explore as explore;
 /// Zero-cost-when-disabled structured tracing: spans, counters, Chrome
 /// `trace_event` export (`mcpm --trace` / `mcpm trace-summary`).
 pub use mc_trace as trace;
+
+/// The persistent synthesis/exploration service (`mcpm serve`): HTTP
+/// endpoints, sharded on-disk result cache, request coalescing.
+pub use mc_serve as serve;

@@ -1,0 +1,344 @@
+//! End-to-end tests of `mcpm serve`: spawn the real binary on an
+//! ephemeral port and talk to it over raw TCP, asserting that served
+//! responses are byte-identical to one-shot CLI `--json` output, that
+//! the on-disk cache survives a restart, and that errors surface as
+//! proper HTTP statuses and non-zero exits.
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+use multiclock::serve::http::http_request;
+
+fn mcpm(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_mcpm"))
+        .args(args)
+        .output()
+        .expect("mcpm runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// A live `mcpm serve` child on an ephemeral port; killed on drop.
+struct ServerHandle {
+    child: Child,
+    addr: String,
+    cache_dir: PathBuf,
+    // Keep the stdout pipe open for the child's lifetime so its farewell
+    // line has somewhere to go.
+    _stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl ServerHandle {
+    fn start(test: &str) -> ServerHandle {
+        let cache_dir =
+            std::env::temp_dir().join(format!("mcpm-serve-test-{}-{test}", std::process::id()));
+        ServerHandle::start_with_cache(cache_dir)
+    }
+
+    fn start_with_cache(cache_dir: PathBuf) -> ServerHandle {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_mcpm"))
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--threads",
+                "4",
+                "--cache-dir",
+            ])
+            .arg(&cache_dir)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("mcpm serve spawns");
+        // The binary flushes the banner before blocking in accept, so a
+        // single line read gives us the ephemeral port.
+        let mut line = String::new();
+        let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+        stdout.read_line(&mut line).expect("banner line");
+        let addr = line
+            .split("http://")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap_or_else(|| panic!("no address in banner {line:?}"))
+            .to_owned();
+        ServerHandle {
+            child,
+            addr,
+            cache_dir,
+            _stdout: stdout,
+        }
+    }
+
+    fn post(&self, path: &str, body: &str) -> (u16, String) {
+        http_request(&self.addr, "POST", path, body).expect("request succeeds")
+    }
+
+    fn get(&self, path: &str) -> (u16, String) {
+        http_request(&self.addr, "GET", path, "").expect("request succeeds")
+    }
+
+    fn stat(&self, field: &str) -> u64 {
+        let (status, body) = self.get("/stats");
+        assert_eq!(status, 200, "{body}");
+        let needle = format!("\"{field}\":");
+        let rest = body
+            .split(&needle)
+            .nth(1)
+            .unwrap_or_else(|| panic!("no {field} in {body}"));
+        rest.chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .expect("stat is a number")
+    }
+
+    /// Graceful drain via `POST /shutdown`, then reap the child. Leaves
+    /// the cache directory on disk (the restart test reuses it).
+    fn drain(mut self) -> PathBuf {
+        let (status, _) = self.post("/shutdown", "");
+        assert_eq!(status, 200);
+        let exit = self.child.wait().expect("server exits");
+        assert!(exit.success(), "server exit status {exit:?}");
+        // Dropping after wait(): kill() on a reaped pid is a no-op error
+        // we ignore in Drop.
+        self.cache_dir.clone()
+    }
+
+    /// [`drain`](Self::drain) plus cache-directory cleanup.
+    fn shutdown(self) {
+        let dir = self.drain();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        // The cache dir is deliberately left alone here: the restart test
+        // hands the same directory to a second server. Tests clean up via
+        // `shutdown()`, which removes it after the child is reaped.
+    }
+}
+
+#[test]
+fn served_responses_are_byte_identical_to_cli_json() {
+    let server = ServerHandle::start("byte-identity");
+    let cases: [(&[&str], &str, &str); 4] = [
+        (
+            &[
+                "eval",
+                "--benchmark",
+                "facet",
+                "--computations",
+                "40",
+                "--json",
+            ],
+            "/eval",
+            r#"{"benchmark":"facet","computations":40}"#,
+        ),
+        (
+            &[
+                "sweep",
+                "--benchmark",
+                "facet",
+                "--max-clocks",
+                "3",
+                "--computations",
+                "30",
+                "--json",
+            ],
+            "/sweep",
+            r#"{"benchmark":"facet","max_clocks":3,"computations":30}"#,
+        ),
+        (
+            &[
+                "explore",
+                "--benchmark",
+                "facet",
+                "--max-clocks",
+                "2",
+                "--budget",
+                "6",
+                "--computations",
+                "30",
+                "--json",
+            ],
+            "/explore",
+            r#"{"benchmark":"facet","max_clocks":2,"budget":6,"computations":30}"#,
+        ),
+        (
+            &[
+                "retrofit",
+                "--benchmark",
+                "facet",
+                "--clocks",
+                "2",
+                "--seeds",
+                "2",
+                "--computations",
+                "40",
+                "--json",
+            ],
+            "/retrofit",
+            r#"{"benchmark":"facet","clocks":2,"seeds":2,"computations":40}"#,
+        ),
+    ];
+    for (cli_args, path, body) in cases {
+        let (ok, stdout, stderr) = mcpm(cli_args);
+        assert!(ok, "CLI {cli_args:?} failed: {stderr}");
+        let (status, served) = server.post(path, body);
+        assert_eq!(status, 200, "{served}");
+        assert_eq!(served, stdout, "served {path} differs from CLI output");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn cache_survives_a_server_restart() {
+    let cache_dir =
+        std::env::temp_dir().join(format!("mcpm-serve-test-{}-restart", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let body = r#"{"benchmark":"hal","computations":30,"seed":7}"#;
+
+    let first = ServerHandle::start_with_cache(cache_dir.clone());
+    let (status, cold) = first.post("/eval", body);
+    assert_eq!(status, 200, "{cold}");
+    assert_eq!(first.stat("flow_runs"), 1);
+    assert_eq!(first.stat("cache_misses"), 1);
+    first.drain();
+
+    // A brand-new process over the same cache directory answers from
+    // disk: same bytes, a cache hit, and zero pipeline runs.
+    let second = ServerHandle::start_with_cache(cache_dir);
+    let (status, warm) = second.post("/eval", body);
+    assert_eq!(status, 200, "{warm}");
+    assert_eq!(warm, cold, "restarted server must replay identical bytes");
+    assert_eq!(second.stat("cache_hits"), 1);
+    assert_eq!(
+        second.stat("flow_runs"),
+        0,
+        "warm answer must not recompute"
+    );
+    second.shutdown();
+}
+
+#[test]
+fn identical_concurrent_requests_run_the_flow_once() {
+    let server = ServerHandle::start("coalesce");
+    let body = r#"{"benchmark":"biquad","max_clocks":3,"computations":30}"#;
+    let responses: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(|| {
+                    let (status, body) = server.post("/sweep", body);
+                    assert_eq!(status, 200, "{body}");
+                    body
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for other in &responses[1..] {
+        assert_eq!(*other, responses[0]);
+    }
+    // Whether a request coalesced onto the leader or arrived late enough
+    // to hit the fresh cache entry, the expensive part ran exactly once.
+    assert_eq!(server.stat("flow_runs"), 1);
+    assert!(server.stat("requests") >= 5); // 4 sweeps + the stats call
+    server.shutdown();
+}
+
+#[test]
+fn bad_requests_get_proper_statuses() {
+    let server = ServerHandle::start("errors");
+    let (status, body) = server.post("/eval", r#"{"benchmark":"nope"}"#);
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown benchmark"), "{body}");
+
+    let (status, body) = server.post("/eval", r#"{"benchmark":"facet","bogus":1}"#);
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown field \\\"bogus\\\""), "{body}");
+
+    let (status, _) = server.get("/eval");
+    assert_eq!(status, 405);
+    let (status, _) = server.post("/no-such-endpoint", "{}");
+    assert_eq!(status, 404);
+    assert_eq!(server.stat("flow_runs"), 0, "errors must not start a run");
+    server.shutdown();
+}
+
+#[test]
+fn request_subcommand_round_trips_and_reports_errors() {
+    let server = ServerHandle::start("request-cmd");
+    let (ok, stdout, _) = mcpm(&[
+        "request",
+        "--addr",
+        &server.addr,
+        "--get",
+        "--path",
+        "/healthz",
+    ]);
+    assert!(ok);
+    assert_eq!(stdout, "{\"status\":\"ok\"}\n");
+
+    let out = std::env::temp_dir().join(format!("mcpm-req-{}.json", std::process::id()));
+    let out_str = out.to_str().unwrap();
+    let (ok, _, _) = mcpm(&[
+        "request",
+        "--addr",
+        &server.addr,
+        "--get",
+        "--path",
+        "/healthz",
+        "--out",
+        out_str,
+    ]);
+    assert!(ok);
+    assert_eq!(
+        std::fs::read_to_string(&out).unwrap(),
+        "{\"status\":\"ok\"}\n"
+    );
+    let _ = std::fs::remove_file(&out);
+
+    let (ok, _, stderr) = mcpm(&["request", "--addr", &server.addr, "--path", "/missing"]);
+    assert!(!ok, "HTTP 404 must exit non-zero");
+    assert!(stderr.contains("404"), "{stderr}");
+
+    let (ok, _, stderr) = mcpm(&[
+        "request",
+        "--addr",
+        "127.0.0.1:1",
+        "--get",
+        "--path",
+        "/healthz",
+    ]);
+    assert!(!ok, "connection refusal must exit non-zero");
+    assert!(stderr.contains("failed"), "{stderr}");
+    server.shutdown();
+}
+
+#[test]
+fn binding_an_occupied_port_exits_nonzero_with_a_clear_message() {
+    let server = ServerHandle::start("bind-conflict");
+    let dir = std::env::temp_dir().join(format!(
+        "mcpm-serve-test-{}-bind-conflict-2",
+        std::process::id()
+    ));
+    let (ok, _, stderr) = mcpm(&[
+        "serve",
+        "--addr",
+        &server.addr,
+        "--cache-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(!ok, "second bind on {} must fail", server.addr);
+    assert!(stderr.contains(&server.addr), "{stderr}");
+    assert!(stderr.contains("already running"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+    server.shutdown();
+}
