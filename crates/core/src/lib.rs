@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod experiment;
 pub mod flow;
 pub mod passes;

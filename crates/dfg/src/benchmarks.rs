@@ -473,6 +473,31 @@ pub fn paper_benchmarks() -> Vec<Benchmark> {
     vec![facet(), hal(), biquad(), bandpass()]
 }
 
+/// Resolves a benchmark by name: a bundled benchmark, or a member of the
+/// mc-prng random DFG family named `random:<nodes>:<seed>` (generated by
+/// [`crate::random::random_scheduled_dfg`], so both dense ASAP and
+/// stretched list schedules appear across seeds). Deterministic: the same
+/// name always yields the same behaviour and schedule.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    if let Some(spec) = name.strip_prefix("random:") {
+        let (nodes, seed) = spec.split_once(':')?;
+        let nodes: usize = nodes.parse().ok()?;
+        let seed: u64 = seed.parse().ok()?;
+        if nodes == 0 || nodes > 512 {
+            return None;
+        }
+        let cfg = crate::random::RandomDfgConfig::new(nodes).with_seed(seed);
+        let (dfg, schedule) = crate::random::random_scheduled_dfg(&cfg);
+        return Some(Benchmark {
+            dfg,
+            schedule,
+            description: "mc-prng random DFG family member",
+        });
+    }
+    all_benchmarks().into_iter().find(|b| b.name() == name)
+}
+
 /// Every bundled benchmark, paper ones first.
 #[must_use]
 pub fn all_benchmarks() -> Vec<Benchmark> {

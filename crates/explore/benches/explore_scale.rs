@@ -1,0 +1,170 @@
+//! Explorer-at-scale benchmark: stream a 10⁵+-point configuration
+//! lattice (the `--scale` preset) through the incremental engine on one
+//! paper benchmark, cold and warm, and emit `BENCH_explore_scale.json`.
+//!
+//! Three things are asserted before any number is written:
+//!
+//! * the frontier of the cold pass contains the paper's best multi-clock
+//!   row — scale does not lose the paper's own result;
+//! * the warm pass (same persistent cache directory) performs **zero**
+//!   flow evaluations and emits byte-identical deterministic JSON;
+//! * an interrupted run resumed from its checkpoint is byte-identical to
+//!   the straight-through cold pass.
+//!
+//! Run with `cargo bench -p mc-explore --bench explore_scale`. The JSON
+//! lands at `$MC_EXPLORE_SCALE_OUT` (default `BENCH_explore_scale.json`
+//! in the working directory). `MC_BENCH_ITERS` scales both the point
+//! budget (12 000 × iters) and the simulation depth (3 × iters), so the
+//! CI smoke run (`MC_BENCH_ITERS=2`) stays quick while the default run
+//! covers the full ≥10⁵-point lattice.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use mc_bench::harness::{iterations, JsonObj};
+use mc_core::{experiment, DesignStyle};
+use mc_dfg::benchmarks;
+use mc_explore::{ExploreSpace, Explorer, SchedulerChoice};
+
+fn main() {
+    let iters = iterations();
+    let computations = iters * 3;
+    let budget = iters * 12_000;
+    let bm = benchmarks::facet();
+
+    let scratch = std::env::temp_dir().join(format!("mcpm-explore-scale-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+    let cache_dir = scratch.join("cache");
+    let ckpt = scratch.join("scale.ckpt");
+
+    let lattice = ExploreSpace::scale().generator();
+    assert!(
+        lattice.len() >= 100_000,
+        "scale lattice must span >=100k points, got {}",
+        lattice.len()
+    );
+    let take = budget.min(lattice.len());
+
+    let base = || {
+        Explorer::new()
+            .with_space(ExploreSpace::scale())
+            .with_computations(computations)
+            .with_budget(budget)
+            .with_cache_dir(&cache_dir)
+    };
+
+    // Cold: every point pays dedup/memo/flow in earnest; the disk cache
+    // starts empty.
+    let t = Instant::now();
+    let cold = base().run(&bm).expect("cold scale run");
+    let cold_wall = t.elapsed();
+    assert_eq!(cold.evaluated, take);
+    assert!(cold.flow_evals > 0, "cold run must do real work");
+
+    // The exploration generalises the paper's table — it must not lose
+    // the table's own best multi-clock configuration.
+    let table = experiment::paper_table(&bm, computations, 42).expect("paper table");
+    let best = table
+        .rows
+        .iter()
+        .filter(|r| matches!(r.style, DesignStyle::MultiClock(n) if n >= 2))
+        .min_by(|a, b| a.report.power.total_mw.total_cmp(&b.report.power.total_mw))
+        .expect("paper table has multi-clock rows")
+        .style;
+    assert!(
+        cold.frontier()
+            .into_iter()
+            .any(|r| r.point.style == best && r.point.scheduler == SchedulerChoice::Reference),
+        "paper-best {} missing from the scale frontier",
+        best.label()
+    );
+
+    // Warm: identical run against the populated cache — zero flow
+    // evaluations, byte-identical report.
+    let t = Instant::now();
+    let warm = base().run(&bm).expect("warm scale run");
+    let warm_wall = t.elapsed();
+    assert_eq!(warm.flow_evals, 0, "warm run must re-evaluate nothing");
+    assert_eq!(
+        warm.disk_hits + warm.dedup_served,
+        warm.evaluated as u64,
+        "every warm point must come from disk or dedup"
+    );
+    assert_eq!(
+        cold.to_json(),
+        warm.to_json(),
+        "warm report must be byte-identical"
+    );
+
+    // Interrupt/resume smoke: stop halfway, resume to the full budget,
+    // byte-compare against the straight-through run.
+    let half = (take / 2).max(5);
+    base()
+        .with_budget(half)
+        .with_checkpoint(&ckpt)
+        .run(&bm)
+        .expect("interrupted run");
+    let t = Instant::now();
+    let resumed = base()
+        .with_checkpoint(&ckpt)
+        .with_resume(true)
+        .run(&bm)
+        .expect("resumed run");
+    let resume_wall = t.elapsed();
+    assert_eq!(
+        cold.to_json(),
+        resumed.to_json(),
+        "resumed report must match the straight-through run"
+    );
+
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let per_min = |points: usize, wall: std::time::Duration| {
+        points as f64 / (wall.as_secs_f64() / 60.0).max(1e-9)
+    };
+    let cold_ppm = per_min(cold.evaluated, cold_wall);
+    let warm_ppm = per_min(warm.evaluated, warm_wall);
+    let speedup = cold_wall.as_secs_f64() / warm_wall.as_secs_f64().max(1e-9);
+    println!(
+        "explore_scale: {} points  cold {:.2?} ({:.0} pts/min)  warm {:.2?} ({:.0} pts/min, \
+         {speedup:.1}x)  resume {:.2?}  frontier {}  dedup {}  flow evals {}",
+        cold.evaluated,
+        cold_wall,
+        cold_ppm,
+        warm_wall,
+        warm_ppm,
+        resume_wall,
+        cold.results.len(),
+        cold.dedup_served,
+        cold.flow_evals
+    );
+
+    let json = JsonObj::new()
+        .str("bench", "explore_scale")
+        .str("benchmark", "facet")
+        .num("iterations", iters)
+        .num("computations", computations)
+        .num("lattice_points", lattice.len())
+        .num("evaluated", cold.evaluated)
+        .num("frontier", cold.results.len())
+        .num("dedup_served", cold.dedup_served)
+        .num("flow_evals_cold", cold.flow_evals)
+        .num("flow_evals_warm", warm.flow_evals)
+        .num("cold_ms", cold_wall.as_secs_f64() * 1e3)
+        .num("warm_ms", warm_wall.as_secs_f64() * 1e3)
+        .num("resume_ms", resume_wall.as_secs_f64() * 1e3)
+        .num("points_per_min_cold", cold_ppm)
+        .num("points_per_min_warm", warm_ppm)
+        .num("cold_over_warm_speedup", speedup)
+        .bool("warm_bytes_identical", true)
+        .bool("resume_bytes_identical", true)
+        .finish();
+    let out_path = std::env::var("MC_EXPLORE_SCALE_OUT")
+        .unwrap_or_else(|_| "BENCH_explore_scale.json".to_string());
+    let mut file = std::fs::File::create(&out_path)
+        .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
+    file.write_all(json.as_bytes()).expect("write bench json");
+    file.write_all(b"\n").expect("write bench json");
+    println!("wrote {out_path}");
+}

@@ -1,26 +1,99 @@
-//! The exploration driver: enumerate, evaluate (optionally in parallel),
-//! prune, report.
+//! The exploration driver: stream the lattice in chunks, dedup and serve
+//! from the caches, evaluate what remains (optionally in parallel),
+//! maintain the Pareto frontier on arrival, checkpoint, report.
 
-use mc_core::flow::CacheStats;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::fs::OpenOptions;
+use std::io::{self, Write as _};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use mc_core::cache::{fnv1a, DiskCache};
+use mc_core::flow::{CacheStats, PassMetrics};
 use mc_core::sim::BatchBackend;
 use mc_core::{Flow, SynthesisError};
 use mc_dfg::benchmarks::Benchmark;
 
-use crate::pareto::{pareto_mask, Objectives};
+use crate::pareto::{Objectives, StreamingFrontier};
+use crate::persist::{Checkpoint, CheckpointError, PointRecord};
 use crate::pool::{default_threads, run_indexed};
 use crate::report::{ExploreReport, PointResult};
-use crate::space::{anchor_styles, ExploreSpace};
+use crate::space::{anchor_styles, DesignPoint, ExploreSpace};
+
+/// Why an exploration could not complete.
+#[derive(Debug)]
+pub enum ExploreError {
+    /// A lattice point failed to synthesise.
+    Synthesis(SynthesisError),
+    /// The checkpoint file could not be loaded or saved.
+    Checkpoint(CheckpointError),
+    /// An explorer-owned file (spill stream, cache root) failed.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::Synthesis(e) => write!(f, "{e}"),
+            ExploreError::Checkpoint(e) => write!(f, "{e}"),
+            ExploreError::Io { path, source } => {
+                write!(f, "i/o error at {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExploreError::Synthesis(e) => Some(e),
+            ExploreError::Checkpoint(e) => Some(e),
+            ExploreError::Io { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<SynthesisError> for ExploreError {
+    fn from(e: SynthesisError) -> Self {
+        ExploreError::Synthesis(e)
+    }
+}
+
+impl From<CheckpointError> for ExploreError {
+    fn from(e: CheckpointError) -> Self {
+        ExploreError::Checkpoint(e)
+    }
+}
 
 /// Configures and runs a design-space exploration.
 ///
+/// The engine is *streaming*: lattice points are decoded on demand from
+/// the [`crate::space::LatticeGen`] index space, evaluated in fixed-size
+/// chunks, and
+/// folded into a [`StreamingFrontier`] as they arrive — the full point
+/// list is never materialised, so a 10⁵–10⁶-point lattice runs in memory
+/// bounded by the chunk size plus the frontier. Four layers keep
+/// re-evaluation out of the hot path, checked in order per point:
+/// structural dedup (same canonical key at a lower index), the in-memory
+/// record memo, the optional persistent [`DiskCache`]
+/// ([`Explorer::with_cache_dir`]), and finally a real flow evaluation.
+///
 /// Determinism contract: for a fixed (benchmark, space, seed,
-/// computations), the evaluated numbers, the frontier, and
+/// computations, power seeds), the consumed counters, the frontier, and
 /// [`ExploreReport::to_json`] are bit-identical across runs, across
-/// thread counts, and between parallel and sequential evaluation. Every
-/// lattice point is evaluated by an independently seeded simulation, the
-/// work-stealing pool keys results by task index, and dominance pruning
-/// is order-insensitive, so scheduling can only change *when* a number is
-/// computed, never *what* it is.
+/// thread counts, between parallel and sequential evaluation, between
+/// cold and warm caches, and across an interrupt/resume boundary. Every
+/// point's stimulus is independently seeded, the work-stealing pool keys
+/// results by task index, chunks are merged sequentially in lattice
+/// order, and cached records store objective floats as exact bit
+/// patterns — so scheduling and cache warmth can only change *when* a
+/// number is computed, never *what* it is.
 #[derive(Debug, Clone)]
 pub struct Explorer {
     space: ExploreSpace,
@@ -32,6 +105,13 @@ pub struct Explorer {
     backend: BatchBackend,
     threads: usize,
     parallel: bool,
+    chunk: usize,
+    cache_dir: Option<PathBuf>,
+    checkpoint: Option<PathBuf>,
+    checkpoint_every: usize,
+    resume: bool,
+    deadline: Option<Duration>,
+    spill: Option<PathBuf>,
 }
 
 impl Default for Explorer {
@@ -46,6 +126,13 @@ impl Default for Explorer {
             backend: BatchBackend::default(),
             threads: default_threads(),
             parallel: true,
+            chunk: 2048,
+            cache_dir: None,
+            checkpoint: None,
+            checkpoint_every: 4096,
+            resume: false,
+            deadline: None,
+            spill: None,
         }
     }
 }
@@ -64,7 +151,7 @@ impl Explorer {
         self
     }
 
-    /// Caps the number of evaluated points. The cap is floored at the
+    /// Caps the number of consumed points. The cap is floored at the
     /// five paper-table anchors, which the best-first enumeration places
     /// first — a budgeted run always covers the paper's own rows and
     /// stops gracefully after the cap.
@@ -129,9 +216,121 @@ impl Explorer {
         self
     }
 
-    /// Explores `bm`: enumerates the lattice, evaluates up to the budget
-    /// through shared-cache flows, and extracts the Pareto frontier over
-    /// (power, area, latency).
+    /// Sets the streaming chunk size (default 2048; throughput and
+    /// checkpoint granularity only, never results).
+    #[must_use]
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        self.chunk = chunk.max(1);
+        self
+    }
+
+    /// Routes per-point records through a persistent cross-run
+    /// [`DiskCache`] rooted at `dir` — a warm re-run over the same
+    /// configuration performs zero flow evaluations.
+    #[must_use]
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Writes a versioned checkpoint (frontier + cursor + counters) to
+    /// `path` every [`Self::with_checkpoint_every`] consumed points and
+    /// when the run stops (budget, deadline or completion).
+    #[must_use]
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Sets the checkpoint cadence in consumed points (default 4096).
+    #[must_use]
+    pub fn with_checkpoint_every(mut self, every: usize) -> Self {
+        self.checkpoint_every = every.max(1);
+        self
+    }
+
+    /// Resumes from the checkpoint file (if it exists) instead of
+    /// starting at lattice index 0. Requires [`Self::with_checkpoint`];
+    /// a missing file is a fresh start, a checkpoint from a different
+    /// configuration is a typed error.
+    #[must_use]
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Stops gracefully (checkpointing if configured) once `ms`
+    /// milliseconds of wall clock have elapsed, after finishing the
+    /// chunk in flight. At least one chunk is always processed, so a
+    /// resumed run makes progress no matter how tight the deadline.
+    #[must_use]
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline = Some(Duration::from_millis(ms));
+        self
+    }
+
+    /// Appends dominated points, as they leave the frontier, to a spill
+    /// file (`point=<index> <record>` lines) instead of discarding them.
+    #[must_use]
+    pub fn with_spill(mut self, path: impl Into<PathBuf>) -> Self {
+        self.spill = Some(path.into());
+        self
+    }
+
+    /// FNV-1a fingerprint of the benchmark's content: name, canonical
+    /// DSL rendering, and the reference schedule assignment. Together
+    /// with the scheduler fields of a point's canonical key this pins
+    /// the exact behaviour the point evaluates (the phase-affine
+    /// scheduler is a deterministic function of these inputs).
+    fn content_fingerprint(bm: &Benchmark) -> u64 {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "{}", bm.dfg.name());
+        let _ = writeln!(s, "{}", mc_dfg::parse::to_dsl(&bm.dfg));
+        for t in 1..=bm.schedule.length() {
+            let _ = writeln!(s, "step{t}={:?}", bm.schedule.nodes_at_step(t));
+        }
+        fnv1a(s.as_bytes())
+    }
+
+    /// Fingerprint of everything that determines the result stream —
+    /// the space dimensions, design content, seed and Monte-Carlo depth.
+    /// Budget and deadline are excluded by design: they bound *how far*
+    /// a run gets, not what any point evaluates to, so an interrupted
+    /// run resumes toward the full lattice.
+    fn config_fingerprint(&self, content: u64) -> u64 {
+        use std::fmt::Write as _;
+        let mut s = format!("mcpm-explore config v1\ncontent={content:016x}\n");
+        let _ = writeln!(s, "n_max={}", self.space.n_max);
+        let volts: Vec<String> = self
+            .space
+            .voltages
+            .iter()
+            .map(|v| format!("{:016x}", v.to_bits()))
+            .collect();
+        let _ = writeln!(s, "voltages={}", volts.join(","));
+        let stretches: Vec<String> = self.space.stretches.iter().map(u32::to_string).collect();
+        let _ = writeln!(s, "stretches={}", stretches.join(","));
+        let gating: Vec<&str> = self.space.gating.iter().map(|g| g.label()).collect();
+        let _ = writeln!(s, "gating={}", gating.join(","));
+        let _ = writeln!(s, "scenarios={}", self.space.scenarios);
+        let _ = writeln!(s, "seed={}", self.seed);
+        let _ = writeln!(s, "computations={}", self.computations);
+        let _ = writeln!(s, "power_seeds={}", self.power_seeds);
+        fnv1a(s.as_bytes())
+    }
+
+    fn point_key(&self, p: &DesignPoint, content: u64) -> u64 {
+        fnv1a(
+            p.canonical(content, self.computations, self.seed, self.power_seeds)
+                .as_bytes(),
+        )
+    }
+
+    /// Explores `bm`: streams the lattice (budget- and deadline-bounded)
+    /// through dedup, memo, persistent cache and flow evaluation, and
+    /// maintains the Pareto frontier over (power, area, latency) on
+    /// arrival.
     ///
     /// Latency is `steps × max(critical_path, target_period)` — a design
     /// never runs faster than the system clock it is specified against,
@@ -140,122 +339,379 @@ impl Explorer {
     ///
     /// # Errors
     ///
-    /// Returns the first failing point's [`SynthesisError`] (in lattice
-    /// order).
-    pub fn run(&self, bm: &Benchmark) -> Result<ExploreReport, SynthesisError> {
+    /// [`ExploreError::Synthesis`] for the first failing point (in
+    /// lattice order), [`ExploreError::Checkpoint`] for corrupt or
+    /// mismatched checkpoints, [`ExploreError::Io`] for spill-file
+    /// or cache-root failures.
+    pub fn run(&self, bm: &Benchmark) -> Result<ExploreReport, ExploreError> {
         let _span = mc_trace::span("explore.run");
-        let lattice = self.space.enumerate();
-        let floor = anchor_styles().len();
-        let take = self
-            .budget
-            .map_or(lattice.points.len(), |b| b.max(floor))
-            .min(lattice.points.len());
-        let points = &lattice.points[..take];
-        let flows: Vec<Flow> = lattice
-            .flows
-            .iter()
-            .map(|spec| {
-                spec.build(bm, self.computations, self.seed)
-                    .with_power_seeds(self.power_seeds)
-                    .with_batch(self.batch)
-                    .with_batch_backend(self.backend)
-            })
-            .collect();
+        let started = Instant::now();
+        let gen = self.space.generator();
+        let total = gen.len();
+        let floor = anchor_styles().len().min(total);
+        let take = self.budget.map_or(total, |b| b.max(floor)).min(total);
+        let content = Self::content_fingerprint(bm);
+        let config = self.config_fingerprint(content);
+
+        let disk = match &self.cache_dir {
+            Some(dir) => Some(DiskCache::open(dir).map_err(|source| ExploreError::Io {
+                path: dir.clone(),
+                source,
+            })?),
+            None => None,
+        };
+
+        // Restore (or start fresh): the frontier, the lattice cursor and
+        // the structural-dedup state. The seen-set is rebuilt by scanning
+        // the keys of every already-consumed index — dedup is defined
+        // purely structurally ("key already seen at a lower index"), so a
+        // resumed run counts exactly what the straight-through run did.
+        let mut frontier: StreamingFrontier<(usize, PointResult)> = StreamingFrontier::new();
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut dedup_served: u64 = 0;
+        let mut cursor = 0usize;
+        if self.resume {
+            if let Some(path) = &self.checkpoint {
+                if let Some(ck) = Checkpoint::load(path, config)? {
+                    cursor = ck.cursor.min(total);
+                    for i in 0..cursor {
+                        if !seen.insert(self.point_key(&gen.point_at(i), content)) {
+                            dedup_served += 1;
+                        }
+                    }
+                    for (index, record) in ck.frontier {
+                        let result = point_result(gen.point_at(index.min(total - 1)), &record);
+                        let evicted = frontier.offer(record.objectives, (index, result));
+                        debug_assert!(evicted.is_empty(), "checkpoint frontier not nondominated");
+                    }
+                    frontier.add_dominated(cursor as u64 - frontier.len() as u64);
+                }
+            }
+        }
+
+        let mut memo: HashMap<u64, PointRecord> = HashMap::new();
+        let mut flows: HashMap<(u64, u32, u64, u32), Flow> = HashMap::new();
+        let mut cache = CacheStats {
+            hits: 0,
+            misses: 0,
+            datapaths: 0,
+            reports: 0,
+        };
+        let mut flow_evals = 0usize;
+        let mut disk_hits = 0u64;
+        let mut disk_misses = 0u64;
+        let mut disk_puts = 0u64;
+        let mut spill_file = None;
+        let mut since_checkpoint = 0usize;
+        let mut chunks_this_run = 0usize;
         let threads = if self.parallel { self.threads } else { 1 };
-        let evals = run_indexed(points.len(), threads, self.seed, |i| {
-            let p = &points[i];
-            flows[p.flow].evaluate_instrumented(p.style)
-        });
-        let mut results = Vec::with_capacity(points.len());
-        for (p, eval) in points.iter().zip(evals) {
-            let e = eval?;
-            let flow = &flows[p.flow];
-            let steps = flow.schedule().length();
-            let target_period_ns = 1000.0 / flow.tech().clock_mhz();
-            let period_ns = e.report.timing.critical_path_ns.max(target_period_ns);
-            results.push(PointResult {
-                point: *p,
-                objectives: Objectives {
-                    power_mw: e.report.power.total_mw,
-                    area_lambda2: e.report.area.total_lambda2,
-                    latency_ns: f64::from(steps) * period_ns,
-                },
-                steps,
-                meets_target: e.report.timing.meets_target,
-                on_frontier: false,
-                power_ci: e.report.power_ci,
-                metrics: e.metrics,
-            });
+
+        while cursor < take {
+            let end = (cursor + self.chunk).min(take);
+
+            // Pre-pass, sequential in lattice order: classify every index
+            // as served (dedup/memo/disk) or needing a flow evaluation.
+            enum Slot {
+                Have(PointRecord),
+                Twin(u64),
+                Eval(usize),
+            }
+            let mut slots: Vec<(DesignPoint, u64, Slot)> = Vec::with_capacity(end - cursor);
+            let mut evals: Vec<(DesignPoint, u64)> = Vec::new();
+            let mut pending: HashSet<u64> = HashSet::new();
+            for i in cursor..end {
+                let p = gen.point_at(i);
+                let key = self.point_key(&p, content);
+                if !seen.insert(key) {
+                    dedup_served += 1;
+                }
+                let slot = if let Some(r) = memo.get(&key) {
+                    Slot::Have(r.clone())
+                } else if pending.contains(&key) {
+                    Slot::Twin(key)
+                } else if let Some(r) = disk
+                    .as_ref()
+                    .and_then(|d| d.get(key))
+                    .as_deref()
+                    .and_then(PointRecord::from_cache_body)
+                {
+                    disk_hits += 1;
+                    memo.insert(key, r.clone());
+                    Slot::Have(r)
+                } else {
+                    if disk.is_some() {
+                        disk_misses += 1;
+                    }
+                    pending.insert(key);
+                    evals.push((p, key));
+                    Slot::Eval(evals.len() - 1)
+                };
+                slots.push((p, key, slot));
+            }
+
+            // Materialise the flows the chunk's evaluations need (one per
+            // scheduler × voltage × scenario group, shared artifact
+            // cache within the group), then evaluate in parallel. Results
+            // are keyed by task index, so scheduling never reorders them.
+            for (p, _) in &evals {
+                let spec = p.flow_spec();
+                flows.entry(spec.key()).or_insert_with(|| {
+                    spec.build(bm, self.computations, self.seed)
+                        .with_power_seeds(self.power_seeds)
+                        .with_batch(self.batch)
+                        .with_batch_backend(self.backend)
+                });
+            }
+            let mut records: Vec<Option<(PointRecord, Vec<PassMetrics>)>> =
+                Vec::with_capacity(evals.len());
+            {
+                let eval_flows: Vec<&Flow> = evals
+                    .iter()
+                    .map(|(p, _)| &flows[&p.flow_spec().key()])
+                    .collect();
+                let outcomes = run_indexed(evals.len(), threads, self.seed, |j| {
+                    eval_flows[j].evaluate_instrumented(evals[j].0.style)
+                });
+                for (j, outcome) in outcomes.into_iter().enumerate() {
+                    let e = outcome?;
+                    let flow = eval_flows[j];
+                    let steps = flow.schedule().length();
+                    let target_period_ns = 1000.0 / flow.tech().clock_mhz();
+                    let period_ns = e.report.timing.critical_path_ns.max(target_period_ns);
+                    let record = PointRecord {
+                        objectives: Objectives {
+                            power_mw: e.report.power.total_mw,
+                            area_lambda2: e.report.area.total_lambda2,
+                            latency_ns: f64::from(steps) * period_ns,
+                        },
+                        steps,
+                        meets_target: e.report.timing.meets_target,
+                        power_ci: e.report.power_ci,
+                    };
+                    records.push(Some((record, e.metrics)));
+                }
+            }
+            flow_evals += evals.len();
+
+            // Merge, sequential in lattice order: resolve each point's
+            // record (evaluation, memo, or in-chunk twin), fill the
+            // caches, and offer the point to the streaming frontier.
+            for (i, (p, key, slot)) in (cursor..end).zip(slots) {
+                let (record, metrics) = match slot {
+                    Slot::Have(r) => (r, Vec::new()),
+                    Slot::Twin(key) => (memo[&key].clone(), Vec::new()),
+                    Slot::Eval(j) => {
+                        let (record, metrics) =
+                            records[j].take().expect("evaluation consumed twice");
+                        memo.insert(key, record.clone());
+                        if let Some(d) = &disk {
+                            // Best-effort: a failed put only costs a
+                            // recomputation next run.
+                            if d.put(key, &record.to_cache_body()).is_ok() {
+                                disk_puts += 1;
+                            }
+                        }
+                        (record, metrics)
+                    }
+                };
+                let mut result = point_result(p, &record);
+                result.metrics = metrics;
+                for (obj, (idx, leaver)) in frontier.offer(record.objectives, (i, result)) {
+                    if let Some(path) = &self.spill {
+                        let file = match &mut spill_file {
+                            Some(f) => f,
+                            None => spill_file.insert(
+                                OpenOptions::new()
+                                    .create(true)
+                                    .append(true)
+                                    .open(path)
+                                    .map_err(|source| ExploreError::Io {
+                                        path: path.clone(),
+                                        source,
+                                    })?,
+                            ),
+                        };
+                        let record = PointRecord {
+                            objectives: obj,
+                            steps: leaver.steps,
+                            meets_target: leaver.meets_target,
+                            power_ci: leaver.power_ci,
+                        };
+                        writeln!(file, "point={idx} {}", record.to_line()).map_err(|source| {
+                            ExploreError::Io {
+                                path: path.clone(),
+                                source,
+                            }
+                        })?;
+                    }
+                }
+            }
+            since_checkpoint += end - cursor;
+            cursor = end;
+            chunks_this_run += 1;
+
+            // Flow hygiene: artifact caches accumulate datapaths and
+            // reports; fold their counters and drop them once the group
+            // table grows past a bound, keeping memory flat at scale.
+            if flows.len() > 32 {
+                for f in flows.values() {
+                    cache = add_stats(cache, f.cache_stats());
+                }
+                flows.clear();
+            }
+
+            if self.checkpoint.is_some() && since_checkpoint >= self.checkpoint_every {
+                self.save_checkpoint(config, cursor, dedup_served, &frontier)?;
+                since_checkpoint = 0;
+            }
+            if chunks_this_run > 0
+                && self
+                    .deadline
+                    .is_some_and(|d| started.elapsed() >= d && cursor < take)
+            {
+                break;
+            }
         }
-        let objectives: Vec<Objectives> = results.iter().map(|r| r.objectives).collect();
-        let pareto_span = mc_trace::span("explore.pareto");
-        for (r, on) in results.iter_mut().zip(pareto_mask(&objectives)) {
-            r.on_frontier = on;
+
+        if self.checkpoint.is_some() {
+            self.save_checkpoint(config, cursor, dedup_served, &frontier)?;
         }
+        for f in flows.values() {
+            cache = add_stats(cache, f.cache_stats());
+        }
+        let dominated = frontier.dominated();
         if mc_trace::enabled() {
-            let frontier = results.iter().filter(|r| r.on_frontier).count() as u64;
-            mc_trace::count("pareto.frontier", frontier);
-            mc_trace::count("pareto.pruned", results.len() as u64 - frontier);
+            mc_trace::count("pareto.frontier", frontier.len() as u64);
+            mc_trace::count("pareto.pruned", dominated);
+            mc_trace::count("explore.dedup_served", dedup_served);
+            mc_trace::count_runtime("explore.flow_evals", flow_evals as u64);
+            if disk.is_some() {
+                mc_trace::count_runtime("explore.cache.disk_hits", disk_hits);
+                mc_trace::count_runtime("explore.cache.disk_misses", disk_misses);
+                mc_trace::count_runtime("explore.cache.disk_puts", disk_puts);
+            }
         }
-        drop(pareto_span);
-        let cache = flows.iter().map(Flow::cache_stats).fold(
-            CacheStats {
-                hits: 0,
-                misses: 0,
-                datapaths: 0,
-                reports: 0,
-            },
-            |acc, s| CacheStats {
-                hits: acc.hits + s.hits,
-                misses: acc.misses + s.misses,
-                datapaths: acc.datapaths + s.datapaths,
-                reports: acc.reports + s.reports,
-            },
-        );
+        let results: Vec<PointResult> = frontier
+            .into_entries()
+            .into_iter()
+            .map(|(_, (_, r))| r)
+            .collect();
         Ok(ExploreReport {
             benchmark: bm.dfg.name().to_owned(),
             seed: self.seed,
             computations: self.computations,
-            lattice_points: lattice.points.len(),
-            skipped: lattice.points.len() - take,
+            lattice_points: total,
+            evaluated: cursor,
+            skipped: total - take,
+            remaining: take - cursor,
+            dedup_served,
+            dominated,
+            flow_evals,
+            disk_hits,
+            disk_misses,
+            disk_puts,
             results,
             cache,
         })
+    }
+
+    fn save_checkpoint(
+        &self,
+        config: u64,
+        cursor: usize,
+        dedup_served: u64,
+        frontier: &StreamingFrontier<(usize, PointResult)>,
+    ) -> Result<(), ExploreError> {
+        let Some(path) = &self.checkpoint else {
+            return Ok(());
+        };
+        let ck = Checkpoint {
+            config,
+            cursor,
+            dedup_served,
+            frontier: frontier
+                .iter()
+                .map(|(obj, (index, r))| {
+                    (
+                        *index,
+                        PointRecord {
+                            objectives: *obj,
+                            steps: r.steps,
+                            meets_target: r.meets_target,
+                            power_ci: r.power_ci,
+                        },
+                    )
+                })
+                .collect(),
+        };
+        Ok(ck.save(path)?)
+    }
+}
+
+/// Reconstructs the reportable result of a point from its record.
+fn point_result(point: DesignPoint, record: &PointRecord) -> PointResult {
+    PointResult {
+        point,
+        objectives: record.objectives,
+        steps: record.steps,
+        meets_target: record.meets_target,
+        on_frontier: true,
+        power_ci: record.power_ci,
+        metrics: Vec::new(),
+    }
+}
+
+/// Folds two flow cache-counter snapshots.
+fn add_stats(a: CacheStats, b: CacheStats) -> CacheStats {
+    CacheStats {
+        hits: a.hits + b.hits,
+        misses: a.misses + b.misses,
+        datapaths: a.datapaths + b.datapaths,
+        reports: a.reports + b.reports,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::space::{GatingVariant, SchedulerChoice, NOMINAL_VOLTS};
     use mc_dfg::benchmarks;
 
     fn tiny() -> Explorer {
         Explorer::new().with_computations(24)
     }
 
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mc-explorer-test-{tag}-{}", std::process::id()))
+    }
+
     #[test]
     fn budget_floors_at_the_anchor_rows() {
         let report = tiny().with_budget(2).run(&benchmarks::hal()).unwrap();
-        assert_eq!(report.results.len(), 5, "floor = 5 anchors");
+        assert_eq!(report.evaluated, 5, "floor = 5 anchors");
         assert!(report.skipped > 0);
-        let labels: Vec<String> = report.results.iter().map(|r| r.point.label()).collect();
-        assert!(labels[0].contains("Non-Gated"), "{labels:?}");
-        assert!(labels[4].contains("3 Clocks"), "{labels:?}");
+        assert_eq!(report.remaining, 0);
+        // All five anchors were consumed; the frontier keeps the
+        // nondominated subset and the counters account for the rest.
+        assert_eq!(
+            report.results.len() + report.dominated as usize,
+            report.evaluated
+        );
     }
 
     #[test]
     fn unbudgeted_run_covers_the_whole_lattice() {
         let space = ExploreSpace {
             n_max: 2,
-            voltages: vec![crate::space::NOMINAL_VOLTS],
+            voltages: vec![NOMINAL_VOLTS],
             stretches: vec![],
+            ..ExploreSpace::default()
         };
-        let report = tiny()
-            .with_space(space.clone())
-            .run(&benchmarks::facet())
-            .unwrap();
-        assert_eq!(report.results.len(), space.enumerate().points.len());
+        let total = space.generator().len();
+        let report = tiny().with_space(space).run(&benchmarks::facet()).unwrap();
+        assert_eq!(report.evaluated, total);
         assert_eq!(report.skipped, 0);
+        assert_eq!(report.remaining, 0);
         assert!(!report.frontier().is_empty());
     }
 
@@ -268,24 +724,20 @@ mod tests {
         let reference_steps = benchmarks::hal().schedule.length();
         for r in &report.results {
             match r.point.scheduler {
-                crate::space::SchedulerChoice::Reference => {
-                    assert_eq!(r.steps, reference_steps);
-                }
-                crate::space::SchedulerChoice::PhaseAffine { .. } => {
-                    assert!(r.steps >= reference_steps);
-                }
+                SchedulerChoice::Reference => assert_eq!(r.steps, reference_steps),
+                SchedulerChoice::PhaseAffine { .. } => assert!(r.steps >= reference_steps),
             }
             assert!(r.objectives.latency_ns >= f64::from(r.steps) * 20.0 - 1e-9);
         }
     }
 
     #[test]
-    fn frontier_is_nonempty_and_nondominated() {
+    fn frontier_is_mutually_nondominated() {
         let report = tiny().with_budget(12).run(&benchmarks::facet()).unwrap();
         let frontier = report.frontier();
         assert!(!frontier.is_empty());
         for a in &frontier {
-            for b in &report.results {
+            for b in &frontier {
                 assert!(
                     !b.objectives.dominates(&a.objectives),
                     "{} dominates frontier point {}",
@@ -305,5 +757,181 @@ mod tests {
         // The gated conventional row reuses the non-gated allocation, so
         // at least one evaluation must have been cache-served.
         assert!(report.cache.hits > 0, "cache: {}", report.cache);
+    }
+
+    #[test]
+    fn gating_replicas_are_served_by_structural_dedup() {
+        let space = ExploreSpace {
+            n_max: 1,
+            voltages: vec![NOMINAL_VOLTS],
+            stretches: vec![],
+            gating: GatingVariant::ALL.to_vec(),
+            ..ExploreSpace::default()
+        };
+        let report = tiny().with_space(space).run(&benchmarks::hal()).unwrap();
+        // The free-running variant of the non-gated row (among others)
+        // folds onto an already-seen point.
+        assert!(report.dedup_served > 0, "dedup: {}", report.dedup_served);
+        assert_eq!(
+            report.flow_evals + report.dedup_served as usize,
+            report.evaluated
+        );
+    }
+
+    #[test]
+    fn warm_disk_cache_serves_every_point_without_flow_evals() {
+        let dir = temp_path("warmdir");
+        let _ = std::fs::remove_dir_all(&dir);
+        let run = || {
+            tiny()
+                .with_budget(9)
+                .with_cache_dir(&dir)
+                .run(&benchmarks::facet())
+                .unwrap()
+        };
+        let cold = run();
+        assert!(cold.flow_evals > 0);
+        assert!(cold.disk_puts > 0);
+        let warm = run();
+        assert_eq!(warm.flow_evals, 0, "warm run must not re-evaluate");
+        assert_eq!(warm.disk_hits as usize + warm.dedup_served as usize, {
+            warm.evaluated
+        });
+        // Warmth must never change results.
+        assert_eq!(cold.to_json(), warm.to_json());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interrupted_runs_resume_to_the_identical_report() {
+        let straight = tiny().with_budget(12).run(&benchmarks::facet()).unwrap();
+        let ck = temp_path("resume-ck");
+        let _ = std::fs::remove_file(&ck);
+        // Interrupt: a smaller budget plays the role of a cut-off run.
+        let partial = tiny()
+            .with_budget(7)
+            .with_checkpoint(&ck)
+            .run(&benchmarks::facet())
+            .unwrap();
+        assert_eq!(partial.evaluated, 7);
+        // Resume toward the same 12-point budget, across thread shapes.
+        for threads in [1, 4] {
+            let resumed = tiny()
+                .with_budget(12)
+                .with_checkpoint(&ck)
+                .with_resume(true)
+                .with_threads(threads)
+                .run(&benchmarks::facet())
+                .unwrap();
+            assert_eq!(resumed.evaluated, 12);
+            assert_eq!(
+                resumed.to_json(),
+                straight.to_json(),
+                "resume at {threads} threads must be byte-identical"
+            );
+        }
+        let _ = std::fs::remove_file(&ck);
+    }
+
+    #[test]
+    fn resuming_a_completed_run_reevaluates_nothing() {
+        let ck = temp_path("complete-ck");
+        let _ = std::fs::remove_file(&ck);
+        let first = tiny()
+            .with_budget(8)
+            .with_checkpoint(&ck)
+            .run(&benchmarks::hal())
+            .unwrap();
+        let again = tiny()
+            .with_budget(8)
+            .with_checkpoint(&ck)
+            .with_resume(true)
+            .run(&benchmarks::hal())
+            .unwrap();
+        assert_eq!(again.flow_evals, 0);
+        assert_eq!(again.to_json(), first.to_json());
+        let _ = std::fs::remove_file(&ck);
+    }
+
+    #[test]
+    fn checkpoint_from_another_config_is_a_typed_error() {
+        let ck = temp_path("mismatch-ck");
+        let _ = std::fs::remove_file(&ck);
+        tiny()
+            .with_budget(5)
+            .with_checkpoint(&ck)
+            .run(&benchmarks::hal())
+            .unwrap();
+        let err = tiny()
+            .with_seed(43) // different config fingerprint
+            .with_budget(5)
+            .with_checkpoint(&ck)
+            .with_resume(true)
+            .run(&benchmarks::hal())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ExploreError::Checkpoint(CheckpointError::ConfigMismatch { .. })
+        ));
+        // Corruption likewise surfaces typed, never a panic.
+        std::fs::write(&ck, "definitely not a checkpoint").unwrap();
+        let err = tiny()
+            .with_budget(5)
+            .with_checkpoint(&ck)
+            .with_resume(true)
+            .run(&benchmarks::hal())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ExploreError::Checkpoint(CheckpointError::Corrupt { .. })
+        ));
+        let _ = std::fs::remove_file(&ck);
+    }
+
+    #[test]
+    fn deadline_stops_gracefully_but_always_makes_progress() {
+        // A 0 ms deadline still processes one chunk per invocation.
+        let report = tiny()
+            .with_budget(20)
+            .with_chunk(6)
+            .with_deadline_ms(0)
+            .run(&benchmarks::hal())
+            .unwrap();
+        assert_eq!(report.evaluated, 6, "exactly the first chunk");
+        assert_eq!(report.remaining, 14);
+        assert!(report.lattice_points > 20);
+    }
+
+    #[test]
+    fn spill_stream_accounts_for_every_dominated_point() {
+        let spill = temp_path("spill");
+        let _ = std::fs::remove_file(&spill);
+        let report = tiny()
+            .with_budget(12)
+            .with_spill(&spill)
+            .run(&benchmarks::hal())
+            .unwrap();
+        let lines = std::fs::read_to_string(&spill).unwrap();
+        let spilled = lines.lines().count() as u64;
+        assert_eq!(spilled, report.dominated);
+        for line in lines.lines() {
+            let rest = line.strip_prefix("point=").unwrap();
+            let (_, record) = rest.split_once(' ').unwrap();
+            assert!(PointRecord::from_line(record).is_some(), "bad line {line}");
+        }
+        let _ = std::fs::remove_file(&spill);
+    }
+
+    #[test]
+    fn chunk_size_never_changes_results() {
+        let base = tiny().with_budget(14).run(&benchmarks::facet()).unwrap();
+        for chunk in [1, 3, 1024] {
+            let other = tiny()
+                .with_budget(14)
+                .with_chunk(chunk)
+                .run(&benchmarks::facet())
+                .unwrap();
+            assert_eq!(other.to_json(), base.to_json(), "chunk={chunk}");
+        }
     }
 }

@@ -1,23 +1,34 @@
-//! Parallel multi-objective design-space exploration for the multi-clock
-//! power-management scheme.
+//! Streaming multi-objective design-space exploration for the
+//! multi-clock power-management scheme.
 //!
 //! The paper evaluates five hand-picked configurations per benchmark.
-//! This crate enumerates the *full* configuration lattice those five are
+//! This crate spans the *full* configuration lattice those five are
 //! drawn from — clock count × allocation strategy × memory-element kind ×
-//! gating × scheduler × supply voltage — evaluates every point through
-//! the [`mc_core::Flow`] pass pipeline (sharing its content-keyed
-//! artifact cache), and extracts the Pareto frontier over (power, area,
-//! latency).
+//! data-dependent gating × scheduler × supply voltage × stimulus
+//! scenario — as a lazy indexable generator ([`ExploreSpace::generator`],
+//! 10⁵+ points under [`ExploreSpace::scale`]), evaluates points in
+//! streamed chunks through the [`mc_core::Flow`] pass pipeline, and
+//! maintains the Pareto frontier over (power, area, latency) *on
+//! arrival* ([`StreamingFrontier`]) in memory bounded by the frontier
+//! itself.
 //!
-//! Three properties are guaranteed:
+//! Four properties are guaranteed:
 //!
 //! * **Determinism.** Same benchmark, space, seed and computation count ⇒
 //!   bit-identical frontier and JSON, whether evaluation runs
-//!   sequentially or on the work-stealing pool, at any thread count.
-//! * **Budgets degrade gracefully.** The lattice is enumerated
-//!   best-first with the five paper-table anchor rows leading, so any
-//!   budget still evaluates the paper's own configurations and simply
-//!   stops after the cap.
+//!   sequentially or on the work-stealing pool, at any thread count,
+//!   cold or warm, straight through or interrupted and resumed.
+//! * **Budgets and deadlines degrade gracefully.** The lattice is
+//!   enumerated best-first with the five paper-table anchor rows
+//!   leading, so any budget still evaluates the paper's own
+//!   configurations; a deadline stops after the chunk in flight with an
+//!   honest evaluated/skipped/remaining account and (optionally) a
+//!   checkpoint to resume from.
+//! * **Work is never repeated.** Structurally equivalent lattice points
+//!   are served by dedup, repeat points by the in-memory memo, and —
+//!   with [`Explorer::with_cache_dir`] — points from any previous run by
+//!   the persistent cross-run cache ([`mc_core::cache::DiskCache`]): a
+//!   warm re-run performs zero flow evaluations.
 //! * **The paper's result is recoverable.** The frontier of every
 //!   bundled benchmark contains the paper's best multi-clock row — the
 //!   exploration generalises the tables, it does not contradict them.
@@ -28,7 +39,7 @@
 //! use mc_explore::Explorer;
 //! use mc_dfg::benchmarks;
 //!
-//! # fn main() -> Result<(), mc_core::SynthesisError> {
+//! # fn main() -> Result<(), mc_explore::ExploreError> {
 //! let report = Explorer::new()
 //!     .with_computations(24)
 //!     .with_budget(6)
@@ -43,11 +54,15 @@
 
 pub mod explorer;
 pub mod pareto;
+pub mod persist;
 pub mod pool;
 pub mod report;
 pub mod space;
 
-pub use explorer::Explorer;
-pub use pareto::{pareto_mask, Objectives};
+pub use explorer::{ExploreError, Explorer};
+pub use pareto::{pareto_mask, Objectives, StreamingFrontier};
+pub use persist::{Checkpoint, CheckpointError, PointRecord};
 pub use report::{ExploreReport, PointResult};
-pub use space::{DesignPoint, ExploreSpace, FlowSpec, Lattice, SchedulerChoice, NOMINAL_VOLTS};
+pub use space::{
+    DesignPoint, ExploreSpace, FlowSpec, GatingVariant, LatticeGen, SchedulerChoice, NOMINAL_VOLTS,
+};

@@ -44,6 +44,102 @@ pub fn pareto_mask(objectives: &[Objectives]) -> Vec<bool> {
         .collect()
 }
 
+/// A streaming Pareto frontier: points are offered one at a time and the
+/// frontier is maintained *on arrival*, so memory stays bounded by the
+/// frontier itself rather than by the number of points seen. The final
+/// set equals `pareto_mask` run over the whole stream (dominance is
+/// transitive, so any point evicted early would also have been evicted at
+/// the end), and ties are preserved with the same order-independence
+/// contract: a bit-identical objective vector is never treated as
+/// dominating its twin.
+///
+/// Entries keep arrival order, which makes the frontier deterministic for
+/// a deterministic stream — the explorer feeds points in lattice-index
+/// order regardless of how many threads evaluated them.
+#[derive(Debug, Clone)]
+pub struct StreamingFrontier<T> {
+    entries: Vec<(Objectives, T)>,
+    dominated: u64,
+}
+
+impl<T> Default for StreamingFrontier<T> {
+    fn default() -> Self {
+        StreamingFrontier::new()
+    }
+}
+
+impl<T> StreamingFrontier<T> {
+    /// An empty frontier.
+    #[must_use]
+    pub fn new() -> StreamingFrontier<T> {
+        StreamingFrontier {
+            entries: Vec::new(),
+            dominated: 0,
+        }
+    }
+
+    /// Offers one point to the frontier. Returns the points *leaving* the
+    /// frontier because of this offer: the candidate itself when an
+    /// incumbent dominates it, or every incumbent the accepted candidate
+    /// dominates (arrival order preserved among them). The caller can
+    /// stream the leavers to a spill file or drop them; either way they
+    /// are counted in [`Self::dominated`].
+    pub fn offer(&mut self, objectives: Objectives, payload: T) -> Vec<(Objectives, T)> {
+        if self.entries.iter().any(|(o, _)| o.dominates(&objectives)) {
+            self.dominated += 1;
+            return vec![(objectives, payload)];
+        }
+        let mut evicted = Vec::new();
+        let mut keep = Vec::with_capacity(self.entries.len() + 1);
+        for entry in self.entries.drain(..) {
+            if objectives.dominates(&entry.0) {
+                evicted.push(entry);
+            } else {
+                keep.push(entry);
+            }
+        }
+        keep.push((objectives, payload));
+        self.entries = keep;
+        self.dominated += evicted.len() as u64;
+        evicted
+    }
+
+    /// Counts a point that never reached `offer` (e.g. served dominated
+    /// from a checkpoint's counters) so totals stay honest across resume.
+    pub fn add_dominated(&mut self, n: u64) {
+        self.dominated += n;
+    }
+
+    /// Number of points currently on the frontier.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the frontier is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Points dominated (rejected or evicted) so far.
+    #[must_use]
+    pub fn dominated(&self) -> u64 {
+        self.dominated
+    }
+
+    /// The current frontier in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = &(Objectives, T)> {
+        self.entries.iter()
+    }
+
+    /// Consumes the frontier, yielding its entries in arrival order.
+    #[must_use]
+    pub fn into_entries(self) -> Vec<(Objectives, T)> {
+        self.entries
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,5 +203,91 @@ mod tests {
         // Worse power and area, but strictly better latency: kept.
         let objs = [o(1.0, 1.0, 9.0), o(5.0, 5.0, 1.0)];
         assert_eq!(pareto_mask(&objs), [true, true]);
+    }
+
+    /// Streams `objs` through a frontier and returns the surviving
+    /// original indexes plus the dominated count.
+    fn stream(objs: &[Objectives]) -> (Vec<usize>, u64) {
+        let mut f = StreamingFrontier::new();
+        for (i, &obj) in objs.iter().enumerate() {
+            let _ = f.offer(obj, i);
+        }
+        let dominated = f.dominated();
+        let mut idx: Vec<usize> = f.into_entries().into_iter().map(|(_, i)| i).collect();
+        idx.sort_unstable();
+        (idx, dominated)
+    }
+
+    #[test]
+    fn streaming_frontier_matches_batch_pareto_mask() {
+        let cases: Vec<Vec<Objectives>> = vec![
+            vec![],
+            vec![o(5.0, 5.0, 5.0)],
+            vec![
+                o(1.0, 9.0, 5.0),
+                o(2.0, 7.0, 5.0),
+                o(4.0, 4.0, 5.0),
+                o(4.5, 4.5, 5.0),
+                o(9.0, 1.0, 5.0),
+                o(9.0, 9.0, 9.0),
+            ],
+            vec![o(1.0, 1.0, 1.0), o(1.0, 1.0, 1.0), o(2.0, 2.0, 2.0)],
+            vec![o(1.0, 1.0, 9.0), o(5.0, 5.0, 1.0)],
+            // Late arrival that sweeps out several incumbents at once.
+            vec![
+                o(5.0, 5.0, 5.0),
+                o(4.0, 6.0, 5.0),
+                o(6.0, 4.0, 5.0),
+                o(1.0, 1.0, 1.0),
+            ],
+        ];
+        for objs in &cases {
+            let mask = pareto_mask(objs);
+            let expected: Vec<usize> = (0..objs.len()).filter(|&i| mask[i]).collect();
+            let (got, dominated) = stream(objs);
+            assert_eq!(got, expected, "stream vs batch on {objs:?}");
+            assert_eq!(dominated, (objs.len() - expected.len()) as u64);
+        }
+    }
+
+    #[test]
+    fn streaming_frontier_matches_batch_on_a_pseudorandom_stream() {
+        // A fixed LCG keeps the case deterministic without any clock
+        // access; 200 points exercise every evict/reject path.
+        let mut state: u64 = 0x2545_f491_4f6c_dd1d;
+        let mut objs = Vec::new();
+        for _ in 0..200 {
+            let mut next = || {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                f64::from(u32::try_from(state >> 36).unwrap() % 16)
+            };
+            objs.push(o(next(), next(), next()));
+        }
+        let mask = pareto_mask(&objs);
+        let expected: Vec<usize> = (0..objs.len()).filter(|&i| mask[i]).collect();
+        let (got, dominated) = stream(&objs);
+        assert_eq!(got, expected);
+        assert_eq!(dominated, (objs.len() - expected.len()) as u64);
+    }
+
+    #[test]
+    fn offer_reports_the_leavers() {
+        let mut f = StreamingFrontier::new();
+        assert!(f.offer(o(4.0, 6.0, 5.0), "a").is_empty());
+        assert!(f.offer(o(6.0, 4.0, 5.0), "b").is_empty());
+        // A dominated candidate comes straight back.
+        let out = f.offer(o(9.0, 9.0, 9.0), "c");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1, "c");
+        // A sweeping candidate evicts both incumbents, arrival order kept.
+        let out = f.offer(o(1.0, 1.0, 1.0), "d");
+        assert_eq!(out.iter().map(|(_, p)| *p).collect::<Vec<_>>(), ["a", "b"]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.dominated(), 3);
+        // Ties with the survivor are kept, not rejected.
+        assert!(f.offer(o(1.0, 1.0, 1.0), "e").is_empty());
+        assert_eq!(f.len(), 2);
     }
 }

@@ -1,0 +1,533 @@
+//! Persistence for the streaming explorer: the per-point evaluation
+//! record that flows through the cross-run [`mc_core::cache::DiskCache`],
+//! and the checkpoint file that lets an interrupted run resume exactly
+//! where it stopped.
+//!
+//! Both formats are versioned plain text. Every `f64` is stored as the
+//! hexadecimal of its IEEE-754 bits, so a value round-trips *exactly* —
+//! a warm run served entirely from disk must render byte-identical JSON
+//! to the cold run that populated it, and a decimal rendering would lose
+//! that. Checkpoints are written to a temp file and renamed into place
+//! (the same publish discipline as the disk cache), and a corrupt or
+//! truncated checkpoint surfaces as a typed [`CheckpointError`] — never
+//! a panic, and never a silently wrong resume.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use mc_power::PowerCi;
+
+use crate::pareto::Objectives;
+
+/// Schema version of both the point-record body and the checkpoint file.
+pub const PERSIST_VERSION: u32 = 1;
+
+/// The magic line prefixing a point record stored in the disk cache.
+fn record_magic() -> String {
+    format!("mcpm-explore point v{PERSIST_VERSION}")
+}
+
+/// The magic line prefixing a checkpoint file.
+fn checkpoint_magic() -> String {
+    format!("mcpm-explore checkpoint v{PERSIST_VERSION}")
+}
+
+/// Everything the explorer needs to reconstruct an evaluated point
+/// without re-running the flow: the objective vector, the schedule
+/// length, the timing verdict and the Monte-Carlo confidence interval
+/// (when the run carried one).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointRecord {
+    /// The minimised objective vector.
+    pub objectives: Objectives,
+    /// Schedule length in control steps.
+    pub steps: u32,
+    /// Whether the critical path met the library clock target.
+    pub meets_target: bool,
+    /// Monte-Carlo power confidence interval, if seeds > 1 were run.
+    pub power_ci: Option<PowerCi>,
+}
+
+fn hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn unhex(s: &str) -> Option<f64> {
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+impl PointRecord {
+    /// Encodes the record as one line of `key=value` fields (floats as
+    /// exact bit patterns).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        let mut line = format!(
+            "power={} area={} latency={} steps={} meets={}",
+            hex(self.objectives.power_mw),
+            hex(self.objectives.area_lambda2),
+            hex(self.objectives.latency_ns),
+            self.steps,
+            u8::from(self.meets_target),
+        );
+        if let Some(ci) = &self.power_ci {
+            line.push_str(&format!(
+                " ci_mean={} ci_std={} ci95={} ci_seeds={}",
+                hex(ci.mean_mw),
+                hex(ci.std_mw),
+                hex(ci.ci95_mw),
+                ci.seeds
+            ));
+        }
+        line
+    }
+
+    /// Decodes a record line; `None` on any malformed field.
+    #[must_use]
+    pub fn from_line(line: &str) -> Option<PointRecord> {
+        let mut power = None;
+        let mut area = None;
+        let mut latency = None;
+        let mut steps = None;
+        let mut meets = None;
+        let mut ci_mean = None;
+        let mut ci_std = None;
+        let mut ci95 = None;
+        let mut ci_seeds = None;
+        for field in line.split_ascii_whitespace() {
+            let (k, v) = field.split_once('=')?;
+            match k {
+                "power" => power = Some(unhex(v)?),
+                "area" => area = Some(unhex(v)?),
+                "latency" => latency = Some(unhex(v)?),
+                "steps" => steps = Some(v.parse::<u32>().ok()?),
+                "meets" => meets = Some(v == "1"),
+                "ci_mean" => ci_mean = Some(unhex(v)?),
+                "ci_std" => ci_std = Some(unhex(v)?),
+                "ci95" => ci95 = Some(unhex(v)?),
+                "ci_seeds" => ci_seeds = Some(v.parse::<usize>().ok()?),
+                _ => return None,
+            }
+        }
+        let power_ci = match (ci_mean, ci_std, ci95, ci_seeds) {
+            (Some(mean_mw), Some(std_mw), Some(ci95_mw), Some(seeds)) => Some(PowerCi {
+                mean_mw,
+                std_mw,
+                ci95_mw,
+                seeds,
+            }),
+            (None, None, None, None) => None,
+            _ => return None,
+        };
+        Some(PointRecord {
+            objectives: Objectives {
+                power_mw: power?,
+                area_lambda2: area?,
+                latency_ns: latency?,
+            },
+            steps: steps?,
+            meets_target: meets?,
+            power_ci,
+        })
+    }
+
+    /// Encodes the record as a disk-cache entry body (magic line + record
+    /// line).
+    #[must_use]
+    pub fn to_cache_body(&self) -> String {
+        format!("{}\n{}\n", record_magic(), self.to_line())
+    }
+
+    /// Decodes a disk-cache entry body; `None` when the magic or record
+    /// is from another schema or malformed (the caller treats it as a
+    /// miss and recomputes).
+    #[must_use]
+    pub fn from_cache_body(body: &str) -> Option<PointRecord> {
+        let (magic, rest) = body.split_once('\n')?;
+        if magic != record_magic() {
+            return None;
+        }
+        PointRecord::from_line(rest.trim_end_matches('\n'))
+    }
+}
+
+/// Why a checkpoint could not be loaded.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The file could not be read or written.
+    Io {
+        /// The checkpoint path.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// The file exists but is truncated, garbled, or from another schema
+    /// version.
+    Corrupt {
+        /// The checkpoint path.
+        path: PathBuf,
+        /// What failed to parse.
+        reason: String,
+    },
+    /// The checkpoint was written by a run with a different configuration
+    /// (different space, benchmark, seed or Monte-Carlo depth), so its
+    /// cursor and frontier are meaningless here.
+    ConfigMismatch {
+        /// The checkpoint path.
+        path: PathBuf,
+        /// The fingerprint stored in the file.
+        found: u64,
+        /// The fingerprint of the current run.
+        expected: u64,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, source } => {
+                write!(f, "checkpoint i/o error at {}: {source}", path.display())
+            }
+            CheckpointError::Corrupt { path, reason } => {
+                write!(f, "corrupt checkpoint at {}: {reason}", path.display())
+            }
+            CheckpointError::ConfigMismatch {
+                path,
+                found,
+                expected,
+            } => write!(
+                f,
+                "checkpoint at {} belongs to another run (config {found:016x}, this run is {expected:016x})",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// A saved explorer position: how far the lattice cursor advanced, the
+/// frontier at that cursor, and the deterministic counters needed to
+/// resume with honest totals. The frontier entries are mutually
+/// nondominated, so re-offering them in stored order reconstructs the
+/// exact streaming state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Fingerprint of everything that determines results (space,
+    /// design content, seed, computations, power seeds). Budget and
+    /// deadline are deliberately excluded: a budget-interrupted run may
+    /// resume toward the full lattice.
+    pub config: u64,
+    /// Lattice indexes `0..cursor` have been consumed.
+    pub cursor: usize,
+    /// Deterministic dedup counter at the cursor.
+    pub dedup_served: u64,
+    /// Frontier entries as (lattice index, record), arrival order.
+    pub frontier: Vec<(usize, PointRecord)>,
+}
+
+impl Checkpoint {
+    /// Serialises the checkpoint.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "{}\nconfig={:016x}\ncursor={}\ndedup={}\nfrontier={}\n",
+            checkpoint_magic(),
+            self.config,
+            self.cursor,
+            self.dedup_served,
+            self.frontier.len()
+        );
+        for (index, record) in &self.frontier {
+            out.push_str(&format!("point={index} {}\n", record.to_line()));
+        }
+        out
+    }
+
+    /// Writes the checkpoint atomically (temp file + rename) so a crash
+    /// mid-write leaves the previous checkpoint intact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] when the file cannot be written.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let io_err = |source| CheckpointError::Io {
+            path: path.to_path_buf(),
+            source,
+        };
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent).map_err(io_err)?;
+            }
+        }
+        let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+        fs::write(&tmp, self.to_text()).map_err(io_err)?;
+        fs::rename(&tmp, path).map_err(|source| {
+            let _ = fs::remove_file(&tmp);
+            io_err(source)
+        })
+    }
+
+    /// Loads a checkpoint, validating schema and configuration.
+    /// `Ok(None)` means the file does not exist — a fresh start, so
+    /// `--resume` is idempotent in scripts.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Corrupt`] for truncated/garbled/stale files,
+    /// [`CheckpointError::ConfigMismatch`] when the file belongs to a
+    /// different run configuration, [`CheckpointError::Io`] for other
+    /// read failures.
+    pub fn load(path: &Path, expected_config: u64) -> Result<Option<Checkpoint>, CheckpointError> {
+        let text = match fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(source) => {
+                return Err(CheckpointError::Io {
+                    path: path.to_path_buf(),
+                    source,
+                })
+            }
+        };
+        let corrupt = |reason: &str| CheckpointError::Corrupt {
+            path: path.to_path_buf(),
+            reason: reason.to_owned(),
+        };
+        let mut lines = text.lines();
+        if lines.next() != Some(checkpoint_magic().as_str()) {
+            return Err(corrupt("bad or missing magic line"));
+        }
+        let mut field = |prefix: &str| -> Result<String, CheckpointError> {
+            lines
+                .next()
+                .and_then(|l| l.strip_prefix(prefix))
+                .map(str::to_owned)
+                .ok_or_else(|| corrupt(&format!("missing {prefix} field")))
+        };
+        let config = u64::from_str_radix(&field("config=")?, 16)
+            .map_err(|_| corrupt("unparsable config fingerprint"))?;
+        if config != expected_config {
+            return Err(CheckpointError::ConfigMismatch {
+                path: path.to_path_buf(),
+                found: config,
+                expected: expected_config,
+            });
+        }
+        let cursor: usize = field("cursor=")?
+            .parse()
+            .map_err(|_| corrupt("unparsable cursor"))?;
+        let dedup_served: u64 = field("dedup=")?
+            .parse()
+            .map_err(|_| corrupt("unparsable dedup counter"))?;
+        let count: usize = field("frontier=")?
+            .parse()
+            .map_err(|_| corrupt("unparsable frontier count"))?;
+        let mut frontier = Vec::with_capacity(count);
+        for _ in 0..count {
+            let line = lines.next().ok_or_else(|| corrupt("truncated frontier"))?;
+            let rest = line
+                .strip_prefix("point=")
+                .ok_or_else(|| corrupt("malformed frontier line"))?;
+            let (index, record) = rest
+                .split_once(' ')
+                .ok_or_else(|| corrupt("malformed frontier line"))?;
+            let index: usize = index
+                .parse()
+                .map_err(|_| corrupt("unparsable frontier index"))?;
+            let record = PointRecord::from_line(record)
+                .ok_or_else(|| corrupt("unparsable frontier record"))?;
+            if index >= cursor {
+                return Err(corrupt("frontier index beyond cursor"));
+            }
+            frontier.push((index, record));
+        }
+        if lines.next().is_some() {
+            return Err(corrupt("trailing data after frontier"));
+        }
+        Ok(Some(Checkpoint {
+            config,
+            cursor,
+            dedup_served,
+            frontier,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(p: f64, ci: bool) -> PointRecord {
+        PointRecord {
+            objectives: Objectives {
+                power_mw: p,
+                area_lambda2: p * 1000.0 + 0.125,
+                latency_ns: 400.0 / p,
+            },
+            steps: 8,
+            meets_target: p < 5.0,
+            power_ci: ci.then_some(PowerCi {
+                mean_mw: p,
+                std_mw: 0.031_25,
+                ci95_mw: 0.062_5,
+                seeds: 16,
+            }),
+        }
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mc-ckpt-test-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn point_records_round_trip_exactly_including_awkward_floats() {
+        // Values with no finite decimal rendering must survive bit-exact.
+        for p in [1.0 / 3.0, 7.3e-3, f64::MIN_POSITIVE, 123_456.789_012_345] {
+            for ci in [false, true] {
+                let r = record(p, ci);
+                assert_eq!(PointRecord::from_line(&r.to_line()), Some(r.clone()));
+                assert_eq!(PointRecord::from_cache_body(&r.to_cache_body()), Some(r));
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_record_lines_parse_to_none() {
+        assert_eq!(PointRecord::from_line(""), None);
+        assert_eq!(PointRecord::from_line("power=zz area=0 latency=0"), None);
+        assert_eq!(PointRecord::from_line("unknown=1"), None);
+        // Partial CI fields are rejected, not half-filled.
+        let full = record(2.0, true).to_line();
+        let partial = full.replace(" ci_seeds=16", "");
+        assert_eq!(PointRecord::from_line(&partial), None);
+        // Wrong magic in a cache body is a miss.
+        assert_eq!(
+            PointRecord::from_cache_body("mcpm-explore point v999\npower=0\n"),
+            None
+        );
+    }
+
+    #[test]
+    fn checkpoints_round_trip_through_disk() {
+        let path = temp_path("roundtrip");
+        let ck = Checkpoint {
+            config: 0xdead_beef_0123_4567,
+            cursor: 420,
+            dedup_served: 17,
+            frontier: vec![(0, record(1.5, false)), (37, record(0.25, true))],
+        };
+        ck.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path, ck.config).unwrap().unwrap();
+        assert_eq!(loaded, ck);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_checkpoint_is_a_fresh_start_not_an_error() {
+        let path = temp_path("missing");
+        let _ = fs::remove_file(&path);
+        assert!(Checkpoint::load(&path, 1).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_and_garbled_checkpoints_are_typed_errors_not_panics() {
+        let path = temp_path("corrupt");
+        let ck = Checkpoint {
+            config: 9,
+            cursor: 10,
+            dedup_served: 0,
+            frontier: vec![(3, record(1.0, true))],
+        };
+        // Truncation mid-frontier.
+        let full = ck.to_text();
+        fs::write(&path, &full[..full.len() - 20]).unwrap();
+        assert!(matches!(
+            Checkpoint::load(&path, 9),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+        // Pure garbage.
+        fs::write(&path, "not a checkpoint at all\n").unwrap();
+        assert!(matches!(
+            Checkpoint::load(&path, 9),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+        // Stale schema version.
+        let stale = full.replacen(
+            &format!("checkpoint v{PERSIST_VERSION}"),
+            &format!("checkpoint v{}", PERSIST_VERSION + 1),
+            1,
+        );
+        fs::write(&path, stale).unwrap();
+        assert!(matches!(
+            Checkpoint::load(&path, 9),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+        // Frontier index beyond the cursor is inconsistent.
+        let bad = ck.to_text().replace("point=3", "point=10");
+        fs::write(&path, bad).unwrap();
+        assert!(matches!(
+            Checkpoint::load(&path, 9),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn config_mismatch_is_reported_with_both_fingerprints() {
+        let path = temp_path("mismatch");
+        Checkpoint {
+            config: 5,
+            cursor: 0,
+            dedup_served: 0,
+            frontier: vec![],
+        }
+        .save(&path)
+        .unwrap();
+        match Checkpoint::load(&path, 6) {
+            Err(CheckpointError::ConfigMismatch {
+                found, expected, ..
+            }) => {
+                assert_eq!(found, 5);
+                assert_eq!(expected, 6);
+            }
+            other => panic!("expected ConfigMismatch, got {other:?}"),
+        }
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn save_is_atomic_no_tmp_litter() {
+        let path = temp_path("atomic");
+        let ck = Checkpoint {
+            config: 1,
+            cursor: 2,
+            dedup_served: 0,
+            frontier: vec![],
+        };
+        ck.save(&path).unwrap();
+        ck.save(&path).unwrap(); // overwrite in place
+        let dir = path.parent().unwrap();
+        let litter = fs::read_dir(dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| {
+                e.file_name()
+                    .to_string_lossy()
+                    .starts_with(&*path.file_stem().unwrap().to_string_lossy())
+                    && e.path()
+                        .extension()
+                        .is_some_and(|x| x.to_string_lossy().starts_with("tmp-"))
+            })
+            .count();
+        assert_eq!(litter, 0);
+        let _ = fs::remove_file(&path);
+    }
+}

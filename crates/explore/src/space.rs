@@ -1,21 +1,28 @@
 //! The configuration lattice: every design decision the paper leaves to
-//! the engineer, enumerated as explicit candidate points.
+//! the engineer, described as an *indexable generator* rather than a
+//! materialised list.
 //!
 //! A [`DesignPoint`] fixes the clock count `n`, the allocation strategy
 //! (conventional ± gating, split, integrated), the memory-element kind
 //! (latch vs. DFF), the scheduler (the benchmark's reference schedule or
-//! the phase-affine scheduler) and the supply voltage. [`ExploreSpace`]
-//! enumerates the full lattice in a deterministic *best-first* order: the
-//! five paper-table anchor rows come first (so any budget ≥ 5 still
-//! evaluates the paper's own configurations), then the remaining
-//! nominal-voltage points from most to least promising under the paper's
-//! findings, then the voltage-scaled replicas.
+//! the phase-affine scheduler), the supply voltage, a data-dependent
+//! gating variant and a stimulus-distribution scenario. [`ExploreSpace`]
+//! compiles to a [`LatticeGen`] whose `point_at(i)` decodes any lattice
+//! index on demand — the explorer streams through hundreds of thousands
+//! of points without ever holding them in memory. The order is
+//! deterministic *best-first*: the five paper-table anchor rows come
+//! first (so any budget ≥ 5 still evaluates the paper's own
+//! configurations), then the remaining nominal-voltage points from most
+//! to least promising under the paper's findings, then the
+//! voltage-scaled replicas, then the gating-variant and scenario
+//! replicas of the whole sweep.
 
 use mc_alloc::Strategy;
 use mc_core::passes::Behavior;
 use mc_core::{DesignStyle, Flow};
 use mc_dfg::benchmarks::Benchmark;
-use mc_rtl::PowerMode;
+use mc_prng::SplitMix64;
+use mc_rtl::{ControlPolicy, PowerMode};
 use mc_tech::{MemKind, TechLibrary};
 
 /// The nominal supply voltage of the bundled technology library (V).
@@ -47,10 +54,119 @@ impl SchedulerChoice {
     }
 }
 
+/// A data-dependent gating variant: an override of the operating
+/// [`PowerMode`] applied on top of a style's own mode, spanning the
+/// clock-gating / operand-isolation / control-policy axes that
+/// data-dependent power-gating work (arXiv 1806.02271) explores on RTL
+/// datapaths. [`GatingVariant::Baseline`] keeps the style's native mode,
+/// so the default space reproduces the paper rows exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GatingVariant {
+    /// The style's own power mode (the paper's operating points).
+    Baseline,
+    /// Activity-gated memory clocks only: a memory element is clocked
+    /// only in steps where its load enable is asserted; control lines
+    /// hold.
+    DataGated,
+    /// Gated memory clocks plus ALU operand isolation, held control
+    /// lines — the full data-dependent gating stack.
+    Isolated,
+    /// Gated clocks and operand isolation with zeroed control lines
+    /// (the conventional gated baseline's policy).
+    IsolatedZero,
+    /// Everything off: free-running clocks, no isolation, zeroed control
+    /// lines — the non-gated reference for the gating ablation.
+    FreeRunning,
+}
+
+impl GatingVariant {
+    /// Every variant, in enumeration (most- to least-promising) order.
+    pub const ALL: [GatingVariant; 5] = [
+        GatingVariant::Baseline,
+        GatingVariant::DataGated,
+        GatingVariant::Isolated,
+        GatingVariant::IsolatedZero,
+        GatingVariant::FreeRunning,
+    ];
+
+    /// The first `n` variants of [`Self::ALL`] (clamped to 1..=5) — how
+    /// the CLI/API `gating=N` knob selects the variant prefix.
+    #[must_use]
+    pub fn first_n(n: usize) -> Vec<GatingVariant> {
+        Self::ALL[..n.clamp(1, Self::ALL.len())].to_vec()
+    }
+
+    /// Short label used in docs and error messages.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            GatingVariant::Baseline => "baseline",
+            GatingVariant::DataGated => "data-gated",
+            GatingVariant::Isolated => "isolated",
+            GatingVariant::IsolatedZero => "isolated-zero",
+            GatingVariant::FreeRunning => "free-running",
+        }
+    }
+
+    /// The power-mode override, `None` for the baseline.
+    fn mode(self) -> Option<PowerMode> {
+        match self {
+            GatingVariant::Baseline => None,
+            GatingVariant::DataGated => Some(PowerMode {
+                gated_mem_clocks: true,
+                operand_isolation: false,
+                control_policy: ControlPolicy::Hold,
+            }),
+            GatingVariant::Isolated => Some(PowerMode {
+                gated_mem_clocks: true,
+                operand_isolation: true,
+                control_policy: ControlPolicy::Hold,
+            }),
+            GatingVariant::IsolatedZero => Some(PowerMode::gated()),
+            GatingVariant::FreeRunning => Some(PowerMode::non_gated()),
+        }
+    }
+
+    /// Applies the variant to a style. When the override equals the
+    /// style's own mode the style is returned unchanged, so equivalent
+    /// points keep their canonical form (and the explorer's structural
+    /// dedup serves them from one evaluation).
+    #[must_use]
+    pub fn apply(self, style: DesignStyle) -> DesignStyle {
+        let Some(mode) = self.mode() else {
+            return style;
+        };
+        if style.power_mode() == mode {
+            return style;
+        }
+        DesignStyle::Custom {
+            strategy: style.strategy(),
+            clocks: style.clocks(),
+            mem_kind: style.mem_kind(),
+            transfers: style.transfers(),
+            mode,
+        }
+    }
+}
+
+/// The stimulus seed a scenario evaluates under: scenario 0 is the base
+/// seed itself (so single-scenario spaces reproduce historical numbers
+/// bit for bit), every further scenario a SplitMix64-derived stream.
+#[must_use]
+pub fn scenario_seed(seed: u64, scenario: u32) -> u64 {
+    if scenario == 0 {
+        seed
+    } else {
+        SplitMix64::new(seed ^ (0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(u64::from(scenario))))
+            .next_u64()
+    }
+}
+
 /// Everything one flow group shares: the scheduler that produced the
-/// behaviour (plus the clock count the affine scheduler aligned to) and
-/// the supply voltage. All points of a group evaluate through one shared
-/// [`Flow`], so they share its content-keyed artifact cache.
+/// behaviour (plus the clock count the affine scheduler aligned to), the
+/// supply voltage and the stimulus scenario. All points of a group
+/// evaluate through one shared [`Flow`], so they share its content-keyed
+/// artifact cache.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlowSpec {
     /// The scheduler.
@@ -60,10 +176,29 @@ pub struct FlowSpec {
     pub affine_clocks: u32,
     /// Supply voltage (V).
     pub volts: f64,
+    /// Stimulus-distribution scenario (0 = the base seed).
+    pub scenario: u32,
 }
 
 impl FlowSpec {
-    /// Materialises the flow for `bm` under this spec.
+    /// A stable, hashable key for this spec (voltage by exact bits).
+    #[must_use]
+    pub fn key(&self) -> (u64, u32, u64, u32) {
+        let sched = match self.scheduler {
+            SchedulerChoice::Reference => 0,
+            SchedulerChoice::PhaseAffine { stretch } => 1 + u64::from(stretch),
+        };
+        (
+            sched,
+            self.affine_clocks,
+            self.volts.to_bits(),
+            self.scenario,
+        )
+    }
+
+    /// Materialises the flow for `bm` under this spec; `seed` is the
+    /// explorer's base seed (the scenario derives its own stream from
+    /// it).
     #[must_use]
     pub fn build(&self, bm: &Benchmark, computations: usize, seed: u64) -> Flow {
         let behavior = match self.scheduler {
@@ -75,7 +210,7 @@ impl FlowSpec {
         };
         Flow::from_behavior(behavior)
             .with_computations(computations)
-            .with_seed(seed)
+            .with_seed(scenario_seed(seed, self.scenario))
             .with_tech(TechLibrary::vsc450().at_voltage(self.volts))
     }
 }
@@ -89,31 +224,94 @@ pub struct DesignPoint {
     pub scheduler: SchedulerChoice,
     /// Supply voltage (V).
     pub volts: f64,
-    /// Index into the lattice's flow-group table.
-    pub flow: usize,
+    /// Stimulus-distribution scenario (0 = the base seed).
+    pub scenario: u32,
 }
 
 impl DesignPoint {
-    /// Human-readable point label: style, scheduler, voltage.
+    /// Human-readable point label: style, scheduler, voltage and (when
+    /// not the base scenario) the scenario index.
     #[must_use]
     pub fn label(&self) -> String {
+        if self.scenario == 0 {
+            format!(
+                "{} [{}, {:.2} V]",
+                self.style.label(),
+                self.scheduler.label(),
+                self.volts
+            )
+        } else {
+            format!(
+                "{} [{}, {:.2} V, s{}]",
+                self.style.label(),
+                self.scheduler.label(),
+                self.volts,
+                self.scenario
+            )
+        }
+    }
+
+    /// The flow group this point evaluates through.
+    #[must_use]
+    pub fn flow_spec(&self) -> FlowSpec {
+        let affine_clocks = match self.scheduler {
+            SchedulerChoice::Reference => 0,
+            SchedulerChoice::PhaseAffine { .. } => self.style.clocks(),
+        };
+        FlowSpec {
+            scheduler: self.scheduler,
+            affine_clocks,
+            volts: self.volts,
+            scenario: self.scenario,
+        }
+    }
+
+    /// The versioned canonical description of everything that determines
+    /// this point's evaluated numbers: the design content fingerprint,
+    /// the full style tuple, the scheduler, the exact voltage bits, the
+    /// derived stimulus seed and the Monte-Carlo depth. Structurally
+    /// equivalent points (a named paper row and the `Custom` tuple it
+    /// folds to, or two gating variants that resolve to the same mode)
+    /// render identically, which is what makes the FNV-1a hash of this
+    /// string both the explorer's dedup key and its persistent
+    /// [`mc_core::cache::DiskCache`] key. Bit-identity knobs (threads,
+    /// batch width, kernel backend) deliberately never appear.
+    #[must_use]
+    pub fn canonical(
+        &self,
+        content_fp: u64,
+        computations: usize,
+        seed: u64,
+        power_seeds: usize,
+    ) -> String {
+        let mode = self.style.power_mode();
         format!(
-            "{} [{}, {:.2} V]",
-            self.style.label(),
+            "mcpm-explore point v1\n\
+             design={content_fp:016x}\n\
+             strategy={:?}\n\
+             clocks={}\n\
+             mem={:?}\n\
+             transfers={}\n\
+             gated={} iso={} ctl={:?}\n\
+             scheduler={}\n\
+             affine_clocks={}\n\
+             volts={:016x}\n\
+             seed={}\n\
+             computations={computations}\n\
+             power_seeds={power_seeds}\n",
+            self.style.strategy(),
+            self.style.clocks(),
+            self.style.mem_kind(),
+            self.style.transfers(),
+            mode.gated_mem_clocks,
+            mode.operand_isolation,
+            mode.control_policy,
             self.scheduler.label(),
-            self.volts
+            self.flow_spec().affine_clocks,
+            self.volts.to_bits(),
+            scenario_seed(seed, self.scenario),
         )
     }
-}
-
-/// The enumerated lattice: the flow groups plus the candidate points in
-/// best-first order (every point's `flow` indexes into `flows`).
-#[derive(Debug, Clone)]
-pub struct Lattice {
-    /// The distinct (scheduler, voltage) flow groups.
-    pub flows: Vec<FlowSpec>,
-    /// The candidate points, best-first.
-    pub points: Vec<DesignPoint>,
 }
 
 /// The lattice configuration: which dimensions to span.
@@ -128,6 +326,12 @@ pub struct ExploreSpace {
     /// Stretch values for the phase-affine scheduler (empty disables the
     /// scheduler dimension).
     pub stretches: Vec<u32>,
+    /// Data-dependent gating variants to replicate the sweep under
+    /// (default `[Baseline]` — the styles' own modes only).
+    pub gating: Vec<GatingVariant>,
+    /// Stimulus-distribution scenarios per configuration (default 1;
+    /// scenario 0 always uses the base seed).
+    pub scenarios: u32,
 }
 
 impl Default for ExploreSpace {
@@ -136,6 +340,8 @@ impl Default for ExploreSpace {
             n_max: 4,
             voltages: vec![NOMINAL_VOLTS, 3.3],
             stretches: vec![2],
+            gating: vec![GatingVariant::Baseline],
+            scenarios: 1,
         }
     }
 }
@@ -147,6 +353,31 @@ pub fn anchor_styles() -> [DesignStyle; 5] {
 }
 
 impl ExploreSpace {
+    /// The large-scale preset of ROADMAP item 5: clock counts to 8, the
+    /// full 2.5–5.0 V grid in 0.05 V steps (nominal first), four affine
+    /// stretches, every gating variant and eight stimulus scenarios —
+    /// a lattice of well over 10⁵ points per benchmark.
+    #[must_use]
+    pub fn scale() -> ExploreSpace {
+        // Build the grid in integer millivolts so every voltage is the
+        // correctly rounded f64 of an exact decimal; 4.65 V is on-grid
+        // and is hoisted first as the nominal anchor host.
+        let mut voltages = vec![NOMINAL_VOLTS];
+        for mv in (2500..=5000).step_by(50) {
+            let v = f64::from(mv) / 1000.0;
+            if v != NOMINAL_VOLTS {
+                voltages.push(v);
+            }
+        }
+        ExploreSpace {
+            n_max: 8,
+            voltages,
+            stretches: vec![1, 2, 3, 4],
+            gating: GatingVariant::ALL.to_vec(),
+            scenarios: 8,
+        }
+    }
+
     /// A custom integrated/split style (integrated + latch folds back to
     /// the canonical [`DesignStyle::MultiClock`] so anchor rows and cache
     /// keys coincide).
@@ -163,82 +394,115 @@ impl ExploreSpace {
         }
     }
 
-    /// Enumerates the full lattice in deterministic best-first order.
+    /// Compiles the space into its indexable lazy generator.
     ///
-    /// Order per voltage (nominal first): the five anchor rows, deeper
-    /// multi-clock latch designs (`n = 4..=n_max`), integrated-DFF
-    /// ablation points, split-allocation points, then phase-affine
-    /// schedules. Voltage-scaled replicas follow the nominal block in
-    /// `voltages` order.
+    /// The generator materialises only the per-voltage block of (style,
+    /// scheduler) pairs — a few dozen entries — never the full cross
+    /// product with voltages, gating variants and scenarios, so the
+    /// lattice can hold 10⁵–10⁶ points in O(block) memory.
     #[must_use]
-    pub fn enumerate(&self) -> Lattice {
-        let mut flows: Vec<FlowSpec> = Vec::new();
-        let mut points: Vec<DesignPoint> = Vec::new();
-        let flow_index = |flows: &mut Vec<FlowSpec>, spec: FlowSpec| -> usize {
-            match flows.iter().position(|f| *f == spec) {
-                Some(i) => i,
-                None => {
-                    flows.push(spec);
-                    flows.len() - 1
-                }
-            }
-        };
-        for &volts in &self.voltages {
-            let reference = FlowSpec {
-                scheduler: SchedulerChoice::Reference,
-                affine_clocks: 0,
-                volts,
-            };
-            let ref_flow = flow_index(&mut flows, reference);
-            let push_ref = |points: &mut Vec<DesignPoint>, style: DesignStyle| {
-                points.push(DesignPoint {
-                    style,
-                    scheduler: SchedulerChoice::Reference,
-                    volts,
-                    flow: ref_flow,
-                });
-            };
-            // Anchors: the five paper-table rows.
-            for style in anchor_styles() {
-                push_ref(&mut points, style);
-            }
-            // Deeper multi-clock latch designs beyond the paper's n = 3.
-            for n in 4..=self.n_max {
-                push_ref(&mut points, DesignStyle::MultiClock(n));
-            }
-            // Integrated allocation with DFFs (the latch-vs-register
-            // ablation, §5.2).
-            for n in 1..=self.n_max {
-                push_ref(
-                    &mut points,
-                    Self::custom(Strategy::Integrated, n, MemKind::Dff),
-                );
-            }
-            // Split allocation (§4.1), both memory kinds.
-            for n in 2..=self.n_max {
-                for mem in [MemKind::Latch, MemKind::Dff] {
-                    push_ref(&mut points, Self::custom(Strategy::Split, n, mem));
-                }
-            }
-            // Phase-affine schedules: latency-for-power trades.
-            for &stretch in &self.stretches {
-                for n in 2..=self.n_max {
-                    let spec = FlowSpec {
-                        scheduler: SchedulerChoice::PhaseAffine { stretch },
-                        affine_clocks: n,
-                        volts,
-                    };
-                    let flow = flow_index(&mut flows, spec);
-                    points.push(DesignPoint {
-                        style: DesignStyle::MultiClock(n),
-                        scheduler: SchedulerChoice::PhaseAffine { stretch },
-                        volts,
-                        flow,
-                    });
-                }
+    pub fn generator(&self) -> LatticeGen {
+        let mut block: Vec<(DesignStyle, SchedulerChoice)> = Vec::new();
+        // Anchors: the five paper-table rows.
+        for style in anchor_styles() {
+            block.push((style, SchedulerChoice::Reference));
+        }
+        // Deeper multi-clock latch designs beyond the paper's n = 3.
+        for n in 4..=self.n_max {
+            block.push((DesignStyle::MultiClock(n), SchedulerChoice::Reference));
+        }
+        // Integrated allocation with DFFs (the latch-vs-register
+        // ablation, §5.2).
+        for n in 1..=self.n_max {
+            block.push((
+                Self::custom(Strategy::Integrated, n, MemKind::Dff),
+                SchedulerChoice::Reference,
+            ));
+        }
+        // Split allocation (§4.1), both memory kinds.
+        for n in 2..=self.n_max {
+            for mem in [MemKind::Latch, MemKind::Dff] {
+                block.push((
+                    Self::custom(Strategy::Split, n, mem),
+                    SchedulerChoice::Reference,
+                ));
             }
         }
-        Lattice { flows, points }
+        // Phase-affine schedules: latency-for-power trades.
+        for &stretch in &self.stretches {
+            for n in 2..=self.n_max {
+                block.push((
+                    DesignStyle::MultiClock(n),
+                    SchedulerChoice::PhaseAffine { stretch },
+                ));
+            }
+        }
+        LatticeGen {
+            block,
+            voltages: self.voltages.clone(),
+            gating: if self.gating.is_empty() {
+                vec![GatingVariant::Baseline]
+            } else {
+                self.gating.clone()
+            },
+            scenarios: self.scenarios.max(1),
+        }
+    }
+}
+
+/// The compiled lazy lattice: any index decodes to its point on demand.
+///
+/// Index layout, outermost to innermost: scenario → gating variant →
+/// voltage → block entry. Index 0..4 are therefore always the five paper
+/// anchors at scenario 0, baseline gating, nominal voltage — the same
+/// best-first contract the materialised enumeration used to give.
+#[derive(Debug, Clone)]
+pub struct LatticeGen {
+    block: Vec<(DesignStyle, SchedulerChoice)>,
+    voltages: Vec<f64>,
+    gating: Vec<GatingVariant>,
+    scenarios: u32,
+}
+
+impl LatticeGen {
+    /// Total number of lattice points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.block.len() * self.voltages.len() * self.gating.len() * self.scenarios as usize
+    }
+
+    /// Whether the lattice is empty (no voltages, or an empty block).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Decodes lattice index `i` into its design point.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= self.len()`.
+    #[must_use]
+    pub fn point_at(&self, i: usize) -> DesignPoint {
+        assert!(i < self.len(), "lattice index {i} out of {}", self.len());
+        let b = i % self.block.len();
+        let rest = i / self.block.len();
+        let v = rest % self.voltages.len();
+        let rest = rest / self.voltages.len();
+        let g = rest % self.gating.len();
+        let s = rest / self.gating.len();
+        let (style, scheduler) = self.block[b];
+        DesignPoint {
+            style: self.gating[g].apply(style),
+            scheduler,
+            volts: self.voltages[v],
+            scenario: u32::try_from(s).expect("scenario count fits u32"),
+        }
+    }
+
+    /// Iterates every point in index order (lazy; nothing is collected).
+    pub fn iter(&self) -> impl Iterator<Item = DesignPoint> + '_ {
+        (0..self.len()).map(|i| self.point_at(i))
     }
 }
 
@@ -248,23 +512,26 @@ mod tests {
 
     #[test]
     fn anchors_lead_the_enumeration() {
-        let lattice = ExploreSpace::default().enumerate();
-        let head: Vec<DesignStyle> = lattice.points[..5].iter().map(|p| p.style).collect();
+        let gen = ExploreSpace::default().generator();
+        let head: Vec<DesignStyle> = (0..5).map(|i| gen.point_at(i).style).collect();
         assert_eq!(head, anchor_styles());
-        assert!(lattice.points[..5]
-            .iter()
-            .all(|p| p.scheduler == SchedulerChoice::Reference && p.volts == NOMINAL_VOLTS));
+        for i in 0..5 {
+            let p = gen.point_at(i);
+            assert_eq!(p.scheduler, SchedulerChoice::Reference);
+            assert_eq!(p.volts, NOMINAL_VOLTS);
+            assert_eq!(p.scenario, 0);
+        }
     }
 
     #[test]
     fn enumeration_is_deterministic_and_duplicate_free() {
-        let a = ExploreSpace::default().enumerate();
-        let b = ExploreSpace::default().enumerate();
-        assert_eq!(a.points.len(), b.points.len());
-        for (x, y) in a.points.iter().zip(&b.points) {
+        let a = ExploreSpace::default().generator();
+        let b = ExploreSpace::default().generator();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
             assert_eq!(x, y);
         }
-        let mut labels: Vec<String> = a.points.iter().map(DesignPoint::label).collect();
+        let mut labels: Vec<String> = a.iter().map(|p| p.label()).collect();
         labels.sort();
         let before = labels.len();
         labels.dedup();
@@ -273,8 +540,13 @@ mod tests {
 
     #[test]
     fn lattice_spans_every_dimension() {
-        let lattice = ExploreSpace::default().enumerate();
-        let points = &lattice.points;
+        let space = ExploreSpace {
+            gating: GatingVariant::ALL.to_vec(),
+            scenarios: 2,
+            ..ExploreSpace::default()
+        };
+        let gen = space.generator();
+        let points: Vec<DesignPoint> = gen.iter().collect();
         assert!(points.iter().any(|p| p.style.mem_kind() == MemKind::Dff));
         assert!(points
             .iter()
@@ -284,22 +556,99 @@ mod tests {
             .any(|p| matches!(p.scheduler, SchedulerChoice::PhaseAffine { .. })));
         assert!(points.iter().any(|p| p.volts < NOMINAL_VOLTS));
         assert!(points.iter().any(|p| p.style.clocks() == 4));
+        assert!(points.iter().any(|p| p.scenario == 1));
+        assert!(points
+            .iter()
+            .any(|p| p.style.power_mode().gated_mem_clocks
+                && !p.style.power_mode().operand_isolation));
         // Integrated+latch folds to the canonical MultiClock variant.
         assert!(points.iter().all(
-            |p| !matches!(p.style, DesignStyle::Custom { mem_kind, strategy, .. }
-                if mem_kind == MemKind::Latch && strategy == mc_alloc::Strategy::Integrated)
+            |p| !matches!(p.style, DesignStyle::Custom { mem_kind, strategy, mode, .. }
+                if mem_kind == MemKind::Latch
+                    && strategy == mc_alloc::Strategy::Integrated
+                    && mode == PowerMode::multiclock())
         ));
     }
 
     #[test]
-    fn flow_groups_are_shared_per_scheduler_and_voltage() {
-        let lattice = ExploreSpace::default().enumerate();
+    fn flow_specs_group_by_scheduler_voltage_and_scenario() {
+        let gen = ExploreSpace::default().generator();
+        let mut keys: Vec<(u64, u32, u64, u32)> = gen.iter().map(|p| p.flow_spec().key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
         // 2 voltages × (1 reference + 3 affine clock counts) = 8 groups.
-        assert_eq!(lattice.flows.len(), 8);
-        for p in &lattice.points {
-            let spec = lattice.flows[p.flow];
+        assert_eq!(keys.len(), 8);
+        for p in gen.iter() {
+            let spec = p.flow_spec();
             assert_eq!(spec.volts, p.volts);
             assert_eq!(spec.scheduler, p.scheduler);
+            assert_eq!(spec.scenario, p.scenario);
         }
+    }
+
+    #[test]
+    fn gating_variants_fold_back_to_equivalent_named_styles() {
+        // The non-gated conventional row under the free-running variant
+        // *is* the non-gated row; dedup later serves it for free.
+        let s = GatingVariant::FreeRunning.apply(DesignStyle::ConventionalNonGated);
+        assert_eq!(s, DesignStyle::ConventionalNonGated);
+        let s = GatingVariant::IsolatedZero.apply(DesignStyle::ConventionalGated);
+        assert_eq!(s, DesignStyle::ConventionalGated);
+        // A genuinely new mode becomes a Custom tuple with the same
+        // structural axes.
+        let s = GatingVariant::DataGated.apply(DesignStyle::MultiClock(3));
+        assert_eq!(s.clocks(), 3);
+        assert_eq!(s.mem_kind(), MemKind::Latch);
+        assert!(s.power_mode().gated_mem_clocks);
+        assert!(!s.power_mode().operand_isolation);
+    }
+
+    #[test]
+    fn canonical_keys_coincide_exactly_for_structural_twins() {
+        let named = DesignPoint {
+            style: DesignStyle::ConventionalNonGated,
+            scheduler: SchedulerChoice::Reference,
+            volts: NOMINAL_VOLTS,
+            scenario: 0,
+        };
+        let folded = DesignPoint {
+            style: GatingVariant::FreeRunning.apply(DesignStyle::ConventionalNonGated),
+            ..named
+        };
+        assert_eq!(
+            named.canonical(7, 60, 42, 1),
+            folded.canonical(7, 60, 42, 1)
+        );
+        // Any knob that changes results changes the key.
+        assert_ne!(named.canonical(7, 60, 42, 1), named.canonical(8, 60, 42, 1));
+        assert_ne!(named.canonical(7, 60, 42, 1), named.canonical(7, 61, 42, 1));
+        assert_ne!(named.canonical(7, 60, 42, 1), named.canonical(7, 60, 43, 1));
+        assert_ne!(named.canonical(7, 60, 42, 1), named.canonical(7, 60, 42, 2));
+    }
+
+    #[test]
+    fn scenario_seeds_are_distinct_streams_anchored_at_the_base_seed() {
+        assert_eq!(scenario_seed(42, 0), 42);
+        let mut seen: Vec<u64> = (0..8).map(|s| scenario_seed(42, s)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 8, "scenario seeds must not collide");
+        assert_ne!(scenario_seed(42, 1), scenario_seed(43, 1));
+    }
+
+    #[test]
+    fn scale_preset_exceeds_a_hundred_thousand_points() {
+        let gen = ExploreSpace::scale().generator();
+        assert!(gen.len() >= 100_000, "scale lattice = {}", gen.len());
+        // Still anchored: the first five points are the paper rows at
+        // nominal voltage, baseline gating, scenario 0.
+        let head: Vec<DesignStyle> = (0..5).map(|i| gen.point_at(i).style).collect();
+        assert_eq!(head, anchor_styles());
+        assert_eq!(gen.point_at(0).volts, NOMINAL_VOLTS);
+        // The voltage grid is the exact decimal grid.
+        let space = ExploreSpace::scale();
+        assert_eq!(space.voltages.len(), 51);
+        assert!(space.voltages.contains(&2.5));
+        assert!(space.voltages.contains(&5.0));
     }
 }

@@ -1,0 +1,46 @@
+//! In-process proof, through the trace machinery, that a warm explorer
+//! re-run against the persistent cross-run cache performs zero pipeline
+//! work: `flow.runs` stays at exactly 0 while every point is served from
+//! the disk store or structural dedup.
+//!
+//! This lives in its own test binary on purpose — `mc_trace` counters
+//! are process-global, and any other test recording spans in parallel
+//! would pollute the totals asserted here.
+
+use mc_dfg::benchmarks;
+use mc_explore::Explorer;
+
+#[test]
+fn warm_rerun_records_zero_flow_runs() {
+    let cache_dir =
+        std::env::temp_dir().join(format!("mc-explore-test-{}-warm-trace", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let bm = benchmarks::hal();
+    let explorer = || {
+        Explorer::new()
+            .with_computations(30)
+            .with_budget(8)
+            .with_cache_dir(&cache_dir)
+    };
+
+    // Cold pass populates the store; its counters are drained and
+    // discarded so the warm assertions below are exact.
+    let cold = explorer().run(&bm).expect("cold run");
+    assert!(cold.flow_evals > 0);
+    mc_trace::enable();
+    let _ = mc_trace::take();
+
+    let warm = explorer().run(&bm).expect("warm run");
+
+    mc_trace::disable();
+    let trace = mc_trace::take();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let counter = |name: &str| trace.runtime_counters.get(name).copied().unwrap_or(0);
+    assert_eq!(counter("flow.runs"), 0, "{:?}", trace.runtime_counters);
+    assert_eq!(counter("explore.flow_evals"), 0);
+    assert_eq!(
+        counter("explore.cache.disk_hits") + warm.dedup_served,
+        warm.evaluated as u64
+    );
+    assert_eq!(cold.to_json(), warm.to_json());
+}

@@ -23,7 +23,7 @@ use mc_core::dfg::benchmarks::{self, Benchmark};
 use mc_core::rtl::export;
 use mc_core::sim::BatchBackend;
 use mc_core::{experiment, retrofit, DesignStyle, Flow, Synthesizer};
-use mc_explore::{ExploreSpace, Explorer, NOMINAL_VOLTS};
+use mc_explore::{ExploreSpace, Explorer, GatingVariant, NOMINAL_VOLTS};
 use mc_trace::json::Value;
 
 use crate::cache::fnv1a;
@@ -84,19 +84,16 @@ impl DesignRef {
 }
 
 fn find_benchmark(name: &str) -> Result<Benchmark, String> {
-    benchmarks::all_benchmarks()
-        .into_iter()
-        .find(|b| b.name() == name)
-        .ok_or_else(|| {
-            let names: Vec<String> = benchmarks::all_benchmarks()
-                .iter()
-                .map(|b| b.name().to_owned())
-                .collect();
-            format!(
-                "unknown benchmark `{name}`; available: {}",
-                names.join(", ")
-            )
-        })
+    benchmarks::by_name(name).ok_or_else(|| {
+        let names: Vec<String> = benchmarks::all_benchmarks()
+            .iter()
+            .map(|b| b.name().to_owned())
+            .collect();
+        format!(
+            "unknown benchmark `{name}`; available: {} (or random:<nodes>:<seed>)",
+            names.join(", ")
+        )
+    })
 }
 
 fn behavior_content(bm: &Benchmark) -> String {
@@ -145,6 +142,11 @@ pub struct ExploreRequest {
     pub voltages: Vec<f64>,
     /// Schedule stretch factors in the lattice (default `[2]`).
     pub stretches: Vec<u32>,
+    /// Data-dependent gating variants: the first `gating` entries of
+    /// [`mc_explore::GatingVariant::ALL`] (default 1 = baseline only).
+    pub gating: u32,
+    /// Stimulus-distribution scenarios per configuration (default 1).
+    pub scenarios: u32,
     /// Evaluation budget (points), unlimited when `None`.
     pub budget: Option<usize>,
     /// Monte-Carlo stimulus seeds per point (default 1).
@@ -216,7 +218,7 @@ impl ApiRequest {
     ///
     /// Fails for unknown benchmark names.
     pub fn canonical(&self) -> Result<String, String> {
-        let mut s = format!("mcpm-serve request v1\nkind={}\n", self.kind());
+        let mut s = format!("mcpm-serve request v2\nkind={}\n", self.kind());
         match self {
             ApiRequest::Eval(r) => {
                 let _ = writeln!(s, "computations={}", r.computations);
@@ -235,6 +237,8 @@ impl ApiRequest {
                 let _ = writeln!(s, "voltages={}", volts.join(","));
                 let stretches: Vec<String> = r.stretches.iter().map(u32::to_string).collect();
                 let _ = writeln!(s, "stretches={}", stretches.join(","));
+                let _ = writeln!(s, "gating={}", r.gating);
+                let _ = writeln!(s, "scenarios={}", r.scenarios);
                 match r.budget {
                     Some(b) => {
                         let _ = writeln!(s, "budget={b}");
@@ -313,6 +317,8 @@ impl ApiRequest {
                         n_max: r.max_clocks,
                         voltages: r.voltages.clone(),
                         stretches: r.stretches.clone(),
+                        gating: GatingVariant::first_n(r.gating as usize),
+                        scenarios: r.scenarios,
                     })
                     .with_computations(r.computations)
                     .with_seed(r.seed)
@@ -462,6 +468,8 @@ pub fn parse_request(kind: &str, body: &str) -> Result<ApiRequest, String> {
             "max_clocks",
             "voltages",
             "stretch",
+            "gating",
+            "scenarios",
             "budget",
             "seeds",
             "batch",
@@ -517,6 +525,18 @@ pub fn parse_request(kind: &str, body: &str) -> Result<ApiRequest, String> {
                 .map_err(|_| "`max_clocks` out of range".to_owned())?,
             voltages: f64_list_field(&doc, "voltages", &[NOMINAL_VOLTS, 3.3])?,
             stretches: u32_list_field(&doc, "stretch", &[2])?,
+            gating: {
+                let g = int_field(&doc, "gating", 1, 1)?;
+                if g > GatingVariant::ALL.len() as u64 {
+                    return Err(format!(
+                        "`gating` out of range (1..={})",
+                        GatingVariant::ALL.len()
+                    ));
+                }
+                g as u32
+            },
+            scenarios: u32::try_from(int_field(&doc, "scenarios", 1, 1)?)
+                .map_err(|_| "`scenarios` out of range".to_owned())?,
             budget: opt_int_field(&doc, "budget", 1)?.map(|b| b as usize),
             power_seeds: int_field(&doc, "seeds", 1, 1)? as usize,
             batch: int_field(&doc, "batch", Flow::DEFAULT_BATCH as u64, 1)? as usize,
@@ -666,6 +686,8 @@ mod tests {
         assert_eq!(r.max_clocks, 4);
         assert_eq!(r.voltages, vec![NOMINAL_VOLTS, 3.3]);
         assert_eq!(r.stretches, vec![2]);
+        assert_eq!(r.gating, 1);
+        assert_eq!(r.scenarios, 1);
         assert_eq!(r.budget, None);
         assert_eq!(r.power_seeds, 1);
         assert_eq!(r.batch, Flow::DEFAULT_BATCH);
@@ -708,6 +730,11 @@ mod tests {
                 .unwrap_err()
                 .contains("invalid backend")
         );
+        assert!(
+            parse_request("explore", r#"{"benchmark":"hal","gating":6}"#)
+                .unwrap_err()
+                .contains("`gating` out of range")
+        );
     }
 
     #[test]
@@ -743,6 +770,10 @@ mod tests {
         // ...but result-relevant ones change it.
         let c = parse_request("explore", r#"{"benchmark":"hal","seeds":3}"#).unwrap();
         assert_ne!(a.cache_key().unwrap(), c.cache_key().unwrap());
+        let d = parse_request("explore", r#"{"benchmark":"hal","scenarios":2}"#).unwrap();
+        assert_ne!(a.cache_key().unwrap(), d.cache_key().unwrap());
+        let e = parse_request("explore", r#"{"benchmark":"hal","gating":3}"#).unwrap();
+        assert_ne!(a.cache_key().unwrap(), e.cache_key().unwrap());
     }
 
     #[test]

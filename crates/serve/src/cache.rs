@@ -1,302 +1,10 @@
-//! The sharded, content-addressed, on-disk result cache behind `mcpm
-//! serve`.
+//! The sharded on-disk result cache behind `mcpm serve`.
 //!
-//! Entries are keyed by a 64-bit FNV-1a hash of the canonicalised request
-//! (see [`crate::api`]) and stored one file per entry under 16 shard
-//! directories (first hex nibble of the key), so a busy cache never piles
-//! every entry into one directory. Writes go to a temporary file in the
-//! shard and are published with an atomic rename — a crashed writer can
-//! leave a stale `.tmp-*` file but never a half-written entry under the
-//! final name. Reads validate a versioned header (magic, schema version,
-//! key echo, body length, body checksum); any mismatch — truncation,
-//! garbage, a stale schema — evicts the file and reports a miss, never a
-//! panic, and the next request simply recomputes.
+//! The implementation lives in [`mc_core::cache`] so that `mc-explore`
+//! can persist per-point evaluation records through the same store
+//! (mc-serve depends on mc-explore, so the shared code must sit below
+//! both). This module re-exports it under the historical path; the
+//! server keys whole response documents by the FNV-1a hash of the
+//! canonical request (see [`crate::api`]).
 
-use std::fmt::Write as _;
-use std::fs;
-use std::io;
-use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// On-disk entry schema version. Bumping it invalidates every existing
-/// entry cleanly: old files fail the header check, get evicted, and are
-/// recomputed under the new schema.
-pub const CACHE_VERSION: u32 = 1;
-
-/// Number of shard directories (one per first hex nibble of the key).
-const SHARDS: u64 = 16;
-
-/// 64-bit FNV-1a — the cache's stable content hash. Unlike
-/// `DefaultHasher` it is specified, so keys mean the same thing across
-/// processes, runs, and toolchain versions (the whole point of a cache
-/// that outlives the server).
-#[must_use]
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
-
-/// A sharded on-disk cache mapping `u64` keys to UTF-8 response bodies.
-#[derive(Debug)]
-pub struct DiskCache {
-    root: PathBuf,
-    /// Distinguishes concurrent writers' temp files within one process.
-    seq: AtomicU64,
-    evictions: AtomicU64,
-}
-
-impl DiskCache {
-    /// Opens (creating if needed) a cache rooted at `root`.
-    ///
-    /// # Errors
-    ///
-    /// Fails if the root directory cannot be created.
-    pub fn open(root: impl Into<PathBuf>) -> io::Result<DiskCache> {
-        let root = root.into();
-        fs::create_dir_all(&root)?;
-        Ok(DiskCache {
-            root,
-            seq: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-        })
-    }
-
-    /// The cache's root directory.
-    #[must_use]
-    pub fn root(&self) -> &Path {
-        &self.root
-    }
-
-    /// Corrupt/stale entries evicted by this handle so far.
-    #[must_use]
-    pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
-    }
-
-    fn shard_dir(&self, key: u64) -> PathBuf {
-        self.root.join(format!("{:x}", (key >> 60) & (SHARDS - 1)))
-    }
-
-    fn entry_path(&self, key: u64) -> PathBuf {
-        self.shard_dir(key).join(format!("{key:016x}.entry"))
-    }
-
-    /// Looks up `key`. A validation failure (wrong magic, stale schema
-    /// version, truncated body, checksum mismatch) evicts the file and
-    /// returns `None` — corruption is repaired by recomputation, never
-    /// surfaced as an error.
-    #[must_use]
-    pub fn get(&self, key: u64) -> Option<String> {
-        let path = self.entry_path(key);
-        let raw = fs::read(&path).ok()?;
-        match parse_entry(&raw, key) {
-            Some(body) => Some(body),
-            None => {
-                // Never panic on a bad file; drop it and recompute.
-                let _ = fs::remove_file(&path);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-        }
-    }
-
-    /// Stores `body` under `key`, atomically: the entry is written to a
-    /// temp file in the same shard and renamed into place, so readers see
-    /// either the old entry, the new one, or nothing — never a torso.
-    ///
-    /// # Errors
-    ///
-    /// Propagates I/O failures (callers treat the cache as best-effort).
-    pub fn put(&self, key: u64, body: &str) -> io::Result<()> {
-        let shard = self.shard_dir(key);
-        fs::create_dir_all(&shard)?;
-        let mut entry = String::with_capacity(body.len() + 96);
-        let _ = writeln!(entry, "mcpm-serve-cache v{CACHE_VERSION}");
-        let _ = writeln!(entry, "key={key:016x}");
-        let _ = writeln!(entry, "len={}", body.len());
-        let _ = writeln!(entry, "fnv={:016x}", fnv1a(body.as_bytes()));
-        entry.push('\n');
-        entry.push_str(body);
-        let tmp = shard.join(format!(
-            ".tmp-{}-{}",
-            std::process::id(),
-            self.seq.fetch_add(1, Ordering::Relaxed)
-        ));
-        fs::write(&tmp, &entry)?;
-        match fs::rename(&tmp, self.entry_path(key)) {
-            Ok(()) => Ok(()),
-            Err(e) => {
-                let _ = fs::remove_file(&tmp);
-                Err(e)
-            }
-        }
-    }
-
-    /// Number of (well-named) entries currently on disk.
-    #[must_use]
-    pub fn len(&self) -> usize {
-        let mut n = 0;
-        for shard in 0..SHARDS {
-            let dir = self.root.join(format!("{shard:x}"));
-            let Ok(entries) = fs::read_dir(dir) else {
-                continue;
-            };
-            n += entries
-                .flatten()
-                .filter(|e| e.path().extension().is_some_and(|x| x == "entry"))
-                .count();
-        }
-        n
-    }
-
-    /// Whether the cache currently holds no entries.
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-}
-
-/// Validates one entry file against the expected key; `None` means the
-/// file is corrupt, truncated, or from another schema version.
-fn parse_entry(raw: &[u8], key: u64) -> Option<String> {
-    let text = std::str::from_utf8(raw).ok()?;
-    let mut rest = text;
-    let mut line = |prefix: &str| -> Option<&str> {
-        let (head, tail) = rest.split_once('\n')?;
-        rest = tail;
-        head.strip_prefix(prefix)
-    };
-    let version: u32 = line("mcpm-serve-cache v")?.parse().ok()?;
-    if version != CACHE_VERSION {
-        return None;
-    }
-    if u64::from_str_radix(line("key=")?, 16).ok()? != key {
-        return None;
-    }
-    let len: usize = line("len=")?.parse().ok()?;
-    let fnv = u64::from_str_radix(line("fnv=")?, 16).ok()?;
-    if !line("").is_some_and(str::is_empty) {
-        return None;
-    }
-    if rest.len() != len || fnv1a(rest.as_bytes()) != fnv {
-        return None;
-    }
-    Some(rest.to_owned())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn temp_root(tag: &str) -> PathBuf {
-        let dir =
-            std::env::temp_dir().join(format!("mc-serve-cache-test-{tag}-{}", std::process::id()));
-        let _ = fs::remove_dir_all(&dir);
-        dir
-    }
-
-    #[test]
-    fn fnv1a_matches_reference_vectors() {
-        // Published FNV-1a 64 test vectors.
-        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
-        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
-        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
-    }
-
-    #[test]
-    fn round_trips_and_counts_entries() {
-        let cache = DiskCache::open(temp_root("roundtrip")).unwrap();
-        assert!(cache.is_empty());
-        let key = fnv1a(b"request one");
-        cache.put(key, "{\"x\":1}\n").unwrap();
-        cache.put(fnv1a(b"request two"), "{\"y\":2}\n").unwrap();
-        assert_eq!(cache.get(key).as_deref(), Some("{\"x\":1}\n"));
-        assert_eq!(cache.len(), 2);
-        assert_eq!(cache.evictions(), 0);
-        let _ = fs::remove_dir_all(cache.root());
-    }
-
-    #[test]
-    fn survives_a_reopen() {
-        let root = temp_root("reopen");
-        let key = 0x1234_5678_9abc_def0;
-        DiskCache::open(&root)
-            .unwrap()
-            .put(key, "persisted")
-            .unwrap();
-        let reopened = DiskCache::open(&root).unwrap();
-        assert_eq!(reopened.get(key).as_deref(), Some("persisted"));
-        let _ = fs::remove_dir_all(&root);
-    }
-
-    #[test]
-    fn truncated_entry_is_evicted_not_fatal() {
-        let cache = DiskCache::open(temp_root("truncated")).unwrap();
-        let key = 7;
-        cache.put(key, "a body that will be cut short").unwrap();
-        let path = cache.entry_path(key);
-        let full = fs::read(&path).unwrap();
-        fs::write(&path, &full[..full.len() - 5]).unwrap();
-        assert_eq!(cache.get(key), None);
-        assert!(!path.exists(), "corrupt entry must be evicted");
-        assert_eq!(cache.evictions(), 1);
-        // Recompute path: a fresh put works again.
-        cache.put(key, "recomputed").unwrap();
-        assert_eq!(cache.get(key).as_deref(), Some("recomputed"));
-        let _ = fs::remove_dir_all(cache.root());
-    }
-
-    #[test]
-    fn garbage_and_flipped_bytes_are_evicted() {
-        let cache = DiskCache::open(temp_root("garbage")).unwrap();
-        let key = 99;
-        // Pure garbage under the entry name.
-        fs::create_dir_all(cache.shard_dir(key)).unwrap();
-        fs::write(cache.entry_path(key), b"\xff\xfenot an entry").unwrap();
-        assert_eq!(cache.get(key), None);
-        assert_eq!(cache.evictions(), 1);
-        // A bit flip in the body fails the checksum.
-        cache.put(key, "checksummed body").unwrap();
-        let path = cache.entry_path(key);
-        let mut raw = fs::read(&path).unwrap();
-        let last = raw.len() - 1;
-        raw[last] ^= 0x20;
-        fs::write(&path, raw).unwrap();
-        assert_eq!(cache.get(key), None);
-        assert_eq!(cache.evictions(), 2);
-        let _ = fs::remove_dir_all(cache.root());
-    }
-
-    #[test]
-    fn stale_schema_version_is_evicted() {
-        let cache = DiskCache::open(temp_root("version")).unwrap();
-        let key = 3;
-        cache.put(key, "new-schema body").unwrap();
-        let path = cache.entry_path(key);
-        let old = fs::read_to_string(&path).unwrap().replacen(
-            &format!("v{CACHE_VERSION}"),
-            &format!("v{}", CACHE_VERSION + 1),
-            1,
-        );
-        fs::write(&path, old).unwrap();
-        assert_eq!(cache.get(key), None, "other-version entry must miss");
-        assert!(!path.exists());
-        let _ = fs::remove_dir_all(cache.root());
-    }
-
-    #[test]
-    fn wrong_key_in_header_is_evicted() {
-        let cache = DiskCache::open(temp_root("wrongkey")).unwrap();
-        cache.put(11, "body").unwrap();
-        // Move the entry to where another key would live.
-        fs::create_dir_all(cache.shard_dir(12)).unwrap();
-        fs::rename(cache.entry_path(11), cache.entry_path(12)).unwrap();
-        assert_eq!(cache.get(12), None);
-        assert_eq!(cache.evictions(), 1);
-        let _ = fs::remove_dir_all(cache.root());
-    }
-}
+pub use mc_core::cache::{fnv1a, DiskCache, CACHE_VERSION};

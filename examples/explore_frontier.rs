@@ -17,6 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         n_max: 4,
         voltages: vec![multiclock::explore::NOMINAL_VOLTS, 3.3],
         stretches: vec![2],
+        ..ExploreSpace::default()
     };
     let explorer = Explorer::new().with_space(space).with_computations(200);
 

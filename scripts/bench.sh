@@ -74,6 +74,21 @@ cargo build --release -q --bin mcpm
 test -s "$EXPLORE_OUT" || { echo "bench.sh: $EXPLORE_OUT missing or empty" >&2; exit 1; }
 echo "==> bench.sh: wrote $EXPLORE_OUT"
 
+# Explorer at scale: stream the 10^5+-point --scale lattice through the
+# incremental engine, cold then warm against a persistent cache, with an
+# interrupt/resume pass. The bench asserts (before timing) that the warm
+# run performs zero flow evaluations, that cold/warm/resumed JSON are
+# byte-identical, and that the frontier keeps the paper's best
+# multi-clock row. MC_BENCH_ITERS scales the point budget, so the CI
+# smoke run covers a 24k-point slice and the full run the whole lattice.
+EXPLORE_SCALE_OUT="${MC_EXPLORE_SCALE_OUT:-$(pwd)/BENCH_explore_scale.json}"
+echo "==> cargo bench -p mc-explore --bench explore_scale (out: $EXPLORE_SCALE_OUT)"
+MC_EXPLORE_SCALE_OUT="$EXPLORE_SCALE_OUT" \
+    cargo bench -p mc-explore --bench explore_scale
+
+test -s "$EXPLORE_SCALE_OUT" || { echo "bench.sh: $EXPLORE_SCALE_OUT missing or empty" >&2; exit 1; }
+echo "==> bench.sh: wrote $EXPLORE_SCALE_OUT"
+
 # Service layer: cold (fresh cache key, full pipeline per request) vs
 # warm (identical request answered off the sharded disk cache) latency
 # over real TCP, plus coalesced throughput (concurrent duplicates of an

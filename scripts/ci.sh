@@ -47,6 +47,28 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
 explore_smoke facet "$SMOKE_DIR"
 explore_smoke hal "$SMOKE_DIR"
 
+# Explorer scale smoke: interrupt a budget run via checkpoint, resume it,
+# and byte-compare the resumed JSON against a straight-through run of the
+# same budget. A diff means the checkpoint lost or reordered state. The
+# warm re-run against the same cache directory must also be identical.
+echo "==> explorer scale smoke: checkpoint/resume + cross-run cache"
+./target/release/mcpm explore --benchmark hal --computations 40 --budget 12 \
+    --scenarios 2 --cache-dir "$SMOKE_DIR/xcache" --json \
+    --out "$SMOKE_DIR/straight.json" > /dev/null
+./target/release/mcpm explore --benchmark hal --computations 40 --budget 6 \
+    --scenarios 2 --checkpoint "$SMOKE_DIR/x.ckpt" --json \
+    --out "$SMOKE_DIR/interrupted.json" > /dev/null
+./target/release/mcpm explore --benchmark hal --computations 40 --budget 12 \
+    --scenarios 2 --checkpoint "$SMOKE_DIR/x.ckpt" --resume --json \
+    --out "$SMOKE_DIR/resumed.json" > /dev/null
+cmp "$SMOKE_DIR/straight.json" "$SMOKE_DIR/resumed.json" \
+    || { echo "ci.sh: resumed explorer JSON differs from straight run" >&2; exit 1; }
+./target/release/mcpm explore --benchmark hal --computations 40 --budget 12 \
+    --scenarios 2 --cache-dir "$SMOKE_DIR/xcache" --json \
+    --out "$SMOKE_DIR/warm.json" > /dev/null
+cmp "$SMOKE_DIR/straight.json" "$SMOKE_DIR/warm.json" \
+    || { echo "ci.sh: warm explorer JSON differs from cold run" >&2; exit 1; }
+
 # Retrofit smoke: export a benchmark, re-import it through the VHDL
 # round trip, convert it to the latch-based multi-phase form, and verify
 # (bit-identical outputs + power reduction happen inside the command).

@@ -19,7 +19,7 @@ use std::process::ExitCode;
 
 use multiclock::alloc::Strategy;
 use multiclock::dfg::benchmarks::{self, Benchmark};
-use multiclock::explore::{ExploreSpace, Explorer};
+use multiclock::explore::{ExploreSpace, Explorer, GatingVariant};
 use multiclock::power::{per_component_power, profile::power_profile};
 use multiclock::rtl::{export, PowerMode};
 use multiclock::serve::api;
@@ -118,8 +118,9 @@ fn valid_flags(command: &str) -> Option<&'static [&'static str]> {
         "sweep" => &["benchmark", "file", "computations", "seed", "max-clocks", "json",
                      "out", "trace"],
         "explore" => &["benchmark", "file", "computations", "seed", "max-clocks", "budget",
-                       "voltages", "stretch", "threads", "parallel", "timings", "seeds",
-                       "batch", "backend", "json", "out", "trace"],
+                       "voltages", "stretch", "gating", "scenarios", "scale", "threads",
+                       "parallel", "timings", "seeds", "batch", "backend", "cache-dir",
+                       "checkpoint", "resume", "deadline-ms", "spill", "json", "out", "trace"],
         "profile" | "signoff" => &["benchmark", "file", "computations", "seed", "clocks",
                                    "strategy", "mem"],
         "retrofit" => &["benchmark", "file", "computations", "seed", "clocks", "seeds",
@@ -316,6 +317,13 @@ fn usage() -> &'static str {
      \x20 sweep   --benchmark NAME [--max-clocks N]   clock-count sweep\n\
      \x20 explore --benchmark NAME | --file F    Pareto design-space exploration\n\
      \x20         [--max-clocks N] [--budget K] [--voltages V1,V2] [--stretch S1,S2]\n\
+     \x20         [--gating N] [--scenarios N] [--scale] (--scale: the full 10^5+ point\n\
+     \x20         lattice; --gating/--scenarios add gating variants and stimulus seeds)\n\
+     \x20         [--cache-dir DIR] (persistent cross-run result cache: a warm re-run\n\
+     \x20         performs zero flow evaluations)\n\
+     \x20         [--checkpoint FILE] [--resume] [--deadline-ms MS] [--spill FILE]\n\
+     \x20         (interrupt-safe: checkpoint + resume is byte-identical to a straight\n\
+     \x20         run; --spill streams dominated points to FILE as they are pruned)\n\
      \x20         [--threads T] [--parallel false] [--timings] [--out FILE]\n\
      \x20         [--seeds N] (Monte-Carlo power: mean ± 95 % CI per point)\n\
      \x20         [--batch L] (lanes of the batched kernel, default 16)\n\
@@ -346,19 +354,16 @@ fn usage() -> &'static str {
 }
 
 fn find_benchmark(name: &str) -> Result<Benchmark, CliError> {
-    benchmarks::all_benchmarks()
-        .into_iter()
-        .find(|b| b.name() == name)
-        .ok_or_else(|| {
-            let names: Vec<String> = benchmarks::all_benchmarks()
-                .iter()
-                .map(|b| b.name().to_owned())
-                .collect();
-            CliError::Other(format!(
-                "unknown benchmark `{name}`; available: {}",
-                names.join(", ")
-            ))
-        })
+    benchmarks::by_name(name).ok_or_else(|| {
+        let names: Vec<String> = benchmarks::all_benchmarks()
+            .iter()
+            .map(|b| b.name().to_owned())
+            .collect();
+        CliError::Other(format!(
+            "unknown benchmark `{name}`; available: {} (or random:<nodes>:<seed>)",
+            names.join(", ")
+        ))
+    })
 }
 
 /// Loads the behaviour: either `--benchmark NAME` (bundled, with its
@@ -435,6 +440,43 @@ fn design_ref(args: &Args) -> Result<api::DesignRef, CliError> {
         (Some(_), Some(_)) => Err("pass either --benchmark or --file, not both".into()),
         (None, None) => Err("missing --benchmark NAME or --file PATH".into()),
     }
+}
+
+/// Parses `--gating N` — how many of the data-dependent gating variants
+/// (arXiv 1806.02271) each lattice design is replicated under.
+fn parse_gating_count(args: &Args) -> Result<u32, CliError> {
+    let n = args.parse_num_at_least("gating", 1u32, 1)?;
+    if n > GatingVariant::ALL.len() as u32 {
+        return Err(format!("--gating out of range (1..={})", GatingVariant::ALL.len()).into());
+    }
+    Ok(n)
+}
+
+/// Builds the exploration lattice from the CLI flags: `--scale` selects
+/// the million-point preset, then each dimension flag that is present
+/// overrides that dimension only.
+fn explore_space(args: &Args) -> Result<ExploreSpace, CliError> {
+    let mut space = if args.is_set("scale") {
+        ExploreSpace::scale()
+    } else {
+        ExploreSpace::default()
+    };
+    if args.get("max-clocks").is_some() {
+        space.n_max = args.parse_num_at_least("max-clocks", 4, 1)?;
+    }
+    if args.get("voltages").is_some() {
+        space.voltages = args.parse_list("voltages", &[])?;
+    }
+    if args.get("stretch").is_some() {
+        space.stretches = args.parse_list("stretch", &[])?;
+    }
+    if args.get("gating").is_some() {
+        space.gating = GatingVariant::first_n(parse_gating_count(args)? as usize);
+    }
+    if args.get("scenarios").is_some() {
+        space.scenarios = args.parse_num_at_least("scenarios", 1, 1)?;
+    }
+    Ok(space)
 }
 
 /// Runs one service-API request in-process and emits its JSON document —
@@ -598,10 +640,16 @@ fn dispatch(args: &Args) -> Result<(), CliError> {
             Ok(())
         }
         "explore" => {
-            // The deterministic JSON document goes through the service
-            // API; `--timings` adds wall-clock fields the service (a
-            // byte-identity cache) deliberately does not serve.
-            if args.is_set("json") && !args.is_set("timings") {
+            // Persistence and preset flags (cache, checkpoint/resume,
+            // deadline, spill, the --scale preset) run locally; plain
+            // `--json` runs go through the service API whose response
+            // cache is a byte-identity contract with the local engine.
+            let local_only = args.is_set("scale")
+                || args.is_set("resume")
+                || ["cache-dir", "checkpoint", "deadline-ms", "spill"]
+                    .iter()
+                    .any(|f| args.get(f).is_some());
+            if args.is_set("json") && !args.is_set("timings") && !local_only {
                 let budget = match args.get("budget") {
                     Some(_) => Some(args.parse_num_at_least("budget", 1, 1)?),
                     None => None,
@@ -618,6 +666,8 @@ fn dispatch(args: &Args) -> Result<(), CliError> {
                         voltages: args
                             .parse_list("voltages", &[multiclock::explore::NOMINAL_VOLTS, 3.3])?,
                         stretches: args.parse_list("stretch", &[2u32])?,
+                        gating: parse_gating_count(args)?,
+                        scenarios: args.parse_num_at_least("scenarios", 1, 1)?,
                         budget,
                         power_seeds: args.parse_num_at_least("seeds", 1, 1)?,
                         batch: args.parse_num_at_least(
@@ -634,14 +684,8 @@ fn dispatch(args: &Args) -> Result<(), CliError> {
                 );
             }
             let bm = load_behavior(args)?;
-            let space = ExploreSpace {
-                n_max: args.parse_num_at_least("max-clocks", 4, 1)?,
-                voltages: args
-                    .parse_list("voltages", &[multiclock::explore::NOMINAL_VOLTS, 3.3])?,
-                stretches: args.parse_list("stretch", &[2u32])?,
-            };
             let mut explorer = Explorer::new()
-                .with_space(space)
+                .with_space(explore_space(args)?)
                 .with_computations(computations)
                 .with_seed(seed)
                 .with_power_seeds(args.parse_num_at_least("seeds", 1, 1)?)
@@ -654,11 +698,34 @@ fn dispatch(args: &Args) -> Result<(), CliError> {
             if args.get("threads").is_some() {
                 explorer = explorer.with_threads(args.parse_num_at_least("threads", 1, 1)?);
             }
+            if let Some(dir) = args.get("cache-dir") {
+                explorer = explorer.with_cache_dir(dir);
+            }
+            if let Some(path) = args.get("checkpoint") {
+                explorer = explorer.with_checkpoint(path);
+            }
+            if args.is_set("resume") {
+                if args.get("checkpoint").is_none() {
+                    return Err("--resume requires --checkpoint FILE".into());
+                }
+                explorer = explorer.with_resume(true);
+            }
+            if args.get("deadline-ms").is_some() {
+                explorer = explorer.with_deadline_ms(args.parse_num("deadline-ms", 0u64)?);
+            }
+            if let Some(path) = args.get("spill") {
+                explorer = explorer.with_spill(path);
+            }
             let report = explorer.run(&bm).map_err(|e| e.to_string())?;
             if args.is_set("json") {
-                // Only `--json --timings` reaches here; the deterministic
-                // document returned above via the service API.
-                return emit(args, &report.to_json_with_timings());
+                // The local deterministic document is byte-identical to
+                // the service's; `--timings` adds the wall-clock and
+                // cache fields the byte-identity contract leaves out.
+                return if args.is_set("timings") {
+                    emit(args, &report.to_json_with_timings())
+                } else {
+                    emit(args, &report.to_json())
+                };
             }
             let mut text = report.render_ranked();
             if args.is_set("timings") {

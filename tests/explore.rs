@@ -123,15 +123,21 @@ fn seed_actually_feeds_the_evaluation() {
     assert_ne!(a.to_json(), b.to_json());
 }
 
-/// Budgeted runs stop gracefully: exactly `budget` points (≥ the five
-/// anchors), the skip count reported, anchors evaluated first.
+/// Budgeted runs stop gracefully: exactly `budget` points evaluated
+/// (≥ the five anchors), the skip count honest, every evaluated point
+/// accounted for as either retained on the frontier or dominated.
 #[test]
 fn budget_caps_evaluation_and_keeps_anchors() {
     let bm = benchmarks::biquad();
     let report = explorer().with_budget(7).run(&bm).unwrap();
-    assert_eq!(report.results.len(), 7);
+    assert_eq!(report.evaluated, 7);
     assert_eq!(report.skipped, report.lattice_points - 7);
-    let styles: Vec<DesignStyle> = report.results[..5].iter().map(|r| r.point.style).collect();
+    assert_eq!(report.remaining, 0);
+    assert_eq!(report.results.len() as u64 + report.dominated, 7);
+    // The lattice leads with the five paper-table anchor rows, so any
+    // budget ≥ 5 still evaluates the paper's own configurations.
+    let lattice = ExploreSpace::default().generator();
+    let styles: Vec<DesignStyle> = (0..5).map(|i| lattice.point_at(i).style).collect();
     assert_eq!(styles, DesignStyle::paper_rows());
 }
 
@@ -160,6 +166,7 @@ fn custom_space_restricts_the_lattice() {
         n_max: 3,
         voltages: vec![multiclock::explore::NOMINAL_VOLTS],
         stretches: vec![],
+        ..ExploreSpace::default()
     };
     let report = explorer().with_space(space).run(&bm).unwrap();
     assert!(report
@@ -168,4 +175,111 @@ fn custom_space_restricts_the_lattice() {
         .all(|r| r.point.scheduler == SchedulerChoice::Reference
             && r.point.volts == multiclock::explore::NOMINAL_VOLTS));
     assert_eq!(report.skipped, 0);
+}
+
+/// The `--scale` preset spans the advertised 10⁵+ point lattice without
+/// materialising it: the generator is lazy and indexable.
+#[test]
+fn scale_preset_spans_at_least_one_hundred_thousand_points() {
+    let lattice = ExploreSpace::scale().generator();
+    assert!(
+        lattice.len() >= 100_000,
+        "scale lattice has only {} points",
+        lattice.len()
+    );
+    // Spot-index deep into the lattice — O(1), no enumeration.
+    let deep = lattice.point_at(lattice.len() - 1);
+    assert!(deep.scenario > 0);
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("mcpm-explore-accept-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Acceptance (interrupt/resume): a run stopped mid-lattice and resumed
+/// from its checkpoint emits JSON byte-identical to a straight-through
+/// run — across thread counts and both batch kernels.
+#[test]
+fn interrupted_runs_resume_bit_identically_on_both_backends() {
+    use multiclock::sim::BatchBackend;
+    let bm = benchmarks::hal();
+    let dir = scratch("resume");
+    for backend in [BatchBackend::Batched, BatchBackend::Bitsliced] {
+        let base = || {
+            explorer()
+                .with_power_seeds(3)
+                .with_batch_backend(backend)
+                .with_budget(9)
+        };
+        let straight = base().run(&bm).unwrap().to_json();
+        for threads in [1, 4] {
+            let ck = dir.join(format!("{backend:?}-{threads}.ckpt"));
+            // Interrupt: evaluate only the anchor floor, checkpointing.
+            base()
+                .with_budget(5)
+                .with_checkpoint(&ck)
+                .with_checkpoint_every(2)
+                .with_threads(threads)
+                .run(&bm)
+                .unwrap();
+            // Resume to the full budget.
+            let resumed = base()
+                .with_checkpoint(&ck)
+                .with_resume(true)
+                .with_threads(threads)
+                .run(&bm)
+                .unwrap();
+            assert_eq!(
+                straight,
+                resumed.to_json(),
+                "backend {backend:?}, threads {threads}"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Acceptance (persistent cache): a warm re-run against the same
+/// cross-run cache directory performs zero flow evaluations and still
+/// emits byte-identical deterministic JSON.
+#[test]
+fn warm_cache_rerun_does_no_flow_work() {
+    let bm = benchmarks::biquad();
+    let dir = scratch("warm");
+    let run = || {
+        explorer()
+            .with_budget(8)
+            .with_cache_dir(&dir)
+            .run(&bm)
+            .unwrap()
+    };
+    let cold = run();
+    assert!(cold.flow_evals > 0);
+    let warm = run();
+    assert_eq!(warm.flow_evals, 0, "warm run must re-evaluate nothing");
+    assert_eq!(warm.disk_hits + warm.dedup_served, warm.evaluated as u64);
+    assert_eq!(cold.to_json(), warm.to_json());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A corrupted checkpoint is a typed, recoverable error — never a panic.
+#[test]
+fn corrupt_checkpoint_is_a_typed_error() {
+    let bm = benchmarks::hal();
+    let dir = scratch("corrupt");
+    let ck = dir.join("broken.ckpt");
+    std::fs::write(&ck, "mcpm-explore checkpoint v1\ngarbage\n").unwrap();
+    let err = explorer()
+        .with_budget(5)
+        .with_checkpoint(&ck)
+        .with_resume(true)
+        .run(&bm)
+        .unwrap_err();
+    let text = err.to_string();
+    assert!(text.contains("checkpoint"), "unexpected error: {text}");
+    let _ = std::fs::remove_dir_all(&dir);
 }
