@@ -4,27 +4,31 @@
 //! evaluation records by canonical lattice point, both through this one
 //! store.
 //!
-//! Entries are keyed by a 64-bit FNV-1a hash of a canonicalised
-//! description of the content and stored one file per entry under 16
-//! shard directories (first hex nibble of the key), so a busy cache never
-//! piles every entry into one directory. Writes go to a temporary file in
-//! the shard and are published with an atomic rename — a crashed writer
-//! can leave a stale `.tmp-*` file but never a half-written entry under
-//! the final name. Reads validate a versioned header (magic, schema
-//! version, key echo, body length, body checksum); any mismatch —
-//! truncation, garbage, a stale schema — evicts the file and reports a
+//! Entries are addressed by a 64-bit FNV-1a hash of the canonical text,
+//! but the canonical text itself is stored in every entry header and
+//! re-verified on `get`: a hash collision therefore reads as a miss for
+//! the colliding request, never as the other entry's body. Entries live
+//! one file each under 16 shard directories (first hex nibble of the
+//! key), so a busy cache never piles every entry into one directory.
+//! Writes go to a temporary file in the shard, are fsynced, and are
+//! published with an atomic rename — a crash mid-save can't publish a
+//! torn entry, and a failed rename removes its temp file. Reads validate
+//! a versioned header (magic, schema version, key echo, canonical echo,
+//! body length, body checksum); any mismatch — truncation, garbage, a
+//! stale schema, a colliding canonical — evicts the file and reports a
 //! miss, never a panic, and the next request simply recomputes.
 
 use std::fmt::Write as _;
 use std::fs;
-use std::io;
+use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// On-disk entry schema version. Bumping it invalidates every existing
 /// entry cleanly: old files fail the header check, get evicted, and are
-/// recomputed under the new schema.
-pub const CACHE_VERSION: u32 = 2;
+/// recomputed under the new schema. v3 added the canonical text to the
+/// entry header so hash collisions read as misses.
+pub const CACHE_VERSION: u32 = 3;
 
 /// Number of shard directories (one per first hex nibble of the key).
 const SHARDS: u64 = 16;
@@ -43,7 +47,10 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// A sharded on-disk cache mapping `u64` keys to UTF-8 bodies.
+/// A sharded on-disk cache mapping canonical request texts to UTF-8
+/// bodies. Lookup is by FNV-1a hash of the canonical text; the stored
+/// canonical is compared byte-for-byte on every hit, so two requests
+/// whose hashes collide can never be served each other's results.
 #[derive(Debug)]
 pub struct DiskCache {
     root: PathBuf,
@@ -88,15 +95,17 @@ impl DiskCache {
         self.shard_dir(key).join(format!("{key:016x}.entry"))
     }
 
-    /// Looks up `key`. A validation failure (wrong magic, stale schema
-    /// version, truncated body, checksum mismatch) evicts the file and
-    /// returns `None` — corruption is repaired by recomputation, never
-    /// surfaced as an error.
+    /// Looks up the entry for `canonical`. A validation failure (wrong
+    /// magic, stale schema version, truncated body, checksum mismatch, or
+    /// a stored canonical that differs from the requested one — i.e. a
+    /// key collision) evicts the file and returns `None` — corruption is
+    /// repaired by recomputation, never surfaced as an error.
     #[must_use]
-    pub fn get(&self, key: u64) -> Option<String> {
+    pub fn get(&self, canonical: &str) -> Option<String> {
+        let key = fnv1a(canonical.as_bytes());
         let path = self.entry_path(key);
         let raw = fs::read(&path).ok()?;
-        match parse_entry(&raw, key) {
+        match parse_entry(&raw, key, canonical) {
             Some(body) => Some(body),
             None => {
                 // Never panic on a bad file; drop it and recompute.
@@ -107,29 +116,37 @@ impl DiskCache {
         }
     }
 
-    /// Stores `body` under `key`, atomically: the entry is written to a
-    /// temp file in the same shard and renamed into place, so readers see
-    /// either the old entry, the new one, or nothing — never a torso.
+    /// Stores `body` under `canonical`, atomically and durably: the entry
+    /// is written to a temp file in the same shard, fsynced, and renamed
+    /// into place, so readers see either the old entry, the new one, or
+    /// nothing — never a torso — even across a crash.
     ///
     /// # Errors
     ///
     /// Propagates I/O failures (callers treat the cache as best-effort).
-    pub fn put(&self, key: u64, body: &str) -> io::Result<()> {
+    /// A failed rename removes the temp file before returning.
+    pub fn put(&self, canonical: &str, body: &str) -> io::Result<()> {
+        let key = fnv1a(canonical.as_bytes());
         let shard = self.shard_dir(key);
         fs::create_dir_all(&shard)?;
-        let mut entry = String::with_capacity(body.len() + 96);
+        let mut entry = String::with_capacity(canonical.len() + body.len() + 128);
         let _ = writeln!(entry, "mcpm-cache v{CACHE_VERSION}");
         let _ = writeln!(entry, "key={key:016x}");
+        let _ = writeln!(entry, "canon_len={}", canonical.len());
         let _ = writeln!(entry, "len={}", body.len());
         let _ = writeln!(entry, "fnv={:016x}", fnv1a(body.as_bytes()));
         entry.push('\n');
+        entry.push_str(canonical);
         entry.push_str(body);
         let tmp = shard.join(format!(
             ".tmp-{}-{}",
             std::process::id(),
             self.seq.fetch_add(1, Ordering::Relaxed)
         ));
-        fs::write(&tmp, &entry)?;
+        if let Err(e) = write_durably(&tmp, entry.as_bytes()) {
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
         match fs::rename(&tmp, self.entry_path(key)) {
             Ok(()) => Ok(()),
             Err(e) => {
@@ -163,9 +180,18 @@ impl DiskCache {
     }
 }
 
-/// Validates one entry file against the expected key; `None` means the
-/// file is corrupt, truncated, or from another schema version.
-fn parse_entry(raw: &[u8], key: u64) -> Option<String> {
+/// Writes `bytes` to `path` and fsyncs the file before returning, so the
+/// contents are on stable storage before any rename publishes the name.
+fn write_durably(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut file = fs::File::create(path)?;
+    file.write_all(bytes)?;
+    file.sync_all()
+}
+
+/// Validates one entry file against the expected key and canonical text;
+/// `None` means the file is corrupt, truncated, from another schema
+/// version, or belongs to a different (hash-colliding) canonical.
+fn parse_entry(raw: &[u8], key: u64, canonical: &str) -> Option<String> {
     let text = std::str::from_utf8(raw).ok()?;
     let mut rest = text;
     let mut line = |prefix: &str| -> Option<&str> {
@@ -180,15 +206,26 @@ fn parse_entry(raw: &[u8], key: u64) -> Option<String> {
     if u64::from_str_radix(line("key=")?, 16).ok()? != key {
         return None;
     }
+    let canon_len: usize = line("canon_len=")?.parse().ok()?;
     let len: usize = line("len=")?.parse().ok()?;
     let fnv = u64::from_str_radix(line("fnv=")?, 16).ok()?;
     if !line("").is_some_and(str::is_empty) {
         return None;
     }
-    if rest.len() != len || fnv1a(rest.as_bytes()) != fnv {
+    if rest.len() != canon_len + len {
         return None;
     }
-    Some(rest.to_owned())
+    // The stored canonical must match the request byte-for-byte — this is
+    // what turns an FNV-1a collision into a miss instead of serving the
+    // colliding entry's body.
+    if rest.get(..canon_len)? != canonical {
+        return None;
+    }
+    let body = rest.get(canon_len..)?;
+    if fnv1a(body.as_bytes()) != fnv {
+        return None;
+    }
+    Some(body.to_owned())
 }
 
 #[cfg(test)]
@@ -213,10 +250,9 @@ mod tests {
     fn round_trips_and_counts_entries() {
         let cache = DiskCache::open(temp_root("roundtrip")).unwrap();
         assert!(cache.is_empty());
-        let key = fnv1a(b"request one");
-        cache.put(key, "{\"x\":1}\n").unwrap();
-        cache.put(fnv1a(b"request two"), "{\"y\":2}\n").unwrap();
-        assert_eq!(cache.get(key).as_deref(), Some("{\"x\":1}\n"));
+        cache.put("request one", "{\"x\":1}\n").unwrap();
+        cache.put("request two", "{\"y\":2}\n").unwrap();
+        assert_eq!(cache.get("request one").as_deref(), Some("{\"x\":1}\n"));
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.evictions(), 0);
         let _ = fs::remove_dir_all(cache.root());
@@ -225,50 +261,66 @@ mod tests {
     #[test]
     fn survives_a_reopen() {
         let root = temp_root("reopen");
-        let key = 0x1234_5678_9abc_def0;
         DiskCache::open(&root)
             .unwrap()
-            .put(key, "persisted")
+            .put("stable canonical", "persisted")
             .unwrap();
         let reopened = DiskCache::open(&root).unwrap();
-        assert_eq!(reopened.get(key).as_deref(), Some("persisted"));
+        assert_eq!(
+            reopened.get("stable canonical").as_deref(),
+            Some("persisted")
+        );
         let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn canonicals_with_newlines_round_trip() {
+        // Real canonicals are multi-line documents; the length-prefixed
+        // header must carry them losslessly.
+        let cache = DiskCache::open(temp_root("multiline")).unwrap();
+        let canonical = "mcpm-serve request v3\nkind=explore\ndesign:\nname hal\n";
+        cache.put(canonical, "body goes here").unwrap();
+        assert_eq!(cache.get(canonical).as_deref(), Some("body goes here"));
+        let _ = fs::remove_dir_all(cache.root());
     }
 
     #[test]
     fn truncated_entry_is_evicted_not_fatal() {
         let cache = DiskCache::open(temp_root("truncated")).unwrap();
-        let key = 7;
-        cache.put(key, "a body that will be cut short").unwrap();
-        let path = cache.entry_path(key);
+        let canonical = "truncation victim";
+        cache
+            .put(canonical, "a body that will be cut short")
+            .unwrap();
+        let path = cache.entry_path(fnv1a(canonical.as_bytes()));
         let full = fs::read(&path).unwrap();
         fs::write(&path, &full[..full.len() - 5]).unwrap();
-        assert_eq!(cache.get(key), None);
+        assert_eq!(cache.get(canonical), None);
         assert!(!path.exists(), "corrupt entry must be evicted");
         assert_eq!(cache.evictions(), 1);
         // Recompute path: a fresh put works again.
-        cache.put(key, "recomputed").unwrap();
-        assert_eq!(cache.get(key).as_deref(), Some("recomputed"));
+        cache.put(canonical, "recomputed").unwrap();
+        assert_eq!(cache.get(canonical).as_deref(), Some("recomputed"));
         let _ = fs::remove_dir_all(cache.root());
     }
 
     #[test]
     fn garbage_and_flipped_bytes_are_evicted() {
         let cache = DiskCache::open(temp_root("garbage")).unwrap();
-        let key = 99;
+        let canonical = "garbage target";
+        let key = fnv1a(canonical.as_bytes());
         // Pure garbage under the entry name.
         fs::create_dir_all(cache.shard_dir(key)).unwrap();
         fs::write(cache.entry_path(key), b"\xff\xfenot an entry").unwrap();
-        assert_eq!(cache.get(key), None);
+        assert_eq!(cache.get(canonical), None);
         assert_eq!(cache.evictions(), 1);
         // A bit flip in the body fails the checksum.
-        cache.put(key, "checksummed body").unwrap();
+        cache.put(canonical, "checksummed body").unwrap();
         let path = cache.entry_path(key);
         let mut raw = fs::read(&path).unwrap();
         let last = raw.len() - 1;
         raw[last] ^= 0x20;
         fs::write(&path, raw).unwrap();
-        assert_eq!(cache.get(key), None);
+        assert_eq!(cache.get(canonical), None);
         assert_eq!(cache.evictions(), 2);
         let _ = fs::remove_dir_all(cache.root());
     }
@@ -276,16 +328,16 @@ mod tests {
     #[test]
     fn stale_schema_version_is_evicted() {
         let cache = DiskCache::open(temp_root("version")).unwrap();
-        let key = 3;
-        cache.put(key, "new-schema body").unwrap();
-        let path = cache.entry_path(key);
+        let canonical = "versioned";
+        cache.put(canonical, "new-schema body").unwrap();
+        let path = cache.entry_path(fnv1a(canonical.as_bytes()));
         let old = fs::read_to_string(&path).unwrap().replacen(
             &format!("v{CACHE_VERSION}"),
             &format!("v{}", CACHE_VERSION + 1),
             1,
         );
         fs::write(&path, old).unwrap();
-        assert_eq!(cache.get(key), None, "other-version entry must miss");
+        assert_eq!(cache.get(canonical), None, "other-version entry must miss");
         assert!(!path.exists());
         let _ = fs::remove_dir_all(cache.root());
     }
@@ -293,12 +345,68 @@ mod tests {
     #[test]
     fn wrong_key_in_header_is_evicted() {
         let cache = DiskCache::open(temp_root("wrongkey")).unwrap();
-        cache.put(11, "body").unwrap();
-        // Move the entry to where another key would live.
-        fs::create_dir_all(cache.shard_dir(12)).unwrap();
-        fs::rename(cache.entry_path(11), cache.entry_path(12)).unwrap();
-        assert_eq!(cache.get(12), None);
+        cache.put("original owner", "body").unwrap();
+        // Move the entry to where another canonical's key would live: the
+        // header's key echo no longer matches the file name.
+        let other = fnv1a(b"squatter");
+        fs::create_dir_all(cache.shard_dir(other)).unwrap();
+        fs::rename(
+            cache.entry_path(fnv1a(b"original owner")),
+            cache.entry_path(other),
+        )
+        .unwrap();
+        assert_eq!(cache.get("squatter"), None);
         assert_eq!(cache.evictions(), 1);
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn forced_key_collision_misses_instead_of_serving_the_wrong_body() {
+        // A real 64-bit FNV-1a collision is infeasible to construct, so
+        // forge on disk exactly what one would produce: an entry sitting
+        // at the victim's path, with the victim's key in its header (a
+        // collision means both canonicals hash to the same key), but
+        // storing the *other* request's canonical text and body.
+        let cache = DiskCache::open(temp_root("collision")).unwrap();
+        let victim = "canonical request A";
+        let squatter = "canonical request B";
+        let victim_key = fnv1a(victim.as_bytes());
+        let mut entry = String::new();
+        let _ = writeln!(entry, "mcpm-cache v{CACHE_VERSION}");
+        let _ = writeln!(entry, "key={victim_key:016x}");
+        let _ = writeln!(entry, "canon_len={}", squatter.len());
+        let _ = writeln!(entry, "len={}", "squatter body".len());
+        let _ = writeln!(entry, "fnv={:016x}", fnv1a(b"squatter body"));
+        entry.push('\n');
+        entry.push_str(squatter);
+        entry.push_str("squatter body");
+        fs::create_dir_all(cache.shard_dir(victim_key)).unwrap();
+        fs::write(cache.entry_path(victim_key), &entry).unwrap();
+        // The colliding entry's body must never be served for the victim.
+        assert_eq!(cache.get(victim), None);
+        assert_eq!(cache.evictions(), 1);
+        assert!(!cache.entry_path(victim_key).exists());
+        // The victim recomputes and stores its own result cleanly.
+        cache.put(victim, "victim body").unwrap();
+        assert_eq!(cache.get(victim).as_deref(), Some("victim body"));
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn failed_rename_reports_the_error_and_leaves_no_temp_litter() {
+        let cache = DiskCache::open(temp_root("renamefail")).unwrap();
+        let canonical = "blocked entry";
+        let key = fnv1a(canonical.as_bytes());
+        // A directory squatting on the entry path makes the final rename
+        // fail after the temp file is written and fsynced.
+        fs::create_dir_all(cache.entry_path(key)).unwrap();
+        assert!(cache.put(canonical, "body").is_err());
+        let stray: Vec<_> = fs::read_dir(cache.shard_dir(key))
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .collect();
+        assert!(stray.is_empty(), "failed rename must remove its temp file");
         let _ = fs::remove_dir_all(cache.root());
     }
 }

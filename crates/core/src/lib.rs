@@ -56,6 +56,7 @@ pub mod experiment;
 pub mod flow;
 pub mod passes;
 pub mod retrofit;
+pub mod rewrite;
 mod style;
 mod synthesizer;
 
@@ -64,6 +65,7 @@ pub use retrofit::{
     retrofit_netlist, retrofit_source, verify_retrofit, Retrofit, RetrofitError, RetrofitOptions,
     RetrofitReport,
 };
+pub use rewrite::{verify_rewrite, RewriteChoice, RewriteError, RewriteMismatch, RewriteOptions};
 pub use style::DesignStyle;
 pub use synthesizer::{Design, SynthesisError, Synthesizer};
 

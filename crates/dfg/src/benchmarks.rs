@@ -473,29 +473,132 @@ pub fn paper_benchmarks() -> Vec<Benchmark> {
     vec![facet(), hal(), biquad(), bandpass()]
 }
 
-/// Resolves a benchmark by name: a bundled benchmark, or a member of the
-/// mc-prng random DFG family named `random:<nodes>:<seed>` (generated by
+/// Largest node count accepted for a `random:<nodes>:<seed>` benchmark.
+pub const MAX_RANDOM_NODES: u64 = 512;
+
+/// Why a benchmark name failed to resolve. Every front end that accepts
+/// benchmark names (the CLI, the server, the explorer) surfaces these
+/// instead of a silent miss, so `random:0:1`, overflow node counts and
+/// trailing spec fields are rejected with the actual reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BenchmarkNameError {
+    /// Not a bundled benchmark name and not a `random:` spec.
+    Unknown {
+        /// The name as given.
+        name: String,
+    },
+    /// A `random:` spec with the wrong shape or non-numeric fields
+    /// (missing seed, trailing fields, overflowing numbers, …).
+    RandomSpec {
+        /// The spec text after `random:`.
+        spec: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A `random:` node count outside `1..=`[`MAX_RANDOM_NODES`].
+    RandomNodes {
+        /// The rejected node count.
+        nodes: u64,
+    },
+}
+
+impl std::fmt::Display for BenchmarkNameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchmarkNameError::Unknown { name } => {
+                let names: Vec<&'static str> = all_benchmark_names();
+                write!(
+                    f,
+                    "unknown benchmark `{name}`; available: {} (or random:<nodes>:<seed>)",
+                    names.join(", ")
+                )
+            }
+            BenchmarkNameError::RandomSpec { spec, reason } => write!(
+                f,
+                "bad random benchmark spec `random:{spec}`: {reason}; expected random:<nodes>:<seed>"
+            ),
+            BenchmarkNameError::RandomNodes { nodes } => write!(
+                f,
+                "random benchmark node count {nodes} is out of range (1..={MAX_RANDOM_NODES})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BenchmarkNameError {}
+
+/// Resolves a benchmark by name with a typed error: a bundled benchmark,
+/// or a member of the mc-prng random DFG family named
+/// `random:<nodes>:<seed>` (generated by
 /// [`crate::random::random_scheduled_dfg`], so both dense ASAP and
 /// stretched list schedules appear across seeds). Deterministic: the same
 /// name always yields the same behaviour and schedule.
-#[must_use]
-pub fn by_name(name: &str) -> Option<Benchmark> {
+///
+/// # Errors
+///
+/// [`BenchmarkNameError::Unknown`] for unrecognised names,
+/// [`BenchmarkNameError::RandomSpec`] for malformed `random:` specs
+/// (wrong field count, non-numeric or overflowing fields), and
+/// [`BenchmarkNameError::RandomNodes`] for degenerate node counts.
+pub fn parse_name(name: &str) -> Result<Benchmark, BenchmarkNameError> {
     if let Some(spec) = name.strip_prefix("random:") {
-        let (nodes, seed) = spec.split_once(':')?;
-        let nodes: usize = nodes.parse().ok()?;
-        let seed: u64 = seed.parse().ok()?;
-        if nodes == 0 || nodes > 512 {
-            return None;
+        let bad = |reason: &str| BenchmarkNameError::RandomSpec {
+            spec: spec.to_owned(),
+            reason: reason.to_owned(),
+        };
+        let fields: Vec<&str> = spec.split(':').collect();
+        let [nodes, seed] = fields[..] else {
+            return Err(bad(&format!(
+                "expected 2 `:`-separated fields, found {}",
+                fields.len()
+            )));
+        };
+        let nodes: u64 = nodes
+            .parse()
+            .map_err(|_| bad(&format!("node count `{nodes}` is not a 64-bit integer")))?;
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| bad(&format!("seed `{seed}` is not a 64-bit integer")))?;
+        if nodes == 0 || nodes > MAX_RANDOM_NODES {
+            return Err(BenchmarkNameError::RandomNodes { nodes });
         }
-        let cfg = crate::random::RandomDfgConfig::new(nodes).with_seed(seed);
+        let cfg = crate::random::RandomDfgConfig::new(nodes as usize).with_seed(seed);
         let (dfg, schedule) = crate::random::random_scheduled_dfg(&cfg);
-        return Some(Benchmark {
+        return Ok(Benchmark {
             dfg,
             schedule,
             description: "mc-prng random DFG family member",
         });
     }
-    all_benchmarks().into_iter().find(|b| b.name() == name)
+    all_benchmarks()
+        .into_iter()
+        .find(|b| b.name() == name)
+        .ok_or_else(|| BenchmarkNameError::Unknown {
+            name: name.to_owned(),
+        })
+}
+
+/// Resolves a benchmark by name; `None` when [`parse_name`] would report
+/// an error. Kept for callers that don't need the reason.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    parse_name(name).ok()
+}
+
+/// The names of every bundled benchmark, paper ones first.
+#[must_use]
+pub fn all_benchmark_names() -> Vec<&'static str> {
+    vec![
+        "facet",
+        "hal",
+        "biquad",
+        "bandpass",
+        "motivating",
+        "fir8",
+        "ar_lattice",
+        "ewf",
+        "dct4",
+    ]
 }
 
 /// Every bundled benchmark, paper ones first.
@@ -609,6 +712,15 @@ mod tests {
         assert_eq!(h[&Op::Mul], 10);
         assert_eq!(h[&Op::Add] + h[&Op::Sub], 8);
         assert_eq!(bm.dfg.inputs().count(), 15);
+    }
+
+    #[test]
+    fn name_catalog_matches_the_benchmark_catalog() {
+        let from_benchmarks: Vec<String> = all_benchmarks()
+            .iter()
+            .map(|b| b.name().to_owned())
+            .collect();
+        assert_eq!(all_benchmark_names(), from_benchmarks);
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Error-path coverage for benchmark-name resolution: every
+//! [`BenchmarkNameError`] variant is exercised, degenerate
+//! `random:<nodes>:<seed>` specs are rejected with the actual reason,
+//! and — via a PRNG-driven smoke test — no name, however mangled, makes
+//! [`parse_name`] panic.
+
+use mc_dfg::benchmarks::{
+    all_benchmarks, by_name, parse_name, BenchmarkNameError, MAX_RANDOM_NODES,
+};
+use mc_prng::Xoshiro256;
+
+fn random_spec_reason(name: &str) -> String {
+    match parse_name(name) {
+        Err(BenchmarkNameError::RandomSpec { reason, .. }) => reason,
+        other => panic!("expected RandomSpec error for {name:?}, got {other:?}"),
+    }
+}
+
+#[test]
+fn bundled_names_resolve_and_match_the_catalog() {
+    for bm in all_benchmarks() {
+        let resolved = parse_name(bm.name()).expect("bundled names resolve");
+        assert_eq!(resolved.name(), bm.name());
+    }
+}
+
+#[test]
+fn unknown_names_list_the_available_benchmarks() {
+    match parse_name("no-such-benchmark") {
+        Err(BenchmarkNameError::Unknown { name }) => assert_eq!(name, "no-such-benchmark"),
+        other => panic!("expected Unknown, got {other:?}"),
+    }
+    let text = parse_name("no-such-benchmark").unwrap_err().to_string();
+    assert!(text.contains("no-such-benchmark"), "{text}");
+    assert!(text.contains("hal"), "{text}");
+    assert!(text.contains("random:<nodes>:<seed>"), "{text}");
+}
+
+#[test]
+fn valid_random_specs_are_deterministic() {
+    let a = parse_name("random:16:7").expect("valid spec resolves");
+    let b = parse_name("random:16:7").expect("valid spec resolves");
+    assert_eq!(a.dfg.num_nodes(), b.dfg.num_nodes());
+    assert_eq!(a.schedule.length(), b.schedule.length());
+    assert!(by_name("random:16:7").is_some());
+}
+
+#[test]
+fn degenerate_random_node_counts_are_typed_errors() {
+    // Zero nodes.
+    match parse_name("random:0:1") {
+        Err(BenchmarkNameError::RandomNodes { nodes }) => assert_eq!(nodes, 0),
+        other => panic!("expected RandomNodes, got {other:?}"),
+    }
+    // Just past the cap.
+    match parse_name(&format!("random:{}:1", MAX_RANDOM_NODES + 1)) {
+        Err(BenchmarkNameError::RandomNodes { nodes }) => {
+            assert_eq!(nodes, MAX_RANDOM_NODES + 1);
+        }
+        other => panic!("expected RandomNodes, got {other:?}"),
+    }
+    // The cap itself is fine.
+    assert!(parse_name(&format!("random:{MAX_RANDOM_NODES}:1")).is_ok());
+    // The message names the supported range.
+    let text = parse_name("random:0:1").unwrap_err().to_string();
+    assert!(text.contains("out of range"), "{text}");
+    assert!(text.contains(&MAX_RANDOM_NODES.to_string()), "{text}");
+}
+
+#[test]
+fn malformed_random_specs_report_the_field_at_fault() {
+    // Missing seed field.
+    let reason = random_spec_reason("random:8");
+    assert!(reason.contains("2 `:`-separated fields"), "{reason}");
+    // Trailing fields must not be silently folded into the seed.
+    let reason = random_spec_reason("random:8:5:junk");
+    assert!(reason.contains("found 3"), "{reason}");
+    // Empty spec.
+    assert!(matches!(
+        parse_name("random:"),
+        Err(BenchmarkNameError::RandomSpec { .. })
+    ));
+    // Non-numeric node count and seed.
+    let reason = random_spec_reason("random:lots:1");
+    assert!(reason.contains("lots"), "{reason}");
+    let reason = random_spec_reason("random:8:soon");
+    assert!(reason.contains("soon"), "{reason}");
+    // A node count that overflows u64 is malformed, not wrapped.
+    let reason = random_spec_reason("random:99999999999999999999:1");
+    assert!(reason.contains("not a 64-bit integer"), "{reason}");
+    // Negative numbers don't parse as unsigned fields.
+    assert!(matches!(
+        parse_name("random:-4:1"),
+        Err(BenchmarkNameError::RandomSpec { .. })
+    ));
+}
+
+#[test]
+fn by_name_mirrors_parse_name() {
+    assert!(by_name("hal").is_some());
+    for bad in [
+        "no-such-benchmark",
+        "random:0:1",
+        "random:8",
+        "random:8:5:junk",
+        "random:",
+        "random:99999999999999999999:1",
+    ] {
+        assert!(by_name(bad).is_none(), "{bad} must not resolve");
+        assert!(parse_name(bad).is_err(), "{bad} must carry a reason");
+    }
+}
+
+/// Feed the resolver deterministic garbage — random ASCII and mutations
+/// of valid names — and require `Ok` or a typed `Err`, never a panic.
+#[test]
+fn fuzz_smoke_never_panics() {
+    let valid = "random:16:7";
+    let mut rng = Xoshiro256::seed_from_u64(0xBE4C_4A3E);
+    for round in 0..2000 {
+        let name = match round % 2 {
+            // Printable ASCII soup, colon-heavy.
+            0 => {
+                let len = rng.below(40) as usize;
+                (0..len)
+                    .map(|_| {
+                        if rng.gen_bool(0.2) {
+                            ':'
+                        } else {
+                            (0x20 + rng.below(0x5f) as u8) as char
+                        }
+                    })
+                    .collect()
+            }
+            // A valid spec with random single-byte mutations.
+            _ => {
+                let mut bytes = valid.as_bytes().to_vec();
+                for _ in 0..=rng.below(4) {
+                    let i = rng.below(bytes.len() as u64) as usize;
+                    bytes[i] = rng.below(128) as u8;
+                }
+                String::from_utf8_lossy(&bytes).into_owned()
+            }
+        };
+        // Ok is fine (a mutation can stay valid); panicking is not.
+        let _ = parse_name(&name);
+    }
+}

@@ -11,21 +11,31 @@ use std::time::{Duration, Instant};
 
 use mc_core::cache::{fnv1a, DiskCache};
 use mc_core::flow::{CacheStats, PassMetrics};
+use mc_core::passes::Behavior;
 use mc_core::sim::BatchBackend;
-use mc_core::{Flow, SynthesisError};
+use mc_core::{verify_rewrite, Flow, RewriteChoice, RewriteError, RewriteOptions, SynthesisError};
 use mc_dfg::benchmarks::Benchmark;
 
 use crate::pareto::{Objectives, StreamingFrontier};
 use crate::persist::{Checkpoint, CheckpointError, PointRecord};
 use crate::pool::{default_threads, run_indexed};
 use crate::report::{ExploreReport, PointResult};
-use crate::space::{anchor_styles, DesignPoint, ExploreSpace};
+use crate::space::{anchor_styles, DesignPoint, ExploreSpace, SchedulerChoice};
 
 /// Why an exploration could not complete.
 #[derive(Debug)]
 pub enum ExploreError {
     /// A lattice point failed to synthesise.
     Synthesis(SynthesisError),
+    /// A datapath rewrite of the space failed its equivalence check (or
+    /// could not be synthesised/simulated for checking). The explorer
+    /// refuses to score any point of an unverified rewrite.
+    Rewrite {
+        /// The rewrite choice that failed verification.
+        choice: RewriteChoice,
+        /// The underlying verification error.
+        source: RewriteError,
+    },
     /// The checkpoint file could not be loaded or saved.
     Checkpoint(CheckpointError),
     /// An explorer-owned file (spill stream, cache root) failed.
@@ -41,6 +51,9 @@ impl fmt::Display for ExploreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExploreError::Synthesis(e) => write!(f, "{e}"),
+            ExploreError::Rewrite { choice, source } => {
+                write!(f, "rewrite `{choice}` failed verification: {source}")
+            }
             ExploreError::Checkpoint(e) => write!(f, "{e}"),
             ExploreError::Io { path, source } => {
                 write!(f, "i/o error at {}: {source}", path.display())
@@ -53,6 +66,7 @@ impl std::error::Error for ExploreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ExploreError::Synthesis(e) => Some(e),
+            ExploreError::Rewrite { source, .. } => Some(source),
             ExploreError::Checkpoint(e) => Some(e),
             ExploreError::Io { source, .. } => Some(source),
         }
@@ -300,7 +314,7 @@ impl Explorer {
     /// run resumes toward the full lattice.
     fn config_fingerprint(&self, content: u64) -> u64 {
         use std::fmt::Write as _;
-        let mut s = format!("mcpm-explore config v1\ncontent={content:016x}\n");
+        let mut s = format!("mcpm-explore config v2\ncontent={content:016x}\n");
         let _ = writeln!(s, "n_max={}", self.space.n_max);
         let volts: Vec<String> = self
             .space
@@ -313,6 +327,8 @@ impl Explorer {
         let _ = writeln!(s, "stretches={}", stretches.join(","));
         let gating: Vec<&str> = self.space.gating.iter().map(|g| g.label()).collect();
         let _ = writeln!(s, "gating={}", gating.join(","));
+        let rewrites: Vec<&str> = self.space.rewrites.iter().map(|r| r.label()).collect();
+        let _ = writeln!(s, "rewrites={}", rewrites.join(","));
         let _ = writeln!(s, "scenarios={}", self.space.scenarios);
         let _ = writeln!(s, "seed={}", self.seed);
         let _ = writeln!(s, "computations={}", self.computations);
@@ -320,11 +336,51 @@ impl Explorer {
         fnv1a(s.as_bytes())
     }
 
+    /// The point's full canonical text — the structural dedup identity
+    /// and the persistent cache's stored-and-verified key.
+    fn point_canonical(&self, p: &DesignPoint, content: u64) -> String {
+        p.canonical(content, self.computations, self.seed, self.power_seeds)
+    }
+
     fn point_key(&self, p: &DesignPoint, content: u64) -> u64 {
-        fnv1a(
-            p.canonical(content, self.computations, self.seed, self.power_seeds)
-                .as_bytes(),
-        )
+        fnv1a(self.point_canonical(p, content).as_bytes())
+    }
+
+    /// Prepares the rewrite axis for one run: applies every choice of
+    /// the space to the benchmark's reference behaviour once, verifies
+    /// each choice that actually changed the behaviour against the
+    /// original (bit-identical outputs over the Monte-Carlo seed
+    /// schedule), and returns the fold table mapping each raw choice to
+    /// `(dfg_changed, schedule_changed)`. A choice that leaves the DFG
+    /// untouched and either keeps the schedule or runs under the
+    /// phase-affine scheduler (which regenerates the schedule anyway) is
+    /// *effectively* baseline; [`fold_rewrite`] canonicalises such
+    /// points so structural dedup serves them from their baseline twin.
+    fn verify_rewrites(
+        &self,
+        bm: &Benchmark,
+    ) -> Result<HashMap<RewriteChoice, (bool, bool)>, ExploreError> {
+        let base = Behavior::for_benchmark(bm);
+        let mut info: HashMap<RewriteChoice, (bool, bool)> = HashMap::new();
+        info.insert(RewriteChoice::Baseline, (false, false));
+        for &choice in &self.space.rewrites {
+            if info.contains_key(&choice) {
+                continue;
+            }
+            let rewritten = choice.apply(&base);
+            let dfg_changed = rewritten.dfg != base.dfg;
+            let schedule_changed = rewritten.schedule != base.schedule;
+            if dfg_changed || schedule_changed {
+                let opts = RewriteOptions {
+                    computations: self.computations,
+                    seeds: mc_core::power::derive_seeds(self.seed, 3),
+                };
+                verify_rewrite(&base, &rewritten, &opts)
+                    .map_err(|source| ExploreError::Rewrite { choice, source })?;
+            }
+            info.insert(choice, (dfg_changed, schedule_changed));
+        }
+        Ok(info)
     }
 
     /// Explores `bm`: streams the lattice (budget- and deadline-bounded)
@@ -352,6 +408,8 @@ impl Explorer {
         let take = self.budget.map_or(total, |b| b.max(floor)).min(total);
         let content = Self::content_fingerprint(bm);
         let config = self.config_fingerprint(content);
+        let rewrite_info = self.verify_rewrites(bm)?;
+        let mut rewrites_folded = 0u64;
 
         let disk = match &self.cache_dir {
             Some(dir) => Some(DiskCache::open(dir).map_err(|source| ExploreError::Io {
@@ -375,12 +433,18 @@ impl Explorer {
                 if let Some(ck) = Checkpoint::load(path, config)? {
                     cursor = ck.cursor.min(total);
                     for i in 0..cursor {
-                        if !seen.insert(self.point_key(&gen.point_at(i), content)) {
+                        let (p, folded) = fold_rewrite(gen.point_at(i), &rewrite_info);
+                        if folded {
+                            rewrites_folded += 1;
+                        }
+                        if !seen.insert(self.point_key(&p, content)) {
                             dedup_served += 1;
                         }
                     }
                     for (index, record) in ck.frontier {
-                        let result = point_result(gen.point_at(index.min(total - 1)), &record);
+                        let (p, _) =
+                            fold_rewrite(gen.point_at(index.min(total - 1)), &rewrite_info);
+                        let result = point_result(p, &record);
                         let evicted = frontier.offer(record.objectives, (index, result));
                         debug_assert!(evicted.is_empty(), "checkpoint frontier not nondominated");
                     }
@@ -390,7 +454,7 @@ impl Explorer {
         }
 
         let mut memo: HashMap<u64, PointRecord> = HashMap::new();
-        let mut flows: HashMap<(u64, u32, u64, u32), Flow> = HashMap::new();
+        let mut flows: HashMap<(u64, u32, u64, u32, u64), Flow> = HashMap::new();
         let mut cache = CacheStats {
             hits: 0,
             misses: 0,
@@ -416,12 +480,16 @@ impl Explorer {
                 Twin(u64),
                 Eval(usize),
             }
-            let mut slots: Vec<(DesignPoint, u64, Slot)> = Vec::with_capacity(end - cursor);
+            let mut slots: Vec<(DesignPoint, u64, String, Slot)> = Vec::with_capacity(end - cursor);
             let mut evals: Vec<(DesignPoint, u64)> = Vec::new();
             let mut pending: HashSet<u64> = HashSet::new();
             for i in cursor..end {
-                let p = gen.point_at(i);
-                let key = self.point_key(&p, content);
+                let (p, folded) = fold_rewrite(gen.point_at(i), &rewrite_info);
+                if folded {
+                    rewrites_folded += 1;
+                }
+                let canonical = self.point_canonical(&p, content);
+                let key = fnv1a(canonical.as_bytes());
                 if !seen.insert(key) {
                     dedup_served += 1;
                 }
@@ -431,7 +499,7 @@ impl Explorer {
                     Slot::Twin(key)
                 } else if let Some(r) = disk
                     .as_ref()
-                    .and_then(|d| d.get(key))
+                    .and_then(|d| d.get(&canonical))
                     .as_deref()
                     .and_then(PointRecord::from_cache_body)
                 {
@@ -446,7 +514,7 @@ impl Explorer {
                     evals.push((p, key));
                     Slot::Eval(evals.len() - 1)
                 };
-                slots.push((p, key, slot));
+                slots.push((p, key, canonical, slot));
             }
 
             // Materialise the flows the chunk's evaluations need (one per
@@ -496,7 +564,7 @@ impl Explorer {
             // Merge, sequential in lattice order: resolve each point's
             // record (evaluation, memo, or in-chunk twin), fill the
             // caches, and offer the point to the streaming frontier.
-            for (i, (p, key, slot)) in (cursor..end).zip(slots) {
+            for (i, (p, key, canonical, slot)) in (cursor..end).zip(slots) {
                 let (record, metrics) = match slot {
                     Slot::Have(r) => (r, Vec::new()),
                     Slot::Twin(key) => (memo[&key].clone(), Vec::new()),
@@ -507,7 +575,7 @@ impl Explorer {
                         if let Some(d) = &disk {
                             // Best-effort: a failed put only costs a
                             // recomputation next run.
-                            if d.put(key, &record.to_cache_body()).is_ok() {
+                            if d.put(&canonical, &record.to_cache_body()).is_ok() {
                                 disk_puts += 1;
                             }
                         }
@@ -584,6 +652,11 @@ impl Explorer {
             mc_trace::count("pareto.frontier", frontier.len() as u64);
             mc_trace::count("pareto.pruned", dominated);
             mc_trace::count("explore.dedup_served", dedup_served);
+            mc_trace::count("explore.rewrites_folded", rewrites_folded);
+            mc_trace::count(
+                "explore.rewrites_active",
+                rewrite_info.values().filter(|&&(d, s)| d || s).count() as u64,
+            );
             mc_trace::count_runtime("explore.flow_evals", flow_evals as u64);
             if disk.is_some() {
                 mc_trace::count_runtime("explore.cache.disk_hits", disk_hits);
@@ -646,6 +719,26 @@ impl Explorer {
         };
         Ok(ck.save(path)?)
     }
+}
+
+/// Canonicalises a point's rewrite choice against the per-run fold
+/// table: a choice that left the DFG untouched and either left the
+/// schedule untouched or runs under the phase-affine scheduler (which
+/// regenerates the schedule from the DFG anyway) *is* the baseline
+/// point, and folding it makes the canonical texts coincide so dedup
+/// and both caches serve it for free. Returns the folded point and
+/// whether folding changed it.
+fn fold_rewrite(
+    mut p: DesignPoint,
+    info: &HashMap<RewriteChoice, (bool, bool)>,
+) -> (DesignPoint, bool) {
+    let (dfg_changed, schedule_changed) = info[&p.rewrite];
+    let schedule_matters = schedule_changed && matches!(p.scheduler, SchedulerChoice::Reference);
+    if p.rewrite != RewriteChoice::Baseline && !dfg_changed && !schedule_matters {
+        p.rewrite = RewriteChoice::Baseline;
+        return (p, true);
+    }
+    (p, false)
 }
 
 /// Reconstructs the reportable result of a point from its record.
@@ -776,6 +869,49 @@ mod tests {
             report.flow_evals + report.dedup_served as usize,
             report.evaluated
         );
+    }
+
+    #[test]
+    fn rewrite_axis_dedups_inert_choices_and_resumes_identically() {
+        let sp = || ExploreSpace {
+            n_max: 1,
+            voltages: vec![NOMINAL_VOLTS],
+            stretches: vec![],
+            rewrites: RewriteChoice::ALL.to_vec(),
+            ..ExploreSpace::default()
+        };
+        let bm = benchmarks::hal();
+        let straight = tiny().with_space(sp()).run(&bm).unwrap();
+        // Strength never fires on hal (its only constants are 3), so its
+        // replica of every point folds to the baseline twin.
+        assert!(straight.dedup_served > 0, "inert rewrites must fold");
+        assert_eq!(
+            straight.flow_evals + straight.dedup_served as usize,
+            straight.evaluated
+        );
+        // Rewritten points on the frontier keep their choice visible.
+        assert!(straight
+            .results
+            .iter()
+            .all(|r| r.point.rewrite != RewriteChoice::Strength));
+        // Interrupt/resume across the rewrite axis is bit-identical.
+        let ck = temp_path("rw-ck");
+        let _ = std::fs::remove_file(&ck);
+        let partial = tiny()
+            .with_space(sp())
+            .with_budget(8)
+            .with_checkpoint(&ck)
+            .run(&bm)
+            .unwrap();
+        assert_eq!(partial.evaluated, 8);
+        let resumed = tiny()
+            .with_space(sp())
+            .with_checkpoint(&ck)
+            .with_resume(true)
+            .run(&bm)
+            .unwrap();
+        assert_eq!(resumed.to_json(), straight.to_json());
+        let _ = std::fs::remove_file(&ck);
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! The paper evaluates five hand-picked configurations per benchmark.
 //! This crate spans the *full* configuration lattice those five are
 //! drawn from — clock count × allocation strategy × memory-element kind ×
-//! data-dependent gating × scheduler × supply voltage × stimulus
+//! data-dependent gating × scheduler × equivalence-checked datapath
+//! rewrite ([`mc_core::RewriteChoice`]) × supply voltage × stimulus
 //! scenario — as a lazy indexable generator ([`ExploreSpace::generator`],
 //! 10⁵+ points under [`ExploreSpace::scale`]), evaluates points in
 //! streamed chunks through the [`mc_core::Flow`] pass pipeline, and
@@ -60,6 +61,7 @@ pub mod report;
 pub mod space;
 
 pub use explorer::{ExploreError, Explorer};
+pub use mc_core::RewriteChoice;
 pub use pareto::{pareto_mask, Objectives, StreamingFrontier};
 pub use persist::{Checkpoint, CheckpointError, PointRecord};
 pub use report::{ExploreReport, PointResult};

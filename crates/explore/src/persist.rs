@@ -252,8 +252,11 @@ impl Checkpoint {
         out
     }
 
-    /// Writes the checkpoint atomically (temp file + rename) so a crash
-    /// mid-write leaves the previous checkpoint intact.
+    /// Writes the checkpoint atomically and durably: the text goes to a
+    /// temp file, is fsynced, and is renamed into place, so a crash
+    /// mid-write leaves the previous checkpoint intact and a crash just
+    /// after the rename can't publish an unsynced torso. A failed write
+    /// or rename removes the temp file before returning.
     ///
     /// # Errors
     ///
@@ -269,7 +272,15 @@ impl Checkpoint {
             }
         }
         let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
-        fs::write(&tmp, self.to_text()).map_err(io_err)?;
+        let write_synced = || -> io::Result<()> {
+            let mut file = fs::File::create(&tmp)?;
+            io::Write::write_all(&mut file, self.to_text().as_bytes())?;
+            file.sync_all()
+        };
+        if let Err(source) = write_synced() {
+            let _ = fs::remove_file(&tmp);
+            return Err(io_err(source));
+        }
         fs::rename(&tmp, path).map_err(|source| {
             let _ = fs::remove_file(&tmp);
             io_err(source)
@@ -529,5 +540,35 @@ mod tests {
             .count();
         assert_eq!(litter, 0);
         let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failed_save_is_a_typed_error_and_leaves_no_tmp_litter() {
+        // A directory squatting on the checkpoint path makes the final
+        // rename fail after the temp file is written and fsynced; the
+        // failure must surface as Io and the temp file must be cleaned up.
+        let path = temp_path("renamefail");
+        let _ = fs::remove_dir_all(&path);
+        fs::create_dir_all(&path).unwrap();
+        let ck = Checkpoint {
+            config: 1,
+            cursor: 0,
+            dedup_served: 0,
+            frontier: vec![],
+        };
+        assert!(matches!(ck.save(&path), Err(CheckpointError::Io { .. })));
+        let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let litter = fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .flatten()
+            .filter(|e| {
+                e.file_name().to_string_lossy().starts_with(&stem)
+                    && e.path()
+                        .extension()
+                        .is_some_and(|x| x.to_string_lossy().starts_with("tmp-"))
+            })
+            .count();
+        assert_eq!(litter, 0, "failed rename must remove its temp file");
+        let _ = fs::remove_dir_all(&path);
     }
 }

@@ -72,6 +72,7 @@ impl PointResult {
         let mut obj = JsonObj::new()
             .str("style", &self.point.style.label())
             .str("scheduler", &self.point.scheduler.label())
+            .str("rewrite", self.point.rewrite.label())
             .num("volts", self.point.volts)
             .num("scenario", self.point.scenario)
             .num("power_mw", self.objectives.power_mw);
@@ -287,7 +288,7 @@ impl ExploreReport {
 mod tests {
     use super::*;
     use crate::space::SchedulerChoice;
-    use mc_core::DesignStyle;
+    use mc_core::{DesignStyle, RewriteChoice};
 
     fn result(power: f64) -> PointResult {
         PointResult {
@@ -296,6 +297,7 @@ mod tests {
                 scheduler: SchedulerChoice::Reference,
                 volts: 4.65,
                 scenario: 0,
+                rewrite: RewriteChoice::Baseline,
             },
             objectives: Objectives {
                 power_mw: power,
@@ -372,6 +374,7 @@ mod tests {
         assert!(json.contains("\"dedup_served\":1"));
         assert!(json.contains("\"dominated\":2"));
         assert!(json.contains("\"scenario\":0"));
+        assert!(json.contains("\"rewrite\":\"baseline\""));
         assert!(!json.contains("eval_ms"));
         assert!(!json.contains("cache"));
         assert!(!json.contains("disk"));

@@ -19,7 +19,7 @@
 
 use mc_alloc::Strategy;
 use mc_core::passes::Behavior;
-use mc_core::{DesignStyle, Flow};
+use mc_core::{DesignStyle, Flow, RewriteChoice};
 use mc_dfg::benchmarks::Benchmark;
 use mc_prng::SplitMix64;
 use mc_rtl::{ControlPolicy, PowerMode};
@@ -178,35 +178,47 @@ pub struct FlowSpec {
     pub volts: f64,
     /// Stimulus-distribution scenario (0 = the base seed).
     pub scenario: u32,
+    /// The datapath rewrite applied before scheduling.
+    pub rewrite: RewriteChoice,
 }
 
 impl FlowSpec {
     /// A stable, hashable key for this spec (voltage by exact bits).
     #[must_use]
-    pub fn key(&self) -> (u64, u32, u64, u32) {
+    pub fn key(&self) -> (u64, u32, u64, u32, u64) {
         let sched = match self.scheduler {
             SchedulerChoice::Reference => 0,
             SchedulerChoice::PhaseAffine { stretch } => 1 + u64::from(stretch),
         };
+        let rewrite = RewriteChoice::ALL
+            .iter()
+            .position(|&c| c == self.rewrite)
+            .expect("rewrite choice is in ALL") as u64;
         (
             sched,
             self.affine_clocks,
             self.volts.to_bits(),
             self.scenario,
+            rewrite,
         )
     }
 
     /// Materialises the flow for `bm` under this spec; `seed` is the
     /// explorer's base seed (the scenario derives its own stream from
-    /// it).
+    /// it). The rewrite is applied to the benchmark's reference
+    /// behaviour first; the phase-affine scheduler then reschedules the
+    /// *rewritten* graph (so schedule-only rewrites are no-ops under it,
+    /// which the explorer folds onto the baseline twin).
     #[must_use]
     pub fn build(&self, bm: &Benchmark, computations: usize, seed: u64) -> Flow {
+        let rewritten = self.rewrite.apply_to_benchmark(bm);
         let behavior = match self.scheduler {
-            SchedulerChoice::Reference => Behavior::for_benchmark(bm),
-            SchedulerChoice::PhaseAffine { stretch } => Behavior::new(
-                bm.dfg.clone(),
-                mc_dfg::scheduler::phase_affine(&bm.dfg, self.affine_clocks, stretch),
-            ),
+            SchedulerChoice::Reference => rewritten,
+            SchedulerChoice::PhaseAffine { stretch } => {
+                let schedule =
+                    mc_dfg::scheduler::phase_affine(&rewritten.dfg, self.affine_clocks, stretch);
+                Behavior::new(rewritten.dfg, schedule)
+            }
         };
         Flow::from_behavior(behavior)
             .with_computations(computations)
@@ -226,29 +238,30 @@ pub struct DesignPoint {
     pub volts: f64,
     /// Stimulus-distribution scenario (0 = the base seed).
     pub scenario: u32,
+    /// The datapath rewrite the behaviour was transformed with
+    /// ([`RewriteChoice::Baseline`] = the bundled behaviour untouched).
+    pub rewrite: RewriteChoice,
 }
 
 impl DesignPoint {
     /// Human-readable point label: style, scheduler, voltage and (when
-    /// not the base scenario) the scenario index.
+    /// not at their defaults) the scenario index and rewrite choice.
     #[must_use]
     pub fn label(&self) -> String {
-        if self.scenario == 0 {
-            format!(
-                "{} [{}, {:.2} V]",
-                self.style.label(),
-                self.scheduler.label(),
-                self.volts
-            )
-        } else {
-            format!(
-                "{} [{}, {:.2} V, s{}]",
-                self.style.label(),
-                self.scheduler.label(),
-                self.volts,
-                self.scenario
-            )
+        let mut label = format!(
+            "{} [{}, {:.2} V",
+            self.style.label(),
+            self.scheduler.label(),
+            self.volts
+        );
+        if self.scenario != 0 {
+            label.push_str(&format!(", s{}", self.scenario));
         }
+        if self.rewrite != RewriteChoice::Baseline {
+            label.push_str(&format!(", rw:{}", self.rewrite.label()));
+        }
+        label.push(']');
+        label
     }
 
     /// The flow group this point evaluates through.
@@ -263,15 +276,18 @@ impl DesignPoint {
             affine_clocks,
             volts: self.volts,
             scenario: self.scenario,
+            rewrite: self.rewrite,
         }
     }
 
     /// The versioned canonical description of everything that determines
     /// this point's evaluated numbers: the design content fingerprint,
-    /// the full style tuple, the scheduler, the exact voltage bits, the
-    /// derived stimulus seed and the Monte-Carlo depth. Structurally
-    /// equivalent points (a named paper row and the `Custom` tuple it
-    /// folds to, or two gating variants that resolve to the same mode)
+    /// the full style tuple, the scheduler, the rewrite choice, the
+    /// exact voltage bits, the derived stimulus seed and the Monte-Carlo
+    /// depth. Structurally equivalent points (a named paper row and the
+    /// `Custom` tuple it folds to, two gating variants that resolve to
+    /// the same mode, or a rewrite the explorer folded to baseline
+    /// because it left the behaviour unchanged)
     /// render identically, which is what makes the FNV-1a hash of this
     /// string both the explorer's dedup key and its persistent
     /// [`mc_core::cache::DiskCache`] key. Bit-identity knobs (threads,
@@ -286,7 +302,7 @@ impl DesignPoint {
     ) -> String {
         let mode = self.style.power_mode();
         format!(
-            "mcpm-explore point v1\n\
+            "mcpm-explore point v2\n\
              design={content_fp:016x}\n\
              strategy={:?}\n\
              clocks={}\n\
@@ -295,6 +311,7 @@ impl DesignPoint {
              gated={} iso={} ctl={:?}\n\
              scheduler={}\n\
              affine_clocks={}\n\
+             rewrite={}\n\
              volts={:016x}\n\
              seed={}\n\
              computations={computations}\n\
@@ -308,6 +325,7 @@ impl DesignPoint {
             mode.control_policy,
             self.scheduler.label(),
             self.flow_spec().affine_clocks,
+            self.rewrite.label(),
             self.volts.to_bits(),
             scenario_seed(seed, self.scenario),
         )
@@ -329,6 +347,9 @@ pub struct ExploreSpace {
     /// Data-dependent gating variants to replicate the sweep under
     /// (default `[Baseline]` — the styles' own modes only).
     pub gating: Vec<GatingVariant>,
+    /// Equivalence-checked datapath rewrites to replicate the sweep under
+    /// (default `[Baseline]` — the bundled behaviours untouched).
+    pub rewrites: Vec<RewriteChoice>,
     /// Stimulus-distribution scenarios per configuration (default 1;
     /// scenario 0 always uses the base seed).
     pub scenarios: u32,
@@ -341,6 +362,7 @@ impl Default for ExploreSpace {
             voltages: vec![NOMINAL_VOLTS, 3.3],
             stretches: vec![2],
             gating: vec![GatingVariant::Baseline],
+            rewrites: vec![RewriteChoice::Baseline],
             scenarios: 1,
         }
     }
@@ -374,6 +396,7 @@ impl ExploreSpace {
             voltages,
             stretches: vec![1, 2, 3, 4],
             gating: GatingVariant::ALL.to_vec(),
+            rewrites: RewriteChoice::ALL.to_vec(),
             scenarios: 8,
         }
     }
@@ -445,6 +468,11 @@ impl ExploreSpace {
             } else {
                 self.gating.clone()
             },
+            rewrites: if self.rewrites.is_empty() {
+                vec![RewriteChoice::Baseline]
+            } else {
+                self.rewrites.clone()
+            },
             scenarios: self.scenarios.max(1),
         }
     }
@@ -453,14 +481,16 @@ impl ExploreSpace {
 /// The compiled lazy lattice: any index decodes to its point on demand.
 ///
 /// Index layout, outermost to innermost: scenario → gating variant →
-/// voltage → block entry. Index 0..4 are therefore always the five paper
-/// anchors at scenario 0, baseline gating, nominal voltage — the same
-/// best-first contract the materialised enumeration used to give.
+/// rewrite → voltage → block entry. Index 0..4 are therefore always the
+/// five paper anchors at scenario 0, baseline gating, baseline rewrite,
+/// nominal voltage — the same best-first contract the materialised
+/// enumeration used to give.
 #[derive(Debug, Clone)]
 pub struct LatticeGen {
     block: Vec<(DesignStyle, SchedulerChoice)>,
     voltages: Vec<f64>,
     gating: Vec<GatingVariant>,
+    rewrites: Vec<RewriteChoice>,
     scenarios: u32,
 }
 
@@ -468,7 +498,11 @@ impl LatticeGen {
     /// Total number of lattice points.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.block.len() * self.voltages.len() * self.gating.len() * self.scenarios as usize
+        self.block.len()
+            * self.voltages.len()
+            * self.gating.len()
+            * self.rewrites.len()
+            * self.scenarios as usize
     }
 
     /// Whether the lattice is empty (no voltages, or an empty block).
@@ -489,6 +523,8 @@ impl LatticeGen {
         let rest = i / self.block.len();
         let v = rest % self.voltages.len();
         let rest = rest / self.voltages.len();
+        let r = rest % self.rewrites.len();
+        let rest = rest / self.rewrites.len();
         let g = rest % self.gating.len();
         let s = rest / self.gating.len();
         let (style, scheduler) = self.block[b];
@@ -497,6 +533,7 @@ impl LatticeGen {
             scheduler,
             volts: self.voltages[v],
             scenario: u32::try_from(s).expect("scenario count fits u32"),
+            rewrite: self.rewrites[r],
         }
     }
 
@@ -542,11 +579,14 @@ mod tests {
     fn lattice_spans_every_dimension() {
         let space = ExploreSpace {
             gating: GatingVariant::ALL.to_vec(),
+            rewrites: RewriteChoice::ALL.to_vec(),
             scenarios: 2,
             ..ExploreSpace::default()
         };
         let gen = space.generator();
         let points: Vec<DesignPoint> = gen.iter().collect();
+        assert!(points.iter().any(|p| p.rewrite == RewriteChoice::Strength));
+        assert!(points.iter().any(|p| p.rewrite == RewriteChoice::Balance));
         assert!(points.iter().any(|p| p.style.mem_kind() == MemKind::Dff));
         assert!(points
             .iter()
@@ -573,7 +613,8 @@ mod tests {
     #[test]
     fn flow_specs_group_by_scheduler_voltage_and_scenario() {
         let gen = ExploreSpace::default().generator();
-        let mut keys: Vec<(u64, u32, u64, u32)> = gen.iter().map(|p| p.flow_spec().key()).collect();
+        let mut keys: Vec<(u64, u32, u64, u32, u64)> =
+            gen.iter().map(|p| p.flow_spec().key()).collect();
         keys.sort_unstable();
         keys.dedup();
         // 2 voltages × (1 reference + 3 affine clock counts) = 8 groups.
@@ -610,6 +651,7 @@ mod tests {
             scheduler: SchedulerChoice::Reference,
             volts: NOMINAL_VOLTS,
             scenario: 0,
+            rewrite: RewriteChoice::Baseline,
         };
         let folded = DesignPoint {
             style: GatingVariant::FreeRunning.apply(DesignStyle::ConventionalNonGated),
@@ -624,6 +666,21 @@ mod tests {
         assert_ne!(named.canonical(7, 60, 42, 1), named.canonical(7, 61, 42, 1));
         assert_ne!(named.canonical(7, 60, 42, 1), named.canonical(7, 60, 43, 1));
         assert_ne!(named.canonical(7, 60, 42, 1), named.canonical(7, 60, 42, 2));
+        // The rewrite choice is part of the key and of the label.
+        let rewritten = DesignPoint {
+            rewrite: RewriteChoice::Balance,
+            ..named
+        };
+        assert_ne!(
+            named.canonical(7, 60, 42, 1),
+            rewritten.canonical(7, 60, 42, 1)
+        );
+        assert!(rewritten
+            .canonical(7, 60, 42, 1)
+            .contains("rewrite=balance"));
+        assert!(named.canonical(7, 60, 42, 1).contains("rewrite=baseline"));
+        assert!(rewritten.label().contains("rw:balance"));
+        assert!(!named.label().contains("rw:"));
     }
 
     #[test]

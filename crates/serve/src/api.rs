@@ -23,7 +23,7 @@ use mc_core::dfg::benchmarks::{self, Benchmark};
 use mc_core::rtl::export;
 use mc_core::sim::BatchBackend;
 use mc_core::{experiment, retrofit, DesignStyle, Flow, Synthesizer};
-use mc_explore::{ExploreSpace, Explorer, GatingVariant, NOMINAL_VOLTS};
+use mc_explore::{ExploreSpace, Explorer, GatingVariant, RewriteChoice, NOMINAL_VOLTS};
 use mc_trace::json::Value;
 
 use crate::cache::fnv1a;
@@ -84,16 +84,9 @@ impl DesignRef {
 }
 
 fn find_benchmark(name: &str) -> Result<Benchmark, String> {
-    benchmarks::by_name(name).ok_or_else(|| {
-        let names: Vec<String> = benchmarks::all_benchmarks()
-            .iter()
-            .map(|b| b.name().to_owned())
-            .collect();
-        format!(
-            "unknown benchmark `{name}`; available: {} (or random:<nodes>:<seed>)",
-            names.join(", ")
-        )
-    })
+    // The typed resolver distinguishes unknown names from malformed or
+    // out-of-range `random:<nodes>:<seed>` specs; surface its message.
+    benchmarks::parse_name(name).map_err(|e| e.to_string())
 }
 
 fn behavior_content(bm: &Benchmark) -> String {
@@ -145,6 +138,10 @@ pub struct ExploreRequest {
     /// Data-dependent gating variants: the first `gating` entries of
     /// [`mc_explore::GatingVariant::ALL`] (default 1 = baseline only).
     pub gating: u32,
+    /// Equivalence-checked datapath rewrites: the first `rewrites`
+    /// entries of [`mc_explore::RewriteChoice::ALL`] (default 1 =
+    /// baseline only).
+    pub rewrites: u32,
     /// Stimulus-distribution scenarios per configuration (default 1).
     pub scenarios: u32,
     /// Evaluation budget (points), unlimited when `None`.
@@ -218,7 +215,7 @@ impl ApiRequest {
     ///
     /// Fails for unknown benchmark names.
     pub fn canonical(&self) -> Result<String, String> {
-        let mut s = format!("mcpm-serve request v2\nkind={}\n", self.kind());
+        let mut s = format!("mcpm-serve request v3\nkind={}\n", self.kind());
         match self {
             ApiRequest::Eval(r) => {
                 let _ = writeln!(s, "computations={}", r.computations);
@@ -238,6 +235,7 @@ impl ApiRequest {
                 let stretches: Vec<String> = r.stretches.iter().map(u32::to_string).collect();
                 let _ = writeln!(s, "stretches={}", stretches.join(","));
                 let _ = writeln!(s, "gating={}", r.gating);
+                let _ = writeln!(s, "rewrites={}", r.rewrites);
                 let _ = writeln!(s, "scenarios={}", r.scenarios);
                 match r.budget {
                     Some(b) => {
@@ -318,6 +316,7 @@ impl ApiRequest {
                         voltages: r.voltages.clone(),
                         stretches: r.stretches.clone(),
                         gating: GatingVariant::first_n(r.gating as usize),
+                        rewrites: RewriteChoice::first_n(r.rewrites as usize),
                         scenarios: r.scenarios,
                     })
                     .with_computations(r.computations)
@@ -469,6 +468,7 @@ pub fn parse_request(kind: &str, body: &str) -> Result<ApiRequest, String> {
             "voltages",
             "stretch",
             "gating",
+            "rewrites",
             "scenarios",
             "budget",
             "seeds",
@@ -534,6 +534,16 @@ pub fn parse_request(kind: &str, body: &str) -> Result<ApiRequest, String> {
                     ));
                 }
                 g as u32
+            },
+            rewrites: {
+                let r = int_field(&doc, "rewrites", 1, 1)?;
+                if r > RewriteChoice::ALL.len() as u64 {
+                    return Err(format!(
+                        "`rewrites` out of range (1..={})",
+                        RewriteChoice::ALL.len()
+                    ));
+                }
+                r as u32
             },
             scenarios: u32::try_from(int_field(&doc, "scenarios", 1, 1)?)
                 .map_err(|_| "`scenarios` out of range".to_owned())?,
@@ -687,6 +697,7 @@ mod tests {
         assert_eq!(r.voltages, vec![NOMINAL_VOLTS, 3.3]);
         assert_eq!(r.stretches, vec![2]);
         assert_eq!(r.gating, 1);
+        assert_eq!(r.rewrites, 1);
         assert_eq!(r.scenarios, 1);
         assert_eq!(r.budget, None);
         assert_eq!(r.power_seeds, 1);
@@ -735,6 +746,21 @@ mod tests {
                 .unwrap_err()
                 .contains("`gating` out of range")
         );
+        assert!(
+            parse_request("explore", r#"{"benchmark":"hal","rewrites":9}"#)
+                .unwrap_err()
+                .contains("`rewrites` out of range")
+        );
+        assert!(parse_request("eval", r#"{"benchmark":"random:9999:1"}"#)
+            .unwrap()
+            .cache_key()
+            .unwrap_err()
+            .contains("node count 9999"),);
+        assert!(parse_request("eval", r#"{"benchmark":"random:abc"}"#)
+            .unwrap()
+            .cache_key()
+            .unwrap_err()
+            .contains("random benchmark spec"),);
     }
 
     #[test]
@@ -774,6 +800,8 @@ mod tests {
         assert_ne!(a.cache_key().unwrap(), d.cache_key().unwrap());
         let e = parse_request("explore", r#"{"benchmark":"hal","gating":3}"#).unwrap();
         assert_ne!(a.cache_key().unwrap(), e.cache_key().unwrap());
+        let f = parse_request("explore", r#"{"benchmark":"hal","rewrites":4}"#).unwrap();
+        assert_ne!(a.cache_key().unwrap(), f.cache_key().unwrap());
     }
 
     #[test]

@@ -300,11 +300,15 @@ fn compute(ctx: &ServerCtx, kind: &str, body: &str) -> (u16, String) {
         Ok(request) => request,
         Err(message) => return (400, error_body(&message)),
     };
-    let key = match request.cache_key() {
-        Ok(key) => key,
+    let canonical = match request.canonical() {
+        Ok(canonical) => canonical,
         Err(message) => return (400, error_body(&message)),
     };
-    if let Some(cached) = ctx.cache.get(key) {
+    // The coalescer keys on the hash; the disk cache keys on the full
+    // canonical text so hash collisions degrade to recomputation, never
+    // to a wrong response.
+    let key = crate::cache::fnv1a(canonical.as_bytes());
+    if let Some(cached) = ctx.cache.get(&canonical) {
         ctx.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
         mc_trace::count_runtime("serve.cache.hit", 1);
         return (200, cached);
@@ -320,7 +324,7 @@ fn compute(ctx: &ServerCtx, kind: &str, body: &str) -> (u16, String) {
         let response = format!("{}\n", request.run_json(&ctx.flows)?);
         // Best-effort persist *before* publishing: a later identical
         // request either coalesces onto this one or hits the disk cache.
-        let _ = ctx.cache.put(key, &response);
+        let _ = ctx.cache.put(&canonical, &response);
         Ok(Arc::new(response))
     });
     if outcome.coalesced {

@@ -69,6 +69,30 @@ cmp "$SMOKE_DIR/straight.json" "$SMOKE_DIR/resumed.json" \
 cmp "$SMOKE_DIR/straight.json" "$SMOKE_DIR/warm.json" \
     || { echo "ci.sh: warm explorer JSON differs from cold run" >&2; exit 1; }
 
+# Rewrite smoke: the equivalence-checked datapath rewrite axis must keep
+# the explorer deterministic — two runs and parallel vs sequential emit
+# byte-identical JSON — and must actually evaluate at least one
+# equivalence-verified rewritten variant: the frontier carries a
+# rewritten row and the deterministic trace counters record a non-zero
+# `rewrite.verified`.
+echo "==> rewrite smoke: determinism + equivalence-verified variants"
+./target/release/mcpm explore --benchmark hal --computations 40 --rewrites 4 \
+    --json --trace "$SMOKE_DIR/rw.trace.json" --out "$SMOKE_DIR/rw.a.json" > /dev/null
+./target/release/mcpm explore --benchmark hal --computations 40 --rewrites 4 \
+    --json --out "$SMOKE_DIR/rw.b.json" > /dev/null
+./target/release/mcpm explore --benchmark hal --computations 40 --rewrites 4 \
+    --json --parallel false --out "$SMOKE_DIR/rw.seq.json" > /dev/null
+cmp "$SMOKE_DIR/rw.a.json" "$SMOKE_DIR/rw.b.json" \
+    || { echo "ci.sh: --rewrites explorer JSON differs between runs" >&2; exit 1; }
+cmp "$SMOKE_DIR/rw.a.json" "$SMOKE_DIR/rw.seq.json" \
+    || { echo "ci.sh: --rewrites explorer JSON differs parallel vs sequential" >&2; exit 1; }
+grep -q '"rewrite":"commute"' "$SMOKE_DIR/rw.a.json" \
+    || { echo "ci.sh: no rewritten variant reached the --rewrites frontier" >&2; exit 1; }
+./target/release/mcpm trace-summary "$SMOKE_DIR/rw.trace.json" --counters \
+    > "$SMOKE_DIR/rw.counters"
+grep -q '"rewrite.verified":[1-9]' "$SMOKE_DIR/rw.counters" \
+    || { echo "ci.sh: trace counters record no equivalence-verified rewrite" >&2; exit 1; }
+
 # Retrofit smoke: export a benchmark, re-import it through the VHDL
 # round trip, convert it to the latch-based multi-phase form, and verify
 # (bit-identical outputs + power reduction happen inside the command).

@@ -19,7 +19,7 @@ use std::process::ExitCode;
 
 use multiclock::alloc::Strategy;
 use multiclock::dfg::benchmarks::{self, Benchmark};
-use multiclock::explore::{ExploreSpace, Explorer, GatingVariant};
+use multiclock::explore::{ExploreSpace, Explorer, GatingVariant, RewriteChoice};
 use multiclock::power::{per_component_power, profile::power_profile};
 use multiclock::rtl::{export, PowerMode};
 use multiclock::serve::api;
@@ -118,7 +118,7 @@ fn valid_flags(command: &str) -> Option<&'static [&'static str]> {
         "sweep" => &["benchmark", "file", "computations", "seed", "max-clocks", "json",
                      "out", "trace"],
         "explore" => &["benchmark", "file", "computations", "seed", "max-clocks", "budget",
-                       "voltages", "stretch", "gating", "scenarios", "scale", "threads",
+                       "voltages", "stretch", "gating", "rewrites", "scenarios", "scale", "threads",
                        "parallel", "timings", "seeds", "batch", "backend", "cache-dir",
                        "checkpoint", "resume", "deadline-ms", "spill", "json", "out", "trace"],
         "profile" | "signoff" => &["benchmark", "file", "computations", "seed", "clocks",
@@ -317,8 +317,9 @@ fn usage() -> &'static str {
      \x20 sweep   --benchmark NAME [--max-clocks N]   clock-count sweep\n\
      \x20 explore --benchmark NAME | --file F    Pareto design-space exploration\n\
      \x20         [--max-clocks N] [--budget K] [--voltages V1,V2] [--stretch S1,S2]\n\
-     \x20         [--gating N] [--scenarios N] [--scale] (--scale: the full 10^5+ point\n\
-     \x20         lattice; --gating/--scenarios add gating variants and stimulus seeds)\n\
+     \x20         [--gating N] [--rewrites N] [--scenarios N] [--scale] (--scale: the\n\
+     \x20         full 10^5+ point lattice; --gating/--scenarios add gating variants and\n\
+     \x20         stimulus seeds; --rewrites adds equivalence-checked datapath rewrites)\n\
      \x20         [--cache-dir DIR] (persistent cross-run result cache: a warm re-run\n\
      \x20         performs zero flow evaluations)\n\
      \x20         [--checkpoint FILE] [--resume] [--deadline-ms MS] [--spill FILE]\n\
@@ -354,16 +355,10 @@ fn usage() -> &'static str {
 }
 
 fn find_benchmark(name: &str) -> Result<Benchmark, CliError> {
-    benchmarks::by_name(name).ok_or_else(|| {
-        let names: Vec<String> = benchmarks::all_benchmarks()
-            .iter()
-            .map(|b| b.name().to_owned())
-            .collect();
-        CliError::Other(format!(
-            "unknown benchmark `{name}`; available: {} (or random:<nodes>:<seed>)",
-            names.join(", ")
-        ))
-    })
+    // The typed resolver reports *why* a name failed — unknown name,
+    // malformed `random:` spec, or a degenerate node count — instead of a
+    // generic miss.
+    benchmarks::parse_name(name).map_err(|e| CliError::Other(e.to_string()))
 }
 
 /// Loads the behaviour: either `--benchmark NAME` (bundled, with its
@@ -452,6 +447,16 @@ fn parse_gating_count(args: &Args) -> Result<u32, CliError> {
     Ok(n)
 }
 
+/// Parses `--rewrites N` — how many of the equivalence-checked datapath
+/// rewrites each lattice design is replicated under.
+fn parse_rewrites_count(args: &Args) -> Result<u32, CliError> {
+    let n = args.parse_num_at_least("rewrites", 1u32, 1)?;
+    if n > RewriteChoice::ALL.len() as u32 {
+        return Err(format!("--rewrites out of range (1..={})", RewriteChoice::ALL.len()).into());
+    }
+    Ok(n)
+}
+
 /// Builds the exploration lattice from the CLI flags: `--scale` selects
 /// the million-point preset, then each dimension flag that is present
 /// overrides that dimension only.
@@ -472,6 +477,9 @@ fn explore_space(args: &Args) -> Result<ExploreSpace, CliError> {
     }
     if args.get("gating").is_some() {
         space.gating = GatingVariant::first_n(parse_gating_count(args)? as usize);
+    }
+    if args.get("rewrites").is_some() {
+        space.rewrites = RewriteChoice::first_n(parse_rewrites_count(args)? as usize);
     }
     if args.get("scenarios").is_some() {
         space.scenarios = args.parse_num_at_least("scenarios", 1, 1)?;
@@ -667,6 +675,7 @@ fn dispatch(args: &Args) -> Result<(), CliError> {
                             .parse_list("voltages", &[multiclock::explore::NOMINAL_VOLTS, 3.3])?,
                         stretches: args.parse_list("stretch", &[2u32])?,
                         gating: parse_gating_count(args)?,
+                        rewrites: parse_rewrites_count(args)?,
                         scenarios: args.parse_num_at_least("scenarios", 1, 1)?,
                         budget,
                         power_seeds: args.parse_num_at_least("seeds", 1, 1)?,

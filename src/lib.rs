@@ -31,8 +31,8 @@
 #![warn(rust_2018_idioms)]
 
 pub use mc_core::{
-    experiment, flow, passes, retrofit, CacheStats, Design, DesignStyle, Diagnostic, Evaluated,
-    Flow, PassMetrics, Severity, SynthesisError, Synthesizer,
+    experiment, flow, passes, retrofit, rewrite, CacheStats, Design, DesignStyle, Diagnostic,
+    Evaluated, Flow, PassMetrics, RewriteChoice, Severity, SynthesisError, Synthesizer,
 };
 
 pub use mc_core::{alloc, clocks, dfg, power, rtl, sim, tech};

@@ -98,6 +98,29 @@ fn unknown_benchmark_fails_with_candidates() {
 }
 
 #[test]
+fn degenerate_random_benchmark_specs_are_rejected_with_the_reason() {
+    // Zero and oversized node counts are out of range, not unknown names.
+    let (ok, _, stderr) = mcpm(&["eval", "--benchmark", "random:0:1"]);
+    assert!(!ok);
+    assert!(stderr.contains("node count 0 is out of range"), "{stderr}");
+    let (ok, _, stderr) = mcpm(&["eval", "--benchmark", "random:100000:1"]);
+    assert!(!ok);
+    assert!(stderr.contains("out of range"), "{stderr}");
+    // Trailing fields and non-numeric fields name the malformed spec.
+    let (ok, _, stderr) = mcpm(&["eval", "--benchmark", "random:8:1:9"]);
+    assert!(!ok);
+    assert!(stderr.contains("bad random benchmark spec"), "{stderr}");
+    assert!(stderr.contains("expected 2"), "{stderr}");
+    let (ok, _, stderr) = mcpm(&["eval", "--benchmark", "random:8:banana"]);
+    assert!(!ok);
+    assert!(stderr.contains("not a 64-bit integer"), "{stderr}");
+    // A well-formed spec still evaluates.
+    let (ok, stdout, stderr) = mcpm(&["eval", "--benchmark", "random:6:1", "--computations", "8"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("mW"), "{stdout}");
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let (ok, _, stderr) = mcpm(&["frobnicate"]);
     assert!(!ok);
@@ -199,6 +222,31 @@ fn explore_json_is_deterministic_across_runs_and_thread_counts() {
         "parallel and sequential must emit identical JSON"
     );
     assert!(run1.contains("\"on_frontier\":true"));
+}
+
+#[test]
+fn explore_rewrites_flag_is_bounded_and_reaches_the_frontier() {
+    let (ok, _, stderr) = mcpm(&["explore", "--benchmark", "hal", "--rewrites", "9"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("--rewrites out of range (1..=4)"),
+        "{stderr}"
+    );
+    // The full rewrite axis on hal puts an equivalence-checked commute
+    // variant on the frontier alongside the baseline paper rows.
+    let (ok, stdout, stderr) = mcpm(&[
+        "explore",
+        "--benchmark",
+        "hal",
+        "--computations",
+        "60",
+        "--rewrites",
+        "4",
+        "--json",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("\"rewrite\":\"baseline\""), "{stdout}");
+    assert!(stdout.contains("\"rewrite\":\"commute\""), "{stdout}");
 }
 
 #[test]

@@ -212,6 +212,102 @@ fn random_integrated_latch_allocations_keep_latch_discipline() {
     }
 }
 
+/// The explorer's frontier accounting, restated as a property. A
+/// randomized objective stream is built the way the lattice produces one:
+/// fresh points on a coarse grid (so exact ties occur), structural-dedup
+/// twins (bit-identical objective vectors served from an earlier point's
+/// record), and rewritten-variant points (the same configuration under a
+/// different rewrite — one objective nudged a quantum down, up, or not at
+/// all). Streaming that through a `StreamingFrontier` must keep exactly
+/// the batch `pareto_mask` survivors with an honest dominated count, and
+/// cutting the stream at a random resume boundary — rebuilding the
+/// frontier from its surviving entries plus `add_dominated`, as
+/// `Explorer::run` does from a checkpoint — must change nothing, entry
+/// order included.
+#[test]
+fn streaming_frontier_with_dedup_matches_batch_pareto_across_resume() {
+    use multiclock::explore::{pareto_mask, Objectives, StreamingFrontier};
+
+    let mut rng = Xoshiro256::seed_from_u64(0x00F2_071E);
+    for case in 0..CASES {
+        let count = rng.range_inclusive(20, 60) as usize;
+        let mut objs: Vec<Objectives> = Vec::new();
+        for _ in 0..count {
+            let roll = rng.below(100);
+            if roll < 25 && !objs.is_empty() {
+                // Structural-dedup twin: the frontier sees the earlier
+                // point's record verbatim (ties must all be kept).
+                let j = rng.below(objs.len() as u64) as usize;
+                objs.push(objs[j]);
+            } else if roll < 50 && !objs.is_empty() {
+                // Rewritten variant: same configuration, one objective
+                // moved a quantum (down = dominates its baseline twin,
+                // up = dominated by it, unchanged = tie).
+                let j = rng.below(objs.len() as u64) as usize;
+                let mut o = objs[j];
+                let delta = f64::from(rng.range_inclusive(0, 2) as u32) - 1.0;
+                match rng.below(3) {
+                    0 => o.power_mw = (o.power_mw + delta).max(0.0),
+                    1 => o.area_lambda2 = (o.area_lambda2 + delta).max(0.0),
+                    _ => o.latency_ns = (o.latency_ns + delta).max(0.0),
+                }
+                objs.push(o);
+            } else {
+                objs.push(Objectives {
+                    power_mw: f64::from(rng.below(8) as u32),
+                    area_lambda2: f64::from(rng.below(8) as u32),
+                    latency_ns: f64::from(rng.below(8) as u32),
+                });
+            }
+        }
+
+        let mask = pareto_mask(&objs);
+        let expected: Vec<usize> = (0..count).filter(|&i| mask[i]).collect();
+
+        // Straight-through stream.
+        let mut straight = StreamingFrontier::new();
+        for (i, &o) in objs.iter().enumerate() {
+            let _ = straight.offer(o, i);
+        }
+
+        // Resumed stream: stop at a random boundary, rebuild from the
+        // surviving entries exactly as the checkpoint path does.
+        let cut = rng.below(count as u64 + 1) as usize;
+        let mut before = StreamingFrontier::new();
+        for (i, &o) in objs[..cut].iter().enumerate() {
+            let _ = before.offer(o, i);
+        }
+        let mut resumed = StreamingFrontier::new();
+        for &(o, i) in before.iter() {
+            let evicted = resumed.offer(o, i);
+            assert!(
+                evicted.is_empty(),
+                "case {case}: checkpoint not nondominated"
+            );
+        }
+        resumed.add_dominated(cut as u64 - resumed.len() as u64);
+        for (i, &o) in objs.iter().enumerate().skip(cut) {
+            let _ = resumed.offer(o, i);
+        }
+
+        assert_eq!(
+            straight.dominated(),
+            (count - expected.len()) as u64,
+            "case {case}: dominated count"
+        );
+        assert_eq!(resumed.dominated(), straight.dominated(), "case {case}");
+        let straight = straight.into_entries();
+        let mut survivors: Vec<usize> = straight.iter().map(|&(_, i)| i).collect();
+        survivors.sort_unstable();
+        assert_eq!(survivors, expected, "case {case}: stream vs batch");
+        assert_eq!(
+            resumed.into_entries(),
+            straight,
+            "case {case}: resume must preserve entries and order"
+        );
+    }
+}
+
 /// The partition/local-step maps are a bijection for every scheme.
 #[test]
 fn clock_scheme_bijection() {
